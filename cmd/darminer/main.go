@@ -1,0 +1,238 @@
+// Command darminer mines distance-based association rules from a CSV
+// file whose header annotates attribute kinds ("name:interval",
+// "name:nominal", plain names default to interval):
+//
+//	darminer -d0 2500 -minsup 0.03 data.csv
+//
+// Flags select the algorithm (-algo dar|qar|sa96), thresholds, the
+// cluster metric, and the Phase I memory budget. Rules print one per
+// line, strongest first, with bounding-box cluster descriptions.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	dar "repro"
+	"repro/internal/classical"
+	"repro/internal/core"
+	"repro/internal/distance"
+	"repro/internal/qar"
+	"repro/internal/relation"
+)
+
+func main() {
+	var (
+		algo    = flag.String("algo", "dar", "mining algorithm: dar (distance-based), qar (generalized quantitative), sa96 (equi-depth baseline), classical (adaptive 1-itemset counting)")
+		d0      = flag.Float64("d0", 0, "diameter/density threshold d0 in data units (0 = derive per attribute from the data)")
+		minsup  = flag.Float64("minsup", 0.03, "frequency threshold s0 as a fraction of the relation")
+		degree  = flag.Float64("degree", 1, "degree-of-association factor (rules must satisfy degree <= factor; lower is stricter)")
+		minconf = flag.Float64("minconf", 0.6, "minimum confidence (qar and sa96 modes)")
+		metric  = flag.String("metric", "D2", "cluster metric: D0, D1 or D2")
+		memory  = flag.Int("memory", 0, "Phase I memory budget in bytes (0 = unlimited; the paper used 5MB)")
+		nparts  = flag.Int("partitions", 10, "equi-depth partitions per attribute (sa96 mode)")
+		top     = flag.Int("top", 50, "print at most this many rules (0 = all)")
+		asJSON  = flag.Bool("json", false, "emit the full result as JSON (dar mode only)")
+		groups  = flag.String("groups", "", "attribute grouping, e.g. \"lat+lon,price\" (default: one group per attribute; dar and qar modes)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: darminer [flags] data.csv")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	if err := run(os.Stdout, flag.Arg(0), *algo, *d0, *minsup, *degree, *minconf, *metric, *memory, *nparts, *top, *asJSON, *groups); err != nil {
+		fmt.Fprintln(os.Stderr, "darminer:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, path, algo string, d0, minsup, degree, minconf float64, metricName string, memory, nparts, top int, asJSON bool, groupSpec string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rel, err := dar.ReadCSV(f)
+	if err != nil {
+		return err
+	}
+	if !asJSON {
+		fmt.Fprintf(w, "loaded %d tuples, %d attributes\n", rel.Len(), rel.Schema().Width())
+	}
+	part, err := parseGroups(rel.Schema(), groupSpec)
+	if err != nil {
+		return err
+	}
+
+	switch algo {
+	case "dar":
+		m, ok := distance.ParseClusterMetric(metricName)
+		if !ok {
+			return fmt.Errorf("unknown metric %q", metricName)
+		}
+		opt := dar.DefaultOptions()
+		opt.Metric = m
+		opt.DiameterThreshold = d0
+		opt.FrequencyFraction = minsup
+		opt.DegreeFactor = degree
+		opt.MemoryLimit = memory
+		if d0 == 0 {
+			suggested, err := dar.SuggestThresholds(rel, part, dar.AdvisorOptions{})
+			if err != nil {
+				return err
+			}
+			opt.DiameterThresholds = suggested
+			if !asJSON {
+				fmt.Fprintf(w, "derived d0 per attribute: %v\n", suggested)
+			}
+		}
+		res, err := dar.Mine(rel, part, opt)
+		if err != nil {
+			return err
+		}
+		if asJSON {
+			return dar.WriteJSON(w, res, rel, part)
+		}
+		fmt.Fprintf(w, "phase I: %v, %d clusters (%d frequent, %d rebuilds)\n",
+			res.PhaseI.Duration, res.PhaseI.ClustersFound, res.PhaseI.FrequentClusters, res.PhaseI.Rebuilds)
+		fmt.Fprintf(w, "phase II: %v, %d cliques, %d rules\n",
+			res.PhaseII.Duration, res.PhaseII.Cliques, len(res.Rules))
+		for i, r := range res.Rules {
+			if top > 0 && i == top {
+				fmt.Fprintf(w, "... %d more rules\n", len(res.Rules)-top)
+				break
+			}
+			fmt.Fprintln(w, res.DescribeRule(r, rel, part))
+		}
+		return nil
+
+	case "qar":
+		opt := dar.DefaultOptions()
+		opt.DiameterThreshold = d0
+		opt.FrequencyFraction = minsup
+		opt.MemoryLimit = memory
+		res, err := dar.MineQAR(rel, part, opt, minconf)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "phase I: %v, %d clusters; phase II: %v, %d rules\n",
+			res.PhaseI.Duration, len(res.Clusters), res.PhaseII, len(res.Rules))
+		for i, r := range res.Rules {
+			if top > 0 && i == top {
+				fmt.Fprintf(w, "... %d more rules\n", len(res.Rules)-top)
+				break
+			}
+			fmt.Fprintln(w, describeQAR(res, r, rel, part))
+		}
+		return nil
+
+	case "classical":
+		res, err := classical.Mine(rel, classical.Options{
+			MaxEntriesPerAttr: maxEntriesFromBudget(memory, rel.Schema().Width()),
+			MinSupport:        minsup,
+			MinConfidence:     minconf,
+			MaxLen:            5,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "mined %d rules from %d items in %v (exact: %v, collapses: %d)\n",
+			len(res.Rules), len(res.Items), res.Duration, res.Exact, res.Collapses)
+		for i, r := range res.Rules {
+			if top > 0 && i == top {
+				fmt.Fprintf(w, "... %d more rules\n", len(res.Rules)-top)
+				break
+			}
+			fmt.Fprintln(w, r.Describe(rel))
+		}
+		return nil
+
+	case "sa96":
+		res, err := qar.Mine(rel, qar.Options{
+			Partitions:    nparts,
+			MinSupport:    minsup,
+			MinConfidence: minconf,
+			MaxLen:        5,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "mined %d rules in %v\n", len(res.Rules), res.Duration)
+		for i, r := range res.Rules {
+			if top > 0 && i == top {
+				fmt.Fprintf(w, "... %d more rules\n", len(res.Rules)-top)
+				break
+			}
+			fmt.Fprintln(w, r.Describe(rel))
+		}
+		return nil
+
+	default:
+		return fmt.Errorf("unknown algorithm %q (want dar, qar, sa96 or classical)", algo)
+	}
+}
+
+// parseGroups builds a partitioning from a comma-separated spec of
+// "+"-joined attribute names ("lat+lon,price"); attributes not mentioned
+// get their own singleton group. An empty spec is all-singletons.
+func parseGroups(schema *dar.Schema, spec string) (*dar.Partitioning, error) {
+	if strings.TrimSpace(spec) == "" {
+		return dar.SingletonPartitioning(schema), nil
+	}
+	used := make(map[int]bool)
+	var groups []dar.Group
+	for _, part := range strings.Split(spec, ",") {
+		var attrs []int
+		for _, name := range strings.Split(part, "+") {
+			name = strings.TrimSpace(name)
+			i := schema.Index(name)
+			if i < 0 {
+				return nil, fmt.Errorf("unknown attribute %q in -groups", name)
+			}
+			attrs = append(attrs, i)
+			used[i] = true
+		}
+		groups = append(groups, dar.Group{Attrs: attrs})
+	}
+	for i := 0; i < schema.Width(); i++ {
+		if !used[i] {
+			groups = append(groups, dar.Group{Attrs: []int{i}})
+		}
+	}
+	return dar.NewPartitioning(schema, groups)
+}
+
+// maxEntriesFromBudget converts a byte budget to a per-attribute entry
+// cap for the classical mode (one Entry is ≈40 bytes); 0 stays unlimited.
+func maxEntriesFromBudget(bytes, attrs int) int {
+	if bytes <= 0 || attrs <= 0 {
+		return 0
+	}
+	per := bytes / attrs / 40
+	if per < 2 {
+		per = 2
+	}
+	return per
+}
+
+func describeQAR(res *core.QARResult, r core.QARRule, rel *relation.Relation, part *relation.Partitioning) string {
+	out := ""
+	for i, id := range r.Antecedent {
+		if i > 0 {
+			out += " ∧ "
+		}
+		out += res.Clusters[id].Describe(rel, part)
+	}
+	out += " ⇒ "
+	for i, id := range r.Consequent {
+		if i > 0 {
+			out += " ∧ "
+		}
+		out += res.Clusters[id].Describe(rel, part)
+	}
+	return fmt.Sprintf("%s (sup %.2f, conf %.2f)", out, r.Support, r.Confidence)
+}

@@ -1,0 +1,197 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	dar "repro"
+)
+
+// writeTestCSV writes a small planted workload and returns its path.
+func writeTestCSV(t *testing.T) string {
+	t.Helper()
+	schema := dar.MustSchema(
+		dar.Attribute{Name: "Age", Kind: dar.Interval},
+		dar.Attribute{Name: "Salary", Kind: dar.Interval},
+	)
+	rel := dar.NewRelation(schema)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 400; i++ {
+		if i%2 == 0 {
+			rel.MustAppend([]float64{30 + rng.NormFloat64(), 40000 + rng.NormFloat64()*200})
+		} else {
+			rel.MustAppend([]float64{55 + rng.NormFloat64(), 90000 + rng.NormFloat64()*200})
+		}
+	}
+	path := filepath.Join(t.TempDir(), "data.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := dar.WriteCSV(f, rel); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunDAR(t *testing.T) {
+	path := writeTestCSV(t)
+	var buf bytes.Buffer
+	err := run(&buf, path, "dar", 2000, 0.1, 1, 0.6, "D2", 0, 10, 0, false, "")
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "loaded 400 tuples") {
+		t.Errorf("missing header:\n%s", out)
+	}
+	if !strings.Contains(out, "⇒") || !strings.Contains(out, "degree") {
+		t.Errorf("no rules printed:\n%s", out)
+	}
+}
+
+func TestRunDARJSON(t *testing.T) {
+	path := writeTestCSV(t)
+	var buf bytes.Buffer
+	err := run(&buf, path, "dar", 2000, 0.1, 1, 0.6, "D2", 0, 10, 0, true, "")
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var doc struct {
+		Tuples int `json:"tuples"`
+		Rules  []struct {
+			Degree float64 `json:"degree"`
+		} `json:"rules"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.Tuples != 400 || len(doc.Rules) == 0 {
+		t.Errorf("JSON doc = %+v", doc)
+	}
+}
+
+func TestRunQARAndSA96(t *testing.T) {
+	path := writeTestCSV(t)
+	for _, algo := range []string{"qar", "sa96"} {
+		var buf bytes.Buffer
+		// Two equi-depth partitions align with the two planted bands, so
+		// the SA96 baseline finds confident range rules.
+		err := run(&buf, path, algo, 2000, 0.1, 1, 0.8, "D2", 0, 2, 5, false, "")
+		if err != nil {
+			t.Fatalf("run(%s): %v", algo, err)
+		}
+		if !strings.Contains(buf.String(), "⇒") {
+			t.Errorf("%s printed no rules:\n%s", algo, buf.String())
+		}
+	}
+}
+
+func TestRunTopTruncation(t *testing.T) {
+	path := writeTestCSV(t)
+	var buf bytes.Buffer
+	if err := run(&buf, path, "dar", 2000, 0.1, 1, 0.6, "D2", 0, 10, 1, false, ""); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(buf.String(), "more rules") {
+		t.Errorf("top=1 did not truncate:\n%s", buf.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeTestCSV(t)
+	var buf bytes.Buffer
+	if err := run(&buf, filepath.Join(t.TempDir(), "missing.csv"), "dar", 1, 0.1, 1, 0.6, "D2", 0, 10, 0, false, ""); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := run(&buf, path, "bogus", 1, 0.1, 1, 0.6, "D2", 0, 10, 0, false, ""); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if err := run(&buf, path, "dar", 1, 0.1, 1, 0.6, "D9", 0, 10, 0, false, ""); err == nil {
+		t.Error("unknown metric accepted")
+	}
+}
+
+func TestRunClassical(t *testing.T) {
+	path := writeTestCSV(t)
+	var buf bytes.Buffer
+	if err := run(&buf, path, "classical", 0, 0.2, 1, 0.8, "D2", 0, 10, 0, false, ""); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "exact: true") {
+		t.Errorf("unlimited classical should be exact:\n%s", out)
+	}
+	// A tight byte budget forces collapses.
+	buf.Reset()
+	if err := run(&buf, path, "classical", 0, 0.2, 1, 0.8, "D2", 400, 10, 0, false, ""); err != nil {
+		t.Fatalf("run(budget): %v", err)
+	}
+	if !strings.Contains(buf.String(), "exact: false") {
+		t.Errorf("budgeted classical stayed exact:\n%s", buf.String())
+	}
+}
+
+func TestMaxEntriesFromBudget(t *testing.T) {
+	if got := maxEntriesFromBudget(0, 5); got != 0 {
+		t.Errorf("unlimited = %d", got)
+	}
+	if got := maxEntriesFromBudget(8000, 2); got != 100 {
+		t.Errorf("budgeted = %d, want 100", got)
+	}
+	if got := maxEntriesFromBudget(10, 5); got != 2 {
+		t.Errorf("floor = %d, want 2", got)
+	}
+}
+
+func TestRunDARAutoThreshold(t *testing.T) {
+	path := writeTestCSV(t)
+	var buf bytes.Buffer
+	// d0 = 0 derives per-attribute thresholds from the data.
+	if err := run(&buf, path, "dar", 0, 0.1, 1, 0.6, "D2", 0, 10, 0, false, ""); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "derived d0 per attribute") {
+		t.Errorf("no derivation notice:\n%s", out)
+	}
+	if !strings.Contains(out, "⇒") {
+		t.Errorf("no rules with derived thresholds:\n%s", out)
+	}
+}
+
+func TestParseGroups(t *testing.T) {
+	schema := dar.MustSchema(
+		dar.Attribute{Name: "lat", Kind: dar.Interval},
+		dar.Attribute{Name: "lon", Kind: dar.Interval},
+		dar.Attribute{Name: "price", Kind: dar.Interval},
+	)
+	part, err := parseGroups(schema, "lat+lon")
+	if err != nil {
+		t.Fatalf("parseGroups: %v", err)
+	}
+	if part.NumGroups() != 2 {
+		t.Fatalf("groups = %d, want 2", part.NumGroups())
+	}
+	if part.Group(0).Dims() != 2 || part.Group(1).Name != "price" {
+		t.Errorf("groups = %+v, %+v", part.Group(0), part.Group(1))
+	}
+	if _, err := parseGroups(schema, "lat+bogus"); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+	// Empty spec: singletons.
+	part, err = parseGroups(schema, " ")
+	if err != nil || part.NumGroups() != 3 {
+		t.Errorf("empty spec: %v, %v", part, err)
+	}
+	// Duplicate attribute across groups rejected by partitioning.
+	if _, err := parseGroups(schema, "lat,lat+lon"); err == nil {
+		t.Error("duplicate attribute accepted")
+	}
+}

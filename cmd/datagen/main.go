@@ -1,0 +1,57 @@
+// Command datagen emits the synthetic workloads of the experiment
+// harness as annotated-header CSV on stdout:
+//
+//	datagen -workload wbcd -tuples 100000 > wbcd.csv
+//	datagen -workload insurance -tuples 5000 > insurance.csv
+//	datagen -workload stocks -tuples 2000 > stocks.csv
+//	datagen -workload fig2r1 > r1.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/datagen"
+	"repro/internal/relation"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "wbcd", "workload: wbcd, insurance, stocks, fig2r1, fig2r2")
+		tuples   = flag.Int("tuples", 10000, "relation size (wbcd, insurance, stocks)")
+		seed     = flag.Int64("seed", 1, "generator seed")
+	)
+	flag.Parse()
+	rel, err := build(*workload, *tuples, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+	if err := relation.WriteCSV(os.Stdout, rel); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func build(workload string, tuples int, seed int64) (*relation.Relation, error) {
+	switch workload {
+	case "wbcd":
+		cfg := datagen.DefaultWBCDConfig()
+		cfg.Tuples = tuples
+		cfg.Seed = seed
+		return datagen.WBCDLike(cfg)
+	case "insurance":
+		return datagen.Insurance(datagen.InsuranceConfig{N: tuples, Seed: seed})
+	case "stocks":
+		return datagen.Stocks(datagen.StocksConfig{Days: tuples, Seed: seed})
+	case "fig2r1":
+		r1, _ := datagen.Figure2Relations()
+		return r1, nil
+	case "fig2r2":
+		_, r2 := datagen.Figure2Relations()
+		return r2, nil
+	default:
+		return nil, fmt.Errorf("unknown workload %q", workload)
+	}
+}

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestBuildWorkloads(t *testing.T) {
+	cases := []struct {
+		workload string
+		tuples   int
+		wantLen  int
+		wantW    int
+	}{
+		{"wbcd", 700, 700, 30},
+		{"insurance", 500, 500, 3},
+		{"stocks", 365, 365, 3},
+		{"fig2r1", 0, 6, 3},
+		{"fig2r2", 0, 6, 3},
+	}
+	for _, c := range cases {
+		rel, err := build(c.workload, c.tuples, 1)
+		if err != nil {
+			t.Errorf("build(%s): %v", c.workload, err)
+			continue
+		}
+		if rel.Len() != c.wantLen || rel.Schema().Width() != c.wantW {
+			t.Errorf("%s: %d x %d, want %d x %d", c.workload, rel.Len(), rel.Schema().Width(), c.wantLen, c.wantW)
+		}
+	}
+}
+
+func TestBuildUnknownWorkload(t *testing.T) {
+	if _, err := build("nope", 10, 1); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestBuildInvalidSize(t *testing.T) {
+	if _, err := build("insurance", 1, 1); err == nil {
+		t.Error("tiny insurance accepted")
+	}
+}

@@ -1,0 +1,208 @@
+// Command experiments regenerates every figure and evaluation claim of
+// the paper (see DESIGN.md's per-experiment index and EXPERIMENTS.md for
+// the recorded paper-vs-measured comparison).
+//
+// Usage:
+//
+//	experiments [-run all|fig1|fig2|fig4|thm5|fig6|stability|prune|adaptive|sensitivity|insurance|baseline] [-scale N] [-seed S]
+//
+// -scale sets the largest relation size of the fig6 sweep (default
+// 500000, the paper's half-million tuples; use something smaller for a
+// quick look).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "all", "experiment to run (all, fig1, fig2, fig4, thm5, fig6, prune, adaptive, refine, drift, classical, robustness, sensitivity, insurance, comparison, baseline)")
+	scale := flag.Int("scale", 500000, "largest relation size for the fig6 sweep")
+	seed := flag.Int64("seed", 1, "workload generator seed")
+	tsv := flag.String("tsv", "", "also write the fig6 series as TSV to this file (for plotting)")
+	flag.Parse()
+
+	if err := runExperiments(*run, *scale, *seed, *tsv); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func runExperiments(which string, scale int, seed int64, tsvPath string) error {
+	w := os.Stdout
+	section := func(name string) { fmt.Fprintf(w, "\n=== %s ===\n", name) }
+	want := func(name string) bool { return which == "all" || which == name }
+	ran := false
+
+	if want("fig1") {
+		ran = true
+		section("E1 / Figure 1")
+		res, err := experiments.RunFig1()
+		if err != nil {
+			return err
+		}
+		res.Print(w)
+	}
+	if want("fig2") {
+		ran = true
+		section("E2 / Figure 2")
+		res, err := experiments.RunFig2()
+		if err != nil {
+			return err
+		}
+		res.Print(w)
+	}
+	if want("fig4") {
+		ran = true
+		section("E3 / Figure 4")
+		res, err := experiments.RunFig4()
+		if err != nil {
+			return err
+		}
+		res.Print(w)
+	}
+	if want("thm5") {
+		ran = true
+		section("E4 / Theorems 5.1 & 5.2")
+		res, err := experiments.RunThm5(200, seed)
+		if err != nil {
+			return err
+		}
+		res.Print(w)
+	}
+	if want("fig6") || want("stability") || want("phase2") {
+		ran = true
+		section("E5-E7 / Figure 6 + §7.2 claims")
+		scales := fig6Scales(scale)
+		fmt.Fprintf(w, "scales: %v\n", scales)
+		res, err := experiments.RunFig6(scales, seed)
+		if err != nil {
+			return err
+		}
+		res.Print(w)
+		if tsvPath != "" {
+			f, err := os.Create(tsvPath)
+			if err != nil {
+				return err
+			}
+			res.WriteTSV(f)
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "fig6 series written to %s\n", tsvPath)
+		}
+	}
+	if want("prune") {
+		ran = true
+		section("E8 / §6.2 pruning ablation")
+		res, err := experiments.RunPrune(min(scale, 100000), seed)
+		if err != nil {
+			return err
+		}
+		res.Print(w)
+	}
+	if want("adaptive") {
+		ran = true
+		section("E9 / adaptive memory sweep")
+		res, err := experiments.RunAdaptive(min(scale, 100000),
+			[]int{256 << 10, 512 << 10, 1 << 20, 2 << 20, 5 << 20, 10 << 20}, seed)
+		if err != nil {
+			return err
+		}
+		res.Print(w)
+	}
+	if want("robustness") {
+		ran = true
+		section("E15 / metric robustness under contamination")
+		res, err := experiments.RunRobustness(min(scale, 50000), []float64{0, 0.01, 0.02, 0.05, 0.10}, seed)
+		if err != nil {
+			return err
+		}
+		res.Print(w)
+	}
+	if want("classical") {
+		ran = true
+		section("E14 / adaptive classical 1-itemset counting (Figure 3)")
+		res, err := experiments.RunAdaptiveClassical(min(scale, 50000), []int{0, 64, 16, 8, 4}, seed)
+		if err != nil {
+			return err
+		}
+		res.Print(w)
+	}
+	if want("drift") {
+		ran = true
+		section("E13 / centroid drift vs k-means reference")
+		top := min(scale, 100000)
+		res, err := experiments.RunDrift([]int{top / 4, top / 2, top}, seed)
+		if err != nil {
+			return err
+		}
+		res.Print(w)
+	}
+	if want("refine") {
+		ran = true
+		section("E12 / global refinement ablation")
+		res, err := experiments.RunRefine(min(scale, 100000), seed)
+		if err != nil {
+			return err
+		}
+		res.Print(w)
+	}
+	if want("sensitivity") {
+		ran = true
+		section("E10 / threshold sensitivity")
+		res, err := experiments.RunSensitivity(min(scale, 50000),
+			[]float64{0.5, 1, 2, 4, 8},
+			[]float64{0.01, 0.03, 0.05, 0.10},
+			[]float64{0.5, 1, 2}, seed)
+		if err != nil {
+			return err
+		}
+		res.Print(w)
+	}
+	if want("insurance") {
+		ran = true
+		section("E11 / §5.2 insurance N:1 rules")
+		res, err := experiments.RunInsurance(min(scale, 20000), seed)
+		if err != nil {
+			return err
+		}
+		res.Print(w)
+	}
+	if want("comparison") {
+		ran = true
+		section("E16 / four-way method comparison")
+		res, err := experiments.RunComparison(min(scale, 20000), seed)
+		if err != nil {
+			return err
+		}
+		res.Print(w)
+	}
+	if want("baseline") {
+		ran = true
+		section("Baseline / SA96 vs distance-based intervals")
+		res, err := experiments.RunBaseline(100, seed)
+		if err != nil {
+			return err
+		}
+		res.Print(w)
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q (want one of all, fig1, fig2, fig4, thm5, fig6, prune, adaptive, refine, drift, classical, robustness, sensitivity, insurance, comparison, baseline)", which)
+	}
+	return nil
+}
+
+// fig6Scales builds the five-point sweep ending at the requested scale,
+// mirroring the paper's 100K..500K progression.
+func fig6Scales(top int) []int {
+	if top < 5 {
+		top = 5
+	}
+	step := top / 5
+	return []int{step, 2 * step, 3 * step, 4 * step, 5 * step}
+}

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestFig6Scales(t *testing.T) {
+	if got := fig6Scales(500000); !reflect.DeepEqual(got, []int{100000, 200000, 300000, 400000, 500000}) {
+		t.Errorf("fig6Scales(500000) = %v", got)
+	}
+	if got := fig6Scales(10); !reflect.DeepEqual(got, []int{2, 4, 6, 8, 10}) {
+		t.Errorf("fig6Scales(10) = %v", got)
+	}
+	// Degenerate request still yields five increasing scales.
+	got := fig6Scales(0)
+	if len(got) != 5 || got[0] < 1 {
+		t.Errorf("fig6Scales(0) = %v", got)
+	}
+}
+
+func TestRunExperimentsUnknown(t *testing.T) {
+	if err := runExperiments("bogus", 1000, 1, ""); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+// The fast experiments run end-to-end through the CLI driver (writing to
+// stdout; this is a smoke test of the dispatch wiring).
+func TestRunExperimentsFast(t *testing.T) {
+	for _, which := range []string{"fig1", "fig2", "fig4", "baseline"} {
+		if err := runExperiments(which, 1000, 1, ""); err != nil {
+			t.Errorf("runExperiments(%s): %v", which, err)
+		}
+	}
+}

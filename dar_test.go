@@ -1,0 +1,175 @@
+package dar_test
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	dar "repro"
+)
+
+func buildSalaryRelation(t *testing.T, n int) (*dar.Relation, *dar.Partitioning) {
+	t.Helper()
+	schema := dar.MustSchema(
+		dar.Attribute{Name: "Age", Kind: dar.Interval},
+		dar.Attribute{Name: "Salary", Kind: dar.Interval},
+	)
+	rel := dar.NewRelation(schema)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			rel.MustAppend([]float64{30 + rng.NormFloat64(), 40000 + rng.NormFloat64()*300})
+		} else {
+			rel.MustAppend([]float64{55 + rng.NormFloat64(), 90000 + rng.NormFloat64()*300})
+		}
+	}
+	return rel, dar.SingletonPartitioning(schema)
+}
+
+func TestFacadeMine(t *testing.T) {
+	rel, part := buildSalaryRelation(t, 500)
+	opt := dar.DefaultOptions()
+	opt.DiameterThreshold = 0 // per-group overrides below
+	opt.DiameterThresholds = []float64{5, 2500}
+	res, err := dar.Mine(rel, part, opt)
+	if err != nil {
+		t.Fatalf("Mine: %v", err)
+	}
+	if len(res.Clusters) != 4 {
+		t.Fatalf("clusters = %d, want 4", len(res.Clusters))
+	}
+	if len(res.Rules) == 0 {
+		t.Fatal("no rules")
+	}
+	// The strongest rule must link an age cluster with its salary peer.
+	desc := res.DescribeRule(res.Rules[0], rel, part)
+	if !strings.Contains(desc, "⇒") {
+		t.Errorf("DescribeRule = %q", desc)
+	}
+}
+
+func TestFacadeMineQAR(t *testing.T) {
+	rel, part := buildSalaryRelation(t, 500)
+	opt := dar.DefaultOptions()
+	opt.DiameterThresholds = []float64{5, 2500}
+	res, err := dar.MineQAR(rel, part, opt, 0.9)
+	if err != nil {
+		t.Fatalf("MineQAR: %v", err)
+	}
+	if len(res.Rules) == 0 {
+		t.Fatal("no QAR rules")
+	}
+}
+
+func TestFacadeCSVRoundTrip(t *testing.T) {
+	rel, _ := buildSalaryRelation(t, 10)
+	var buf bytes.Buffer
+	if err := dar.WriteCSV(&buf, rel); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	got, err := dar.ReadCSV(&buf)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if got.Len() != rel.Len() {
+		t.Errorf("round trip Len = %d", got.Len())
+	}
+}
+
+func TestFacadeMultiAttributeGroup(t *testing.T) {
+	schema := dar.MustSchema(
+		dar.Attribute{Name: "Lat", Kind: dar.Interval},
+		dar.Attribute{Name: "Lon", Kind: dar.Interval},
+		dar.Attribute{Name: "Price", Kind: dar.Interval},
+	)
+	rel := dar.NewRelation(schema)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 400; i++ {
+		if i%2 == 0 {
+			// Downtown: expensive.
+			rel.MustAppend([]float64{40 + rng.NormFloat64()*0.01, -83 + rng.NormFloat64()*0.01, 500000 + rng.NormFloat64()*10000})
+		} else {
+			// Suburb: cheaper.
+			rel.MustAppend([]float64{40.5 + rng.NormFloat64()*0.01, -82.5 + rng.NormFloat64()*0.01, 250000 + rng.NormFloat64()*10000})
+		}
+	}
+	part, err := dar.NewPartitioning(schema, []dar.Group{
+		{Name: "geo", Attrs: []int{0, 1}},
+		{Name: "Price", Attrs: []int{2}},
+	})
+	if err != nil {
+		t.Fatalf("NewPartitioning: %v", err)
+	}
+	opt := dar.DefaultOptions()
+	opt.DiameterThresholds = []float64{0.1, 50000}
+	res, err := dar.Mine(rel, part, opt)
+	if err != nil {
+		t.Fatalf("Mine: %v", err)
+	}
+	// Two geo clusters, two price clusters, and geo⇒price rules.
+	geo, price := 0, 0
+	for _, c := range res.Clusters {
+		if c.Group == 0 {
+			geo++
+		} else {
+			price++
+		}
+	}
+	if geo != 2 || price != 2 {
+		t.Fatalf("geo=%d price=%d clusters", geo, price)
+	}
+	found := false
+	for _, r := range res.Rules {
+		if len(r.Antecedent) == 1 && len(r.Consequent) == 1 &&
+			res.Clusters[r.Antecedent[0]].Group == 0 && res.Clusters[r.Consequent[0]].Group == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no geo ⇒ price rule")
+	}
+}
+
+func TestFacadeAdvisorOnDiskSource(t *testing.T) {
+	rel, part := buildSalaryRelation(t, 300)
+	disk, err := dar.SpillToDisk(rel, filepath.Join(t.TempDir(), "adv.dar"))
+	if err != nil {
+		t.Fatalf("SpillToDisk: %v", err)
+	}
+	d0, err := dar.SuggestThresholds(disk, part, dar.AdvisorOptions{})
+	if err != nil {
+		t.Fatalf("SuggestThresholds: %v", err)
+	}
+	// Ages: σ≈1 within, 25 across; salaries: σ≈300 within, 50000 across.
+	if d0[0] <= 1 || d0[0] >= 25 {
+		t.Errorf("age d0 = %v", d0[0])
+	}
+	if d0[1] <= 300 || d0[1] >= 50000 {
+		t.Errorf("salary d0 = %v", d0[1])
+	}
+	// Mining the disk source with the derived thresholds works end to end.
+	opt := dar.DefaultOptions()
+	opt.DiameterThresholds = d0
+	opt.FrequencyFraction = 0.1
+	res, err := dar.Mine(disk, part, opt)
+	if err != nil {
+		t.Fatalf("Mine: %v", err)
+	}
+	if len(res.Rules) == 0 {
+		t.Error("no rules from derived thresholds on disk source")
+	}
+}
+
+func TestFacadeRanked(t *testing.T) {
+	schema := dar.MustSchema(dar.Attribute{Name: "tier", Kind: dar.Ordinal})
+	rel := dar.NewRelation(schema)
+	for _, v := range []float64{1, 100, 10000} {
+		rel.MustAppend([]float64{v})
+	}
+	ranked := dar.Ranked(rel)
+	if got := ranked.Column(0); got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("ranked = %v", got)
+	}
+}

@@ -1,0 +1,56 @@
+// Quickstart: mine distance-based association rules from a small
+// in-memory relation using the public API.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	dar "repro"
+)
+
+func main() {
+	// A relation of (Age, Salary) with two planted associations:
+	// thirty-ish engineers earn about 40K, fifty-five-ish managers about
+	// 90K.
+	schema := dar.MustSchema(
+		dar.Attribute{Name: "Age", Kind: dar.Interval},
+		dar.Attribute{Name: "Salary", Kind: dar.Interval},
+	)
+	rel := dar.NewRelation(schema)
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 1000; i++ {
+		if i%2 == 0 {
+			rel.MustAppend([]float64{30 + rng.NormFloat64()*2, 40000 + rng.NormFloat64()*1000})
+		} else {
+			rel.MustAppend([]float64{55 + rng.NormFloat64()*2, 90000 + rng.NormFloat64()*1500})
+		}
+	}
+
+	// One attribute group per attribute; thresholds in each attribute's
+	// own units: ages within ~8 years cluster together, salaries within
+	// ~5K.
+	part := dar.SingletonPartitioning(schema)
+	opt := dar.DefaultOptions()
+	opt.DiameterThresholds = []float64{8, 5000}
+
+	res, err := dar.Mine(rel, part, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Phase I found %d frequent clusters in %v:\n",
+		len(res.Clusters), res.PhaseI.Duration)
+	for _, c := range res.Clusters {
+		fmt.Printf("  %s  (%d tuples, diameter %.1f)\n",
+			c.Describe(rel, part), c.Size, c.Diameter())
+	}
+
+	fmt.Printf("\n%d distance-based association rules (strongest first):\n", len(res.Rules))
+	for _, r := range res.Rules {
+		fmt.Println("  " + res.DescribeRule(r, rel, part))
+	}
+}

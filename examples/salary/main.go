@@ -1,0 +1,88 @@
+// Salary: the motivating examples of the paper's Section 2 — the
+// Figure 1 partitioning contrast and the Figure 2 rule-interest contrast
+// — run end-to-end through the library, including classical and
+// quantitative baselines.
+//
+//	go run ./examples/salary
+package main
+
+import (
+	"fmt"
+	"log"
+
+	dar "repro"
+	"repro/internal/datagen"
+	"repro/internal/qar"
+)
+
+func main() {
+	figure1()
+	figure2()
+}
+
+// figure1 contrasts SA96 equi-depth intervals with distance-based
+// clusters on the skewed salary column of Figure 1.
+func figure1() {
+	fmt.Println("— Figure 1: how should {18K, 30K, 31K, 80K, 81K, 82K} be grouped? —")
+	schema := dar.MustSchema(dar.Attribute{Name: "Salary", Kind: dar.Interval})
+	rel := dar.NewRelation(schema)
+	for _, s := range datagen.Figure1Salaries() {
+		rel.MustAppend([]float64{s})
+	}
+
+	// SA96 baseline: three equi-depth intervals.
+	sa, err := qar.Mine(rel, qar.Options{Partitions: 3, MinSupport: 0.1, MinConfidence: 0})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print("equi-depth (SA96): ")
+	for _, iv := range sa.Partitionings[0].Intervals {
+		fmt.Printf(" [%gK, %gK]", iv.Lo/1000, iv.Hi/1000)
+	}
+	fmt.Println("   <- 31K and 80K end up together")
+
+	// Distance-based clustering with d0 = 2000.
+	part := dar.SingletonPartitioning(schema)
+	opt := dar.DefaultOptions()
+	opt.DiameterThreshold = 2000
+	opt.MinClusterSize = 1
+	res, err := dar.Mine(rel, part, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print("distance-based:    ")
+	for _, c := range res.Clusters {
+		fmt.Printf(" [%gK, %gK]", c.Lo[0]/1000, c.Hi[0]/1000)
+	}
+	fmt.Println("   <- close values stay together")
+}
+
+// figure2 shows that classical interest measures cannot tell R1 from R2
+// while the distance-based degree can.
+func figure2() {
+	fmt.Println("\n— Figure 2: Job=DBA ∧ Age=30 ⇒ Salary≈40,000 on R1 vs R2 —")
+	r1, r2 := datagen.Figure2Relations()
+	for name, rel := range map[string]*dar.Relation{"R1": r1, "R2": r2} {
+		part := dar.SingletonPartitioning(rel.Schema())
+		opt := dar.DefaultOptions()
+		// Salaries within 3K cluster together; ages are constant.
+		opt.DiameterThresholds = []float64{0, 1, 3000}
+		opt.MinClusterSize = 2
+		opt.DegreeFactor = 25 // rank all rules, however weak
+		opt.GraphFactor = 25
+		res, err := dar.Mine(rel, part, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s rules:\n", name)
+		for _, r := range res.Rules {
+			// Keep only Job ⇒ Salary rules for the printout.
+			if len(r.Antecedent) == 1 && len(r.Consequent) == 1 &&
+				res.Clusters[r.Antecedent[0]].Group == 0 &&
+				res.Clusters[r.Consequent[0]].Group == 2 {
+				fmt.Println("  " + res.DescribeRule(r, rel, part))
+			}
+		}
+	}
+	fmt.Println("identical support/confidence, but the degree exposes that R2 fits the rule far better")
+}

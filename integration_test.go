@@ -1,0 +1,142 @@
+package dar_test
+
+import (
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	dar "repro"
+)
+
+// TestEndToEndKitchenSink exercises everything at once: a mixed schema
+// (nominal + interval + ordinal), a multi-attribute group, an ordinal
+// rank transform, a disk-backed source, parallel Phase I, a memory
+// budget, and the support filter — asserting the pipeline stays coherent
+// under the full option surface.
+func TestEndToEndKitchenSink(t *testing.T) {
+	schema := dar.MustSchema(
+		dar.Attribute{Name: "Segment", Kind: dar.Nominal},
+		dar.Attribute{Name: "Lat", Kind: dar.Interval},
+		dar.Attribute{Name: "Lon", Kind: dar.Interval},
+		dar.Attribute{Name: "Spend", Kind: dar.Interval},
+		dar.Attribute{Name: "Tier", Kind: dar.Ordinal},
+	)
+	rel := dar.NewRelation(schema)
+	dict := schema.Attr(0).Dict
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 4000; i++ {
+		// Two customer populations: urban premium vs rural basic. Tier
+		// is ordinal on a wildly non-linear scale.
+		if i%2 == 0 {
+			rel.MustAppend([]float64{
+				dict.Code("Premium"),
+				40.0 + rng.NormFloat64()*0.01, -83.0 + rng.NormFloat64()*0.01,
+				900 + rng.NormFloat64()*40,
+				1000, // tier code "high"
+			})
+		} else {
+			rel.MustAppend([]float64{
+				dict.Code("Basic"),
+				41.5 + rng.NormFloat64()*0.01, -81.5 + rng.NormFloat64()*0.01,
+				120 + rng.NormFloat64()*20,
+				3, // tier code "low"
+			})
+		}
+	}
+
+	// Rank-transform the ordinal tier, then spill to disk.
+	ranked := dar.Ranked(rel)
+	disk, err := dar.SpillToDisk(ranked, filepath.Join(t.TempDir(), "kitchen.dar"))
+	if err != nil {
+		t.Fatalf("SpillToDisk: %v", err)
+	}
+
+	part, err := dar.NewPartitioning(schema, []dar.Group{
+		{Name: "Segment", Attrs: []int{0}},
+		{Name: "geo", Attrs: []int{1, 2}},
+		{Name: "Spend", Attrs: []int{3}},
+		{Name: "Tier", Attrs: []int{4}},
+	})
+	if err != nil {
+		t.Fatalf("NewPartitioning: %v", err)
+	}
+	opt := dar.DefaultOptions()
+	opt.DiameterThresholds = []float64{0, 0.1, 150, 500}
+	opt.FrequencyFraction = 0.1
+	opt.Workers = 4
+	opt.MemoryLimit = 8 << 20
+	opt.MinRuleSupport = 0.25
+
+	res, err := dar.Mine(disk, part, opt)
+	if err != nil {
+		t.Fatalf("Mine: %v", err)
+	}
+
+	// Two clusters per group (8 total) and a rich rule set linking them.
+	perGroup := map[int]int{}
+	for _, c := range res.Clusters {
+		perGroup[c.Group]++
+	}
+	for g := 0; g < 4; g++ {
+		if perGroup[g] != 2 {
+			t.Errorf("group %d has %d clusters, want 2", g, perGroup[g])
+		}
+	}
+	if len(res.Rules) == 0 {
+		t.Fatal("no rules")
+	}
+	minCount := int64(0.25 * float64(rel.Len()))
+	for _, r := range res.Rules {
+		if r.Support < minCount {
+			t.Errorf("rule support %d below the MinRuleSupport floor %d", r.Support, minCount)
+		}
+	}
+
+	// The headline association must be present: the Premium segment
+	// implies the high spend cluster.
+	premium, _ := dict.Lookup("Premium")
+	var premiumCluster, spendHigh *dar.Cluster
+	for _, c := range res.Clusters {
+		if c.Group == 0 && c.Centroid()[0] == premium {
+			premiumCluster = c
+		}
+		if c.Group == 2 && c.Centroid()[0] > 500 {
+			spendHigh = c
+		}
+	}
+	if premiumCluster == nil || spendHigh == nil {
+		t.Fatal("expected clusters missing")
+	}
+	found := false
+	for _, r := range res.Rules {
+		if reflect.DeepEqual(r.Antecedent, []int{premiumCluster.ID}) &&
+			reflect.DeepEqual(r.Consequent, []int{spendHigh.ID}) {
+			found = true
+			if r.Support < 1800 {
+				t.Errorf("Premium ⇒ high-spend support = %d", r.Support)
+			}
+		}
+	}
+	if !found {
+		t.Error("Premium ⇒ high-spend rule missing")
+	}
+
+	// IO accounting: parallel Phase I trades the single clustering scan
+	// for one scan per attribute group (4 here), documented in
+	// Options.Workers; the two descriptive rescans are unchanged.
+	if disk.Scans() != 4+2 {
+		t.Errorf("pipeline performed %d scans, want 6 (4 parallel + 2 descriptive)", disk.Scans())
+	}
+
+	// JSON export of the full result round-trips.
+	var n int
+	for _, c := range res.Clusters {
+		if c.BoxExact {
+			n++
+		}
+	}
+	if n != len(res.Clusters) {
+		t.Errorf("only %d of %d boxes exact after post-scan", n, len(res.Clusters))
+	}
+}

@@ -1,0 +1,249 @@
+// Package apriori implements the classical frequent-itemset and
+// association-rule machinery of Agrawal & Srikant [AS94] that the paper
+// uses as Phase II of its generalized quantitative association rules
+// (Section 4.3.2) and as the baseline definition its distance-based rules
+// are compared against: level-wise candidate generation with the join and
+// prune steps, support counting over transactions, and confidence-based
+// rule generation.
+package apriori
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Itemset is a set of item identifiers, kept sorted and duplicate-free.
+type Itemset []int
+
+// key encodes an itemset for map lookup.
+func (s Itemset) key() string {
+	buf := make([]byte, 0, len(s)*3)
+	for _, it := range s {
+		buf = binary.AppendUvarint(buf, uint64(it))
+	}
+	return string(buf)
+}
+
+// contains reports whether the sorted transaction txn contains every item
+// of the sorted itemset s (merge walk).
+func (s Itemset) contains(txn []int) bool {
+	j := 0
+	for _, want := range s {
+		for j < len(txn) && txn[j] < want {
+			j++
+		}
+		if j == len(txn) || txn[j] != want {
+			return false
+		}
+		j++
+	}
+	return true
+}
+
+// FrequentItemset is an itemset together with its support count.
+type FrequentItemset struct {
+	Items Itemset
+	Count int
+}
+
+// Options controls mining.
+type Options struct {
+	// MinSupport is the absolute minimum support count s0. Itemsets
+	// occurring in fewer transactions are pruned. Must be >= 1.
+	MinSupport int
+	// MaxLen bounds the size of itemsets considered; 0 means unlimited.
+	MaxLen int
+}
+
+// FrequentItemsets runs the level-wise Apriori algorithm over the
+// transactions. Each transaction must be sorted ascending without
+// duplicates (normalize with NormalizeTransaction if unsure). The result
+// contains all itemsets with support >= MinSupport, smallest first, in
+// deterministic order.
+func FrequentItemsets(txns [][]int, opt Options) ([]FrequentItemset, error) {
+	if opt.MinSupport < 1 {
+		return nil, fmt.Errorf("apriori: MinSupport must be >= 1, got %d", opt.MinSupport)
+	}
+	// Scan 1: count 1-itemsets.
+	counts := make(map[int]int)
+	for _, txn := range txns {
+		for _, it := range txn {
+			counts[it]++
+		}
+	}
+	var level []FrequentItemset
+	for it, c := range counts {
+		if c >= opt.MinSupport {
+			level = append(level, FrequentItemset{Items: Itemset{it}, Count: c})
+		}
+	}
+	sortLevel(level)
+	all := append([]FrequentItemset(nil), level...)
+
+	for k := 2; len(level) > 0 && (opt.MaxLen == 0 || k <= opt.MaxLen); k++ {
+		var cands []Itemset
+		var cnt []int
+		if k == 2 && len(level) <= maxPairMatrixItems {
+			// Every pair of frequent items is a 2-candidate (both
+			// subsets are frequent by construction), so count them in a
+			// triangular array instead of the hash tree — the special
+			// case [AS94] singles out for the second pass.
+			cands, cnt = countPairs(txns, level)
+		} else {
+			cands = generateCandidates(level)
+			if len(cands) == 0 {
+				break
+			}
+			// Scan k: count candidate occurrences (hash tree of [AS94]
+			// for large candidate sets, direct scan otherwise).
+			cnt = countCandidates(txns, cands, k)
+		}
+		if len(cands) == 0 {
+			break
+		}
+		// Prune k.
+		level = level[:0]
+		for i, c := range cands {
+			if cnt[i] >= opt.MinSupport {
+				level = append(level, FrequentItemset{Items: c, Count: cnt[i]})
+			}
+		}
+		sortLevel(level)
+		all = append(all, level...)
+	}
+	return all, nil
+}
+
+// maxPairMatrixItems bounds the triangular pair-count array (8192 items
+// → ≈33.5M counters ≈ 268MB worst case is too much; 4096 → ≈67MB).
+const maxPairMatrixItems = 4096
+
+// countPairs counts every pair of frequent 1-items over the transactions
+// using a triangular array, returning the pair itemsets and their counts
+// in the same positional correspondence countCandidates uses.
+func countPairs(txns [][]int, level []FrequentItemset) ([]Itemset, []int) {
+	m := len(level)
+	idx := make(map[int]int, m)
+	items := make([]int, m)
+	for i, f := range level {
+		idx[f.Items[0]] = i
+		items[i] = f.Items[0]
+	}
+	// tri(i, j) with i < j flattens to i*m - i(i+1)/2 + (j - i - 1).
+	counts := make([]int, m*(m-1)/2)
+	mapped := make([]int, 0, 64)
+	for _, txn := range txns {
+		mapped = mapped[:0]
+		for _, it := range txn {
+			if i, ok := idx[it]; ok {
+				mapped = append(mapped, i)
+			}
+		}
+		// Transaction items are sorted and the level is sorted, so the
+		// mapped indices are strictly increasing.
+		for x := 0; x < len(mapped); x++ {
+			i := mapped[x]
+			base := i*m - i*(i+1)/2 - i - 1
+			for y := x + 1; y < len(mapped); y++ {
+				counts[base+mapped[y]]++
+			}
+		}
+	}
+	cands := make([]Itemset, 0, len(counts))
+	cnt := make([]int, 0, len(counts))
+	for i := 0; i < m; i++ {
+		base := i*m - i*(i+1)/2 - i - 1
+		for j := i + 1; j < m; j++ {
+			if c := counts[base+j]; c > 0 {
+				cands = append(cands, Itemset{items[i], items[j]})
+				cnt = append(cnt, c)
+			}
+		}
+	}
+	return cands, cnt
+}
+
+// generateCandidates performs the AS94 join and prune steps: join pairs of
+// frequent (k−1)-itemsets sharing their first k−2 items, then discard any
+// candidate with an infrequent (k−1)-subset.
+func generateCandidates(level []FrequentItemset) []Itemset {
+	freq := make(map[string]bool, len(level))
+	for _, f := range level {
+		freq[f.Items.key()] = true
+	}
+	var out []Itemset
+	for i := 0; i < len(level); i++ {
+		a := level[i].Items
+		for j := i + 1; j < len(level); j++ {
+			b := level[j].Items
+			if !samePrefix(a, b) {
+				// Levels are sorted, so once prefixes diverge no later j
+				// can match.
+				break
+			}
+			cand := make(Itemset, len(a)+1)
+			copy(cand, a)
+			last := b[len(b)-1]
+			cand[len(a)] = last
+			if a[len(a)-1] > last {
+				cand[len(a)-1], cand[len(a)] = last, a[len(a)-1]
+			}
+			if hasAllSubsetsFrequent(cand, freq) {
+				out = append(out, cand)
+			}
+		}
+	}
+	return out
+}
+
+func samePrefix(a, b Itemset) bool {
+	for i := 0; i < len(a)-1; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// hasAllSubsetsFrequent checks the prune condition: every (k−1)-subset of
+// cand must be frequent.
+func hasAllSubsetsFrequent(cand Itemset, freq map[string]bool) bool {
+	sub := make(Itemset, len(cand)-1)
+	for drop := range cand {
+		copy(sub, cand[:drop])
+		copy(sub[drop:], cand[drop+1:])
+		if !freq[sub.key()] {
+			return false
+		}
+	}
+	return true
+}
+
+func sortLevel(level []FrequentItemset) {
+	sort.Slice(level, func(i, j int) bool {
+		return lessItemsets(level[i].Items, level[j].Items)
+	})
+}
+
+func lessItemsets(a, b Itemset) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// NormalizeTransaction sorts and deduplicates a transaction in place,
+// returning the normalized slice.
+func NormalizeTransaction(txn []int) []int {
+	sort.Ints(txn)
+	out := txn[:0]
+	for i, v := range txn {
+		if i == 0 || v != txn[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

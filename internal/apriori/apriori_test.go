@@ -1,0 +1,272 @@
+package apriori
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// The AS94 worked dataset.
+func as94Txns() [][]int {
+	return [][]int{
+		{1, 3, 4},
+		{2, 3, 5},
+		{1, 2, 3, 5},
+		{2, 5},
+	}
+}
+
+func findCount(freq []FrequentItemset, items ...int) (int, bool) {
+	for _, f := range freq {
+		if reflect.DeepEqual([]int(f.Items), items) {
+			return f.Count, true
+		}
+	}
+	return 0, false
+}
+
+func TestFrequentItemsetsAS94(t *testing.T) {
+	freq, err := FrequentItemsets(as94Txns(), Options{MinSupport: 2})
+	if err != nil {
+		t.Fatalf("FrequentItemsets: %v", err)
+	}
+	want := map[string]int{
+		"1": 2, "2": 3, "3": 3, "5": 3,
+		"1 3": 2, "2 3": 2, "2 5": 3, "3 5": 2,
+		"2 3 5": 2,
+	}
+	if len(freq) != len(want) {
+		t.Errorf("got %d itemsets, want %d: %v", len(freq), len(want), freq)
+	}
+	check := func(count int, items ...int) {
+		got, ok := findCount(freq, items...)
+		if !ok || got != count {
+			t.Errorf("itemset %v count = %d,%v; want %d", items, got, ok, count)
+		}
+	}
+	check(2, 1)
+	check(3, 2)
+	check(3, 3)
+	check(3, 5)
+	check(2, 1, 3)
+	check(2, 2, 3)
+	check(3, 2, 5)
+	check(2, 3, 5)
+	check(2, 2, 3, 5)
+	if _, ok := findCount(freq, 4); ok {
+		t.Error("item 4 (support 1) should be pruned")
+	}
+	if _, ok := findCount(freq, 1, 2); ok {
+		t.Error("itemset {1,2} (support 1) should be pruned")
+	}
+}
+
+func TestFrequentItemsetsMaxLen(t *testing.T) {
+	freq, err := FrequentItemsets(as94Txns(), Options{MinSupport: 2, MaxLen: 1})
+	if err != nil {
+		t.Fatalf("FrequentItemsets: %v", err)
+	}
+	for _, f := range freq {
+		if len(f.Items) > 1 {
+			t.Errorf("MaxLen=1 produced %v", f.Items)
+		}
+	}
+}
+
+func TestFrequentItemsetsBadSupport(t *testing.T) {
+	if _, err := FrequentItemsets(nil, Options{MinSupport: 0}); err == nil {
+		t.Error("MinSupport 0 accepted")
+	}
+}
+
+func TestFrequentItemsetsEmpty(t *testing.T) {
+	freq, err := FrequentItemsets(nil, Options{MinSupport: 1})
+	if err != nil || len(freq) != 0 {
+		t.Errorf("empty mine = %v, %v", freq, err)
+	}
+}
+
+func TestNormalizeTransaction(t *testing.T) {
+	got := NormalizeTransaction([]int{3, 1, 3, 2, 1})
+	if !reflect.DeepEqual(got, []int{1, 2, 3}) {
+		t.Errorf("NormalizeTransaction = %v", got)
+	}
+}
+
+// bruteForceFrequent enumerates all itemsets over the item universe and
+// counts them directly — the oracle for the property test.
+func bruteForceFrequent(txns [][]int, minSup int) map[string]int {
+	universe := map[int]bool{}
+	for _, txn := range txns {
+		for _, it := range txn {
+			universe[it] = true
+		}
+	}
+	items := make([]int, 0, len(universe))
+	for it := range universe {
+		items = append(items, it)
+	}
+	sort.Ints(items)
+	out := map[string]int{}
+	for mask := 1; mask < 1<<len(items); mask++ {
+		var set Itemset
+		for i, it := range items {
+			if mask&(1<<i) != 0 {
+				set = append(set, it)
+			}
+		}
+		count := 0
+		for _, txn := range txns {
+			if set.contains(txn) {
+				count++
+			}
+		}
+		if count >= minSup {
+			out[set.key()] = count
+		}
+	}
+	return out
+}
+
+func TestFrequentItemsetsMatchesBruteForceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nItems := rng.Intn(6) + 2
+		nTxns := rng.Intn(20) + 1
+		txns := make([][]int, nTxns)
+		for i := range txns {
+			var txn []int
+			for it := 0; it < nItems; it++ {
+				if rng.Float64() < 0.4 {
+					txn = append(txn, it)
+				}
+			}
+			txns[i] = txn
+		}
+		minSup := rng.Intn(3) + 1
+		freq, err := FrequentItemsets(txns, Options{MinSupport: minSup})
+		if err != nil {
+			return false
+		}
+		want := bruteForceFrequent(txns, minSup)
+		if len(freq) != len(want) {
+			return false
+		}
+		for _, f := range freq {
+			if want[f.Items.key()] != f.Count {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGenerateRules(t *testing.T) {
+	freq, err := FrequentItemsets(as94Txns(), Options{MinSupport: 2})
+	if err != nil {
+		t.Fatalf("FrequentItemsets: %v", err)
+	}
+	rules, err := GenerateRules(freq, 0.9, 4)
+	if err != nil {
+		t.Fatalf("GenerateRules: %v", err)
+	}
+	// Confidence-1 rules from {2,3,5} and pairs: 3∧5⇒2 (2/2), 2∧3⇒5 (2/2),
+	// 2⇒5 (3/3), 5⇒2 (3/3), 1⇒3 (2/2), 3∧... check a known one.
+	found := false
+	for _, r := range rules {
+		if r.Confidence < 0.9 {
+			t.Errorf("rule %v below min confidence", r)
+		}
+		if reflect.DeepEqual([]int(r.Antecedent), []int{2}) && reflect.DeepEqual([]int(r.Consequent), []int{5}) {
+			found = true
+			if r.Confidence != 1 || r.Support != 0.75 || r.Count != 3 {
+				t.Errorf("2⇒5 = %+v", r)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("rule 2⇒5 missing from %v", rules)
+	}
+}
+
+func TestGenerateRulesSorted(t *testing.T) {
+	rules, err := Mine(as94Txns(), Options{MinSupport: 2}, 0.5)
+	if err != nil {
+		t.Fatalf("Mine: %v", err)
+	}
+	for i := 1; i < len(rules); i++ {
+		if rules[i].Confidence > rules[i-1].Confidence {
+			t.Errorf("rules not sorted by confidence at %d", i)
+		}
+	}
+}
+
+func TestGenerateRulesErrors(t *testing.T) {
+	if _, err := GenerateRules(nil, 0.5, 0); err == nil {
+		t.Error("totalTxns 0 accepted")
+	}
+	// A non-downward-closed collection must be rejected.
+	bad := []FrequentItemset{{Items: Itemset{1, 2}, Count: 2}}
+	if _, err := GenerateRules(bad, 0, 4); err == nil {
+		t.Error("non-downward-closed collection accepted")
+	}
+}
+
+// Confidence and support of every generated rule must match direct
+// recounting over the transactions.
+func TestRuleMeasuresMatchDirectCountProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		txns := make([][]int, rng.Intn(15)+2)
+		for i := range txns {
+			var txn []int
+			for it := 0; it < 5; it++ {
+				if rng.Float64() < 0.5 {
+					txn = append(txn, it)
+				}
+			}
+			txns[i] = txn
+		}
+		rules, err := Mine(txns, Options{MinSupport: 1}, 0.3)
+		if err != nil {
+			return false
+		}
+		for _, r := range rules {
+			all := NormalizeTransaction(append(append([]int{}, r.Antecedent...), r.Consequent...))
+			both, ante := 0, 0
+			for _, txn := range txns {
+				if Itemset(all).contains(txn) {
+					both++
+				}
+				if r.Antecedent.contains(txn) {
+					ante++
+				}
+			}
+			if r.Count != both {
+				return false
+			}
+			if r.Support != float64(both)/float64(len(txns)) {
+				return false
+			}
+			if r.Confidence != float64(both)/float64(ante) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRuleString(t *testing.T) {
+	r := Rule{Antecedent: Itemset{1}, Consequent: Itemset{2}, Support: 0.5, Confidence: 0.6}
+	if got := r.String(); got != "[1] => [2] (sup=0.50, conf=0.60)" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,168 @@
+package apriori
+
+// The hash-tree candidate index of [AS94] §2.1.2: interior nodes hash on
+// successive items, leaves hold small candidate lists. Counting a
+// transaction walks the tree once per starting position instead of
+// testing every candidate against every transaction, which is what makes
+// the candidate-counting scans tractable when the candidate set is large.
+// FrequentItemsets switches to it automatically past a size threshold;
+// the brute-force path remains for small candidate sets (and as the
+// differential-testing oracle).
+
+const (
+	// hashTreeFanout is the number of hash buckets per interior node.
+	// It must be large relative to typical per-level candidate spread:
+	// leaves at depth k cannot split further, so with F buckets a
+	// candidate set of C k-itemsets leaves ≈ C/F^k candidates per
+	// deepest leaf — at F=16 and C=36K 2-itemsets that is ~140 contains
+	// checks per leaf visit, which dominated the counting scans.
+	hashTreeFanout = 128
+	// hashTreeLeafCap is the split threshold for leaves.
+	hashTreeLeafCap = 8
+	// hashTreeMinCandidates gates use of the tree: below this many
+	// candidates the simple scan is faster.
+	hashTreeMinCandidates = 32
+)
+
+// hashTree indexes equal-length candidate itemsets.
+type hashTree struct {
+	k    int // candidate length
+	root *htNode
+}
+
+type htNode struct {
+	// children is nil for leaves.
+	children []*htNode
+	// cands holds candidate indices (into the builder's slice) at leaves.
+	cands []int
+	depth int
+}
+
+// newHashTree builds the index over candidates of length k.
+func newHashTree(cands []Itemset, k int) *hashTree {
+	t := &hashTree{k: k, root: &htNode{}}
+	for i := range cands {
+		t.insert(t.root, cands, i)
+	}
+	return t
+}
+
+func htHash(item int) int {
+	// Multiplicative hash; items are small dense ints, so spread them.
+	return (item * 2654435761) >> 7 & (hashTreeFanout - 1)
+}
+
+func (t *hashTree) insert(nd *htNode, cands []Itemset, ci int) {
+	for {
+		if nd.children == nil {
+			nd.cands = append(nd.cands, ci)
+			// Split when overfull and there are items left to hash on.
+			if len(nd.cands) > hashTreeLeafCap && nd.depth < t.k {
+				nd.children = make([]*htNode, hashTreeFanout)
+				old := nd.cands
+				nd.cands = nil
+				for _, o := range old {
+					t.insert(nd, cands, o)
+				}
+			}
+			return
+		}
+		h := htHash(cands[ci][nd.depth])
+		if nd.children[h] == nil {
+			nd.children[h] = &htNode{depth: nd.depth + 1}
+		}
+		nd = nd.children[h]
+	}
+}
+
+// count adds the transaction's matches into counts. txn must be sorted;
+// txnID identifies the transaction so that candidates reachable through
+// several tree paths (hash collisions at different start positions) are
+// counted once — seen[ci] records the last transaction that counted ci.
+// chosen is a reusable buffer of length >= k for the path's positions.
+func (t *hashTree) count(txn []int, txnID int, cands []Itemset, counts []int, seen []int, chosen []int) {
+	if len(txn) < t.k {
+		return
+	}
+	t.visit(t.root, txn, txnID, 0, cands, counts, seen, chosen)
+}
+
+// visit descends: at an interior node of depth d, every remaining
+// transaction item could be the candidate's d-th item, so recurse into
+// each corresponding bucket, recording the chosen position. At a leaf,
+// a candidate matches iff its first depth items equal the transaction
+// items at the chosen positions (rejecting hash collisions in O(depth))
+// and its remaining items appear in the transaction suffix.
+func (t *hashTree) visit(nd *htNode, txn []int, txnID, from int, cands []Itemset, counts []int, seen []int, chosen []int) {
+	if nd.children == nil {
+	leafLoop:
+		for _, ci := range nd.cands {
+			if seen[ci] == txnID {
+				continue
+			}
+			c := cands[ci]
+			for d := 0; d < nd.depth; d++ {
+				if c[d] != txn[chosen[d]] {
+					continue leafLoop
+				}
+			}
+			if containsFrom(c[nd.depth:], txn, from) {
+				seen[ci] = txnID
+				counts[ci]++
+			}
+		}
+		return
+	}
+	// Items needed after this depth: t.k - nd.depth; stop early when the
+	// suffix is too short.
+	for i := from; i <= len(txn)-(t.k-nd.depth); i++ {
+		if child := nd.children[htHash(txn[i])]; child != nil {
+			chosen[nd.depth] = i
+			t.visit(child, txn, txnID, i+1, cands, counts, seen, chosen)
+		}
+	}
+}
+
+// containsFrom reports whether the sorted items all appear in txn[from:].
+func containsFrom(items Itemset, txn []int, from int) bool {
+	j := from
+	for _, want := range items {
+		for j < len(txn) && txn[j] < want {
+			j++
+		}
+		if j == len(txn) || txn[j] != want {
+			return false
+		}
+		j++
+	}
+	return true
+}
+
+// countCandidates tallies candidate occurrences over the transactions,
+// choosing between the hash tree and the direct scan.
+func countCandidates(txns [][]int, cands []Itemset, k int) []int {
+	counts := make([]int, len(cands))
+	if len(cands) >= hashTreeMinCandidates {
+		tree := newHashTree(cands, k)
+		seen := make([]int, len(cands))
+		for i := range seen {
+			seen[i] = -1
+		}
+		chosen := make([]int, k)
+		for ti, txn := range txns {
+			tree.count(txn, ti, cands, counts, seen, chosen)
+		}
+		return counts
+	}
+	for _, txn := range txns {
+		if len(txn) < k {
+			continue
+		}
+		for i, c := range cands {
+			if c.contains(txn) {
+				counts[i]++
+			}
+		}
+	}
+	return counts
+}

@@ -1,0 +1,132 @@
+package apriori
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomCandidates builds up to n distinct sorted k-itemsets over a
+// universe (fewer when the universe cannot supply n distinct sets).
+func randomCandidates(rng *rand.Rand, n, k, universe int) []Itemset {
+	seen := map[string]bool{}
+	var out []Itemset
+	for attempts := 0; len(out) < n && attempts < 50*n; attempts++ {
+		m := map[int]bool{}
+		for len(m) < k {
+			m[rng.Intn(universe)] = true
+		}
+		c := make(Itemset, 0, k)
+		for it := range m {
+			c = append(c, it)
+		}
+		c = Itemset(NormalizeTransaction([]int(c)))
+		if seen[c.key()] {
+			continue
+		}
+		seen[c.key()] = true
+		out = append(out, c)
+	}
+	return out
+}
+
+// The hash tree must agree exactly with the direct scan, including with
+// candidate sets large enough to force deep splits and collisions.
+func TestHashTreeMatchesDirectCountProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := rng.Intn(3) + 2
+		universe := rng.Intn(30) + 2*k + 8
+		cands := randomCandidates(rng, rng.Intn(150)+40, k, universe)
+		txns := make([][]int, rng.Intn(100)+1)
+		for i := range txns {
+			var txn []int
+			for it := 0; it < universe; it++ {
+				if rng.Float64() < 0.35 {
+					txn = append(txn, it)
+				}
+			}
+			txns[i] = txn
+		}
+
+		// Direct oracle.
+		want := make([]int, len(cands))
+		for _, txn := range txns {
+			for i, c := range cands {
+				if c.contains(txn) {
+					want[i]++
+				}
+			}
+		}
+		// Tree under test.
+		tree := newHashTree(cands, k)
+		got := make([]int, len(cands))
+		seen := make([]int, len(cands))
+		for i := range seen {
+			seen[i] = -1
+		}
+		chosen := make([]int, k)
+		for ti, txn := range txns {
+			tree.count(txn, ti, cands, got, seen, chosen)
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashTreeShortTransactions(t *testing.T) {
+	cands := randomCandidates(rand.New(rand.NewSource(1)), 40, 3, 20)
+	tree := newHashTree(cands, 3)
+	counts := make([]int, len(cands))
+	seen := make([]int, len(cands))
+	for i := range seen {
+		seen[i] = -1
+	}
+	tree.count([]int{1, 2}, 0, cands, counts, seen, make([]int, 3)) // shorter than k
+	for i, c := range counts {
+		if c != 0 {
+			t.Fatalf("candidate %d counted on short transaction", i)
+		}
+	}
+}
+
+// countCandidates must behave identically on both sides of the size gate.
+func TestCountCandidatesGateEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	k := 2
+	big := randomCandidates(rng, hashTreeMinCandidates+10, k, 25)
+	small := big[:hashTreeMinCandidates-5]
+	txns := make([][]int, 200)
+	for i := range txns {
+		var txn []int
+		for it := 0; it < 25; it++ {
+			if rng.Float64() < 0.4 {
+				txn = append(txn, it)
+			}
+		}
+		txns[i] = txn
+	}
+	for _, cands := range [][]Itemset{big, small} {
+		got := countCandidates(txns, cands, k)
+		want := make([]int, len(cands))
+		for _, txn := range txns {
+			for i, c := range cands {
+				if c.contains(txn) {
+					want[i]++
+				}
+			}
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("count[%d] = %d, want %d (|C|=%d)", i, got[i], want[i], len(cands))
+			}
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package apriori
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Rule is a classical association rule X ⇒ Y with the interest measures of
+// [AIS93]: Support = |X ∧ Y| / |r| and Confidence = |X ∧ Y| / |X|.
+type Rule struct {
+	Antecedent Itemset
+	Consequent Itemset
+	// Count is the absolute support count of X ∪ Y.
+	Count int
+	// Support is the fractional support |X ∧ Y| / |r|.
+	Support float64
+	// Confidence is |X ∧ Y| / |X|.
+	Confidence float64
+}
+
+// String renders the rule as "{1 2} => {3} (sup=0.50, conf=0.60)".
+func (r Rule) String() string {
+	return fmt.Sprintf("%v => %v (sup=%.2f, conf=%.2f)", []int(r.Antecedent), []int(r.Consequent), r.Support, r.Confidence)
+}
+
+// GenerateRules derives all association rules with confidence >=
+// minConfidence from a frequent-itemset collection, splitting every
+// frequent itemset of size >= 2 into non-empty antecedent/consequent
+// parts. totalTxns is |r|, used for the fractional support. The frequent
+// collection must be downward-closed (as produced by FrequentItemsets);
+// an antecedent absent from it indicates a corrupted input.
+func GenerateRules(freq []FrequentItemset, minConfidence float64, totalTxns int) ([]Rule, error) {
+	if totalTxns <= 0 {
+		return nil, fmt.Errorf("apriori: totalTxns must be positive, got %d", totalTxns)
+	}
+	counts := make(map[string]int, len(freq))
+	for _, f := range freq {
+		counts[f.Items.key()] = f.Count
+	}
+	var rules []Rule
+	for _, f := range freq {
+		k := len(f.Items)
+		if k < 2 {
+			continue
+		}
+		// Enumerate antecedents as proper non-empty subsets via bitmask.
+		for mask := 1; mask < (1<<k)-1; mask++ {
+			ante := make(Itemset, 0, k)
+			cons := make(Itemset, 0, k)
+			for i, it := range f.Items {
+				if mask&(1<<i) != 0 {
+					ante = append(ante, it)
+				} else {
+					cons = append(cons, it)
+				}
+			}
+			anteCount, ok := counts[ante.key()]
+			if !ok {
+				return nil, fmt.Errorf("apriori: frequent collection is not downward-closed: missing %v", []int(ante))
+			}
+			conf := float64(f.Count) / float64(anteCount)
+			if conf >= minConfidence {
+				rules = append(rules, Rule{
+					Antecedent: ante,
+					Consequent: cons,
+					Count:      f.Count,
+					Support:    float64(f.Count) / float64(totalTxns),
+					Confidence: conf,
+				})
+			}
+		}
+	}
+	sort.Slice(rules, func(i, j int) bool {
+		if rules[i].Confidence != rules[j].Confidence {
+			return rules[i].Confidence > rules[j].Confidence
+		}
+		if rules[i].Support != rules[j].Support {
+			return rules[i].Support > rules[j].Support
+		}
+		if !itemsetsEqual(rules[i].Antecedent, rules[j].Antecedent) {
+			return lessItemsets(rules[i].Antecedent, rules[j].Antecedent)
+		}
+		return lessItemsets(rules[i].Consequent, rules[j].Consequent)
+	})
+	return rules, nil
+}
+
+func itemsetsEqual(a, b Itemset) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Mine is the end-to-end convenience: frequent itemsets then rules.
+func Mine(txns [][]int, opt Options, minConfidence float64) ([]Rule, error) {
+	freq, err := FrequentItemsets(txns, opt)
+	if err != nil {
+		return nil, err
+	}
+	return GenerateRules(freq, minConfidence, len(txns))
+}

@@ -1,0 +1,138 @@
+package cf
+
+import (
+	"fmt"
+
+	"repro/internal/distance"
+)
+
+// ACF is an association clustering feature (Section 6.1): the summary of a
+// cluster formed over one attribute group ("own"), extended with the linear
+// and square sums of the *same tuples* projected onto every attribute group
+// of the partitioning (Eq. 7). Projections are stored for the owning group
+// too, so image summaries C[Y] are available uniformly for all Y, including
+// Y = X — Dfn 6.1 and Dfn 5.3 need both.
+//
+// ACFs obey the Additivity Theorem componentwise (the extension claimed in
+// Section 6.1): merging two disjoint clusters' ACFs yields the ACF of the
+// union.
+type ACF struct {
+	// N is the number of tuples summarized.
+	N int64
+	// Own is the index of the attribute group the cluster is formed over.
+	Own int
+	// LS[g] is the per-dimension linear sum of tuples projected on group g.
+	LS [][]float64
+	// SS[g] is the scalar square sum Σ‖t[g]‖² of tuples projected on g.
+	SS []float64
+}
+
+// Shape describes the dimensionality of each attribute group of a
+// partitioning; Shape[g] is the number of attributes in group g.
+type Shape []int
+
+// NewACF returns an empty ACF for a cluster over group own, with
+// projection slots for every group in the shape.
+func NewACF(shape Shape, own int) *ACF {
+	if own < 0 || own >= len(shape) {
+		panic(fmt.Sprintf("cf: own group %d outside shape of %d groups", own, len(shape)))
+	}
+	a := &ACF{
+		Own: own,
+		LS:  make([][]float64, len(shape)),
+		SS:  make([]float64, len(shape)),
+	}
+	for g, dims := range shape {
+		a.LS[g] = make([]float64, dims)
+	}
+	return a
+}
+
+// Groups returns the number of attribute groups the ACF projects onto.
+func (a *ACF) Groups() int { return len(a.LS) }
+
+// AddTuple folds one tuple into the ACF. proj[g] must hold the tuple's
+// projection onto group g for every group.
+func (a *ACF) AddTuple(proj [][]float64) {
+	if len(proj) != len(a.LS) {
+		panic(fmt.Sprintf("cf: tuple has %d group projections, ACF has %d", len(proj), len(a.LS)))
+	}
+	a.N++
+	for g, p := range proj {
+		ls := a.LS[g]
+		if len(p) != len(ls) {
+			panic(fmt.Sprintf("cf: group %d projection dims %d != %d", g, len(p), len(ls)))
+		}
+		for i, v := range p {
+			ls[i] += v
+			a.SS[g] += v * v
+		}
+	}
+}
+
+// Merge folds another ACF into this one (ACF additivity). Both must be
+// over the same owning group and shape.
+func (a *ACF) Merge(o *ACF) {
+	if o.Own != a.Own {
+		panic(fmt.Sprintf("cf: merging ACF over group %d into group %d", o.Own, a.Own))
+	}
+	if len(o.LS) != len(a.LS) {
+		panic(fmt.Sprintf("cf: merging ACF with %d groups into %d", len(o.LS), len(a.LS)))
+	}
+	a.N += o.N
+	for g := range a.LS {
+		a.SS[g] += o.SS[g]
+		ls, ols := a.LS[g], o.LS[g]
+		for i := range ls {
+			ls[i] += ols[i]
+		}
+	}
+}
+
+// Clone returns an independent deep copy.
+func (a *ACF) Clone() *ACF {
+	c := &ACF{
+		N:   a.N,
+		Own: a.Own,
+		LS:  make([][]float64, len(a.LS)),
+		SS:  append([]float64(nil), a.SS...),
+	}
+	for g, ls := range a.LS {
+		c.LS[g] = append([]float64(nil), ls...)
+	}
+	return c
+}
+
+// Image returns the summary of the cluster's image on group g — C[Y] in
+// the paper's notation, where Y is group g. The LS slice is shared, not
+// copied; callers must treat the view as read-only.
+func (a *ACF) Image(g int) distance.Summary {
+	return distance.Summary{N: a.N, LS: a.LS[g], SS: a.SS[g]}
+}
+
+// OwnSummary returns the summary over the owning group — the C[X] the
+// cluster was formed on.
+func (a *ACF) OwnSummary() distance.Summary { return a.Image(a.Own) }
+
+// OwnCF extracts the plain CF over the owning group (used when promoting
+// leaf summaries into internal CF nodes of the tree).
+func (a *ACF) OwnCF() *CF {
+	return &CF{N: a.N, LS: append([]float64(nil), a.LS[a.Own]...), SS: a.SS[a.Own]}
+}
+
+// Centroid returns the centroid on the owning group.
+func (a *ACF) Centroid() []float64 { return a.OwnSummary().Centroid() }
+
+// Diameter returns the diameter on the owning group.
+func (a *ACF) Diameter() float64 { return a.OwnSummary().Diameter() }
+
+// Bytes estimates the heap footprint for memory accounting: headers plus
+// every projection's backing array.
+func (a *ACF) Bytes() int {
+	b := 8 /* N */ + 8 /* Own */ + 24 + 24 /* slice headers */
+	for _, ls := range a.LS {
+		b += 24 + 8*len(ls)
+	}
+	b += 8 * len(a.SS)
+	return b
+}

@@ -1,0 +1,90 @@
+// Package cf implements the cluster summaries of the paper: the clustering
+// feature CF of Eq. 3 (from BIRCH [ZRL96]) and the association clustering
+// feature ACF of Section 6.1, which extends a CF with linear and square
+// sums of the cluster's tuples projected onto every *other* attribute group
+// (Eq. 7). The CF Additivity Theorem extends to ACFs componentwise, which
+// is what lets Phase II run entirely on summaries (Theorem 6.1).
+package cf
+
+import (
+	"fmt"
+
+	"repro/internal/distance"
+)
+
+// CF is a clustering feature: the tuple count N, the per-dimension linear
+// sum LS and the scalar square sum SS = Σ‖t‖² of a set of tuples projected
+// onto one attribute group (Eq. 3). The zero CF (with an allocated LS)
+// summarizes the empty cluster.
+type CF struct {
+	N  int64
+	LS []float64
+	SS float64
+}
+
+// NewCF returns an empty CF of the given dimensionality.
+func NewCF(dims int) *CF {
+	return &CF{LS: make([]float64, dims)}
+}
+
+// Dims returns the dimensionality of the summarized vectors.
+func (c *CF) Dims() int { return len(c.LS) }
+
+// AddPoint folds one point into the summary.
+func (c *CF) AddPoint(p []float64) {
+	if len(p) != len(c.LS) {
+		panic(fmt.Sprintf("cf: point dims %d != CF dims %d", len(p), len(c.LS)))
+	}
+	c.N++
+	for i, v := range p {
+		c.LS[i] += v
+		c.SS += v * v
+	}
+}
+
+// Merge folds another CF into this one (the Additivity Theorem: the CF of
+// a union of disjoint clusters is the componentwise sum of their CFs).
+func (c *CF) Merge(o *CF) {
+	if len(o.LS) != len(c.LS) {
+		panic(fmt.Sprintf("cf: merging CF dims %d into %d", len(o.LS), len(c.LS)))
+	}
+	c.N += o.N
+	c.SS += o.SS
+	for i, v := range o.LS {
+		c.LS[i] += v
+	}
+}
+
+// Clone returns an independent deep copy.
+func (c *CF) Clone() *CF {
+	return &CF{N: c.N, LS: append([]float64(nil), c.LS...), SS: c.SS}
+}
+
+// Reset empties the summary in place, retaining the LS allocation.
+func (c *CF) Reset() {
+	c.N, c.SS = 0, 0
+	for i := range c.LS {
+		c.LS[i] = 0
+	}
+}
+
+// Summary exposes the CF as a distance.Summary. The LS slice is shared,
+// not copied; callers must treat the view as read-only.
+func (c *CF) Summary() distance.Summary {
+	return distance.Summary{N: c.N, LS: c.LS, SS: c.SS}
+}
+
+// Centroid returns LS/N (Eq. 4), or nil when empty.
+func (c *CF) Centroid() []float64 { return c.Summary().Centroid() }
+
+// Diameter returns the cluster diameter in the BIRCH closed form (see
+// distance.Summary.Diameter for the exact definition used).
+func (c *CF) Diameter() float64 { return c.Summary().Diameter() }
+
+// Bytes estimates the heap footprint of the CF for the memory accounting
+// of the adaptive algorithm (Section 3): struct header plus the LS backing
+// array.
+func (c *CF) Bytes() int {
+	const header = 8 /* N */ + 24 /* LS slice header */ + 8 /* SS */
+	return header + 8*len(c.LS)
+}

@@ -1,0 +1,289 @@
+package cf
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/distance"
+)
+
+func TestCFAddPoint(t *testing.T) {
+	c := NewCF(2)
+	if c.Dims() != 2 || c.N != 0 {
+		t.Fatalf("new CF = %+v", c)
+	}
+	c.AddPoint([]float64{1, 2})
+	c.AddPoint([]float64{3, 4})
+	if c.N != 2 {
+		t.Errorf("N = %d", c.N)
+	}
+	if !reflect.DeepEqual(c.LS, []float64{4, 6}) {
+		t.Errorf("LS = %v", c.LS)
+	}
+	if c.SS != 1+4+9+16 {
+		t.Errorf("SS = %v", c.SS)
+	}
+	if got := c.Centroid(); !reflect.DeepEqual(got, []float64{2, 3}) {
+		t.Errorf("Centroid = %v", got)
+	}
+}
+
+func TestCFAddPointPanicsOnDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on dim mismatch")
+		}
+	}()
+	NewCF(2).AddPoint([]float64{1})
+}
+
+func TestCFMergeAdditivity(t *testing.T) {
+	a, b, all := NewCF(2), NewCF(2), NewCF(2)
+	pts := [][]float64{{1, 1}, {2, 2}, {3, 3}, {10, -1}}
+	for i, p := range pts {
+		if i < 2 {
+			a.AddPoint(p)
+		} else {
+			b.AddPoint(p)
+		}
+		all.AddPoint(p)
+	}
+	a.Merge(b)
+	if a.N != all.N || a.SS != all.SS || !reflect.DeepEqual(a.LS, all.LS) {
+		t.Errorf("merged = %+v, want %+v", a, all)
+	}
+}
+
+func TestCFMergePanicsOnDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on dim mismatch")
+		}
+	}()
+	NewCF(2).Merge(NewCF(3))
+}
+
+func TestCFCloneAndReset(t *testing.T) {
+	c := NewCF(1)
+	c.AddPoint([]float64{5})
+	cl := c.Clone()
+	cl.AddPoint([]float64{7})
+	if c.N != 1 || cl.N != 2 {
+		t.Errorf("clone not independent: %d %d", c.N, cl.N)
+	}
+	c.Reset()
+	if c.N != 0 || c.SS != 0 || c.LS[0] != 0 {
+		t.Errorf("reset CF = %+v", c)
+	}
+}
+
+func TestCFDiameterViaSummary(t *testing.T) {
+	c := NewCF(1)
+	c.AddPoint([]float64{0})
+	c.AddPoint([]float64{6})
+	if got := c.Diameter(); math.Abs(got-6) > 1e-12 {
+		t.Errorf("Diameter = %v, want 6", got)
+	}
+}
+
+func TestCFBytesGrowsWithDims(t *testing.T) {
+	if NewCF(10).Bytes() <= NewCF(1).Bytes() {
+		t.Error("Bytes does not grow with dims")
+	}
+}
+
+// ---- ACF ----
+
+func sampleShape() Shape { return Shape{2, 1, 3} }
+
+func randProj(rng *rand.Rand, shape Shape) [][]float64 {
+	proj := make([][]float64, len(shape))
+	for g, d := range shape {
+		p := make([]float64, d)
+		for i := range p {
+			p[i] = (rng.Float64() - 0.5) * 10
+		}
+		proj[g] = p
+	}
+	return proj
+}
+
+func TestNewACFValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on bad own group")
+		}
+	}()
+	NewACF(sampleShape(), 3)
+}
+
+func TestACFAddTuple(t *testing.T) {
+	a := NewACF(Shape{1, 2}, 0)
+	if a.Groups() != 2 {
+		t.Fatalf("Groups = %d", a.Groups())
+	}
+	a.AddTuple([][]float64{{3}, {1, 2}})
+	a.AddTuple([][]float64{{5}, {3, 4}})
+	if a.N != 2 {
+		t.Errorf("N = %d", a.N)
+	}
+	own := a.OwnSummary()
+	if own.N != 2 || own.LS[0] != 8 || own.SS != 9+25 {
+		t.Errorf("own summary = %+v", own)
+	}
+	img := a.Image(1)
+	if !reflect.DeepEqual(img.LS, []float64{4, 6}) || img.SS != 1+4+9+16 {
+		t.Errorf("image 1 = %+v", img)
+	}
+	if got := a.Centroid(); !reflect.DeepEqual(got, []float64{4}) {
+		t.Errorf("Centroid = %v", got)
+	}
+}
+
+func TestACFAddTuplePanics(t *testing.T) {
+	a := NewACF(Shape{1, 1}, 0)
+	for _, proj := range [][][]float64{
+		{{1}},         // wrong group count
+		{{1}, {1, 2}}, // wrong dims in group 1
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("no panic for %v", proj)
+				}
+			}()
+			a.AddTuple(proj)
+		}()
+	}
+}
+
+func TestACFMergePanics(t *testing.T) {
+	shape := Shape{1, 1}
+	a := NewACF(shape, 0)
+	b := NewACF(shape, 1)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("no panic merging different own groups")
+			}
+		}()
+		a.Merge(b)
+	}()
+	c := NewACF(Shape{1}, 0)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("no panic merging different shapes")
+			}
+		}()
+		a.Merge(c)
+	}()
+}
+
+// ACF additivity (the extension of the Additivity Theorem claimed in §6.1):
+// building an ACF from all tuples equals merging ACFs of a partition of the
+// tuples, across every group projection.
+func TestACFAdditivityProperty(t *testing.T) {
+	shape := sampleShape()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(20) + 2
+		split := rng.Intn(n-1) + 1
+		a := NewACF(shape, 1)
+		b := NewACF(shape, 1)
+		all := NewACF(shape, 1)
+		for i := 0; i < n; i++ {
+			proj := randProj(rng, shape)
+			if i < split {
+				a.AddTuple(proj)
+			} else {
+				b.AddTuple(proj)
+			}
+			all.AddTuple(proj)
+		}
+		a.Merge(b)
+		if a.N != all.N {
+			return false
+		}
+		for g := range shape {
+			if math.Abs(a.SS[g]-all.SS[g]) > 1e-9 {
+				return false
+			}
+			for i := range a.LS[g] {
+				if math.Abs(a.LS[g][i]-all.LS[g][i]) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Theorem 6.1 substrate: every image summary of an ACF equals the summary
+// of the projected tuple set, so any cluster metric computed from ACFs
+// matches the metric computed from the data.
+func TestACFImageMatchesDirectSummary(t *testing.T) {
+	shape := Shape{2, 1}
+	rng := rand.New(rand.NewSource(3))
+	a := NewACF(shape, 0)
+	var g0, g1 [][]float64
+	for i := 0; i < 10; i++ {
+		proj := randProj(rng, shape)
+		a.AddTuple(proj)
+		g0 = append(g0, append([]float64(nil), proj[0]...))
+		g1 = append(g1, append([]float64(nil), proj[1]...))
+	}
+	for g, pts := range [][][]float64{g0, g1} {
+		want := distance.Summarize(pts)
+		got := a.Image(g)
+		if got.N != want.N || math.Abs(got.SS-want.SS) > 1e-9 {
+			t.Errorf("group %d: summary = %+v, want %+v", g, got, want)
+		}
+		for i := range want.LS {
+			if math.Abs(got.LS[i]-want.LS[i]) > 1e-9 {
+				t.Errorf("group %d LS[%d] = %v, want %v", g, i, got.LS[i], want.LS[i])
+			}
+		}
+	}
+}
+
+func TestACFCloneIndependent(t *testing.T) {
+	a := NewACF(Shape{1, 1}, 0)
+	a.AddTuple([][]float64{{1}, {2}})
+	c := a.Clone()
+	c.AddTuple([][]float64{{1}, {2}})
+	if a.N != 1 || c.N != 2 {
+		t.Errorf("clone not independent: %d %d", a.N, c.N)
+	}
+	if a.LS[0][0] != 1 || c.LS[0][0] != 2 {
+		t.Errorf("clone shares LS: %v %v", a.LS, c.LS)
+	}
+}
+
+func TestACFOwnCF(t *testing.T) {
+	a := NewACF(Shape{2, 1}, 0)
+	a.AddTuple([][]float64{{1, 2}, {9}})
+	cf := a.OwnCF()
+	if cf.N != 1 || !reflect.DeepEqual(cf.LS, []float64{1, 2}) || cf.SS != 5 {
+		t.Errorf("OwnCF = %+v", cf)
+	}
+	// Mutating the extracted CF must not alter the ACF.
+	cf.LS[0] = 100
+	if a.LS[0][0] != 1 {
+		t.Error("OwnCF shares storage with ACF")
+	}
+}
+
+func TestACFBytes(t *testing.T) {
+	small := NewACF(Shape{1}, 0)
+	big := NewACF(Shape{10, 10, 10}, 0)
+	if big.Bytes() <= small.Bytes() {
+		t.Error("Bytes does not grow with shape")
+	}
+}

@@ -1,0 +1,173 @@
+package cftree
+
+import (
+	"repro/internal/cf"
+)
+
+// node is one node of the ACF-tree. Internal nodes hold child pointers,
+// each summarized by a plain CF over the owning attribute group; leaf nodes
+// hold ACF entries — the candidate clusters (Section 6.1: "An ACF-tree is a
+// CF-tree with the leaf nodes modified to be ACFs. The internal nodes
+// remain CF nodes.").
+type node struct {
+	// summary is the CF over the owning group of everything below this
+	// node. It is maintained incrementally on the insertion path.
+	summary *cf.CF
+	// children is non-nil for internal nodes.
+	children []*node
+	// entries is non-nil (possibly empty) for leaf nodes.
+	entries []*cf.ACF
+	leaf    bool
+}
+
+func newLeaf(dims int) *node {
+	return &node{summary: cf.NewCF(dims), leaf: true}
+}
+
+func newInternal(dims int) *node {
+	return &node{summary: cf.NewCF(dims)}
+}
+
+// sqDistToCentroid returns the squared Euclidean distance from point p to
+// the centroid LS/N without allocating. Empty summaries are infinitely far.
+func sqDistToCentroid(p, ls []float64, n int64) float64 {
+	if n == 0 {
+		return inf
+	}
+	fn := float64(n)
+	var s float64
+	for i := range p {
+		d := p[i] - ls[i]/fn
+		s += d * d
+	}
+	return s
+}
+
+// sqDistCentroids returns the squared Euclidean distance between the
+// centroids of two summaries without allocating.
+func sqDistCentroids(ls1 []float64, n1 int64, ls2 []float64, n2 int64) float64 {
+	if n1 == 0 || n2 == 0 {
+		return inf
+	}
+	f1, f2 := float64(n1), float64(n2)
+	var s float64
+	for i := range ls1 {
+		d := ls1[i]/f1 - ls2[i]/f2
+		s += d * d
+	}
+	return s
+}
+
+// closestChild returns the index of the child whose centroid is nearest to
+// the own-group point p (the closest-CF descent of Section 4.3.1).
+func (nd *node) closestChild(p []float64) int {
+	best, bestD := -1, inf
+	for i, c := range nd.children {
+		d := sqDistToCentroid(p, c.summary.LS, c.summary.N)
+		if d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+// closestEntry returns the index of the leaf entry whose own-group centroid
+// is nearest to p, or -1 if the leaf is empty.
+func (nd *node) closestEntry(p []float64) int {
+	best, bestD := -1, inf
+	for i, e := range nd.entries {
+		d := sqDistToCentroid(p, e.LS[e.Own], e.N)
+		if d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+// farthestEntryPair returns the indices of the two leaf entries whose
+// own-group centroids are farthest apart — the split seeds. The leaf must
+// hold at least two entries.
+func (nd *node) farthestEntryPair() (int, int) {
+	bi, bj, bd := 0, 1, -1.0
+	for i := 0; i < len(nd.entries); i++ {
+		ei := nd.entries[i]
+		for j := i + 1; j < len(nd.entries); j++ {
+			ej := nd.entries[j]
+			d := sqDistCentroids(ei.LS[ei.Own], ei.N, ej.LS[ej.Own], ej.N)
+			if d > bd {
+				bi, bj, bd = i, j, d
+			}
+		}
+	}
+	return bi, bj
+}
+
+// farthestChildPair is farthestEntryPair for internal nodes.
+func (nd *node) farthestChildPair() (int, int) {
+	bi, bj, bd := 0, 1, -1.0
+	for i := 0; i < len(nd.children); i++ {
+		ci := nd.children[i].summary
+		for j := i + 1; j < len(nd.children); j++ {
+			cj := nd.children[j].summary
+			d := sqDistCentroids(ci.LS, ci.N, cj.LS, cj.N)
+			if d > bd {
+				bi, bj, bd = i, j, d
+			}
+		}
+	}
+	return bi, bj
+}
+
+// recomputeSummary rebuilds the node's CF from its children or entries
+// (used after splits, where incremental maintenance would double-count).
+func (nd *node) recomputeSummary() {
+	nd.summary.Reset()
+	if nd.leaf {
+		for _, e := range nd.entries {
+			nd.summary.N += e.N
+			nd.summary.SS += e.SS[e.Own]
+			ls := e.LS[e.Own]
+			for i := range ls {
+				nd.summary.LS[i] += ls[i]
+			}
+		}
+		return
+	}
+	for _, c := range nd.children {
+		nd.summary.Merge(c.summary)
+	}
+}
+
+// collectLeaves appends every leaf entry below the node to dst.
+func (nd *node) collectLeaves(dst []*cf.ACF) []*cf.ACF {
+	if nd.leaf {
+		return append(dst, nd.entries...)
+	}
+	for _, c := range nd.children {
+		dst = c.collectLeaves(dst)
+	}
+	return dst
+}
+
+// countNodes returns the number of nodes (internal + leaf) in the subtree.
+func (nd *node) countNodes() int {
+	n := 1
+	for _, c := range nd.children {
+		n += c.countNodes()
+	}
+	return n
+}
+
+// depth returns the height of the subtree (1 for a bare leaf).
+func (nd *node) depth() int {
+	if nd.leaf {
+		return 1
+	}
+	best := 0
+	for _, c := range nd.children {
+		if d := c.depth(); d > best {
+			best = d
+		}
+	}
+	return best + 1
+}

@@ -1,0 +1,180 @@
+package cftree
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cf"
+)
+
+func sampleACF(own int, vals ...float64) *cf.ACF {
+	a := cf.NewACF(cf.Shape{1, 1}, own)
+	for _, v := range vals {
+		a.AddTuple([][]float64{{v}, {v * 2}})
+	}
+	return a
+}
+
+func testStore(t *testing.T, s OutlierStore) {
+	t.Helper()
+	if s.Len() != 0 {
+		t.Fatalf("new store Len = %d", s.Len())
+	}
+	a := sampleACF(0, 1, 2, 3)
+	b := sampleACF(0, 10)
+	if err := s.Put(a); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if err := s.Put(b); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if s.Len() != 2 {
+		t.Errorf("Len = %d, want 2", s.Len())
+	}
+	got, err := s.Drain()
+	if err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("Drain returned %d, want 2", len(got))
+	}
+	if got[0].N != 3 || got[1].N != 1 {
+		t.Errorf("drained N = %d, %d", got[0].N, got[1].N)
+	}
+	if got[0].LS[0][0] != 6 || got[0].LS[1][0] != 12 {
+		t.Errorf("drained LS = %v", got[0].LS)
+	}
+	if got[0].Own != 0 {
+		t.Errorf("drained Own = %d", got[0].Own)
+	}
+	if s.Len() != 0 {
+		t.Errorf("Len after drain = %d", s.Len())
+	}
+	// The store must be reusable after a drain.
+	if err := s.Put(sampleACF(0, 5)); err != nil {
+		t.Fatalf("Put after drain: %v", err)
+	}
+	got, err = s.Drain()
+	if err != nil || len(got) != 1 {
+		t.Fatalf("second Drain = %v, %v", got, err)
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+}
+
+func TestMemoryOutlierStore(t *testing.T) {
+	testStore(t, NewMemoryOutlierStore())
+}
+
+func TestFileOutlierStore(t *testing.T) {
+	s, err := NewFileOutlierStore(t.TempDir())
+	if err != nil {
+		t.Fatalf("NewFileOutlierStore: %v", err)
+	}
+	testStore(t, s)
+}
+
+func TestFileOutlierStoreClosed(t *testing.T) {
+	s, err := NewFileOutlierStore(t.TempDir())
+	if err != nil {
+		t.Fatalf("NewFileOutlierStore: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("double Close: %v", err)
+	}
+	if err := s.Put(sampleACF(0, 1)); err == nil {
+		t.Error("Put after Close succeeded")
+	}
+	if _, err := s.Drain(); err == nil {
+		t.Error("Drain after Close succeeded")
+	}
+}
+
+func TestTreeWithFileOutlierStore(t *testing.T) {
+	store, err := NewFileOutlierStore(t.TempDir())
+	if err != nil {
+		t.Fatalf("NewFileOutlierStore: %v", err)
+	}
+	defer store.Close()
+	tr := New(cf.Shape{1}, 0, Config{
+		Threshold:   1,
+		MemoryLimit: 3 << 10,
+		OutlierN:    4,
+		Outliers:    store,
+	})
+	for i := 0; i < 2000; i++ {
+		tr.Insert(proj1d(float64(i % 7)))
+	}
+	for i := 0; i < 30; i++ {
+		tr.Insert(proj1d(1e6 + float64(i)*1e5))
+	}
+	leaves, err := tr.Finish()
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	rest, err := store.Drain()
+	if err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if got := totalN(leaves) + totalN(rest); got != 2030 {
+		t.Errorf("accounted N = %d, want 2030", got)
+	}
+}
+
+// failingStore rejects every Put, exercising the rebuild's fallback: a
+// cluster that cannot be paged out must stay in the tree rather than be
+// lost.
+type failingStore struct{ puts int }
+
+func (s *failingStore) Put(*cf.ACF) error {
+	s.puts++
+	return errFailingStore
+}
+func (s *failingStore) Drain() ([]*cf.ACF, error) { return nil, nil }
+func (s *failingStore) Len() int                  { return 0 }
+func (s *failingStore) Close() error              { return nil }
+
+var errFailingStore = fmt.Errorf("injected store failure")
+
+func TestOutlierStoreFailureKeepsClusters(t *testing.T) {
+	store := &failingStore{}
+	tr := New(cf.Shape{1}, 0, Config{
+		Threshold:   1,
+		MemoryLimit: 3 << 10,
+		OutlierN:    5,
+		Outliers:    store,
+	})
+	rng := rand.New(rand.NewSource(13))
+	n := 0
+	for i := 0; i < 1500; i++ {
+		tr.Insert(proj1d(100 + rng.Float64()))
+		n++
+	}
+	for i := 0; i < 40; i++ {
+		tr.Insert(proj1d(rng.Float64() * 1e7))
+		n++
+	}
+	if tr.Stats().Rebuilds == 0 {
+		t.Fatal("test needs rebuilds")
+	}
+	if store.puts == 0 {
+		t.Fatal("no paging attempts reached the failing store")
+	}
+	leaves, err := tr.Finish()
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	// Every tuple is still accounted for in the tree despite the store
+	// rejecting all paging.
+	if got := totalN(leaves); got != int64(n) {
+		t.Errorf("accounted N = %d, want %d", got, n)
+	}
+	if tr.Stats().OutliersPaged != 0 {
+		t.Errorf("OutliersPaged = %d despite failing store", tr.Stats().OutliersPaged)
+	}
+}

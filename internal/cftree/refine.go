@@ -1,0 +1,77 @@
+package cftree
+
+import (
+	"sort"
+
+	"repro/internal/cf"
+	"repro/internal/distance"
+)
+
+// Refine performs the global clustering pass of BIRCH (ZRL96's Phase 3,
+// which the paper inherits via "the clustering algorithm is unchanged
+// from Birch"): leaf clusters produced by the local, insertion-order-
+// sensitive tree construction are agglomeratively merged whenever the
+// union still satisfies the admission criteria (merged diameter and
+// centroid separation within the threshold). This repairs boundary
+// fragments — duplicate leaf entries for the same natural cluster created
+// by misdirected descents — without touching the data.
+//
+// The input slice is not modified; merged ACFs are combined in place of
+// their sources in the returned slice. Complexity is O(k²) per call with
+// k = len(acfs); Phase I trees keep k small (tens per attribute group).
+func Refine(acfs []*cf.ACF, threshold float64) []*cf.ACF {
+	if len(acfs) < 2 {
+		return acfs
+	}
+	// Work on clones so callers keep their originals.
+	work := make([]*cf.ACF, len(acfs))
+	for i, a := range acfs {
+		work[i] = a.Clone()
+	}
+
+	// Greedy nearest-pair agglomeration: repeatedly merge the admissible
+	// pair with the smallest merged diameter.
+	for {
+		bi, bj := -1, -1
+		best := threshold
+		for i := 0; i < len(work); i++ {
+			si := work[i].OwnSummary()
+			for j := i + 1; j < len(work); j++ {
+				sj := work[j].OwnSummary()
+				d := distance.MergedDiameter(si, sj)
+				if d > best {
+					continue
+				}
+				// Same centroid-separation bound as leaf admission: the
+				// merged cluster's extent must stay ≈ threshold.
+				if centroidDist2(si, sj) > threshold*threshold {
+					continue
+				}
+				bi, bj, best = i, j, d
+			}
+		}
+		if bi < 0 {
+			break
+		}
+		work[bi].Merge(work[bj])
+		work = append(work[:bj], work[bj+1:]...)
+	}
+
+	// Deterministic order: by centroid, then by size.
+	sort.Slice(work, func(i, j int) bool {
+		ci, cj := work[i].Centroid(), work[j].Centroid()
+		for k := range ci {
+			if ci[k] != cj[k] {
+				return ci[k] < cj[k]
+			}
+		}
+		return work[i].N > work[j].N
+	})
+	return work
+}
+
+// centroidDist2 returns the squared Euclidean distance between the
+// centroids of two summaries.
+func centroidDist2(a, b distance.Summary) float64 {
+	return sqDistCentroids(a.LS, a.N, b.LS, b.N)
+}

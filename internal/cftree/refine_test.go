@@ -1,0 +1,147 @@
+package cftree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cf"
+)
+
+func acfOf(shape cf.Shape, own int, points ...float64) *cf.ACF {
+	a := cf.NewACF(shape, own)
+	for _, p := range points {
+		proj := make([][]float64, len(shape))
+		for g := range proj {
+			proj[g] = []float64{p}
+		}
+		a.AddTuple(proj)
+	}
+	return a
+}
+
+func TestRefineMergesFragments(t *testing.T) {
+	shape := cf.Shape{1, 1}
+	// Two fragments of the same natural cluster plus one distant cluster.
+	frags := []*cf.ACF{
+		acfOf(shape, 0, 10.0, 10.2, 10.4),
+		acfOf(shape, 0, 10.6, 10.8),
+		acfOf(shape, 0, 100, 100.5),
+	}
+	out := Refine(frags, 2)
+	if len(out) != 2 {
+		t.Fatalf("refined to %d clusters, want 2", len(out))
+	}
+	if out[0].N != 5 || out[1].N != 2 {
+		t.Errorf("refined sizes = %d, %d; want 5 and 2", out[0].N, out[1].N)
+	}
+	// Projections must merge too (ACF additivity).
+	if math.Abs(out[0].LS[1][0]-(10.0+10.2+10.4+10.6+10.8)) > 1e-9 {
+		t.Errorf("group-1 LS = %v", out[0].LS[1][0])
+	}
+	// Inputs untouched.
+	if frags[0].N != 3 {
+		t.Error("Refine mutated its input")
+	}
+}
+
+func TestRefineRespectsThreshold(t *testing.T) {
+	shape := cf.Shape{1}
+	clusters := []*cf.ACF{
+		acfOf(shape, 0, 0, 0.1),
+		acfOf(shape, 0, 50, 50.1),
+	}
+	out := Refine(clusters, 1)
+	if len(out) != 2 {
+		t.Fatalf("distant clusters merged: %d", len(out))
+	}
+	if got := Refine(clusters, 200); len(got) != 1 {
+		t.Fatalf("lenient threshold did not merge: %d", len(got))
+	}
+}
+
+func TestRefineDegenerate(t *testing.T) {
+	if got := Refine(nil, 1); len(got) != 0 {
+		t.Errorf("Refine(nil) = %v", got)
+	}
+	one := []*cf.ACF{acfOf(cf.Shape{1}, 0, 5)}
+	if got := Refine(one, 1); len(got) != 1 || got[0] != one[0] {
+		t.Errorf("single-cluster Refine should return input unchanged")
+	}
+}
+
+// Refinement conserves mass and sums, never increases the cluster count,
+// and every output cluster satisfies the diameter threshold if the
+// inputs did.
+func TestRefineConservationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		shape := cf.Shape{1, 1}
+		k := rng.Intn(12) + 1
+		threshold := rng.Float64()*5 + 0.5
+		var in []*cf.ACF
+		var wantN int64
+		var wantLS0, wantLS1 float64
+		for i := 0; i < k; i++ {
+			center := float64(rng.Intn(5)) * 20
+			n := rng.Intn(5) + 1
+			pts := make([]float64, n)
+			for j := range pts {
+				pts[j] = center + rng.Float64()*0.3
+			}
+			a := acfOf(shape, 0, pts...)
+			in = append(in, a)
+			wantN += a.N
+			wantLS0 += a.LS[0][0]
+			wantLS1 += a.LS[1][0]
+		}
+		out := Refine(in, threshold)
+		if len(out) > len(in) || len(out) < 1 {
+			return false
+		}
+		var gotN int64
+		var gotLS0, gotLS1 float64
+		for _, a := range out {
+			gotN += a.N
+			gotLS0 += a.LS[0][0]
+			gotLS1 += a.LS[1][0]
+			if a.Diameter() > threshold+1e-9 {
+				return false
+			}
+		}
+		return gotN == wantN &&
+			math.Abs(gotLS0-wantLS0) < 1e-6 &&
+			math.Abs(gotLS1-wantLS1) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Refinement is idempotent: a second pass changes nothing.
+func TestRefineIdempotentProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		shape := cf.Shape{1}
+		var in []*cf.ACF
+		for i := 0; i < rng.Intn(10)+2; i++ {
+			in = append(in, acfOf(shape, 0, rng.Float64()*100))
+		}
+		threshold := rng.Float64() * 10
+		once := Refine(in, threshold)
+		twice := Refine(once, threshold)
+		if len(once) != len(twice) {
+			return false
+		}
+		for i := range once {
+			if once[i].N != twice[i].N {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,476 @@
+// Package cftree implements the adaptive ACF-tree of Section 6.1: a
+// height-balanced tree of clustering features in the style of BIRCH
+// [ZRL96], whose leaf entries are association clustering features (ACFs)
+// and whose internal nodes are plain CFs. The tree is built incrementally
+// in a single pass over the data; when a configured memory budget is
+// exceeded, the diameter threshold is raised and the tree is rebuilt by
+// re-inserting leaf summaries (never rescanning data), optionally paging
+// low-support clusters out to an OutlierStore and re-absorbing them once
+// the scan completes (Sections 3 and 4.3.1).
+package cftree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/cf"
+	"repro/internal/distance"
+)
+
+const inf = math.MaxFloat64
+
+// Config controls one ACF-tree.
+type Config struct {
+	// Branching is the maximum number of children of an internal node
+	// (L in the paper's complexity analysis). Defaults to 16.
+	Branching int
+	// LeafCapacity is the maximum number of ACF entries per leaf.
+	// Defaults to 16.
+	LeafCapacity int
+	// Threshold is the initial diameter threshold d0: a point joins its
+	// closest cluster only if the augmented cluster's diameter stays
+	// within the threshold. Zero means only identical values merge
+	// (the Theorem 5.1 regime for nominal data).
+	Threshold float64
+	// MemoryLimit caps the estimated heap bytes of the tree. When
+	// exceeded, the threshold is raised and the tree rebuilt. Zero means
+	// unlimited.
+	MemoryLimit int
+	// OutlierN: during a rebuild, leaf entries with fewer than OutlierN
+	// tuples are paged out to Outliers instead of re-inserted. Zero
+	// disables paging.
+	OutlierN int64
+	// Outliers receives paged-out clusters. Required if OutlierN > 0;
+	// a MemoryOutlierStore is installed by default when nil.
+	Outliers OutlierStore
+	// MaxRebuilds bounds consecutive threshold raises while trying to
+	// satisfy MemoryLimit (safety valve). Defaults to 64.
+	MaxRebuilds int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Branching <= 1 {
+		c.Branching = 16
+	}
+	if c.LeafCapacity <= 0 {
+		c.LeafCapacity = 16
+	}
+	if c.MaxRebuilds <= 0 {
+		c.MaxRebuilds = 64
+	}
+	if c.OutlierN > 0 && c.Outliers == nil {
+		c.Outliers = NewMemoryOutlierStore()
+	}
+	return c
+}
+
+// Stats is a snapshot of tree shape and adaptive behaviour, consumed by
+// the experiments of Section 7.
+type Stats struct {
+	Entries       int     // leaf clusters
+	Nodes         int     // total tree nodes
+	Depth         int     // tree height
+	Bytes         int     // estimated heap footprint
+	Threshold     float64 // current diameter threshold
+	Rebuilds      int     // threshold raises performed
+	OutliersPaged int     // summaries ever paged out
+	TuplesSeen    int64   // points inserted
+}
+
+// Tree is an adaptive ACF-tree over one attribute group of a partitioning.
+type Tree struct {
+	cfg       Config
+	shape     cf.Shape
+	own       int
+	dims      int
+	root      *node
+	threshold float64
+
+	bytes      int
+	entryBytes int // cost of one ACF entry under this shape
+	nodeBytes  int // fixed per-node cost
+
+	numEntries int
+	rebuilds   int
+	paged      int
+	seen       int64
+	rebuilding bool
+
+	scratch []float64 // reusable own-group centroid buffer
+}
+
+// New creates an empty tree for clusters over group own of a partitioning
+// with the given shape (per-group dimensionalities).
+func New(shape cf.Shape, own int, cfg Config) *Tree {
+	if own < 0 || own >= len(shape) {
+		panic(fmt.Sprintf("cftree: own group %d outside shape of %d groups", own, len(shape)))
+	}
+	cfg = cfg.withDefaults()
+	t := &Tree{
+		cfg:       cfg,
+		shape:     append(cf.Shape(nil), shape...),
+		own:       own,
+		dims:      shape[own],
+		threshold: cfg.Threshold,
+		scratch:   make([]float64, shape[own]),
+	}
+	t.entryBytes = cf.NewACF(shape, own).Bytes() + 8 /* slice slot */
+	t.nodeBytes = 64 + cf.NewCF(t.dims).Bytes()
+	t.root = newLeaf(t.dims)
+	t.bytes = t.nodeBytes
+	return t
+}
+
+// Own returns the index of the attribute group the tree clusters on.
+func (t *Tree) Own() int { return t.own }
+
+// Threshold returns the current diameter threshold (it grows when the
+// memory budget forces rebuilds).
+func (t *Tree) Threshold() float64 { return t.threshold }
+
+// Stats returns a snapshot of the tree.
+func (t *Tree) Stats() Stats {
+	return Stats{
+		Entries:       t.numEntries,
+		Nodes:         t.root.countNodes(),
+		Depth:         t.root.depth(),
+		Bytes:         t.bytes,
+		Threshold:     t.threshold,
+		Rebuilds:      t.rebuilds,
+		OutliersPaged: t.paged,
+		TuplesSeen:    t.seen,
+	}
+}
+
+// payload is a unit of insertion: either a single tuple (proj != nil) or a
+// whole cluster summary being re-inserted during a rebuild (acf != nil).
+type payload struct {
+	proj [][]float64 // per-group projections of one tuple
+	acf  *cf.ACF
+	p    []float64        // own-group vector guiding the descent
+	own  distance.Summary // own-group summary for the admission test
+}
+
+// Insert adds one tuple to the tree. proj[g] must be the tuple's
+// projection onto group g for every group of the shape (the owning group's
+// projection guides placement; the rest feed the ACF's Eq. 7 sums).
+func (t *Tree) Insert(proj [][]float64) {
+	if len(proj) != len(t.shape) {
+		panic(fmt.Sprintf("cftree: tuple has %d group projections, shape has %d", len(proj), len(t.shape)))
+	}
+	p := proj[t.own]
+	var ss float64
+	for _, v := range p {
+		ss += v * v
+	}
+	t.insertTop(payload{
+		proj: proj,
+		p:    p,
+		own:  distance.Summary{N: 1, LS: p, SS: ss},
+	})
+	t.seen++
+	t.enforceMemory()
+}
+
+// insertACF re-inserts a cluster summary (rebuilds and outlier
+// re-absorption).
+func (t *Tree) insertACF(a *cf.ACF) {
+	s := a.OwnSummary()
+	fn := float64(s.N)
+	for i, v := range s.LS {
+		t.scratch[i] = v / fn
+	}
+	t.insertTop(payload{acf: a, p: t.scratch, own: s})
+}
+
+func (t *Tree) insertTop(pl payload) {
+	left, right := t.insert(t.root, pl)
+	if right == nil {
+		t.root = left
+		return
+	}
+	// Root split: the tree grows one level.
+	nr := newInternal(t.dims)
+	nr.children = []*node{left, right}
+	nr.recomputeSummary()
+	t.root = nr
+	t.bytes += t.nodeBytes
+}
+
+// insert descends to the appropriate leaf. It returns the (possibly new)
+// node replacing nd, plus a second node when nd had to split.
+func (t *Tree) insert(nd *node, pl payload) (*node, *node) {
+	addSummary(nd.summary, pl.own)
+	if nd.leaf {
+		return t.insertLeaf(nd, pl)
+	}
+	i := nd.closestChild(pl.p)
+	l, r := t.insert(nd.children[i], pl)
+	nd.children[i] = l
+	if r != nil {
+		nd.children = append(nd.children, nil)
+		copy(nd.children[i+2:], nd.children[i+1:])
+		nd.children[i+1] = r
+		if len(nd.children) > t.cfg.Branching {
+			return t.splitInternal(nd)
+		}
+	}
+	return nd, nil
+}
+
+func (t *Tree) insertLeaf(nd *node, pl payload) (*node, *node) {
+	if i := nd.closestEntry(pl.p); i >= 0 {
+		e := nd.entries[i]
+		// Admission requires the augmented diameter within the threshold
+		// (Section 4.3.1) and additionally the centroid distance within
+		// the threshold: the RMS diameter of a large cluster barely
+		// grows when one far point is absorbed (ΔD² ≈ 2·dist²/N), so the
+		// diameter test alone lets clusters swallow outliers at distance
+		// ≈ T·√(N/2). The centroid bound keeps cluster extent ≈ T
+		// regardless of N, which the isolation requirement of Dfn 4.2
+		// depends on.
+		if distance.MergedDiameter(e.OwnSummary(), pl.own) <= t.threshold &&
+			sqDistToCentroid(pl.p, e.LS[e.Own], e.N) <= t.threshold*t.threshold {
+			t.mergeInto(e, pl)
+			return nd, nil
+		}
+	}
+	// New cluster entry (Section 4.3.1: "Otherwise, a new cluster is
+	// created").
+	var e *cf.ACF
+	if pl.acf != nil {
+		e = pl.acf
+	} else {
+		e = cf.NewACF(t.shape, t.own)
+		e.AddTuple(pl.proj)
+	}
+	nd.entries = append(nd.entries, e)
+	t.numEntries++
+	t.bytes += t.entryBytes
+	if len(nd.entries) > t.cfg.LeafCapacity {
+		return t.splitLeaf(nd)
+	}
+	return nd, nil
+}
+
+func (t *Tree) mergeInto(e *cf.ACF, pl payload) {
+	if pl.acf != nil {
+		e.Merge(pl.acf)
+		return
+	}
+	e.AddTuple(pl.proj)
+}
+
+// splitLeaf redistributes the entries of an overfull leaf around the two
+// farthest entries, B+-tree style (Section 4.3.1: "When leaf nodes are
+// full, they are split").
+func (t *Tree) splitLeaf(nd *node) (*node, *node) {
+	si, sj := nd.farthestEntryPair()
+	l, r := newLeaf(t.dims), newLeaf(t.dims)
+	ei, ej := nd.entries[si], nd.entries[sj]
+	for _, e := range nd.entries {
+		di := sqDistCentroids(e.LS[e.Own], e.N, ei.LS[ei.Own], ei.N)
+		dj := sqDistCentroids(e.LS[e.Own], e.N, ej.LS[ej.Own], ej.N)
+		if di <= dj {
+			l.entries = append(l.entries, e)
+		} else {
+			r.entries = append(r.entries, e)
+		}
+	}
+	l.recomputeSummary()
+	r.recomputeSummary()
+	t.bytes += t.nodeBytes
+	return l, r
+}
+
+// splitInternal is splitLeaf for internal nodes, seeded by the two
+// farthest child summaries.
+func (t *Tree) splitInternal(nd *node) (*node, *node) {
+	si, sj := nd.farthestChildPair()
+	l, r := newInternal(t.dims), newInternal(t.dims)
+	ci, cj := nd.children[si].summary, nd.children[sj].summary
+	for _, c := range nd.children {
+		di := sqDistCentroids(c.summary.LS, c.summary.N, ci.LS, ci.N)
+		dj := sqDistCentroids(c.summary.LS, c.summary.N, cj.LS, cj.N)
+		if di <= dj {
+			l.children = append(l.children, c)
+		} else {
+			r.children = append(r.children, c)
+		}
+	}
+	l.recomputeSummary()
+	r.recomputeSummary()
+	t.bytes += t.nodeBytes
+	return l, r
+}
+
+// enforceMemory rebuilds with raised thresholds until the tree fits its
+// budget (Section 4.3.1: "If the memory is full, the tree is reduced by
+// increasing the diameter threshold and rebuilding the tree").
+func (t *Tree) enforceMemory() {
+	if t.cfg.MemoryLimit <= 0 || t.rebuilding {
+		return
+	}
+	for i := 0; t.bytes > t.cfg.MemoryLimit && i < t.cfg.MaxRebuilds; i++ {
+		t.rebuild()
+	}
+}
+
+// rebuild re-inserts every leaf summary under a raised threshold, paging
+// out low-support clusters when configured.
+func (t *Tree) rebuild() {
+	acfs := t.root.collectLeaves(nil)
+	t.threshold = t.nextThreshold()
+	t.rebuilds++
+
+	if t.cfg.OutlierN > 0 {
+		kept := acfs[:0]
+		for _, a := range acfs {
+			if a.N < t.cfg.OutlierN {
+				// Put never fails for the in-memory store; a file-store
+				// failure leaves the cluster in the tree rather than
+				// losing data.
+				if err := t.cfg.Outliers.Put(a); err == nil {
+					t.paged++
+					continue
+				}
+			}
+			kept = append(kept, a)
+		}
+		acfs = kept
+	}
+
+	t.resetRoot()
+	t.rebuilding = true
+	// Re-insert the biggest clusters first: seeds the new tree with the
+	// dominant structure so small summaries merge into it.
+	sort.Slice(acfs, func(i, j int) bool { return acfs[i].N > acfs[j].N })
+	for _, a := range acfs {
+		t.insertACF(a)
+	}
+	t.rebuilding = false
+}
+
+func (t *Tree) resetRoot() {
+	t.root = newLeaf(t.dims)
+	t.numEntries = 0
+	t.bytes = t.nodeBytes
+}
+
+// nextThreshold picks the raised diameter threshold for a rebuild: the
+// larger of 1.5× the current threshold and the median nearest-neighbour
+// merged diameter among co-located leaf entries — an approximation of the
+// ZRL96 heuristic that guarantees progress (strictly increasing) while
+// tracking the data's own distance scale.
+func (t *Tree) nextThreshold() float64 {
+	var nnd []float64
+	var walk func(nd *node)
+	walk = func(nd *node) {
+		if !nd.leaf {
+			for _, c := range nd.children {
+				walk(c)
+			}
+			return
+		}
+		for i, e := range nd.entries {
+			best := inf
+			for j, o := range nd.entries {
+				if i == j {
+					continue
+				}
+				if d := distance.MergedDiameter(e.OwnSummary(), o.OwnSummary()); d < best {
+					best = d
+				}
+			}
+			if best < inf {
+				nnd = append(nnd, best)
+			}
+		}
+	}
+	walk(t.root)
+	next := t.threshold * 1.5
+	if len(nnd) > 0 {
+		sort.Float64s(nnd)
+		if med := nnd[len(nnd)/2]; med > next {
+			next = med
+		}
+	}
+	if next <= t.threshold {
+		// Degenerate scale (e.g. threshold 0 and all-identical data):
+		// force progress.
+		next = t.threshold*2 + 1e-9
+	}
+	return next
+}
+
+// Finish re-absorbs paged-out outliers (Section 4.3.1: clusters "may be
+// wrongly categorized as outliers. Hence, outliers need to be re-inserted
+// into the complete tree") and returns every leaf cluster. After Finish
+// the tree remains usable for NearestCluster queries.
+func (t *Tree) Finish() ([]*cf.ACF, error) {
+	if t.cfg.Outliers != nil && t.cfg.Outliers.Len() > 0 {
+		acfs, err := t.cfg.Outliers.Drain()
+		if err != nil {
+			return nil, fmt.Errorf("cftree: draining outliers: %w", err)
+		}
+		t.rebuilding = true // absorb without re-paging mid-stream
+		for _, a := range acfs {
+			t.insertACF(a)
+		}
+		t.rebuilding = false
+		t.recount()
+		t.enforceMemory()
+	}
+	return t.root.collectLeaves(nil), nil
+}
+
+// Leaves returns the current leaf clusters without touching outliers.
+func (t *Tree) Leaves() []*cf.ACF { return t.root.collectLeaves(nil) }
+
+// recount re-derives entry count and byte estimate from the tree shape.
+func (t *Tree) recount() {
+	entries, nodes := 0, 0
+	var walk func(nd *node)
+	walk = func(nd *node) {
+		nodes++
+		entries += len(nd.entries)
+		for _, c := range nd.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	t.numEntries = entries
+	t.bytes = nodes*t.nodeBytes + entries*t.entryBytes
+}
+
+// NearestCluster descends the tree greedily (using it "as a search tree",
+// Section 4.3.2) and returns the leaf cluster whose own-group centroid is
+// closest to p, together with the Euclidean centroid distance. It returns
+// nil when the tree is empty. Because descent is greedy, the result is the
+// same locally-nearest cluster the insertion path would have chosen, which
+// is exactly the membership rule the paper specifies.
+func (t *Tree) NearestCluster(p []float64) (*cf.ACF, float64) {
+	nd := t.root
+	for !nd.leaf {
+		i := nd.closestChild(p)
+		if i < 0 {
+			return nil, 0
+		}
+		nd = nd.children[i]
+	}
+	i := nd.closestEntry(p)
+	if i < 0 {
+		return nil, 0
+	}
+	e := nd.entries[i]
+	return e, math.Sqrt(sqDistToCentroid(p, e.LS[e.Own], e.N))
+}
+
+func addSummary(c *cf.CF, s distance.Summary) {
+	c.N += s.N
+	c.SS += s.SS
+	for i, v := range s.LS {
+		c.LS[i] += v
+	}
+}

@@ -1,0 +1,94 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// AgglomerativeResult is the output of Agglomerative.
+type AgglomerativeResult struct {
+	// Clusters holds, per cluster, the indices of its member points,
+	// sorted; clusters are ordered by their smallest member.
+	Clusters [][]int
+	// Merges is the number of merge steps performed.
+	Merges int
+}
+
+// Agglomerative runs average-linkage hierarchical clustering, merging the
+// closest pair of clusters until no pair's average inter-cluster distance
+// (the D2 of Eq. 6, computed exactly) is within the threshold. It is the
+// textbook method of the paper's clustering references [KR90, Eve93] and
+// serves as an exact, order-independent baseline for the adaptive trees.
+// Complexity is O(n³) in the worst case; intended for reference use.
+func Agglomerative(points [][]float64, threshold float64) (*AgglomerativeResult, error) {
+	if len(points) == 0 {
+		return nil, fmt.Errorf("cluster: no points")
+	}
+	if threshold < 0 {
+		return nil, fmt.Errorf("cluster: negative threshold %v", threshold)
+	}
+	dim := len(points[0])
+	for i, p := range points {
+		if len(p) != dim {
+			return nil, fmt.Errorf("cluster: point %d has dim %d, want %d", i, len(p), dim)
+		}
+	}
+
+	clusters := make([][]int, len(points))
+	for i := range clusters {
+		clusters[i] = []int{i}
+	}
+	res := &AgglomerativeResult{}
+
+	// avgDist is the exact average pairwise Euclidean distance between
+	// two clusters' members.
+	avgDist := func(a, b []int) float64 {
+		var sum float64
+		for _, i := range a {
+			for _, j := range b {
+				sum += math.Sqrt(sqDist(points[i], points[j]))
+			}
+		}
+		return sum / float64(len(a)*len(b))
+	}
+
+	for len(clusters) > 1 {
+		bi, bj, best := -1, -1, threshold
+		for i := 0; i < len(clusters); i++ {
+			for j := i + 1; j < len(clusters); j++ {
+				if d := avgDist(clusters[i], clusters[j]); d <= best {
+					bi, bj, best = i, j, d
+				}
+			}
+		}
+		if bi < 0 {
+			break
+		}
+		clusters[bi] = append(clusters[bi], clusters[bj]...)
+		sort.Ints(clusters[bi])
+		clusters = append(clusters[:bj], clusters[bj+1:]...)
+		res.Merges++
+	}
+
+	sort.Slice(clusters, func(i, j int) bool { return clusters[i][0] < clusters[j][0] })
+	res.Clusters = clusters
+	return res, nil
+}
+
+// Centroid returns the mean of the given points (selected by index).
+func Centroid(points [][]float64, members []int) []float64 {
+	if len(members) == 0 {
+		return nil
+	}
+	c := make([]float64, len(points[0]))
+	for _, i := range members {
+		for d, v := range points[i] {
+			c[d] += v
+		}
+	}
+	for d := range c {
+		c[d] /= float64(len(members))
+	}
+	return c
+}

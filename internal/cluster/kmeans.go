@@ -1,0 +1,162 @@
+// Package cluster provides reference (offline, non-adaptive) clustering
+// algorithms: Lloyd's k-means with k-means++ seeding and average-linkage
+// agglomerative clustering. The paper formalizes "good clusters" as "a
+// set of K clusters that minimize a given distance metric" [KR90, EKX95,
+// NH94, ZRL96] and measures its own adaptive Phase I against such an
+// optimum: "There was a small difference (typically less that 4%) in the
+// centroid of the clusters due to the use of a non-optimal clustering
+// strategy" (Section 7.2). These implementations are the yardstick for
+// that comparison (experiment E13) and a general substrate for tests.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// KMeansResult is the output of KMeans.
+type KMeansResult struct {
+	// Centroids are the K cluster centers.
+	Centroids [][]float64
+	// Assign maps each point to its centroid index.
+	Assign []int
+	// Sizes counts points per cluster.
+	Sizes []int
+	// SSE is the final sum of squared distances to assigned centroids.
+	SSE float64
+	// Iterations actually performed.
+	Iterations int
+}
+
+// KMeans runs Lloyd's algorithm with k-means++ seeding until assignment
+// convergence or maxIter. Points must be non-empty vectors of equal
+// dimension; k must satisfy 1 <= k <= len(points).
+func KMeans(points [][]float64, k int, maxIter int, seed int64) (*KMeansResult, error) {
+	if len(points) == 0 {
+		return nil, fmt.Errorf("cluster: no points")
+	}
+	if k < 1 || k > len(points) {
+		return nil, fmt.Errorf("cluster: k = %d out of range [1, %d]", k, len(points))
+	}
+	dim := len(points[0])
+	for i, p := range points {
+		if len(p) != dim {
+			return nil, fmt.Errorf("cluster: point %d has dim %d, want %d", i, len(p), dim)
+		}
+	}
+	if maxIter < 1 {
+		maxIter = 100
+	}
+
+	centroids := seedPlusPlus(points, k, rand.New(rand.NewSource(seed)))
+	assign := make([]int, len(points))
+	sizes := make([]int, k)
+	res := &KMeansResult{}
+
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		for i, p := range points {
+			best, bestD := 0, math.MaxFloat64
+			for c := range centroids {
+				if d := sqDist(p, centroids[c]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best || iter == 0 {
+				changed = changed || assign[i] != best
+				assign[i] = best
+			}
+		}
+		res.Iterations = iter + 1
+		if iter > 0 && !changed {
+			break
+		}
+		// Update step.
+		for c := range centroids {
+			for d := 0; d < dim; d++ {
+				centroids[c][d] = 0
+			}
+			sizes[c] = 0
+		}
+		for i, p := range points {
+			c := assign[i]
+			sizes[c]++
+			for d, v := range p {
+				centroids[c][d] += v
+			}
+		}
+		for c := range centroids {
+			if sizes[c] == 0 {
+				// Empty cluster: reseed on the point farthest from its
+				// centroid to keep k clusters.
+				far, farD := 0, -1.0
+				for i, p := range points {
+					if d := sqDist(p, centroids[assign[i]]); d > farD {
+						far, farD = i, d
+					}
+				}
+				copy(centroids[c], points[far])
+				continue
+			}
+			for d := 0; d < dim; d++ {
+				centroids[c][d] /= float64(sizes[c])
+			}
+		}
+	}
+
+	res.Centroids = centroids
+	res.Assign = assign
+	res.Sizes = sizes
+	for i, p := range points {
+		res.SSE += sqDist(p, centroids[assign[i]])
+	}
+	return res, nil
+}
+
+// seedPlusPlus picks k initial centers with the k-means++ rule: each new
+// center is sampled with probability proportional to its squared distance
+// from the nearest existing center.
+func seedPlusPlus(points [][]float64, k int, rng *rand.Rand) [][]float64 {
+	centroids := make([][]float64, 0, k)
+	first := points[rng.Intn(len(points))]
+	centroids = append(centroids, append([]float64(nil), first...))
+	d2 := make([]float64, len(points))
+	for len(centroids) < k {
+		var total float64
+		for i, p := range points {
+			best := math.MaxFloat64
+			for _, c := range centroids {
+				if d := sqDist(p, c); d < best {
+					best = d
+				}
+			}
+			d2[i] = best
+			total += best
+		}
+		var pick int
+		if total == 0 {
+			pick = rng.Intn(len(points))
+		} else {
+			r := rng.Float64() * total
+			for i, d := range d2 {
+				r -= d
+				if r <= 0 {
+					pick = i
+					break
+				}
+			}
+		}
+		centroids = append(centroids, append([]float64(nil), points[pick]...))
+	}
+	return centroids
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func TestSuggestThresholdsOnPlantedData(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	rel := plantedXY(rng, 300, 30)
+	part := relation.SingletonPartitioning(rel.Schema())
+	d0, err := SuggestThresholds(rel, part, AdvisorOptions{})
+	if err != nil {
+		t.Fatalf("SuggestThresholds: %v", err)
+	}
+	if len(d0) != 2 {
+		t.Fatalf("thresholds = %v", d0)
+	}
+	// Planted spread σ=0.2 around centers 40 apart: the suggestion must
+	// exceed the spread and stay far below the gap.
+	for g, v := range d0 {
+		if v < 0.2 || v > 20 {
+			t.Errorf("group %d d0 = %v, want within (0.2, 20)", g, v)
+		}
+	}
+
+	// The suggested thresholds must actually work: mining with them
+	// recovers the planted structure.
+	opt := DefaultOptions()
+	opt.DiameterThresholds = d0
+	opt.FrequencyFraction = 0.05
+	m, err := NewMiner(rel, part, opt)
+	if err != nil {
+		t.Fatalf("NewMiner: %v", err)
+	}
+	res, err := m.Mine()
+	if err != nil {
+		t.Fatalf("Mine: %v", err)
+	}
+	perGroup := map[int]int{}
+	for _, c := range res.Clusters {
+		perGroup[c.Group]++
+	}
+	if perGroup[0] != 2 || perGroup[1] != 2 {
+		t.Errorf("clusters per group with suggested d0 = %v, want 2 and 2", perGroup)
+	}
+	if len(res.Rules) == 0 {
+		t.Error("no rules with suggested thresholds")
+	}
+}
+
+func TestSuggestThresholdsNominalAndConstant(t *testing.T) {
+	s := relation.MustSchema(
+		relation.Attribute{Name: "job", Kind: relation.Nominal},
+		relation.Attribute{Name: "flat", Kind: relation.Interval},
+		relation.Attribute{Name: "x", Kind: relation.Interval},
+	)
+	rel := relation.NewRelation(s)
+	dict := s.Attr(0).Dict
+	rng := rand.New(rand.NewSource(82))
+	for i := 0; i < 200; i++ {
+		rel.MustAppend([]float64{dict.Code("a"), 7, rng.NormFloat64()})
+	}
+	part := relation.SingletonPartitioning(s)
+	d0, err := SuggestThresholds(rel, part, AdvisorOptions{})
+	if err != nil {
+		t.Fatalf("SuggestThresholds: %v", err)
+	}
+	if d0[0] != 0 {
+		t.Errorf("nominal group d0 = %v, want 0", d0[0])
+	}
+	if d0[1] != 0 {
+		t.Errorf("constant group d0 = %v, want 0 (exact values)", d0[1])
+	}
+	if d0[2] <= 0 {
+		t.Errorf("noisy group d0 = %v, want positive", d0[2])
+	}
+}
+
+func TestSuggestThresholdsValidation(t *testing.T) {
+	s := relation.MustSchema(relation.Attribute{Name: "x"})
+	rel := relation.NewRelation(s)
+	part := relation.SingletonPartitioning(s)
+	if _, err := SuggestThresholds(nil, part, AdvisorOptions{}); err == nil {
+		t.Error("nil relation accepted")
+	}
+	if _, err := SuggestThresholds(rel, nil, AdvisorOptions{}); err == nil {
+		t.Error("nil partitioning accepted")
+	}
+	if _, err := SuggestThresholds(rel, part, AdvisorOptions{}); err == nil {
+		t.Error("empty relation accepted")
+	}
+	other := relation.SingletonPartitioning(relation.MustSchema(relation.Attribute{Name: "y"}))
+	rel.MustAppend([]float64{1})
+	rel.MustAppend([]float64{2})
+	if _, err := SuggestThresholds(rel, other, AdvisorOptions{}); err == nil {
+		t.Error("mismatched schema accepted")
+	}
+}
+
+func TestPairwiseDistances(t *testing.T) {
+	pts := [][]float64{{0}, {1}, {10}}
+	got := pairwiseDistances(pts)
+	if len(got) != 3 || got[0] != 1 || got[1] != 10 || got[2] != 9 {
+		t.Errorf("pairwise = %v", got)
+	}
+	if pairwiseDistances([][]float64{{1}}) != nil {
+		t.Error("single point should yield nil")
+	}
+}
+
+func TestSuggestFromSampleUnimodal(t *testing.T) {
+	// Uniform data has no scale gap: the fallback returns a fraction of
+	// the median pairwise distance.
+	pts := make([][]float64, 50)
+	for i := range pts {
+		pts[i] = []float64{float64(i)}
+	}
+	d0 := suggestFromSample(pts, 3)
+	if d0 <= 0 || d0 > 25 {
+		t.Errorf("unimodal d0 = %v", d0)
+	}
+}

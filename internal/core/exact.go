@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/distance"
+	"repro/internal/relation"
+)
+
+// Exact small-data evaluators. These implement the paper's definitions
+// literally over explicit tuple sets with arbitrary point metrics —
+// including the 0/1 discrete metric of Section 5.1 — and are used to
+// verify Theorems 5.1 and 5.2 and to reproduce the worked examples of
+// Figures 1, 2 and 4. They cost O(n²) and are intended for small
+// relations; the scalable summary-based Miner is the production path.
+
+// TupleCluster is a cluster given explicitly as tuple indices of a
+// relation, defined on one attribute group of a partitioning.
+type TupleCluster struct {
+	Group  int
+	Tuples []int
+}
+
+// ImagePoints materializes the cluster's image on attribute group g —
+// C[Y] in the paper's notation (Section 5: "The image of a cluster Ci on
+// a set of attributes X").
+func ImagePoints(rel *relation.Relation, part *relation.Partitioning, c TupleCluster, g int) [][]float64 {
+	out := make([][]float64, len(c.Tuples))
+	dims := part.Group(g).Dims()
+	for i, ti := range c.Tuples {
+		p := make([]float64, dims)
+		part.Project(g, rel.Tuple(ti), p)
+		out[i] = p
+	}
+	return out
+}
+
+// ExactDiameter returns the Dfn 4.1 diameter of the cluster on its own
+// group under the point metric.
+func ExactDiameter(rel *relation.Relation, part *relation.Partitioning, m distance.Metric, c TupleCluster) float64 {
+	return distance.ExactDiameter(m, ImagePoints(rel, part, c, c.Group))
+}
+
+// ExactDegree returns D2(C_Y[Y], C_X[Y]) computed literally per Eq. 6 —
+// the degree of association of the 1:1 DAR C_X ⇒ C_Y (Dfn 5.1).
+func ExactDegree(rel *relation.Relation, part *relation.Partitioning, m distance.Metric, cx, cy TupleCluster) float64 {
+	return distance.ExactD2(m,
+		ImagePoints(rel, part, cy, cy.Group),
+		ImagePoints(rel, part, cx, cy.Group))
+}
+
+// ExactRuleConstraints evaluates every Dfn 5.3 constraint of the rule
+// ante ⇒ cons and returns the maximum consequent-side distance (the
+// realized degree) plus whether all intra-side closeness constraints hold
+// within the per-group thresholds d0.
+func ExactRuleConstraints(rel *relation.Relation, part *relation.Partitioning, m distance.Metric,
+	ante, cons []TupleCluster, d0 func(group int) float64) (degree float64, coOccurs bool) {
+	coOccurs = true
+	// Antecedent and consequent internal closeness.
+	for _, side := range [][]TupleCluster{ante, cons} {
+		for i := range side {
+			for j := range side {
+				if i == j {
+					continue
+				}
+				gi := side[i].Group
+				d := distance.ExactD2(m,
+					ImagePoints(rel, part, side[i], gi),
+					ImagePoints(rel, part, side[j], gi))
+				if d > d0(gi) {
+					coOccurs = false
+				}
+			}
+		}
+	}
+	// Cross degree: max over D(C_Yj[Yj], C_Xi[Yj]).
+	for _, cy := range cons {
+		for _, cx := range ante {
+			if d := ExactDegree(rel, part, m, cx, cy); d > degree {
+				degree = d
+			}
+		}
+	}
+	return degree, coOccurs
+}
+
+// ValueCluster builds the cluster {t ∈ r : t[attr] = v} used by Theorems
+// 5.1 and 5.2 for singleton-valued nominal clusters. attr is a schema
+// position; the cluster's group is the partitioning group owning attr.
+func ValueCluster(rel *relation.Relation, part *relation.Partitioning, attr int, v float64) (TupleCluster, error) {
+	g := part.GroupOf(attr)
+	if g < 0 {
+		return TupleCluster{}, fmt.Errorf("core: attribute %d is not in the partitioning", attr)
+	}
+	if part.Group(g).Dims() != 1 {
+		return TupleCluster{}, fmt.Errorf("core: ValueCluster needs a singleton group, group %q has %d attributes", part.Group(g).Name, part.Group(g).Dims())
+	}
+	c := TupleCluster{Group: g}
+	for i := 0; i < rel.Len(); i++ {
+		if rel.Tuple(i)[attr] == v {
+			c.Tuples = append(c.Tuples, i)
+		}
+	}
+	return c, nil
+}
+
+// ClassicalConfidence returns the classical confidence of the rule
+// (ante attributes = values) ⇒ (cons attribute = value): the fraction of
+// tuples matching all antecedent equalities that also match the
+// consequent (Section 1). It returns 0 when nothing matches the
+// antecedent.
+func ClassicalConfidence(rel *relation.Relation, anteAttrs []int, anteVals []float64, consAttr int, consVal float64) float64 {
+	matchAnte, matchBoth := 0, 0
+	for i := 0; i < rel.Len(); i++ {
+		t := rel.Tuple(i)
+		ok := true
+		for k, a := range anteAttrs {
+			if t[a] != anteVals[k] {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		matchAnte++
+		if t[consAttr] == consVal {
+			matchBoth++
+		}
+	}
+	if matchAnte == 0 {
+		return 0
+	}
+	return float64(matchBoth) / float64(matchAnte)
+}
+
+// ClassicalSupport returns the fraction of tuples satisfying all the
+// given equality predicates.
+func ClassicalSupport(rel *relation.Relation, attrs []int, vals []float64) float64 {
+	if rel.Len() == 0 {
+		return 0
+	}
+	match := 0
+	for i := 0; i < rel.Len(); i++ {
+		t := rel.Tuple(i)
+		ok := true
+		for k, a := range attrs {
+			if t[a] != vals[k] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			match++
+		}
+	}
+	return float64(match) / float64(rel.Len())
+}

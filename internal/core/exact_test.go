@@ -1,0 +1,222 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/distance"
+	"repro/internal/relation"
+)
+
+// nominalRelation builds a random two-attribute nominal relation for the
+// theorem property tests.
+func nominalRelation(rng *rand.Rand, n, domA, domB int) *relation.Relation {
+	s := relation.MustSchema(
+		relation.Attribute{Name: "A", Kind: relation.Nominal},
+		relation.Attribute{Name: "B", Kind: relation.Nominal},
+	)
+	r := relation.NewRelation(s)
+	for i := 0; i < n; i++ {
+		r.MustAppend([]float64{float64(rng.Intn(domA)), float64(rng.Intn(domB))})
+	}
+	return r
+}
+
+// Theorem 5.1: a non-empty cluster has diameter 0 under the discrete
+// metric iff it is single-valued on its attribute.
+func TestTheorem51Property(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rel := nominalRelation(rng, rng.Intn(30)+1, 4, 3)
+		part := relation.SingletonPartitioning(rel.Schema())
+
+		// Forward: value clusters have diameter 0.
+		for v := 0; v < 4; v++ {
+			c, err := ValueCluster(rel, part, 0, float64(v))
+			if err != nil {
+				return false
+			}
+			if len(c.Tuples) == 0 {
+				continue
+			}
+			if ExactDiameter(rel, part, distance.Discrete{}, c) != 0 {
+				return false
+			}
+		}
+		// Converse: any cluster holding two distinct values has
+		// diameter > 0.
+		var i0 = -1
+		for i := 1; i < rel.Len(); i++ {
+			if rel.Tuple(i)[0] != rel.Tuple(0)[0] {
+				i0 = i
+				break
+			}
+		}
+		if i0 >= 0 {
+			mixed := TupleCluster{Group: 0, Tuples: []int{0, i0}}
+			if ExactDiameter(rel, part, distance.Discrete{}, mixed) <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Theorem 5.2: the classical rule A=a ⇒ B=b holds with confidence c0 iff
+// the DAR C_A ⇒ C_B holds with degree 1−c0 under the discrete metric,
+// where the clusters are the value extents.
+func TestTheorem52Property(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rel := nominalRelation(rng, rng.Intn(40)+5, 3, 3)
+		part := relation.SingletonPartitioning(rel.Schema())
+		a := float64(rng.Intn(3))
+		b := float64(rng.Intn(3))
+		ca, err := ValueCluster(rel, part, 0, a)
+		if err != nil {
+			return false
+		}
+		cb, err := ValueCluster(rel, part, 1, b)
+		if err != nil {
+			return false
+		}
+		if len(ca.Tuples) == 0 || len(cb.Tuples) == 0 {
+			return true // the theorem concerns non-empty clusters
+		}
+		conf := ClassicalConfidence(rel, []int{0}, []float64{a}, 1, b)
+		degree := ExactDegree(rel, part, distance.Discrete{}, ca, cb)
+		return math.Abs(degree-(1-conf)) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Figure 2: Rule (1) has identical classical support and confidence on R1
+// and R2, yet the distance-based degree is strictly better (lower) on R2.
+func TestFigure2DegreesDifferentiate(t *testing.T) {
+	r1, r2 := figure2Relations()
+	part := relation.SingletonPartitioning(r1.Schema())
+	dba, _ := r1.Schema().Attr(0).Dict.Lookup("DBA")
+
+	for _, rel := range []*relation.Relation{r1, r2} {
+		sup := ClassicalSupport(rel, []int{0, 1, 2}, []float64{dba, 30, 40000})
+		conf := ClassicalConfidence(rel, []int{0, 1}, []float64{dba, 30}, 2, 40000)
+		if math.Abs(sup-0.5) > 1e-12 {
+			t.Errorf("support = %v, want 0.5", sup)
+		}
+		if math.Abs(conf-0.6) > 1e-12 {
+			t.Errorf("confidence = %v, want 0.6", conf)
+		}
+	}
+
+	degree := func(rel *relation.Relation) float64 {
+		part := relation.SingletonPartitioning(rel.Schema())
+		dba, _ := rel.Schema().Attr(0).Dict.Lookup("DBA")
+		ca, err := ValueCluster(rel, part, 0, dba)
+		if err != nil {
+			t.Fatalf("ValueCluster: %v", err)
+		}
+		cs, err := ValueCluster(rel, part, 2, 40000)
+		if err != nil {
+			t.Fatalf("ValueCluster: %v", err)
+		}
+		return ExactDegree(rel, part, distance.Euclidean{}, ca, cs)
+	}
+	d1, d2 := degree(r1), degree(r2)
+	if d2 >= d1 {
+		t.Errorf("degree(R2)=%v should be < degree(R1)=%v", d2, d1)
+	}
+	_ = part
+}
+
+func TestValueClusterErrors(t *testing.T) {
+	s := relation.MustSchema(
+		relation.Attribute{Name: "a", Kind: relation.Interval},
+		relation.Attribute{Name: "b", Kind: relation.Interval},
+	)
+	rel := relation.NewRelation(s)
+	rel.MustAppend([]float64{1, 2})
+	part, err := relation.NewPartitioning(s, []relation.Group{{Name: "ab", Attrs: []int{0, 1}}})
+	if err != nil {
+		t.Fatalf("NewPartitioning: %v", err)
+	}
+	if _, err := ValueCluster(rel, part, 0, 1); err == nil {
+		t.Error("multi-attribute group accepted")
+	}
+}
+
+func TestClassicalMeasuresEdgeCases(t *testing.T) {
+	s := relation.MustSchema(relation.Attribute{Name: "a"}, relation.Attribute{Name: "b"})
+	rel := relation.NewRelation(s)
+	if got := ClassicalSupport(rel, []int{0}, []float64{1}); got != 0 {
+		t.Errorf("support on empty relation = %v", got)
+	}
+	rel.MustAppend([]float64{1, 2})
+	if got := ClassicalConfidence(rel, []int{0}, []float64{9}, 1, 2); got != 0 {
+		t.Errorf("confidence with empty antecedent = %v", got)
+	}
+	if got := ClassicalConfidence(rel, []int{0}, []float64{1}, 1, 2); got != 1 {
+		t.Errorf("confidence = %v, want 1", got)
+	}
+}
+
+// ExactRuleConstraints: planted insurance-style scenario of Section 5.2.
+func TestExactRuleConstraints(t *testing.T) {
+	s := relation.MustSchema(
+		relation.Attribute{Name: "Age", Kind: relation.Interval},
+		relation.Attribute{Name: "Dependents", Kind: relation.Interval},
+		relation.Attribute{Name: "Claims", Kind: relation.Interval},
+	)
+	rel := relation.NewRelation(s)
+	rng := rand.New(rand.NewSource(10))
+	var ageT, depT, claimT []int
+	for i := 0; i < 60; i++ {
+		age := 44 + rng.Float64()*3 - 1.5
+		dep := 3.5 + rng.Float64()*3 - 1.5
+		claims := 12000 + rng.Float64()*2000 - 1000
+		rel.MustAppend([]float64{age, dep, claims})
+		ageT = append(ageT, i)
+		depT = append(depT, i)
+		claimT = append(claimT, i)
+	}
+	part := relation.SingletonPartitioning(s)
+	ante := []TupleCluster{{Group: 0, Tuples: ageT}, {Group: 1, Tuples: depT}}
+	cons := []TupleCluster{{Group: 2, Tuples: claimT}}
+	d0 := func(g int) float64 { return []float64{5, 5, 3000}[g] }
+	degree, coOccurs := ExactRuleConstraints(rel, part, distance.Euclidean{}, ante, cons, d0)
+	if !coOccurs {
+		t.Error("co-occurrence constraints failed on fully overlapping clusters")
+	}
+	if degree <= 0 || degree > 2500 {
+		t.Errorf("degree = %v, expected the Claims spread", degree)
+	}
+
+	// A distant antecedent cluster must break co-occurrence.
+	far := TupleCluster{Group: 1, Tuples: []int{0}}
+	rel.MustAppend([]float64{45, 40, 12000}) // dependents = 40, far away
+	far.Tuples = []int{rel.Len() - 1}
+	_, coOccurs = ExactRuleConstraints(rel, part, distance.Euclidean{},
+		[]TupleCluster{{Group: 0, Tuples: ageT}, far}, cons, d0)
+	if coOccurs {
+		t.Error("distant antecedent clusters reported as co-occurring")
+	}
+}
+
+func TestImagePoints(t *testing.T) {
+	s := relation.MustSchema(relation.Attribute{Name: "x"}, relation.Attribute{Name: "y"})
+	rel := relation.NewRelation(s)
+	rel.MustAppend([]float64{1, 10})
+	rel.MustAppend([]float64{2, 20})
+	part := relation.SingletonPartitioning(s)
+	c := TupleCluster{Group: 0, Tuples: []int{0, 1}}
+	img := ImagePoints(rel, part, c, 1)
+	if len(img) != 2 || img[0][0] != 10 || img[1][0] != 20 {
+		t.Errorf("ImagePoints = %v", img)
+	}
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/relation"
+)
+
+// Export types: a stable, self-describing JSON form of a mining result
+// for downstream tooling. Cluster references are resolved into readable
+// descriptions; raw IDs are kept for joins.
+
+// ExportedCluster is the JSON form of a frequent cluster.
+type ExportedCluster struct {
+	ID          int       `json:"id"`
+	Group       string    `json:"group"`
+	Description string    `json:"description"`
+	Size        int64     `json:"size"`
+	Centroid    []float64 `json:"centroid"`
+	Lo          []float64 `json:"lo,omitempty"`
+	Hi          []float64 `json:"hi,omitempty"`
+	Diameter    float64   `json:"diameter"`
+	BoxExact    bool      `json:"boxExact"`
+}
+
+// ExportedRule is the JSON form of a DAR.
+type ExportedRule struct {
+	Antecedent  []int   `json:"antecedent"`
+	Consequent  []int   `json:"consequent"`
+	Description string  `json:"description"`
+	Degree      float64 `json:"degree"`
+	Support     int64   `json:"support"` // -1 when not counted
+}
+
+// ExportedResult is the JSON document.
+type ExportedResult struct {
+	Tuples   int               `json:"tuples"`
+	Clusters []ExportedCluster `json:"clusters"`
+	Rules    []ExportedRule    `json:"rules"`
+	PhaseI   ExportedPhaseI    `json:"phaseI"`
+	PhaseII  ExportedPhaseII   `json:"phaseII"`
+}
+
+// ExportedPhaseI summarizes Phase I.
+type ExportedPhaseI struct {
+	DurationMS    float64 `json:"durationMs"`
+	ClustersFound int     `json:"clustersFound"`
+	Frequent      int     `json:"frequentClusters"`
+	Rebuilds      int     `json:"rebuilds"`
+	Bytes         int     `json:"bytes"`
+}
+
+// ExportedPhaseII summarizes Phase II.
+type ExportedPhaseII struct {
+	DurationMS float64 `json:"durationMs"`
+	GraphNodes int     `json:"graphNodes"`
+	GraphEdges int     `json:"graphEdges"`
+	Cliques    int     `json:"cliques"`
+}
+
+// Export converts a Result into its JSON form.
+func Export(res *Result, rel relation.Source, part *relation.Partitioning) ExportedResult {
+	out := ExportedResult{
+		Tuples: res.PhaseI.TuplesScanned,
+		PhaseI: ExportedPhaseI{
+			DurationMS:    float64(res.PhaseI.Duration.Microseconds()) / 1000,
+			ClustersFound: res.PhaseI.ClustersFound,
+			Frequent:      res.PhaseI.FrequentClusters,
+			Rebuilds:      res.PhaseI.Rebuilds,
+			Bytes:         res.PhaseI.Bytes,
+		},
+		PhaseII: ExportedPhaseII{
+			DurationMS: float64(res.PhaseII.Duration.Microseconds()) / 1000,
+			GraphNodes: res.PhaseII.GraphNodes,
+			GraphEdges: res.PhaseII.GraphEdges,
+			Cliques:    res.PhaseII.Cliques,
+		},
+	}
+	for _, c := range res.Clusters {
+		out.Clusters = append(out.Clusters, ExportedCluster{
+			ID:          c.ID,
+			Group:       part.Group(c.Group).Name,
+			Description: c.Describe(rel, part),
+			Size:        c.Size,
+			Centroid:    c.Centroid(),
+			Lo:          c.Lo,
+			Hi:          c.Hi,
+			Diameter:    c.Diameter(),
+			BoxExact:    c.BoxExact,
+		})
+	}
+	for _, r := range res.Rules {
+		out.Rules = append(out.Rules, ExportedRule{
+			Antecedent:  r.Antecedent,
+			Consequent:  r.Consequent,
+			Description: res.DescribeRule(r, rel, part),
+			Degree:      r.Degree,
+			Support:     r.Support,
+		})
+	}
+	return out
+}
+
+// WriteJSON exports the result as indented JSON.
+func WriteJSON(w io.Writer, res *Result, rel relation.Source, part *relation.Partitioning) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(Export(res, rel, part)); err != nil {
+		return fmt.Errorf("core: encoding result: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func TestExportAndWriteJSON(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	rel := plantedXY(rng, 100, 5)
+	part := relation.SingletonPartitioning(rel.Schema())
+	m, err := NewMiner(rel, part, plantedOptions())
+	if err != nil {
+		t.Fatalf("NewMiner: %v", err)
+	}
+	res, err := m.Mine()
+	if err != nil {
+		t.Fatalf("Mine: %v", err)
+	}
+
+	exp := Export(res, rel, part)
+	if exp.Tuples != rel.Len() {
+		t.Errorf("Tuples = %d", exp.Tuples)
+	}
+	if len(exp.Clusters) != len(res.Clusters) || len(exp.Rules) != len(res.Rules) {
+		t.Errorf("export sizes: %d/%d clusters, %d/%d rules",
+			len(exp.Clusters), len(res.Clusters), len(exp.Rules), len(res.Rules))
+	}
+	for i, c := range exp.Clusters {
+		if c.ID != i {
+			t.Errorf("cluster %d has ID %d", i, c.ID)
+		}
+		if c.Group != "x" && c.Group != "y" {
+			t.Errorf("cluster group = %q", c.Group)
+		}
+		if c.Description == "" || len(c.Centroid) != 1 {
+			t.Errorf("cluster export incomplete: %+v", c)
+		}
+	}
+	for _, r := range exp.Rules {
+		if !strings.Contains(r.Description, "⇒") {
+			t.Errorf("rule description = %q", r.Description)
+		}
+		if r.Support < 0 {
+			t.Errorf("post-scan run should carry supports, got %d", r.Support)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, res, rel, part); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var back ExportedResult
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if back.Tuples != exp.Tuples || len(back.Rules) != len(exp.Rules) {
+		t.Errorf("round trip mismatch: %+v", back)
+	}
+	if back.PhaseI.Frequent != res.PhaseI.FrequentClusters {
+		t.Errorf("PhaseI export = %+v", back.PhaseI)
+	}
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func TestIncrementalMinerValidation(t *testing.T) {
+	if _, err := NewIncrementalMiner(nil, DefaultOptions()); err == nil {
+		t.Error("nil partitioning accepted")
+	}
+	s := relation.MustSchema(relation.Attribute{Name: "x"})
+	bad := DefaultOptions()
+	bad.DegreeFactor = 0
+	if _, err := NewIncrementalMiner(relation.SingletonPartitioning(s), bad); err == nil {
+		t.Error("invalid options accepted")
+	}
+	nom := relation.MustSchema(relation.Attribute{Name: "job", Kind: relation.Nominal})
+	if _, err := NewIncrementalMiner(relation.SingletonPartitioning(nom), DefaultOptions()); err == nil {
+		t.Error("nominal group accepted")
+	}
+}
+
+func TestIncrementalMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	rel := plantedXY(rng, 150, 15)
+	part := relation.SingletonPartitioning(rel.Schema())
+
+	opt := plantedOptions()
+	opt.PostScan = false // batch comparison without rescans
+
+	batch, err := NewMiner(rel, part, opt)
+	if err != nil {
+		t.Fatalf("NewMiner: %v", err)
+	}
+	bres, err := batch.Mine()
+	if err != nil {
+		t.Fatalf("Mine: %v", err)
+	}
+
+	inc, err := NewIncrementalMiner(part, opt)
+	if err != nil {
+		t.Fatalf("NewIncrementalMiner: %v", err)
+	}
+	err = rel.Scan(func(_ int, tuple []float64) error { return inc.Add(tuple) })
+	if err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if inc.Seen() != rel.Len() {
+		t.Errorf("Seen = %d, want %d", inc.Seen(), rel.Len())
+	}
+	ires, err := inc.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+
+	// Same tuples in the same order through the same trees: the cluster
+	// and rule structure must coincide with the batch run.
+	if len(ires.Clusters) != len(bres.Clusters) {
+		t.Fatalf("clusters: %d vs %d", len(ires.Clusters), len(bres.Clusters))
+	}
+	for i := range ires.Clusters {
+		a, b := ires.Clusters[i], bres.Clusters[i]
+		if a.Group != b.Group || a.N() != b.N() || !reflect.DeepEqual(a.Centroid(), b.Centroid()) {
+			t.Fatalf("cluster %d differs", i)
+		}
+	}
+	if len(ires.Rules) != len(bres.Rules) {
+		t.Fatalf("rules: %d vs %d", len(ires.Rules), len(bres.Rules))
+	}
+	for i := range ires.Rules {
+		a, b := ires.Rules[i], bres.Rules[i]
+		if a.Degree != b.Degree || !intsEqual(a.Antecedent, b.Antecedent) || !intsEqual(a.Consequent, b.Consequent) {
+			t.Fatalf("rule %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestIncrementalSnapshotDoesNotConsume(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	rel := plantedXY(rng, 100, 0)
+	part := relation.SingletonPartitioning(rel.Schema())
+	opt := plantedOptions()
+
+	inc, err := NewIncrementalMiner(part, opt)
+	if err != nil {
+		t.Fatalf("NewIncrementalMiner: %v", err)
+	}
+	half := rel.Len() / 2
+	for i := 0; i < half; i++ {
+		if err := inc.Add(rel.Tuple(i)); err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+	}
+	mid, err := inc.Snapshot()
+	if err != nil {
+		t.Fatalf("mid Snapshot: %v", err)
+	}
+	for i := half; i < rel.Len(); i++ {
+		if err := inc.Add(rel.Tuple(i)); err != nil {
+			t.Fatalf("Add after snapshot: %v", err)
+		}
+	}
+	full, err := inc.Snapshot()
+	if err != nil {
+		t.Fatalf("full Snapshot: %v", err)
+	}
+	if full.PhaseI.TuplesScanned != rel.Len() {
+		t.Errorf("full snapshot saw %d tuples", full.PhaseI.TuplesScanned)
+	}
+	var midN, fullN int64
+	for _, c := range mid.Clusters {
+		midN += c.N()
+	}
+	for _, c := range full.Clusters {
+		fullN += c.N()
+	}
+	if fullN <= midN {
+		t.Errorf("cluster mass did not grow: %d then %d", midN, fullN)
+	}
+	// Snapshots must be isolated: mutating the first must not be possible
+	// through shared ACFs (clusters were cloned).
+	mid.Clusters[0].ACF.N = -1
+	if full.Clusters[0].ACF.N == -1 {
+		t.Error("snapshots share ACF state")
+	}
+}
+
+func TestIncrementalAddValidation(t *testing.T) {
+	s := relation.MustSchema(relation.Attribute{Name: "x"}, relation.Attribute{Name: "y"})
+	inc, err := NewIncrementalMiner(relation.SingletonPartitioning(s), plantedOptions())
+	if err != nil {
+		t.Fatalf("NewIncrementalMiner: %v", err)
+	}
+	if err := inc.Add([]float64{1}); err == nil {
+		t.Error("short tuple accepted")
+	}
+}
+
+func TestIncrementalEmptySnapshot(t *testing.T) {
+	s := relation.MustSchema(relation.Attribute{Name: "x"})
+	inc, err := NewIncrementalMiner(relation.SingletonPartitioning(s), plantedOptions())
+	if err != nil {
+		t.Fatalf("NewIncrementalMiner: %v", err)
+	}
+	res, err := inc.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	if len(res.Clusters) != 0 || len(res.Rules) != 0 {
+		t.Errorf("empty snapshot = %d clusters, %d rules", len(res.Clusters), len(res.Rules))
+	}
+}

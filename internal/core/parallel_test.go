@@ -1,0 +1,79 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// Parallel Phase I must be bit-identical to the serial single scan:
+// trees are independent and each sees tuples in storage order either way.
+func TestParallelPhaseIMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	schema := relation.MustSchema(
+		relation.Attribute{Name: "a", Kind: relation.Interval},
+		relation.Attribute{Name: "b", Kind: relation.Interval},
+		relation.Attribute{Name: "c", Kind: relation.Interval},
+		relation.Attribute{Name: "d", Kind: relation.Interval},
+	)
+	rel := relation.NewRelation(schema)
+	for i := 0; i < 3000; i++ {
+		base := float64(rng.Intn(10)) * 50
+		rel.MustAppend([]float64{
+			base + rng.NormFloat64(),
+			base*2 + rng.NormFloat64(),
+			float64(rng.Intn(5))*100 + rng.NormFloat64(),
+			rng.Float64() * 1000,
+		})
+	}
+	part := relation.SingletonPartitioning(schema)
+
+	run := func(workers int) *Result {
+		o := DefaultOptions()
+		o.DiameterThreshold = 5
+		o.FrequencyFraction = 0.02
+		o.Workers = workers
+		m, err := NewMiner(rel, part, o)
+		if err != nil {
+			t.Fatalf("NewMiner: %v", err)
+		}
+		res, err := m.Mine()
+		if err != nil {
+			t.Fatalf("Mine(workers=%d): %v", workers, err)
+		}
+		return res
+	}
+	serial := run(1)
+	parallel := run(8)
+
+	if len(serial.Clusters) != len(parallel.Clusters) {
+		t.Fatalf("cluster counts differ: %d vs %d", len(serial.Clusters), len(parallel.Clusters))
+	}
+	for i := range serial.Clusters {
+		a, b := serial.Clusters[i], parallel.Clusters[i]
+		if a.Group != b.Group || a.N() != b.N() || !reflect.DeepEqual(a.Centroid(), b.Centroid()) {
+			t.Fatalf("cluster %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+	if len(serial.Rules) != len(parallel.Rules) {
+		t.Fatalf("rule counts differ: %d vs %d", len(serial.Rules), len(parallel.Rules))
+	}
+	for i := range serial.Rules {
+		a, b := serial.Rules[i], parallel.Rules[i]
+		if a.Degree != b.Degree || a.Support != b.Support ||
+			!intsEqual(a.Antecedent, b.Antecedent) || !intsEqual(a.Consequent, b.Consequent) {
+			t.Fatalf("rule %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestWorkersValidation(t *testing.T) {
+	rel := relation.NewRelation(relation.MustSchema(relation.Attribute{Name: "x"}))
+	o := DefaultOptions()
+	o.Workers = -1
+	if _, err := NewMiner(rel, relation.SingletonPartitioning(rel.Schema()), o); err == nil {
+		t.Error("negative Workers accepted")
+	}
+}

@@ -1,0 +1,69 @@
+package core
+
+// Query helpers over a mining result. Rules are already sorted strongest
+// (lowest degree) first, so slicing-style helpers stay cheap.
+
+// TopRules returns the k strongest rules (all of them if k exceeds the
+// count or is non-positive).
+func (res *Result) TopRules(k int) []Rule {
+	if k <= 0 || k > len(res.Rules) {
+		k = len(res.Rules)
+	}
+	return res.Rules[:k]
+}
+
+// RulesInto returns the rules whose consequents all lie on the given
+// attribute group — the paper's target-attribute mining use case
+// (Section 5.2: "an insurance agent wants to find associations between
+// driver characteristics and a specific variable").
+func (res *Result) RulesInto(group int) []Rule {
+	var out []Rule
+	for _, r := range res.Rules {
+		all := true
+		for _, id := range r.Consequent {
+			if res.Clusters[id].Group != group {
+				all = false
+				break
+			}
+		}
+		if all {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// RulesWithAntecedentGroups returns rules whose antecedents cover every
+// listed attribute group (possibly among others).
+func (res *Result) RulesWithAntecedentGroups(groups ...int) []Rule {
+	var out []Rule
+	for _, r := range res.Rules {
+		have := map[int]bool{}
+		for _, id := range r.Antecedent {
+			have[res.Clusters[id].Group] = true
+		}
+		ok := true
+		for _, g := range groups {
+			if !have[g] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// ClustersOf returns the frequent clusters of one attribute group, in
+// result order (ascending centroid for 1-d groups).
+func (res *Result) ClustersOf(group int) []*Cluster {
+	var out []*Cluster
+	for _, c := range res.Clusters {
+		if c.Group == group {
+			out = append(out, c)
+		}
+	}
+	return out
+}

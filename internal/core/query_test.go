@@ -1,0 +1,131 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func minedPlanted(t *testing.T) *Result {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	rel := plantedXY(rng, 150, 10)
+	part := relation.SingletonPartitioning(rel.Schema())
+	m, err := NewMiner(rel, part, plantedOptions())
+	if err != nil {
+		t.Fatalf("NewMiner: %v", err)
+	}
+	res, err := m.Mine()
+	if err != nil {
+		t.Fatalf("Mine: %v", err)
+	}
+	if len(res.Rules) == 0 {
+		t.Fatal("no rules to query")
+	}
+	return res
+}
+
+func TestTopRules(t *testing.T) {
+	res := minedPlanted(t)
+	if got := res.TopRules(1); len(got) != 1 || got[0].Degree != res.Rules[0].Degree {
+		t.Errorf("TopRules(1) = %v", got)
+	}
+	if got := res.TopRules(0); len(got) != len(res.Rules) {
+		t.Errorf("TopRules(0) returned %d of %d", len(got), len(res.Rules))
+	}
+	if got := res.TopRules(1 << 20); len(got) != len(res.Rules) {
+		t.Errorf("TopRules(huge) returned %d of %d", len(got), len(res.Rules))
+	}
+}
+
+func TestRulesInto(t *testing.T) {
+	res := minedPlanted(t)
+	intoY := res.RulesInto(1)
+	if len(intoY) == 0 {
+		t.Fatal("no rules into group 1")
+	}
+	for _, r := range intoY {
+		for _, id := range r.Consequent {
+			if res.Clusters[id].Group != 1 {
+				t.Errorf("rule %v has consequent outside group 1", r)
+			}
+		}
+	}
+	// Every rule goes into group 0 or group 1 in this 2-group workload.
+	if len(res.RulesInto(0))+len(intoY) != len(res.Rules) {
+		t.Errorf("partition by consequent group does not cover: %d + %d != %d",
+			len(res.RulesInto(0)), len(intoY), len(res.Rules))
+	}
+}
+
+func TestRulesWithAntecedentGroups(t *testing.T) {
+	res := minedPlanted(t)
+	fromX := res.RulesWithAntecedentGroups(0)
+	for _, r := range fromX {
+		found := false
+		for _, id := range r.Antecedent {
+			if res.Clusters[id].Group == 0 {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("rule %v lacks group-0 antecedent", r)
+		}
+	}
+	if got := res.RulesWithAntecedentGroups(0, 1); len(got) != 0 {
+		t.Errorf("2-group antecedents impossible here, got %d", len(got))
+	}
+	if got := res.RulesWithAntecedentGroups(); len(got) != len(res.Rules) {
+		t.Errorf("empty filter should match all rules")
+	}
+}
+
+func TestClustersOf(t *testing.T) {
+	res := minedPlanted(t)
+	x := res.ClustersOf(0)
+	y := res.ClustersOf(1)
+	if len(x)+len(y) != len(res.Clusters) {
+		t.Errorf("ClustersOf does not partition: %d + %d != %d", len(x), len(y), len(res.Clusters))
+	}
+	for _, c := range x {
+		if c.Group != 0 {
+			t.Errorf("cluster %d in wrong group", c.ID)
+		}
+	}
+}
+
+// Determinism: the same relation and options must yield the identical
+// rule list (order, degrees, supports) on every run.
+func TestMineDeterministic(t *testing.T) {
+	run := func() *Result {
+		rng := rand.New(rand.NewSource(21))
+		rel := plantedXY(rng, 120, 15)
+		part := relation.SingletonPartitioning(rel.Schema())
+		m, err := NewMiner(rel, part, plantedOptions())
+		if err != nil {
+			t.Fatalf("NewMiner: %v", err)
+		}
+		res, err := m.Mine()
+		if err != nil {
+			t.Fatalf("Mine: %v", err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if len(a.Rules) != len(b.Rules) {
+		t.Fatalf("rule counts differ: %d vs %d", len(a.Rules), len(b.Rules))
+	}
+	for i := range a.Rules {
+		ra, rb := a.Rules[i], b.Rules[i]
+		if ra.Degree != rb.Degree || ra.Support != rb.Support ||
+			!intsEqual(ra.Antecedent, rb.Antecedent) || !intsEqual(ra.Consequent, rb.Consequent) {
+			t.Fatalf("rule %d differs: %+v vs %+v", i, ra, rb)
+		}
+	}
+	for i := range a.Clusters {
+		if a.Clusters[i].N() != b.Clusters[i].N() || a.Clusters[i].Group != b.Clusters[i].Group {
+			t.Fatalf("cluster %d differs", i)
+		}
+	}
+}

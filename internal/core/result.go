@@ -1,0 +1,163 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/relation"
+)
+
+// Rule is a distance-based association rule C_X1…C_Xx ⇒ C_Y1…C_Yy
+// (Dfn 5.3). Antecedent and Consequent hold cluster IDs into
+// Result.Clusters, sorted ascending.
+type Rule struct {
+	Antecedent []int
+	Consequent []int
+	// Degree is the realized degree of association, normalized per
+	// consequent group by its d0 so that degrees are comparable across
+	// attribute units: the maximum over all (i, j) of
+	// D(C_Yj[Yj], C_Xi[Yj]) / d0^Yj. Lower is stronger; a rule "holds
+	// with degree D0" for every D0 >= Degree. For nominal consequents
+	// the unnormalized distance is 1 − classical confidence
+	// (Theorem 5.2).
+	Degree float64
+	// Support is the number of tuples assigned simultaneously to every
+	// cluster of the rule, counted by the optional support rescan;
+	// -1 when not counted.
+	Support int64
+	// SupportFraction is Support / |r| (0 when not counted).
+	SupportFraction float64
+}
+
+// Arity returns (antecedent size, consequent size).
+func (r Rule) Arity() (int, int) { return len(r.Antecedent), len(r.Consequent) }
+
+// Result is the outcome of Miner.Mine.
+type Result struct {
+	// Clusters are the frequent clusters of Phase I; rules index into
+	// this slice.
+	Clusters []*Cluster
+	// Rules are the DARs, sorted by ascending degree (strongest first).
+	Rules []Rule
+
+	PhaseI   PhaseIStats
+	PhaseII  PhaseIIStats
+	PostScan PostScanStats
+}
+
+// DescribeRule renders a rule with bounding-box cluster descriptions
+// (Section 7.2), e.g.
+//
+//	Age ∈ [41, 47] ∧ Dependents ∈ [2, 5] ⇒ Claims ∈ [10000, 14000] (degree 0.42, support 113)
+func (res *Result) DescribeRule(r Rule, rel relation.Source, part *relation.Partitioning) string {
+	var b strings.Builder
+	for i, id := range r.Antecedent {
+		if i > 0 {
+			b.WriteString(" ∧ ")
+		}
+		b.WriteString(res.Clusters[id].Describe(rel, part))
+	}
+	b.WriteString(" ⇒ ")
+	for i, id := range r.Consequent {
+		if i > 0 {
+			b.WriteString(" ∧ ")
+		}
+		b.WriteString(res.Clusters[id].Describe(rel, part))
+	}
+	fmt.Fprintf(&b, " (degree %.3f", r.Degree)
+	if r.Support >= 0 {
+		fmt.Fprintf(&b, ", support %d", r.Support)
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// Mine runs the full pipeline: Phase I clustering, the optional
+// descriptive post-scan, Phase II rule formation, and the optional
+// candidate-support rescan.
+func (m *Miner) Mine() (*Result, error) {
+	nominal := m.nominalGroups()
+	if !m.opt.PostScan {
+		for g, isNom := range nominal {
+			if isNom {
+				return nil, fmt.Errorf("core: group %q contains nominal attributes; rule degrees over nominal data need the PostScan option (Theorem 5.2 distances come from co-occurrence counts)", m.part.Group(g).Name)
+			}
+		}
+	}
+
+	clusters, p1, err := m.phaseI(nominal)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Clusters: clusters, PhaseI: p1}
+
+	var asn *assigner
+	co := make(cooccurrence)
+	if m.opt.PostScan {
+		start := time.Now()
+		asn, co, err = m.postScan(clusters, nominal)
+		if err != nil {
+			return nil, err
+		}
+		res.PostScan.Duration = time.Since(start)
+	}
+
+	rules, p2 := m.phase2(clusters, nominal, co)
+	res.Rules = rules
+	res.PhaseII = p2
+
+	if m.opt.PostScan {
+		start := time.Now()
+		if err := m.countRuleSupport(res.Rules, clusters, asn); err != nil {
+			return nil, err
+		}
+		res.PostScan.SupportDuration = time.Since(start)
+		if m.opt.MinRuleSupport > 0 {
+			// Section 6.2: with the additional frequency requirement the
+			// Phase II output is only a candidate set; the rescan's
+			// counts settle which candidates survive.
+			minCount := int64(m.opt.MinRuleSupport * float64(m.rel.Len()))
+			kept := res.Rules[:0]
+			for _, r := range res.Rules {
+				if r.Support >= minCount {
+					kept = append(kept, r)
+				}
+			}
+			res.Rules = kept
+		}
+	}
+	return res, nil
+}
+
+// membershipCaps returns the per-group maximum centroid distance for
+// cluster membership during rescans: the group's diameter threshold d0
+// (a tuple farther than d0 from every frequent centroid is an irrelevant
+// point), and exact match for nominal groups.
+func (m *Miner) membershipCaps(nominal []bool) []float64 {
+	caps := make([]float64, m.part.NumGroups())
+	for g := range caps {
+		if nominal[g] {
+			caps[g] = 0
+			continue
+		}
+		caps[g] = m.opt.diameterFor(g)
+	}
+	return caps
+}
+
+// nominalGroups flags attribute groups containing nominal attributes;
+// their geometry is the 0/1 discrete metric of Section 5.1, so they are
+// clustered with threshold 0 (Theorem 5.1) and measured via co-occurrence.
+func (m *Miner) nominalGroups() []bool {
+	out := make([]bool, m.part.NumGroups())
+	for g := range out {
+		for _, a := range m.part.Group(g).Attrs {
+			if m.rel.Schema().Attr(a).Kind == relation.Nominal {
+				out[g] = true
+				break
+			}
+		}
+	}
+	return out
+}

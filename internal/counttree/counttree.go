@@ -1,0 +1,327 @@
+// Package counttree implements the adaptive summary trees of 1-itemset
+// counts from Section 3 and Figure 3 of the paper: for each linearly
+// ordered attribute, values and their occurrence counts are organized in
+// a height-balanced tree; "as memory gets scarce, the height of the tree
+// is reduced", each leaf being "replaced by the appropriate summary count
+// in the parent node" — so exact (value: count) pairs degrade gracefully
+// into (value-range: count) pairs. This is the substrate behind the
+// paper's second contribution: adaptive mining for *classical*
+// association rules within a memory budget.
+package counttree
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Entry is one counted unit: an exact value (Lo == Hi, Exact) or a
+// summarized closed range.
+type Entry struct {
+	Lo, Hi float64
+	Count  int64
+	Exact  bool
+}
+
+// String renders the entry like "18000:3" or "[30000,31000]:2".
+func (e Entry) String() string {
+	if e.Exact {
+		return fmt.Sprintf("%g:%d", e.Lo, e.Count)
+	}
+	return fmt.Sprintf("[%g,%g]:%d", e.Lo, e.Hi, e.Count)
+}
+
+// Config controls one tree.
+type Config struct {
+	// Fanout is the maximum entries per node. Defaults to 16.
+	Fanout int
+	// MaxEntries caps the total number of leaf entries; exceeding it
+	// triggers a collapse that halves precision. Zero means unlimited
+	// (fully exact counting).
+	MaxEntries int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Fanout < 2 {
+		c.Fanout = 16
+	}
+	return c
+}
+
+// Tree is an adaptive height-balanced tree of value counts for one
+// attribute.
+type Tree struct {
+	cfg       Config
+	root      *node
+	entries   int
+	collapses int
+	added     int64
+}
+
+// node is a B+-tree-style node: internal nodes route by separator keys
+// and track subtree counts; leaves hold entries in ascending order.
+type node struct {
+	leaf     bool
+	entries  []Entry // leaf only
+	keys     []float64
+	children []*node
+	count    int64
+}
+
+// New returns an empty tree.
+func New(cfg Config) *Tree {
+	cfg = cfg.withDefaults()
+	return &Tree{cfg: cfg, root: &node{leaf: true}}
+}
+
+// Add counts one occurrence of v.
+func (t *Tree) Add(v float64) {
+	t.added++
+	left, right, sep := t.insert(t.root, v)
+	if right != nil {
+		t.root = &node{
+			keys:     []float64{sep},
+			children: []*node{left, right},
+			count:    left.count + right.count,
+		}
+	} else {
+		t.root = left
+	}
+	if t.cfg.MaxEntries > 0 {
+		for t.entries > t.cfg.MaxEntries {
+			if !t.collapse() {
+				break
+			}
+		}
+	}
+}
+
+// insert returns the replacement node(s); when the node split, sep is the
+// smallest key of the right node.
+func (t *Tree) insert(nd *node, v float64) (*node, *node, float64) {
+	nd.count++
+	if nd.leaf {
+		i := sort.Search(len(nd.entries), func(i int) bool { return nd.entries[i].Hi >= v })
+		if i < len(nd.entries) && v >= nd.entries[i].Lo {
+			// Inside an existing exact value or summarized range.
+			nd.entries[i].Count++
+			return nd, nil, 0
+		}
+		nd.entries = append(nd.entries, Entry{})
+		copy(nd.entries[i+1:], nd.entries[i:])
+		nd.entries[i] = Entry{Lo: v, Hi: v, Count: 1, Exact: true}
+		t.entries++
+		if len(nd.entries) > t.cfg.Fanout {
+			return t.splitLeaf(nd)
+		}
+		return nd, nil, 0
+	}
+	ci := sort.Search(len(nd.keys), func(i int) bool { return nd.keys[i] > v })
+	l, r, sep := t.insert(nd.children[ci], v)
+	nd.children[ci] = l
+	if r != nil {
+		nd.keys = append(nd.keys, 0)
+		copy(nd.keys[ci+1:], nd.keys[ci:])
+		nd.keys[ci] = sep
+		nd.children = append(nd.children, nil)
+		copy(nd.children[ci+2:], nd.children[ci+1:])
+		nd.children[ci+1] = r
+		if len(nd.children) > t.cfg.Fanout {
+			return t.splitInternal(nd)
+		}
+	}
+	return nd, nil, 0
+}
+
+func (t *Tree) splitLeaf(nd *node) (*node, *node, float64) {
+	mid := len(nd.entries) / 2
+	r := &node{leaf: true, entries: append([]Entry(nil), nd.entries[mid:]...)}
+	nd.entries = nd.entries[:mid]
+	recount(nd)
+	recount(r)
+	return nd, r, r.entries[0].Lo
+}
+
+func (t *Tree) splitInternal(nd *node) (*node, *node, float64) {
+	mid := len(nd.children) / 2
+	sep := nd.keys[mid-1]
+	r := &node{
+		keys:     append([]float64(nil), nd.keys[mid:]...),
+		children: append([]*node(nil), nd.children[mid:]...),
+	}
+	nd.keys = nd.keys[:mid-1]
+	nd.children = nd.children[:mid]
+	recount(nd)
+	recount(r)
+	return nd, r, sep
+}
+
+func recount(nd *node) {
+	nd.count = 0
+	if nd.leaf {
+		for _, e := range nd.entries {
+			nd.count += e.Count
+		}
+		return
+	}
+	for _, c := range nd.children {
+		nd.count += c.count
+	}
+}
+
+// collapse reduces precision one step, Figure 3 style: every leaf's
+// entries are replaced by a single summarized (range: count) entry, after
+// which the tree is rebuilt one level shorter. Returns false when no
+// further collapse is possible (every leaf already holds one entry and
+// the tree is a single leaf).
+func (t *Tree) collapse() bool {
+	leaves := t.leafNodes()
+	merged := make([]Entry, 0, len(leaves))
+	progress := false
+	for _, lf := range leaves {
+		if len(lf.entries) == 0 {
+			continue
+		}
+		if len(lf.entries) > 1 {
+			progress = true
+		}
+		e := Entry{
+			Lo:    lf.entries[0].Lo,
+			Hi:    lf.entries[len(lf.entries)-1].Hi,
+			Count: 0,
+			Exact: len(lf.entries) == 1 && lf.entries[0].Exact,
+		}
+		for _, x := range lf.entries {
+			e.Count += x.Count
+		}
+		merged = append(merged, e)
+	}
+	if !progress {
+		if len(leaves) <= 1 {
+			return false
+		}
+		// Leaves are singletons: merge adjacent pairs across leaves.
+		pairwise := make([]Entry, 0, (len(merged)+1)/2)
+		for i := 0; i < len(merged); i += 2 {
+			if i+1 == len(merged) {
+				pairwise = append(pairwise, merged[i])
+				break
+			}
+			pairwise = append(pairwise, Entry{
+				Lo:    merged[i].Lo,
+				Hi:    merged[i+1].Hi,
+				Count: merged[i].Count + merged[i+1].Count,
+			})
+		}
+		merged = pairwise
+	}
+	t.rebuild(merged)
+	t.collapses++
+	return true
+}
+
+// rebuild constructs a fresh balanced tree over the entries.
+func (t *Tree) rebuild(entries []Entry) {
+	t.entries = len(entries)
+	// Pack entries into leaves of fanout/2..fanout.
+	per := t.cfg.Fanout
+	var nodes []*node
+	for i := 0; i < len(entries); i += per {
+		j := i + per
+		if j > len(entries) {
+			j = len(entries)
+		}
+		lf := &node{leaf: true, entries: append([]Entry(nil), entries[i:j]...)}
+		recount(lf)
+		nodes = append(nodes, lf)
+	}
+	if len(nodes) == 0 {
+		t.root = &node{leaf: true}
+		return
+	}
+	for len(nodes) > 1 {
+		var next []*node
+		for i := 0; i < len(nodes); i += per {
+			j := i + per
+			if j > len(nodes) {
+				j = len(nodes)
+			}
+			in := &node{children: append([]*node(nil), nodes[i:j]...)}
+			for k := i + 1; k < j; k++ {
+				in.keys = append(in.keys, minKey(nodes[k]))
+			}
+			recount(in)
+			next = append(next, in)
+		}
+		nodes = next
+	}
+	t.root = nodes[0]
+}
+
+func minKey(nd *node) float64 {
+	for !nd.leaf {
+		nd = nd.children[0]
+	}
+	return nd.entries[0].Lo
+}
+
+func (t *Tree) leafNodes() []*node {
+	var out []*node
+	var walk func(nd *node)
+	walk = func(nd *node) {
+		if nd.leaf {
+			out = append(out, nd)
+			return
+		}
+		for _, c := range nd.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	return out
+}
+
+// Entries returns all counted units in ascending order.
+func (t *Tree) Entries() []Entry {
+	var out []Entry
+	for _, lf := range t.leafNodes() {
+		out = append(out, lf.entries...)
+	}
+	return out
+}
+
+// Count returns the number of occurrences recorded in [lo, hi]; ranges
+// partially overlapping the query contribute their full count (the
+// precision actually stored).
+func (t *Tree) Count(lo, hi float64) int64 {
+	var sum int64
+	for _, e := range t.Entries() {
+		if e.Hi >= lo && e.Lo <= hi {
+			sum += e.Count
+		}
+	}
+	return sum
+}
+
+// Stats describe the tree's current state.
+type Stats struct {
+	Entries   int
+	Added     int64
+	Collapses int
+	Height    int
+	Exact     bool // no collapse has happened; every entry is a value
+}
+
+// Stats returns a snapshot.
+func (t *Tree) Stats() Stats {
+	h := 1
+	for nd := t.root; !nd.leaf; nd = nd.children[0] {
+		h++
+	}
+	return Stats{
+		Entries:   t.entries,
+		Added:     t.added,
+		Collapses: t.collapses,
+		Height:    h,
+		Exact:     t.collapses == 0,
+	}
+}

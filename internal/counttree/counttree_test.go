@@ -1,0 +1,207 @@
+package counttree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestExactCounting(t *testing.T) {
+	tr := New(Config{})
+	values := []float64{5, 3, 5, 8, 3, 5}
+	for _, v := range values {
+		tr.Add(v)
+	}
+	entries := tr.Entries()
+	if len(entries) != 3 {
+		t.Fatalf("entries = %v", entries)
+	}
+	want := []Entry{
+		{Lo: 3, Hi: 3, Count: 2, Exact: true},
+		{Lo: 5, Hi: 5, Count: 3, Exact: true},
+		{Lo: 8, Hi: 8, Count: 1, Exact: true},
+	}
+	for i, e := range entries {
+		if e != want[i] {
+			t.Errorf("entry %d = %v, want %v", i, e, want[i])
+		}
+	}
+	st := tr.Stats()
+	if !st.Exact || st.Added != 6 || st.Entries != 3 || st.Collapses != 0 {
+		t.Errorf("Stats = %+v", st)
+	}
+}
+
+func TestEntriesSortedAfterManyInserts(t *testing.T) {
+	tr := New(Config{Fanout: 4})
+	rng := rand.New(rand.NewSource(1))
+	counts := map[float64]int64{}
+	for i := 0; i < 2000; i++ {
+		v := float64(rng.Intn(200))
+		counts[v]++
+		tr.Add(v)
+	}
+	entries := tr.Entries()
+	if len(entries) != len(counts) {
+		t.Fatalf("entries = %d, want %d", len(entries), len(counts))
+	}
+	if !sort.SliceIsSorted(entries, func(i, j int) bool { return entries[i].Lo < entries[j].Lo }) {
+		t.Error("entries not sorted")
+	}
+	for _, e := range entries {
+		if e.Count != counts[e.Lo] {
+			t.Errorf("count of %v = %d, want %d", e.Lo, e.Count, counts[e.Lo])
+		}
+	}
+	if st := tr.Stats(); st.Height < 3 {
+		t.Errorf("expected a grown tree, height = %d", st.Height)
+	}
+}
+
+func TestCollapseUnderBudget(t *testing.T) {
+	tr := New(Config{Fanout: 4, MaxEntries: 10})
+	for v := 0; v < 100; v++ {
+		tr.Add(float64(v))
+	}
+	st := tr.Stats()
+	if st.Entries > 10 {
+		t.Errorf("entries = %d exceeds budget 10", st.Entries)
+	}
+	if st.Collapses == 0 || st.Exact {
+		t.Errorf("expected collapses: %+v", st)
+	}
+	// Total mass conserved.
+	var sum int64
+	ranges := 0
+	for _, e := range tr.Entries() {
+		sum += e.Count
+		if !e.Exact {
+			ranges++
+		}
+	}
+	if sum != 100 {
+		t.Errorf("total count = %d, want 100", sum)
+	}
+	if ranges == 0 {
+		t.Error("no summarized ranges after collapse")
+	}
+}
+
+func TestCollapsedRangesAbsorbNewValues(t *testing.T) {
+	tr := New(Config{Fanout: 4, MaxEntries: 6})
+	for v := 0; v < 50; v++ {
+		tr.Add(float64(v))
+	}
+	before := tr.Stats().Entries
+	// A value inside an existing summarized range must not add entries.
+	tr.Add(10.5)
+	if got := tr.Stats().Entries; got != before {
+		t.Errorf("entries grew from %d to %d on in-range add", before, got)
+	}
+	if got := tr.Count(0, 49); got != 51 {
+		t.Errorf("Count = %d, want 51", got)
+	}
+}
+
+func TestCount(t *testing.T) {
+	tr := New(Config{})
+	for _, v := range []float64{1, 2, 2, 9} {
+		tr.Add(v)
+	}
+	if got := tr.Count(1, 2); got != 3 {
+		t.Errorf("Count(1,2) = %d", got)
+	}
+	if got := tr.Count(5, 8); got != 0 {
+		t.Errorf("Count(5,8) = %d", got)
+	}
+	if got := tr.Count(0, 100); got != 4 {
+		t.Errorf("Count all = %d", got)
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New(Config{})
+	if got := tr.Entries(); len(got) != 0 {
+		t.Errorf("Entries = %v", got)
+	}
+	if got := tr.Count(0, 1); got != 0 {
+		t.Errorf("Count = %d", got)
+	}
+	st := tr.Stats()
+	if st.Height != 1 || st.Entries != 0 {
+		t.Errorf("Stats = %+v", st)
+	}
+}
+
+// Conservation and ordering hold for arbitrary inserts and budgets, and
+// the entry count respects the budget whenever a collapse is possible.
+func TestCountTreeInvariantsProperty(t *testing.T) {
+	f := func(seed int64, budget uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := int(budget)%30 + 2
+		tr := New(Config{Fanout: 4, MaxEntries: b})
+		n := rng.Intn(1000) + 1
+		for i := 0; i < n; i++ {
+			tr.Add(float64(rng.Intn(100)))
+		}
+		entries := tr.Entries()
+		var sum int64
+		for i, e := range entries {
+			sum += e.Count
+			if e.Lo > e.Hi || e.Count < 1 {
+				return false
+			}
+			if i > 0 && entries[i-1].Hi >= e.Lo {
+				return false // overlap or disorder
+			}
+		}
+		if sum != int64(n) {
+			return false
+		}
+		// Budget respected unless a single entry is all that remains.
+		if len(entries) > b && len(entries) > 1 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Unlimited trees count exactly: tree counts match a map oracle.
+func TestExactnessProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := New(Config{Fanout: 5})
+		oracle := map[float64]int64{}
+		for i := 0; i < rng.Intn(500)+1; i++ {
+			v := float64(rng.Intn(50))
+			oracle[v]++
+			tr.Add(v)
+		}
+		entries := tr.Entries()
+		if len(entries) != len(oracle) {
+			return false
+		}
+		for _, e := range entries {
+			if !e.Exact || oracle[e.Lo] != e.Count {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEntryString(t *testing.T) {
+	if got := (Entry{Lo: 5, Hi: 5, Count: 2, Exact: true}).String(); got != "5:2" {
+		t.Errorf("String = %q", got)
+	}
+	if got := (Entry{Lo: 1, Hi: 9, Count: 7}).String(); got != "[1,9]:7" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,27 @@
+package counttree_test
+
+import (
+	"fmt"
+
+	"repro/internal/counttree"
+)
+
+// Example shows the Figure 3 degradation: exact (value: count) pairs
+// collapse into (range: count) pairs when the entry budget is exceeded.
+func Example() {
+	exact := counttree.New(counttree.Config{})
+	tight := counttree.New(counttree.Config{Fanout: 4, MaxEntries: 3})
+	for v := 0; v < 8; v++ {
+		exact.Add(float64(v))
+		exact.Add(float64(v))
+		tight.Add(float64(v))
+		tight.Add(float64(v))
+	}
+	fmt.Println("unlimited:", exact.Entries())
+	fmt.Println("budget 3: ", tight.Entries())
+	fmt.Println("exact?   ", exact.Stats().Exact, tight.Stats().Exact)
+	// Output:
+	// unlimited: [0:2 1:2 2:2 3:2 4:2 5:2 6:2 7:2]
+	// budget 3:  [[0,6]:14 7:2]
+	// exact?    true false
+}

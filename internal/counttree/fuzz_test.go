@@ -1,0 +1,39 @@
+package counttree
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzCountTree checks the tree's core invariants against arbitrary value
+// streams and budgets: conservation of mass, ordered non-overlapping
+// entries, budget compliance, and no panics.
+func FuzzCountTree(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 2, 1}, uint8(4))
+	f.Add([]byte{}, uint8(0))
+	f.Add([]byte{255, 0, 255, 0}, uint8(2))
+	f.Fuzz(func(t *testing.T, stream []byte, budget uint8) {
+		maxEntries := int(budget) % 32
+		tr := New(Config{Fanout: 4, MaxEntries: maxEntries})
+		for _, b := range stream {
+			tr.Add(float64(b))
+		}
+		entries := tr.Entries()
+		var sum int64
+		for i, e := range entries {
+			sum += e.Count
+			if e.Count < 1 || math.IsNaN(e.Lo) || e.Lo > e.Hi {
+				t.Fatalf("bad entry %v", e)
+			}
+			if i > 0 && entries[i-1].Hi >= e.Lo {
+				t.Fatalf("entries overlap: %v then %v", entries[i-1], e)
+			}
+		}
+		if sum != int64(len(stream)) {
+			t.Fatalf("mass = %d, want %d", sum, len(stream))
+		}
+		if maxEntries > 0 && len(entries) > maxEntries && len(entries) > 1 {
+			t.Fatalf("budget %d exceeded: %d entries", maxEntries, len(entries))
+		}
+	})
+}

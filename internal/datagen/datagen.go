@@ -1,0 +1,174 @@
+// Package datagen builds the synthetic workloads of the experiment
+// harness. The UCI Wisconsin Breast Cancer Data used in Section 7.2 is not
+// available offline, so WBCDLike generates its stand-in: a relation with
+// the same shape (30 interval attributes) whose planted structure is
+// calibrated to the paper's reported Phase I/II statistics — ≈1050 ACF
+// clusters and ≈90 non-trivial cliques at a 3% frequency threshold — and
+// whose scale knob multiplies points per cluster together with a
+// proportional share of irrelevant points, exactly the scaling protocol
+// of the paper ("increasing the number of points per cluster and
+// proportionally the number of irrelevant (or outliers) points ...
+// holding the data complexity constant").
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/relation"
+)
+
+// WBCDConfig parameterizes the WBCD-like generator.
+//
+// The attribute space is split into blocks of BlockSize consecutive
+// attributes. Within a block, a relevant tuple's values are driven by one
+// of PrototypesPerBlock block prototypes: prototype q places attribute j
+// of the block on planted center (q+j) mod PrototypesPerBlock, so the
+// block's attributes are mutually associated — each prototype yields one
+// maximal clique of size BlockSize. Blocks are independent, so cliques
+// never span blocks. Every attribute carries CentersPerAttr centers in
+// total: PrototypesPerBlock of them hold the (frequent) relevant mass and
+// the rest hold irrelevant tuples whose attributes are independent, thin
+// (below a 3% frequency threshold), and therefore excluded from Phase II
+// — the "irrelevant (or outliers) points" of Section 7.2.
+type WBCDConfig struct {
+	// Attrs is the number of interval attributes (the paper used 30 of
+	// WBCD's 32). Must be a multiple of BlockSize.
+	Attrs int
+	// BlockSize is the number of mutually associated attributes per
+	// block.
+	BlockSize int
+	// PrototypesPerBlock is the number of planted associations per
+	// block; with the defaults, (Attrs/BlockSize)·PrototypesPerBlock =
+	// 10·9 = 90 non-trivial cliques, the paper's Phase II count.
+	PrototypesPerBlock int
+	// CentersPerAttr is the total number of populated value centers per
+	// attribute; with the defaults, Attrs·CentersPerAttr = 30·35 = 1050
+	// clusters, the paper's Phase I count.
+	CentersPerAttr int
+	// Tuples is the relation size — the Figure 6 scale knob.
+	Tuples int
+	// RelevantFraction is the share of tuples driven by block
+	// prototypes; the rest are irrelevant points.
+	RelevantFraction float64
+	// Noise is the within-cluster standard deviation.
+	Noise float64
+	// Spacing separates adjacent centers within an attribute.
+	Spacing float64
+	// Seed drives the deterministic generator.
+	Seed int64
+}
+
+// DefaultWBCDConfig mirrors the paper's setup at its base size of 500
+// tuples; the Figure 6 sweep overrides Tuples.
+func DefaultWBCDConfig() WBCDConfig {
+	return WBCDConfig{
+		Attrs:              30,
+		BlockSize:          3,
+		PrototypesPerBlock: 9,
+		CentersPerAttr:     35,
+		Tuples:             500,
+		RelevantFraction:   0.7,
+		Noise:              0.5,
+		Spacing:            10,
+		Seed:               1,
+	}
+}
+
+// ExpectedClusters returns the number of ACF clusters Phase I should find
+// (Attrs × CentersPerAttr).
+func (c WBCDConfig) ExpectedClusters() int { return c.Attrs * c.CentersPerAttr }
+
+// ExpectedCliques returns the number of non-trivial cliques Phase II
+// should find ((Attrs/BlockSize) × PrototypesPerBlock).
+func (c WBCDConfig) ExpectedCliques() int {
+	return c.Attrs / c.BlockSize * c.PrototypesPerBlock
+}
+
+func (c WBCDConfig) validate() error {
+	if c.Attrs < 1 || c.BlockSize < 1 || c.Attrs%c.BlockSize != 0 {
+		return fmt.Errorf("datagen: Attrs (%d) must be a positive multiple of BlockSize (%d)", c.Attrs, c.BlockSize)
+	}
+	if c.PrototypesPerBlock < 1 || c.CentersPerAttr < c.PrototypesPerBlock {
+		return fmt.Errorf("datagen: need 1 <= PrototypesPerBlock (%d) <= CentersPerAttr (%d)", c.PrototypesPerBlock, c.CentersPerAttr)
+	}
+	if c.Tuples < 1 {
+		return fmt.Errorf("datagen: Tuples must be positive, got %d", c.Tuples)
+	}
+	if c.RelevantFraction <= 0 || c.RelevantFraction > 1 {
+		return fmt.Errorf("datagen: RelevantFraction must be in (0,1], got %v", c.RelevantFraction)
+	}
+	if c.Noise < 0 || c.Spacing <= 0 {
+		return fmt.Errorf("datagen: Noise must be >= 0 and Spacing > 0: noise %v, spacing %v", c.Noise, c.Spacing)
+	}
+	if c.Noise*8 > c.Spacing {
+		return fmt.Errorf("datagen: Spacing %v too small for Noise %v; clusters would blur together", c.Spacing, c.Noise)
+	}
+	return nil
+}
+
+// WBCDLike generates the relation.
+func WBCDLike(cfg WBCDConfig) (*relation.Relation, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	attrs := make([]relation.Attribute, cfg.Attrs)
+	for i := range attrs {
+		attrs[i] = relation.Attribute{Name: fmt.Sprintf("a%02d", i), Kind: relation.Interval}
+	}
+	rel := relation.NewRelation(relation.MustSchema(attrs...))
+
+	// Relevant prototypes occupy evenly spread center indices; the rest
+	// of the CentersPerAttr slots belong to irrelevant mass.
+	stride := cfg.CentersPerAttr / cfg.PrototypesPerBlock
+	protoCenter := func(q int) int { return q * stride }
+	isProto := make([]bool, cfg.CentersPerAttr)
+	for q := 0; q < cfg.PrototypesPerBlock; q++ {
+		isProto[protoCenter(q)] = true
+	}
+	var irrelevant []int
+	for c := 0; c < cfg.CentersPerAttr; c++ {
+		if !isProto[c] {
+			irrelevant = append(irrelevant, c)
+		}
+	}
+	if len(irrelevant) == 0 {
+		// All centers are prototype centers; irrelevant tuples reuse them.
+		irrelevant = append(irrelevant, 0)
+	}
+
+	value := func(center int) float64 {
+		// Truncated Gaussian: unclamped tails spawn extra tiny clusters
+		// whose count grows with the relation size, violating the
+		// constant-complexity requirement of the scaling protocol.
+		z := rng.NormFloat64()
+		if z > 3 {
+			z = 3
+		} else if z < -3 {
+			z = -3
+		}
+		return float64(center)*cfg.Spacing + z*cfg.Noise
+	}
+	blocks := cfg.Attrs / cfg.BlockSize
+
+	t := make([]float64, cfg.Attrs)
+	for i := 0; i < cfg.Tuples; i++ {
+		if rng.Float64() < cfg.RelevantFraction {
+			for b := 0; b < blocks; b++ {
+				q := rng.Intn(cfg.PrototypesPerBlock)
+				for j := 0; j < cfg.BlockSize; j++ {
+					a := b*cfg.BlockSize + j
+					t[a] = value(protoCenter((q + j) % cfg.PrototypesPerBlock))
+				}
+			}
+		} else {
+			for a := range t {
+				t[a] = value(irrelevant[rng.Intn(len(irrelevant))])
+			}
+		}
+		rel.MustAppend(t)
+	}
+	return rel, nil
+}

@@ -1,0 +1,266 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func TestWBCDConfigValidate(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*WBCDConfig)
+	}{
+		{"zero attrs", func(c *WBCDConfig) { c.Attrs = 0 }},
+		{"non-multiple block", func(c *WBCDConfig) { c.BlockSize = 4 }},
+		{"zero prototypes", func(c *WBCDConfig) { c.PrototypesPerBlock = 0 }},
+		{"centers below prototypes", func(c *WBCDConfig) { c.CentersPerAttr = 5 }},
+		{"zero tuples", func(c *WBCDConfig) { c.Tuples = 0 }},
+		{"zero relevant", func(c *WBCDConfig) { c.RelevantFraction = 0 }},
+		{"relevant above 1", func(c *WBCDConfig) { c.RelevantFraction = 1.5 }},
+		{"negative noise", func(c *WBCDConfig) { c.Noise = -1 }},
+		{"zero spacing", func(c *WBCDConfig) { c.Spacing = 0 }},
+		{"blurred clusters", func(c *WBCDConfig) { c.Noise = 5; c.Spacing = 10 }},
+	}
+	for _, c := range cases {
+		cfg := DefaultWBCDConfig()
+		c.mutate(&cfg)
+		if _, err := WBCDLike(cfg); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestWBCDLikeShape(t *testing.T) {
+	cfg := DefaultWBCDConfig()
+	rel, err := WBCDLike(cfg)
+	if err != nil {
+		t.Fatalf("WBCDLike: %v", err)
+	}
+	if rel.Schema().Width() != 30 {
+		t.Errorf("width = %d", rel.Schema().Width())
+	}
+	if rel.Len() != cfg.Tuples {
+		t.Errorf("Len = %d, want %d", rel.Len(), cfg.Tuples)
+	}
+	if cfg.ExpectedClusters() != 1050 {
+		t.Errorf("ExpectedClusters = %d, want 1050", cfg.ExpectedClusters())
+	}
+	if cfg.ExpectedCliques() != 90 {
+		t.Errorf("ExpectedCliques = %d, want 90", cfg.ExpectedCliques())
+	}
+}
+
+func TestWBCDLikeDeterministic(t *testing.T) {
+	cfg := DefaultWBCDConfig()
+	a, err := WBCDLike(cfg)
+	if err != nil {
+		t.Fatalf("WBCDLike: %v", err)
+	}
+	b, _ := WBCDLike(cfg)
+	for i := 0; i < a.Len(); i++ {
+		for j := 0; j < a.Schema().Width(); j++ {
+			if a.Tuple(i)[j] != b.Tuple(i)[j] {
+				t.Fatalf("row %d differs between same-seed runs", i)
+			}
+		}
+	}
+	cfg.Seed = 2
+	c, _ := WBCDLike(cfg)
+	same := true
+	for i := 0; i < a.Len() && same; i++ {
+		for j := 0; j < a.Schema().Width(); j++ {
+			if a.Tuple(i)[j] != c.Tuple(i)[j] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+// Every value must lie within 5 sigma of a planted center, and all
+// CentersPerAttr centers must be populated at a reasonable size — the
+// "constant data complexity" the Figure 6 experiment depends on.
+func TestWBCDLikeClusterStructure(t *testing.T) {
+	cfg := DefaultWBCDConfig()
+	cfg.Tuples = 4000
+	rel, err := WBCDLike(cfg)
+	if err != nil {
+		t.Fatalf("WBCDLike: %v", err)
+	}
+	for a := 0; a < rel.Schema().Width(); a++ {
+		centersSeen := map[int]bool{}
+		for _, v := range rel.Column(a) {
+			idx := int(math.Round(v / cfg.Spacing))
+			if math.Abs(v-float64(idx)*cfg.Spacing) > 5*cfg.Noise {
+				t.Fatalf("attr %d value %v not near any center", a, v)
+			}
+			centersSeen[idx] = true
+		}
+		if len(centersSeen) != cfg.CentersPerAttr {
+			t.Errorf("attr %d has %d centers, want %d", a, len(centersSeen), cfg.CentersPerAttr)
+		}
+	}
+}
+
+// Relevant (prototype) centers must hold >3%% of tuples each and
+// irrelevant centers <3%% — that is what makes the 3%% frequency
+// threshold of Section 7.2 separate signal from noise.
+func TestWBCDLikeFrequencySplit(t *testing.T) {
+	cfg := DefaultWBCDConfig()
+	cfg.Tuples = 20000
+	rel, err := WBCDLike(cfg)
+	if err != nil {
+		t.Fatalf("WBCDLike: %v", err)
+	}
+	stride := cfg.CentersPerAttr / cfg.PrototypesPerBlock
+	threshold := 0.03 * float64(cfg.Tuples)
+	for _, a := range []int{0, 7, 29} {
+		counts := map[int]int{}
+		for _, v := range rel.Column(a) {
+			counts[int(math.Round(v/cfg.Spacing))]++
+		}
+		for idx, n := range counts {
+			isProto := idx%stride == 0 && idx/stride < cfg.PrototypesPerBlock
+			if isProto && float64(n) < threshold {
+				t.Errorf("attr %d prototype center %d has %d tuples, below 3%%", a, idx, n)
+			}
+			if !isProto && float64(n) >= threshold {
+				t.Errorf("attr %d irrelevant center %d has %d tuples, above 3%%", a, idx, n)
+			}
+		}
+	}
+}
+
+func TestFigure1Salaries(t *testing.T) {
+	s := Figure1Salaries()
+	if len(s) != 6 || s[0] != 18000 || s[5] != 82000 {
+		t.Errorf("Figure1Salaries = %v", s)
+	}
+}
+
+func TestFigure2Relations(t *testing.T) {
+	r1, r2 := Figure2Relations()
+	if r1.Len() != 6 || r2.Len() != 6 {
+		t.Fatalf("lengths = %d, %d", r1.Len(), r2.Len())
+	}
+	// Five DBAs in both.
+	dba1, _ := r1.Schema().Attr(0).Dict.Lookup("DBA")
+	count := 0
+	for i := 0; i < r1.Len(); i++ {
+		if r1.Tuple(i)[0] == dba1 {
+			count++
+		}
+	}
+	if count != 5 {
+		t.Errorf("R1 DBAs = %d", count)
+	}
+	// R2's salaries stay within [40000, 42000].
+	for i := 0; i < r2.Len(); i++ {
+		s := r2.Tuple(i)[2]
+		if s < 40000 || s > 42000 {
+			t.Errorf("R2 salary %v out of range", s)
+		}
+	}
+}
+
+func TestFigure4Points(t *testing.T) {
+	rel, cx, cy := Figure4Points()
+	if len(cx) != 12 || len(cy) != 13 {
+		t.Fatalf("|C_X| = %d, |C_Y| = %d; want 12 and 13", len(cx), len(cy))
+	}
+	shared := map[int]bool{}
+	for _, i := range cx {
+		shared[i] = true
+	}
+	n := 0
+	for _, i := range cy {
+		if shared[i] {
+			n++
+		}
+	}
+	if n != 10 {
+		t.Errorf("|C_X ∩ C_Y| = %d, want 10", n)
+	}
+	if rel.Len() != 15 {
+		t.Errorf("Len = %d, want 15", rel.Len())
+	}
+}
+
+func TestInsurance(t *testing.T) {
+	if _, err := Insurance(InsuranceConfig{N: 5}); err == nil {
+		t.Error("tiny N accepted")
+	}
+	rel, err := Insurance(InsuranceConfig{N: 3000, Seed: 1})
+	if err != nil {
+		t.Fatalf("Insurance: %v", err)
+	}
+	if rel.Len() != 3000 || rel.Schema().Width() != 3 {
+		t.Fatalf("shape = %d x %d", rel.Len(), rel.Schema().Width())
+	}
+	// The planted segment must be populated: middle-aged drivers with
+	// 6-8 dependents mostly claim 10K-14K.
+	in, out := 0, 0
+	for i := 0; i < rel.Len(); i++ {
+		t := rel.Tuple(i)
+		if t[0] >= 41 && t[0] <= 47 && t[1] >= 6 && t[1] <= 8 {
+			if t[2] >= 10000 && t[2] <= 14000 {
+				in++
+			} else {
+				out++
+			}
+		}
+	}
+	if in < 500 {
+		t.Errorf("planted segment has only %d members", in)
+	}
+	if float64(out) > 0.15*float64(in+out) {
+		t.Errorf("planted segment too noisy: %d in, %d out", in, out)
+	}
+}
+
+func TestStocks(t *testing.T) {
+	if _, err := Stocks(StocksConfig{Days: 5}); err == nil {
+		t.Error("tiny Days accepted")
+	}
+	rel, err := Stocks(StocksConfig{Days: 1000, Seed: 1})
+	if err != nil {
+		t.Fatalf("Stocks: %v", err)
+	}
+	if rel.Len() != 1000 {
+		t.Fatalf("Len = %d", rel.Len())
+	}
+	// Crash regime: late days pair low prices with high volume.
+	for i := 0; i < rel.Len(); i++ {
+		t0 := rel.Tuple(i)
+		if t0[0] > 900 {
+			if t0[1] > 80 {
+				t.Errorf("day %v price %v, expected crash regime", t0[0], t0[1])
+			}
+			if t0[2] < 3000 {
+				t.Errorf("day %v volume %v, expected crash spike", t0[0], t0[2])
+			}
+		}
+	}
+}
+
+func TestGeneratedRelationsAreValid(t *testing.T) {
+	// All generators must produce relations that survive a CSV round trip
+	// (guards against NaN/Inf leaking into workloads).
+	rel, err := Insurance(InsuranceConfig{N: 100, Seed: 2})
+	if err != nil {
+		t.Fatalf("Insurance: %v", err)
+	}
+	for i := 0; i < rel.Len(); i++ {
+		for _, v := range rel.Tuple(i) {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("row %d has invalid value %v", i, v)
+			}
+		}
+	}
+	var _ *relation.Relation = rel
+}

@@ -1,0 +1,165 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/relation"
+)
+
+// Figure1Salaries returns the six salary values of Figure 1 of the paper,
+// whose equi-depth and distance-based partitionings disagree.
+func Figure1Salaries() []float64 {
+	return []float64{18000, 30000, 31000, 80000, 81000, 82000}
+}
+
+// Figure2Relations builds the relations R1 and R2 of Figure 2. Rule (1)
+// (Job=DBA ∧ Age=30 ⇒ Salary=40,000) has support 50% and confidence 60%
+// in both, but R2's near-misses (41K, 42K) make the rule stronger under a
+// distance-based reading.
+func Figure2Relations() (r1, r2 *relation.Relation) {
+	build := func(salaries []float64) *relation.Relation {
+		s := relation.MustSchema(
+			relation.Attribute{Name: "Job", Kind: relation.Nominal},
+			relation.Attribute{Name: "Age", Kind: relation.Interval},
+			relation.Attribute{Name: "Salary", Kind: relation.Interval},
+		)
+		r := relation.NewRelation(s)
+		dict := s.Attr(0).Dict
+		jobs := []string{"Mgr", "DBA", "DBA", "DBA", "DBA", "DBA"}
+		for i, job := range jobs {
+			r.MustAppend([]float64{dict.Code(job), 30, salaries[i]})
+		}
+		return r
+	}
+	r1 = build([]float64{40000, 40000, 40000, 40000, 100000, 90000})
+	r2 = build([]float64{40000, 40000, 40000, 40000, 41000, 42000})
+	return r1, r2
+}
+
+// Figure4Points reconstructs the two-attribute scenario of Figure 4: a
+// cluster C_X on attribute X and C_Y on attribute Y sharing 10 tuples;
+// C_X has 2 extra members whose Y values are far from C_Y, while C_Y has
+// 3 extra members whose X values are only slightly outside C_X. Classical
+// confidence then ranks C_X ⇒ C_Y (10/12) above C_Y ⇒ C_X (10/13), but
+// the distance-based reading favors C_Y ⇒ C_X because C_Y's extras are
+// near-misses. It returns the relation plus the tuple-index clusters.
+func Figure4Points() (rel *relation.Relation, cx, cy []int) {
+	s := relation.MustSchema(
+		relation.Attribute{Name: "X", Kind: relation.Interval},
+		relation.Attribute{Name: "Y", Kind: relation.Interval},
+	)
+	rel = relation.NewRelation(s)
+	// 10 shared tuples: inside both clusters.
+	for i := 0; i < 10; i++ {
+		rel.MustAppend([]float64{10 + float64(i%3), 20 + float64(i%4)})
+		cx = append(cx, rel.Len()-1)
+		cy = append(cy, rel.Len()-1)
+	}
+	// 2 C_X-only tuples: X within the cluster, Y far away.
+	for i := 0; i < 2; i++ {
+		rel.MustAppend([]float64{11, 90 + float64(i)})
+		cx = append(cx, rel.Len()-1)
+	}
+	// 3 C_Y-only tuples: Y within the cluster, X just outside C_X.
+	for i := 0; i < 3; i++ {
+		rel.MustAppend([]float64{16 + float64(i), 21})
+		cy = append(cy, rel.Len()-1)
+	}
+	return rel, cx, cy
+}
+
+// InsuranceConfig parameterizes the Section 5.2 scenario: drivers whose
+// Age and Dependents jointly determine annual Claims.
+type InsuranceConfig struct {
+	// N is the number of tuples.
+	N int
+	// Seed drives the deterministic generator.
+	Seed int64
+}
+
+// Insurance generates the insurance relation. Three planted segments
+// (the first is the paper's worked example, Figure 5):
+//
+//	Age ≈ [41,47], Dependents ≈ [6,8]  ⇒ Claims ≈ [10K,14K]
+//	Age ≈ [22,28], Dependents ≈ [0,1]  ⇒ Claims ≈ [2K,4K]
+//	Age ≈ [60,66], Dependents ≈ [3,4]  ⇒ Claims ≈ [6K,8K]
+//
+// plus 5% background tuples with unrelated combinations.
+func Insurance(cfg InsuranceConfig) (*relation.Relation, error) {
+	if cfg.N < 10 {
+		return nil, fmt.Errorf("datagen: Insurance needs N >= 10, got %d", cfg.N)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	s := relation.MustSchema(
+		relation.Attribute{Name: "Age", Kind: relation.Interval},
+		relation.Attribute{Name: "Dependents", Kind: relation.Interval},
+		relation.Attribute{Name: "Claims", Kind: relation.Interval},
+	)
+	rel := relation.NewRelation(s)
+	segment := func(ageLo, ageHi, depLo, depHi, clLo, clHi float64) []float64 {
+		return []float64{
+			ageLo + rng.Float64()*(ageHi-ageLo),
+			depLo + rng.Float64()*(depHi-depLo),
+			clLo + rng.Float64()*(clHi-clLo),
+		}
+	}
+	for i := 0; i < cfg.N; i++ {
+		switch {
+		case rng.Float64() < 0.05: // background
+			rel.MustAppend([]float64{18 + rng.Float64()*62, rng.Float64() * 8, 500 + rng.Float64()*19500})
+		default:
+			switch rng.Intn(3) {
+			case 0:
+				rel.MustAppend(segment(41, 47, 6, 8, 10000, 14000))
+			case 1:
+				rel.MustAppend(segment(22, 28, 0, 1, 2000, 4000))
+			default:
+				rel.MustAppend(segment(60, 66, 3, 4, 6000, 8000))
+			}
+		}
+	}
+	return rel, nil
+}
+
+// StocksConfig parameterizes the Section 5.2 Stock-Price/Time example: an
+// interval time series where price regimes associate with time windows.
+type StocksConfig struct {
+	// Days is the length of the series.
+	Days int
+	// Seed drives the deterministic generator.
+	Seed int64
+}
+
+// Stocks generates (Day, Price, Volume) tuples with three price regimes
+// (a flat start, a rally, a crash) so that time windows and price bands
+// form distance-based associations, with volume spiking during the crash.
+func Stocks(cfg StocksConfig) (*relation.Relation, error) {
+	if cfg.Days < 30 {
+		return nil, fmt.Errorf("datagen: Stocks needs Days >= 30, got %d", cfg.Days)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	s := relation.MustSchema(
+		relation.Attribute{Name: "Day", Kind: relation.Interval},
+		relation.Attribute{Name: "Price", Kind: relation.Interval},
+		relation.Attribute{Name: "Volume", Kind: relation.Interval},
+	)
+	rel := relation.NewRelation(s)
+	for d := 0; d < cfg.Days; d++ {
+		frac := float64(d) / float64(cfg.Days)
+		var price, volume float64
+		switch {
+		case frac < 0.4: // flat regime
+			price = 100 + rng.NormFloat64()*2
+			volume = 1000 + rng.NormFloat64()*100
+		case frac < 0.7: // rally
+			price = 150 + rng.NormFloat64()*3
+			volume = 1500 + rng.NormFloat64()*150
+		default: // crash
+			price = 60 + rng.NormFloat64()*2
+			volume = 5000 + rng.NormFloat64()*300
+		}
+		rel.MustAppend([]float64{float64(d), price, volume})
+	}
+	return rel, nil
+}

@@ -1,0 +1,105 @@
+package distance
+
+import "math"
+
+// Exact (point-set) counterparts of the summary-based measures. These
+// implement the paper's definitions literally — Dfn 4.1 for the diameter
+// and Eq. 6 for the average inter-cluster distance — under an arbitrary
+// point metric δ. They cost O(N²) / O(N1·N2) and are used for small
+// relations (the worked examples of Figures 1, 2 and 4), for the nominal
+// 0/1 metric where Theorem 5.2 is stated, and as test oracles for the
+// summary closed forms.
+
+// ExactDiameter returns the average pairwise distance of Dfn 4.1:
+//
+//	d(S) = Σ_i Σ_j δ(t_i, t_j) / (N(N−1))
+//
+// Sets of fewer than two points have diameter 0 by convention.
+func ExactDiameter(m Metric, pts [][]float64) float64 {
+	n := len(pts)
+	if n < 2 {
+		return 0
+	}
+	var sum float64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			sum += m.Dist(pts[i], pts[j])
+		}
+	}
+	// The double sum in Dfn 4.1 counts each unordered pair twice.
+	return 2 * sum / float64(n*(n-1))
+}
+
+// ExactD2 returns the average inter-cluster distance of Eq. 6:
+//
+//	D2(C1, C2) = Σ_i Σ_j δ(t_i¹, t_j²) / (N1·N2)
+//
+// It returns +Inf if either set is empty.
+func ExactD2(m Metric, a, b [][]float64) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return math.Inf(1)
+	}
+	var sum float64
+	for _, p := range a {
+		for _, q := range b {
+			sum += m.Dist(p, q)
+		}
+	}
+	return sum / float64(len(a)*len(b))
+}
+
+// ExactCentroid returns the arithmetic mean of the points (Eq. 4), or nil
+// for an empty set.
+func ExactCentroid(pts [][]float64) []float64 {
+	if len(pts) == 0 {
+		return nil
+	}
+	c := make([]float64, len(pts[0]))
+	for _, p := range pts {
+		for i, v := range p {
+			c[i] += v
+		}
+	}
+	for i := range c {
+		c[i] /= float64(len(pts))
+	}
+	return c
+}
+
+// Summarize builds the Summary sufficient statistic of a point set, the
+// bridge between exact point sets and the summary-based machinery.
+func Summarize(pts [][]float64) Summary {
+	if len(pts) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: int64(len(pts)), LS: make([]float64, len(pts[0]))}
+	for _, p := range pts {
+		for i, v := range p {
+			s.LS[i] += v
+			s.SS += v * v
+		}
+	}
+	return s
+}
+
+// BoundingBox returns per-dimension [lo, hi] bounds of a point set — the
+// cluster description format of Section 7.2 ("we have chosen to describe a
+// cluster by its smallest bounding box"). It returns nil for an empty set.
+func BoundingBox(pts [][]float64) (lo, hi []float64) {
+	if len(pts) == 0 {
+		return nil, nil
+	}
+	lo = append([]float64(nil), pts[0]...)
+	hi = append([]float64(nil), pts[0]...)
+	for _, p := range pts[1:] {
+		for i, v := range p {
+			if v < lo[i] {
+				lo[i] = v
+			}
+			if v > hi[i] {
+				hi[i] = v
+			}
+		}
+	}
+	return lo, hi
+}

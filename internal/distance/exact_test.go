@@ -1,0 +1,112 @@
+package distance
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestExactDiameter(t *testing.T) {
+	// Two points: diameter is their distance.
+	pts := [][]float64{{0}, {6}}
+	if got := ExactDiameter(Euclidean{}, pts); got != 6 {
+		t.Errorf("two-point diameter = %v", got)
+	}
+	// Three collinear points 0, 3, 6: pairs are 3, 6, 3; average 4.
+	pts = [][]float64{{0}, {3}, {6}}
+	if got := ExactDiameter(Manhattan{}, pts); math.Abs(got-4) > 1e-12 {
+		t.Errorf("three-point diameter = %v, want 4", got)
+	}
+	if got := ExactDiameter(Euclidean{}, nil); got != 0 {
+		t.Errorf("empty diameter = %v", got)
+	}
+	if got := ExactDiameter(Euclidean{}, [][]float64{{1}}); got != 0 {
+		t.Errorf("singleton diameter = %v", got)
+	}
+}
+
+// Under the 0/1 metric the exact diameter of a set with k duplicates of one
+// value and the rest distinct relates directly to match counts; in
+// particular all-equal sets have diameter 0 and all-distinct sets have
+// diameter 1 (Theorem 5.1 substrate).
+func TestExactDiameterDiscrete(t *testing.T) {
+	same := [][]float64{{2}, {2}, {2}}
+	if got := ExactDiameter(Discrete{}, same); got != 0 {
+		t.Errorf("all-equal discrete diameter = %v", got)
+	}
+	diff := [][]float64{{1}, {2}, {3}}
+	if got := ExactDiameter(Discrete{}, diff); got != 1 {
+		t.Errorf("all-distinct discrete diameter = %v", got)
+	}
+	mixed := [][]float64{{1}, {1}, {2}}
+	// Pairs: (1,1)=0, (1,2)=1, (1,2)=1 → avg = 2/3.
+	if got := ExactDiameter(Discrete{}, mixed); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("mixed discrete diameter = %v, want 2/3", got)
+	}
+}
+
+func TestExactD2(t *testing.T) {
+	a := [][]float64{{0}, {2}}
+	b := [][]float64{{10}}
+	// Distances 10 and 8, average 9.
+	if got := ExactD2(Euclidean{}, a, b); math.Abs(got-9) > 1e-12 {
+		t.Errorf("ExactD2 = %v, want 9", got)
+	}
+	if got := ExactD2(Euclidean{}, nil, b); !math.IsInf(got, 1) {
+		t.Errorf("ExactD2 empty = %v", got)
+	}
+}
+
+func TestExactCentroid(t *testing.T) {
+	if c := ExactCentroid(nil); c != nil {
+		t.Errorf("empty centroid = %v", c)
+	}
+	c := ExactCentroid([][]float64{{1, 10}, {3, 20}})
+	if !reflect.DeepEqual(c, []float64{2, 15}) {
+		t.Errorf("centroid = %v", c)
+	}
+}
+
+func TestBoundingBox(t *testing.T) {
+	lo, hi := BoundingBox([][]float64{{3, -1}, {1, 5}, {2, 0}})
+	if !reflect.DeepEqual(lo, []float64{1, -1}) || !reflect.DeepEqual(hi, []float64{3, 5}) {
+		t.Errorf("BoundingBox = %v, %v", lo, hi)
+	}
+	lo, hi = BoundingBox(nil)
+	if lo != nil || hi != nil {
+		t.Errorf("empty BoundingBox = %v, %v", lo, hi)
+	}
+}
+
+// Jensen: the summary diameter (RMS pairwise) upper-bounds the exact
+// average pairwise Euclidean distance.
+func TestSummaryDiameterUpperBoundsExactProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pts := randomPoints(rng, rng.Intn(15)+2, rng.Intn(3)+1)
+		exact := ExactDiameter(Euclidean{}, pts)
+		summary := Summarize(pts).Diameter()
+		return summary >= exact-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Same relation for D2.
+func TestSummaryD2UpperBoundsExactProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dim := rng.Intn(3) + 1
+		a := randomPoints(rng, rng.Intn(8)+1, dim)
+		b := randomPoints(rng, rng.Intn(8)+1, dim)
+		exact := ExactD2(Euclidean{}, a, b)
+		summary := D2.Between(Summarize(a), Summarize(b))
+		return summary >= exact-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

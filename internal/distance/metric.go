@@ -1,0 +1,116 @@
+// Package distance implements the distance machinery of the paper: point
+// metrics δ_X over attribute-group vectors (Euclidean, Manhattan, Chebyshev
+// and the 0/1 discrete metric used to recover classical association rules),
+// and cluster-level measures — the diameter of Dfn 4.1, the centroid of
+// Eq. 4, the centroid Manhattan distance D1 of Eq. 5, the average
+// inter-cluster distance D2 of Eq. 6, plus the D0/D3/D4 metrics of BIRCH
+// [ZRL96] — all computable from clustering-feature summaries alone, which
+// is what makes Theorem 6.1 (ACF representativity) hold.
+package distance
+
+import (
+	"fmt"
+	"math"
+)
+
+// Metric is a point-to-point distance δ over equal-length vectors.
+// Implementations must be symmetric, non-negative, and zero on identical
+// inputs. Dist panics if the slices differ in length (programmer error).
+type Metric interface {
+	// Dist returns δ(a, b).
+	Dist(a, b []float64) float64
+	// Name identifies the metric in output and options.
+	Name() string
+}
+
+// Euclidean is the L2 metric.
+type Euclidean struct{}
+
+// Dist returns the L2 distance between a and b.
+func (Euclidean) Dist(a, b []float64) float64 {
+	checkLen(a, b)
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Name returns "euclidean".
+func (Euclidean) Name() string { return "euclidean" }
+
+// Manhattan is the L1 metric.
+type Manhattan struct{}
+
+// Dist returns the L1 distance between a and b.
+func (Manhattan) Dist(a, b []float64) float64 {
+	checkLen(a, b)
+	var s float64
+	for i := range a {
+		s += math.Abs(a[i] - b[i])
+	}
+	return s
+}
+
+// Name returns "manhattan".
+func (Manhattan) Name() string { return "manhattan" }
+
+// Chebyshev is the L∞ metric.
+type Chebyshev struct{}
+
+// Dist returns the L∞ distance between a and b.
+func (Chebyshev) Dist(a, b []float64) float64 {
+	checkLen(a, b)
+	var s float64
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > s {
+			s = d
+		}
+	}
+	return s
+}
+
+// Name returns "chebyshev".
+func (Chebyshev) Name() string { return "chebyshev" }
+
+// Discrete is the 0/1 metric of Section 5.1: δ(x,y) = 0 if x = y, else 1.
+// For multi-dimensional vectors it is 0 only when all components match,
+// so a diameter-0 cluster is constant on the group (Theorem 5.1).
+type Discrete struct{}
+
+// Dist returns 0 if a equals b componentwise, else 1.
+func (Discrete) Dist(a, b []float64) float64 {
+	checkLen(a, b)
+	for i := range a {
+		if a[i] != b[i] {
+			return 1
+		}
+	}
+	return 0
+}
+
+// Name returns "discrete".
+func (Discrete) Name() string { return "discrete" }
+
+// ByName returns the metric with the given Name. It is used by CLI flags.
+func ByName(name string) (Metric, error) {
+	switch name {
+	case "euclidean", "":
+		return Euclidean{}, nil
+	case "manhattan":
+		return Manhattan{}, nil
+	case "chebyshev":
+		return Chebyshev{}, nil
+	case "discrete":
+		return Discrete{}, nil
+	default:
+		return nil, fmt.Errorf("distance: unknown metric %q", name)
+	}
+}
+
+func checkLen(a, b []float64) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("distance: mismatched vector lengths %d and %d", len(a), len(b)))
+	}
+}

@@ -1,0 +1,105 @@
+package distance
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMetricValues(t *testing.T) {
+	a := []float64{0, 0}
+	b := []float64{3, 4}
+	cases := []struct {
+		m    Metric
+		want float64
+	}{
+		{Euclidean{}, 5},
+		{Manhattan{}, 7},
+		{Chebyshev{}, 4},
+		{Discrete{}, 1},
+	}
+	for _, c := range cases {
+		if got := c.m.Dist(a, b); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%s(a,b) = %v, want %v", c.m.Name(), got, c.want)
+		}
+		if got := c.m.Dist(a, a); got != 0 {
+			t.Errorf("%s(a,a) = %v, want 0", c.m.Name(), got)
+		}
+	}
+}
+
+func TestDiscretePartialMatch(t *testing.T) {
+	// One differing component is enough for distance 1.
+	if got := (Discrete{}).Dist([]float64{1, 2}, []float64{1, 3}); got != 1 {
+		t.Errorf("Discrete = %v, want 1", got)
+	}
+	if got := (Discrete{}).Dist([]float64{1, 2}, []float64{1, 2}); got != 0 {
+		t.Errorf("Discrete = %v, want 0", got)
+	}
+}
+
+func TestMetricPanicsOnLengthMismatch(t *testing.T) {
+	for _, m := range []Metric{Euclidean{}, Manhattan{}, Chebyshev{}, Discrete{}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic on mismatched lengths", m.Name())
+				}
+			}()
+			m.Dist([]float64{1}, []float64{1, 2})
+		}()
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"euclidean", "manhattan", "chebyshev", "discrete"} {
+		m, err := ByName(name)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+			continue
+		}
+		if m.Name() != name {
+			t.Errorf("ByName(%q).Name() = %q", name, m.Name())
+		}
+	}
+	if m, err := ByName(""); err != nil || m.Name() != "euclidean" {
+		t.Errorf("ByName(\"\") = %v, %v; want euclidean default", m, err)
+	}
+	if _, err := ByName("hamming"); err == nil {
+		t.Error("ByName accepted unknown metric")
+	}
+}
+
+// Metric axioms, property-based: symmetry, identity, triangle inequality.
+func TestMetricAxiomsProperty(t *testing.T) {
+	metrics := []Metric{Euclidean{}, Manhattan{}, Chebyshev{}, Discrete{}}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dim := rng.Intn(5) + 1
+		vec := func() []float64 {
+			v := make([]float64, dim)
+			for i := range v {
+				v[i] = (rng.Float64() - 0.5) * 100
+			}
+			return v
+		}
+		a, b, c := vec(), vec(), vec()
+		for _, m := range metrics {
+			dab, dba := m.Dist(a, b), m.Dist(b, a)
+			if dab != dba {
+				return false // symmetry
+			}
+			if dab < 0 || m.Dist(a, a) != 0 {
+				return false // non-negativity, identity
+			}
+			if m.Dist(a, c) > dab+m.Dist(b, c)+1e-9 {
+				return false // triangle inequality
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,247 @@
+package distance
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func randomPoints(rng *rand.Rand, n, dim int) [][]float64 {
+	pts := make([][]float64, n)
+	for i := range pts {
+		p := make([]float64, dim)
+		for j := range p {
+			p[j] = (rng.Float64() - 0.5) * 20
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+func TestSummarizeAndCentroid(t *testing.T) {
+	pts := [][]float64{{1, 2}, {3, 4}, {5, 6}}
+	s := Summarize(pts)
+	if s.N != 3 {
+		t.Fatalf("N = %d", s.N)
+	}
+	if !reflect.DeepEqual(s.LS, []float64{9, 12}) {
+		t.Errorf("LS = %v", s.LS)
+	}
+	wantSS := 1.0 + 4 + 9 + 16 + 25 + 36
+	if s.SS != wantSS {
+		t.Errorf("SS = %v, want %v", s.SS, wantSS)
+	}
+	if got := s.Centroid(); !reflect.DeepEqual(got, []float64{3, 4}) {
+		t.Errorf("Centroid = %v", got)
+	}
+	if c := (Summary{}).Centroid(); c != nil {
+		t.Errorf("empty centroid = %v", c)
+	}
+	if e := Summarize(nil); e.N != 0 || e.LS != nil {
+		t.Errorf("Summarize(nil) = %+v", e)
+	}
+}
+
+// The summary diameter must equal sqrt(mean squared pairwise distance),
+// computed by brute force.
+func TestDiameterMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		pts := randomPoints(rng, rng.Intn(20)+2, rng.Intn(4)+1)
+		var sum float64
+		n := len(pts)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				d := Euclidean{}.Dist(pts[i], pts[j])
+				sum += d * d
+			}
+		}
+		want := math.Sqrt(sum / float64(n*(n-1)))
+		got := Summarize(pts).Diameter()
+		if math.Abs(got-want) > 1e-9*(1+want) {
+			t.Fatalf("trial %d: Diameter = %v, want %v", trial, got, want)
+		}
+	}
+}
+
+func TestDiameterDegenerate(t *testing.T) {
+	if d := (Summary{}).Diameter(); d != 0 {
+		t.Errorf("empty diameter = %v", d)
+	}
+	if d := Summarize([][]float64{{5}}).Diameter(); d != 0 {
+		t.Errorf("singleton diameter = %v", d)
+	}
+	// Identical points: cancellation must not go negative.
+	pts := [][]float64{{1e8, 1e8}, {1e8, 1e8}, {1e8, 1e8}}
+	if d := Summarize(pts).Diameter(); d != 0 {
+		t.Errorf("identical-points diameter = %v", d)
+	}
+}
+
+func TestRadiusMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	pts := randomPoints(rng, 15, 3)
+	c := ExactCentroid(pts)
+	var sum float64
+	for _, p := range pts {
+		d := Euclidean{}.Dist(p, c)
+		sum += d * d
+	}
+	want := math.Sqrt(sum / float64(len(pts)))
+	got := Summarize(pts).Radius()
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("Radius = %v, want %v", got, want)
+	}
+	if r := (Summary{}).Radius(); r != 0 {
+		t.Errorf("empty radius = %v", r)
+	}
+}
+
+// Additivity: Summarize(A ∪ B) == Summarize(A).Merge(Summarize(B)).
+func TestMergeAdditivityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dim := rng.Intn(4) + 1
+		a := randomPoints(rng, rng.Intn(10)+1, dim)
+		b := randomPoints(rng, rng.Intn(10)+1, dim)
+		merged := Summarize(a).Merge(Summarize(b))
+		direct := Summarize(append(append([][]float64{}, a...), b...))
+		if merged.N != direct.N {
+			return false
+		}
+		for i := range merged.LS {
+			if math.Abs(merged.LS[i]-direct.LS[i]) > 1e-9 {
+				return false
+			}
+		}
+		return math.Abs(merged.SS-direct.SS) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergedDiameterMatchesMerge(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dim := rng.Intn(3) + 1
+		a := Summarize(randomPoints(rng, rng.Intn(8)+1, dim))
+		b := Summarize(randomPoints(rng, rng.Intn(8)+1, dim))
+		return math.Abs(MergedDiameter(a, b)-a.Merge(b).Diameter()) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergedDiameterDegenerate(t *testing.T) {
+	one := Summarize([][]float64{{1}})
+	if d := MergedDiameter(one, Summary{N: 0, LS: []float64{0}}); d != 0 {
+		t.Errorf("merge with empty = %v", d)
+	}
+}
+
+func TestClusterMetricD0D1(t *testing.T) {
+	a := Summarize([][]float64{{0, 0}, {2, 0}}) // centroid (1, 0)
+	b := Summarize([][]float64{{4, 4}})         // centroid (4, 4)
+	if got := D0.Between(a, b); math.Abs(got-5) > 1e-12 {
+		t.Errorf("D0 = %v, want 5", got)
+	}
+	if got := D1.Between(a, b); math.Abs(got-7) > 1e-12 {
+		t.Errorf("D1 = %v, want 7", got)
+	}
+}
+
+// D2 closed form vs. brute-force mean squared inter-cluster distance.
+func TestD2MatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		dim := rng.Intn(3) + 1
+		a := randomPoints(rng, rng.Intn(10)+1, dim)
+		b := randomPoints(rng, rng.Intn(10)+1, dim)
+		var sum float64
+		for _, p := range a {
+			for _, q := range b {
+				d := Euclidean{}.Dist(p, q)
+				sum += d * d
+			}
+		}
+		want := math.Sqrt(sum / float64(len(a)*len(b)))
+		got := D2.Between(Summarize(a), Summarize(b))
+		if math.Abs(got-want) > 1e-9*(1+want) {
+			t.Fatalf("trial %d: D2 = %v, want %v", trial, got, want)
+		}
+	}
+}
+
+func TestD3MatchesMergedDiameter(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	a := Summarize(randomPoints(rng, 5, 2))
+	b := Summarize(randomPoints(rng, 7, 2))
+	if got, want := D3.Between(a, b), a.Merge(b).Diameter(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("D3 = %v, want %v", got, want)
+	}
+}
+
+func TestD4VarianceIncrease(t *testing.T) {
+	// Merging two identical singletons at the same point adds no variance.
+	a := Summarize([][]float64{{3, 3}})
+	b := Summarize([][]float64{{3, 3}})
+	if got := D4.Between(a, b); got != 0 {
+		t.Errorf("D4 identical singletons = %v", got)
+	}
+	// Merging distant singletons increases variance by half the squared
+	// distance: dev(merged) = 2·(d/2)² = d²/2, so D4 = d/√2.
+	c := Summarize([][]float64{{0, 0}})
+	d := Summarize([][]float64{{0, 4}})
+	if got, want := D4.Between(c, d), 4/math.Sqrt2; math.Abs(got-want) > 1e-12 {
+		t.Errorf("D4 = %v, want %v", got, want)
+	}
+}
+
+func TestClusterMetricEmptyIsInf(t *testing.T) {
+	a := Summarize([][]float64{{1}})
+	empty := Summary{LS: []float64{0}}
+	for m := D0; m <= D4; m++ {
+		if got := m.Between(a, empty); !math.IsInf(got, 1) {
+			t.Errorf("%s with empty = %v, want +Inf", m, got)
+		}
+	}
+}
+
+func TestClusterMetricNames(t *testing.T) {
+	for m := D0; m <= D4; m++ {
+		got, ok := ParseClusterMetric(m.String())
+		if !ok || got != m {
+			t.Errorf("ParseClusterMetric(%q) = %v, %v", m.String(), got, ok)
+		}
+	}
+	if _, ok := ParseClusterMetric("D9"); ok {
+		t.Error("ParseClusterMetric accepted D9")
+	}
+	if ClusterMetric(9).String() != "D?" {
+		t.Error("unknown metric String")
+	}
+}
+
+// Cluster metrics are symmetric.
+func TestClusterMetricSymmetryProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dim := rng.Intn(3) + 1
+		a := Summarize(randomPoints(rng, rng.Intn(6)+1, dim))
+		b := Summarize(randomPoints(rng, rng.Intn(6)+1, dim))
+		for m := D0; m <= D4; m++ {
+			x, y := m.Between(a, b), m.Between(b, a)
+			if math.Abs(x-y) > 1e-9*(1+math.Abs(x)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

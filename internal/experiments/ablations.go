@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+)
+
+// PruneResult is the Section 6.2 ablation (E8): the image-density
+// reduction must slash cluster-pair comparisons without changing the rule
+// set (the bound is exact under D2).
+type PruneResult struct {
+	Tuples                  int
+	ComparisonsWith         int
+	PrunedWith              int
+	ComparisonsWithout      int
+	RulesWith, RulesWithout int
+	PhaseIIWith             time.Duration
+	PhaseIIWithout          time.Duration
+}
+
+// RunPrune mines the same workload with the reduction on and off.
+func RunPrune(tuples int, seed int64) (*PruneResult, error) {
+	with, err := mineWBCD(tuples, seed, func(o *core.Options) { o.PruneImages = true })
+	if err != nil {
+		return nil, err
+	}
+	without, err := mineWBCD(tuples, seed, func(o *core.Options) { o.PruneImages = false })
+	if err != nil {
+		return nil, err
+	}
+	if len(with.Rules) != len(without.Rules) {
+		return nil, fmt.Errorf("experiments: pruning changed the rule set: %d vs %d rules (bound should be exact under D2)",
+			len(with.Rules), len(without.Rules))
+	}
+	return &PruneResult{
+		Tuples:             tuples,
+		ComparisonsWith:    with.PhaseII.Comparisons,
+		PrunedWith:         with.PhaseII.Pruned,
+		ComparisonsWithout: without.PhaseII.Comparisons,
+		RulesWith:          len(with.Rules),
+		RulesWithout:       len(without.Rules),
+		PhaseIIWith:        with.PhaseII.Duration,
+		PhaseIIWithout:     without.PhaseII.Duration,
+	}, nil
+}
+
+// Print renders the ablation.
+func (r *PruneResult) Print(w io.Writer) {
+	fprintf(w, "Section 6.2 reduction (image-density pruning), %d tuples\n", r.Tuples)
+	fprintf(w, "%-12s | %-13s | %-9s | %-9s | %-10s\n", "Variant", "Comparisons", "Pruned", "Rules", "Phase II")
+	fprintf(w, "%-12s | %-13d | %-9d | %-9d | %-10v\n", "pruning on", r.ComparisonsWith, r.PrunedWith, r.RulesWith, r.PhaseIIWith.Round(time.Millisecond))
+	fprintf(w, "%-12s | %-13d | %-9d | %-9d | %-10v\n", "pruning off", r.ComparisonsWithout, 0, r.RulesWithout, r.PhaseIIWithout.Round(time.Millisecond))
+	if r.ComparisonsWithout > 0 {
+		fprintf(w, "comparisons avoided: %.1f%%, identical rule sets: %v\n",
+			100*float64(r.PrunedWith)/float64(r.ComparisonsWithout), r.RulesWith == r.RulesWithout)
+	}
+}
+
+// AdaptivePoint is one memory budget of the adaptivity sweep (E9).
+type AdaptivePoint struct {
+	BudgetBytes int
+	PhaseI      time.Duration
+	Rebuilds    int
+	Clusters    int
+	Frequent    int
+	Bytes       int
+	Rules       int
+}
+
+// AdaptiveResult demonstrates Section 3's operating constraint: under a
+// shrinking memory budget the algorithm trades precision (cluster count)
+// for fit, never correctness, and the scan stays single-pass.
+type AdaptiveResult struct {
+	Tuples int
+	Points []AdaptivePoint
+}
+
+// RunAdaptive sweeps Phase I memory budgets over a fixed workload.
+func RunAdaptive(tuples int, budgets []int, seed int64) (*AdaptiveResult, error) {
+	if len(budgets) == 0 {
+		return nil, fmt.Errorf("experiments: adaptive sweep needs budgets")
+	}
+	res := &AdaptiveResult{Tuples: tuples}
+	for _, b := range budgets {
+		budget := b
+		out, err := mineWBCD(tuples, seed, func(o *core.Options) { o.MemoryLimit = budget })
+		if err != nil {
+			return nil, fmt.Errorf("experiments: adaptive at %d bytes: %w", budget, err)
+		}
+		res.Points = append(res.Points, AdaptivePoint{
+			BudgetBytes: budget,
+			PhaseI:      out.PhaseI.Duration,
+			Rebuilds:    out.PhaseI.Rebuilds,
+			Clusters:    out.PhaseI.ClustersFound,
+			Frequent:    out.PhaseI.FrequentClusters,
+			Bytes:       out.PhaseI.Bytes,
+			Rules:       len(out.Rules),
+		})
+	}
+	return res, nil
+}
+
+// Print renders the sweep.
+func (r *AdaptiveResult) Print(w io.Writer) {
+	fprintf(w, "Adaptivity: Phase I under memory budgets, %d tuples\n", r.Tuples)
+	fprintf(w, "%-12s | %-12s | %-9s | %-9s | %-9s | %-11s | %-6s\n",
+		"Budget", "Phase I", "Rebuilds", "ACFs", "Frequent", "Final bytes", "Rules")
+	for _, p := range r.Points {
+		fprintf(w, "%-12s | %-12v | %-9d | %-9d | %-9d | %-11d | %-6d\n",
+			fmtBytes(p.BudgetBytes), p.PhaseI.Round(time.Millisecond), p.Rebuilds, p.Clusters, p.Frequent, p.Bytes, p.Rules)
+	}
+}
+
+func fmtBytes(b int) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.0fKB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}
+
+// SensitivityPoint is one threshold combination of the E10 sweep — the
+// "comprehensive study of the sensitivity of our algorithm to different
+// input threshold values" the paper lists as ongoing work (Section 8).
+type SensitivityPoint struct {
+	Diameter  float64
+	Frequency float64
+	Degree    float64
+	Clusters  int
+	Frequent  int
+	Rules     int
+}
+
+// SensitivityResult is the full sweep.
+type SensitivityResult struct {
+	Tuples int
+	Points []SensitivityPoint
+}
+
+// RunSensitivity sweeps d0 × s0 × DegreeFactor over a fixed workload.
+func RunSensitivity(tuples int, diameters, frequencies, degrees []float64, seed int64) (*SensitivityResult, error) {
+	res := &SensitivityResult{Tuples: tuples}
+	for _, d := range diameters {
+		for _, f := range frequencies {
+			for _, deg := range degrees {
+				d, f, deg := d, f, deg
+				out, err := mineWBCD(tuples, seed, func(o *core.Options) {
+					o.DiameterThreshold = d
+					o.FrequencyFraction = f
+					o.DegreeFactor = deg
+				})
+				if err != nil {
+					return nil, fmt.Errorf("experiments: sensitivity d0=%v s0=%v D0=%v: %w", d, f, deg, err)
+				}
+				res.Points = append(res.Points, SensitivityPoint{
+					Diameter:  d,
+					Frequency: f,
+					Degree:    deg,
+					Clusters:  out.PhaseI.ClustersFound,
+					Frequent:  out.PhaseI.FrequentClusters,
+					Rules:     len(out.Rules),
+				})
+			}
+		}
+	}
+	return res, nil
+}
+
+// Print renders the sweep.
+func (r *SensitivityResult) Print(w io.Writer) {
+	fprintf(w, "Threshold sensitivity (%d tuples)\n", r.Tuples)
+	fprintf(w, "%-8s | %-8s | %-8s | %-9s | %-9s | %-6s\n", "d0", "s0", "D0/d0", "ACFs", "Frequent", "Rules")
+	for _, p := range r.Points {
+		fprintf(w, "%-8g | %-8g | %-8g | %-9d | %-9d | %-6d\n",
+			p.Diameter, p.Frequency, p.Degree, p.Clusters, p.Frequent, p.Rules)
+	}
+}

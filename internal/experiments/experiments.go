@@ -1,0 +1,53 @@
+// Package experiments contains one runner per figure and evaluation claim
+// of the paper (see DESIGN.md's per-experiment index E1–E11). Each Run
+// function returns a result struct with a Print method producing
+// paper-style rows; cmd/experiments drives them from the command line and
+// bench_test.go wraps them in testing.B benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/relation"
+)
+
+// wbcdOptions returns the mining options of Section 7.2: a 3% frequency
+// threshold, a 5MB Phase I memory limit, and a diameter threshold matched
+// to the generator's noise scale.
+func wbcdOptions() core.Options {
+	opt := core.DefaultOptions()
+	opt.DiameterThreshold = 2
+	opt.FrequencyFraction = 0.03
+	opt.MemoryLimit = 5 << 20
+	opt.PostScan = false
+	return opt
+}
+
+// mineWBCD generates a WBCD-like relation of n tuples and mines it.
+func mineWBCD(n int, seed int64, mutate func(*core.Options)) (*core.Result, error) {
+	cfg := datagen.DefaultWBCDConfig()
+	cfg.Tuples = n
+	cfg.Seed = seed
+	rel, err := datagen.WBCDLike(cfg)
+	if err != nil {
+		return nil, err
+	}
+	opt := wbcdOptions()
+	if mutate != nil {
+		mutate(&opt)
+	}
+	m, err := core.NewMiner(rel, relation.SingletonPartitioning(rel.Schema()), opt)
+	if err != nil {
+		return nil, err
+	}
+	return m.Mine()
+}
+
+func fprintf(w io.Writer, format string, args ...any) {
+	// The experiment runners print to a caller-supplied writer; a write
+	// failure (closed pipe) is not worth threading through every runner.
+	fmt.Fprintf(w, format, args...)
+}

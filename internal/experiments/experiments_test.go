@@ -1,0 +1,381 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestRunFig1(t *testing.T) {
+	res, err := RunFig1()
+	if err != nil {
+		t.Fatalf("RunFig1: %v", err)
+	}
+	if len(res.EquiDepth) != 3 {
+		t.Fatalf("equi-depth intervals = %v", res.EquiDepth)
+	}
+	// The paper's key contrast: equi-depth pairs 31K with 80K; the
+	// distance-based partitioning must not.
+	if res.EquiDepth[1].Lo != 31000 || res.EquiDepth[1].Hi != 80000 {
+		t.Errorf("equi-depth middle interval = %v", res.EquiDepth[1])
+	}
+	if len(res.DistanceBased) != 3 {
+		t.Fatalf("distance-based intervals = %v", res.DistanceBased)
+	}
+	want := [][2]float64{{18000, 18000}, {30000, 31000}, {80000, 82000}}
+	for i, iv := range res.DistanceBased {
+		if iv.Lo != want[i][0] || iv.Hi != want[i][1] {
+			t.Errorf("distance-based[%d] = %v, want %v", i, iv, want[i])
+		}
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "[31K, 80K]") {
+		t.Errorf("Print output missing the bad interval:\n%s", buf.String())
+	}
+}
+
+func TestRunFig2(t *testing.T) {
+	res, err := RunFig2()
+	if err != nil {
+		t.Fatalf("RunFig2: %v", err)
+	}
+	if res.SupportR1 != 0.5 || res.SupportR2 != 0.5 {
+		t.Errorf("supports = %v, %v; want 0.5", res.SupportR1, res.SupportR2)
+	}
+	if res.ConfidenceR1 != 0.6 || res.ConfidenceR2 != 0.6 {
+		t.Errorf("confidences = %v, %v; want 0.6", res.ConfidenceR1, res.ConfidenceR2)
+	}
+	if res.DegreeR2 >= res.DegreeR1 {
+		t.Errorf("degree R2 (%v) must beat R1 (%v)", res.DegreeR2, res.DegreeR1)
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "R2 degree stronger (lower): true") {
+		t.Errorf("Print:\n%s", buf.String())
+	}
+}
+
+func TestRunFig4(t *testing.T) {
+	res, err := RunFig4()
+	if err != nil {
+		t.Fatalf("RunFig4: %v", err)
+	}
+	// Classical confidences are exactly 10/12 and 10/13.
+	if res.ConfXY <= res.ConfYX {
+		t.Errorf("classical should prefer C_X => C_Y: %v vs %v", res.ConfXY, res.ConfYX)
+	}
+	if res.DegreeYX >= res.DegreeXY {
+		t.Errorf("distance-based should prefer C_Y => C_X: %v vs %v", res.DegreeYX, res.DegreeXY)
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "distance-based prefers C_Y => C_X: true") {
+		t.Errorf("Print:\n%s", buf.String())
+	}
+}
+
+func TestRunThm5(t *testing.T) {
+	res, err := RunThm5(30, 1)
+	if err != nil {
+		t.Fatalf("RunThm5: %v", err)
+	}
+	if res.Thm51Violations != 0 {
+		t.Errorf("Thm 5.1 violations = %d", res.Thm51Violations)
+	}
+	if res.Thm52MaxError > 1e-12 {
+		t.Errorf("Thm 5.2 max error = %v", res.Thm52MaxError)
+	}
+	if res.Pairs == 0 {
+		t.Error("no cluster pairs checked")
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "0 violations") {
+		t.Errorf("Print:\n%s", buf.String())
+	}
+}
+
+func TestRunFig6Small(t *testing.T) {
+	res, err := RunFig6([]int{4000, 8000, 12000}, 1)
+	if err != nil {
+		t.Fatalf("RunFig6: %v", err)
+	}
+	if len(res.Points) != 3 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	// Timing assertions are left to the paper-scale harness run
+	// (cmd/experiments -run fig6): at these small scales, and with test
+	// packages running in parallel, wall-clock noise swamps the signal.
+	// The fit must still exist and be positive.
+	if res.Fit.Slope <= 0 {
+		t.Errorf("fit slope = %v, want positive", res.Fit.Slope)
+	}
+	// Constant complexity: cluster and clique counts stable.
+	if res.ClusterSpread > 0.10 {
+		t.Errorf("cluster spread = %.1f%%, want ≲10%%", res.ClusterSpread*100)
+	}
+	for _, p := range res.Points {
+		if p.NonTrivial < 80 || p.NonTrivial > 100 {
+			t.Errorf("non-trivial cliques at %d tuples = %d, want ≈90", p.Tuples, p.NonTrivial)
+		}
+		if p.Clusters < 900 || p.Clusters > 1600 {
+			t.Errorf("ACFs at %d tuples = %d, want ≈1050-1400", p.Tuples, p.Clusters)
+		}
+	}
+	if res.MaxEdgeRatio > 5 {
+		t.Errorf("edges/nodes = %v, want small constant", res.MaxEdgeRatio)
+	}
+	if _, err := RunFig6([]int{100}, 1); err == nil {
+		t.Error("single scale accepted")
+	}
+}
+
+func TestRunPrune(t *testing.T) {
+	res, err := RunPrune(5000, 1)
+	if err != nil {
+		t.Fatalf("RunPrune: %v", err)
+	}
+	if res.RulesWith != res.RulesWithout {
+		t.Errorf("rule sets differ: %d vs %d", res.RulesWith, res.RulesWithout)
+	}
+	if res.PrunedWith == 0 {
+		t.Error("nothing pruned")
+	}
+	if res.ComparisonsWith >= res.ComparisonsWithout {
+		t.Errorf("pruning did not reduce comparisons: %d vs %d", res.ComparisonsWith, res.ComparisonsWithout)
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "identical rule sets: true") {
+		t.Errorf("Print:\n%s", buf.String())
+	}
+}
+
+func TestRunAdaptive(t *testing.T) {
+	res, err := RunAdaptive(5000, []int{256 << 10, 5 << 20}, 1)
+	if err != nil {
+		t.Fatalf("RunAdaptive: %v", err)
+	}
+	tight, loose := res.Points[0], res.Points[1]
+	if tight.Rebuilds == 0 {
+		t.Error("tight budget forced no rebuilds")
+	}
+	if tight.Clusters >= loose.Clusters {
+		t.Errorf("tight budget should coarsen: %d vs %d clusters", tight.Clusters, loose.Clusters)
+	}
+	if _, err := RunAdaptive(100, nil, 1); err == nil {
+		t.Error("empty budgets accepted")
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "Budget") {
+		t.Errorf("Print:\n%s", buf.String())
+	}
+}
+
+func TestRunSensitivity(t *testing.T) {
+	res, err := RunSensitivity(4000, []float64{1, 2}, []float64{0.03}, []float64{1}, 1)
+	if err != nil {
+		t.Fatalf("RunSensitivity: %v", err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "d0") {
+		t.Errorf("Print:\n%s", buf.String())
+	}
+}
+
+func TestRunInsurance(t *testing.T) {
+	res, err := RunInsurance(5000, 1)
+	if err != nil {
+		t.Fatalf("RunInsurance: %v", err)
+	}
+	for i, ok := range res.FoundPlanted {
+		if !ok {
+			t.Errorf("planted segment %d not recovered", i)
+		}
+	}
+	if len(res.N1Rules) == 0 {
+		t.Fatal("no N:1 rules")
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "all three planted segments recovered") {
+		t.Errorf("Print:\n%s", buf.String())
+	}
+}
+
+func TestRunRefine(t *testing.T) {
+	res, err := RunRefine(5000, 1)
+	if err != nil {
+		t.Fatalf("RunRefine: %v", err)
+	}
+	if res.ACFsWith >= res.ACFsWithout {
+		t.Errorf("refinement did not reduce fragments: %d vs %d ACFs", res.ACFsWith, res.ACFsWithout)
+	}
+	// The planted structure: exactly 1050 centers.
+	if res.ACFsWith != 1050 {
+		t.Errorf("refined ACFs = %d, want the 1050 planted centers", res.ACFsWith)
+	}
+	if res.CliquesWith != 90 {
+		t.Errorf("refined non-trivial cliques = %d, want 90", res.CliquesWith)
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "refine on") {
+		t.Errorf("Print:\n%s", buf.String())
+	}
+}
+
+func TestRunBaseline(t *testing.T) {
+	res, err := RunBaseline(100, 1)
+	if err != nil {
+		t.Fatalf("RunBaseline: %v", err)
+	}
+	if len(res.DARClusters) != 3 || len(res.QARIntervals) != 3 {
+		t.Errorf("intervals = %v / %v", res.DARClusters, res.QARIntervals)
+	}
+	if _, err := RunBaseline(10, 1); err == nil {
+		t.Error("tiny baseline accepted")
+	}
+}
+
+func TestRunDrift(t *testing.T) {
+	res, err := RunDrift([]int{4000, 8000}, 1)
+	if err != nil {
+		t.Fatalf("RunDrift: %v", err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.Clusters == 0 {
+			t.Fatalf("no clusters compared at %d tuples", p.Tuples)
+		}
+		// The paper's bound: drift typically below 4% of the cluster
+		// scale. Allow slack on the max for the small test scales.
+		if p.MeanPct > 4 {
+			t.Errorf("mean drift at %d tuples = %.2f%%, want < 4%%", p.Tuples, p.MeanPct)
+		}
+		if p.MaxPct > 15 {
+			t.Errorf("max drift at %d tuples = %.2f%%", p.Tuples, p.MaxPct)
+		}
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "Mean drift") {
+		t.Errorf("Print:\n%s", buf.String())
+	}
+	if _, err := RunDrift(nil, 1); err == nil {
+		t.Error("empty scales accepted")
+	}
+}
+
+func TestRunAdaptiveClassical(t *testing.T) {
+	res, err := RunAdaptiveClassical(2000, []int{0, 8}, 1)
+	if err != nil {
+		t.Fatalf("RunAdaptiveClassical: %v", err)
+	}
+	unlimited, tight := res.Points[0], res.Points[1]
+	if !unlimited.Exact || unlimited.Straddles != 0 {
+		t.Errorf("unlimited budget: %+v", unlimited)
+	}
+	if tight.Exact || tight.Collapses == 0 {
+		t.Errorf("tight budget stayed exact: %+v", tight)
+	}
+	if res.DARClusters != 4 || res.DARStraddles != 0 {
+		t.Errorf("DAR contrast: %d clusters, %d straddles", res.DARClusters, res.DARStraddles)
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "unlimited") {
+		t.Errorf("Print:\n%s", buf.String())
+	}
+	if _, err := RunAdaptiveClassical(100, nil, 1); err == nil {
+		t.Error("empty budgets accepted")
+	}
+}
+
+func TestRunRobustness(t *testing.T) {
+	res, err := RunRobustness(4000, []float64{0, 0.05}, 1)
+	if err != nil {
+		t.Fatalf("RunRobustness: %v", err)
+	}
+	if len(res.Points) != 6 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	byKey := map[string]RobustnessPoint{}
+	for _, p := range res.Points {
+		byKey[fmt.Sprintf("%v@%v", p.Metric, p.Contamination)] = p
+	}
+	// Clean data: every metric recovers all four planted rules.
+	for _, m := range []string{"D0", "D1", "D2"} {
+		if p := byKey[m+"@0"]; p.PlantedFound != 4 {
+			t.Errorf("%s on clean data found %d planted rules", m, p.PlantedFound)
+		}
+	}
+	// Contaminated data: the centroid metrics must beat D2.
+	d2 := byKey["D2@0.05"].PlantedFound
+	for _, m := range []string{"D0", "D1"} {
+		if byKey[m+"@0.05"].PlantedFound < d2 {
+			t.Errorf("%s (%d) should be at least as robust as D2 (%d)",
+				m, byKey[m+"@0.05"].PlantedFound, d2)
+		}
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "Contamination") {
+		t.Errorf("Print:\n%s", buf.String())
+	}
+	if _, err := RunRobustness(100, nil, 1); err == nil {
+		t.Error("empty rates accepted")
+	}
+}
+
+func TestRunComparison(t *testing.T) {
+	res, err := RunComparison(5000, 1)
+	if err != nil {
+		t.Fatalf("RunComparison: %v", err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	byMethod := map[string]ComparisonRow{}
+	for _, row := range res.Rows {
+		byMethod[row.Method] = row
+	}
+	if byMethod["DAR"].Planted != 3 {
+		t.Errorf("DAR recovered %d planted segments, want 3", byMethod["DAR"].Planted)
+	}
+	// The exact-value adaptive-classical miner cannot see the continuous
+	// structure at leaf level; at best its collapsed ranges catch some.
+	if byMethod["classical"].Planted > byMethod["DAR"].Planted {
+		t.Errorf("classical (%d) beat DAR (%d)?", byMethod["classical"].Planted, byMethod["DAR"].Planted)
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "Method") {
+		t.Errorf("Print:\n%s", buf.String())
+	}
+}
+
+func TestFig6WriteTSV(t *testing.T) {
+	res := &Fig6Result{Points: []Fig6Point{{Tuples: 100, Clusters: 5, NonTrivial: 2}}}
+	var buf bytes.Buffer
+	res.WriteTSV(&buf)
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("tsv = %q", buf.String())
+	}
+	if !strings.HasPrefix(lines[0], "tuples\tphase1_seconds") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "100\t") {
+		t.Errorf("row = %q", lines[1])
+	}
+}

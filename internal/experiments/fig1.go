@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/partition"
+	"repro/internal/relation"
+)
+
+// Fig1Result reproduces Figure 1: equi-depth vs distance-based
+// partitioning of the Salary column {18K, 30K, 31K, 80K, 81K, 82K}.
+type Fig1Result struct {
+	Salaries      []float64
+	EquiDepth     []partition.Interval
+	DistanceBased []partition.Interval
+}
+
+// RunFig1 computes both partitionings: equi-depth with depth 2 (the
+// paper's left column) and adaptive clustering with d0 = 2000 (the
+// paper's right column).
+func RunFig1() (*Fig1Result, error) {
+	salaries := datagen.Figure1Salaries()
+	res := &Fig1Result{Salaries: salaries}
+
+	ed, err := partition.EquiDepth(salaries, 3)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fig1 equi-depth: %w", err)
+	}
+	res.EquiDepth = ed.Intervals
+
+	schema := relation.MustSchema(relation.Attribute{Name: "Salary", Kind: relation.Interval})
+	rel := relation.NewRelation(schema)
+	for _, s := range salaries {
+		rel.MustAppend([]float64{s})
+	}
+	opt := core.DefaultOptions()
+	opt.DiameterThreshold = 2000
+	opt.MinClusterSize = 1
+	m, err := core.NewMiner(rel, relation.SingletonPartitioning(schema), opt)
+	if err != nil {
+		return nil, err
+	}
+	out, err := m.Mine()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fig1 clustering: %w", err)
+	}
+	for _, c := range out.Clusters {
+		res.DistanceBased = append(res.DistanceBased, partition.Interval{
+			Lo:    c.Lo[0],
+			Hi:    c.Hi[0],
+			Count: int(c.Size),
+		})
+	}
+	return res, nil
+}
+
+// Print renders the Figure 1 table.
+func (r *Fig1Result) Print(w io.Writer) {
+	fprintf(w, "Figure 1: equi-depth vs distance-based partitioning of Salary\n")
+	fprintf(w, "%-10s | %-24s | %-24s\n", "Salary", "Equi-depth interval", "Distance-based interval")
+	find := func(ivs []partition.Interval, v float64) string {
+		for _, iv := range ivs {
+			if v >= iv.Lo && v <= iv.Hi {
+				return fmt.Sprintf("[%gK, %gK]", iv.Lo/1000, iv.Hi/1000)
+			}
+		}
+		return "-"
+	}
+	for _, s := range r.Salaries {
+		fprintf(w, "%-10g | %-24s | %-24s\n", s/1000, find(r.EquiDepth, s), find(r.DistanceBased, s))
+	}
+}

@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/relation"
+)
+
+func TestPerfProbe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("perf probe")
+	}
+	cfg := datagen.DefaultWBCDConfig()
+	cfg.Tuples = 100000
+	rel, err := datagen.WBCDLike(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Println("tuples:", rel.Len())
+	opt := core.DefaultOptions()
+	opt.DiameterThreshold = 2
+	opt.MemoryLimit = 5 << 20
+	opt.PostScan = false
+	m, err := core.NewMiner(rel, relation.SingletonPartitioning(rel.Schema()), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Mine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("phaseI %v clusters %d frequent %d rebuilds %d bytes %d\n",
+		res.PhaseI.Duration, res.PhaseI.ClustersFound, res.PhaseI.FrequentClusters, res.PhaseI.Rebuilds, res.PhaseI.Bytes)
+	fmt.Printf("phaseII %v cliqueT %v cliques %d nontrivial %d edges %d nodes %d rules %d\n",
+		res.PhaseII.Duration, res.PhaseII.CliqueDuration, res.PhaseII.Cliques, res.PhaseII.NonTrivialCliques, res.PhaseII.GraphEdges, res.PhaseII.GraphNodes, len(res.Rules))
+}

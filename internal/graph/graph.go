@@ -1,0 +1,249 @@
+// Package graph provides the undirected clustering graph of Dfn 6.1 and
+// maximal-clique enumeration (Bron–Kerbosch with pivoting), the skeleton
+// of Phase II: cliques of mutually close clusters "correspond to large
+// itemsets for DARs" (Section 6.2).
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Undirected is a simple undirected graph over vertices 0..n-1.
+type Undirected struct {
+	n     int
+	adj   []map[int]struct{}
+	edges int
+}
+
+// New returns an empty graph with n vertices.
+func New(n int) *Undirected {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: negative vertex count %d", n))
+	}
+	g := &Undirected{n: n, adj: make([]map[int]struct{}, n)}
+	for i := range g.adj {
+		g.adj[i] = make(map[int]struct{})
+	}
+	return g
+}
+
+// N returns the number of vertices.
+func (g *Undirected) N() int { return g.n }
+
+// Edges returns the number of edges.
+func (g *Undirected) Edges() int { return g.edges }
+
+// AddEdge inserts the edge {u, v}. Self-loops and duplicates are ignored.
+func (g *Undirected) AddEdge(u, v int) {
+	g.check(u)
+	g.check(v)
+	if u == v {
+		return
+	}
+	if _, ok := g.adj[u][v]; ok {
+		return
+	}
+	g.adj[u][v] = struct{}{}
+	g.adj[v][u] = struct{}{}
+	g.edges++
+}
+
+// HasEdge reports whether {u, v} is an edge.
+func (g *Undirected) HasEdge(u, v int) bool {
+	g.check(u)
+	g.check(v)
+	_, ok := g.adj[u][v]
+	return ok
+}
+
+// Degree returns the number of neighbours of u.
+func (g *Undirected) Degree(u int) int {
+	g.check(u)
+	return len(g.adj[u])
+}
+
+// Neighbors returns the sorted neighbours of u.
+func (g *Undirected) Neighbors(u int) []int {
+	g.check(u)
+	out := make([]int, 0, len(g.adj[u]))
+	for v := range g.adj[u] {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func (g *Undirected) check(u int) {
+	if u < 0 || u >= g.n {
+		panic(fmt.Sprintf("graph: vertex %d outside [0,%d)", u, g.n))
+	}
+}
+
+// MaximalCliques enumerates all maximal cliques using Bron–Kerbosch with
+// pivoting over a degeneracy ordering of the outer level — near-optimal in
+// practice for the sparse clustering graphs of Section 7.2 ("the number of
+// edges in the graph [is] only a small constant times the number of
+// nodes"). Every vertex appears in at least one clique (isolated vertices
+// form trivial 1-cliques, which the paper counts as cliques by definition).
+// Cliques and their members are returned in sorted order.
+func (g *Undirected) MaximalCliques() [][]int {
+	var out [][]int
+	g.EnumerateMaximalCliques(func(c []int) bool {
+		out = append(out, append([]int(nil), c...))
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return lessIntSlices(out[i], out[j]) })
+	return out
+}
+
+// EnumerateMaximalCliques streams maximal cliques to visit; returning
+// false stops the enumeration early. The callback's slice is reused and
+// must be copied if retained. Cliques are emitted with members sorted.
+func (g *Undirected) EnumerateMaximalCliques(visit func(clique []int) bool) {
+	order := g.degeneracyOrder()
+	pos := make([]int, g.n)
+	for i, v := range order {
+		pos[v] = i
+	}
+	r := make([]int, 0, g.n)
+	stopped := false
+	for _, v := range order {
+		if stopped {
+			return
+		}
+		// P: later neighbours; X: earlier neighbours.
+		var p, x []int
+		for u := range g.adj[v] {
+			if pos[u] > pos[v] {
+				p = append(p, u)
+			} else {
+				x = append(x, u)
+			}
+		}
+		r = append(r[:0], v)
+		if !g.bronKerbosch(r, p, x, visit) {
+			stopped = true
+		}
+	}
+}
+
+// bronKerbosch is the pivoted recursion. r is the current clique, p the
+// candidates, x the excluded set. Returns false to stop the enumeration.
+func (g *Undirected) bronKerbosch(r, p, x []int, visit func([]int) bool) bool {
+	if len(p) == 0 && len(x) == 0 {
+		c := append([]int(nil), r...)
+		sort.Ints(c)
+		return visit(c)
+	}
+	// Pivot: the vertex of P ∪ X with most neighbours in P.
+	pivot, best := -1, -1
+	for _, cand := range [][]int{p, x} {
+		for _, u := range cand {
+			cnt := 0
+			for _, w := range p {
+				if _, ok := g.adj[u][w]; ok {
+					cnt++
+				}
+			}
+			if cnt > best {
+				pivot, best = u, cnt
+			}
+		}
+	}
+	// Iterate over P \ N(pivot).
+	cands := make([]int, 0, len(p))
+	for _, v := range p {
+		if _, ok := g.adj[pivot][v]; !ok {
+			cands = append(cands, v)
+		}
+	}
+	pSet := make(map[int]struct{}, len(p))
+	for _, v := range p {
+		pSet[v] = struct{}{}
+	}
+	for _, v := range cands {
+		var np, nx []int
+		for _, w := range p {
+			if _, ok := g.adj[v][w]; ok {
+				np = append(np, w)
+			}
+		}
+		for _, w := range x {
+			if _, ok := g.adj[v][w]; ok {
+				nx = append(nx, w)
+			}
+		}
+		if !g.bronKerbosch(append(r, v), np, nx, visit) {
+			return false
+		}
+		// Move v from P to X.
+		delete(pSet, v)
+		p = p[:0]
+		for w := range pSet {
+			p = append(p, w)
+		}
+		x = append(x, v)
+	}
+	return true
+}
+
+// degeneracyOrder returns vertices in degeneracy order (repeatedly remove
+// the minimum-degree vertex), which bounds the outer Bron–Kerbosch level.
+func (g *Undirected) degeneracyOrder() []int {
+	deg := make([]int, g.n)
+	removed := make([]bool, g.n)
+	// Bucket queue over degrees.
+	buckets := make([]map[int]struct{}, g.n+1)
+	for v := 0; v < g.n; v++ {
+		d := len(g.adj[v])
+		deg[v] = d
+		if buckets[d] == nil {
+			buckets[d] = make(map[int]struct{})
+		}
+		buckets[d][v] = struct{}{}
+	}
+	order := make([]int, 0, g.n)
+	cur := 0
+	for len(order) < g.n {
+		for cur < len(buckets) && (buckets[cur] == nil || len(buckets[cur]) == 0) {
+			cur++
+		}
+		if cur == len(buckets) {
+			break
+		}
+		var v int
+		for u := range buckets[cur] {
+			v = u
+			break
+		}
+		delete(buckets[cur], v)
+		removed[v] = true
+		order = append(order, v)
+		for u := range g.adj[v] {
+			if removed[u] {
+				continue
+			}
+			d := deg[u]
+			delete(buckets[d], u)
+			deg[u] = d - 1
+			if buckets[d-1] == nil {
+				buckets[d-1] = make(map[int]struct{})
+			}
+			buckets[d-1][u] = struct{}{}
+			if d-1 < cur {
+				cur = d - 1
+			}
+		}
+	}
+	return order
+}
+
+func lessIntSlices(a, b []int) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}

@@ -1,0 +1,144 @@
+// Package partition implements the interval-construction machinery of
+// Srikant & Agrawal's quantitative association rules [SA96] that the paper
+// uses as its baseline: equi-depth partitioning driven by a K-partial-
+// completeness level, value-to-interval assignment, and combination of
+// adjacent intervals. Equi-depth uses only the ordinal properties of the
+// data — which is exactly the deficiency Figure 1 of the paper
+// illustrates; the distance-based alternative lives in internal/core.
+package partition
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Interval is a closed range [Lo, Hi] of attribute values together with
+// the number of data values it covers.
+type Interval struct {
+	Lo, Hi float64
+	Count  int
+}
+
+// String renders the interval like "[18000, 30000] (n=2)".
+func (iv Interval) String() string {
+	return fmt.Sprintf("[%g, %g] (n=%d)", iv.Lo, iv.Hi, iv.Count)
+}
+
+// Partitioning is an ordered, non-overlapping set of intervals covering
+// the observed values of one attribute.
+type Partitioning struct {
+	Intervals []Interval
+}
+
+// EquiDepth partitions the values into at most nparts intervals of
+// near-equal support, in the SA96 style: sort the values, cut every
+// ⌈n/nparts⌉ values, and never split ties (equal values always land in the
+// same interval). It returns an error for empty input or nparts < 1.
+func EquiDepth(values []float64, nparts int) (*Partitioning, error) {
+	if len(values) == 0 {
+		return nil, fmt.Errorf("partition: no values to partition")
+	}
+	if nparts < 1 {
+		return nil, fmt.Errorf("partition: nparts must be >= 1, got %d", nparts)
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	depth := (len(sorted) + nparts - 1) / nparts
+	var out []Interval
+	i := 0
+	for i < len(sorted) {
+		j := i + depth
+		if j > len(sorted) {
+			j = len(sorted)
+		}
+		// Extend over ties so equal values are never separated.
+		for j < len(sorted) && sorted[j] == sorted[j-1] {
+			j++
+		}
+		out = append(out, Interval{Lo: sorted[i], Hi: sorted[j-1], Count: j - i})
+		i = j
+	}
+	return &Partitioning{Intervals: out}, nil
+}
+
+// PartitionsForCompleteness returns the number of base intervals required
+// for a K-partial-completeness level over n records with fractional
+// minimum support minSup, per [SA96]: 2n / (minSup·n·(K−1)) = 2 / (minSup·(K−1)).
+// K must be > 1 and minSup in (0, 1].
+func PartitionsForCompleteness(minSup, k float64) (int, error) {
+	if k <= 1 {
+		return 0, fmt.Errorf("partition: partial completeness level K must be > 1, got %v", k)
+	}
+	if minSup <= 0 || minSup > 1 {
+		return 0, fmt.Errorf("partition: minSup must be in (0,1], got %v", minSup)
+	}
+	n := int(math.Ceil(2 / (minSup * (k - 1))))
+	if n < 1 {
+		n = 1
+	}
+	return n, nil
+}
+
+// Assign returns the index of the interval containing v, or the nearest
+// interval when v falls in a gap or outside the covered range (values seen
+// at mining time may be new).
+func (p *Partitioning) Assign(v float64) int {
+	ivs := p.Intervals
+	// First interval with Hi >= v.
+	i := sort.Search(len(ivs), func(i int) bool { return ivs[i].Hi >= v })
+	if i == len(ivs) {
+		return len(ivs) - 1
+	}
+	if v >= ivs[i].Lo {
+		return i
+	}
+	// v lies in the gap below interval i; pick the closer neighbour.
+	if i == 0 {
+		return 0
+	}
+	if v-ivs[i-1].Hi <= ivs[i].Lo-v {
+		return i - 1
+	}
+	return i
+}
+
+// CombineAdjacent implements the SA96 extension of considering unions of
+// adjacent base intervals: it returns every contiguous run of intervals
+// whose combined count stays at or below maxCount (runs of length 1 are
+// always included). Each run is returned as a merged Interval plus the
+// [first, last] base-interval index range.
+func (p *Partitioning) CombineAdjacent(maxCount int) []CombinedInterval {
+	var out []CombinedInterval
+	for i := range p.Intervals {
+		sum := 0
+		for j := i; j < len(p.Intervals); j++ {
+			sum += p.Intervals[j].Count
+			if j > i && sum > maxCount {
+				break
+			}
+			out = append(out, CombinedInterval{
+				Interval: Interval{Lo: p.Intervals[i].Lo, Hi: p.Intervals[j].Hi, Count: sum},
+				First:    i,
+				Last:     j,
+			})
+		}
+	}
+	return out
+}
+
+// CombinedInterval is a union of adjacent base intervals.
+type CombinedInterval struct {
+	Interval
+	First, Last int
+}
+
+// Depths returns the per-interval counts, useful for verifying the
+// equi-depth property in tests and experiments.
+func (p *Partitioning) Depths() []int {
+	out := make([]int, len(p.Intervals))
+	for i, iv := range p.Intervals {
+		out[i] = iv.Count
+	}
+	return out
+}

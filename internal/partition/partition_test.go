@@ -1,0 +1,194 @@
+package partition
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// Figure 1 of the paper: the equi-depth partitioning of the Salary column.
+func TestEquiDepthFigure1(t *testing.T) {
+	salaries := []float64{18000, 30000, 31000, 80000, 81000, 82000}
+	p, err := EquiDepth(salaries, 3)
+	if err != nil {
+		t.Fatalf("EquiDepth: %v", err)
+	}
+	want := []Interval{
+		{Lo: 18000, Hi: 30000, Count: 2},
+		{Lo: 31000, Hi: 80000, Count: 2},
+		{Lo: 81000, Hi: 82000, Count: 2},
+	}
+	if !reflect.DeepEqual(p.Intervals, want) {
+		t.Errorf("intervals = %v, want %v", p.Intervals, want)
+	}
+}
+
+func TestEquiDepthErrors(t *testing.T) {
+	if _, err := EquiDepth(nil, 2); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := EquiDepth([]float64{1}, 0); err == nil {
+		t.Error("nparts 0 accepted")
+	}
+}
+
+func TestEquiDepthTiesNotSplit(t *testing.T) {
+	// Depth is 2, but the three 5s must stay together.
+	p, err := EquiDepth([]float64{1, 5, 5, 5, 9, 10}, 3)
+	if err != nil {
+		t.Fatalf("EquiDepth: %v", err)
+	}
+	for _, iv := range p.Intervals {
+		if iv.Lo < 5 && iv.Hi >= 5 && iv.Hi < 9 && iv.Count < 4 {
+			t.Errorf("ties split across intervals: %v", p.Intervals)
+		}
+	}
+	// Each value of 5 must be assigned to a single interval.
+	i := p.Assign(5)
+	if p.Intervals[i].Count < 3 {
+		t.Errorf("interval holding 5 = %v", p.Intervals[i])
+	}
+}
+
+func TestEquiDepthSinglePartition(t *testing.T) {
+	p, err := EquiDepth([]float64{3, 1, 2}, 1)
+	if err != nil {
+		t.Fatalf("EquiDepth: %v", err)
+	}
+	if len(p.Intervals) != 1 || p.Intervals[0] != (Interval{Lo: 1, Hi: 3, Count: 3}) {
+		t.Errorf("intervals = %v", p.Intervals)
+	}
+}
+
+func TestAssign(t *testing.T) {
+	p := &Partitioning{Intervals: []Interval{
+		{Lo: 0, Hi: 10, Count: 5},
+		{Lo: 20, Hi: 30, Count: 5},
+	}}
+	cases := []struct {
+		v    float64
+		want int
+	}{
+		{5, 0}, {0, 0}, {10, 0},
+		{20, 1}, {25, 1}, {30, 1},
+		{-5, 0}, // below range
+		{40, 1}, // above range
+		{12, 0}, // gap, closer to first
+		{19, 1}, // gap, closer to second
+	}
+	for _, c := range cases {
+		if got := p.Assign(c.v); got != c.want {
+			t.Errorf("Assign(%v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestPartitionsForCompleteness(t *testing.T) {
+	// SA96: K = 1.5, minSup = 0.1 → 2/(0.1·0.5) = 40 intervals.
+	n, err := PartitionsForCompleteness(0.1, 1.5)
+	if err != nil {
+		t.Fatalf("PartitionsForCompleteness: %v", err)
+	}
+	if n != 40 {
+		t.Errorf("n = %d, want 40", n)
+	}
+	if _, err := PartitionsForCompleteness(0.1, 1); err == nil {
+		t.Error("K=1 accepted")
+	}
+	if _, err := PartitionsForCompleteness(0, 2); err == nil {
+		t.Error("minSup=0 accepted")
+	}
+	if _, err := PartitionsForCompleteness(1.5, 2); err == nil {
+		t.Error("minSup>1 accepted")
+	}
+}
+
+func TestCombineAdjacent(t *testing.T) {
+	p := &Partitioning{Intervals: []Interval{
+		{Lo: 0, Hi: 1, Count: 2},
+		{Lo: 2, Hi: 3, Count: 2},
+		{Lo: 4, Hi: 5, Count: 2},
+	}}
+	got := p.CombineAdjacent(4)
+	// Singles (3) + pairs {0,1}, {1,2} (2); the triple (count 6) exceeds 4.
+	if len(got) != 5 {
+		t.Fatalf("got %d combinations: %v", len(got), got)
+	}
+	foundPair := false
+	for _, c := range got {
+		if c.First == 0 && c.Last == 1 {
+			foundPair = true
+			if c.Lo != 0 || c.Hi != 3 || c.Count != 4 {
+				t.Errorf("pair = %+v", c)
+			}
+		}
+		if c.First == 0 && c.Last == 2 {
+			t.Error("over-limit triple included")
+		}
+	}
+	if !foundPair {
+		t.Error("pair {0,1} missing")
+	}
+	// Singles always included even above maxCount.
+	got = p.CombineAdjacent(1)
+	if len(got) != 3 {
+		t.Errorf("maxCount=1 got %v", got)
+	}
+}
+
+// Properties of equi-depth partitioning: intervals are ordered and
+// non-overlapping, counts sum to n, every value assigns to an interval
+// that contains it, and (absent ties) the deepest interval is at most
+// twice the target depth.
+func TestEquiDepthInvariantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(200) + 1
+		nparts := rng.Intn(10) + 1
+		values := make([]float64, n)
+		for i := range values {
+			values[i] = float64(rng.Intn(50)) // ties likely
+		}
+		p, err := EquiDepth(values, nparts)
+		if err != nil {
+			return false
+		}
+		total := 0
+		for i, iv := range p.Intervals {
+			total += iv.Count
+			if iv.Lo > iv.Hi {
+				return false
+			}
+			if i > 0 && p.Intervals[i-1].Hi >= iv.Lo {
+				return false
+			}
+		}
+		if total != n {
+			return false
+		}
+		for _, v := range values {
+			iv := p.Intervals[p.Assign(v)]
+			if v < iv.Lo || v > iv.Hi {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDepthsAndString(t *testing.T) {
+	p, err := EquiDepth([]float64{1, 2, 3, 4}, 2)
+	if err != nil {
+		t.Fatalf("EquiDepth: %v", err)
+	}
+	if got := p.Depths(); !reflect.DeepEqual(got, []int{2, 2}) {
+		t.Errorf("Depths = %v", got)
+	}
+	if got := p.Intervals[0].String(); got != "[1, 2] (n=2)" {
+		t.Errorf("String = %q", got)
+	}
+}

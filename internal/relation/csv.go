@@ -1,0 +1,107 @@
+package relation
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// CSV format used by the cmd/ tools:
+//
+//	name:kind,name:kind,...      header, kind ∈ {interval, ordinal, nominal}
+//	v11,v12,...                  one row per tuple
+//
+// A header cell without ":kind" defaults to interval. Nominal cells may hold
+// arbitrary strings; interval and ordinal cells must parse as floats.
+
+// ReadCSV reads a relation in the annotated-header format from rd.
+func ReadCSV(rd io.Reader) (*Relation, error) {
+	cr := csv.NewReader(rd)
+	cr.TrimLeadingSpace = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("relation: reading CSV header: %w", err)
+	}
+	attrs := make([]Attribute, len(header))
+	for i, h := range header {
+		name, kindStr, found := strings.Cut(h, ":")
+		kind := Interval
+		if found {
+			kind, err = ParseKind(kindStr)
+			if err != nil {
+				return nil, fmt.Errorf("relation: header column %d: %w", i, err)
+			}
+		}
+		attrs[i] = Attribute{Name: strings.TrimSpace(name), Kind: kind}
+	}
+	schema, err := NewSchema(attrs...)
+	if err != nil {
+		return nil, err
+	}
+	rel := NewRelation(schema)
+	tuple := make([]float64, schema.Width())
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("relation: reading CSV line %d: %w", line, err)
+		}
+		if len(rec) != schema.Width() {
+			return nil, fmt.Errorf("relation: line %d has %d fields, want %d", line, len(rec), schema.Width())
+		}
+		for i, cell := range rec {
+			a := schema.Attr(i)
+			if a.Kind == Nominal {
+				tuple[i] = a.Dict.Code(cell)
+				continue
+			}
+			v, err := strconv.ParseFloat(strings.TrimSpace(cell), 64)
+			if err != nil {
+				return nil, fmt.Errorf("relation: line %d, column %q: %w", line, a.Name, err)
+			}
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("relation: line %d, column %q: non-finite value %q", line, a.Name, cell)
+			}
+			tuple[i] = v
+		}
+		rel.MustAppend(tuple)
+	}
+	return rel, nil
+}
+
+// WriteCSV writes the relation in the annotated-header format to w.
+func WriteCSV(w io.Writer, r *Relation) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, r.Schema().Width())
+	for i := range header {
+		a := r.Schema().Attr(i)
+		header[i] = a.Name + ":" + a.Kind.String()
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("relation: writing CSV header: %w", err)
+	}
+	rec := make([]string, len(header))
+	err := r.Scan(func(_ int, tuple []float64) error {
+		for i, v := range tuple {
+			a := r.Schema().Attr(i)
+			if a.Kind == Nominal && a.Dict != nil {
+				if s := a.Dict.Value(v); s != "" {
+					rec[i] = s
+					continue
+				}
+			}
+			rec[i] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		return cw.Write(rec)
+	})
+	if err != nil {
+		return fmt.Errorf("relation: writing CSV row: %w", err)
+	}
+	cw.Flush()
+	return cw.Error()
+}

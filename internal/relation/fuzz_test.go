@@ -1,0 +1,38 @@
+package relation
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV ensures arbitrary input never panics the reader: it must
+// either parse or return an error, and anything that parses must survive
+// a write/read round trip.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("a,b\n1,2\n")
+	f.Add("a:nominal,b:interval\nx,1\ny,2\n")
+	f.Add("a:bogus\n1\n")
+	f.Add("")
+	f.Add("a\n\n")
+	f.Add("a,a\n1,2\n")
+	f.Add("a:interval\nNaN\n")
+	f.Add("a\n1e309\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		rel, err := ReadCSV(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, rel); err != nil {
+			t.Fatalf("WriteCSV after successful ReadCSV: %v", err)
+		}
+		back, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v\ninput: %q\nemitted: %q", err, input, buf.String())
+		}
+		if back.Len() != rel.Len() {
+			t.Fatalf("round trip lost rows: %d vs %d", back.Len(), rel.Len())
+		}
+	})
+}

@@ -1,0 +1,54 @@
+package relation
+
+import "sort"
+
+// Ranked returns a copy of the relation in which every Ordinal
+// attribute's values are replaced by their average ranks (1-based; ties
+// share the mean of the ranks they span). Interval and nominal
+// attributes are untouched.
+//
+// Ordinal data is ordered but its separations are meaningless — the
+// paper's example: "(1, 2, 3) is semantically equivalent to (1, 20, 300)"
+// [JD88]. Rank space is the canonical monotone standardization: distances
+// between ranks count positions, which is exactly the equi-depth
+// semantics the paper prescribes for ordinal attributes, while letting
+// the distance-based machinery run unchanged.
+func Ranked(r *Relation) *Relation {
+	out := r.Clone()
+	for a := 0; a < r.schema.Width(); a++ {
+		if r.schema.Attr(a).Kind != Ordinal {
+			continue
+		}
+		col := r.Column(a)
+		ranks := averageRanks(col)
+		w := r.schema.Width()
+		for i := 0; i < out.rows; i++ {
+			out.data[i*w+a] = ranks[i]
+		}
+	}
+	return out
+}
+
+// averageRanks assigns each value its 1-based rank, averaging over ties.
+func averageRanks(values []float64) []float64 {
+	idx := make([]int, len(values))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(x, y int) bool { return values[idx[x]] < values[idx[y]] })
+	ranks := make([]float64, len(values))
+	for i := 0; i < len(idx); {
+		j := i
+		for j < len(idx) && values[idx[j]] == values[idx[i]] {
+			j++
+		}
+		// Positions i..j-1 are ties; their shared rank is the mean of
+		// (i+1)..j.
+		avg := float64(i+1+j) / 2
+		for k := i; k < j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j
+	}
+	return ranks
+}

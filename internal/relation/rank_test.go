@@ -1,0 +1,115 @@
+package relation
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestAverageRanks(t *testing.T) {
+	cases := []struct {
+		in, want []float64
+	}{
+		{[]float64{10, 30, 20}, []float64{1, 3, 2}},
+		{[]float64{5, 5, 5}, []float64{2, 2, 2}},
+		{[]float64{1, 2, 2, 9}, []float64{1, 2.5, 2.5, 4}},
+		{[]float64{7}, []float64{1}},
+		{nil, []float64{}},
+	}
+	for _, c := range cases {
+		got := averageRanks(c.in)
+		if len(got) == 0 && len(c.want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("averageRanks(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestRanked(t *testing.T) {
+	s := MustSchema(
+		Attribute{Name: "grade", Kind: Ordinal},
+		Attribute{Name: "salary", Kind: Interval},
+	)
+	r := NewRelation(s)
+	// Ordinal grades on a wildly non-linear scale.
+	r.MustAppend([]float64{1, 100})
+	r.MustAppend([]float64{20, 200})
+	r.MustAppend([]float64{300, 300})
+	out := Ranked(r)
+	if got := out.Column(0); !reflect.DeepEqual(got, []float64{1, 2, 3}) {
+		t.Errorf("ranked grades = %v", got)
+	}
+	// Interval column untouched; original relation untouched.
+	if got := out.Column(1); !reflect.DeepEqual(got, []float64{100, 200, 300}) {
+		t.Errorf("interval column changed: %v", got)
+	}
+	if got := r.Column(0); !reflect.DeepEqual(got, []float64{1, 20, 300}) {
+		t.Errorf("input mutated: %v", got)
+	}
+}
+
+// Ranking is monotone-invariant: any strictly increasing transform of an
+// ordinal column yields identical ranks — the paper's "(1, 2, 3) is
+// semantically equivalent to (1, 20, 300)".
+func TestRankedMonotoneInvariantProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(40) + 1
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = float64(rng.Intn(10))
+		}
+		build := func(transform func(float64) float64) *Relation {
+			r := NewRelation(MustSchema(Attribute{Name: "o", Kind: Ordinal}))
+			for _, v := range vals {
+				r.MustAppend([]float64{transform(v)})
+			}
+			return Ranked(r)
+		}
+		a := build(func(v float64) float64 { return v })
+		b := build(func(v float64) float64 { return v*v*v + 5 }) // strictly increasing on [0,9]
+		return reflect.DeepEqual(a.Column(0), b.Column(0))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Ranks are a permutation-with-ties of 1..n: they sum to n(n+1)/2.
+func TestRankSumProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(60) + 1
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = float64(rng.Intn(7))
+		}
+		ranks := averageRanks(vals)
+		var sum float64
+		for _, r := range ranks {
+			sum += r
+		}
+		if sum != float64(n*(n+1))/2 {
+			return false
+		}
+		// Ranks must respect the value order.
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(x, y int) bool { return vals[idx[x]] < vals[idx[y]] })
+		for i := 1; i < n; i++ {
+			if vals[idx[i-1]] < vals[idx[i]] && ranks[idx[i-1]] >= ranks[idx[i]] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,123 @@
+package relation
+
+import (
+	"fmt"
+	"math"
+)
+
+// Relation is an in-memory relation r over a schema R. Rows are stored in a
+// single contiguous backing slice, so iteration is cache-friendly and the
+// memory footprint is exactly n×m float64s — the substrate stands in for
+// the sequential file scans of the paper's IO model.
+type Relation struct {
+	schema *Schema
+	data   []float64 // row-major, len = rows*schema.Width()
+	rows   int
+}
+
+// NewRelation returns an empty relation over the schema.
+func NewRelation(s *Schema) *Relation {
+	return &Relation{schema: s}
+}
+
+// Schema returns the relation's schema.
+func (r *Relation) Schema() *Schema { return r.schema }
+
+// Len returns the number of tuples |r| = n.
+func (r *Relation) Len() int { return r.rows }
+
+// Append adds a tuple. The tuple is copied; its length must equal the
+// schema width and every value must be finite (NaN and ±Inf would poison
+// the clustering features' sums and every distance computed from them).
+func (r *Relation) Append(tuple []float64) error {
+	if len(tuple) != r.schema.Width() {
+		return fmt.Errorf("relation: tuple width %d does not match schema width %d", len(tuple), r.schema.Width())
+	}
+	for i, v := range tuple {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("relation: attribute %q has non-finite value %v", r.schema.Attr(i).Name, v)
+		}
+	}
+	r.data = append(r.data, tuple...)
+	r.rows++
+	return nil
+}
+
+// MustAppend is Append that panics on error, for tests and generators that
+// construct tuples of statically known width.
+func (r *Relation) MustAppend(tuple []float64) {
+	if err := r.Append(tuple); err != nil {
+		panic(err)
+	}
+}
+
+// AppendRow adds a tuple given as one variadic value per attribute.
+func (r *Relation) AppendRow(values ...float64) error { return r.Append(values) }
+
+// Tuple returns a read-only view of row i. The returned slice aliases the
+// relation's backing store and must not be modified or retained across
+// appends.
+func (r *Relation) Tuple(i int) []float64 {
+	w := r.schema.Width()
+	return r.data[i*w : i*w+w : i*w+w]
+}
+
+// Scan iterates the relation once in storage order, invoking fn for every
+// tuple. It models the paper's single sequential data scan: all Phase I
+// processing happens inside one Scan. fn must not retain the slice.
+// If fn returns a non-nil error the scan stops and returns it.
+func (r *Relation) Scan(fn func(i int, tuple []float64) error) error {
+	w := r.schema.Width()
+	for i := 0; i < r.rows; i++ {
+		if err := fn(i, r.data[i*w:i*w+w:i*w+w]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Column copies attribute a of every tuple into a fresh slice.
+func (r *Relation) Column(a int) []float64 {
+	if a < 0 || a >= r.schema.Width() {
+		panic(fmt.Sprintf("relation: column %d out of range [0,%d)", a, r.schema.Width()))
+	}
+	out := make([]float64, r.rows)
+	w := r.schema.Width()
+	for i := 0; i < r.rows; i++ {
+		out[i] = r.data[i*w+a]
+	}
+	return out
+}
+
+// Clone returns a deep copy of the relation sharing the schema.
+func (r *Relation) Clone() *Relation {
+	return &Relation{
+		schema: r.schema,
+		data:   append([]float64(nil), r.data...),
+		rows:   r.rows,
+	}
+}
+
+// FormatValue renders the value of attribute a for human-readable output,
+// translating nominal codes back through the dictionary.
+func (r *Relation) FormatValue(a int, v float64) string {
+	return r.schema.FormatValue(a, v)
+}
+
+// FormatValue renders a value of attribute a, translating nominal codes
+// back through the dictionary.
+func (s *Schema) FormatValue(a int, v float64) string {
+	attr := s.Attr(a)
+	if attr.Kind == Nominal && attr.Dict != nil {
+		if sv := attr.Dict.Value(v); sv != "" {
+			return sv
+		}
+	}
+	return trimFloat(v)
+}
+
+// trimFloat prints a float without trailing zeros ("40000" not "40000.000").
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.6g", v)
+	return s
+}

@@ -1,0 +1,164 @@
+package relation
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestRelationAppendAndScan(t *testing.T) {
+	s := intervalSchema("a", "b")
+	r := NewRelation(s)
+	if r.Len() != 0 {
+		t.Fatalf("new relation Len = %d", r.Len())
+	}
+	if err := r.Append([]float64{1}); err == nil {
+		t.Error("width mismatch accepted")
+	}
+	if err := r.AppendRow(1, 2); err != nil {
+		t.Fatalf("AppendRow: %v", err)
+	}
+	r.MustAppend([]float64{3, 4})
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", r.Len())
+	}
+
+	var seen [][]float64
+	err := r.Scan(func(i int, tuple []float64) error {
+		seen = append(seen, append([]float64(nil), tuple...))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	want := [][]float64{{1, 2}, {3, 4}}
+	if !reflect.DeepEqual(seen, want) {
+		t.Errorf("Scan saw %v, want %v", seen, want)
+	}
+}
+
+func TestRelationScanStopsOnError(t *testing.T) {
+	r := NewRelation(intervalSchema("a"))
+	for i := 0; i < 5; i++ {
+		r.MustAppend([]float64{float64(i)})
+	}
+	sentinel := errors.New("stop")
+	count := 0
+	err := r.Scan(func(i int, _ []float64) error {
+		count++
+		if i == 2 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Errorf("Scan error = %v, want sentinel", err)
+	}
+	if count != 3 {
+		t.Errorf("scan visited %d rows, want 3", count)
+	}
+}
+
+func TestRelationTupleAndColumn(t *testing.T) {
+	r := NewRelation(intervalSchema("a", "b", "c"))
+	r.MustAppend([]float64{1, 2, 3})
+	r.MustAppend([]float64{4, 5, 6})
+	if got := r.Tuple(1); !reflect.DeepEqual(got, []float64{4, 5, 6}) {
+		t.Errorf("Tuple(1) = %v", got)
+	}
+	if got := r.Column(1); !reflect.DeepEqual(got, []float64{2, 5}) {
+		t.Errorf("Column(1) = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Column out of range did not panic")
+		}
+	}()
+	r.Column(3)
+}
+
+func TestRelationMustAppendPanics(t *testing.T) {
+	r := NewRelation(intervalSchema("a"))
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAppend did not panic on width mismatch")
+		}
+	}()
+	r.MustAppend([]float64{1, 2})
+}
+
+func TestRelationClone(t *testing.T) {
+	r := NewRelation(intervalSchema("a"))
+	r.MustAppend([]float64{1})
+	c := r.Clone()
+	c.MustAppend([]float64{2})
+	if r.Len() != 1 || c.Len() != 2 {
+		t.Errorf("clone not independent: r.Len=%d c.Len=%d", r.Len(), c.Len())
+	}
+	if c.Schema() != r.Schema() {
+		t.Error("clone should share schema")
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	s := MustSchema(
+		Attribute{Name: "job", Kind: Nominal},
+		Attribute{Name: "salary", Kind: Interval},
+	)
+	r := NewRelation(s)
+	code := s.Attr(0).Dict.Code("DBA")
+	r.MustAppend([]float64{code, 40000})
+	if got := r.FormatValue(0, code); got != "DBA" {
+		t.Errorf("FormatValue nominal = %q", got)
+	}
+	if got := r.FormatValue(1, 40000); got != "40000" {
+		t.Errorf("FormatValue interval = %q", got)
+	}
+	// Unknown nominal code falls back to numeric rendering.
+	if got := r.FormatValue(0, 42); got != "42" {
+		t.Errorf("FormatValue unknown code = %q", got)
+	}
+}
+
+func TestDictionary(t *testing.T) {
+	d := NewDictionary()
+	a := d.Code("Mgr")
+	b := d.Code("DBA")
+	if a == b {
+		t.Error("distinct values share a code")
+	}
+	if again := d.Code("Mgr"); again != a {
+		t.Errorf("Code not stable: %v then %v", a, again)
+	}
+	if c, ok := d.Lookup("DBA"); !ok || c != b {
+		t.Errorf("Lookup = %v,%v", c, ok)
+	}
+	if _, ok := d.Lookup("CEO"); ok {
+		t.Error("Lookup found unseen value")
+	}
+	if d.Value(a) != "Mgr" || d.Value(b) != "DBA" {
+		t.Errorf("Value round trip failed: %q %q", d.Value(a), d.Value(b))
+	}
+	if d.Value(7) != "" || d.Value(-1) != "" || d.Value(0.5) != "" {
+		t.Error("invalid code did not return empty string")
+	}
+	if d.Len() != 2 {
+		t.Errorf("Len = %d", d.Len())
+	}
+	if got := d.Values(); !reflect.DeepEqual(got, []string{"DBA", "Mgr"}) {
+		t.Errorf("Values = %v", got)
+	}
+}
+
+func TestAppendRejectsNonFinite(t *testing.T) {
+	r := NewRelation(intervalSchema("a"))
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if err := r.Append([]float64{v}); err == nil {
+			t.Errorf("Append(%v) accepted", v)
+		}
+	}
+	if r.Len() != 0 {
+		t.Errorf("rejected appends changed Len to %d", r.Len())
+	}
+}

@@ -1,0 +1,177 @@
+package relation
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseKind(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    Kind
+		wantErr bool
+	}{
+		{"interval", Interval, false},
+		{"Interval", Interval, false},
+		{" numeric ", Interval, false},
+		{"quantitative", Interval, false},
+		{"ordinal", Ordinal, false},
+		{"nominal", Nominal, false},
+		{"categorical", Nominal, false},
+		{"bogus", 0, true},
+		{"", 0, true},
+	}
+	for _, c := range cases {
+		got, err := ParseKind(c.in)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("ParseKind(%q): want error, got %v", c.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseKind(%q): unexpected error %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseKind(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Interval.String() != "interval" || Ordinal.String() != "ordinal" || Nominal.String() != "nominal" {
+		t.Errorf("Kind.String mismatch: %v %v %v", Interval, Ordinal, Nominal)
+	}
+	if got := Kind(99).String(); got != "Kind(99)" {
+		t.Errorf("unknown kind = %q", got)
+	}
+}
+
+func TestNewSchemaValidation(t *testing.T) {
+	if _, err := NewSchema(Attribute{Name: ""}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := NewSchema(Attribute{Name: "a"}, Attribute{Name: "a"}); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	s, err := NewSchema(Attribute{Name: "job", Kind: Nominal}, Attribute{Name: "salary", Kind: Interval})
+	if err != nil {
+		t.Fatalf("NewSchema: %v", err)
+	}
+	if s.Width() != 2 {
+		t.Errorf("Width = %d, want 2", s.Width())
+	}
+	if s.Attr(0).Dict == nil {
+		t.Error("nominal attribute did not get a dictionary")
+	}
+	if s.Attr(1).Dict != nil {
+		t.Error("interval attribute got a dictionary")
+	}
+	if s.Index("salary") != 1 || s.Index("job") != 0 || s.Index("missing") != -1 {
+		t.Errorf("Index lookup wrong: %d %d %d", s.Index("salary"), s.Index("job"), s.Index("missing"))
+	}
+	if got := s.Names(); !reflect.DeepEqual(got, []string{"job", "salary"}) {
+		t.Errorf("Names = %v", got)
+	}
+}
+
+func TestMustSchemaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustSchema did not panic on invalid schema")
+		}
+	}()
+	MustSchema(Attribute{Name: ""})
+}
+
+func intervalSchema(names ...string) *Schema {
+	attrs := make([]Attribute, len(names))
+	for i, n := range names {
+		attrs[i] = Attribute{Name: n, Kind: Interval}
+	}
+	return MustSchema(attrs...)
+}
+
+func TestNewPartitioningValidation(t *testing.T) {
+	s := intervalSchema("a", "b", "c")
+	if _, err := NewPartitioning(nil, []Group{{Attrs: []int{0}}}); err == nil {
+		t.Error("nil schema accepted")
+	}
+	if _, err := NewPartitioning(s, nil); err == nil {
+		t.Error("empty group list accepted")
+	}
+	if _, err := NewPartitioning(s, []Group{{Name: "g", Attrs: nil}}); err == nil {
+		t.Error("empty group accepted")
+	}
+	if _, err := NewPartitioning(s, []Group{{Attrs: []int{3}}}); err == nil {
+		t.Error("out-of-range attribute accepted")
+	}
+	if _, err := NewPartitioning(s, []Group{{Attrs: []int{0, 0}}}); err == nil {
+		t.Error("repeated attribute within a group accepted")
+	}
+	if _, err := NewPartitioning(s, []Group{{Attrs: []int{0}}, {Attrs: []int{0, 1}}}); err == nil {
+		t.Error("overlapping groups accepted")
+	}
+}
+
+func TestPartitioningGroups(t *testing.T) {
+	s := intervalSchema("lat", "lon", "salary")
+	p, err := NewPartitioning(s, []Group{
+		{Name: "geo", Attrs: []int{1, 0}}, // unsorted on purpose
+		{Attrs: []int{2}},                 // unnamed on purpose
+	})
+	if err != nil {
+		t.Fatalf("NewPartitioning: %v", err)
+	}
+	if p.NumGroups() != 2 {
+		t.Fatalf("NumGroups = %d", p.NumGroups())
+	}
+	geo := p.Group(0)
+	if !reflect.DeepEqual(geo.Attrs, []int{0, 1}) {
+		t.Errorf("group attrs not sorted: %v", geo.Attrs)
+	}
+	if geo.Name != "geo" || geo.Dims() != 2 {
+		t.Errorf("group 0 = %+v", geo)
+	}
+	if p.Group(1).Name != "salary" {
+		t.Errorf("default group name = %q, want %q", p.Group(1).Name, "salary")
+	}
+	if p.GroupOf(0) != 0 || p.GroupOf(1) != 0 || p.GroupOf(2) != 1 {
+		t.Errorf("GroupOf wrong: %d %d %d", p.GroupOf(0), p.GroupOf(1), p.GroupOf(2))
+	}
+
+	dst := make([]float64, 2)
+	got := p.Project(0, []float64{1.5, 2.5, 3.5}, dst)
+	if !reflect.DeepEqual(got, []float64{1.5, 2.5}) {
+		t.Errorf("Project = %v", got)
+	}
+}
+
+func TestPartitioningDefaultNameJoins(t *testing.T) {
+	s := intervalSchema("x", "y")
+	p, err := NewPartitioning(s, []Group{{Attrs: []int{0, 1}}})
+	if err != nil {
+		t.Fatalf("NewPartitioning: %v", err)
+	}
+	if p.Group(0).Name != "x+y" {
+		t.Errorf("joined default name = %q", p.Group(0).Name)
+	}
+}
+
+func TestSingletonPartitioning(t *testing.T) {
+	s := intervalSchema("a", "b", "c")
+	p := SingletonPartitioning(s)
+	if p.NumGroups() != 3 {
+		t.Fatalf("NumGroups = %d", p.NumGroups())
+	}
+	for i := 0; i < 3; i++ {
+		g := p.Group(i)
+		if g.Dims() != 1 || g.Attrs[0] != i || g.Name != s.Attr(i).Name {
+			t.Errorf("group %d = %+v", i, g)
+		}
+	}
+	if p.Schema() != s {
+		t.Error("Schema() did not return original schema")
+	}
+}

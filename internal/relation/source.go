@@ -1,0 +1,159 @@
+package relation
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// Source is what the miners actually consume: anything that can report
+// its schema and size and be scanned sequentially. The in-memory Relation
+// is one implementation; DiskRelation streams tuples from a file so the
+// paper's IO model — data too large for memory, processed in sequential
+// scans — is real rather than simulated. Scan must deliver tuples in a
+// stable order across calls (the adaptive trees are order-sensitive).
+type Source interface {
+	// Schema describes the attributes.
+	Schema() *Schema
+	// Len returns the number of tuples.
+	Len() int
+	// Scan iterates all tuples in storage order; the callback's slice is
+	// only valid during the call.
+	Scan(fn func(i int, tuple []float64) error) error
+}
+
+var (
+	_ Source = (*Relation)(nil)
+	_ Source = (*DiskRelation)(nil)
+)
+
+// diskMagic guards the binary tuple-file format:
+// "DARt" + version byte + 3 reserved + uint32 width, then width float64s
+// per tuple, little-endian.
+var diskMagic = [4]byte{'D', 'A', 'R', 't'}
+
+const diskVersion = 1
+
+// DiskRelation is a file-backed Source. It keeps only a file handle and
+// the schema in memory; every Scan is one sequential read of the file,
+// and the Scans counter exposes exactly how many passes an algorithm
+// performed — the quantity the paper's IO analysis is about.
+type DiskRelation struct {
+	schema *Schema
+	path   string
+	rows   int
+	scans  int
+}
+
+// SpillToDisk writes the relation's tuples to path in the binary tuple
+// format and returns a DiskRelation reading from it. The schema
+// (including nominal dictionaries) stays in memory and is shared.
+func SpillToDisk(r *Relation, path string) (*DiskRelation, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("relation: creating %s: %w", path, err)
+	}
+	w := bufio.NewWriterSize(f, 1<<16)
+	header := make([]byte, 12)
+	copy(header, diskMagic[:])
+	header[4] = diskVersion
+	binary.LittleEndian.PutUint32(header[8:], uint32(r.Schema().Width()))
+	if _, err := w.Write(header); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("relation: writing header: %w", err)
+	}
+	buf := make([]byte, 8)
+	err = r.Scan(func(_ int, tuple []float64) error {
+		for _, v := range tuple {
+			binary.LittleEndian.PutUint64(buf, math.Float64bits(v))
+			if _, err := w.Write(buf); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("relation: writing tuples: %w", err)
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("relation: flushing %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return nil, fmt.Errorf("relation: closing %s: %w", path, err)
+	}
+	return OpenDisk(path, r.Schema())
+}
+
+// OpenDisk opens an existing binary tuple file against its schema.
+func OpenDisk(path string, schema *Schema) (*DiskRelation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("relation: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	header := make([]byte, 12)
+	if _, err := io.ReadFull(f, header); err != nil {
+		return nil, fmt.Errorf("relation: reading header of %s: %w", path, err)
+	}
+	if [4]byte(header[:4]) != diskMagic || header[4] != diskVersion {
+		return nil, fmt.Errorf("relation: %s is not a version-%d tuple file", path, diskVersion)
+	}
+	width := int(binary.LittleEndian.Uint32(header[8:]))
+	if width != schema.Width() {
+		return nil, fmt.Errorf("relation: %s has width %d, schema has %d", path, width, schema.Width())
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("relation: stat %s: %w", path, err)
+	}
+	payload := st.Size() - int64(len(header))
+	rowBytes := int64(width) * 8
+	if payload < 0 || payload%rowBytes != 0 {
+		return nil, fmt.Errorf("relation: %s has truncated payload (%d bytes)", path, payload)
+	}
+	return &DiskRelation{schema: schema, path: path, rows: int(payload / rowBytes)}, nil
+}
+
+// Schema implements Source.
+func (d *DiskRelation) Schema() *Schema { return d.schema }
+
+// Len implements Source.
+func (d *DiskRelation) Len() int { return d.rows }
+
+// Scans returns how many full sequential passes have been performed —
+// the unit of the paper's IO cost analysis.
+func (d *DiskRelation) Scans() int { return d.scans }
+
+// Scan implements Source with one buffered sequential read of the file.
+func (d *DiskRelation) Scan(fn func(i int, tuple []float64) error) error {
+	f, err := os.Open(d.path)
+	if err != nil {
+		return fmt.Errorf("relation: opening %s: %w", d.path, err)
+	}
+	defer f.Close()
+	if _, err := f.Seek(12, io.SeekStart); err != nil {
+		return fmt.Errorf("relation: seeking %s: %w", d.path, err)
+	}
+	d.scans++
+	r := bufio.NewReaderSize(f, 1<<16)
+	width := d.schema.Width()
+	raw := make([]byte, width*8)
+	tuple := make([]float64, width)
+	for i := 0; i < d.rows; i++ {
+		if _, err := io.ReadFull(r, raw); err != nil {
+			return fmt.Errorf("relation: reading tuple %d of %s: %w", i, d.path, err)
+		}
+		for k := 0; k < width; k++ {
+			tuple[k] = math.Float64frombits(binary.LittleEndian.Uint64(raw[k*8:]))
+		}
+		if err := fn(i, tuple); err != nil {
+			return err
+		}
+	}
+	return nil
+}

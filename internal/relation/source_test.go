@@ -1,0 +1,118 @@
+package relation
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func diskFixture(t *testing.T, rows int) (*Relation, *DiskRelation) {
+	t.Helper()
+	s := intervalSchema("a", "b")
+	r := NewRelation(s)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < rows; i++ {
+		r.MustAppend([]float64{rng.NormFloat64() * 1e6, -rng.Float64()})
+	}
+	d, err := SpillToDisk(r, filepath.Join(t.TempDir(), "rel.dar"))
+	if err != nil {
+		t.Fatalf("SpillToDisk: %v", err)
+	}
+	return r, d
+}
+
+func TestDiskRelationRoundTrip(t *testing.T) {
+	r, d := diskFixture(t, 100)
+	if d.Len() != r.Len() {
+		t.Fatalf("Len = %d, want %d", d.Len(), r.Len())
+	}
+	if d.Schema() != r.Schema() {
+		t.Error("schema not shared")
+	}
+	i := 0
+	err := d.Scan(func(row int, tuple []float64) error {
+		if row != i {
+			t.Fatalf("row index %d, want %d", row, i)
+		}
+		if !reflect.DeepEqual(tuple, r.Tuple(row)) {
+			t.Fatalf("row %d = %v, want %v", row, tuple, r.Tuple(row))
+		}
+		i++
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	if i != r.Len() {
+		t.Errorf("scanned %d rows", i)
+	}
+}
+
+func TestDiskRelationScanCounter(t *testing.T) {
+	_, d := diskFixture(t, 10)
+	if d.Scans() != 0 {
+		t.Fatalf("fresh Scans = %d", d.Scans())
+	}
+	for i := 1; i <= 3; i++ {
+		if err := d.Scan(func(int, []float64) error { return nil }); err != nil {
+			t.Fatalf("Scan %d: %v", i, err)
+		}
+		if d.Scans() != i {
+			t.Errorf("Scans = %d, want %d", d.Scans(), i)
+		}
+	}
+}
+
+func TestDiskRelationSpecialValues(t *testing.T) {
+	s := intervalSchema("x")
+	r := NewRelation(s)
+	values := []float64{0, math.Copysign(0, -1), math.MaxFloat64, -math.SmallestNonzeroFloat64, 1e-300}
+	for _, v := range values {
+		r.MustAppend([]float64{v})
+	}
+	d, err := SpillToDisk(r, filepath.Join(t.TempDir(), "special.dar"))
+	if err != nil {
+		t.Fatalf("SpillToDisk: %v", err)
+	}
+	i := 0
+	d.Scan(func(_ int, tuple []float64) error {
+		if math.Float64bits(tuple[0]) != math.Float64bits(values[i]) {
+			t.Errorf("value %d = %v, want %v", i, tuple[0], values[i])
+		}
+		i++
+		return nil
+	})
+}
+
+func TestOpenDiskErrors(t *testing.T) {
+	s := intervalSchema("a", "b")
+	dir := t.TempDir()
+	if _, err := OpenDisk(filepath.Join(dir, "missing"), s); err == nil {
+		t.Error("missing file accepted")
+	}
+	// Wrong magic.
+	bad := filepath.Join(dir, "bad")
+	os.WriteFile(bad, []byte("not a tuple file at all"), 0o644)
+	if _, err := OpenDisk(bad, s); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Width mismatch.
+	r := NewRelation(intervalSchema("only"))
+	r.MustAppend([]float64{1})
+	path := filepath.Join(dir, "w1.dar")
+	if _, err := SpillToDisk(r, path); err != nil {
+		t.Fatalf("SpillToDisk: %v", err)
+	}
+	if _, err := OpenDisk(path, s); err == nil {
+		t.Error("width mismatch accepted")
+	}
+	// Truncated payload.
+	data, _ := os.ReadFile(path)
+	os.WriteFile(path, data[:len(data)-3], 0o644)
+	if _, err := OpenDisk(path, intervalSchema("only")); err == nil {
+		t.Error("truncated payload accepted")
+	}
+}

@@ -1,0 +1,155 @@
+// Package stats provides the small numeric helpers the experiment harness
+// needs: streaming moments, least-squares linear fits with R² (used to
+// verify the Figure 6 linearity claim), percentiles, and histograms.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Running accumulates streaming count/mean/variance (Welford).
+type Running struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds one observation in.
+func (r *Running) Add(x float64) {
+	r.n++
+	if r.n == 1 {
+		r.min, r.max = x, x
+	} else {
+		if x < r.min {
+			r.min = x
+		}
+		if x > r.max {
+			r.max = x
+		}
+	}
+	d := x - r.mean
+	r.mean += d / float64(r.n)
+	r.m2 += d * (x - r.mean)
+}
+
+// N returns the observation count.
+func (r *Running) N() int64 { return r.n }
+
+// Mean returns the running mean (0 when empty).
+func (r *Running) Mean() float64 { return r.mean }
+
+// Var returns the population variance (0 for fewer than 2 observations).
+func (r *Running) Var() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n)
+}
+
+// Std returns the population standard deviation.
+func (r *Running) Std() float64 { return math.Sqrt(r.Var()) }
+
+// Min and Max return the observed extremes (0 when empty).
+func (r *Running) Min() float64 { return r.min }
+
+// Max returns the maximum observation (0 when empty).
+func (r *Running) Max() float64 { return r.max }
+
+// LinearFit is a least-squares line y = Slope·x + Intercept with its
+// coefficient of determination.
+type LinearFit struct {
+	Slope, Intercept, R2 float64
+}
+
+// FitLine fits a least-squares line through the points. It returns an
+// error for fewer than two points or a degenerate x range.
+func FitLine(xs, ys []float64) (LinearFit, error) {
+	if len(xs) != len(ys) {
+		return LinearFit{}, fmt.Errorf("stats: %d xs vs %d ys", len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return LinearFit{}, fmt.Errorf("stats: need at least 2 points, got %d", len(xs))
+	}
+	n := float64(len(xs))
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return LinearFit{}, fmt.Errorf("stats: degenerate x range")
+	}
+	slope := sxy / sxx
+	fit := LinearFit{Slope: slope, Intercept: my - slope*mx}
+	if syy == 0 {
+		fit.R2 = 1 // constant y fits any line through the mean exactly
+	} else {
+		fit.R2 = sxy * sxy / (sxx * syy)
+	}
+	return fit, nil
+}
+
+// Percentile returns the p-quantile (0 <= p <= 1) of the values using
+// linear interpolation. It panics on an empty input or p outside [0,1].
+func Percentile(values []float64, p float64) float64 {
+	if len(values) == 0 || p < 0 || p > 1 {
+		panic(fmt.Sprintf("stats: Percentile(%d values, p=%v)", len(values), p))
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	pos := p * float64(len(sorted)-1)
+	lo := int(pos)
+	if lo == len(sorted)-1 {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Histogram counts values into nbins equal-width bins over [min, max].
+// Values outside the range clamp to the end bins.
+func Histogram(values []float64, min, max float64, nbins int) []int {
+	if nbins < 1 || max <= min {
+		panic(fmt.Sprintf("stats: Histogram(min=%v, max=%v, nbins=%d)", min, max, nbins))
+	}
+	out := make([]int, nbins)
+	w := (max - min) / float64(nbins)
+	for _, v := range values {
+		i := int((v - min) / w)
+		if i < 0 {
+			i = 0
+		}
+		if i >= nbins {
+			i = nbins - 1
+		}
+		out[i]++
+	}
+	return out
+}
+
+// MaxAbsRelDiff returns max |v−ref|/|ref| over the values — the "varied
+// about 5%" style comparisons of Section 7.2. ref must be non-zero.
+func MaxAbsRelDiff(values []float64, ref float64) float64 {
+	if ref == 0 {
+		panic("stats: MaxAbsRelDiff with zero reference")
+	}
+	worst := 0.0
+	for _, v := range values {
+		if d := math.Abs(v-ref) / math.Abs(ref); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}

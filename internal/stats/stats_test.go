@@ -1,0 +1,160 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunning(t *testing.T) {
+	var r Running
+	if r.Mean() != 0 || r.Var() != 0 || r.N() != 0 {
+		t.Errorf("empty Running = %+v", r)
+	}
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		r.Add(v)
+	}
+	if r.N() != 8 || r.Mean() != 5 {
+		t.Errorf("N=%d Mean=%v", r.N(), r.Mean())
+	}
+	if math.Abs(r.Var()-4) > 1e-12 || math.Abs(r.Std()-2) > 1e-12 {
+		t.Errorf("Var=%v Std=%v, want 4 and 2", r.Var(), r.Std())
+	}
+	if r.Min() != 2 || r.Max() != 9 {
+		t.Errorf("Min=%v Max=%v", r.Min(), r.Max())
+	}
+}
+
+// Welford must agree with the two-pass formula.
+func TestRunningMatchesTwoPassProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(50) + 2
+		var r Running
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = rng.NormFloat64() * 100
+			r.Add(vals[i])
+		}
+		var mean float64
+		for _, v := range vals {
+			mean += v
+		}
+		mean /= float64(n)
+		var v2 float64
+		for _, v := range vals {
+			v2 += (v - mean) * (v - mean)
+		}
+		v2 /= float64(n)
+		return math.Abs(r.Mean()-mean) < 1e-9 && math.Abs(r.Var()-v2) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFitLineExact(t *testing.T) {
+	fit, err := FitLine([]float64{1, 2, 3, 4}, []float64{3, 5, 7, 9})
+	if err != nil {
+		t.Fatalf("FitLine: %v", err)
+	}
+	if math.Abs(fit.Slope-2) > 1e-12 || math.Abs(fit.Intercept-1) > 1e-12 {
+		t.Errorf("fit = %+v, want slope 2 intercept 1", fit)
+	}
+	if math.Abs(fit.R2-1) > 1e-12 {
+		t.Errorf("R2 = %v, want 1", fit.R2)
+	}
+}
+
+func TestFitLineNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var xs, ys []float64
+	for i := 0; i < 100; i++ {
+		x := float64(i)
+		xs = append(xs, x)
+		ys = append(ys, 3*x+10+rng.NormFloat64())
+	}
+	fit, err := FitLine(xs, ys)
+	if err != nil {
+		t.Fatalf("FitLine: %v", err)
+	}
+	if math.Abs(fit.Slope-3) > 0.05 {
+		t.Errorf("Slope = %v", fit.Slope)
+	}
+	if fit.R2 < 0.99 {
+		t.Errorf("R2 = %v", fit.R2)
+	}
+}
+
+func TestFitLineErrors(t *testing.T) {
+	if _, err := FitLine([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := FitLine([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point accepted")
+	}
+	if _, err := FitLine([]float64{2, 2}, []float64{1, 3}); err == nil {
+		t.Error("degenerate x accepted")
+	}
+	fit, err := FitLine([]float64{1, 2}, []float64{5, 5})
+	if err != nil || fit.Slope != 0 || fit.R2 != 1 {
+		t.Errorf("constant y fit = %+v, %v", fit, err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	vals := []float64{4, 1, 3, 2}
+	if got := Percentile(vals, 0); got != 1 {
+		t.Errorf("p0 = %v", got)
+	}
+	if got := Percentile(vals, 1); got != 4 {
+		t.Errorf("p1 = %v", got)
+	}
+	if got := Percentile(vals, 0.5); got != 2.5 {
+		t.Errorf("p50 = %v", got)
+	}
+	// Input must not be reordered.
+	if !reflect.DeepEqual(vals, []float64{4, 1, 3, 2}) {
+		t.Error("Percentile mutated input")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("empty Percentile did not panic")
+		}
+	}()
+	Percentile(nil, 0.5)
+}
+
+func TestHistogram(t *testing.T) {
+	got := Histogram([]float64{0, 0.5, 1.5, 2.5, 5}, 0, 3, 3)
+	if !reflect.DeepEqual(got, []int{2, 1, 2}) {
+		t.Errorf("Histogram = %v", got)
+	}
+	got = Histogram([]float64{-10}, 0, 3, 3)
+	if !reflect.DeepEqual(got, []int{1, 0, 0}) {
+		t.Errorf("clamped Histogram = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("bad Histogram args did not panic")
+		}
+	}()
+	Histogram(nil, 1, 1, 3)
+}
+
+func TestMaxAbsRelDiff(t *testing.T) {
+	if got := MaxAbsRelDiff([]float64{95, 105, 100}, 100); math.Abs(got-0.05) > 1e-12 {
+		t.Errorf("MaxAbsRelDiff = %v", got)
+	}
+	if got := MaxAbsRelDiff(nil, 10); got != 0 {
+		t.Errorf("empty MaxAbsRelDiff = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("zero ref did not panic")
+		}
+	}()
+	MaxAbsRelDiff([]float64{1}, 0)
+}

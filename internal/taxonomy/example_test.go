@@ -1,0 +1,52 @@
+package taxonomy_test
+
+import (
+	"fmt"
+
+	"repro/internal/relation"
+	"repro/internal/taxonomy"
+)
+
+// Example mines a generalized rule that no leaf-level value could reach:
+// individual job titles each cover 25% of the data, but their taxonomy
+// parent "Technical" covers 50% and clears the 40% support threshold.
+func Example() {
+	schema := relation.MustSchema(
+		relation.Attribute{Name: "Job", Kind: relation.Nominal},
+		relation.Attribute{Name: "Dept", Kind: relation.Nominal},
+	)
+	rel := relation.NewRelation(schema)
+	jd, dd := schema.Attr(0).Dict, schema.Attr(1).Dict
+	for i := 0; i < 100; i++ {
+		switch i % 4 {
+		case 0:
+			rel.MustAppend([]float64{jd.Code("DBA"), dd.Code("Engineering")})
+		case 1:
+			rel.MustAppend([]float64{jd.Code("SWE"), dd.Code("Engineering")})
+		case 2:
+			rel.MustAppend([]float64{jd.Code("Mgr"), dd.Code("Ops")})
+		default:
+			rel.MustAppend([]float64{jd.Code("Sales"), dd.Code("Ops")})
+		}
+	}
+
+	tax := taxonomy.New()
+	tax.MustAdd("DBA", "Technical")
+	tax.MustAdd("SWE", "Technical")
+	tax.MustAdd("Mgr", "Business")
+	tax.MustAdd("Sales", "Business")
+
+	res, err := taxonomy.Mine(rel, map[int]*taxonomy.Taxonomy{0: tax},
+		taxonomy.Options{MinSupport: 0.4, MinConfidence: 0.95, MaxLen: 2})
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range res.Rules {
+		fmt.Println(r.Describe(rel))
+	}
+	// Output:
+	// Job = Technical ⇒ Dept = Engineering (sup 0.50, conf 1.00)
+	// Dept = Engineering ⇒ Job = Technical (sup 0.50, conf 1.00)
+	// Job = Business ⇒ Dept = Ops (sup 0.50, conf 1.00)
+	// Dept = Ops ⇒ Job = Business (sup 0.50, conf 1.00)
+}

@@ -1,0 +1,295 @@
+// Package taxonomy implements value hierarchies over nominal domains and
+// generalized (multiple-level) association rule mining in the style of
+// Srikant & Agrawal's "Mining Generalized Association Rules" [SA95] and
+// Han & Fu [HF95] — the standard technique the paper's Section 1 cites
+// for taming large nominal domains: "a hierarchy may be defined over the
+// values of a domain (for example, a hierarchy of continent-country-
+// region-city ...). This hierarchy may then be used to reduce the space
+// of rules considered."
+//
+// The miner here is the basic "Cumulate" idea: every transaction is
+// extended with the ancestors of its items, frequent itemsets are mined
+// classically, and rules whose consequent is an ancestor of an antecedent
+// item (trivially true) are discarded.
+package taxonomy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/apriori"
+	"repro/internal/relation"
+)
+
+// Taxonomy is a forest of is-a edges over string values of one nominal
+// attribute: each value has at most one parent.
+type Taxonomy struct {
+	parent map[string]string
+}
+
+// New returns an empty taxonomy.
+func New() *Taxonomy {
+	return &Taxonomy{parent: make(map[string]string)}
+}
+
+// Add records child is-a parent. Adding a second parent for the same
+// child or creating a cycle is an error.
+func (t *Taxonomy) Add(child, parent string) error {
+	if child == "" || parent == "" {
+		return fmt.Errorf("taxonomy: empty value in edge %q -> %q", child, parent)
+	}
+	if child == parent {
+		return fmt.Errorf("taxonomy: self-edge on %q", child)
+	}
+	if p, ok := t.parent[child]; ok {
+		return fmt.Errorf("taxonomy: %q already has parent %q", child, p)
+	}
+	// Walk up from the proposed parent; reaching child would close a
+	// cycle.
+	for v := parent; v != ""; v = t.parent[v] {
+		if v == child {
+			return fmt.Errorf("taxonomy: edge %q -> %q creates a cycle", child, parent)
+		}
+	}
+	t.parent[child] = parent
+	return nil
+}
+
+// MustAdd is Add that panics on error; for statically known hierarchies.
+func (t *Taxonomy) MustAdd(child, parent string) {
+	if err := t.Add(child, parent); err != nil {
+		panic(err)
+	}
+}
+
+// Parent returns the immediate parent of v ("" at a root).
+func (t *Taxonomy) Parent(v string) string { return t.parent[v] }
+
+// Ancestors returns v's proper ancestors from parent to root.
+func (t *Taxonomy) Ancestors(v string) []string {
+	var out []string
+	for p := t.parent[v]; p != ""; p = t.parent[p] {
+		out = append(out, p)
+	}
+	return out
+}
+
+// IsAncestor reports whether anc is a proper ancestor of v.
+func (t *Taxonomy) IsAncestor(anc, v string) bool {
+	for p := t.parent[v]; p != ""; p = t.parent[p] {
+		if p == anc {
+			return true
+		}
+	}
+	return false
+}
+
+// Values returns every value mentioned by the taxonomy, sorted.
+func (t *Taxonomy) Values() []string {
+	set := map[string]bool{}
+	for c, p := range t.parent {
+		set[c] = true
+		set[p] = true
+	}
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Options controls generalized mining.
+type Options struct {
+	// MinSupport is the fractional frequency threshold in (0, 1].
+	MinSupport float64
+	// MinConfidence is the rule confidence threshold in [0, 1].
+	MinConfidence float64
+	// MaxLen bounds itemset size (0 = unlimited).
+	MaxLen int
+}
+
+func (o Options) validate() error {
+	if o.MinSupport <= 0 || o.MinSupport > 1 {
+		return fmt.Errorf("taxonomy: MinSupport must be in (0,1], got %v", o.MinSupport)
+	}
+	if o.MinConfidence < 0 || o.MinConfidence > 1 {
+		return fmt.Errorf("taxonomy: MinConfidence must be in [0,1], got %v", o.MinConfidence)
+	}
+	return nil
+}
+
+// Item is one generalized predicate: attribute = value, where value may
+// be an interior node of the attribute's taxonomy.
+type Item struct {
+	Attr  int
+	Value string
+	// Level is the value's height in the taxonomy (0 for leaf values).
+	Level int
+}
+
+// Describe renders the item.
+func (it Item) Describe(rel *relation.Relation) string {
+	return fmt.Sprintf("%s = %s", rel.Schema().Attr(it.Attr).Name, it.Value)
+}
+
+// Rule is a generalized association rule.
+type Rule struct {
+	Antecedent []Item
+	Consequent []Item
+	Support    float64
+	Confidence float64
+	Count      int
+}
+
+// Describe renders the rule.
+func (r Rule) Describe(rel *relation.Relation) string {
+	var b strings.Builder
+	for i, it := range r.Antecedent {
+		if i > 0 {
+			b.WriteString(" ∧ ")
+		}
+		b.WriteString(it.Describe(rel))
+	}
+	b.WriteString(" ⇒ ")
+	for i, it := range r.Consequent {
+		if i > 0 {
+			b.WriteString(" ∧ ")
+		}
+		b.WriteString(it.Describe(rel))
+	}
+	fmt.Fprintf(&b, " (sup %.2f, conf %.2f)", r.Support, r.Confidence)
+	return b.String()
+}
+
+// Result is the outcome of Mine.
+type Result struct {
+	Rules []Rule
+	// Items are the frequent generalized 1-itemsets.
+	Items []Item
+}
+
+// Mine discovers generalized association rules over the nominal
+// attributes of the relation. taxonomies maps attribute position to its
+// hierarchy; attributes without an entry mine at leaf level only.
+// Interval/ordinal attributes are ignored (they are the DAR miner's
+// domain).
+func Mine(rel *relation.Relation, taxonomies map[int]*Taxonomy, opt Options) (*Result, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	if rel.Len() == 0 {
+		return &Result{}, nil
+	}
+
+	// Item space: (attr, value-or-ancestor) pairs, discovered on the fly.
+	type key struct {
+		attr  int
+		value string
+	}
+	ids := map[key]int{}
+	var items []Item
+	intern := func(attr int, value string, level int) int {
+		k := key{attr, value}
+		if id, ok := ids[k]; ok {
+			return id
+		}
+		id := len(items)
+		ids[k] = id
+		items = append(items, Item{Attr: attr, Value: value, Level: level})
+		return id
+	}
+
+	var nominals []int
+	for a := 0; a < rel.Schema().Width(); a++ {
+		if rel.Schema().Attr(a).Kind == relation.Nominal {
+			nominals = append(nominals, a)
+		}
+	}
+	if len(nominals) == 0 {
+		return nil, fmt.Errorf("taxonomy: relation has no nominal attributes")
+	}
+
+	// Build extended transactions (Cumulate: each value plus all its
+	// ancestors).
+	txns := make([][]int, 0, rel.Len())
+	err := rel.Scan(func(_ int, tuple []float64) error {
+		var txn []int
+		for _, a := range nominals {
+			v := rel.Schema().Attr(a).Dict.Value(tuple[a])
+			if v == "" {
+				return fmt.Errorf("taxonomy: attribute %q has unknown code %v", rel.Schema().Attr(a).Name, tuple[a])
+			}
+			txn = append(txn, intern(a, v, 0))
+			if tax := taxonomies[a]; tax != nil {
+				for lvl, anc := range tax.Ancestors(v) {
+					txn = append(txn, intern(a, anc, lvl+1))
+				}
+			}
+		}
+		txns = append(txns, apriori.NormalizeTransaction(txn))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	minCount := int(opt.MinSupport * float64(rel.Len()))
+	if minCount < 1 {
+		minCount = 1
+	}
+	arules, err := apriori.Mine(txns, apriori.Options{MinSupport: minCount, MaxLen: opt.MaxLen}, opt.MinConfidence)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{}
+	freq, err := apriori.FrequentItemsets(txns, apriori.Options{MinSupport: minCount, MaxLen: 1})
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range freq {
+		res.Items = append(res.Items, items[f.Items[0]])
+	}
+
+	for _, ar := range arules {
+		if redundant(ar, items, taxonomies) {
+			continue
+		}
+		rule := Rule{Support: ar.Support, Confidence: ar.Confidence, Count: ar.Count}
+		for _, it := range ar.Antecedent {
+			rule.Antecedent = append(rule.Antecedent, items[it])
+		}
+		for _, it := range ar.Consequent {
+			rule.Consequent = append(rule.Consequent, items[it])
+		}
+		res.Rules = append(res.Rules, rule)
+	}
+	return res, nil
+}
+
+// redundant reports rules that are trivially true or incoherent under
+// the taxonomy: some item on one side is an ancestor (or equal value on
+// the same attribute) of an item on the other side, e.g.
+// Job=DBA ⇒ Job=Technical.
+func redundant(ar apriori.Rule, items []Item, taxonomies map[int]*Taxonomy) bool {
+	related := func(a, b Item) bool {
+		if a.Attr != b.Attr {
+			return false
+		}
+		tax := taxonomies[a.Attr]
+		if tax == nil {
+			return a.Value == b.Value
+		}
+		return a.Value == b.Value || tax.IsAncestor(a.Value, b.Value) || tax.IsAncestor(b.Value, a.Value)
+	}
+	for _, ai := range ar.Antecedent {
+		for _, ci := range ar.Consequent {
+			if related(items[ai], items[ci]) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,206 @@
+package taxonomy
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func jobTaxonomy(t *testing.T) *Taxonomy {
+	t.Helper()
+	tax := New()
+	tax.MustAdd("DBA", "Technical")
+	tax.MustAdd("SWE", "Technical")
+	tax.MustAdd("Mgr", "Business")
+	tax.MustAdd("Sales", "Business")
+	tax.MustAdd("Technical", "Employee")
+	tax.MustAdd("Business", "Employee")
+	return tax
+}
+
+func TestTaxonomyStructure(t *testing.T) {
+	tax := jobTaxonomy(t)
+	if got := tax.Parent("DBA"); got != "Technical" {
+		t.Errorf("Parent(DBA) = %q", got)
+	}
+	if got := tax.Parent("Employee"); got != "" {
+		t.Errorf("Parent(root) = %q", got)
+	}
+	if got := tax.Ancestors("DBA"); !reflect.DeepEqual(got, []string{"Technical", "Employee"}) {
+		t.Errorf("Ancestors(DBA) = %v", got)
+	}
+	if !tax.IsAncestor("Employee", "SWE") || tax.IsAncestor("Business", "SWE") {
+		t.Error("IsAncestor wrong")
+	}
+	if tax.IsAncestor("DBA", "DBA") {
+		t.Error("value is its own ancestor")
+	}
+	vals := tax.Values()
+	if len(vals) != 7 {
+		t.Errorf("Values = %v", vals)
+	}
+}
+
+func TestTaxonomyAddErrors(t *testing.T) {
+	tax := New()
+	if err := tax.Add("", "x"); err == nil {
+		t.Error("empty child accepted")
+	}
+	if err := tax.Add("x", "x"); err == nil {
+		t.Error("self edge accepted")
+	}
+	tax.MustAdd("a", "b")
+	if err := tax.Add("a", "c"); err == nil {
+		t.Error("second parent accepted")
+	}
+	tax.MustAdd("b", "c")
+	if err := tax.Add("c", "a"); err == nil {
+		t.Error("cycle accepted")
+	}
+}
+
+func jobsRelation(rng *rand.Rand, n int) *relation.Relation {
+	s := relation.MustSchema(
+		relation.Attribute{Name: "Job", Kind: relation.Nominal},
+		relation.Attribute{Name: "Dept", Kind: relation.Nominal},
+	)
+	rel := relation.NewRelation(s)
+	jd := s.Attr(0).Dict
+	dd := s.Attr(1).Dict
+	for i := 0; i < n; i++ {
+		// Technical jobs live in Engineering, business jobs in Ops — but
+		// the individual job⇒dept pairs are each too rare for high
+		// support, so only the generalized rule is minable.
+		var job string
+		switch i % 4 {
+		case 0:
+			job = "DBA"
+		case 1:
+			job = "SWE"
+		case 2:
+			job = "Mgr"
+		default:
+			job = "Sales"
+		}
+		dept := "Engineering"
+		if job == "Mgr" || job == "Sales" {
+			dept = "Ops"
+		}
+		// 10% noise.
+		if rng.Float64() < 0.1 {
+			if dept == "Ops" {
+				dept = "Engineering"
+			} else {
+				dept = "Ops"
+			}
+		}
+		rel.MustAppend([]float64{jd.Code(job), dd.Code(dept)})
+	}
+	return rel
+}
+
+func TestMineGeneralizedRules(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	rel := jobsRelation(rng, 1000)
+	taxes := map[int]*Taxonomy{0: jobTaxonomy(t)}
+	res, err := Mine(rel, taxes, Options{MinSupport: 0.4, MinConfidence: 0.8, MaxLen: 3})
+	if err != nil {
+		t.Fatalf("Mine: %v", err)
+	}
+	// At 40% support no leaf job qualifies (each is 25%), but the
+	// generalized rule Technical ⇒ Engineering must appear.
+	found := false
+	for _, r := range res.Rules {
+		d := r.Describe(rel)
+		if strings.Contains(d, "Job = Technical") && strings.Contains(d, "Dept = Engineering") &&
+			len(r.Antecedent) == 1 && r.Antecedent[0].Value == "Technical" {
+			found = true
+			if r.Confidence < 0.85 {
+				t.Errorf("generalized rule confidence = %v", r.Confidence)
+			}
+		}
+		if strings.Contains(d, "Job = DBA") {
+			t.Errorf("leaf-level rule above 40%% support: %s", d)
+		}
+	}
+	if !found {
+		t.Errorf("Technical ⇒ Engineering missing; rules:\n%v", describeAll(res, rel))
+	}
+	// Frequent items must include interior nodes.
+	hasInterior := false
+	for _, it := range res.Items {
+		if it.Level > 0 {
+			hasInterior = true
+		}
+	}
+	if !hasInterior {
+		t.Error("no interior taxonomy nodes among frequent items")
+	}
+}
+
+func describeAll(res *Result, rel *relation.Relation) string {
+	var b strings.Builder
+	for _, r := range res.Rules {
+		b.WriteString(r.Describe(rel))
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func TestMineFiltersRedundantRules(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	rel := jobsRelation(rng, 400)
+	taxes := map[int]*Taxonomy{0: jobTaxonomy(t)}
+	res, err := Mine(rel, taxes, Options{MinSupport: 0.1, MinConfidence: 0.5, MaxLen: 3})
+	if err != nil {
+		t.Fatalf("Mine: %v", err)
+	}
+	for _, r := range res.Rules {
+		for _, ai := range r.Antecedent {
+			for _, ci := range r.Consequent {
+				if ai.Attr == ci.Attr && (ai.Value == ci.Value ||
+					taxes[0] != nil && (taxes[0].IsAncestor(ai.Value, ci.Value) || taxes[0].IsAncestor(ci.Value, ai.Value))) {
+					t.Errorf("redundant rule survived: %s", r.Describe(rel))
+				}
+			}
+		}
+	}
+}
+
+func TestMineValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	rel := jobsRelation(rng, 20)
+	if _, err := Mine(rel, nil, Options{MinSupport: 0}); err == nil {
+		t.Error("bad support accepted")
+	}
+	if _, err := Mine(rel, nil, Options{MinSupport: 0.1, MinConfidence: 2}); err == nil {
+		t.Error("bad confidence accepted")
+	}
+	numeric := relation.NewRelation(relation.MustSchema(relation.Attribute{Name: "x", Kind: relation.Interval}))
+	numeric.MustAppend([]float64{1})
+	if _, err := Mine(numeric, nil, Options{MinSupport: 0.1}); err == nil {
+		t.Error("relation without nominal attributes accepted")
+	}
+	empty := relation.NewRelation(rel.Schema())
+	res, err := Mine(empty, nil, Options{MinSupport: 0.1})
+	if err != nil || len(res.Rules) != 0 {
+		t.Errorf("empty mine = %+v, %v", res, err)
+	}
+}
+
+func TestMineWithoutTaxonomyIsLeafLevel(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	rel := jobsRelation(rng, 400)
+	res, err := Mine(rel, nil, Options{MinSupport: 0.2, MinConfidence: 0.8})
+	if err != nil {
+		t.Fatalf("Mine: %v", err)
+	}
+	for _, it := range res.Items {
+		if it.Level != 0 {
+			t.Errorf("interior item without taxonomy: %+v", it)
+		}
+	}
+}
