@@ -1,0 +1,27 @@
+# Build/verify entry points. `make verify` is the CI gate: a clean
+# build, the full test suite, and the same suite under the race
+# detector (the parallel Phase I/II paths must stay race-free).
+
+GO ?= go
+
+.PHONY: build test race fuzz bench verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short fuzz sessions for the ingestion paths; extend -fuzztime for a
+# real campaign.
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzParseRelation -fuzztime=30s ./cmd/darminer
+	$(GO) test -run='^$$' -fuzz=FuzzReadCSV -fuzztime=30s ./internal/relation
+
+bench:
+	$(GO) test -run='^$$' -bench=. -benchmem .
+
+verify: build test race

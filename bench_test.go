@@ -88,20 +88,28 @@ func BenchmarkPhaseI(b *testing.B) {
 
 // BenchmarkPhaseII isolates the rule-formation phase (§7.2: "the time to
 // identify cliques was roughly constant"): graph + cliques + rules over
-// the frequent-cluster summaries, reported per mining run.
+// the frequent-cluster summaries, reported per mining run. The workers
+// series contrasts the serial path with the parallel fan-out over graph
+// rows, clique roots and clique pairs — the rule set is bit-identical
+// at every worker count (asserted by TestParallelPhaseIIMatchesSerial),
+// so phase2-ns is the only number that should move, and only on
+// multi-core hardware.
 func BenchmarkPhaseII(b *testing.B) {
 	for _, n := range []int{100_000, 300_000} {
-		b.Run(fmt.Sprintf("tuples=%d", n), func(b *testing.B) {
-			rel := wbcdRelation(b, n)
-			opt := wbcdOptions()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				res := mustMine(b, rel, opt)
-				b.ReportMetric(float64(res.PhaseII.Duration.Nanoseconds()), "phase2-ns")
-				b.ReportMetric(float64(res.PhaseII.CliqueDuration.Nanoseconds()), "clique-ns")
-				b.ReportMetric(float64(res.PhaseII.NonTrivialCliques), "cliques")
-			}
-		})
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("tuples=%d/workers=%d", n, workers), func(b *testing.B) {
+				rel := wbcdRelation(b, n)
+				opt := wbcdOptions()
+				opt.Workers = workers
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res := mustMine(b, rel, opt)
+					b.ReportMetric(float64(res.PhaseII.Duration.Nanoseconds()), "phase2-ns")
+					b.ReportMetric(float64(res.PhaseII.CliqueDuration.Nanoseconds()), "clique-ns")
+					b.ReportMetric(float64(res.PhaseII.NonTrivialCliques), "cliques")
+				}
+			})
+		}
 	}
 }
 

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	dar "repro"
+	"repro/internal/relation"
+)
+
+// FuzzParseRelation fuzzes the CSV ingestion path darminer feeds every
+// miner from: arbitrary input must either fail with an error or produce
+// a relation that is consistent with its own schema — every tuple has
+// the schema's width, interval values are finite, nominal codes are
+// integral indices into their dictionary, and the default singleton
+// partitioning (what `run` builds before mining) accepts the schema.
+func FuzzParseRelation(f *testing.F) {
+	f.Add("Age:interval,Salary:interval,Dept:nominal\n30,40,Eng\n55,90,Sales\n")
+	f.Add("a,b\n1,2\n3,4\n")
+	f.Add("a:nominal\nx\ny\nx\n")
+	f.Add("a:interval\n1e308\n-1e308\n")
+	f.Add("a:interval\nNaN\n")
+	f.Add("a:interval\nInf\n")
+	f.Add("a:bogus\n1\n")
+	f.Add("a,a\n1,2\n")
+	f.Add("\"a:interval\",b\n\"1\",2\n")
+	f.Add("a\n1\n2,3\n")
+	f.Add("")
+	f.Add(",\n,\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		rel, err := dar.ReadCSV(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		schema := rel.Schema()
+		width := schema.Width()
+		if width < 1 {
+			t.Fatalf("parsed relation with %d attributes from %q", width, input)
+		}
+		rows := 0
+		err = rel.Scan(func(_ int, tuple []float64) error {
+			rows++
+			if len(tuple) != width {
+				t.Fatalf("tuple width %d != schema width %d", len(tuple), width)
+			}
+			for i, v := range tuple {
+				a := schema.Attr(i)
+				if a.Kind == relation.Nominal {
+					if v != math.Trunc(v) || v < 0 || int(v) >= a.Dict.Len() {
+						t.Fatalf("column %q: code %v outside dictionary of %d values", a.Name, v, a.Dict.Len())
+					}
+					continue
+				}
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("column %q: non-finite value %v survived parsing", a.Name, v)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("Scan: %v", err)
+		}
+		if rows != rel.Len() {
+			t.Fatalf("Scan yielded %d rows, Len reports %d", rows, rel.Len())
+		}
+		if _, err := parseGroups(schema, ""); err != nil {
+			t.Fatalf("singleton partitioning rejected parsed schema: %v", err)
+		}
+	})
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata golden files from the serial run")
+
+// goldenCfg is the fixed CLI configuration the golden file was recorded
+// under; only the worker count varies across the comparison runs.
+func goldenCfg(workers int) runConfig {
+	return runConfig{
+		algo: "dar", d0: 5, minsup: 0.2, degree: 1, minconf: 0.6,
+		metric: "D2", nparts: 10, workers: workers,
+	}
+}
+
+// stripTimings drops the phase-report lines, whose wall-clock durations
+// are the only legitimately nondeterministic part of the CLI output.
+func stripTimings(out string) string {
+	var kept []string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "phase I:") || strings.HasPrefix(line, "phase II:") {
+			continue
+		}
+		kept = append(kept, line)
+	}
+	return strings.Join(kept, "\n")
+}
+
+// TestGoldenCLIWorkers verifies that `darminer -workers N` reproduces the
+// committed serial golden output byte for byte at every worker count.
+// Regenerate with `go test ./cmd/darminer -run TestGoldenCLIWorkers -update`
+// after an intentional output change.
+func TestGoldenCLIWorkers(t *testing.T) {
+	input := filepath.Join("testdata", "golden_input.csv")
+	goldenPath := filepath.Join("testdata", "golden_rules.txt")
+
+	if *updateGolden {
+		var buf bytes.Buffer
+		if err := run(&buf, input, goldenCfg(1)); err != nil {
+			t.Fatalf("run(serial): %v", err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(stripTimings(buf.String())), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	golden, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if !strings.Contains(string(golden), "⇒") {
+		t.Fatalf("golden file holds no rules; the comparison is vacuous:\n%s", golden)
+	}
+
+	for _, workers := range []int{1, 2, 4, 8} {
+		var buf bytes.Buffer
+		if err := run(&buf, input, goldenCfg(workers)); err != nil {
+			t.Fatalf("run(workers=%d): %v", workers, err)
+		}
+		if got := stripTimings(buf.String()); got != string(golden) {
+			t.Errorf("workers=%d output diverged from golden:\n--- got ---\n%s\n--- want ---\n%s",
+				workers, got, golden)
+		}
+	}
+}

@@ -5,8 +5,10 @@
 //	darminer -d0 2500 -minsup 0.03 data.csv
 //
 // Flags select the algorithm (-algo dar|qar|sa96), thresholds, the
-// cluster metric, and the Phase I memory budget. Rules print one per
-// line, strongest first, with bounding-box cluster descriptions.
+// cluster metric, the Phase I memory budget, and the worker count
+// (-workers N parallelizes both mining phases without changing the
+// output). Rules print one per line, strongest first, with bounding-box
+// cluster descriptions.
 package main
 
 import (
@@ -24,33 +26,50 @@ import (
 	"repro/internal/relation"
 )
 
+// runConfig carries the flag values into run; the zero value of a field
+// means the matching flag's zero, not the flag default.
+type runConfig struct {
+	algo    string
+	d0      float64
+	minsup  float64
+	degree  float64
+	minconf float64
+	metric  string
+	memory  int
+	nparts  int
+	top     int
+	workers int
+	asJSON  bool
+	groups  string
+}
+
 func main() {
-	var (
-		algo    = flag.String("algo", "dar", "mining algorithm: dar (distance-based), qar (generalized quantitative), sa96 (equi-depth baseline), classical (adaptive 1-itemset counting)")
-		d0      = flag.Float64("d0", 0, "diameter/density threshold d0 in data units (0 = derive per attribute from the data)")
-		minsup  = flag.Float64("minsup", 0.03, "frequency threshold s0 as a fraction of the relation")
-		degree  = flag.Float64("degree", 1, "degree-of-association factor (rules must satisfy degree <= factor; lower is stricter)")
-		minconf = flag.Float64("minconf", 0.6, "minimum confidence (qar and sa96 modes)")
-		metric  = flag.String("metric", "D2", "cluster metric: D0, D1 or D2")
-		memory  = flag.Int("memory", 0, "Phase I memory budget in bytes (0 = unlimited; the paper used 5MB)")
-		nparts  = flag.Int("partitions", 10, "equi-depth partitions per attribute (sa96 mode)")
-		top     = flag.Int("top", 50, "print at most this many rules (0 = all)")
-		asJSON  = flag.Bool("json", false, "emit the full result as JSON (dar mode only)")
-		groups  = flag.String("groups", "", "attribute grouping, e.g. \"lat+lon,price\" (default: one group per attribute; dar and qar modes)")
-	)
+	var cfg runConfig
+	flag.StringVar(&cfg.algo, "algo", "dar", "mining algorithm: dar (distance-based), qar (generalized quantitative), sa96 (equi-depth baseline), classical (adaptive 1-itemset counting)")
+	flag.Float64Var(&cfg.d0, "d0", 0, "diameter/density threshold d0 in data units (0 = derive per attribute from the data)")
+	flag.Float64Var(&cfg.minsup, "minsup", 0.03, "frequency threshold s0 as a fraction of the relation")
+	flag.Float64Var(&cfg.degree, "degree", 1, "degree-of-association factor (rules must satisfy degree <= factor; lower is stricter)")
+	flag.Float64Var(&cfg.minconf, "minconf", 0.6, "minimum confidence (qar and sa96 modes)")
+	flag.StringVar(&cfg.metric, "metric", "D2", "cluster metric: D0, D1 or D2")
+	flag.IntVar(&cfg.memory, "memory", 0, "Phase I memory budget in bytes (0 = unlimited; the paper used 5MB)")
+	flag.IntVar(&cfg.nparts, "partitions", 10, "equi-depth partitions per attribute (sa96 mode)")
+	flag.IntVar(&cfg.top, "top", 50, "print at most this many rules (0 = all)")
+	flag.IntVar(&cfg.workers, "workers", 1, "worker goroutines for both mining phases (dar and qar modes; output is identical at any count)")
+	flag.BoolVar(&cfg.asJSON, "json", false, "emit the full result as JSON (dar mode only)")
+	flag.StringVar(&cfg.groups, "groups", "", "attribute grouping, e.g. \"lat+lon,price\" (default: one group per attribute; dar and qar modes)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: darminer [flags] data.csv")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	if err := run(os.Stdout, flag.Arg(0), *algo, *d0, *minsup, *degree, *minconf, *metric, *memory, *nparts, *top, *asJSON, *groups); err != nil {
+	if err := run(os.Stdout, flag.Arg(0), cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "darminer:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, path, algo string, d0, minsup, degree, minconf float64, metricName string, memory, nparts, top int, asJSON bool, groupSpec string) error {
+func run(w io.Writer, path string, cfg runConfig) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -60,33 +79,34 @@ func run(w io.Writer, path, algo string, d0, minsup, degree, minconf float64, me
 	if err != nil {
 		return err
 	}
-	if !asJSON {
+	if !cfg.asJSON {
 		fmt.Fprintf(w, "loaded %d tuples, %d attributes\n", rel.Len(), rel.Schema().Width())
 	}
-	part, err := parseGroups(rel.Schema(), groupSpec)
+	part, err := parseGroups(rel.Schema(), cfg.groups)
 	if err != nil {
 		return err
 	}
 
-	switch algo {
+	switch cfg.algo {
 	case "dar":
-		m, ok := distance.ParseClusterMetric(metricName)
+		m, ok := distance.ParseClusterMetric(cfg.metric)
 		if !ok {
-			return fmt.Errorf("unknown metric %q", metricName)
+			return fmt.Errorf("unknown metric %q", cfg.metric)
 		}
 		opt := dar.DefaultOptions()
 		opt.Metric = m
-		opt.DiameterThreshold = d0
-		opt.FrequencyFraction = minsup
-		opt.DegreeFactor = degree
-		opt.MemoryLimit = memory
-		if d0 == 0 {
+		opt.DiameterThreshold = cfg.d0
+		opt.FrequencyFraction = cfg.minsup
+		opt.DegreeFactor = cfg.degree
+		opt.MemoryLimit = cfg.memory
+		opt.Workers = cfg.workers
+		if cfg.d0 == 0 {
 			suggested, err := dar.SuggestThresholds(rel, part, dar.AdvisorOptions{})
 			if err != nil {
 				return err
 			}
 			opt.DiameterThresholds = suggested
-			if !asJSON {
+			if !cfg.asJSON {
 				fmt.Fprintf(w, "derived d0 per attribute: %v\n", suggested)
 			}
 		}
@@ -94,7 +114,7 @@ func run(w io.Writer, path, algo string, d0, minsup, degree, minconf float64, me
 		if err != nil {
 			return err
 		}
-		if asJSON {
+		if cfg.asJSON {
 			return dar.WriteJSON(w, res, rel, part)
 		}
 		fmt.Fprintf(w, "phase I: %v, %d clusters (%d frequent, %d rebuilds)\n",
@@ -102,8 +122,8 @@ func run(w io.Writer, path, algo string, d0, minsup, degree, minconf float64, me
 		fmt.Fprintf(w, "phase II: %v, %d cliques, %d rules\n",
 			res.PhaseII.Duration, res.PhaseII.Cliques, len(res.Rules))
 		for i, r := range res.Rules {
-			if top > 0 && i == top {
-				fmt.Fprintf(w, "... %d more rules\n", len(res.Rules)-top)
+			if cfg.top > 0 && i == cfg.top {
+				fmt.Fprintf(w, "... %d more rules\n", len(res.Rules)-cfg.top)
 				break
 			}
 			fmt.Fprintln(w, res.DescribeRule(r, rel, part))
@@ -112,18 +132,19 @@ func run(w io.Writer, path, algo string, d0, minsup, degree, minconf float64, me
 
 	case "qar":
 		opt := dar.DefaultOptions()
-		opt.DiameterThreshold = d0
-		opt.FrequencyFraction = minsup
-		opt.MemoryLimit = memory
-		res, err := dar.MineQAR(rel, part, opt, minconf)
+		opt.DiameterThreshold = cfg.d0
+		opt.FrequencyFraction = cfg.minsup
+		opt.MemoryLimit = cfg.memory
+		opt.Workers = cfg.workers
+		res, err := dar.MineQAR(rel, part, opt, cfg.minconf)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(w, "phase I: %v, %d clusters; phase II: %v, %d rules\n",
 			res.PhaseI.Duration, len(res.Clusters), res.PhaseII, len(res.Rules))
 		for i, r := range res.Rules {
-			if top > 0 && i == top {
-				fmt.Fprintf(w, "... %d more rules\n", len(res.Rules)-top)
+			if cfg.top > 0 && i == cfg.top {
+				fmt.Fprintf(w, "... %d more rules\n", len(res.Rules)-cfg.top)
 				break
 			}
 			fmt.Fprintln(w, describeQAR(res, r, rel, part))
@@ -132,9 +153,9 @@ func run(w io.Writer, path, algo string, d0, minsup, degree, minconf float64, me
 
 	case "classical":
 		res, err := classical.Mine(rel, classical.Options{
-			MaxEntriesPerAttr: maxEntriesFromBudget(memory, rel.Schema().Width()),
-			MinSupport:        minsup,
-			MinConfidence:     minconf,
+			MaxEntriesPerAttr: maxEntriesFromBudget(cfg.memory, rel.Schema().Width()),
+			MinSupport:        cfg.minsup,
+			MinConfidence:     cfg.minconf,
 			MaxLen:            5,
 		})
 		if err != nil {
@@ -143,8 +164,8 @@ func run(w io.Writer, path, algo string, d0, minsup, degree, minconf float64, me
 		fmt.Fprintf(w, "mined %d rules from %d items in %v (exact: %v, collapses: %d)\n",
 			len(res.Rules), len(res.Items), res.Duration, res.Exact, res.Collapses)
 		for i, r := range res.Rules {
-			if top > 0 && i == top {
-				fmt.Fprintf(w, "... %d more rules\n", len(res.Rules)-top)
+			if cfg.top > 0 && i == cfg.top {
+				fmt.Fprintf(w, "... %d more rules\n", len(res.Rules)-cfg.top)
 				break
 			}
 			fmt.Fprintln(w, r.Describe(rel))
@@ -153,9 +174,9 @@ func run(w io.Writer, path, algo string, d0, minsup, degree, minconf float64, me
 
 	case "sa96":
 		res, err := qar.Mine(rel, qar.Options{
-			Partitions:    nparts,
-			MinSupport:    minsup,
-			MinConfidence: minconf,
+			Partitions:    cfg.nparts,
+			MinSupport:    cfg.minsup,
+			MinConfidence: cfg.minconf,
 			MaxLen:        5,
 		})
 		if err != nil {
@@ -163,8 +184,8 @@ func run(w io.Writer, path, algo string, d0, minsup, degree, minconf float64, me
 		}
 		fmt.Fprintf(w, "mined %d rules in %v\n", len(res.Rules), res.Duration)
 		for i, r := range res.Rules {
-			if top > 0 && i == top {
-				fmt.Fprintf(w, "... %d more rules\n", len(res.Rules)-top)
+			if cfg.top > 0 && i == cfg.top {
+				fmt.Fprintf(w, "... %d more rules\n", len(res.Rules)-cfg.top)
 				break
 			}
 			fmt.Fprintln(w, r.Describe(rel))
@@ -172,7 +193,7 @@ func run(w io.Writer, path, algo string, d0, minsup, degree, minconf float64, me
 		return nil
 
 	default:
-		return fmt.Errorf("unknown algorithm %q (want dar, qar, sa96 or classical)", algo)
+		return fmt.Errorf("unknown algorithm %q (want dar, qar, sa96 or classical)", cfg.algo)
 	}
 }
 

@@ -43,7 +43,7 @@ func writeTestCSV(t *testing.T) string {
 func TestRunDAR(t *testing.T) {
 	path := writeTestCSV(t)
 	var buf bytes.Buffer
-	err := run(&buf, path, "dar", 2000, 0.1, 1, 0.6, "D2", 0, 10, 0, false, "")
+	err := run(&buf, path, runConfig{algo: "dar", d0: 2000, minsup: 0.1, degree: 1, minconf: 0.6, metric: "D2", memory: 0, nparts: 10, top: 0, asJSON: false})
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -59,7 +59,7 @@ func TestRunDAR(t *testing.T) {
 func TestRunDARJSON(t *testing.T) {
 	path := writeTestCSV(t)
 	var buf bytes.Buffer
-	err := run(&buf, path, "dar", 2000, 0.1, 1, 0.6, "D2", 0, 10, 0, true, "")
+	err := run(&buf, path, runConfig{algo: "dar", d0: 2000, minsup: 0.1, degree: 1, minconf: 0.6, metric: "D2", memory: 0, nparts: 10, top: 0, asJSON: true})
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -83,7 +83,7 @@ func TestRunQARAndSA96(t *testing.T) {
 		var buf bytes.Buffer
 		// Two equi-depth partitions align with the two planted bands, so
 		// the SA96 baseline finds confident range rules.
-		err := run(&buf, path, algo, 2000, 0.1, 1, 0.8, "D2", 0, 2, 5, false, "")
+		err := run(&buf, path, runConfig{algo: algo, d0: 2000, minsup: 0.1, degree: 1, minconf: 0.8, metric: "D2", nparts: 2, top: 5})
 		if err != nil {
 			t.Fatalf("run(%s): %v", algo, err)
 		}
@@ -96,7 +96,7 @@ func TestRunQARAndSA96(t *testing.T) {
 func TestRunTopTruncation(t *testing.T) {
 	path := writeTestCSV(t)
 	var buf bytes.Buffer
-	if err := run(&buf, path, "dar", 2000, 0.1, 1, 0.6, "D2", 0, 10, 1, false, ""); err != nil {
+	if err := run(&buf, path, runConfig{algo: "dar", d0: 2000, minsup: 0.1, degree: 1, minconf: 0.6, metric: "D2", memory: 0, nparts: 10, top: 1, asJSON: false}); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	if !strings.Contains(buf.String(), "more rules") {
@@ -107,13 +107,13 @@ func TestRunTopTruncation(t *testing.T) {
 func TestRunErrors(t *testing.T) {
 	path := writeTestCSV(t)
 	var buf bytes.Buffer
-	if err := run(&buf, filepath.Join(t.TempDir(), "missing.csv"), "dar", 1, 0.1, 1, 0.6, "D2", 0, 10, 0, false, ""); err == nil {
+	if err := run(&buf, filepath.Join(t.TempDir(), "missing.csv"), runConfig{algo: "dar", d0: 1, minsup: 0.1, degree: 1, minconf: 0.6, metric: "D2", nparts: 10}); err == nil {
 		t.Error("missing file accepted")
 	}
-	if err := run(&buf, path, "bogus", 1, 0.1, 1, 0.6, "D2", 0, 10, 0, false, ""); err == nil {
+	if err := run(&buf, path, runConfig{algo: "bogus", d0: 1, minsup: 0.1, degree: 1, minconf: 0.6, metric: "D2", memory: 0, nparts: 10, top: 0, asJSON: false}); err == nil {
 		t.Error("unknown algorithm accepted")
 	}
-	if err := run(&buf, path, "dar", 1, 0.1, 1, 0.6, "D9", 0, 10, 0, false, ""); err == nil {
+	if err := run(&buf, path, runConfig{algo: "dar", d0: 1, minsup: 0.1, degree: 1, minconf: 0.6, metric: "D9", memory: 0, nparts: 10, top: 0, asJSON: false}); err == nil {
 		t.Error("unknown metric accepted")
 	}
 }
@@ -121,7 +121,7 @@ func TestRunErrors(t *testing.T) {
 func TestRunClassical(t *testing.T) {
 	path := writeTestCSV(t)
 	var buf bytes.Buffer
-	if err := run(&buf, path, "classical", 0, 0.2, 1, 0.8, "D2", 0, 10, 0, false, ""); err != nil {
+	if err := run(&buf, path, runConfig{algo: "classical", d0: 0, minsup: 0.2, degree: 1, minconf: 0.8, metric: "D2", memory: 0, nparts: 10, top: 0, asJSON: false}); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	out := buf.String()
@@ -130,7 +130,7 @@ func TestRunClassical(t *testing.T) {
 	}
 	// A tight byte budget forces collapses.
 	buf.Reset()
-	if err := run(&buf, path, "classical", 0, 0.2, 1, 0.8, "D2", 400, 10, 0, false, ""); err != nil {
+	if err := run(&buf, path, runConfig{algo: "classical", d0: 0, minsup: 0.2, degree: 1, minconf: 0.8, metric: "D2", memory: 400, nparts: 10, top: 0, asJSON: false}); err != nil {
 		t.Fatalf("run(budget): %v", err)
 	}
 	if !strings.Contains(buf.String(), "exact: false") {
@@ -154,7 +154,7 @@ func TestRunDARAutoThreshold(t *testing.T) {
 	path := writeTestCSV(t)
 	var buf bytes.Buffer
 	// d0 = 0 derives per-attribute thresholds from the data.
-	if err := run(&buf, path, "dar", 0, 0.1, 1, 0.6, "D2", 0, 10, 0, false, ""); err != nil {
+	if err := run(&buf, path, runConfig{algo: "dar", d0: 0, minsup: 0.1, degree: 1, minconf: 0.6, metric: "D2", memory: 0, nparts: 10, top: 0, asJSON: false}); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	out := buf.String()

@@ -95,3 +95,42 @@ func TestMineScanCountMatchesPaper(t *testing.T) {
 		t.Errorf("full pipeline performed %d scans, want 3", d.Scans())
 	}
 }
+
+// Group-parallel mining over a disk-backed source: every worker opens
+// its own handle and the pass counter is atomic, so concurrent scans
+// are safe (this test races without the atomic Scans counter) and the
+// result still matches the serial disk run. Scan count becomes one per
+// attribute group plus the two descriptive rescans.
+func TestMineDiskParallelWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	rel := plantedXY(rng, 150, 15)
+	part := relation.SingletonPartitioning(rel.Schema())
+
+	mine := func(workers int) (*Result, *relation.DiskRelation) {
+		d, err := relation.SpillToDisk(rel, filepath.Join(t.TempDir(), "par.dar"))
+		if err != nil {
+			t.Fatalf("SpillToDisk: %v", err)
+		}
+		opt := plantedOptions()
+		opt.Workers = workers
+		m, err := NewMiner(d, part, opt)
+		if err != nil {
+			t.Fatalf("NewMiner: %v", err)
+		}
+		res, err := m.Mine()
+		if err != nil {
+			t.Fatalf("Mine(workers=%d): %v", workers, err)
+		}
+		return res, d
+	}
+
+	serial, _ := mine(1)
+	par, d := mine(4)
+	if !reflect.DeepEqual(serial.Rules, par.Rules) {
+		t.Fatalf("parallel disk rules diverged from serial:\n%+v\n%+v", serial.Rules, par.Rules)
+	}
+	groups := part.NumGroups()
+	if want := groups + 2; d.Scans() != want {
+		t.Errorf("parallel pipeline performed %d scans, want %d (one per group + 2 rescans)", d.Scans(), want)
+	}
+}

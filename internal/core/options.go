@@ -85,10 +85,16 @@ type Options struct {
 	// end of the scan, as in Section 4.3.1.
 	PageOutliers bool
 
-	// Workers sets Phase I parallelism: 0 or 1 keeps the paper's single
-	// sequential data scan; higher values process attribute groups
-	// concurrently (each with its own in-memory pass — bit-identical
-	// results, but the single-scan IO property is given up).
+	// Workers sets mining parallelism for both phases. 0 or 1 keeps the
+	// paper's fully serial execution. Higher values process Phase I
+	// attribute groups concurrently (each group with its own in-memory
+	// pass over the relation) and fan Phase II out over the same pool:
+	// clustering-graph rows, maximal-clique roots, and per-clique
+	// assoc()/rule formation all run as independent tasks whose results
+	// are merged in task order. The mined output — clusters, rules,
+	// degrees, supports, ordering — is bit-identical to the serial path
+	// at every worker count; the only serial property given up is
+	// Phase I's single-scan IO behaviour (each group re-scans).
 	Workers int
 
 	// PostScan enables the optional post-processing pass of Section 6.2:
@@ -148,7 +154,7 @@ func (o Options) validate(numGroups int) error {
 		return fmt.Errorf("core: MaxAntecedent and MaxConsequent must be >= 1, got %d and %d", o.MaxAntecedent, o.MaxConsequent)
 	}
 	if o.Workers < 0 {
-		return fmt.Errorf("core: Workers must be >= 0, got %d", o.Workers)
+		return fmt.Errorf("core: Workers must be >= 0 (0 or 1 = serial, higher parallelizes both phases), got %d", o.Workers)
 	}
 	if o.MinRuleSupport < 0 || o.MinRuleSupport > 1 {
 		return fmt.Errorf("core: MinRuleSupport must be in [0,1], got %v", o.MinRuleSupport)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -66,6 +67,82 @@ func TestParallelPhaseIMatchesSerial(t *testing.T) {
 			!intsEqual(a.Antecedent, b.Antecedent) || !intsEqual(a.Consequent, b.Consequent) {
 			t.Fatalf("rule %d differs: %+v vs %+v", i, a, b)
 		}
+	}
+}
+
+// TestParallelPhaseIIMatchesSerial is the differential determinism test
+// for the parallel rule-formation phase: identical relations mined at
+// Workers ∈ {1, 2, 4, 8} across several seeds must produce bit-identical
+// DAR output — every rule's cluster sets, degree, support and position,
+// plus the Phase II counters the parallel merge reassembles.
+func TestParallelPhaseIIMatchesSerial(t *testing.T) {
+	for _, seed := range []int64{7, 19, 83} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			schema := relation.MustSchema(
+				relation.Attribute{Name: "Job", Kind: relation.Nominal},
+				relation.Attribute{Name: "a", Kind: relation.Interval},
+				relation.Attribute{Name: "b", Kind: relation.Interval},
+				relation.Attribute{Name: "c", Kind: relation.Interval},
+				relation.Attribute{Name: "noise", Kind: relation.Interval},
+			)
+			rel := relation.NewRelation(schema)
+			dict := schema.Attr(0).Dict
+			jobs := []string{"DBA", "Mgr", "Dev"}
+			for i := 0; i < 2500; i++ {
+				job := rng.Intn(len(jobs))
+				band := float64(rng.Intn(6))
+				rel.MustAppend([]float64{
+					dict.Code(jobs[job]),
+					band*40 + rng.NormFloat64(),
+					band*80 + 7 + rng.NormFloat64(),
+					float64(job)*50 + rng.NormFloat64(),
+					rng.Float64() * 1000,
+				})
+			}
+			part := relation.SingletonPartitioning(schema)
+
+			run := func(workers int) *Result {
+				o := DefaultOptions()
+				o.DiameterThreshold = 5
+				o.FrequencyFraction = 0.02
+				o.DegreeFactor = 2.5
+				o.Workers = workers
+				m, err := NewMiner(rel, part, o)
+				if err != nil {
+					t.Fatalf("NewMiner: %v", err)
+				}
+				res, err := m.Mine()
+				if err != nil {
+					t.Fatalf("Mine(workers=%d): %v", workers, err)
+				}
+				return res
+			}
+
+			serial := run(1)
+			if serial.PhaseII.Workers != 1 {
+				t.Errorf("serial PhaseII.Workers = %d, want 1", serial.PhaseII.Workers)
+			}
+			if len(serial.Rules) == 0 {
+				t.Fatal("workload produced no rules; the comparison is vacuous")
+			}
+			for _, workers := range []int{2, 4, 8} {
+				par := run(workers)
+				if !reflect.DeepEqual(serial.Rules, par.Rules) {
+					t.Fatalf("workers=%d: rule output diverged from serial\nserial: %+v\nparallel: %+v",
+						workers, serial.Rules, par.Rules)
+				}
+				if !reflect.DeepEqual(serial.Clusters, par.Clusters) {
+					t.Fatalf("workers=%d: clusters diverged from serial", workers)
+				}
+				s, p := serial.PhaseII, par.PhaseII
+				if s.GraphNodes != p.GraphNodes || s.GraphEdges != p.GraphEdges ||
+					s.Cliques != p.Cliques || s.NonTrivialCliques != p.NonTrivialCliques ||
+					s.Comparisons != p.Comparisons || s.Pruned != p.Pruned {
+					t.Fatalf("workers=%d: Phase II stats diverged: serial %+v, parallel %+v", workers, s, p)
+				}
+			}
+		})
 	}
 }
 

@@ -26,19 +26,27 @@ type PhaseIIStats struct {
 	// while building the graph; Pruned counts pairs skipped by the
 	// Section 6.2 image-density reduction.
 	Comparisons, Pruned int
+	// Workers is the effective parallelism Phase II ran with (1 = the
+	// paper's serial path). The emitted rule set is bit-identical at
+	// every worker count; only wall time changes.
+	Workers int
 }
 
 // phase2 builds the clustering graph over the frequent clusters, finds
-// maximal cliques, and emits DARs.
+// maximal cliques, and emits DARs. All three stages fan out over
+// Options.Workers — graph rows, clique roots and clique pairs are
+// independent subproblems — and each stage merges its per-task results
+// in task order, so the output is bit-identical to the serial path.
 func (m *Miner) phase2(clusters []*Cluster, nominal []bool, co cooccurrence) ([]Rule, PhaseIIStats) {
 	start := time.Now()
 	var st PhaseIIStats
+	st.Workers = m.opt.effectiveWorkers(len(clusters))
 
 	g := m.buildGraph(clusters, nominal, &st)
 	st.GraphNodes, st.GraphEdges = g.N(), g.Edges()
 
 	cliqueStart := time.Now()
-	cliques := g.MaximalCliques()
+	cliques := g.MaximalCliquesParallel(st.Workers)
 	st.CliqueDuration = time.Since(cliqueStart)
 	st.Cliques = len(cliques)
 	for _, c := range cliques {
@@ -123,7 +131,17 @@ func (m *Miner) buildGraph(clusters []*Cluster, nominal []bool, st *PhaseIIStats
 		}
 	}
 
-	for i := 0; i < len(clusters); i++ {
+	// Each row i (its pairs {i, j>i}) is an independent task; rows write
+	// only their own slot and are merged in row order afterwards. The
+	// edge set is order-independent, so the graph — and every stat — is
+	// identical at any worker count.
+	type graphRow struct {
+		edges               []int
+		comparisons, pruned int
+	}
+	rows := make([]graphRow, len(clusters))
+	parallelFor(m.opt.effectiveWorkers(len(clusters)), len(clusters), func(i int) {
+		row := &rows[i]
 		ci := clusters[i]
 		for j := i + 1; j < len(clusters); j++ {
 			cj := clusters[j]
@@ -137,11 +155,11 @@ func (m *Miner) buildGraph(clusters []*Cluster, nominal []bool, st *PhaseIIStats
 				// versa; a diffuse image cannot.
 				if !nominal[ci.Group] && (radius[j][ci.Group] > tI || radius[i][ci.Group] > tI) ||
 					!nominal[cj.Group] && (radius[i][cj.Group] > tJ || radius[j][cj.Group] > tJ) {
-					st.Pruned++
+					row.pruned++
 					continue
 				}
 			}
-			st.Comparisons++
+			row.comparisons++
 			// Dfn 6.1 requires closeness on both groups. Use the
 			// summary metric for interval groups; nominal groups fall
 			// back to the interval-style check only when co-occurrence
@@ -155,8 +173,15 @@ func (m *Miner) buildGraph(clusters []*Cluster, nominal []bool, st *PhaseIIStats
 			if dJ > tJ {
 				continue
 			}
+			row.edges = append(row.edges, j)
+		}
+	})
+	for i := range rows {
+		for _, j := range rows[i].edges {
 			g.AddEdge(i, j)
 		}
+		st.Comparisons += rows[i].comparisons
+		st.Pruned += rows[i].pruned
 	}
 	return g
 }
@@ -187,13 +212,43 @@ type candidateRule struct {
 // assoc(C_Yj) = {C_Xi : D(C_Yj[Yj], C_Xi[Yj]) <= D0^Yj} and emit
 // C_X' ⇒ C_Y' for every C_Y' ⊆ Q2 and C_X' ⊆ ∩ assoc, with attribute
 // groups disjoint across the rule and arity bounded by the options.
+// Parallel runs fan the antecedent cliques out over the worker pool:
+// each Q1 enumerates all Q2 with a task-local dedup map, and the
+// per-task rule lists are merged in Q1 order under a global dedup.
+// A duplicate (antecedent, consequent) pair carries the same degree
+// wherever it is discovered — the distances depend only on the cluster
+// sets, not on the clique pair that surfaced them — so first-wins
+// merging yields the serial rule set exactly.
 func (m *Miner) rulesFromCliques(clusters []*Cluster, cliques [][]int, nominal []bool, co cooccurrence) []Rule {
-	seen := make(map[string]bool)
 	var out []Rule
-
-	for qi := 0; qi < len(cliques); qi++ {
-		for qj := 0; qj < len(cliques); qj++ {
-			m.rulesFromCliquePair(clusters, cliques[qi], cliques[qj], nominal, co, seen, &out)
+	workers := m.opt.effectiveWorkers(len(cliques))
+	if workers <= 1 {
+		seen := make(map[string]bool)
+		for qi := 0; qi < len(cliques); qi++ {
+			for qj := 0; qj < len(cliques); qj++ {
+				m.rulesFromCliquePair(clusters, cliques[qi], cliques[qj], nominal, co, seen, &out)
+			}
+		}
+	} else {
+		perQ1 := make([][]Rule, len(cliques))
+		parallelFor(workers, len(cliques), func(qi int) {
+			local := make(map[string]bool)
+			var rules []Rule
+			for qj := 0; qj < len(cliques); qj++ {
+				m.rulesFromCliquePair(clusters, cliques[qi], cliques[qj], nominal, co, local, &rules)
+			}
+			perQ1[qi] = rules
+		})
+		seen := make(map[string]bool)
+		for _, rules := range perQ1 {
+			for _, r := range rules {
+				key := ruleKey(r.Antecedent, r.Consequent)
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				out = append(out, r)
+			}
 		}
 	}
 

@@ -75,7 +75,9 @@ func (res *Result) DescribeRule(r Rule, rel relation.Source, part *relation.Part
 
 // Mine runs the full pipeline: Phase I clustering, the optional
 // descriptive post-scan, Phase II rule formation, and the optional
-// candidate-support rescan.
+// candidate-support rescan. Both phases parallelize across
+// Options.Workers with output bit-identical to the serial path;
+// Result.PhaseII.Workers records the effective Phase II parallelism.
 func (m *Miner) Mine() (*Result, error) {
 	nominal := m.nominalGroups()
 	if !m.opt.PostScan {

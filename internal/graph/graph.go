@@ -7,6 +7,7 @@ package graph
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Undirected is a simple undirected graph over vertices 0..n-1.
@@ -93,6 +94,64 @@ func (g *Undirected) MaximalCliques() [][]int {
 		out = append(out, append([]int(nil), c...))
 		return true
 	})
+	sort.Slice(out, func(i, j int) bool { return lessIntSlices(out[i], out[j]) })
+	return out
+}
+
+// MaximalCliquesParallel returns exactly the cliques of MaximalCliques,
+// fanning the outer level of the degeneracy-ordered Bron–Kerbosch out
+// over workers goroutines. Each outer vertex roots an independent
+// subproblem (its candidate set is the later neighbours, its excluded
+// set the earlier ones), the recursion only reads the adjacency
+// structure, and every subproblem writes to its own result slot — so no
+// synchronization beyond the pool is needed, and the final sort makes
+// the output independent of completion order. workers <= 1 falls back
+// to the serial enumeration.
+func (g *Undirected) MaximalCliquesParallel(workers int) [][]int {
+	if workers <= 1 {
+		return g.MaximalCliques()
+	}
+	order := g.degeneracyOrder()
+	pos := make([]int, g.n)
+	for i, v := range order {
+		pos[v] = i
+	}
+	perRoot := make([][][]int, len(order))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	if workers > len(order) {
+		workers = len(order)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				v := order[i]
+				var p, x []int
+				for u := range g.adj[v] {
+					if pos[u] > pos[v] {
+						p = append(p, u)
+					} else {
+						x = append(x, u)
+					}
+				}
+				g.bronKerbosch([]int{v}, p, x, func(c []int) bool {
+					perRoot[i] = append(perRoot[i], append([]int(nil), c...))
+					return true
+				})
+			}
+		}()
+	}
+	for i := range order {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	var out [][]int
+	for _, cs := range perRoot {
+		out = append(out, cs...)
+	}
 	sort.Slice(out, func(i, j int) bool { return lessIntSlices(out[i], out[j]) })
 	return out
 }

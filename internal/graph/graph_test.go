@@ -255,3 +255,34 @@ func TestDegeneracyOrderCoversAll(t *testing.T) {
 		t.Errorf("order repeats vertices: %v", order)
 	}
 }
+
+// TestMaximalCliquesParallelMatchesSerial checks that the fan-out over
+// outer Bron–Kerbosch roots returns exactly the serial clique list —
+// same cliques, same order — on random graphs of varying density and at
+// worker counts beyond the vertex count.
+func TestMaximalCliquesParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(40)
+		g := New(n)
+		edges := rng.Intn(3 * n)
+		for e := 0; e < edges; e++ {
+			g.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		want := g.MaximalCliques()
+		for _, workers := range []int{2, 4, n + 3} {
+			got := g.MaximalCliquesParallel(workers)
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("trial %d, workers=%d: cliques diverged\nserial:   %v\nparallel: %v",
+					trial, workers, want, got)
+			}
+		}
+	}
+}
+
+func TestMaximalCliquesParallelEmptyGraph(t *testing.T) {
+	g := New(0)
+	if got := g.MaximalCliquesParallel(4); len(got) != 0 {
+		t.Fatalf("cliques of empty graph = %v", got)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"sync/atomic"
 )
 
 // Source is what the miners actually consume: anything that can report
@@ -40,12 +41,14 @@ const diskVersion = 1
 // DiskRelation is a file-backed Source. It keeps only a file handle and
 // the schema in memory; every Scan is one sequential read of the file,
 // and the Scans counter exposes exactly how many passes an algorithm
-// performed — the quantity the paper's IO analysis is about.
+// performed — the quantity the paper's IO analysis is about. Scan is
+// safe for concurrent use (each call opens its own handle and the pass
+// counter is atomic), which the group-parallel Phase I relies on.
 type DiskRelation struct {
 	schema *Schema
 	path   string
 	rows   int
-	scans  int
+	scans  atomic.Int64
 }
 
 // SpillToDisk writes the relation's tuples to path in the binary tuple
@@ -127,7 +130,7 @@ func (d *DiskRelation) Len() int { return d.rows }
 
 // Scans returns how many full sequential passes have been performed —
 // the unit of the paper's IO cost analysis.
-func (d *DiskRelation) Scans() int { return d.scans }
+func (d *DiskRelation) Scans() int { return int(d.scans.Load()) }
 
 // Scan implements Source with one buffered sequential read of the file.
 func (d *DiskRelation) Scan(fn func(i int, tuple []float64) error) error {
@@ -139,7 +142,7 @@ func (d *DiskRelation) Scan(fn func(i int, tuple []float64) error) error {
 	if _, err := f.Seek(12, io.SeekStart); err != nil {
 		return fmt.Errorf("relation: seeking %s: %w", d.path, err)
 	}
-	d.scans++
+	d.scans.Add(1)
 	r := bufio.NewReaderSize(f, 1<<16)
 	width := d.schema.Width()
 	raw := make([]byte, width*8)
