@@ -1,10 +1,20 @@
 # Build/verify entry points. `make verify` is the CI gate: a clean
-# build, the full test suite, and the same suite under the race
-# detector (the parallel Phase I/II paths must stay race-free).
+# build, gofmt/go vet hygiene, the full test suite, and the same suite
+# under the race detector (the parallel Phase I/II paths must stay
+# race-free). `make lint` runs darlint, the custom go/analysis suite in
+# internal/lint that enforces the determinism & concurrency invariants
+# (map-order leaks, wall-clock/rand/env in result paths, unsanctioned
+# goroutines, atomic/plain access mixes).
+#
+# darlint is built against golang.org/x/tools pinned at
+# v0.28.1-0.20250131145412-98746475647e, vendored under vendor/ (the
+# subset of x/tools that ships inside the Go toolchain's cmd/vendor
+# tree), so everything here builds fully offline.
 
 GO ?= go
+BIN := bin
 
-.PHONY: build test race fuzz bench verify
+.PHONY: build test race fuzz bench fmtcheck vet lint darlint verify
 
 build:
 	$(GO) build ./...
@@ -15,6 +25,25 @@ test:
 race:
 	$(GO) test -race ./...
 
+# gofmt must produce no diff outside vendor/.
+fmtcheck:
+	@out=$$(gofmt -l $$(find . -name '*.go' -not -path './vendor/*')); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+darlint:
+	@mkdir -p $(BIN)
+	$(GO) build -o $(BIN)/darlint ./cmd/darlint
+
+# Run the determinism/concurrency analyzers over every package. The
+# same binary also works standalone: ./bin/darlint ./...
+lint: darlint
+	$(GO) vet -vettool=$(CURDIR)/$(BIN)/darlint ./...
+
 # Short fuzz sessions for the ingestion paths; extend -fuzztime for a
 # real campaign.
 fuzz:
@@ -24,4 +53,4 @@ fuzz:
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem .
 
-verify: build test race
+verify: build fmtcheck vet test race

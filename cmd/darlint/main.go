@@ -1,0 +1,67 @@
+// Command darlint runs the determinism & concurrency analyzers of
+// internal/lint over this repository.
+//
+// It speaks the go vet vettool protocol, so the canonical invocation is
+//
+//	go vet -vettool=$(which darlint) ./...
+//
+// (what `make lint` does). Run standalone with package patterns —
+//
+//	darlint ./...
+//
+// — it re-execs itself through `go vet -vettool`, which handles package
+// loading, export data and caching. Suppress individual findings with
+// `//lint:allow <analyzer>` comments; see internal/lint for the suite.
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	args := os.Args[1:]
+	if isVetProtocol(args) {
+		unitchecker.Main(lint.Analyzers...) // exits
+	}
+
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "darlint: cannot locate own binary: %v\n", err)
+		os.Exit(1)
+	}
+	patterns := args
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + exe}, patterns...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Exit(ee.ExitCode())
+		}
+		fmt.Fprintf(os.Stderr, "darlint: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// isVetProtocol reports whether the arguments look like the go vet
+// vettool handshake (-V=full, -flags, analyzer flags, or a *.cfg unit
+// file) rather than standalone package patterns.
+func isVetProtocol(args []string) bool {
+	if len(args) == 0 {
+		return false
+	}
+	if strings.HasPrefix(args[0], "-") {
+		return true
+	}
+	return strings.HasSuffix(args[len(args)-1], ".cfg")
+}

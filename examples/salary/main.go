@@ -62,7 +62,13 @@ func figure1() {
 func figure2() {
 	fmt.Println("\n— Figure 2: Job=DBA ∧ Age=30 ⇒ Salary≈40,000 on R1 vs R2 —")
 	r1, r2 := datagen.Figure2Relations()
-	for name, rel := range map[string]*dar.Relation{"R1": r1, "R2": r2} {
+	// Iterate a slice, not a map: the R1/R2 printout order must be stable
+	// run to run (darlint: maporder).
+	for _, nr := range []struct {
+		name string
+		rel  *dar.Relation
+	}{{"R1", r1}, {"R2", r2}} {
+		name, rel := nr.name, nr.rel
 		part := dar.SingletonPartitioning(rel.Schema())
 		opt := dar.DefaultOptions()
 		// Salaries within 3K cluster together; ages are constant.

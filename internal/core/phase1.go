@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"sort"
-	"sync"
 	"time"
 
 	"repro/internal/cf"
@@ -206,19 +205,12 @@ func (m *Miner) scanIntoTrees() error {
 		return nil
 	}
 
-	sem := make(chan struct{}, m.opt.Workers)
+	// Fan the groups out over the sanctioned worker pool; every group
+	// writes only its own tree and error slot.
 	errs := make([]error, groups)
-	var wg sync.WaitGroup
-	for g := 0; g < groups; g++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(g int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			errs[g] = insertAll(g)
-		}(g)
-	}
-	wg.Wait()
+	parallelFor(m.opt.effectiveWorkers(groups), groups, func(g int) {
+		errs[g] = insertAll(g)
+	})
 	for g, err := range errs {
 		if err != nil {
 			return fmt.Errorf("core: phase I scan (group %d): %w", g, err)

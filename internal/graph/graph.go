@@ -128,14 +128,7 @@ func (g *Undirected) MaximalCliquesParallel(workers int) [][]int {
 			defer wg.Done()
 			for i := range idx {
 				v := order[i]
-				var p, x []int
-				for u := range g.adj[v] {
-					if pos[u] > pos[v] {
-						p = append(p, u)
-					} else {
-						x = append(x, u)
-					}
-				}
+				p, x := g.splitNeighbors(v, pos)
 				g.bronKerbosch([]int{v}, p, x, func(c []int) bool {
 					perRoot[i] = append(perRoot[i], append([]int(nil), c...))
 					return true
@@ -171,20 +164,30 @@ func (g *Undirected) EnumerateMaximalCliques(visit func(clique []int) bool) {
 		if stopped {
 			return
 		}
-		// P: later neighbours; X: earlier neighbours.
-		var p, x []int
-		for u := range g.adj[v] {
-			if pos[u] > pos[v] {
-				p = append(p, u)
-			} else {
-				x = append(x, u)
-			}
-		}
+		p, x := g.splitNeighbors(v, pos)
 		r = append(r[:0], v)
 		if !g.bronKerbosch(r, p, x, visit) {
 			stopped = true
 		}
 	}
+}
+
+// splitNeighbors partitions v's neighbours into the Bron–Kerbosch
+// candidate set P (later in the degeneracy order) and excluded set X
+// (earlier), both sorted ascending so the recursion — and therefore the
+// order cliques are streamed to visit — never inherits Go's randomized
+// map-iteration order.
+func (g *Undirected) splitNeighbors(v int, pos []int) (p, x []int) {
+	for u := range g.adj[v] {
+		if pos[u] > pos[v] {
+			p = append(p, u)
+		} else {
+			x = append(x, u)
+		}
+	}
+	sort.Ints(p)
+	sort.Ints(x)
+	return p, x
 }
 
 // bronKerbosch is the pivoted recursion. r is the current clique, p the
@@ -217,10 +220,6 @@ func (g *Undirected) bronKerbosch(r, p, x []int, visit func([]int) bool) bool {
 			cands = append(cands, v)
 		}
 	}
-	pSet := make(map[int]struct{}, len(p))
-	for _, v := range p {
-		pSet[v] = struct{}{}
-	}
 	for _, v := range cands {
 		var np, nx []int
 		for _, w := range p {
@@ -236,12 +235,16 @@ func (g *Undirected) bronKerbosch(r, p, x []int, visit func([]int) bool) bool {
 		if !g.bronKerbosch(append(r, v), np, nx, visit) {
 			return false
 		}
-		// Move v from P to X.
-		delete(pSet, v)
-		p = p[:0]
-		for w := range pSet {
-			p = append(p, w)
+		// Move v from P to X with an order-preserving delete: rebuilding
+		// P through a scratch set would reintroduce map-iteration order
+		// into the recursion.
+		keep := p[:0]
+		for _, w := range p {
+			if w != v {
+				keep = append(keep, w)
+			}
 		}
+		p = keep
 		x = append(x, v)
 	}
 	return true
@@ -271,10 +274,14 @@ func (g *Undirected) degeneracyOrder() []int {
 		if cur == len(buckets) {
 			break
 		}
-		var v int
+		// Take the smallest vertex in the bucket rather than an arbitrary
+		// one: map iteration order would otherwise leak into the
+		// degeneracy order and hence into the order cliques are streamed.
+		v := -1
 		for u := range buckets[cur] {
-			v = u
-			break
+			if v < 0 || u < v {
+				v = u
+			}
 		}
 		delete(buckets[cur], v)
 		removed[v] = true

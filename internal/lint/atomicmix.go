@@ -1,0 +1,160 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// AtomicMixAnalyzer flags a variable (typically a struct field) that is
+// accessed through sync/atomic in one place and with a plain load or
+// store in another — the exact shape of the DiskRelation scan-counter
+// race fixed in PR 1, where a counter was atomically incremented by
+// parallel scanners but read with a plain load. Mixing the two defeats
+// the atomicity guarantee entirely: either every access goes through
+// sync/atomic (or an atomic.Int64-style typed field), or none do.
+//
+// Initialization in a composite literal is exempt (the value is not yet
+// shared); anything else needs `//lint:allow atomicmix`.
+var AtomicMixAnalyzer = &analysis.Analyzer{
+	Name:     "atomicmix",
+	Doc:      "flags variables accessed both via sync/atomic and with plain loads/stores",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runAtomicMix,
+}
+
+// atomicFuncPrefixes match the sync/atomic package-level operations
+// whose first argument is a *T pointing at the guarded variable.
+var atomicFuncPrefixes = []string{"Add", "Load", "Store", "Swap", "CompareAndSwap", "And", "Or"}
+
+func runAtomicMix(pass *analysis.Pass) (interface{}, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	dirs := newDirectives(pass)
+
+	// First pass: every variable whose address is taken as the first
+	// argument of a sync/atomic call, and the spans of those arguments
+	// (so the second pass does not count them as plain accesses).
+	atomicVars := make(map[types.Object]token.Pos) // var -> first atomic-use position
+	atomicArgSpans := []span{}
+	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		path, name, ok := pkgFunc(pass, call)
+		if !ok || path != "sync/atomic" || !hasAnyPrefix(name, atomicFuncPrefixes) {
+			return
+		}
+		if len(call.Args) == 0 {
+			return
+		}
+		un, ok := call.Args[0].(*ast.UnaryExpr)
+		if !ok || un.Op != token.AND {
+			return
+		}
+		obj := addrTarget(pass, un.X)
+		if obj == nil {
+			return
+		}
+		if _, exists := atomicVars[obj]; !exists {
+			atomicVars[obj] = call.Pos()
+		}
+		atomicArgSpans = append(atomicArgSpans, span{un.Pos(), un.End()})
+	})
+	if len(atomicVars) == 0 {
+		return nil, nil
+	}
+
+	inAtomicArg := func(pos token.Pos) bool {
+		for _, s := range atomicArgSpans {
+			if s.start <= pos && pos < s.end {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Second pass: plain reads/writes of the same variables. Collect
+	// then report in position order so output is stable.
+	type finding struct {
+		pos token.Pos
+		obj types.Object
+	}
+	var findings []finding
+	ins.WithStack([]ast.Node{(*ast.Ident)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return true
+		}
+		id := n.(*ast.Ident)
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if _, tracked := atomicVars[obj]; !tracked {
+			return true
+		}
+		if inAtomicArg(id.Pos()) || isTestFile(pass, id.Pos()) {
+			return true
+		}
+		// A field name used as a composite-literal key is initialization
+		// before the value can be shared, not a racy access.
+		if isCompositeLitKey(stack, id) {
+			return true
+		}
+		findings = append(findings, finding{id.Pos(), obj})
+		return true
+	})
+	sort.Slice(findings, func(i, j int) bool { return findings[i].pos < findings[j].pos })
+	for _, f := range findings {
+		report(pass, dirs, "atomicmix", f.pos,
+			"%s is accessed via sync/atomic at %s but with a plain load/store here; make every access atomic (or use an atomic.Int64-style typed field)",
+			f.obj.Name(), pass.Fset.Position(atomicVars[f.obj]))
+	}
+	return nil, nil
+}
+
+func hasAnyPrefix(s string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if strings.HasPrefix(s, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// addrTarget resolves &x or &s.f to the variable being guarded.
+func addrTarget(pass *analysis.Pass, e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if v, ok := pass.TypesInfo.ObjectOf(e).(*types.Var); ok {
+			return v
+		}
+	case *ast.SelectorExpr:
+		if v, ok := pass.TypesInfo.ObjectOf(e.Sel).(*types.Var); ok {
+			return v
+		}
+	case *ast.ParenExpr:
+		return addrTarget(pass, e.X)
+	case *ast.IndexExpr:
+		// &arr[i] guards one element; per-element tracking would need
+		// alias analysis, so stay conservative and skip.
+	}
+	return nil
+}
+
+// isCompositeLitKey reports whether id is the key of a KeyValueExpr
+// directly inside a composite literal (S{counter: 0}).
+func isCompositeLitKey(stack []ast.Node, id *ast.Ident) bool {
+	if len(stack) < 3 {
+		return false
+	}
+	kv, ok := stack[len(stack)-2].(*ast.KeyValueExpr)
+	if !ok || kv.Key != id {
+		return false
+	}
+	_, ok = stack[len(stack)-3].(*ast.CompositeLit)
+	return ok
+}

@@ -1,0 +1,186 @@
+// Package lint hosts the darlint analyzers: custom go/analysis passes
+// that mechanically enforce the miner's determinism and concurrency
+// invariants (bit-identical DAR output at any worker count). The four
+// analyzers are
+//
+//   - maporder:     map iteration feeding ordered output without a sort
+//   - nondeterm:    time.Now / global math/rand / os.Getenv in result paths
+//   - rawgoroutine: goroutines spawned outside the sanctioned worker pools
+//   - atomicmix:    sync/atomic and plain access mixed on the same variable
+//
+// A finding can be suppressed with a `//lint:allow <analyzer> [reason]`
+// comment on the offending line or the line directly above it. Functions
+// whose doc comment contains a `//lint:telemetry` line are exempt from
+// nondeterm (for timing / telemetry code whose values never reach the
+// mined rule set).
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Analyzers is the full darlint suite in reporting order.
+var Analyzers = []*analysis.Analyzer{
+	MapOrderAnalyzer,
+	NonDetermAnalyzer,
+	RawGoroutineAnalyzer,
+	AtomicMixAnalyzer,
+}
+
+const (
+	allowPrefix  = "//lint:allow"
+	telemetryTag = "//lint:telemetry"
+)
+
+// directives indexes the lint comments of one pass: per-file allow
+// lines and the spans of functions tagged //lint:telemetry.
+type directives struct {
+	fset *token.FileSet
+	// allow maps file name -> line -> analyzer names allowed there.
+	allow map[string]map[int]map[string]bool
+	// telemetry holds the body spans of tagged functions.
+	telemetry []span
+}
+
+type span struct{ start, end token.Pos }
+
+func newDirectives(pass *analysis.Pass) *directives {
+	d := &directives{
+		fset:  pass.Fset,
+		allow: make(map[string]map[int]map[string]bool),
+	}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if !strings.HasPrefix(text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(text, allowPrefix)
+				if rest == "" || (rest[0] != ' ' && rest[0] != '\t') {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				pos := d.fset.Position(c.Pos())
+				lines := d.allow[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]bool)
+					d.allow[pos.Filename] = lines
+				}
+				names := lines[pos.Line]
+				if names == nil {
+					names = make(map[string]bool)
+					lines[pos.Line] = names
+				}
+				for _, name := range strings.Split(fields[0], ",") {
+					names[name] = true
+				}
+			}
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Doc == nil || fn.Body == nil {
+				continue
+			}
+			for _, c := range fn.Doc.List {
+				if strings.HasPrefix(strings.TrimSpace(c.Text), telemetryTag) {
+					d.telemetry = append(d.telemetry, span{fn.Pos(), fn.Body.End()})
+					break
+				}
+			}
+		}
+	}
+	return d
+}
+
+// allowed reports whether analyzer name is suppressed at pos by an
+// allow comment on the same line or the line directly above.
+func (d *directives) allowed(name string, pos token.Pos) bool {
+	p := d.fset.Position(pos)
+	lines := d.allow[p.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{p.Line, p.Line - 1} {
+		if names := lines[line]; names[name] {
+			return true
+		}
+	}
+	return false
+}
+
+// inTelemetry reports whether pos falls inside a //lint:telemetry
+// tagged function.
+func (d *directives) inTelemetry(pos token.Pos) bool {
+	for _, s := range d.telemetry {
+		if s.start <= pos && pos < s.end {
+			return true
+		}
+	}
+	return false
+}
+
+// report emits a diagnostic unless an allow directive suppresses it.
+func report(pass *analysis.Pass, d *directives, name string, pos token.Pos, format string, args ...interface{}) {
+	if d.allowed(name, pos) {
+		return
+	}
+	pass.Reportf(pos, format, args...)
+}
+
+// isTestFile reports whether the file holding pos is a _test.go file.
+// The determinism invariants protect the mining result paths; tests are
+// free to use seeded randomness, wall clocks and ad-hoc goroutines.
+func isTestFile(pass *analysis.Pass, pos token.Pos) bool {
+	return strings.HasSuffix(pass.Fset.Position(pos).Filename, "_test.go")
+}
+
+// compileScope turns a -scope / -exempt flag value into a matcher over
+// package import paths. An empty pattern matches nothing.
+func compileScope(pattern string) func(string) bool {
+	if pattern == "" {
+		return func(string) bool { return false }
+	}
+	re := regexp.MustCompile(pattern)
+	return func(path string) bool { return re.MatchString(path) }
+}
+
+// pkgPath returns the import path of the package under analysis with
+// any " [foo.test]" variant suffix trimmed, so scope matching behaves
+// identically for a package and its test variant.
+func pkgPath(pass *analysis.Pass) string {
+	path := pass.Pkg.Path()
+	if i := strings.IndexByte(path, ' '); i >= 0 {
+		path = path[:i]
+	}
+	return path
+}
+
+// pkgFunc resolves a call expression to (package path, function name)
+// when it is a direct call of a package-level function, e.g.
+// time.Now() or atomic.AddInt64(...). It returns ok=false for method
+// calls and locally shadowed package names.
+func pkgFunc(pass *analysis.Pass, call *ast.CallExpr) (path, name string, ok bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", "", false
+	}
+	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}

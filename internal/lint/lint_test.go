@@ -1,0 +1,32 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+func TestMapOrder(t *testing.T) {
+	linttest.Run(t, "testdata", lint.MapOrderAnalyzer, "maporder")
+}
+
+func TestNonDeterm(t *testing.T) {
+	linttest.Run(t, "testdata", lint.NonDetermAnalyzer,
+		"internal/miner",               // true positives + telemetry idioms
+		"webui",                        // negative: outside the internal/ scope
+		"internal/experiments/harness", // negative: exempted harness package
+	)
+}
+
+func TestRawGoroutine(t *testing.T) {
+	linttest.Run(t, "testdata", lint.RawGoroutineAnalyzer,
+		"internal/pipeline", // true positives + escape hatch
+		"internal/graph",    // negative: sanctioned package
+		"internal/core",     // negative: sanctioned parallel.go file
+	)
+}
+
+func TestAtomicMix(t *testing.T) {
+	linttest.Run(t, "testdata", lint.AtomicMixAnalyzer, "atomicmix")
+}

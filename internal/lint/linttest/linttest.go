@@ -1,0 +1,225 @@
+// Package linttest is a minimal, dependency-free analogue of
+// golang.org/x/tools/go/analysis/analysistest (which is not vendored
+// with the toolchain, and this repo builds offline). It loads a fixture
+// package from testdata/src/<path>, type-checks it against the standard
+// library via the source importer, runs an analyzer together with its
+// Requires closure, and compares the reported diagnostics against
+// `// want "regexp"` comments in the fixture — the same convention
+// analysistest uses, so fixtures stay portable.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Run analyzes each fixture package under filepath.Join(testdata,
+// "src", path) with a and reports mismatches between diagnostics and
+// the fixtures' want comments as test errors. The fixture path doubles
+// as the package import path, so analyzers that scope by package path
+// (e.g. on "internal/") see the path spelled in the fixture tree.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	for _, p := range paths {
+		p := p
+		t.Run(strings.ReplaceAll(p, "/", "_"), func(t *testing.T) {
+			t.Helper()
+			runPackage(t, testdata, a, p)
+		})
+	}
+}
+
+func runPackage(t *testing.T, testdata string, a *analysis.Analyzer, path string) {
+	t.Helper()
+	dir := filepath.Join(testdata, "src", filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing fixture: %v", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no Go files in fixture %s", dir)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking fixture: %v", err)
+	}
+
+	var diags []analysis.Diagnostic
+	results := make(map[*analysis.Analyzer]interface{})
+	var run func(an *analysis.Analyzer) error
+	run = func(an *analysis.Analyzer) error {
+		if _, done := results[an]; done {
+			return nil
+		}
+		for _, req := range an.Requires {
+			if err := run(req); err != nil {
+				return err
+			}
+		}
+		pass := &analysis.Pass{
+			Analyzer:   an,
+			Fset:       fset,
+			Files:      files,
+			Pkg:        pkg,
+			TypesInfo:  info,
+			TypesSizes: types.SizesFor("gc", runtime.GOARCH),
+			ResultOf:   make(map[*analysis.Analyzer]interface{}),
+			Report: func(d analysis.Diagnostic) {
+				if an == a { // prerequisite passes don't contribute findings
+					diags = append(diags, d)
+				}
+			},
+			ReadFile:          os.ReadFile,
+			ImportObjectFact:  func(types.Object, analysis.Fact) bool { return false },
+			ImportPackageFact: func(*types.Package, analysis.Fact) bool { return false },
+			ExportObjectFact:  func(types.Object, analysis.Fact) {},
+			ExportPackageFact: func(analysis.Fact) {},
+			AllObjectFacts:    func() []analysis.ObjectFact { return nil },
+			AllPackageFacts:   func() []analysis.PackageFact { return nil },
+		}
+		for _, req := range an.Requires {
+			pass.ResultOf[req] = results[req]
+		}
+		res, err := an.Run(pass)
+		if err != nil {
+			return fmt.Errorf("%s: %w", an.Name, err)
+		}
+		results[an] = res
+		return nil
+	}
+	if err := run(a); err != nil {
+		t.Fatal(err)
+	}
+
+	checkDiagnostics(t, fset, files, diags)
+}
+
+// expectation is one `// want "re"` clause: a regexp expected to match
+// a diagnostic on its line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	used bool
+}
+
+var wantRE = regexp.MustCompile("//\\s*want\\s+(.*)$")
+
+func parseWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, lit := range splitQuoted(m[1]) {
+					pat, err := strconv.Unquote(lit)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, lit, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: pat})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitQuoted extracts the `...` and "..." literals from a want clause.
+func splitQuoted(s string) []string {
+	var out []string
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '`':
+			if j := strings.IndexByte(s[i+1:], '`'); j >= 0 {
+				out = append(out, s[i:i+j+2])
+				i += j + 1
+			}
+		case '"':
+			for j := i + 1; j < len(s); j++ {
+				if s[j] == '\\' {
+					j++
+					continue
+				}
+				if s[j] == '"' {
+					out = append(out, s[i:j+1])
+					i = j
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+func checkDiagnostics(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := parseWants(t, fset, files)
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.used && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.used {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+}

@@ -1,0 +1,245 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// MapOrderAnalyzer flags `range` over a map whose iteration order leaks
+// into ordered output: elements appended to a slice that is never
+// deterministically sorted afterwards, values sent on a channel, or
+// text printed during the iteration. Go randomizes map iteration, so
+// any of these makes the emitted rule set differ between runs — the
+// exact bug class the PR 1 differential tests guard against, caught
+// here at compile time instead.
+//
+// The accepted fix patterns are (a) append-then-sort in the same
+// function — `sort.*` / `slices.Sort*` / any call whose name contains
+// "sort" taking the slice — or (b) a `//lint:allow maporder` comment
+// when the order provably cannot reach output (e.g. commutative
+// reductions that happen to build a scratch slice).
+var MapOrderAnalyzer = &analysis.Analyzer{
+	Name:     "maporder",
+	Doc:      "flags map iteration whose nondeterministic order can leak into mining output",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runMapOrder,
+}
+
+func runMapOrder(pass *analysis.Pass) (interface{}, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	dirs := newDirectives(pass)
+
+	// appendSite is one `dst = append(dst, ...)` inside a map range.
+	type appendSite struct {
+		obj  types.Object // the destination slice variable or field
+		pos  token.Pos    // position of the append, for reporting
+		name string       // printable name of the destination
+	}
+
+	seen := make(map[token.Pos]bool) // appends already attributed to a loop
+	ins.WithStack([]ast.Node{(*ast.RangeStmt)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return true
+		}
+		rs := n.(*ast.RangeStmt)
+		if !isMapRange(pass, rs) || isTestFile(pass, rs.Pos()) {
+			return true
+		}
+
+		var appends []appendSite
+		ast.Inspect(rs.Body, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.RangeStmt:
+				// Nested map ranges get their own visit; attributing
+				// their appends to the outer loop would double-report.
+				if isMapRange(pass, m) {
+					return false
+				}
+			case *ast.SendStmt:
+				if !seen[m.Pos()] {
+					seen[m.Pos()] = true
+					report(pass, dirs, "maporder", m.Pos(),
+						"channel send inside map iteration: receive order follows Go's randomized map order")
+				}
+			case *ast.CallExpr:
+				if path, name, ok := pkgFunc(pass, m); ok && path == "fmt" && (strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")) {
+					if !seen[m.Pos()] {
+						seen[m.Pos()] = true
+						report(pass, dirs, "maporder", m.Pos(),
+							"fmt.%s inside map iteration prints in Go's randomized map order; collect and sort first", name)
+					}
+				}
+			case *ast.AssignStmt:
+				for i, rhs := range m.Rhs {
+					call, ok := rhs.(*ast.CallExpr)
+					if !ok || !isBuiltinAppend(pass, call) || i >= len(m.Lhs) {
+						continue
+					}
+					obj, name := lhsObject(pass, m.Lhs[i])
+					if obj == nil || seen[call.Pos()] {
+						continue
+					}
+					// Per-iteration temporaries declared inside the
+					// loop cannot leak iteration order across items.
+					if obj.Pos() >= rs.Pos() && obj.Pos() < rs.End() {
+						continue
+					}
+					seen[call.Pos()] = true
+					appends = append(appends, appendSite{obj: obj, pos: call.Pos(), name: name})
+				}
+			}
+			return true
+		})
+		if len(appends) == 0 {
+			return true
+		}
+
+		fn := enclosingFuncBody(stack)
+		for _, a := range appends {
+			if fn != nil && sortedAfter(pass, fn, a.obj, rs.End()) {
+				continue
+			}
+			report(pass, dirs, "maporder", a.pos,
+				"%s accumulates map-iteration results but is never deterministically sorted; sort it after the loop or annotate //lint:allow maporder", a.name)
+		}
+		return true
+	})
+	return nil, nil
+}
+
+func isMapRange(pass *analysis.Pass, rs *ast.RangeStmt) bool {
+	t := pass.TypesInfo.TypeOf(rs.X)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+func isBuiltinAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// lhsObject resolves the destination of an append: a plain variable or
+// a selector field (s.rules = append(s.rules, ...)).
+func lhsObject(pass *analysis.Pass, lhs ast.Expr) (types.Object, string) {
+	switch lhs := lhs.(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.ObjectOf(lhs), lhs.Name
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.ObjectOf(lhs.Sel), exprString(lhs)
+	}
+	return nil, ""
+}
+
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	}
+	return "result"
+}
+
+// enclosingFuncBody returns the body of the innermost function
+// declaration on the stack (falling back to the outermost function
+// literal), which bounds the search for a later sort call.
+func enclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if fd, ok := stack[i].(*ast.FuncDecl); ok {
+			return fd.Body
+		}
+	}
+	for _, n := range stack {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			return fl.Body
+		}
+	}
+	return nil
+}
+
+// sortedAfter reports whether fn contains, after pos, a call that
+// deterministically orders obj: sort.<Fn>(obj...), slices.Sort*(obj...),
+// or any function/method whose name contains "sort" receiving obj.
+func sortedAfter(pass *analysis.Pass, fn *ast.BlockStmt, obj types.Object, pos token.Pos) bool {
+	found := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= pos {
+			return true
+		}
+		if !isSortCall(pass, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if argResolvesTo(pass, arg, obj) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func isSortCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	if path, name, ok := pkgFunc(pass, call); ok {
+		if path == "sort" || path == "slices" {
+			return strings.Contains(strings.ToLower(name), "sort") ||
+				name == "Strings" || name == "Ints" || name == "Float64s" ||
+				name == "Stable" || name == "Slice" || name == "SliceStable"
+		}
+		return strings.Contains(strings.ToLower(name), "sort")
+	}
+	// Local helpers and methods: sortRules(out), m.sortClusters(cs), ...
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		return strings.Contains(strings.ToLower(f.Name), "sort")
+	case *ast.SelectorExpr:
+		return strings.Contains(strings.ToLower(f.Sel.Name), "sort")
+	}
+	return false
+}
+
+// argResolvesTo unwraps &x, parens and single-argument conversions
+// (sort.Sort(byDegree(out))) down to an identifier or selector and
+// compares its object against obj.
+func argResolvesTo(pass *analysis.Pass, arg ast.Expr, obj types.Object) bool {
+	for {
+		switch a := arg.(type) {
+		case *ast.ParenExpr:
+			arg = a.X
+		case *ast.UnaryExpr:
+			if a.Op != token.AND {
+				return false
+			}
+			arg = a.X
+		case *ast.CallExpr:
+			if len(a.Args) != 1 {
+				return false
+			}
+			arg = a.Args[0]
+		case *ast.Ident:
+			return pass.TypesInfo.ObjectOf(a) == obj
+		case *ast.SelectorExpr:
+			return pass.TypesInfo.ObjectOf(a.Sel) == obj
+		default:
+			return false
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// NonDetermAnalyzer bans the three classic sources of run-to-run and
+// environment-to-environment drift — time.Now, the global (unseeded)
+// math/rand generator, and os.Getenv — inside the mining result paths
+// (the internal/... packages that produce Phase I/II output).
+//
+// Allowed without annotation:
+//   - seeded generators: rand.New(rand.NewSource(seed)) and all methods
+//     on the resulting *rand.Rand;
+//   - the timing idiom `start := time.Now(); ...; time.Since(start)`
+//     (or start.Sub / end.Sub(start)), whose wall-clock values feed
+//     Stats durations but never the rule set;
+//   - whole functions tagged //lint:telemetry in their doc comment;
+//   - generator / experiment-harness packages exempted by -exempt.
+//
+// Anything else needs a `//lint:allow nondeterm` comment.
+var NonDetermAnalyzer = &analysis.Analyzer{
+	Name:     "nondeterm",
+	Doc:      "bans time.Now, unseeded math/rand and os.Getenv in mining result paths",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runNonDeterm,
+}
+
+var (
+	nonDetermScope  string
+	nonDetermExempt string
+)
+
+func init() {
+	NonDetermAnalyzer.Flags.StringVar(&nonDetermScope, "scope",
+		`(^|/)internal/`,
+		"regexp of package import paths the analyzer applies to")
+	NonDetermAnalyzer.Flags.StringVar(&nonDetermExempt, "exempt",
+		`(^|/)internal/(experiments|datagen)(/|$)`,
+		"regexp of package import paths exempted from the scope")
+}
+
+// bannedRandFuncs are the package-level math/rand (and /v2) functions
+// that draw from the shared, unseeded global source. Constructors
+// (New, NewSource, NewZipf, NewPCG, NewChaCha8) are fine: a *rand.Rand
+// built from an explicit seed is the sanctioned way to randomize.
+var bannedRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true,
+	"NormFloat64": true, "Perm": true, "Shuffle": true, "Read": true,
+	"Seed": true,
+	// math/rand/v2 spellings.
+	"N": true, "IntN": true, "Int32": true, "Int32N": true,
+	"Int64": true, "Int64N": true, "UintN": true, "Uint": true,
+	"Uint32N": true, "Uint64N": true,
+}
+
+var bannedOSFuncs = map[string]bool{
+	"Getenv": true, "LookupEnv": true, "Environ": true,
+}
+
+func runNonDeterm(pass *analysis.Pass) (interface{}, error) {
+	inScope := compileScope(nonDetermScope)
+	exempt := compileScope(nonDetermExempt)
+	path := pkgPath(pass)
+	if !inScope(path) || exempt(path) {
+		return nil, nil
+	}
+
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	dirs := newDirectives(pass)
+
+	ins.WithStack([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return true
+		}
+		call := n.(*ast.CallExpr)
+		if isTestFile(pass, call.Pos()) || dirs.inTelemetry(call.Pos()) {
+			return true
+		}
+		fpath, fname, ok := pkgFunc(pass, call)
+		if !ok {
+			return true
+		}
+		switch {
+		case fpath == "time" && fname == "Now":
+			if isTimingOnly(pass, call, stack) {
+				return true
+			}
+			report(pass, dirs, "nondeterm", call.Pos(),
+				"time.Now in a result path: wall-clock values must not influence mined rules (tag the function //lint:telemetry for pure timing code)")
+		case (fpath == "math/rand" || fpath == "math/rand/v2") && bannedRandFuncs[fname]:
+			report(pass, dirs, "nondeterm", call.Pos(),
+				"rand.%s draws from the global unseeded generator; use rand.New(rand.NewSource(seed)) so runs are reproducible", fname)
+		case fpath == "os" && bannedOSFuncs[fname]:
+			report(pass, dirs, "nondeterm", call.Pos(),
+				"os.%s in a result path makes mining output depend on the environment; plumb the value through Options instead", fname)
+		}
+		return true
+	})
+	return nil, nil
+}
+
+// isTimingOnly recognizes the telemetry idiom: the time.Now() value is
+// (a) immediately the receiver of .Sub, or (b) bound to a variable that
+// the enclosing function later passes to time.Since or uses in a .Sub
+// call. Such values measure durations; they cannot perturb rule output.
+func isTimingOnly(pass *analysis.Pass, call *ast.CallExpr, stack []ast.Node) bool {
+	if len(stack) >= 2 {
+		if sel, ok := stack[len(stack)-2].(*ast.SelectorExpr); ok && sel.X == call && sel.Sel.Name == "Sub" {
+			return true
+		}
+	}
+	// Find `v := time.Now()` directly above the call.
+	var obj types.Object
+	if len(stack) >= 2 {
+		if as, ok := stack[len(stack)-2].(*ast.AssignStmt); ok {
+			for i, rhs := range as.Rhs {
+				if rhs == call && i < len(as.Lhs) {
+					if id, ok := as.Lhs[i].(*ast.Ident); ok {
+						obj = pass.TypesInfo.ObjectOf(id)
+					}
+				}
+			}
+		}
+	}
+	if obj == nil {
+		return false
+	}
+	fn := enclosingFuncBody(stack)
+	if fn == nil {
+		return false
+	}
+	timing := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if timing {
+			return false
+		}
+		c, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if p, f, ok := pkgFunc(pass, c); ok && p == "time" && f == "Since" {
+			for _, a := range c.Args {
+				if id, ok := a.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == obj {
+					timing = true
+					return false
+				}
+			}
+			return true
+		}
+		if sel, ok := c.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Sub" {
+			if id, ok := sel.X.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == obj {
+				timing = true
+				return false
+			}
+			for _, a := range c.Args {
+				if id, ok := a.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == obj {
+					timing = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return timing
+}

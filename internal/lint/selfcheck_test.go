@@ -1,0 +1,44 @@
+package lint_test
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestDarlintRepoClean is the repo-wide self-check: it builds the
+// darlint vettool and runs it over every package, failing on any
+// finding. This is the executable form of the determinism contract —
+// if an analyzer learns to catch a new bug shape, existing code must
+// either be fixed or carry an explicit //lint:allow annotation before
+// this test goes green again.
+func TestDarlintRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and vets the whole repo; skipped in -short mode")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("repo root not found at %s: %v", root, err)
+	}
+
+	tool := filepath.Join(t.TempDir(), "darlint")
+	build := exec.Command("go", "build", "-o", tool, "./cmd/darlint")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building darlint: %v\n%s", err, out)
+	}
+
+	vet := exec.Command("go", "vet", "-vettool="+tool, "./...")
+	vet.Dir = root
+	var out bytes.Buffer
+	vet.Stdout = &out
+	vet.Stderr = &out
+	if err := vet.Run(); err != nil {
+		t.Errorf("darlint reported findings (or failed): %v\n%s", err, out.String())
+	}
+}

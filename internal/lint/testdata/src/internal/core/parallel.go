@@ -1,0 +1,24 @@
+// Negative fixture for rawgoroutine: internal/core/parallel.go is the
+// sanctioned worker-pool file, matched by file suffix.
+package core
+
+import "sync"
+
+func parallelFor(workers, n int, fn func(int)) {
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}

@@ -1,0 +1,9 @@
+// Negative fixture for nondeterm: internal/experiments/... is exempted
+// by default (experiment harnesses time and label their runs).
+package harness
+
+import "time"
+
+func Stamp() string {
+	return time.Now().Format(time.RFC3339)
+}

@@ -1,0 +1,18 @@
+// Negative fixture for rawgoroutine: internal/graph is a sanctioned
+// package (its clique fan-out owns its own worker pool), so goroutines
+// here are not flagged.
+package graph
+
+import "sync"
+
+func CliqueWorkers(n int, fn func(int)) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,57 @@
+// Fixture for the nondeterm analyzer: an in-scope (internal/) package
+// on the mining result path.
+package miner
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// badClock stamps rules with the wall clock: flagged.
+func badClock() int64 {
+	return time.Now().UnixNano() // want `time\.Now in a result path`
+}
+
+// badSeed seeds implicitly from the global generator: flagged.
+func badSeed(n int) int {
+	return rand.Intn(n) // want `rand\.Intn draws from the global unseeded generator`
+}
+
+// badEnv lets the environment steer mining: flagged.
+func badEnv() string {
+	return os.Getenv("DAR_MODE") // want `os\.Getenv in a result path`
+}
+
+// timing uses the sanctioned start/Since idiom: not flagged.
+func timing() time.Duration {
+	start := time.Now()
+	work()
+	return time.Since(start)
+}
+
+// timingSub measures with explicit Sub calls: not flagged.
+func timingSub() time.Duration {
+	start := time.Now()
+	work()
+	end := time.Now()
+	return end.Sub(start)
+}
+
+// seeded uses an explicit seed: reproducible, not flagged.
+func seeded(seed int64, n int) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(n)
+}
+
+//lint:telemetry — wall-clock readings here feed logs, never rules.
+func tagged() int64 {
+	return time.Now().Unix()
+}
+
+// allowed uses the per-line escape hatch.
+func allowed() string {
+	return os.Getenv("HOME") //lint:allow nondeterm test-only diagnostics path
+}
+
+func work() {}

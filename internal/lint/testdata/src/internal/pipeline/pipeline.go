@@ -1,0 +1,40 @@
+// Fixture for the rawgoroutine analyzer: an internal package that is
+// not one of the sanctioned worker-pool locations.
+package pipeline
+
+import "sync"
+
+// fanOut spawns an ad-hoc goroutine per task: flagged.
+func fanOut(tasks []func()) {
+	var wg sync.WaitGroup
+	for _, task := range tasks {
+		wg.Add(1)
+		go func(f func()) { // want `raw goroutine outside the sanctioned worker pools`
+			defer wg.Done()
+			f()
+		}(task)
+	}
+	wg.Wait()
+}
+
+// namedGoroutine spawns a named function: equally unsupervised, flagged.
+func namedGoroutine() {
+	go background() // want `raw goroutine outside the sanctioned worker pools`
+}
+
+// allowed demonstrates the escape hatch for intentional one-offs.
+func allowed(stop chan struct{}) {
+	//lint:allow rawgoroutine long-lived watcher, joins on stop
+	go func() {
+		<-stop
+	}()
+}
+
+func background() {}
+
+// serial has no goroutines: nothing to flag.
+func serial(tasks []func()) {
+	for _, t := range tasks {
+		t()
+	}
+}

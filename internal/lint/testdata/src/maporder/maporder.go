@@ -1,0 +1,113 @@
+// Fixture for the maporder analyzer: map iterations whose order can
+// leak into output must be flagged unless sorted or annotated.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+)
+
+// appendNoSort leaks map order into the returned slice.
+func appendNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `keys accumulates map-iteration results but is never deterministically sorted`
+	}
+	return keys
+}
+
+// appendThenSort is the sanctioned collect-and-sort idiom.
+func appendThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// appendThenSortSlice sorts through sort.Slice with a comparator.
+func appendThenSortSlice(m map[string]int) []int {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+// appendThenHelperSort recognizes local sort helpers by name.
+func appendThenHelperSort(m map[string]int) []int {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sortInts(vals)
+	return vals
+}
+
+func sortInts(v []int) { sort.Ints(v) }
+
+// fieldAppendNoSort flags appends through a struct field too.
+type sink struct{ rules []string }
+
+func (s *sink) fieldAppendNoSort(m map[string]bool) {
+	for k := range m {
+		s.rules = append(s.rules, k) // want `s\.rules accumulates map-iteration results but is never deterministically sorted`
+	}
+}
+
+// chanSend leaks map order through a channel.
+func chanSend(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want `channel send inside map iteration`
+	}
+}
+
+// printDuringRange emits text in map order.
+func printDuringRange(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `fmt\.Println inside map iteration prints in Go's randomized map order`
+	}
+}
+
+// allowed demonstrates the escape hatch for order-insensitive uses.
+func allowed(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) //lint:allow maporder dedup scratch, order never emitted
+	}
+	return keys
+}
+
+// localScratch appends to a per-iteration temporary: no cross-item
+// order leaks, so no finding.
+func localScratch(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var doubled []int
+		for _, v := range vs {
+			doubled = append(doubled, 2*v)
+		}
+		total += len(doubled)
+	}
+	return total
+}
+
+// sliceRange is not a map iteration at all.
+func sliceRange(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+// reduction aggregates commutatively without building output: fine.
+func reduction(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,12 @@
+// Negative fixture for nondeterm: not under internal/, so out of the
+// result-path scope — nothing here may be flagged.
+package webui
+
+import (
+	"os"
+	"time"
+)
+
+func Banner() string {
+	return time.Now().Format(time.RFC3339) + " " + os.Getenv("USER")
+}
