@@ -14,7 +14,7 @@
 GO ?= go
 BIN := bin
 
-.PHONY: build test race fuzz bench fmtcheck vet lint darlint verify
+.PHONY: build test race fuzz fuzzsmoke bench fmtcheck vet lint darlint verify
 
 build:
 	$(GO) build ./...
@@ -49,8 +49,18 @@ lint: darlint
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzParseRelation -fuzztime=30s ./cmd/darminer
 	$(GO) test -run='^$$' -fuzz=FuzzReadCSV -fuzztime=30s ./internal/relation
+	$(GO) test -run='^$$' -fuzz=FuzzDecode -fuzztime=30s ./internal/summary
+
+# A short .acfsum decoder fuzz under the race detector, cheap enough to
+# gate every CI run: Decode must never panic on hostile bytes, and
+# whatever it accepts must re-encode canonically.
+fuzzsmoke:
+	$(GO) test -race -run='^$$' -fuzz=FuzzDecode -fuzztime=10s ./internal/summary
 
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem .
 
-verify: build fmtcheck vet test race
+# race already runs the Ingest→Summary→Query differential tests (they
+# live in the ordinary test suite), so verify gates Query(Ingest(r)) ≡
+# Mine(r) under the race detector on every run.
+verify: build fmtcheck vet test race fuzzsmoke

@@ -9,6 +9,13 @@
 // (-workers N parallelizes both mining phases without changing the
 // output). Rules print one per line, strongest first, with bounding-box
 // cluster descriptions.
+//
+// The ingest/query/merge subcommands split the same pipeline around a
+// persistable .acfsum summary file — see summarycmd.go:
+//
+//	darminer ingest -d0 5 -o data.acfsum data.csv
+//	darminer query -minsup 0.2 data.acfsum
+//	darminer merge -o all.acfsum shard1.acfsum shard2.acfsum
 package main
 
 import (
@@ -41,9 +48,22 @@ type runConfig struct {
 	workers int
 	asJSON  bool
 	groups  string
+	// noPostScan disables the descriptive rescans of Section 6.2
+	// (inverted so the zero value keeps the default behaviour).
+	noPostScan bool
 }
 
 func main() {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "ingest":
+			os.Exit(ingestMain(os.Args[2:]))
+		case "query":
+			os.Exit(queryMain(os.Args[2:]))
+		case "merge":
+			os.Exit(mergeMain(os.Args[2:]))
+		}
+	}
 	var cfg runConfig
 	flag.StringVar(&cfg.algo, "algo", "dar", "mining algorithm: dar (distance-based), qar (generalized quantitative), sa96 (equi-depth baseline), classical (adaptive 1-itemset counting)")
 	flag.Float64Var(&cfg.d0, "d0", 0, "diameter/density threshold d0 in data units (0 = derive per attribute from the data)")
@@ -57,6 +77,7 @@ func main() {
 	flag.IntVar(&cfg.workers, "workers", 1, "worker goroutines for both mining phases (dar and qar modes; output is identical at any count)")
 	flag.BoolVar(&cfg.asJSON, "json", false, "emit the full result as JSON (dar mode only)")
 	flag.StringVar(&cfg.groups, "groups", "", "attribute grouping, e.g. \"lat+lon,price\" (default: one group per attribute; dar and qar modes)")
+	flag.BoolVar(&cfg.noPostScan, "nopostscan", false, "skip the descriptive rescans (dar mode): approximate bounding boxes, uncounted rule supports")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: darminer [flags] data.csv")
@@ -100,6 +121,7 @@ func run(w io.Writer, path string, cfg runConfig) error {
 		opt.DegreeFactor = cfg.degree
 		opt.MemoryLimit = cfg.memory
 		opt.Workers = cfg.workers
+		opt.PostScan = !cfg.noPostScan
 		if cfg.d0 == 0 {
 			suggested, err := dar.SuggestThresholds(rel, part, dar.AdvisorOptions{})
 			if err != nil {

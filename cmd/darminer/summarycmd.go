@@ -1,0 +1,243 @@
+// The ingest, query and merge subcommands expose the Ingest → Summary →
+// Query pipeline on the command line. `ingest` runs Phase I once and
+// writes a .acfsum summary file; `query` answers rule queries from a
+// summary without touching the data; `merge` combines summaries of
+// disjoint shards. Together they replace one monolithic `darminer
+// data.csv` run with a persistable intermediate:
+//
+//	darminer ingest -d0 5 -o data.acfsum data.csv
+//	darminer query -minsup 0.2 data.acfsum
+//	darminer merge -o all.acfsum shard1.acfsum shard2.acfsum
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	dar "repro"
+	"repro/internal/distance"
+)
+
+// ingestConfig carries the `ingest` flag values.
+type ingestConfig struct {
+	d0      float64
+	memory  int
+	workers int
+	groups  string
+	out     string
+}
+
+// queryConfig carries the `query` flag values.
+type queryConfig struct {
+	minsup  float64
+	degree  float64
+	metric  string
+	top     int
+	workers int
+	asJSON  bool
+}
+
+// ingestMain parses `darminer ingest` flags and runs the subcommand.
+func ingestMain(args []string) int {
+	fs := flag.NewFlagSet("darminer ingest", flag.ExitOnError)
+	var cfg ingestConfig
+	fs.Float64Var(&cfg.d0, "d0", 0, "diameter threshold d0 in data units (0 = derive per attribute from the data)")
+	fs.IntVar(&cfg.memory, "memory", 0, "Phase I memory budget in bytes (0 = unlimited)")
+	fs.IntVar(&cfg.workers, "workers", 1, "worker goroutines for the ingest scan (output is identical at any count)")
+	fs.StringVar(&cfg.groups, "groups", "", "attribute grouping, e.g. \"lat+lon,price\" (default: one group per attribute)")
+	fs.StringVar(&cfg.out, "o", "", "output summary path (default: input with .acfsum extension)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: darminer ingest [flags] data.csv")
+		fs.PrintDefaults()
+		return 2
+	}
+	if err := runIngest(os.Stdout, fs.Arg(0), cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "darminer ingest:", err)
+		return 1
+	}
+	return 0
+}
+
+// queryMain parses `darminer query` flags and runs the subcommand.
+func queryMain(args []string) int {
+	fs := flag.NewFlagSet("darminer query", flag.ExitOnError)
+	var cfg queryConfig
+	fs.Float64Var(&cfg.minsup, "minsup", 0.03, "frequency threshold s0 as a fraction of the ingested relation")
+	fs.Float64Var(&cfg.degree, "degree", 1, "degree-of-association factor (rules must satisfy degree <= factor)")
+	fs.StringVar(&cfg.metric, "metric", "D2", "cluster metric: D0, D1 or D2")
+	fs.IntVar(&cfg.top, "top", 50, "print at most this many rules (0 = all)")
+	fs.IntVar(&cfg.workers, "workers", 1, "worker goroutines for the query (output is identical at any count)")
+	fs.BoolVar(&cfg.asJSON, "json", false, "emit the full result as JSON")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: darminer query [flags] data.acfsum")
+		fs.PrintDefaults()
+		return 2
+	}
+	if err := runQuery(os.Stdout, fs.Arg(0), cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "darminer query:", err)
+		return 1
+	}
+	return 0
+}
+
+// mergeMain parses `darminer merge` flags and runs the subcommand.
+func mergeMain(args []string) int {
+	fs := flag.NewFlagSet("darminer merge", flag.ExitOnError)
+	out := fs.String("o", "", "output summary path (required)")
+	fs.Parse(args)
+	if *out == "" || fs.NArg() < 2 {
+		fmt.Fprintln(os.Stderr, "usage: darminer merge -o merged.acfsum shard1.acfsum shard2.acfsum ...")
+		fs.PrintDefaults()
+		return 2
+	}
+	if err := runMerge(os.Stdout, *out, fs.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "darminer merge:", err)
+		return 1
+	}
+	return 0
+}
+
+// runIngest reads the CSV, runs the shared Phase I, and writes the
+// encoded summary. Ingest-time parameters (thresholds, memory, grouping)
+// are fixed here and recorded in the summary; query-time parameters
+// (frequency, degree, metric) belong to `darminer query`.
+func runIngest(w io.Writer, path string, cfg ingestConfig) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rel, err := dar.ReadCSV(f)
+	if err != nil {
+		return err
+	}
+	part, err := parseGroups(rel.Schema(), cfg.groups)
+	if err != nil {
+		return err
+	}
+	opt := dar.DefaultOptions()
+	opt.DiameterThreshold = cfg.d0
+	opt.MemoryLimit = cfg.memory
+	opt.Workers = cfg.workers
+	if cfg.d0 == 0 {
+		suggested, err := dar.SuggestThresholds(rel, part, dar.AdvisorOptions{})
+		if err != nil {
+			return err
+		}
+		opt.DiameterThresholds = suggested
+		fmt.Fprintf(w, "derived d0 per attribute: %v\n", suggested)
+	}
+	s, err := dar.Ingest(rel, part, opt)
+	if err != nil {
+		return err
+	}
+	data, err := dar.EncodeSummary(s)
+	if err != nil {
+		return err
+	}
+	out := cfg.out
+	if out == "" {
+		out = path + ".acfsum"
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	clusters := 0
+	for _, g := range s.Groups {
+		clusters += len(g.Clusters)
+	}
+	fmt.Fprintf(w, "ingested %d tuples into %d groups (%d clusters), wrote %d bytes to %s\n",
+		s.Tuples, len(s.Groups), clusters, len(data), out)
+	return nil
+}
+
+// runQuery decodes a summary and answers a rule query from it alone.
+// Cluster descriptions come from the summary's recorded schema; with no
+// relation available, bounding boxes are the centroid ± 2·radius
+// estimate and rule supports are not counted — exactly the output of
+// `darminer -nopostscan` over the original data.
+func runQuery(w io.Writer, path string, cfg queryConfig) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	s, err := dar.DecodeSummary(data)
+	if err != nil {
+		return err
+	}
+	m, ok := distance.ParseClusterMetric(cfg.metric)
+	if !ok {
+		return fmt.Errorf("unknown metric %q", cfg.metric)
+	}
+	q := dar.DefaultQueryOptions()
+	q.Metric = m
+	q.FrequencyFraction = cfg.minsup
+	q.DegreeFactor = cfg.degree
+	q.Workers = cfg.workers
+	res, err := dar.Query(s, q)
+	if err != nil {
+		return err
+	}
+	schema, err := s.Schema()
+	if err != nil {
+		return err
+	}
+	part, err := s.Partitioning(schema)
+	if err != nil {
+		return err
+	}
+	// Describe only reads the schema, so an empty relation over it serves
+	// as the value formatter.
+	rel := dar.NewRelation(schema)
+	if cfg.asJSON {
+		return dar.WriteJSON(w, res, rel, part)
+	}
+	fmt.Fprintf(w, "summary: %d tuples, %d groups, %d shard(s)\n", s.Tuples, len(s.Groups), s.Shards)
+	fmt.Fprintf(w, "phase II: %v, %d cliques, %d rules\n", res.PhaseII.Duration, res.PhaseII.Cliques, len(res.Rules))
+	for i, r := range res.Rules {
+		if cfg.top > 0 && i == cfg.top {
+			fmt.Fprintf(w, "... %d more rules\n", len(res.Rules)-cfg.top)
+			break
+		}
+		fmt.Fprintln(w, res.DescribeRule(r, rel, part))
+	}
+	return nil
+}
+
+// runMerge folds the shard summaries left to right and writes the
+// combined summary.
+func runMerge(w io.Writer, out string, inputs []string) error {
+	var merged *dar.Summary
+	for _, path := range inputs {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		s, err := dar.DecodeSummary(data)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		if merged == nil {
+			merged = s
+			continue
+		}
+		merged, err = dar.MergeSummaries(merged, s)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	}
+	data, err := dar.EncodeSummary(merged)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "merged %d summaries (%d tuples, %d shards), wrote %d bytes to %s\n",
+		len(inputs), merged.Tuples, merged.Shards, len(data), out)
+	return nil
+}

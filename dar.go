@@ -50,6 +50,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/distance"
 	"repro/internal/relation"
+	"repro/internal/summary"
 )
 
 // Re-exported data-model types. See the underlying packages for full
@@ -184,11 +185,63 @@ func MineQAR(rel Source, part *Partitioning, opt Options, minConfidence float64)
 // any point — see core.IncrementalMiner.
 type IncrementalMiner = core.IncrementalMiner
 
-// NewIncrementalMiner builds a streaming miner. Nominal groups are not
-// supported (their degrees need a co-occurrence rescan).
+// NewIncrementalMiner builds a streaming miner. Nominal groups are
+// supported: ingest-time histograms stand in for the co-occurrence
+// rescan. Options.PostScan must be off — a stream keeps no relation to
+// rescan, so snapshots use approximate boxes and leave rule supports
+// uncounted.
 func NewIncrementalMiner(part *Partitioning, opt Options) (*IncrementalMiner, error) {
 	return core.NewIncrementalMiner(part, opt)
 }
+
+// Summary is a persistable, mergeable Phase I artifact: per-group
+// frequent-cluster candidates (ACFs) plus the provenance a query needs —
+// schema and partitioning, tuple count, thresholds, rebuild statistics.
+// Produce one with Ingest (or IncrementalMiner.Summary), serialize it
+// with EncodeSummary/DecodeSummary, combine disjoint shards with
+// MergeSummaries, and answer rule queries with Query.
+type Summary = summary.Summary
+
+// QueryOptions are the per-query Phase II knobs — everything that can
+// change between two queries over the same Summary without re-ingesting.
+type QueryOptions = core.QueryOptions
+
+// DefaultQueryOptions mirrors DefaultOptions' Phase II settings.
+func DefaultQueryOptions() QueryOptions { return core.DefaultQueryOptions() }
+
+// Ingest runs Phase I over the source and returns its Summary. One
+// ingest serves arbitrarily many Query calls; summaries of disjoint
+// shards of a relation combine with MergeSummaries. Ingest-time options
+// (diameter thresholds, memory budget, tree geometry) are fixed here and
+// recorded in the Summary; per-query options are supplied to Query.
+func Ingest(rel Source, part *Partitioning, opt Options) (*Summary, error) {
+	return core.Ingest(rel, part, opt)
+}
+
+// Query answers a rule query from a Summary alone — no relation, no
+// rescan. Over the same relation and options it produces bit-identical
+// rules to Mine with PostScan disabled; the PostScan extras (exact
+// bounding boxes, rule support counts) need the relation and are not
+// available on this path.
+func Query(s *Summary, q QueryOptions) (*Result, error) {
+	return core.QuerySummary(s, q)
+}
+
+// MergeSummaries combines summaries of two disjoint shards of a
+// relation into a summary of their union, by ACF additivity (Theorem
+// 4.2). The shards must share a schema fingerprint and ingest
+// configuration; nominal dictionaries may differ (codes are remapped).
+func MergeSummaries(a, b *Summary) (*Summary, error) {
+	return summary.Merge(a, b)
+}
+
+// EncodeSummary serializes a Summary in the versioned .acfsum binary
+// format (magic "ACFS", format version, CRC-32 footer).
+func EncodeSummary(s *Summary) ([]byte, error) { return summary.Encode(s) }
+
+// DecodeSummary parses a .acfsum blob, rejecting unknown versions and
+// corrupt or non-canonical encodings.
+func DecodeSummary(data []byte) (*Summary, error) { return summary.Decode(data) }
 
 // WriteJSON exports a mining result as indented JSON for downstream
 // tooling.

@@ -1,7 +1,9 @@
 package cf
 
 import (
+	"encoding/binary"
 	"fmt"
+	"math"
 
 	"repro/internal/distance"
 )
@@ -25,6 +27,15 @@ type ACF struct {
 	LS [][]float64
 	// SS[g] is the scalar square sum Σ‖t[g]‖² of tuples projected on g.
 	SS []float64
+	// NomCounts[g], when non-nil, histograms the exact projected values of
+	// the cluster's tuples on group g: key → number of tuples carrying that
+	// projection (keys built by EncodeNomKey). Tracking is enabled per
+	// group at construction (NewACFTracked) for nominal groups, whose
+	// clusters need exact co-occurrence counts (Theorem 5.2) rather than
+	// geometric sums. Like LS/SS, the histograms are additive: Merge adds
+	// counts key-wise, so summaries built from disjoint shards combine
+	// exactly. nil (or a nil slice) means the group is untracked.
+	NomCounts []map[string]int64
 }
 
 // Shape describes the dimensionality of each attribute group of a
@@ -33,7 +44,13 @@ type Shape []int
 
 // NewACF returns an empty ACF for a cluster over group own, with
 // projection slots for every group in the shape.
-func NewACF(shape Shape, own int) *ACF {
+func NewACF(shape Shape, own int) *ACF { return NewACFTracked(shape, own, nil) }
+
+// NewACFTracked is NewACF with exact-value tracking enabled for the
+// groups where track[g] is true (track may be nil or shorter than the
+// shape; missing entries are untracked). Tracked groups histogram every
+// tuple's projection in NomCounts.
+func NewACFTracked(shape Shape, own int, track []bool) *ACF {
 	if own < 0 || own >= len(shape) {
 		panic(fmt.Sprintf("cf: own group %d outside shape of %d groups", own, len(shape)))
 	}
@@ -45,7 +62,39 @@ func NewACF(shape Shape, own int) *ACF {
 	for g, dims := range shape {
 		a.LS[g] = make([]float64, dims)
 	}
+	for g := range shape {
+		if g < len(track) && track[g] {
+			if a.NomCounts == nil {
+				a.NomCounts = make([]map[string]int64, len(shape))
+			}
+			a.NomCounts[g] = make(map[string]int64)
+		}
+	}
 	return a
+}
+
+// EncodeNomKey packs a projected value vector into the string key used
+// by NomCounts: 8 little-endian bytes (IEEE-754 bits) per dimension. The
+// encoding is injective, so distinct exact vectors never collide.
+func EncodeNomKey(vals []float64) string {
+	buf := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+	}
+	return string(buf)
+}
+
+// DecodeNomKey unpacks an EncodeNomKey key of the given dimensionality.
+// ok is false when the key length does not match.
+func DecodeNomKey(key string, dims int) ([]float64, bool) {
+	if len(key) != 8*dims {
+		return nil, false
+	}
+	vals := make([]float64, dims)
+	for i := range vals {
+		vals[i] = math.Float64frombits(binary.LittleEndian.Uint64([]byte(key[8*i : 8*i+8])))
+	}
+	return vals, true
 }
 
 // Groups returns the number of attribute groups the ACF projects onto.
@@ -68,6 +117,11 @@ func (a *ACF) AddTuple(proj [][]float64) {
 			a.SS[g] += v * v
 		}
 	}
+	for g, hist := range a.NomCounts {
+		if hist != nil {
+			hist[EncodeNomKey(proj[g])]++
+		}
+	}
 }
 
 // Merge folds another ACF into this one (ACF additivity). Both must be
@@ -87,6 +141,23 @@ func (a *ACF) Merge(o *ACF) {
 			ls[i] += ols[i]
 		}
 	}
+	for g, hist := range a.NomCounts {
+		if hist == nil {
+			continue
+		}
+		var ohist map[string]int64
+		if g < len(o.NomCounts) {
+			ohist = o.NomCounts[g]
+		}
+		if ohist == nil {
+			// Silently dropping the other side's tuples would corrupt the
+			// counts (Theorem 5.2 distances come straight out of them).
+			panic(fmt.Sprintf("cf: merging untracked ACF into one tracking group %d", g))
+		}
+		for k, n := range ohist {
+			hist[k] += n
+		}
+	}
 }
 
 // Clone returns an independent deep copy.
@@ -100,7 +171,48 @@ func (a *ACF) Clone() *ACF {
 	for g, ls := range a.LS {
 		c.LS[g] = append([]float64(nil), ls...)
 	}
+	if a.NomCounts != nil {
+		c.NomCounts = make([]map[string]int64, len(a.NomCounts))
+		for g, hist := range a.NomCounts {
+			if hist == nil {
+				continue
+			}
+			m := make(map[string]int64, len(hist))
+			for k, n := range hist {
+				m[k] = n
+			}
+			c.NomCounts[g] = m
+		}
+	}
 	return c
+}
+
+// NomCount returns the number of the cluster's tuples whose projection on
+// group g equals the encoded key, or 0 when the group is untracked.
+func (a *ACF) NomCount(g int, key string) int64 {
+	if g >= len(a.NomCounts) || a.NomCounts[g] == nil {
+		return 0
+	}
+	return a.NomCounts[g][key]
+}
+
+// Tracked reports whether exact-value tracking is enabled for group g.
+func (a *ACF) Tracked(g int) bool {
+	return g < len(a.NomCounts) && a.NomCounts[g] != nil
+}
+
+// OwnNomKey returns the encoded exact value of a single-valued cluster on
+// its own group. When the own group is tracked and the histogram holds
+// exactly one key — the Theorem 5.1 regime, where threshold-0 clustering
+// makes clusters coincide with exact values — that key is returned.
+// Otherwise the centroid is encoded as a best-effort fallback.
+func (a *ACF) OwnNomKey() string {
+	if a.Tracked(a.Own) && len(a.NomCounts[a.Own]) == 1 {
+		for k := range a.NomCounts[a.Own] {
+			return k
+		}
+	}
+	return EncodeNomKey(a.Centroid())
 }
 
 // Image returns the summary of the cluster's image on group g — C[Y] in
@@ -127,12 +239,24 @@ func (a *ACF) Centroid() []float64 { return a.OwnSummary().Centroid() }
 func (a *ACF) Diameter() float64 { return a.OwnSummary().Diameter() }
 
 // Bytes estimates the heap footprint for memory accounting: headers plus
-// every projection's backing array.
+// every projection's backing array, plus the exact-value histograms when
+// tracking is enabled. Note cftree.Tree sizes its per-entry budget from
+// an untracked NewACF, so histogram growth never changes the tree's
+// rebuild schedule — tracked and untracked ingests cluster identically.
 func (a *ACF) Bytes() int {
-	b := 8 /* N */ + 8 /* Own */ + 24 + 24 /* slice headers */
+	b := 8 /* N */ + 8 /* Own */ + 24 + 24 + 24 /* slice headers */
 	for _, ls := range a.LS {
 		b += 24 + 8*len(ls)
 	}
 	b += 8 * len(a.SS)
+	for _, hist := range a.NomCounts {
+		if hist == nil {
+			continue
+		}
+		b += 48 // map header
+		for k := range hist {
+			b += 16 + len(k)
+		}
+	}
 	return b
 }

@@ -287,3 +287,84 @@ func TestACFBytes(t *testing.T) {
 		t.Error("Bytes does not grow with shape")
 	}
 }
+
+func TestNomKeyRoundTrip(t *testing.T) {
+	vals := []float64{0, -1.5, 3.25, 1e308}
+	key := EncodeNomKey(vals)
+	got, ok := DecodeNomKey(key, len(vals))
+	if !ok || !reflect.DeepEqual(got, vals) {
+		t.Fatalf("round trip = %v, %v", got, ok)
+	}
+	if _, ok := DecodeNomKey(key, len(vals)+1); ok {
+		t.Error("DecodeNomKey accepted wrong dimensionality")
+	}
+	if EncodeNomKey([]float64{1}) == EncodeNomKey([]float64{2}) {
+		t.Error("distinct values collide")
+	}
+}
+
+func TestACFTrackedHistograms(t *testing.T) {
+	track := []bool{false, true}
+	a := NewACFTracked(Shape{1, 1}, 0, track)
+	b := NewACFTracked(Shape{1, 1}, 0, track)
+	a.AddTuple([][]float64{{1}, {7}})
+	a.AddTuple([][]float64{{2}, {7}})
+	b.AddTuple([][]float64{{3}, {8}})
+
+	if a.Tracked(0) || !a.Tracked(1) {
+		t.Fatalf("Tracked = %v, %v", a.Tracked(0), a.Tracked(1))
+	}
+	if n := a.NomCount(1, EncodeNomKey([]float64{7})); n != 2 {
+		t.Errorf("NomCount(7) = %d, want 2", n)
+	}
+	if n := a.NomCount(0, EncodeNomKey([]float64{1})); n != 0 {
+		t.Errorf("untracked group NomCount = %d, want 0", n)
+	}
+
+	// Additivity: Merge adds histograms key-wise.
+	c := a.Clone()
+	c.Merge(b)
+	if n := c.NomCount(1, EncodeNomKey([]float64{7})); n != 2 {
+		t.Errorf("merged NomCount(7) = %d, want 2", n)
+	}
+	if n := c.NomCount(1, EncodeNomKey([]float64{8})); n != 1 {
+		t.Errorf("merged NomCount(8) = %d, want 1", n)
+	}
+	// Clone independence.
+	if n := a.NomCount(1, EncodeNomKey([]float64{8})); n != 0 {
+		t.Errorf("Merge mutated the clone source: NomCount(8) = %d", n)
+	}
+
+	// Merging an untracked ACF into a tracked one must panic, not drop.
+	defer func() {
+		if recover() == nil {
+			t.Error("Merge of untracked into tracked did not panic")
+		}
+	}()
+	c.Merge(NewACF(Shape{1, 1}, 0))
+}
+
+func TestACFOwnNomKey(t *testing.T) {
+	track := []bool{true, false}
+	a := NewACFTracked(Shape{1, 1}, 0, track)
+	a.AddTuple([][]float64{{4}, {1}})
+	a.AddTuple([][]float64{{4}, {2}})
+	if got := a.OwnNomKey(); got != EncodeNomKey([]float64{4}) {
+		t.Errorf("single-valued OwnNomKey = %q", got)
+	}
+	// Untracked ACFs fall back to the centroid encoding.
+	u := NewACF(Shape{1, 1}, 0)
+	u.AddTuple([][]float64{{4}, {1}})
+	if got := u.OwnNomKey(); got != EncodeNomKey([]float64{4}) {
+		t.Errorf("fallback OwnNomKey = %q", got)
+	}
+}
+
+func TestACFBytesTracksHistograms(t *testing.T) {
+	plain := NewACF(Shape{1}, 0)
+	tracked := NewACFTracked(Shape{1}, 0, []bool{true})
+	tracked.AddTuple([][]float64{{1}})
+	if tracked.Bytes() <= plain.Bytes() {
+		t.Error("Bytes ignores histogram footprint")
+	}
+}

@@ -47,6 +47,13 @@ type Config struct {
 	// MaxRebuilds bounds consecutive threshold raises while trying to
 	// satisfy MemoryLimit (safety valve). Defaults to 64.
 	MaxRebuilds int
+	// Track enables exact-value histograms (cf.ACF.NomCounts) on the
+	// groups where Track[g] is true. The summary layer uses them to carry
+	// nominal co-occurrence counts (Theorem 5.2) without a rescan. Memory
+	// accounting deliberately ignores histogram growth — entryBytes is
+	// sized from an untracked ACF — so tracked and untracked ingests
+	// follow identical rebuild schedules and produce identical clusters.
+	Track []bool
 }
 
 func (c Config) withDefaults() Config {
@@ -242,7 +249,7 @@ func (t *Tree) insertLeaf(nd *node, pl payload) (*node, *node) {
 	if pl.acf != nil {
 		e = pl.acf
 	} else {
-		e = cf.NewACF(t.shape, t.own)
+		e = cf.NewACFTracked(t.shape, t.own, t.cfg.Track)
 		e.AddTuple(pl.proj)
 	}
 	nd.entries = append(nd.entries, e)

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cf"
+	"repro/internal/distance"
+	"repro/internal/summary"
+)
+
+// QueryOptions are the per-query knobs of Phase II: everything that can
+// change between two queries over the same Summary without rescanning
+// the relation. Ingest-time parameters (diameter thresholds, memory
+// budget, tree geometry) live in Options and are recorded in the
+// Summary's provenance. The zero value is not valid; start from
+// DefaultQueryOptions or derive from mining options with Options.Query.
+type QueryOptions struct {
+	// Metric is the cluster distance D for graph edges and rule degrees.
+	Metric distance.ClusterMetric
+	// FrequencyFraction and MinClusterSize set the s0 frequency floor,
+	// exactly as in Options.
+	FrequencyFraction float64
+	MinClusterSize    int
+	// DegreeFactor and GraphFactor scale the rule-degree and graph-edge
+	// thresholds (Dfn 5.3, Dfn 6.1).
+	DegreeFactor float64
+	GraphFactor  float64
+	// MaxAntecedent and MaxConsequent bound rule arity.
+	MaxAntecedent int
+	MaxConsequent int
+	// GlobalRefine applies BIRCH's agglomerative repair pass to each
+	// group's clusters (bounded by the group's recorded threshold)
+	// before frequency filtering.
+	GlobalRefine bool
+	// PruneImages enables the Section 6.2 graph reduction (exact under
+	// D2).
+	PruneImages bool
+	// Workers parallelizes the query; output is bit-identical at any
+	// worker count.
+	Workers int
+}
+
+// DefaultQueryOptions mirrors DefaultOptions' Phase II settings.
+func DefaultQueryOptions() QueryOptions { return DefaultOptions().Query() }
+
+// Query projects the mining options onto their per-query subset, so a
+// Summary can be queried with the exact Phase II configuration a batch
+// Mine would have used.
+func (o Options) Query() QueryOptions {
+	return QueryOptions{
+		Metric:            o.Metric,
+		FrequencyFraction: o.FrequencyFraction,
+		MinClusterSize:    o.MinClusterSize,
+		DegreeFactor:      o.DegreeFactor,
+		GraphFactor:       o.GraphFactor,
+		MaxAntecedent:     o.MaxAntecedent,
+		MaxConsequent:     o.MaxConsequent,
+		GlobalRefine:      o.GlobalRefine,
+		PruneImages:       o.PruneImages,
+		Workers:           o.Workers,
+	}
+}
+
+func (q QueryOptions) validate() error {
+	if q.FrequencyFraction < 0 || q.FrequencyFraction > 1 {
+		return fmt.Errorf("core: FrequencyFraction must be in [0,1], got %v", q.FrequencyFraction)
+	}
+	if q.MinClusterSize < 0 {
+		return fmt.Errorf("core: MinClusterSize must be >= 0, got %d", q.MinClusterSize)
+	}
+	if q.DegreeFactor <= 0 {
+		return fmt.Errorf("core: DegreeFactor must be > 0, got %v", q.DegreeFactor)
+	}
+	if q.GraphFactor <= 0 {
+		return fmt.Errorf("core: GraphFactor must be > 0, got %v", q.GraphFactor)
+	}
+	if q.MaxAntecedent < 1 || q.MaxConsequent < 1 {
+		return fmt.Errorf("core: MaxAntecedent and MaxConsequent must be >= 1, got %d and %d", q.MaxAntecedent, q.MaxConsequent)
+	}
+	if q.Workers < 0 {
+		return fmt.Errorf("core: Workers must be >= 0, got %d", q.Workers)
+	}
+	return nil
+}
+
+// minSize is Options.minSize for the query-side options.
+func (q QueryOptions) minSize(n int) int {
+	s := q.MinClusterSize
+	if s == 0 {
+		s = int(q.FrequencyFraction * float64(n))
+	}
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+func (q QueryOptions) effectiveWorkers(tasks int) int {
+	return clampWorkers(q.Workers, tasks)
+}
+
+// ruleEngine is Phase II as a pure function of (clusters, options,
+// per-group d0): the clustering graph of Dfn 6.1, maximal cliques,
+// assoc() sets and rule formation. It never touches a relation — only
+// cluster summaries — which is the paper's Section 6 architecture made
+// explicit. Both Miner.phase2 and QuerySummary construct one.
+type ruleEngine struct {
+	opt       QueryOptions
+	numGroups int
+	// d0[g] is the ingest-time diameter threshold of group g: the unit
+	// degrees are normalized by (Dfn 5.3) and the basis of the graph
+	// edge thresholds.
+	d0 []float64
+}
+
+// QuerySummary answers a rule query from a Summary alone: refinement,
+// frequency filtering, clustering graph, cliques, and rule formation,
+// with co-occurrence degrees for nominal groups taken from the
+// Summary's exact-value histograms (Theorem 5.2) — no rescan, no
+// relation. The same summary can serve any number of queries with
+// different options.
+//
+// Over the same relation, options and worker count, the result is
+// bit-identical to Mine with PostScan disabled (the differential tests
+// pin this); PostScan extras — exact boxes, rule supports, the
+// MinRuleSupport filter — need the relation and are out of scope here.
+func QuerySummary(s *summary.Summary, q QueryOptions) (*Result, error) {
+	if s == nil {
+		return nil, fmt.Errorf("core: nil summary")
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if err := q.validate(); err != nil {
+		return nil, err
+	}
+
+	groups := len(s.Groups)
+	nominal := make([]bool, groups)
+	thresholds := make([]float64, groups)
+	d0 := make([]float64, groups)
+	leaves := make([][]*cf.ACF, groups)
+	stats := PhaseIStats{TuplesScanned: int(s.Tuples)}
+	for g := range s.Groups {
+		sg := &s.Groups[g]
+		nominal[g] = sg.Nominal
+		thresholds[g] = sg.Threshold
+		d0[g] = sg.D0
+		stats.Rebuilds += sg.Rebuilds
+		stats.OutliersPaged += sg.OutliersPaged
+		stats.Bytes += sg.Bytes
+		ls := make([]*cf.ACF, len(sg.Clusters))
+		for i, a := range sg.Clusters {
+			ls[i] = a.Clone()
+		}
+		leaves[g] = ls
+	}
+
+	clusters, found := selectClusters(leaves, thresholds, q.GlobalRefine, q.minSize(int(s.Tuples)))
+	stats.ClustersFound = found
+	stats.FrequentClusters = len(clusters)
+
+	e := &ruleEngine{opt: q, numGroups: groups, d0: d0}
+	rules, p2 := e.run(clusters, nominal, summaryCooccurrence(clusters, nominal))
+	return &Result{Clusters: clusters, Rules: rules, PhaseI: stats, PhaseII: p2}, nil
+}
+
+// summaryCooccurrence derives the nominal co-occurrence counts Phase II
+// needs (Theorem 5.2: D2 = 1 − |cx ∩ cy| / |cx|) from the exact-value
+// histograms carried by the clusters, instead of the batch pipeline's
+// post-scan. A nominal cluster cy is, by Theorem 5.1, exactly the set
+// of tuples carrying its value, so |cx ∩ cy| is cx's histogram count
+// for that value on cy's group.
+func summaryCooccurrence(clusters []*Cluster, nominal []bool) cooccurrence {
+	co := make(cooccurrence)
+	for _, cy := range clusters {
+		if !nominal[cy.Group] {
+			continue
+		}
+		key := cy.ACF.OwnNomKey()
+		for _, cx := range clusters {
+			if cx.Group == cy.Group {
+				continue
+			}
+			if n := cx.ACF.NomCount(cy.Group, key); n > 0 {
+				co.set(cx.ID, cy.ID, n)
+			}
+		}
+	}
+	return co
+}

@@ -2,35 +2,31 @@ package core
 
 import (
 	"fmt"
-	"sort"
-	"time"
 
-	"repro/internal/cf"
-	"repro/internal/cftree"
 	"repro/internal/relation"
+	"repro/internal/summary"
 )
 
 // IncrementalMiner ingests tuples one at a time and can produce a rule
 // snapshot at any point. It exploits what the paper's design already
 // guarantees: Phase I is incremental by construction (the ACF-trees are
 // built tuple-by-tuple in a single pass) and Phase II runs entirely on
-// the in-memory summaries, so no stored relation is ever needed. The
-// trade-offs against the batch Miner: no descriptive post-scan (bounding
-// boxes are approximate, rule supports are not counted) and nominal
-// attribute groups are rejected (their degrees need co-occurrence counts
-// that only a rescan provides).
+// the in-memory summaries, so no stored relation is ever needed.
+//
+// Nominal attribute groups are supported: the ingest layer histograms
+// exact nominal projections in every leaf ACF, so snapshot queries get
+// their Theorem 5.2 co-occurrence degrees from the summary instead of
+// the rescan the batch pipeline uses. The remaining trade-off against
+// the batch Miner is the loss of the descriptive post-scan — bounding
+// boxes are approximate and rule supports are not counted — which is
+// why Options.PostScan must be off (it is rejected rather than
+// silently overridden). Workers is honored by Snapshot's Phase II.
 type IncrementalMiner struct {
-	opt     Options
-	part    *relation.Partitioning
-	shape   cf.Shape
-	trees   []*cftree.Tree
-	nominal []bool
-	seen    int
-	proj    [][]float64
+	opt Options
+	ing *ingester
 }
 
 // NewIncrementalMiner builds a streaming miner over the partitioning.
-// PostScan and Workers options are ignored; nominal groups are rejected.
 func NewIncrementalMiner(part *relation.Partitioning, opt Options) (*IncrementalMiner, error) {
 	if part == nil {
 		return nil, fmt.Errorf("core: nil partitioning")
@@ -38,117 +34,39 @@ func NewIncrementalMiner(part *relation.Partitioning, opt Options) (*Incremental
 	if err := opt.validate(part.NumGroups()); err != nil {
 		return nil, err
 	}
-	opt.PostScan = false
-	im := &IncrementalMiner{
-		opt:     opt,
-		part:    part,
-		nominal: make([]bool, part.NumGroups()),
+	if opt.PostScan {
+		return nil, fmt.Errorf("core: incremental mining keeps no relation to rescan; set Options.PostScan = false (snapshots use approximate boxes and summary-derived co-occurrence instead)")
 	}
-	for g := 0; g < part.NumGroups(); g++ {
-		for _, a := range part.Group(g).Attrs {
-			if part.Schema().Attr(a).Kind == relation.Nominal {
-				return nil, fmt.Errorf("core: incremental mining does not support nominal group %q (Theorem 5.2 degrees need a co-occurrence rescan)", part.Group(g).Name)
-			}
-		}
-	}
-	im.shape = make(cf.Shape, part.NumGroups())
-	im.proj = make([][]float64, part.NumGroups())
-	im.trees = make([]*cftree.Tree, part.NumGroups())
-	perTreeLimit := 0
-	if opt.MemoryLimit > 0 {
-		perTreeLimit = opt.MemoryLimit / part.NumGroups()
-		if perTreeLimit < 1<<10 {
-			perTreeLimit = 1 << 10
-		}
-	}
-	for g := range im.trees {
-		im.shape[g] = part.Group(g).Dims()
-		im.proj[g] = make([]float64, im.shape[g])
-		im.trees[g] = cftree.New(sliceShape(part), g, cftree.Config{
-			Branching:    opt.Branching,
-			LeafCapacity: opt.LeafCapacity,
-			Threshold:    opt.diameterFor(g),
-			MemoryLimit:  perTreeLimit,
-		})
-	}
-	return im, nil
-}
-
-func sliceShape(part *relation.Partitioning) cf.Shape {
-	shape := make(cf.Shape, part.NumGroups())
-	for g := range shape {
-		shape[g] = part.Group(g).Dims()
-	}
-	return shape
+	return &IncrementalMiner{opt: opt, ing: newIngester(part, opt, true, 0)}, nil
 }
 
 // Add ingests one tuple (full schema width).
 func (im *IncrementalMiner) Add(tuple []float64) error {
-	if len(tuple) != im.part.Schema().Width() {
-		return fmt.Errorf("core: tuple width %d, schema width %d", len(tuple), im.part.Schema().Width())
-	}
-	for g := range im.proj {
-		im.part.Project(g, tuple, im.proj[g])
-	}
-	for g := range im.trees {
-		im.trees[g].Insert(im.proj)
-	}
-	im.seen++
-	return nil
+	return im.ing.add(tuple)
 }
 
 // Seen returns the number of tuples ingested so far.
-func (im *IncrementalMiner) Seen() int { return im.seen }
+func (im *IncrementalMiner) Seen() int { return im.ing.seen }
+
+// Summary snapshots the current Phase I state — per-group clusters plus
+// provenance — without consuming the stream. The summary is fully
+// decoupled (cloned), so it can be queried, serialized or merged while
+// ingestion continues.
+func (im *IncrementalMiner) Summary() (*summary.Summary, error) {
+	leaves, stats, err := im.ing.collect(false)
+	if err != nil {
+		return nil, err
+	}
+	return im.ing.summarize(leaves, stats), nil
+}
 
 // Snapshot mines the current summaries into a Result without consuming
 // the stream: further Add calls continue from the same state. The
 // frequency threshold applies relative to the tuples seen so far.
 func (im *IncrementalMiner) Snapshot() (*Result, error) {
-	start := time.Now()
-	minSize := im.opt.minSize(im.seen)
-	stats := PhaseIStats{TuplesScanned: im.seen, PerTree: make([]cftree.Stats, len(im.trees))}
-	var clusters []*Cluster
-	for g, tr := range im.trees {
-		// Leaves (not Finish): outlier stores, if any, stay intact so
-		// the stream remains consistent.
-		leaves := tr.Leaves()
-		if im.opt.GlobalRefine {
-			leaves = cftree.Refine(leaves, tr.Threshold())
-		}
-		st := tr.Stats()
-		stats.PerTree[g] = st
-		stats.Rebuilds += st.Rebuilds
-		stats.Bytes += st.Bytes
-		stats.ClustersFound += len(leaves)
-		for _, a := range leaves {
-			if a.N < int64(minSize) {
-				continue
-			}
-			c := &Cluster{Group: g, ACF: a.Clone(), Size: a.N}
-			c.approxBox()
-			clusters = append(clusters, c)
-		}
+	s, err := im.Summary()
+	if err != nil {
+		return nil, err
 	}
-	sort.Slice(clusters, func(i, j int) bool {
-		a, b := clusters[i], clusters[j]
-		if a.Group != b.Group {
-			return a.Group < b.Group
-		}
-		ca, cb := a.Centroid(), b.Centroid()
-		for k := range ca {
-			if ca[k] != cb[k] {
-				return ca[k] < cb[k]
-			}
-		}
-		return a.N() > b.N()
-	})
-	for i, c := range clusters {
-		c.ID = i
-	}
-	stats.FrequentClusters = len(clusters)
-	stats.Duration = time.Since(start)
-
-	m := &Miner{opt: im.opt, part: im.part, shape: im.shape}
-	rules, p2 := m.phase2(clusters, im.nominal, make(cooccurrence))
-	return &Result{Clusters: clusters, Rules: rules, PhaseI: stats, PhaseII: p2}, nil
+	return QuerySummary(s, im.opt.Query())
 }

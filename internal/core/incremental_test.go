@@ -14,13 +14,23 @@ func TestIncrementalMinerValidation(t *testing.T) {
 	}
 	s := relation.MustSchema(relation.Attribute{Name: "x"})
 	bad := DefaultOptions()
+	bad.PostScan = false
 	bad.DegreeFactor = 0
 	if _, err := NewIncrementalMiner(relation.SingletonPartitioning(s), bad); err == nil {
 		t.Error("invalid options accepted")
 	}
+	// PostScan needs a stored relation; it must be rejected, not
+	// silently turned off.
+	if _, err := NewIncrementalMiner(relation.SingletonPartitioning(s), DefaultOptions()); err == nil {
+		t.Error("PostScan accepted by a miner that cannot rescan")
+	}
+	// Nominal groups are supported now: ingest-time histograms supply
+	// the Theorem 5.2 co-occurrence counts.
 	nom := relation.MustSchema(relation.Attribute{Name: "job", Kind: relation.Nominal})
-	if _, err := NewIncrementalMiner(relation.SingletonPartitioning(nom), DefaultOptions()); err == nil {
-		t.Error("nominal group accepted")
+	opt := DefaultOptions()
+	opt.PostScan = false
+	if _, err := NewIncrementalMiner(relation.SingletonPartitioning(nom), opt); err != nil {
+		t.Errorf("nominal group rejected: %v", err)
 	}
 }
 
@@ -84,6 +94,7 @@ func TestIncrementalSnapshotDoesNotConsume(t *testing.T) {
 	rel := plantedXY(rng, 100, 0)
 	part := relation.SingletonPartitioning(rel.Schema())
 	opt := plantedOptions()
+	opt.PostScan = false
 
 	inc, err := NewIncrementalMiner(part, opt)
 	if err != nil {
@@ -131,7 +142,9 @@ func TestIncrementalSnapshotDoesNotConsume(t *testing.T) {
 
 func TestIncrementalAddValidation(t *testing.T) {
 	s := relation.MustSchema(relation.Attribute{Name: "x"}, relation.Attribute{Name: "y"})
-	inc, err := NewIncrementalMiner(relation.SingletonPartitioning(s), plantedOptions())
+	opt := plantedOptions()
+	opt.PostScan = false
+	inc, err := NewIncrementalMiner(relation.SingletonPartitioning(s), opt)
 	if err != nil {
 		t.Fatalf("NewIncrementalMiner: %v", err)
 	}
@@ -142,7 +155,9 @@ func TestIncrementalAddValidation(t *testing.T) {
 
 func TestIncrementalEmptySnapshot(t *testing.T) {
 	s := relation.MustSchema(relation.Attribute{Name: "x"})
-	inc, err := NewIncrementalMiner(relation.SingletonPartitioning(s), plantedOptions())
+	opt := plantedOptions()
+	opt.PostScan = false
+	inc, err := NewIncrementalMiner(relation.SingletonPartitioning(s), opt)
 	if err != nil {
 		t.Fatalf("NewIncrementalMiner: %v", err)
 	}

@@ -1,0 +1,315 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cf"
+	"repro/internal/cftree"
+	"repro/internal/relation"
+	"repro/internal/summary"
+)
+
+// perTreeLimit splits the Phase I memory budget evenly across the
+// attribute groups' trees, with a 1KiB floor so a large partitioning
+// cannot starve every tree. Zero budget means unlimited. This is the
+// single home of the split policy; batch, incremental and QAR ingest
+// all go through it.
+func perTreeLimit(memoryLimit, groups int) int {
+	if memoryLimit <= 0 {
+		return 0
+	}
+	limit := memoryLimit / groups
+	if limit < 1<<10 {
+		limit = 1 << 10
+	}
+	return limit
+}
+
+// ingester is the one Phase I implementation (Section 6.1): tuples are
+// projected onto every attribute group and inserted into that group's
+// adaptive ACF-tree. The batch Miner, the IncrementalMiner and the QAR
+// miner all feed their scans through here; what differs between them is
+// only where the tuples come from and when the trees are read out.
+type ingester struct {
+	opt     Options
+	part    *relation.Partitioning
+	shape   cf.Shape
+	nominal []bool
+	trees   []*cftree.Tree
+	seen    int
+	proj    [][]float64 // reusable projection buffers for Add
+}
+
+// newIngester builds the per-group trees. nominal groups are clustered
+// with threshold 0 so clusters coincide with exact values (Theorem 5.1)
+// and their adaptive rebuild is disabled (raising the threshold would
+// merge distinct values; the tree is bounded by the domain size anyway).
+//
+// track enables exact-value histograms on nominal groups in every
+// tree's leaf ACFs, which lets a Summary answer nominal co-occurrence
+// queries (Theorem 5.2) without a rescan. Tracking never changes the
+// clusters produced: tree memory accounting is sized from an untracked
+// ACF, so rebuild schedules are identical either way.
+//
+// expectTuples, when > 0, is the known relation size |r|; it feeds the
+// outlier-paging threshold (Section 4.3.1 pages clusters "significantly
+// smaller than the frequency threshold"). Streaming ingest passes 0:
+// with no |r| there is no frequency threshold to page against, so
+// PageOutliers is inert.
+func newIngester(part *relation.Partitioning, opt Options, track bool, expectTuples int) *ingester {
+	groups := part.NumGroups()
+	ing := &ingester{
+		opt:     opt,
+		part:    part,
+		shape:   make(cf.Shape, groups),
+		nominal: nominalGroupsOf(part),
+		trees:   make([]*cftree.Tree, groups),
+		proj:    make([][]float64, groups),
+	}
+	for g := 0; g < groups; g++ {
+		ing.shape[g] = part.Group(g).Dims()
+	}
+	for g := 0; g < groups; g++ {
+		ing.proj[g] = make([]float64, ing.shape[g])
+		threshold := opt.diameterFor(g)
+		limit := perTreeLimit(opt.MemoryLimit, groups)
+		if ing.nominal[g] {
+			threshold = 0
+			limit = 0
+		}
+		cfg := cftree.Config{
+			Branching:    opt.Branching,
+			LeafCapacity: opt.LeafCapacity,
+			Threshold:    threshold,
+			MemoryLimit:  limit,
+		}
+		if opt.PageOutliers && expectTuples > 0 {
+			cfg.OutlierN = int64(opt.minSize(expectTuples))/4 + 1
+			cfg.Outliers = cftree.NewMemoryOutlierStore()
+		}
+		if track {
+			cfg.Track = ing.nominal
+		}
+		ing.trees[g] = cftree.New(ing.shape, g, cfg)
+	}
+	return ing
+}
+
+// nominalGroupsOf flags attribute groups containing nominal attributes;
+// their geometry is the 0/1 discrete metric of Section 5.1.
+func nominalGroupsOf(part *relation.Partitioning) []bool {
+	out := make([]bool, part.NumGroups())
+	for g := range out {
+		for _, a := range part.Group(g).Attrs {
+			if part.Schema().Attr(a).Kind == relation.Nominal {
+				out[g] = true
+				break
+			}
+		}
+	}
+	return out
+}
+
+// add ingests one full-width tuple.
+func (ing *ingester) add(tuple []float64) error {
+	if len(tuple) != ing.part.Schema().Width() {
+		return fmt.Errorf("core: tuple width %d, schema width %d", len(tuple), ing.part.Schema().Width())
+	}
+	for g := range ing.proj {
+		ing.part.Project(g, tuple, ing.proj[g])
+	}
+	for g := range ing.trees {
+		ing.trees[g].Insert(ing.proj)
+	}
+	ing.seen++
+	return nil
+}
+
+// addSource scans an entire relation into the trees. With Workers <= 1
+// this is the paper's single sequential scan: project once per tuple,
+// feed all trees. With more workers the attribute groups are processed
+// concurrently, each with its own in-memory pass over the relation —
+// trees never share state, so the result is bit-identical to the serial
+// scan; what is traded away is the single-scan IO property, which only
+// matters when the relation does not fit in memory.
+func (ing *ingester) addSource(rel relation.Source) error {
+	groups := ing.part.NumGroups()
+	if ing.opt.Workers <= 1 {
+		err := rel.Scan(func(_ int, tuple []float64) error {
+			for g := range ing.proj {
+				ing.part.Project(g, tuple, ing.proj[g])
+			}
+			for g := range ing.trees {
+				ing.trees[g].Insert(ing.proj)
+			}
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("core: phase I scan: %w", err)
+		}
+		ing.seen += rel.Len()
+		return nil
+	}
+
+	// Fan the groups out over the sanctioned worker pool; every group
+	// writes only its own tree and error slot.
+	errs := make([]error, groups)
+	parallelFor(ing.opt.effectiveWorkers(groups), groups, func(g int) {
+		proj := make([][]float64, groups)
+		for i := range proj {
+			proj[i] = make([]float64, ing.shape[i])
+		}
+		tr := ing.trees[g]
+		errs[g] = rel.Scan(func(_ int, tuple []float64) error {
+			for i := range proj {
+				ing.part.Project(i, tuple, proj[i])
+			}
+			tr.Insert(proj)
+			return nil
+		})
+	})
+	for g, err := range errs {
+		if err != nil {
+			return fmt.Errorf("core: phase I scan (group %d): %w", g, err)
+		}
+	}
+	ing.seen += rel.Len()
+	return nil
+}
+
+// collect reads the per-group leaf ACFs and tree stats. finish=true
+// routes through Tree.Finish — re-absorbing paged outliers and ending
+// the ingest — and hands back the trees' own ACFs; finish=false
+// snapshots via Tree.Leaves and clones, so the stream can continue.
+func (ing *ingester) collect(finish bool) ([][]*cf.ACF, []cftree.Stats, error) {
+	leaves := make([][]*cf.ACF, len(ing.trees))
+	stats := make([]cftree.Stats, len(ing.trees))
+	for g, tr := range ing.trees {
+		if finish {
+			ls, err := tr.Finish()
+			if err != nil {
+				return nil, nil, fmt.Errorf("core: finishing tree for group %d: %w", g, err)
+			}
+			leaves[g] = ls
+		} else {
+			ls := tr.Leaves()
+			out := make([]*cf.ACF, len(ls))
+			for i, a := range ls {
+				out[i] = a.Clone()
+			}
+			leaves[g] = out
+		}
+		stats[g] = tr.Stats()
+	}
+	return leaves, stats, nil
+}
+
+// summarize packages the trees' current contents, with provenance, into
+// a Summary. The Summary owns its ACFs (leaves must already be
+// decoupled from the trees — collect handles both modes).
+func (ing *ingester) summarize(leaves [][]*cf.ACF, stats []cftree.Stats) *summary.Summary {
+	schema := ing.part.Schema()
+	s := &summary.Summary{
+		Attrs:  make([]summary.Attr, schema.Width()),
+		Groups: make([]summary.Group, ing.part.NumGroups()),
+		Tuples: int64(ing.seen),
+		Shards: 1,
+	}
+	for i := 0; i < schema.Width(); i++ {
+		a := schema.Attr(i)
+		sa := summary.Attr{Name: a.Name, Kind: a.Kind}
+		if a.Kind == relation.Nominal && a.Dict != nil {
+			// Dictionary values in code order (Dictionary.Values sorts,
+			// which would scramble the code mapping).
+			sa.Values = make([]string, a.Dict.Len())
+			for c := range sa.Values {
+				sa.Values[c] = a.Dict.Value(float64(c))
+			}
+		}
+		s.Attrs[i] = sa
+	}
+	for g := range s.Groups {
+		pg := ing.part.Group(g)
+		s.Groups[g] = summary.Group{
+			Name:          pg.Name,
+			Attrs:         append([]int(nil), pg.Attrs...),
+			Nominal:       ing.nominal[g],
+			D0:            ing.opt.diameterFor(g),
+			Threshold:     stats[g].Threshold,
+			Rebuilds:      stats[g].Rebuilds,
+			OutliersPaged: stats[g].OutliersPaged,
+			Bytes:         stats[g].Bytes,
+			Clusters:      leaves[g],
+		}
+	}
+	return s
+}
+
+// selectClusters turns per-group leaf ACFs into Phase II's frequent
+// cluster list: optional global refinement per group (BIRCH's
+// agglomerative repair pass, bounded by the group's final threshold),
+// the s0 frequency floor, the deterministic (group, centroid, size)
+// order, and ID assignment. found is the total post-refinement leaf
+// count before frequency filtering (PhaseIStats.ClustersFound). Both
+// the batch miner and the summary query engine go through here, which
+// is what makes Query(Ingest(r)) land on the byte-identical cluster
+// list Mine(r) produces.
+func selectClusters(leaves [][]*cf.ACF, thresholds []float64, refine bool, minSize int) (clusters []*Cluster, found int) {
+	for g, ls := range leaves {
+		if refine {
+			ls = cftree.Refine(ls, thresholds[g])
+		}
+		found += len(ls)
+		for _, a := range ls {
+			if a.N < int64(minSize) {
+				continue
+			}
+			c := &Cluster{Group: g, ACF: a, Size: a.N}
+			c.approxBox()
+			clusters = append(clusters, c)
+		}
+	}
+	sort.Slice(clusters, func(i, j int) bool {
+		a, b := clusters[i], clusters[j]
+		if a.Group != b.Group {
+			return a.Group < b.Group
+		}
+		ca, cb := a.Centroid(), b.Centroid()
+		for k := range ca {
+			if ca[k] != cb[k] {
+				return ca[k] < cb[k]
+			}
+		}
+		return a.N() > b.N()
+	})
+	for i, c := range clusters {
+		c.ID = i
+	}
+	return clusters, found
+}
+
+// Ingest runs the shared Phase I over a whole relation and returns its
+// Summary: the persistable, mergeable artifact the query engine
+// consumes. One Ingest serves arbitrarily many QuerySummary calls, and
+// summaries of disjoint shards combine with summary.Merge.
+func Ingest(rel relation.Source, part *relation.Partitioning, opt Options) (*summary.Summary, error) {
+	if rel == nil || part == nil {
+		return nil, fmt.Errorf("core: nil relation or partitioning")
+	}
+	if part.Schema() != rel.Schema() {
+		return nil, fmt.Errorf("core: partitioning is over a different schema")
+	}
+	if err := opt.validate(part.NumGroups()); err != nil {
+		return nil, err
+	}
+	ing := newIngester(part, opt, true, rel.Len())
+	if err := ing.addSource(rel); err != nil {
+		return nil, err
+	}
+	leaves, stats, err := ing.collect(true)
+	if err != nil {
+		return nil, err
+	}
+	return ing.summarize(leaves, stats), nil
+}

@@ -6,7 +6,10 @@ import "sync"
 // independent tasks: there is never a point in more goroutines than
 // tasks, and 0 or 1 configured workers both mean serial execution.
 func (o Options) effectiveWorkers(tasks int) int {
-	w := o.Workers
+	return clampWorkers(o.Workers, tasks)
+}
+
+func clampWorkers(w, tasks int) int {
 	if w > tasks {
 		w = tasks
 	}

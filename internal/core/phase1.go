@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"repro/internal/cf"
@@ -11,14 +10,16 @@ import (
 )
 
 // Miner mines distance-based association rules from a relation under a
-// fixed attribute partitioning (Section 6).
+// fixed attribute partitioning (Section 6). Internally it is a thin
+// composition of the shared ingest layer (ingester — Phase I) and the
+// rule engine (ruleEngine — Phase II), plus the relation-dependent
+// post-scan passes neither layer needs.
 type Miner struct {
 	opt  Options
 	rel  relation.Source
 	part *relation.Partitioning
 
 	shape cf.Shape
-	trees []*cftree.Tree
 }
 
 // NewMiner validates the options against the partitioning and returns a
@@ -59,162 +60,44 @@ type PhaseIStats struct {
 	OutliersPaged int
 	// Bytes is the final estimated memory footprint of all trees.
 	Bytes int
-	// PerTree exposes the per-group tree statistics.
+	// PerTree exposes the per-group tree statistics. Empty for results
+	// answered from a Summary, whose provenance is aggregated per group.
 	PerTree []cftree.Stats
 }
 
-// phaseI performs the single scan of Section 6.1: every tuple is projected
-// onto each attribute group and inserted into that group's ACF-tree. It
-// returns the frequent clusters, sorted deterministically, plus stats.
-// Nominal groups are clustered with threshold 0 so clusters coincide with
-// exact values (Theorem 5.1).
-func (m *Miner) phaseI(nominal []bool) ([]*Cluster, PhaseIStats, error) {
+// phaseI performs the single scan of Section 6.1 through the shared
+// ingest layer: every tuple is projected onto each attribute group and
+// inserted into that group's ACF-tree. It returns the frequent
+// clusters, sorted deterministically, plus stats. Nominal groups are
+// clustered with threshold 0 so clusters coincide with exact values
+// (Theorem 5.1).
+func (m *Miner) phaseI() ([]*Cluster, PhaseIStats, error) {
 	start := time.Now()
 	n := m.rel.Len()
-	groups := m.part.NumGroups()
 
-	perTreeLimit := 0
-	if m.opt.MemoryLimit > 0 {
-		perTreeLimit = m.opt.MemoryLimit / groups
-		if perTreeLimit < 1<<10 {
-			perTreeLimit = 1 << 10
-		}
+	// track=false: the batch pipeline gets nominal co-occurrence from
+	// the post-scan, so histograms would be dead weight. (Tracking would
+	// not change the clusters — tree memory accounting ignores it.)
+	ing := newIngester(m.part, m.opt, false, n)
+	if err := ing.addSource(m.rel); err != nil {
+		return nil, PhaseIStats{}, err
 	}
-	minSize := m.opt.minSize(n)
-
-	m.trees = make([]*cftree.Tree, groups)
-	for g := 0; g < groups; g++ {
-		threshold := m.opt.diameterFor(g)
-		limit := perTreeLimit
-		if nominal[g] {
-			// Theorem 5.1 regime: exact-value clusters. Raising the
-			// threshold would merge distinct nominal values, so the
-			// adaptive rebuild is disabled for nominal groups (their
-			// trees are bounded by the domain size anyway).
-			threshold = 0
-			limit = 0
-		}
-		cfg := cftree.Config{
-			Branching:    m.opt.Branching,
-			LeafCapacity: m.opt.LeafCapacity,
-			Threshold:    threshold,
-			MemoryLimit:  limit,
-		}
-		if m.opt.PageOutliers {
-			// "We define outliers to be the clusters that are
-			// significantly smaller than the frequency threshold."
-			cfg.OutlierN = int64(minSize)/4 + 1
-			cfg.Outliers = cftree.NewMemoryOutlierStore()
-		}
-		m.trees[g] = cftree.New(m.shape, g, cfg)
-	}
-
-	if err := m.scanIntoTrees(); err != nil {
+	leaves, treeStats, err := ing.collect(true)
+	if err != nil {
 		return nil, PhaseIStats{}, err
 	}
 
-	stats := PhaseIStats{TuplesScanned: n, PerTree: make([]cftree.Stats, groups)}
-	var clusters []*Cluster
-	for g, tr := range m.trees {
-		leaves, err := tr.Finish()
-		if err != nil {
-			return nil, PhaseIStats{}, fmt.Errorf("core: finishing tree for group %d: %w", g, err)
-		}
-		if m.opt.GlobalRefine {
-			leaves = cftree.Refine(leaves, tr.Threshold())
-		}
-		st := tr.Stats()
-		stats.PerTree[g] = st
+	stats := PhaseIStats{TuplesScanned: n, PerTree: treeStats}
+	thresholds := make([]float64, len(treeStats))
+	for g, st := range treeStats {
+		thresholds[g] = st.Threshold
 		stats.Rebuilds += st.Rebuilds
 		stats.OutliersPaged += st.OutliersPaged
 		stats.Bytes += st.Bytes
-		stats.ClustersFound += len(leaves)
-		for _, a := range leaves {
-			if a.N < int64(minSize) {
-				continue
-			}
-			c := &Cluster{Group: g, ACF: a, Size: a.N}
-			c.approxBox()
-			clusters = append(clusters, c)
-		}
 	}
-	// Deterministic order: by group, then by centroid.
-	sort.Slice(clusters, func(i, j int) bool {
-		a, b := clusters[i], clusters[j]
-		if a.Group != b.Group {
-			return a.Group < b.Group
-		}
-		ca, cb := a.Centroid(), b.Centroid()
-		for k := range ca {
-			if ca[k] != cb[k] {
-				return ca[k] < cb[k]
-			}
-		}
-		return a.N() > b.N()
-	})
-	for i, c := range clusters {
-		c.ID = i
-	}
+	clusters, found := selectClusters(leaves, thresholds, m.opt.GlobalRefine, m.opt.minSize(n))
+	stats.ClustersFound = found
 	stats.FrequentClusters = len(clusters)
 	stats.Duration = time.Since(start)
 	return clusters, stats, nil
-}
-
-// scanIntoTrees feeds every tuple into every group's ACF-tree. With
-// Workers <= 1 this is the paper's single sequential scan. With more
-// workers the attribute groups are processed concurrently, each with its
-// own in-memory pass over the relation — trees never share state, so the
-// result is bit-identical to the serial scan; what is traded away is the
-// single-scan IO property, which only matters when the relation does not
-// fit in memory.
-func (m *Miner) scanIntoTrees() error {
-	groups := m.part.NumGroups()
-	insertAll := func(g int) error {
-		proj := make([][]float64, groups)
-		for i := range proj {
-			proj[i] = make([]float64, m.shape[i])
-		}
-		tr := m.trees[g]
-		return m.rel.Scan(func(_ int, tuple []float64) error {
-			for i := range proj {
-				m.part.Project(i, tuple, proj[i])
-			}
-			tr.Insert(proj)
-			return nil
-		})
-	}
-
-	if m.opt.Workers <= 1 {
-		// Single scan: project once per tuple, feed all trees.
-		proj := make([][]float64, groups)
-		for g := range proj {
-			proj[g] = make([]float64, m.shape[g])
-		}
-		err := m.rel.Scan(func(_ int, tuple []float64) error {
-			for g := range proj {
-				m.part.Project(g, tuple, proj[g])
-			}
-			for g := range m.trees {
-				m.trees[g].Insert(proj)
-			}
-			return nil
-		})
-		if err != nil {
-			return fmt.Errorf("core: phase I scan: %w", err)
-		}
-		return nil
-	}
-
-	// Fan the groups out over the sanctioned worker pool; every group
-	// writes only its own tree and error slot.
-	errs := make([]error, groups)
-	parallelFor(m.opt.effectiveWorkers(groups), groups, func(g int) {
-		errs[g] = insertAll(g)
-	})
-	for g, err := range errs {
-		if err != nil {
-			return fmt.Errorf("core: phase I scan (group %d): %w", g, err)
-		}
-	}
-	return nil
 }

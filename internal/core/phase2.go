@@ -32,17 +32,17 @@ type PhaseIIStats struct {
 	Workers int
 }
 
-// phase2 builds the clustering graph over the frequent clusters, finds
+// run builds the clustering graph over the frequent clusters, finds
 // maximal cliques, and emits DARs. All three stages fan out over
-// Options.Workers — graph rows, clique roots and clique pairs are
+// QueryOptions.Workers — graph rows, clique roots and clique pairs are
 // independent subproblems — and each stage merges its per-task results
 // in task order, so the output is bit-identical to the serial path.
-func (m *Miner) phase2(clusters []*Cluster, nominal []bool, co cooccurrence) ([]Rule, PhaseIIStats) {
+func (e *ruleEngine) run(clusters []*Cluster, nominal []bool, co cooccurrence) ([]Rule, PhaseIIStats) {
 	start := time.Now()
 	var st PhaseIIStats
-	st.Workers = m.opt.effectiveWorkers(len(clusters))
+	st.Workers = e.opt.effectiveWorkers(len(clusters))
 
-	g := m.buildGraph(clusters, nominal, &st)
+	g := e.buildGraph(clusters, nominal, &st)
 	st.GraphNodes, st.GraphEdges = g.N(), g.Edges()
 
 	cliqueStart := time.Now()
@@ -55,38 +55,38 @@ func (m *Miner) phase2(clusters []*Cluster, nominal []bool, co cooccurrence) ([]
 		}
 	}
 
-	rules := m.rulesFromCliques(clusters, cliques, nominal, co)
+	rules := e.rulesFromCliques(clusters, cliques, nominal, co)
 	st.Duration = time.Since(start)
 	return rules, st
 }
 
 // edgeThreshold returns the Dfn 6.1 threshold for distances measured on
 // group g, scaled by the lenient Phase II factor.
-func (m *Miner) edgeThreshold(g int, nominal []bool) float64 {
-	return m.opt.GraphFactor * m.degreeScale(g, nominal)
+func (e *ruleEngine) edgeThreshold(g int, nominal []bool) float64 {
+	return e.opt.GraphFactor * e.degreeScale(g, nominal)
 }
 
 // degreeScale returns the d0 used to normalize degrees on group g. For
 // nominal groups the discrete D2 lives in [0,1] and relates to classical
 // confidence by Theorem 5.2, so the scale is the nominalDegree option.
-func (m *Miner) degreeScale(g int, nominal []bool) float64 {
+func (e *ruleEngine) degreeScale(g int, nominal []bool) float64 {
 	if nominal[g] {
-		return m.nominalDegree()
+		return e.nominalDegree()
 	}
-	return m.opt.diameterFor(g)
+	return e.d0[g]
 }
 
 // nominalDegree is the degree threshold for nominal groups: a rule over a
 // nominal consequent with degree d corresponds to classical confidence
 // 1−d (Theorem 5.2). The fixed default of 0.5 keeps [0,1] semantics.
-func (m *Miner) nominalDegree() float64 { return 0.5 }
+func (e *ruleEngine) nominalDegree() float64 { return 0.5 }
 
 // imageDist computes D(cy[g], cx[g]) — the distance between the two
 // clusters' images on group g. Interval groups use the configured
 // summary metric (Theorem 6.1: computable from ACFs); nominal groups use
 // the exact discrete D2 derived from post-scan co-occurrence counts
 // (Theorem 5.2: D2 = 1 − |cx ∩ cy| / |cx|).
-func (m *Miner) imageDist(cy, cx *Cluster, g int, nominal []bool, co cooccurrence) float64 {
+func (e *ruleEngine) imageDist(cy, cx *Cluster, g int, nominal []bool, co cooccurrence) float64 {
 	if nominal[g] {
 		// Only meaningful when cy lives on g (its image there is the
 		// single nominal value the cluster was formed on).
@@ -95,7 +95,7 @@ func (m *Miner) imageDist(cy, cx *Cluster, g int, nominal []bool, co cooccurrenc
 		}
 		return 1 - float64(co.get(cx.ID, cy.ID))/float64(cx.Size)
 	}
-	return m.opt.Metric.Between(cy.Image(g), cx.Image(g))
+	return e.opt.Metric.Between(cy.Image(g), cx.Image(g))
 }
 
 // buildGraph constructs the clustering graph of Dfn 6.1: an edge between
@@ -104,7 +104,7 @@ func (m *Miner) imageDist(cy, cx *Cluster, g int, nominal []bool, co cooccurrenc
 // diffuse to possibly satisfy the threshold: for D2,
 // D2² = R1² + R2² + ‖X01−X02‖², so D2 >= max(R1, R2) exactly; for other
 // metrics the same test is the paper's heuristic.
-func (m *Miner) buildGraph(clusters []*Cluster, nominal []bool, st *PhaseIIStats) *graph.Undirected {
+func (e *ruleEngine) buildGraph(clusters []*Cluster, nominal []bool, st *PhaseIIStats) *graph.Undirected {
 	g := graph.New(len(clusters))
 
 	// The image-radius bound is exact only for D2 (and conservative for
@@ -113,7 +113,7 @@ func (m *Miner) buildGraph(clusters []*Cluster, nominal []bool, st *PhaseIIStats
 	// well-centered image), so the reduction is only applied under D2 —
 	// "depending on the distance metric used, this can be quantified"
 	// (Section 6.2).
-	prune := m.opt.PruneImages && m.opt.Metric == distance.D2
+	prune := e.opt.PruneImages && e.opt.Metric == distance.D2
 
 	// Precompute image radii for the pruning test. Nominal images are
 	// never pruned (their distances come from exact counts).
@@ -121,8 +121,8 @@ func (m *Miner) buildGraph(clusters []*Cluster, nominal []bool, st *PhaseIIStats
 	if prune {
 		radius = make([][]float64, len(clusters))
 		for i, c := range clusters {
-			radius[i] = make([]float64, m.part.NumGroups())
-			for gi := 0; gi < m.part.NumGroups(); gi++ {
+			radius[i] = make([]float64, e.numGroups)
+			for gi := 0; gi < e.numGroups; gi++ {
 				if nominal[gi] {
 					continue
 				}
@@ -140,7 +140,7 @@ func (m *Miner) buildGraph(clusters []*Cluster, nominal []bool, st *PhaseIIStats
 		comparisons, pruned int
 	}
 	rows := make([]graphRow, len(clusters))
-	parallelFor(m.opt.effectiveWorkers(len(clusters)), len(clusters), func(i int) {
+	parallelFor(e.opt.effectiveWorkers(len(clusters)), len(clusters), func(i int) {
 		row := &rows[i]
 		ci := clusters[i]
 		for j := i + 1; j < len(clusters); j++ {
@@ -148,8 +148,8 @@ func (m *Miner) buildGraph(clusters []*Cluster, nominal []bool, st *PhaseIIStats
 			if ci.Group == cj.Group {
 				continue
 			}
-			tI := m.edgeThreshold(ci.Group, nominal)
-			tJ := m.edgeThreshold(cj.Group, nominal)
+			tI := e.edgeThreshold(ci.Group, nominal)
+			tJ := e.edgeThreshold(cj.Group, nominal)
 			if prune {
 				// cj's image on ci's group must reach ci, and vice
 				// versa; a diffuse image cannot.
@@ -165,11 +165,11 @@ func (m *Miner) buildGraph(clusters []*Cluster, nominal []bool, st *PhaseIIStats
 			// back to the interval-style check only when co-occurrence
 			// data exists (handled in imageDist via rule degrees), so
 			// here nominal sides use the cluster pair's discrete D2.
-			dI := m.pairDist(ci, cj, ci.Group, nominal)
+			dI := e.pairDist(ci, cj, ci.Group, nominal)
 			if dI > tI {
 				continue
 			}
-			dJ := m.pairDist(ci, cj, cj.Group, nominal)
+			dJ := e.pairDist(ci, cj, cj.Group, nominal)
 			if dJ > tJ {
 				continue
 			}
@@ -193,11 +193,11 @@ func (m *Miner) buildGraph(clusters []*Cluster, nominal []bool, st *PhaseIIStats
 // pair as close on the nominal side (distance 0) and let the degree test
 // filter, unless one of the clusters owns the group, in which case the
 // test is deferred identically.
-func (m *Miner) pairDist(a, b *Cluster, g int, nominal []bool) float64 {
+func (e *ruleEngine) pairDist(a, b *Cluster, g int, nominal []bool) float64 {
 	if nominal[g] {
 		return 0
 	}
-	return m.opt.Metric.Between(a.Image(g), b.Image(g))
+	return e.opt.Metric.Between(a.Image(g), b.Image(g))
 }
 
 // candidateRule is a rule before support counting.
@@ -219,14 +219,14 @@ type candidateRule struct {
 // wherever it is discovered — the distances depend only on the cluster
 // sets, not on the clique pair that surfaced them — so first-wins
 // merging yields the serial rule set exactly.
-func (m *Miner) rulesFromCliques(clusters []*Cluster, cliques [][]int, nominal []bool, co cooccurrence) []Rule {
+func (e *ruleEngine) rulesFromCliques(clusters []*Cluster, cliques [][]int, nominal []bool, co cooccurrence) []Rule {
 	var out []Rule
-	workers := m.opt.effectiveWorkers(len(cliques))
+	workers := e.opt.effectiveWorkers(len(cliques))
 	if workers <= 1 {
 		seen := make(map[string]bool)
 		for qi := 0; qi < len(cliques); qi++ {
 			for qj := 0; qj < len(cliques); qj++ {
-				m.rulesFromCliquePair(clusters, cliques[qi], cliques[qj], nominal, co, seen, &out)
+				e.rulesFromCliquePair(clusters, cliques[qi], cliques[qj], nominal, co, seen, &out)
 			}
 		}
 	} else {
@@ -235,7 +235,7 @@ func (m *Miner) rulesFromCliques(clusters []*Cluster, cliques [][]int, nominal [
 			local := make(map[string]bool)
 			var rules []Rule
 			for qj := 0; qj < len(cliques); qj++ {
-				m.rulesFromCliquePair(clusters, cliques[qi], cliques[qj], nominal, co, local, &rules)
+				e.rulesFromCliquePair(clusters, cliques[qi], cliques[qj], nominal, co, local, &rules)
 			}
 			perQ1[qi] = rules
 		})
@@ -264,7 +264,7 @@ func (m *Miner) rulesFromCliques(clusters []*Cluster, cliques [][]int, nominal [
 	return out
 }
 
-func (m *Miner) rulesFromCliquePair(clusters []*Cluster, q1, q2 []int, nominal []bool, co cooccurrence, seen map[string]bool, out *[]Rule) {
+func (e *ruleEngine) rulesFromCliquePair(clusters []*Cluster, q1, q2 []int, nominal []bool, co cooccurrence, seen map[string]bool, out *[]Rule) {
 	// assoc per consequent candidate: antecedent clusters strongly
 	// associated with it (Section 6.2). Distances are normalized by the
 	// consequent group's degree scale so one DegreeFactor applies across
@@ -276,15 +276,15 @@ func (m *Miner) rulesFromCliquePair(clusters []*Cluster, q1, q2 []int, nominal [
 	assoc := make(map[int][]assocEntry, len(q2))
 	for _, cyID := range q2 {
 		cy := clusters[cyID]
-		scale := m.degreeScale(cy.Group, nominal)
+		scale := e.degreeScale(cy.Group, nominal)
 		var entries []assocEntry
 		for _, cxID := range q1 {
 			cx := clusters[cxID]
 			if cx.Group == cy.Group || cxID == cyID {
 				continue
 			}
-			d := m.imageDist(cy, cx, cy.Group, nominal, co) / scale
-			if d <= m.opt.DegreeFactor {
+			d := e.imageDist(cy, cx, cy.Group, nominal, co) / scale
+			if d <= e.opt.DegreeFactor {
 				entries = append(entries, assocEntry{id: cxID, dist: d})
 			}
 		}
@@ -304,7 +304,7 @@ func (m *Miner) rulesFromCliquePair(clusters []*Cluster, q1, q2 []int, nominal [
 		}
 	}
 
-	forEachSubset(consPool, m.opt.MaxConsequent, func(cons []int) {
+	forEachSubset(consPool, e.opt.MaxConsequent, func(cons []int) {
 		// Intersect the assoc sets, tracking each antecedent's worst
 		// normalized distance across the consequents.
 		inter := map[int]float64{}
@@ -341,7 +341,7 @@ func (m *Miner) rulesFromCliquePair(clusters []*Cluster, q1, q2 []int, nominal [
 		if len(pool) == 0 {
 			return
 		}
-		forEachSubset(pool, m.opt.MaxAntecedent, func(ante []int) {
+		forEachSubset(pool, e.opt.MaxAntecedent, func(ante []int) {
 			degree := 0.0
 			for _, id := range ante {
 				if d := inter[id]; d > degree {
@@ -426,4 +426,16 @@ func lessInts(a, b []int) bool {
 		}
 	}
 	return len(a) < len(b)
+}
+
+// phase2 runs the rule engine under the miner's options — Phase II of
+// the batch pipeline, identical to what QuerySummary runs over a
+// Summary of the same ingest.
+func (m *Miner) phase2(clusters []*Cluster, nominal []bool, co cooccurrence) ([]Rule, PhaseIIStats) {
+	d0 := make([]float64, m.part.NumGroups())
+	for g := range d0 {
+		d0[g] = m.opt.diameterFor(g)
+	}
+	e := &ruleEngine{opt: m.opt.Query(), numGroups: m.part.NumGroups(), d0: d0}
+	return e.run(clusters, nominal, co)
 }

@@ -19,6 +19,15 @@ func (co cooccurrence) add(a, b int) {
 	co[[2]int{a, b}]++
 }
 
+// set records an absolute joint count, used when counts come from the
+// summary histograms rather than incremental rescan tallies.
+func (co cooccurrence) set(a, b int, n int64) {
+	if a > b {
+		a, b = b, a
+	}
+	co[[2]int{a, b}] = n
+}
+
 func (co cooccurrence) get(a, b int) int64 {
 	if a > b {
 		a, b = b, a

@@ -58,7 +58,7 @@ func NewQARMiner(rel relation.Source, part *relation.Partitioning, opt Options, 
 // Mine runs the two phases of Section 4.3.
 func (q *QARMiner) Mine() (*QARResult, error) {
 	m := q.miner
-	clusters, p1, err := m.phaseI(m.nominalGroups())
+	clusters, p1, err := m.phaseI()
 	if err != nil {
 		return nil, err
 	}

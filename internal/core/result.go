@@ -88,7 +88,7 @@ func (m *Miner) Mine() (*Result, error) {
 		}
 	}
 
-	clusters, p1, err := m.phaseI(nominal)
+	clusters, p1, err := m.phaseI()
 	if err != nil {
 		return nil, err
 	}

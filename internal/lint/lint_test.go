@@ -8,7 +8,10 @@ import (
 )
 
 func TestMapOrder(t *testing.T) {
-	linttest.Run(t, "testdata", lint.MapOrderAnalyzer, "maporder")
+	linttest.Run(t, "testdata", lint.MapOrderAnalyzer,
+		"maporder",               // general idioms
+		"internal/summary/codec", // serializer-shaped cases (histogram emission)
+	)
 }
 
 func TestNonDeterm(t *testing.T) {
@@ -16,6 +19,7 @@ func TestNonDeterm(t *testing.T) {
 		"internal/miner",               // true positives + telemetry idioms
 		"webui",                        // negative: outside the internal/ scope
 		"internal/experiments/harness", // negative: exempted harness package
+		"internal/summary/merge",       // merge-shaped cases (artifact stamping)
 	)
 }
 

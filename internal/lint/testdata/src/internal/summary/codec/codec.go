@@ -1,0 +1,53 @@
+// Fixture for the maporder analyzer modeled on the summary codec: a
+// serializer iterating nominal histograms must not let Go's randomized
+// map order reach the encoded bytes.
+package codec
+
+import "sort"
+
+// encodeHistogramUnsorted streams histogram keys straight out of map
+// iteration: two encodes of the same summary would differ. Flagged.
+func encodeHistogramUnsorted(hist map[string]int64) []string {
+	var out []string
+	for k := range hist {
+		out = append(out, k) // want `out accumulates map-iteration results but is never deterministically sorted`
+	}
+	return out
+}
+
+// encodeHistogram is the codec's sanctioned idiom: collect the keys,
+// sort, then emit key/count pairs in that order.
+func encodeHistogram(hist map[string]int64) []string {
+	keys := make([]string, 0, len(hist))
+	for k := range hist {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]string, 0, 2*len(keys))
+	for _, k := range keys {
+		out = append(out, k, itoa(hist[k]))
+	}
+	return out
+}
+
+// histogramTotal folds a commutative sum; order cannot leak. Not
+// flagged.
+func histogramTotal(hist map[string]int64) int64 {
+	var n int64
+	for _, v := range hist {
+		n += v
+	}
+	return n
+}
+
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	var b []byte
+	for v > 0 {
+		b = append([]byte{byte('0' + v%10)}, b...)
+		v /= 10
+	}
+	return string(b)
+}

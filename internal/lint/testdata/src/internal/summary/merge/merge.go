@@ -1,0 +1,45 @@
+// Fixture for the nondeterm analyzer modeled on summary merging: an
+// in-scope (internal/) package whose outputs are persisted artifacts,
+// so wall-clock, global-rand and environment reads are result-path
+// nondeterminism.
+package merge
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// badStamp records a merge timestamp into the artifact: two merges of
+// the same shards would produce different bytes. Flagged.
+func badStamp() int64 {
+	return time.Now().UnixNano() // want `time\.Now in a result path`
+}
+
+// badShardID draws a shard identifier from the global generator.
+// Flagged.
+func badShardID() int {
+	return rand.Int() // want `rand\.Int draws from the global unseeded generator`
+}
+
+// badTempDir lets the environment pick where shard files land. Flagged.
+func badTempDir() string {
+	return os.Getenv("ACFSUM_DIR") // want `os\.Getenv in a result path`
+}
+
+// mergeTiming measures merge duration with the sanctioned start/Since
+// idiom; the reading feeds stats, not artifact bytes. Not flagged.
+func mergeTiming() time.Duration {
+	start := time.Now()
+	fold()
+	return time.Since(start)
+}
+
+// shardSample subsamples deterministically from an explicit seed. Not
+// flagged.
+func shardSample(seed int64, n int) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(n)
+}
+
+func fold() {}

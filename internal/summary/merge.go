@@ -1,0 +1,215 @@
+package summary
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cf"
+	"repro/internal/relation"
+)
+
+// Merge combines two summaries built over the same schema and
+// partitioning (equal fingerprints, equal per-group d0) into the
+// summary of the shards' union, without touching either input.
+//
+// The Additivity Theorem does the heavy lifting: ACFs of disjoint tuple
+// sets add componentwise, so cluster lists concatenate. Two shard-local
+// complications are reconciled here:
+//
+//   - Nominal dictionaries assign codes in first-seen order, so the same
+//     string may carry different codes in different shards. The merged
+//     summary keeps a's dictionaries and extends them with b's unseen
+//     values; every projection of b's clusters onto a nominal group is
+//     then remapped through the exact-value histograms (which is why
+//     ingest tracks nominal groups), and the group's linear/square sums
+//     are recomputed from the remapped histogram — exact, because
+//     threshold-0 clusters hold exact value multisets.
+//
+//   - Both shards may hold a cluster for the same exact nominal value.
+//     A single-pass scan would have produced one (Theorem 5.1), so
+//     same-value clusters of a nominal group are folded together.
+//
+// Interval-group clusters are simply concatenated; query-time
+// refinement (cftree.Refine) merges near-duplicates under the group
+// threshold, mirroring what the tree would have done to the extra
+// tuples.
+func Merge(a, b *Summary) (*Summary, error) {
+	if err := a.validate(); err != nil {
+		return nil, err
+	}
+	if err := b.validate(); err != nil {
+		return nil, err
+	}
+	if fa, fb := a.Fingerprint(), b.Fingerprint(); fa != fb {
+		return nil, fmt.Errorf("summary: merging summaries over different schemas (fingerprints %016x vs %016x)", fa, fb)
+	}
+	for gi := range a.Groups {
+		if a.Groups[gi].D0 != b.Groups[gi].D0 {
+			return nil, fmt.Errorf("summary: group %q ingested with different d0 (%v vs %v)", a.Groups[gi].Name, a.Groups[gi].D0, b.Groups[gi].D0)
+		}
+		if a.Groups[gi].Nominal != b.Groups[gi].Nominal {
+			return nil, fmt.Errorf("summary: group %q nominal in one shard only", a.Groups[gi].Name)
+		}
+	}
+
+	out := a.Clone()
+	out.Tuples += b.Tuples
+	out.Shards += b.Shards
+
+	// Extend a's dictionaries with b's unseen values; remap[i][c] is the
+	// merged code for b's code c on attribute i (nil when not nominal).
+	remap := make([][]float64, len(out.Attrs))
+	identity := true
+	for i := range out.Attrs {
+		if out.Attrs[i].Kind != relation.Nominal {
+			continue
+		}
+		index := make(map[string]int, len(out.Attrs[i].Values))
+		for j, v := range out.Attrs[i].Values {
+			index[v] = j
+		}
+		rm := make([]float64, len(b.Attrs[i].Values))
+		for c, v := range b.Attrs[i].Values {
+			j, ok := index[v]
+			if !ok {
+				j = len(out.Attrs[i].Values)
+				out.Attrs[i].Values = append(out.Attrs[i].Values, v)
+				index[v] = j
+			}
+			if j != c {
+				identity = false
+			}
+			rm[c] = float64(j)
+		}
+		remap[i] = rm
+	}
+
+	shape := a.Shape()
+	for gi := range out.Groups {
+		g := &out.Groups[gi]
+		bg := &b.Groups[gi]
+		if bg.Threshold > g.Threshold {
+			g.Threshold = bg.Threshold
+		}
+		g.Rebuilds += bg.Rebuilds
+		g.OutliersPaged += bg.OutliersPaged
+		g.Bytes += bg.Bytes
+
+		for ci, c := range bg.Clusters {
+			mc := c.Clone()
+			if !identity {
+				if err := remapCluster(mc, out, remap, shape); err != nil {
+					return nil, fmt.Errorf("summary: group %q cluster %d: %w", g.Name, ci, err)
+				}
+			}
+			g.Clusters = append(g.Clusters, mc)
+		}
+
+		if g.Nominal {
+			g.Clusters = foldSameValue(g.Clusters)
+		}
+	}
+	return out, nil
+}
+
+// remapCluster rewrites every nominal-group projection of a shard-b
+// cluster from b's dictionary codes to the merged codes, using the
+// exact-value histograms, and recomputes the affected linear and square
+// sums from the remapped multisets.
+func remapCluster(c *cf.ACF, out *Summary, remap [][]float64, shape cf.Shape) error {
+	for gi := range out.Groups {
+		attrs := out.Groups[gi].Attrs
+		mapped := false
+		for _, a := range attrs {
+			if remap[a] != nil {
+				mapped = true
+				break
+			}
+		}
+		if !mapped {
+			continue
+		}
+		if !c.Tracked(gi) {
+			return fmt.Errorf("no exact-value histogram for nominal group %q; re-ingest the shard with tracking", out.Groups[gi].Name)
+		}
+		hist := make(map[string]int64, len(c.NomCounts[gi]))
+		for k, n := range c.NomCounts[gi] {
+			vals, ok := cf.DecodeNomKey(k, shape[gi])
+			if !ok {
+				return fmt.Errorf("histogram key of %d bytes does not match %d dims", len(k), shape[gi])
+			}
+			for d, a := range attrs {
+				rm := remap[a]
+				if rm == nil {
+					continue
+				}
+				code := int(vals[d])
+				if float64(code) != vals[d] || code < 0 || code >= len(rm) {
+					return fmt.Errorf("projection %v is not a code of attribute %q", vals[d], out.Attrs[a].Name)
+				}
+				vals[d] = rm[code]
+			}
+			hist[cf.EncodeNomKey(vals)] += n
+		}
+		c.NomCounts[gi] = hist
+		if err := recomputeSums(c, gi, shape[gi]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// recomputeSums rebuilds LS[g] and SS[g] from the group's exact-value
+// histogram. Keys are visited in sorted order so float accumulation is
+// identical run to run (and across Merge orders for integral values,
+// where addition is exact).
+func recomputeSums(c *cf.ACF, g, dims int) error {
+	hist := c.NomCounts[g]
+	keys := make([]string, 0, len(hist))
+	for k := range hist {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	ls := c.LS[g]
+	for d := range ls {
+		ls[d] = 0
+	}
+	c.SS[g] = 0
+	var n int64
+	for _, k := range keys {
+		vals, ok := cf.DecodeNomKey(k, dims)
+		if !ok {
+			return fmt.Errorf("histogram key of %d bytes does not match %d dims", len(k), dims)
+		}
+		cnt := hist[k]
+		n += cnt
+		for d, v := range vals {
+			ls[d] += float64(cnt) * v
+			c.SS[g] += float64(cnt) * v * v
+		}
+	}
+	if n != c.N {
+		return fmt.Errorf("histogram on group %d counts %d tuples, cluster has %d", g, n, c.N)
+	}
+	return nil
+}
+
+// foldSameValue merges clusters of a threshold-0 (nominal) group that
+// summarize the same exact value, keeping first-occurrence order. A
+// single scan would have produced one cluster per value (Theorem 5.1);
+// shards reintroduce duplicates, and co-occurrence degrees (Theorem
+// 5.2) assume they are folded.
+func foldSameValue(clusters []*cf.ACF) []*cf.ACF {
+	seen := make(map[string]int, len(clusters))
+	out := clusters[:0]
+	for _, c := range clusters {
+		key := c.OwnNomKey()
+		if i, ok := seen[key]; ok {
+			out[i].Merge(c)
+			continue
+		}
+		seen[key] = len(out)
+		out = append(out, c)
+	}
+	return out
+}

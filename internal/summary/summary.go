@@ -1,0 +1,221 @@
+// Package summary defines the persistable artifact between the two
+// mining phases: the per-group ACF clusters produced by a Phase I scan
+// (Section 6.1) together with enough provenance — schema, partitioning,
+// thresholds, tuple count, rebuild statistics — to answer Phase II
+// queries without ever revisiting the relation. The paper's claim that
+// "the second phase works entirely on the in-memory ACF summaries"
+// (Section 6) becomes an explicit contract here: a Summary is what the
+// ingest layer produces and the query engine consumes.
+//
+// Summaries serialize with a versioned binary codec (Encode/Decode) and
+// combine with Merge, which leans on the Additivity Theorem: ACFs of
+// disjoint tuple sets add componentwise, so shards ingested
+// independently merge into the summary a single-pass scan would have
+// produced (exactly so when attribute values are integral, to float
+// rounding otherwise).
+package summary
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/cf"
+	"repro/internal/relation"
+)
+
+// Attr mirrors one relation.Attribute in serializable form.
+type Attr struct {
+	// Name is the column name.
+	Name string
+	// Kind is the attribute's scale of measurement.
+	Kind relation.Kind
+	// Values holds a nominal attribute's dictionary in code order —
+	// Values[c] is the string encoded as float64(c). Nil for interval
+	// and ordinal attributes.
+	Values []string
+}
+
+// Group holds the clusters and provenance of one attribute group.
+type Group struct {
+	// Name labels the group in rule output.
+	Name string
+	// Attrs are the schema positions of the group's attributes.
+	Attrs []int
+	// Nominal records whether the group was clustered in the
+	// Theorem 5.1 regime (threshold 0, clusters are exact values).
+	Nominal bool
+	// D0 is the diameter threshold the ingest was asked for; query-time
+	// degree scaling (Dfn 5.3 via Dfn 6.1) is relative to it.
+	D0 float64
+	// Threshold is the final tree threshold after adaptive raises
+	// (Threshold >= D0); query-time refinement merges up to it.
+	Threshold float64
+	// Rebuilds counts adaptive threshold raises during ingest.
+	Rebuilds int
+	// OutliersPaged counts summaries paged out during ingest.
+	OutliersPaged int
+	// Bytes is the estimated final memory footprint of the group's tree.
+	Bytes int
+	// Clusters are the leaf ACFs of the group's tree after Finish, in
+	// tree order, unfiltered: frequency flooring and refinement are
+	// query-time decisions, so one ingest serves many queries.
+	Clusters []*cf.ACF
+}
+
+// Summary is the complete product of one ingest (or a Merge of several).
+type Summary struct {
+	// Attrs is the schema, in column order.
+	Attrs []Attr
+	// Groups is the partitioning with per-group clusters and provenance.
+	Groups []Group
+	// Tuples is the total number of tuples scanned (|r|).
+	Tuples int64
+	// Shards counts the independent ingests merged into this summary
+	// (1 for a fresh ingest).
+	Shards int
+}
+
+// Fingerprint hashes the structural identity of the summary — attribute
+// names and kinds plus the partitioning — with FNV-64a. Two summaries
+// are mergeable only if their fingerprints agree. Dictionary contents
+// are deliberately excluded: shards see nominal values in different
+// first-seen orders, and Merge reconciles the dictionaries by value.
+func (s *Summary) Fingerprint() uint64 {
+	h := fnv.New64a()
+	buf := make([]byte, 0, 64)
+	put := func(vs ...int) {
+		buf = buf[:0]
+		for _, v := range vs {
+			buf = appendUvarint(buf, uint64(v))
+		}
+		h.Write(buf)
+	}
+	put(len(s.Attrs))
+	for _, a := range s.Attrs {
+		put(len(a.Name))
+		h.Write([]byte(a.Name))
+		put(int(a.Kind))
+	}
+	put(len(s.Groups))
+	for _, g := range s.Groups {
+		put(len(g.Name))
+		h.Write([]byte(g.Name))
+		put(len(g.Attrs))
+		put(g.Attrs...)
+	}
+	return h.Sum64()
+}
+
+// Shape returns the cf.Shape of the partitioning.
+func (s *Summary) Shape() cf.Shape {
+	shape := make(cf.Shape, len(s.Groups))
+	for g := range s.Groups {
+		shape[g] = len(s.Groups[g].Attrs)
+	}
+	return shape
+}
+
+// Schema reconstructs the relation schema, rebuilding nominal
+// dictionaries so that code c maps to Values[c] exactly as during
+// ingest.
+func (s *Summary) Schema() (*relation.Schema, error) {
+	attrs := make([]relation.Attribute, len(s.Attrs))
+	for i, a := range s.Attrs {
+		ra := relation.Attribute{Name: a.Name, Kind: a.Kind}
+		if a.Kind == relation.Nominal {
+			d := relation.NewDictionary()
+			for _, v := range a.Values {
+				d.Code(v)
+			}
+			ra.Dict = d
+		}
+		attrs[i] = ra
+	}
+	return relation.NewSchema(attrs...)
+}
+
+// Partitioning reconstructs the attribute partitioning over a schema
+// previously obtained from Schema().
+func (s *Summary) Partitioning(schema *relation.Schema) (*relation.Partitioning, error) {
+	groups := make([]relation.Group, len(s.Groups))
+	for gi, g := range s.Groups {
+		groups[gi] = relation.Group{Name: g.Name, Attrs: append([]int(nil), g.Attrs...)}
+	}
+	return relation.NewPartitioning(schema, groups)
+}
+
+// Clone returns an independent deep copy.
+func (s *Summary) Clone() *Summary {
+	c := &Summary{
+		Attrs:  make([]Attr, len(s.Attrs)),
+		Groups: make([]Group, len(s.Groups)),
+		Tuples: s.Tuples,
+		Shards: s.Shards,
+	}
+	for i, a := range s.Attrs {
+		c.Attrs[i] = Attr{Name: a.Name, Kind: a.Kind, Values: append([]string(nil), a.Values...)}
+	}
+	for gi, g := range s.Groups {
+		cg := g
+		cg.Attrs = append([]int(nil), g.Attrs...)
+		cg.Clusters = make([]*cf.ACF, len(g.Clusters))
+		for i, a := range g.Clusters {
+			cg.Clusters[i] = a.Clone()
+		}
+		c.Groups[gi] = cg
+	}
+	return c
+}
+
+// Validate checks internal consistency — shape agreement between
+// groups, clusters and the schema. Encode, Decode and the query engine
+// all run it.
+func (s *Summary) Validate() error { return s.validate() }
+
+// validate checks internal consistency ahead of encoding or querying.
+func (s *Summary) validate() error {
+	if len(s.Groups) == 0 {
+		return fmt.Errorf("summary: no attribute groups")
+	}
+	if s.Tuples < 0 {
+		return fmt.Errorf("summary: negative tuple count %d", s.Tuples)
+	}
+	shape := s.Shape()
+	for gi, g := range s.Groups {
+		if len(g.Attrs) == 0 {
+			return fmt.Errorf("summary: group %d (%q) has no attributes", gi, g.Name)
+		}
+		for _, a := range g.Attrs {
+			if a < 0 || a >= len(s.Attrs) {
+				return fmt.Errorf("summary: group %q references attribute %d outside schema of width %d", g.Name, a, len(s.Attrs))
+			}
+		}
+		for ci, a := range g.Clusters {
+			if a == nil {
+				return fmt.Errorf("summary: group %q cluster %d is nil", g.Name, ci)
+			}
+			if a.Own != gi {
+				return fmt.Errorf("summary: group %q cluster %d owned by group %d", g.Name, ci, a.Own)
+			}
+			if len(a.LS) != len(shape) {
+				return fmt.Errorf("summary: group %q cluster %d projects onto %d groups, partitioning has %d", g.Name, ci, len(a.LS), len(shape))
+			}
+			for g2, ls := range a.LS {
+				if len(ls) != shape[g2] {
+					return fmt.Errorf("summary: group %q cluster %d has %d dims on group %d, want %d", g.Name, ci, len(ls), g2, shape[g2])
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// appendUvarint is a tiny local copy of binary.AppendUvarint kept here
+// so Fingerprint and the codec share one definition.
+func appendUvarint(b []byte, v uint64) []byte {
+	for v >= 0x80 {
+		b = append(b, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(b, byte(v))
+}
