@@ -1,0 +1,171 @@
+// Command benchjson is the perf-regression harness: it runs the
+// headline Phase I benchmarks (the Figure 6 series and its parallel
+// variant) plus the ingest-substrate microbenchmarks, parses the
+// standard `go test -bench` output — including custom metrics such as
+// tuples/s and ACFs — and writes one machine-readable JSON file.
+//
+//	go run ./cmd/benchjson -o BENCH_PR4.json          # or: make benchjson
+//	go run ./cmd/benchjson -benchtime 3x -o out.json  # steadier numbers
+//
+// The committed BENCH_PR4.json and the CI perf-smoke artifact both come
+// from this command, so regressions show up as a diff in one file
+// rather than in scattered log lines.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// suite is one `go test -bench` invocation: a package and the anchored
+// benchmark regexp to run in it.
+type suite struct {
+	Package string `json:"package"`
+	Bench   string `json:"bench"`
+}
+
+// suites lists the benchmarks the harness tracks. BenchmarkPhaseI is
+// the Figure 6 series (tuples/s must not regress); the rest are the
+// substrate the Phase I overhaul optimized.
+var suites = []suite{
+	{Package: ".", Bench: "^(BenchmarkPhaseI|BenchmarkParallelPhaseI|BenchmarkCFTreeInsert)$"},
+	{Package: "./internal/cf", Bench: "^(BenchmarkEncodeNomKey|BenchmarkDecodeNomKey|BenchmarkInternerKey|BenchmarkACFAddRow)$"},
+}
+
+// benchResult is one parsed benchmark line. Metrics holds every
+// "value unit" pair after the iteration count — ns/op, B/op,
+// allocs/op and any b.ReportMetric custom units.
+type benchResult struct {
+	Name       string             `json:"name"`
+	Package    string             `json:"package"`
+	Procs      int                `json:"procs"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// report is the full JSON document.
+type report struct {
+	Schema    int           `json:"schema"`
+	GoVersion string        `json:"go"`
+	GOOS      string        `json:"goos"`
+	GOARCH    string        `json:"goarch"`
+	CPUs      int           `json:"cpus"`
+	Benchtime string        `json:"benchtime"`
+	Suites    []suite       `json:"suites"`
+	Results   []benchResult `json:"results"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_PR4.json", "output JSON path (\"-\" for stdout)")
+	benchtime := flag.String("benchtime", "1x", "go test -benchtime value (1x = perf smoke; use 3x for steadier numbers)")
+	flag.Parse()
+	if err := run(*out, *benchtime); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out, benchtime string) error {
+	rep := report{
+		Schema:    1,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		Benchtime: benchtime,
+		Suites:    suites,
+	}
+	for _, s := range suites {
+		fmt.Fprintf(os.Stderr, "benchjson: go test -bench %s %s\n", s.Bench, s.Package)
+		raw, err := runSuite(s, benchtime)
+		if err != nil {
+			return fmt.Errorf("%s: %w", s.Package, err)
+		}
+		results, err := parseBench(raw, s.Package)
+		if err != nil {
+			return fmt.Errorf("%s: %w", s.Package, err)
+		}
+		if len(results) == 0 {
+			return fmt.Errorf("%s: no benchmark lines matched %s", s.Package, s.Bench)
+		}
+		rep.Results = append(rep.Results, results...)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(out, data, 0o644)
+}
+
+// runSuite shells out to `go test` and returns its combined output.
+// Benchmarks run with -benchmem so allocation regressions on the
+// insert path are visible next to the throughput numbers.
+func runSuite(s suite, benchtime string) (string, error) {
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", s.Bench, "-benchtime", benchtime, "-benchmem", s.Package)
+	b, err := cmd.CombinedOutput()
+	if err != nil {
+		return "", fmt.Errorf("go test: %w\n%s", err, b)
+	}
+	return string(b), nil
+}
+
+// parseBench extracts benchmark lines from `go test -bench` output.
+// Each line is "BenchmarkName-P  N  v1 u1  v2 u2 ...": the name with a
+// -GOMAXPROCS suffix, the iteration count, then value/unit pairs.
+func parseBench(out, pkg string) ([]benchResult, error) {
+	var results []benchResult
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name, procs := splitProcs(strings.TrimPrefix(fields[0], "Benchmark"))
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad iteration count in %q: %w", line, err)
+		}
+		r := benchResult{
+			Name:       name,
+			Package:    pkg,
+			Procs:      procs,
+			Iterations: iters,
+			Metrics:    make(map[string]float64),
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad metric value in %q: %w", line, err)
+			}
+			r.Metrics[fields[i+1]] = v
+		}
+		results = append(results, r)
+	}
+	return results, nil
+}
+
+// splitProcs peels the trailing -GOMAXPROCS suffix off a benchmark
+// name ("PhaseI/tuples=100000-8" → "PhaseI/tuples=100000", 8).
+// Names without the suffix report procs 1.
+func splitProcs(name string) (string, int) {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name, 1
+	}
+	p, err := strconv.Atoi(name[i+1:])
+	if err != nil || p <= 0 {
+		return name, 1
+	}
+	return name[:i], p
+}

@@ -1,0 +1,59 @@
+package main
+
+import "testing"
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: unknown
+BenchmarkPhaseI/tuples=100000-8         	       3	 650938378 ns/op	      1050 ACFs	    133553 tuples/s	 1000000 B/op	    2000 allocs/op
+BenchmarkEncodeNomKey         	30000000	        35.25 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	repro	12.3s
+`
+
+func TestParseBench(t *testing.T) {
+	results, err := parseBench(sampleOutput, ".")
+	if err != nil {
+		t.Fatalf("parseBench: %v", err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("parsed %d results, want 2", len(results))
+	}
+	r := results[0]
+	if r.Name != "PhaseI/tuples=100000" || r.Procs != 8 || r.Iterations != 3 {
+		t.Errorf("first result = %+v", r)
+	}
+	for unit, want := range map[string]float64{
+		"ns/op": 650938378, "ACFs": 1050, "tuples/s": 133553, "B/op": 1e6, "allocs/op": 2000,
+	} {
+		if got := r.Metrics[unit]; got != want {
+			t.Errorf("metric %s = %v, want %v", unit, got, want)
+		}
+	}
+	if results[1].Name != "EncodeNomKey" || results[1].Procs != 1 {
+		t.Errorf("second result = %+v", results[1])
+	}
+	if got := results[1].Metrics["ns/op"]; got != 35.25 {
+		t.Errorf("fractional ns/op = %v, want 35.25", got)
+	}
+}
+
+func TestSplitProcs(t *testing.T) {
+	cases := []struct {
+		in    string
+		name  string
+		procs int
+	}{
+		{"PhaseI/tuples=100000-8", "PhaseI/tuples=100000", 8},
+		{"EncodeNomKey", "EncodeNomKey", 1},
+		{"ACFAddRow-1", "ACFAddRow", 1},
+		{"Odd/name-x", "Odd/name-x", 1},
+	}
+	for _, c := range cases {
+		name, procs := splitProcs(c.in)
+		if name != c.name || procs != c.procs {
+			t.Errorf("splitProcs(%q) = %q, %d; want %q, %d", c.in, name, procs, c.name, c.procs)
+		}
+	}
+}

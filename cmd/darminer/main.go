@@ -51,6 +51,8 @@ type runConfig struct {
 	// noPostScan disables the descriptive rescans of Section 6.2
 	// (inverted so the zero value keeps the default behaviour).
 	noPostScan bool
+	cpuprofile string
+	memprofile string
 }
 
 func main() {
@@ -78,13 +80,24 @@ func main() {
 	flag.BoolVar(&cfg.asJSON, "json", false, "emit the full result as JSON (dar mode only)")
 	flag.StringVar(&cfg.groups, "groups", "", "attribute grouping, e.g. \"lat+lon,price\" (default: one group per attribute; dar and qar modes)")
 	flag.BoolVar(&cfg.noPostScan, "nopostscan", false, "skip the descriptive rescans (dar mode): approximate bounding boxes, uncounted rule supports")
+	flag.StringVar(&cfg.cpuprofile, "cpuprofile", "", "write a CPU profile of the run to this file")
+	flag.StringVar(&cfg.memprofile, "memprofile", "", "write a heap profile taken after the run to this file")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: darminer [flags] data.csv")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	if err := run(os.Stdout, flag.Arg(0), cfg); err != nil {
+	stop, err := startProfiles(cfg.cpuprofile, cfg.memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "darminer:", err)
+		os.Exit(1)
+	}
+	err = run(os.Stdout, flag.Arg(0), cfg)
+	if perr := stop(); err == nil {
+		err = perr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "darminer:", err)
 		os.Exit(1)
 	}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestStartProfilesWritesBothFiles runs a profiled mining pass and
+// checks that both profile files come out non-empty and the stop
+// function is safe to call exactly once.
+func TestStartProfilesWritesBothFiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	stop, err := startProfiles(cpu, mem)
+	if err != nil {
+		t.Fatalf("startProfiles: %v", err)
+	}
+	path := writeTestCSV(t)
+	if err := run(io.Discard, path, runConfig{algo: "dar", d0: 2000, minsup: 0.1, degree: 1, metric: "D2"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s missing: %v", p, err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+}
+
+// TestStartProfilesDisabled checks the no-flags path is a no-op.
+func TestStartProfilesDisabled(t *testing.T) {
+	stop, err := startProfiles("", "")
+	if err != nil {
+		t.Fatalf("startProfiles: %v", err)
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+}

@@ -22,11 +22,13 @@ import (
 
 // ingestConfig carries the `ingest` flag values.
 type ingestConfig struct {
-	d0      float64
-	memory  int
-	workers int
-	groups  string
-	out     string
+	d0         float64
+	memory     int
+	workers    int
+	groups     string
+	out        string
+	cpuprofile string
+	memprofile string
 }
 
 // queryConfig carries the `query` flag values.
@@ -48,13 +50,24 @@ func ingestMain(args []string) int {
 	fs.IntVar(&cfg.workers, "workers", 1, "worker goroutines for the ingest scan (output is identical at any count)")
 	fs.StringVar(&cfg.groups, "groups", "", "attribute grouping, e.g. \"lat+lon,price\" (default: one group per attribute)")
 	fs.StringVar(&cfg.out, "o", "", "output summary path (default: input with .acfsum extension)")
+	fs.StringVar(&cfg.cpuprofile, "cpuprofile", "", "write a CPU profile of the ingest to this file")
+	fs.StringVar(&cfg.memprofile, "memprofile", "", "write a heap profile taken after the ingest to this file")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: darminer ingest [flags] data.csv")
 		fs.PrintDefaults()
 		return 2
 	}
-	if err := runIngest(os.Stdout, fs.Arg(0), cfg); err != nil {
+	stop, err := startProfiles(cfg.cpuprofile, cfg.memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "darminer ingest:", err)
+		return 1
+	}
+	err = runIngest(os.Stdout, fs.Arg(0), cfg)
+	if perr := stop(); err == nil {
+		err = perr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "darminer ingest:", err)
 		return 1
 	}

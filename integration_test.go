@@ -122,11 +122,11 @@ func TestEndToEndKitchenSink(t *testing.T) {
 		t.Error("Premium ⇒ high-spend rule missing")
 	}
 
-	// IO accounting: parallel Phase I trades the single clustering scan
-	// for one scan per attribute group (4 here), documented in
-	// Options.Workers; the two descriptive rescans are unchanged.
-	if disk.Scans() != 4+2 {
-		t.Errorf("pipeline performed %d scans, want 6 (4 parallel + 2 descriptive)", disk.Scans())
+	// IO accounting: the batched ingest pipeline keeps parallel Phase I
+	// at ONE clustering scan (documented in Options.Workers); the two
+	// descriptive rescans are unchanged.
+	if disk.Scans() != 1+2 {
+		t.Errorf("pipeline performed %d scans, want 3 (1 ingest + 2 descriptive)", disk.Scans())
 	}
 
 	// JSON export of the full result round-trips.

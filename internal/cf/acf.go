@@ -18,6 +18,15 @@ import (
 // ACFs obey the Additivity Theorem componentwise (the extension claimed in
 // Section 6.1): merging two disjoint clusters' ACFs yields the ACF of the
 // union.
+//
+// Layout: constructors back LS and SS with one contiguous []float64 — the
+// per-group LS slices and the SS slice are views into it (LS groups in
+// order, then SS). Phase I maintains millions of these small dense vectors,
+// so the flat backing cuts the constructor to two allocations and keeps
+// AddRow/Merge on a single cache line per small group. The exported fields
+// keep their slice-of-slices shape, and every method also accepts ACFs with
+// independently allocated slices (gob decoding and struct literals produce
+// those), falling back to the per-group path.
 type ACF struct {
 	// N is the number of tuples summarized.
 	N int64
@@ -36,11 +45,29 @@ type ACF struct {
 	// counts key-wise, so summaries built from disjoint shards combine
 	// exactly. nil (or a nil slice) means the group is untracked.
 	NomCounts []map[string]int64
+
+	// flat is the shared backing array of LS and SS when the ACF was built
+	// by a constructor: all LS groups concatenated, then the SS values.
+	// nil for ACFs assembled field-by-field (gob, literals); such ACFs use
+	// the slower per-group paths but behave identically.
+	flat []float64
+	// uniform records that every group is one-dimensional (so the row
+	// index IS the group index), unlocking the tightest AddRow loop.
+	uniform bool
 }
 
 // Shape describes the dimensionality of each attribute group of a
 // partitioning; Shape[g] is the number of attributes in group g.
 type Shape []int
+
+// Dims returns the total dimensionality across all groups.
+func (s Shape) Dims() int {
+	total := 0
+	for _, d := range s {
+		total += d
+	}
+	return total
+}
 
 // NewACF returns an empty ACF for a cluster over group own, with
 // projection slots for every group in the shape.
@@ -54,13 +81,19 @@ func NewACFTracked(shape Shape, own int, track []bool) *ACF {
 	if own < 0 || own >= len(shape) {
 		panic(fmt.Sprintf("cf: own group %d outside shape of %d groups", own, len(shape)))
 	}
+	total := shape.Dims()
+	flat := make([]float64, total+len(shape))
 	a := &ACF{
-		Own: own,
-		LS:  make([][]float64, len(shape)),
-		SS:  make([]float64, len(shape)),
+		Own:     own,
+		LS:      make([][]float64, len(shape)),
+		SS:      flat[total : total+len(shape)],
+		flat:    flat,
+		uniform: total == len(shape) && minDim(shape) == 1,
 	}
+	off := 0
 	for g, dims := range shape {
-		a.LS[g] = make([]float64, dims)
+		a.LS[g] = flat[off : off+dims : off+dims]
+		off += dims
 	}
 	for g := range shape {
 		if g < len(track) && track[g] {
@@ -77,25 +110,67 @@ func NewACFTracked(shape Shape, own int, track []bool) *ACF {
 // by NomCounts: 8 little-endian bytes (IEEE-754 bits) per dimension. The
 // encoding is injective, so distinct exact vectors never collide.
 func EncodeNomKey(vals []float64) string {
-	buf := make([]byte, 8*len(vals))
-	for i, v := range vals {
-		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+	return string(AppendNomKey(nil, vals))
+}
+
+// AppendNomKey appends the EncodeNomKey bytes of vals to dst and returns
+// the extended slice. Hot paths reuse one buffer across tuples (see
+// Interner) instead of allocating a string per call.
+func AppendNomKey(dst []byte, vals []float64) []byte {
+	for _, v := range vals {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
 	}
-	return string(buf)
+	return dst
 }
 
 // DecodeNomKey unpacks an EncodeNomKey key of the given dimensionality.
-// ok is false when the key length does not match.
+// ok is false when the key length does not match. The bits are read
+// straight off the string — no per-word []byte conversion.
 func DecodeNomKey(key string, dims int) ([]float64, bool) {
 	if len(key) != 8*dims {
 		return nil, false
 	}
 	vals := make([]float64, dims)
 	for i := range vals {
-		vals[i] = math.Float64frombits(binary.LittleEndian.Uint64([]byte(key[8*i : 8*i+8])))
+		k := key[8*i : 8*i+8]
+		u := uint64(k[0]) | uint64(k[1])<<8 | uint64(k[2])<<16 | uint64(k[3])<<24 |
+			uint64(k[4])<<32 | uint64(k[5])<<40 | uint64(k[6])<<48 | uint64(k[7])<<56
+		vals[i] = math.Float64frombits(u)
 	}
 	return vals, true
 }
+
+// Interner deduplicates nominal histogram keys so the steady-state insert
+// path stops allocating: Key encodes into a reusable buffer and returns
+// the one canonical string per distinct value vector, allocating only the
+// first time a vector is seen. The map is only ever indexed, never
+// ranged, so it cannot leak iteration order. An Interner is not safe for
+// concurrent use; each ACF-tree owns one.
+type Interner struct {
+	buf  []byte
+	keys map[string]string
+}
+
+// NewInterner returns an empty interner.
+func NewInterner() *Interner {
+	return &Interner{keys: make(map[string]string)}
+}
+
+// Key returns the canonical EncodeNomKey string for vals. The lookup is
+// allocation-free for vectors seen before (the compiler elides the
+// []byte→string conversion in map reads).
+func (it *Interner) Key(vals []float64) string {
+	it.buf = AppendNomKey(it.buf[:0], vals)
+	if s, ok := it.keys[string(it.buf)]; ok {
+		return s
+	}
+	s := string(it.buf)
+	it.keys[s] = s
+	return s
+}
+
+// Len returns the number of distinct keys interned.
+func (it *Interner) Len() int { return len(it.keys) }
 
 // Groups returns the number of attribute groups the ACF projects onto.
 func (a *ACF) Groups() int { return len(a.LS) }
@@ -124,6 +199,89 @@ func (a *ACF) AddTuple(proj [][]float64) {
 	}
 }
 
+// AddRow folds one tuple given as a flat projection row — the per-group
+// projections concatenated in group order, exactly the LS layout. This is
+// the Phase I hot path: one fused pass over contiguous memory, and with a
+// non-nil interner the histogram update of tracked groups is
+// allocation-free for already-seen values.
+func (a *ACF) AddRow(row []float64, it *Interner) {
+	a.N++
+	// Both arms accumulate straight into LS and SS[g], value by value,
+	// exactly like AddTuple: same operations in the same order keeps
+	// results bit-identical to the pre-flat code and the .acfsum goldens.
+	if a.flat != nil {
+		// Flat backing: the row layout coincides with the LS prefix of
+		// flat, so one fused pass updates LS in place and steps the group
+		// index for SS — no per-group slicing in the hot path. When every
+		// group is 1-D (singleton partitionings — the common case), the
+		// row index is the group index and the loop needs no stepping.
+		ls, ss := a.flat, a.SS
+		if a.uniform && len(row) == len(ss) {
+			for i, v := range row {
+				ls[i] += v
+				ss[i] += v * v
+			}
+			a.addRowHists(row, it)
+			return
+		}
+		g, end := 0, len(a.LS[0])
+		for i, v := range row {
+			for i >= end {
+				g++
+				end += len(a.LS[g])
+			}
+			ls[i] += v
+			ss[g] += v * v
+		}
+	} else {
+		off := 0
+		for g, ls := range a.LS {
+			seg := row[off : off+len(ls)]
+			for i, v := range seg {
+				ls[i] += v
+				a.SS[g] += v * v
+			}
+			off += len(ls)
+		}
+	}
+	a.addRowHists(row, it)
+}
+
+// addRowHists is AddRow's histogram tail: tracked groups count the exact
+// projected value of the tuple, interned when an Interner is supplied.
+func (a *ACF) addRowHists(row []float64, it *Interner) {
+	if a.NomCounts == nil {
+		return
+	}
+	off := 0
+	for g, ls := range a.LS {
+		if hist := a.NomCounts[g]; hist != nil {
+			seg := row[off : off+len(ls)]
+			if it != nil {
+				hist[it.Key(seg)]++
+			} else {
+				hist[EncodeNomKey(seg)]++
+			}
+		}
+		off += len(ls)
+	}
+}
+
+// minDim returns the smallest group dimensionality of the shape (0 for an
+// empty shape).
+func minDim(s Shape) int {
+	if len(s) == 0 {
+		return 0
+	}
+	m := s[0]
+	for _, d := range s[1:] {
+		if d < m {
+			m = d
+		}
+	}
+	return m
+}
+
 // Merge folds another ACF into this one (ACF additivity). Both must be
 // over the same owning group and shape.
 func (a *ACF) Merge(o *ACF) {
@@ -134,11 +292,20 @@ func (a *ACF) Merge(o *ACF) {
 		panic(fmt.Sprintf("cf: merging ACF with %d groups into %d", len(o.LS), len(a.LS)))
 	}
 	a.N += o.N
-	for g := range a.LS {
-		a.SS[g] += o.SS[g]
-		ls, ols := a.LS[g], o.LS[g]
-		for i := range ls {
-			ls[i] += ols[i]
+	if a.flat != nil && o.flat != nil && len(a.flat) == len(o.flat) {
+		// Both flat-backed: LS and SS add in one contiguous pass. The
+		// additions are the same elementwise operations as the per-group
+		// path, so the result is bit-identical.
+		for i, v := range o.flat {
+			a.flat[i] += v
+		}
+	} else {
+		for g := range a.LS {
+			a.SS[g] += o.SS[g]
+			ls, ols := a.LS[g], o.LS[g]
+			for i := range ls {
+				ls[i] += ols[i]
+			}
 		}
 	}
 	for g, hist := range a.NomCounts {
@@ -160,17 +327,29 @@ func (a *ACF) Merge(o *ACF) {
 	}
 }
 
-// Clone returns an independent deep copy.
+// Clone returns an independent deep copy (flat-backed regardless of the
+// source's layout).
 func (a *ACF) Clone() *ACF {
+	total := 0
+	for _, ls := range a.LS {
+		total += len(ls)
+	}
+	flat := make([]float64, total+len(a.LS))
 	c := &ACF{
-		N:   a.N,
-		Own: a.Own,
-		LS:  make([][]float64, len(a.LS)),
-		SS:  append([]float64(nil), a.SS...),
+		N:       a.N,
+		Own:     a.Own,
+		LS:      make([][]float64, len(a.LS)),
+		SS:      flat[total:],
+		flat:    flat,
+		uniform: a.uniform,
 	}
+	off := 0
 	for g, ls := range a.LS {
-		c.LS[g] = append([]float64(nil), ls...)
+		c.LS[g] = flat[off : off+len(ls) : off+len(ls)]
+		copy(c.LS[g], ls)
+		off += len(ls)
 	}
+	copy(c.SS, a.SS)
 	if a.NomCounts != nil {
 		c.NomCounts = make([]map[string]int64, len(a.NomCounts))
 		for g, hist := range a.NomCounts {
@@ -240,9 +419,12 @@ func (a *ACF) Diameter() float64 { return a.OwnSummary().Diameter() }
 
 // Bytes estimates the heap footprint for memory accounting: headers plus
 // every projection's backing array, plus the exact-value histograms when
-// tracking is enabled. Note cftree.Tree sizes its per-entry budget from
-// an untracked NewACF, so histogram growth never changes the tree's
-// rebuild schedule — tracked and untracked ingests cluster identically.
+// tracking is enabled. The formula is kept independent of the physical
+// layout (flat-backed or per-group) so the estimate — and with it every
+// tree's rebuild schedule — is identical for both. Note cftree.Tree sizes
+// its per-entry budget from an untracked NewACF, so histogram growth
+// never changes the tree's rebuild schedule — tracked and untracked
+// ingests cluster identically.
 func (a *ACF) Bytes() int {
 	b := 8 /* N */ + 8 /* Own */ + 24 + 24 + 24 /* slice headers */
 	for _, ls := range a.LS {

@@ -368,3 +368,149 @@ func TestACFBytesTracksHistograms(t *testing.T) {
 		t.Error("Bytes ignores histogram footprint")
 	}
 }
+
+// The flat backing is an implementation detail: ACFs assembled
+// field-by-field (gob decoding produces those) must behave identically.
+func nonFlatACF(shape Shape, own int) *ACF {
+	a := &ACF{Own: own, LS: make([][]float64, len(shape)), SS: make([]float64, len(shape))}
+	for g, d := range shape {
+		a.LS[g] = make([]float64, d)
+	}
+	return a
+}
+
+func TestACFAddRowMatchesAddTuple(t *testing.T) {
+	shape := sampleShape()
+	rng := rand.New(rand.NewSource(11))
+	track := []bool{false, true, false}
+	byTuple := NewACFTracked(shape, 1, track)
+	byRowFlat := NewACFTracked(shape, 1, track)
+	byRowLoose := nonFlatACF(shape, 1)
+	byRowLoose.NomCounts = []map[string]int64{nil, {}, nil}
+	it := NewInterner()
+	for i := 0; i < 50; i++ {
+		proj := randProj(rng, shape)
+		var row []float64
+		for _, p := range proj {
+			row = append(row, p...)
+		}
+		byTuple.AddTuple(proj)
+		byRowFlat.AddRow(row, it)
+		byRowLoose.AddRow(row, nil)
+	}
+	for _, got := range []*ACF{byRowFlat, byRowLoose} {
+		if got.N != byTuple.N {
+			t.Fatalf("N = %d, want %d", got.N, byTuple.N)
+		}
+		for g := range shape {
+			if got.SS[g] != byTuple.SS[g] {
+				t.Errorf("SS[%d] = %v, want %v", g, got.SS[g], byTuple.SS[g])
+			}
+			if !reflect.DeepEqual(got.LS[g], byTuple.LS[g]) {
+				t.Errorf("LS[%d] = %v, want %v", g, got.LS[g], byTuple.LS[g])
+			}
+		}
+		if !reflect.DeepEqual(got.NomCounts[1], byTuple.NomCounts[1]) {
+			t.Errorf("NomCounts = %v, want %v", got.NomCounts[1], byTuple.NomCounts[1])
+		}
+	}
+	if it.Len() != len(byTuple.NomCounts[1]) {
+		t.Errorf("interner holds %d keys, histogram %d", it.Len(), len(byTuple.NomCounts[1]))
+	}
+}
+
+// Merge must produce bit-identical sums whichever side is flat-backed:
+// the flat fast path performs the same elementwise additions.
+func TestACFMergeFlatAndLooseBitIdentical(t *testing.T) {
+	shape := sampleShape()
+	rng := rand.New(rand.NewSource(7))
+	mkPair := func() (*ACF, *ACF) {
+		flat, loose := NewACF(shape, 0), nonFlatACF(shape, 0)
+		for i := 0; i < 20; i++ {
+			proj := randProj(rng, shape)
+			flat.AddTuple(proj)
+			loose.N++
+			for g, p := range proj {
+				for j, v := range p {
+					loose.LS[g][j] += v
+					loose.SS[g] += v * v
+				}
+			}
+		}
+		return flat, loose
+	}
+	af, al := mkPair()
+	bf, bl := mkPair()
+	af.Merge(bf) // flat into flat
+	al.Merge(bl) // loose into loose
+	cf := af.Clone()
+	cf.Merge(bl) // would double-count; only layout comparison below matters
+	for g := range shape {
+		if !reflect.DeepEqual(af.LS[g], al.LS[g]) || af.SS[g] != al.SS[g] {
+			t.Errorf("group %d: flat merge %v/%v != loose merge %v/%v",
+				g, af.LS[g], af.SS[g], al.LS[g], al.SS[g])
+		}
+	}
+}
+
+// Bytes must be a function of the logical shape only — the rebuild
+// schedule (entryBytes) and the .acfsum goldens depend on it.
+func TestACFBytesLayoutIndependent(t *testing.T) {
+	shape := sampleShape()
+	if got, want := NewACF(shape, 0).Bytes(), nonFlatACF(shape, 0).Bytes(); got != want {
+		t.Errorf("flat Bytes %d != loose Bytes %d", got, want)
+	}
+}
+
+func TestInternerKeyCanonical(t *testing.T) {
+	it := NewInterner()
+	k1 := it.Key([]float64{1, 2})
+	k2 := it.Key([]float64{1, 2})
+	if k1 != k2 || k1 != EncodeNomKey([]float64{1, 2}) {
+		t.Fatalf("interned keys diverge: %q %q", k1, k2)
+	}
+	if it.Len() != 1 {
+		t.Errorf("Len = %d, want 1", it.Len())
+	}
+	if allocs := testing.AllocsPerRun(100, func() { it.Key([]float64{1, 2}) }); allocs != 0 {
+		t.Errorf("interned Key allocates %v per run, want 0", allocs)
+	}
+}
+
+func BenchmarkEncodeNomKey(b *testing.B) {
+	vals := []float64{1.5, -2.25, 3e7, 4}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = EncodeNomKey(vals)
+	}
+}
+
+func BenchmarkDecodeNomKey(b *testing.B) {
+	key := EncodeNomKey([]float64{1.5, -2.25, 3e7, 4})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := DecodeNomKey(key, 4); !ok {
+			b.Fatal("decode failed")
+		}
+	}
+}
+
+func BenchmarkInternerKey(b *testing.B) {
+	it := NewInterner()
+	vals := []float64{1.5, -2.25, 3e7, 4}
+	it.Key(vals)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = it.Key(vals)
+	}
+}
+
+func BenchmarkACFAddRow(b *testing.B) {
+	shape := sampleShape()
+	a := NewACF(shape, 0)
+	row := []float64{1, 2, 3, 4, 5, 6}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a.AddRow(row, nil)
+	}
+}

@@ -17,7 +17,17 @@ type node struct {
 	children []*node
 	// entries is non-nil (possibly empty) for leaf nodes.
 	entries []*cf.ACF
-	leaf    bool
+	// cent caches the own-group centroid of every child (internal nodes)
+	// or entry (leaves) as consecutive rows of stride len(summary.LS).
+	// Row i holds exactly LS[j]/N for the i-th child/entry — the same
+	// IEEE divisions the descent used to redo per comparison — so every
+	// distance computed against a cached row is bit-identical to the
+	// uncached computation. Rows are refreshed whenever the summary they
+	// mirror changes (insert path, merges, splits). The cache is excluded
+	// from the tree's byte accounting, like NomCounts, so rebuild
+	// schedules are unchanged.
+	cent []float64
+	leaf bool
 }
 
 func newLeaf(dims int) *node {
@@ -26,6 +36,77 @@ func newLeaf(dims int) *node {
 
 func newInternal(dims int) *node {
 	return &node{summary: cf.NewCF(dims)}
+}
+
+func (nd *node) dims() int { return len(nd.summary.LS) }
+
+// centRow returns cached centroid row i as a view into cent.
+func (nd *node) centRow(i int) []float64 {
+	d := nd.dims()
+	return nd.cent[i*d : (i+1)*d]
+}
+
+// refreshEntryCent recomputes cached row i from leaf entry i.
+func (nd *node) refreshEntryCent(i int) {
+	e := nd.entries[i]
+	fn := float64(e.N)
+	ls := e.LS[e.Own]
+	row := nd.centRow(i)
+	for j := range row {
+		row[j] = ls[j] / fn
+	}
+}
+
+// refreshChildCent recomputes cached row i from child i's summary.
+func (nd *node) refreshChildCent(i int) {
+	s := nd.children[i].summary
+	fn := float64(s.N)
+	row := nd.centRow(i)
+	for j := range row {
+		row[j] = s.LS[j] / fn
+	}
+}
+
+// appendEntryCent extends the cache with a row for a just-appended entry.
+func (nd *node) appendEntryCent() {
+	d := nd.dims()
+	for j := 0; j < d; j++ {
+		nd.cent = append(nd.cent, 0)
+	}
+	nd.refreshEntryCent(len(nd.entries) - 1)
+}
+
+// recomputeCent rebuilds every cached row (after structural edits to the
+// children slice, where per-row patching is not worth the bookkeeping).
+func (nd *node) recomputeCent() {
+	d := nd.dims()
+	n := len(nd.children)
+	if nd.leaf {
+		n = len(nd.entries)
+	}
+	if cap(nd.cent) < n*d {
+		nd.cent = make([]float64, n*d)
+	} else {
+		nd.cent = nd.cent[:n*d]
+	}
+	for i := 0; i < n; i++ {
+		if nd.leaf {
+			nd.refreshEntryCent(i)
+		} else {
+			nd.refreshChildCent(i)
+		}
+	}
+}
+
+// sqDistToRow returns the squared Euclidean distance from p to a cached
+// centroid row.
+func sqDistToRow(p, row []float64) float64 {
+	var s float64
+	for i := range p {
+		d := p[i] - row[i]
+		s += d * d
+	}
+	return s
 }
 
 // sqDistToCentroid returns the squared Euclidean distance from point p to
@@ -58,42 +139,55 @@ func sqDistCentroids(ls1 []float64, n1 int64, ls2 []float64, n2 int64) float64 {
 	return s
 }
 
-// closestChild returns the index of the child whose centroid is nearest to
-// the own-group point p (the closest-CF descent of Section 4.3.1).
-func (nd *node) closestChild(p []float64) int {
+// closestRow scans the centroid cache for the row nearest to p and
+// returns its index plus the squared distance (-1 for an empty cache).
+// Ties keep the first (lowest-index) minimum, as the uncached scan did.
+// Rows of empty summaries hold NaN (0/0), and NaN comparisons are false,
+// so such rows are skipped exactly as the old N==0 → +Inf convention
+// skipped them — no per-row pointer chase into entries or children.
+func (nd *node) closestRow(p []float64) (int, float64) {
 	best, bestD := -1, inf
-	for i, c := range nd.children {
-		d := sqDistToCentroid(p, c.summary.LS, c.summary.N)
-		if d < bestD {
-			best, bestD = i, d
+	if len(p) == 1 {
+		// Singleton groups (every WBCD group, all nominal groups) reduce
+		// to a branchless 1-D scan over consecutive floats.
+		p0 := p[0]
+		for i, c := range nd.cent {
+			d := p0 - c
+			if dd := d * d; dd < bestD {
+				best, bestD = i, dd
+			}
+		}
+		return best, bestD
+	}
+	d := len(p)
+	for i := 0; i*d < len(nd.cent); i++ {
+		if dd := sqDistToRow(p, nd.cent[i*d:(i+1)*d]); dd < bestD {
+			best, bestD = i, dd
 		}
 	}
-	return best
+	return best, bestD
 }
 
+// closestChild returns the index of the child whose centroid is nearest to
+// the own-group point p (the closest-CF descent of Section 4.3.1), plus
+// the squared distance.
+func (nd *node) closestChild(p []float64) (int, float64) { return nd.closestRow(p) }
+
 // closestEntry returns the index of the leaf entry whose own-group centroid
-// is nearest to p, or -1 if the leaf is empty.
-func (nd *node) closestEntry(p []float64) int {
-	best, bestD := -1, inf
-	for i, e := range nd.entries {
-		d := sqDistToCentroid(p, e.LS[e.Own], e.N)
-		if d < bestD {
-			best, bestD = i, d
-		}
-	}
-	return best
-}
+// is nearest to p (or -1 for an empty leaf), plus the squared distance —
+// the same value the admission test needs, so callers reuse it instead of
+// recomputing.
+func (nd *node) closestEntry(p []float64) (int, float64) { return nd.closestRow(p) }
 
 // farthestEntryPair returns the indices of the two leaf entries whose
 // own-group centroids are farthest apart — the split seeds. The leaf must
-// hold at least two entries.
+// hold at least two entries. Distances come off the centroid cache.
 func (nd *node) farthestEntryPair() (int, int) {
 	bi, bj, bd := 0, 1, -1.0
 	for i := 0; i < len(nd.entries); i++ {
-		ei := nd.entries[i]
+		ri := nd.centRow(i)
 		for j := i + 1; j < len(nd.entries); j++ {
-			ej := nd.entries[j]
-			d := sqDistCentroids(ei.LS[ei.Own], ei.N, ej.LS[ej.Own], ej.N)
+			d := sqDistToRow(ri, nd.centRow(j))
 			if d > bd {
 				bi, bj, bd = i, j, d
 			}
@@ -106,10 +200,9 @@ func (nd *node) farthestEntryPair() (int, int) {
 func (nd *node) farthestChildPair() (int, int) {
 	bi, bj, bd := 0, 1, -1.0
 	for i := 0; i < len(nd.children); i++ {
-		ci := nd.children[i].summary
+		ri := nd.centRow(i)
 		for j := i + 1; j < len(nd.children); j++ {
-			cj := nd.children[j].summary
-			d := sqDistCentroids(ci.LS, ci.N, cj.LS, cj.N)
+			d := sqDistToRow(ri, nd.centRow(j))
 			if d > bd {
 				bi, bj, bd = i, j, d
 			}
@@ -119,7 +212,8 @@ func (nd *node) farthestChildPair() (int, int) {
 }
 
 // recomputeSummary rebuilds the node's CF from its children or entries
-// (used after splits, where incremental maintenance would double-count).
+// (used after splits, where incremental maintenance would double-count),
+// and the centroid cache with it.
 func (nd *node) recomputeSummary() {
 	nd.summary.Reset()
 	if nd.leaf {
@@ -131,11 +225,13 @@ func (nd *node) recomputeSummary() {
 				nd.summary.LS[i] += ls[i]
 			}
 		}
+		nd.recomputeCent()
 		return
 	}
 	for _, c := range nd.children {
 		nd.summary.Merge(c.summary)
 	}
+	nd.recomputeCent()
 }
 
 // collectLeaves appends every leaf entry below the node to dst.

@@ -50,9 +50,10 @@ type Config struct {
 	// Track enables exact-value histograms (cf.ACF.NomCounts) on the
 	// groups where Track[g] is true. The summary layer uses them to carry
 	// nominal co-occurrence counts (Theorem 5.2) without a rescan. Memory
-	// accounting deliberately ignores histogram growth — entryBytes is
-	// sized from an untracked ACF — so tracked and untracked ingests
-	// follow identical rebuild schedules and produce identical clusters.
+	// accounting deliberately ignores histogram growth (and the tree's
+	// key interner) — entryBytes is sized from an untracked ACF — so
+	// tracked and untracked ingests follow identical rebuild schedules
+	// and produce identical clusters.
 	Track []bool
 }
 
@@ -104,7 +105,23 @@ type Tree struct {
 	seen       int64
 	rebuilding bool
 
-	scratch []float64 // reusable own-group centroid buffer
+	totalDims int   // Σ shape[g]
+	ownOff    int   // offset of the own group inside a flat row
+	offs      []int // offset of each group inside a flat row
+
+	intern *cf.Interner // shared nominal-key interner when tracking
+
+	scratch    []float64  // reusable own-group centroid buffer
+	rowScratch []float64  // reusable flat projection row for Insert
+	path       []pathStep // reusable descent stack for insertTop
+}
+
+// pathStep records one internal node of the descent and the child index
+// taken, so insertTop can patch summaries and propagate splits without
+// recursing (the recursive version copied the payload struct per level).
+type pathStep struct {
+	nd  *node
+	idx int
 }
 
 // New creates an empty tree for clusters over group own of a partitioning
@@ -121,6 +138,19 @@ func New(shape cf.Shape, own int, cfg Config) *Tree {
 		dims:      shape[own],
 		threshold: cfg.Threshold,
 		scratch:   make([]float64, shape[own]),
+	}
+	t.offs = make([]int, len(shape))
+	for g, d := range shape {
+		t.offs[g] = t.totalDims
+		t.totalDims += d
+	}
+	t.ownOff = t.offs[own]
+	t.rowScratch = make([]float64, t.totalDims)
+	for _, tr := range cfg.Track {
+		if tr {
+			t.intern = cf.NewInterner()
+			break
+		}
 	}
 	t.entryBytes = cf.NewACF(shape, own).Bytes() + 8 /* slice slot */
 	t.nodeBytes = 64 + cf.NewCF(t.dims).Bytes()
@@ -150,13 +180,14 @@ func (t *Tree) Stats() Stats {
 	}
 }
 
-// payload is a unit of insertion: either a single tuple (proj != nil) or a
-// whole cluster summary being re-inserted during a rebuild (acf != nil).
+// payload is a unit of insertion: either a single tuple given as a flat
+// projection row (row != nil) or a whole cluster summary being re-inserted
+// during a rebuild (acf != nil).
 type payload struct {
-	proj [][]float64 // per-group projections of one tuple
-	acf  *cf.ACF
-	p    []float64        // own-group vector guiding the descent
-	own  distance.Summary // own-group summary for the admission test
+	row []float64 // per-group projections of one tuple, concatenated
+	acf *cf.ACF
+	p   []float64        // own-group vector guiding the descent
+	own distance.Summary // own-group summary for the admission test
 }
 
 // Insert adds one tuple to the tree. proj[g] must be the tuple's
@@ -166,16 +197,37 @@ func (t *Tree) Insert(proj [][]float64) {
 	if len(proj) != len(t.shape) {
 		panic(fmt.Sprintf("cftree: tuple has %d group projections, shape has %d", len(proj), len(t.shape)))
 	}
-	p := proj[t.own]
+	off := 0
+	for g, p := range proj {
+		if len(p) != t.shape[g] {
+			panic(fmt.Sprintf("cftree: group %d projection dims %d != %d", g, len(p), t.shape[g]))
+		}
+		copy(t.rowScratch[off:], p)
+		off += len(p)
+	}
+	t.InsertFlat(t.rowScratch)
+}
+
+// InsertFlat adds one tuple given as a flat projection row: the per-group
+// projections concatenated in group order (shape[0] values, then shape[1],
+// …). This is the zero-copy hot path used by the ingest pipeline — the
+// row is fully consumed before InsertFlat returns, so callers may reuse
+// the backing array. Clustering is identical to Insert.
+func (t *Tree) InsertFlat(row []float64) {
+	if len(row) != t.totalDims {
+		panic(fmt.Sprintf("cftree: flat row has %d dims, shape needs %d", len(row), t.totalDims))
+	}
+	p := row[t.ownOff : t.ownOff+t.dims]
 	var ss float64
 	for _, v := range p {
 		ss += v * v
 	}
-	t.insertTop(payload{
-		proj: proj,
-		p:    p,
-		own:  distance.Summary{N: 1, LS: p, SS: ss},
-	})
+	pl := payload{
+		row: row,
+		p:   p,
+		own: distance.Summary{N: 1, LS: p, SS: ss},
+	}
+	t.insertTop(&pl)
 	t.seen++
 	t.enforceMemory()
 }
@@ -188,11 +240,45 @@ func (t *Tree) insertACF(a *cf.ACF) {
 	for i, v := range s.LS {
 		t.scratch[i] = v / fn
 	}
-	t.insertTop(payload{acf: a, p: t.scratch, own: s})
+	pl := payload{acf: a, p: t.scratch, own: s}
+	t.insertTop(&pl)
 }
 
-func (t *Tree) insertTop(pl payload) {
-	left, right := t.insert(t.root, pl)
+// insertTop descends iteratively to the target leaf, recording the path in
+// a reusable stack, then patches centroid caches and propagates splits
+// back up. No allocation in the steady state.
+func (t *Tree) insertTop(pl *payload) {
+	nd := t.root
+	t.path = t.path[:0]
+	for !nd.leaf {
+		addSummary(nd.summary, pl.own)
+		i, _ := nd.closestChild(pl.p)
+		t.path = append(t.path, pathStep{nd, i})
+		nd = nd.children[i]
+	}
+	addSummary(nd.summary, pl.own)
+	left, right := t.insertLeaf(nd, pl)
+
+	for k := len(t.path) - 1; k >= 0; k-- {
+		p, i := t.path[k].nd, t.path[k].idx
+		p.children[i] = left
+		if right != nil {
+			p.children = append(p.children, nil)
+			copy(p.children[i+2:], p.children[i+1:])
+			p.children[i+1] = right
+			p.recomputeCent()
+			if len(p.children) > t.cfg.Branching {
+				left, right = t.splitInternal(p)
+				continue
+			}
+			right = nil
+		} else {
+			// The child's summary absorbed the payload on the way down;
+			// refresh its cached centroid row.
+			p.refreshChildCent(i)
+		}
+		left = p
+	}
 	if right == nil {
 		t.root = left
 		return
@@ -205,29 +291,8 @@ func (t *Tree) insertTop(pl payload) {
 	t.bytes += t.nodeBytes
 }
 
-// insert descends to the appropriate leaf. It returns the (possibly new)
-// node replacing nd, plus a second node when nd had to split.
-func (t *Tree) insert(nd *node, pl payload) (*node, *node) {
-	addSummary(nd.summary, pl.own)
-	if nd.leaf {
-		return t.insertLeaf(nd, pl)
-	}
-	i := nd.closestChild(pl.p)
-	l, r := t.insert(nd.children[i], pl)
-	nd.children[i] = l
-	if r != nil {
-		nd.children = append(nd.children, nil)
-		copy(nd.children[i+2:], nd.children[i+1:])
-		nd.children[i+1] = r
-		if len(nd.children) > t.cfg.Branching {
-			return t.splitInternal(nd)
-		}
-	}
-	return nd, nil
-}
-
-func (t *Tree) insertLeaf(nd *node, pl payload) (*node, *node) {
-	if i := nd.closestEntry(pl.p); i >= 0 {
+func (t *Tree) insertLeaf(nd *node, pl *payload) (*node, *node) {
+	if i, d2 := nd.closestEntry(pl.p); i >= 0 {
 		e := nd.entries[i]
 		// Admission requires the augmented diameter within the threshold
 		// (Section 4.3.1) and additionally the centroid distance within
@@ -236,10 +301,13 @@ func (t *Tree) insertLeaf(nd *node, pl payload) (*node, *node) {
 		// diameter test alone lets clusters swallow outliers at distance
 		// ≈ T·√(N/2). The centroid bound keeps cluster extent ≈ T
 		// regardless of N, which the isolation requirement of Dfn 4.2
-		// depends on.
-		if distance.MergedDiameter(e.OwnSummary(), pl.own) <= t.threshold &&
-			sqDistToCentroid(pl.p, e.LS[e.Own], e.N) <= t.threshold*t.threshold {
+		// depends on. d2 is the same squared centroid distance the
+		// closest-entry scan minimized, so it is reused, not recomputed.
+		if d2 <= t.threshold*t.threshold &&
+			distance.MergedDiameterRaw(e.N, e.LS[e.Own], e.SS[e.Own],
+				pl.own.N, pl.own.LS, pl.own.SS) <= t.threshold {
 			t.mergeInto(e, pl)
+			nd.refreshEntryCent(i)
 			return nd, nil
 		}
 	}
@@ -250,9 +318,10 @@ func (t *Tree) insertLeaf(nd *node, pl payload) (*node, *node) {
 		e = pl.acf
 	} else {
 		e = cf.NewACFTracked(t.shape, t.own, t.cfg.Track)
-		e.AddTuple(pl.proj)
+		e.AddRow(pl.row, t.intern)
 	}
 	nd.entries = append(nd.entries, e)
+	nd.appendEntryCent()
 	t.numEntries++
 	t.bytes += t.entryBytes
 	if len(nd.entries) > t.cfg.LeafCapacity {
@@ -261,24 +330,27 @@ func (t *Tree) insertLeaf(nd *node, pl payload) (*node, *node) {
 	return nd, nil
 }
 
-func (t *Tree) mergeInto(e *cf.ACF, pl payload) {
+func (t *Tree) mergeInto(e *cf.ACF, pl *payload) {
 	if pl.acf != nil {
 		e.Merge(pl.acf)
 		return
 	}
-	e.AddTuple(pl.proj)
+	e.AddRow(pl.row, t.intern)
 }
 
 // splitLeaf redistributes the entries of an overfull leaf around the two
 // farthest entries, B+-tree style (Section 4.3.1: "When leaf nodes are
-// full, they are split").
+// full, they are split"). Distances come off the (up-to-date) centroid
+// cache — bit-identical to recomputing, since each cached value is the
+// same LS/N division.
 func (t *Tree) splitLeaf(nd *node) (*node, *node) {
 	si, sj := nd.farthestEntryPair()
 	l, r := newLeaf(t.dims), newLeaf(t.dims)
-	ei, ej := nd.entries[si], nd.entries[sj]
-	for _, e := range nd.entries {
-		di := sqDistCentroids(e.LS[e.Own], e.N, ei.LS[ei.Own], ei.N)
-		dj := sqDistCentroids(e.LS[e.Own], e.N, ej.LS[ej.Own], ej.N)
+	ri, rj := nd.centRow(si), nd.centRow(sj)
+	for k, e := range nd.entries {
+		rk := nd.centRow(k)
+		di := sqDistToRow(rk, ri)
+		dj := sqDistToRow(rk, rj)
 		if di <= dj {
 			l.entries = append(l.entries, e)
 		} else {
@@ -296,10 +368,11 @@ func (t *Tree) splitLeaf(nd *node) (*node, *node) {
 func (t *Tree) splitInternal(nd *node) (*node, *node) {
 	si, sj := nd.farthestChildPair()
 	l, r := newInternal(t.dims), newInternal(t.dims)
-	ci, cj := nd.children[si].summary, nd.children[sj].summary
-	for _, c := range nd.children {
-		di := sqDistCentroids(c.summary.LS, c.summary.N, ci.LS, ci.N)
-		dj := sqDistCentroids(c.summary.LS, c.summary.N, cj.LS, cj.N)
+	ri, rj := nd.centRow(si), nd.centRow(sj)
+	for k, c := range nd.children {
+		rk := nd.centRow(k)
+		di := sqDistToRow(rk, ri)
+		dj := sqDistToRow(rk, rj)
 		if di <= dj {
 			l.children = append(l.children, c)
 		} else {
@@ -436,6 +509,9 @@ func (t *Tree) Finish() ([]*cf.ACF, error) {
 func (t *Tree) Leaves() []*cf.ACF { return t.root.collectLeaves(nil) }
 
 // recount re-derives entry count and byte estimate from the tree shape.
+// The centroid cache is deliberately excluded, like the nominal
+// histograms: accounting must match the pre-cache code so rebuild
+// schedules are unchanged.
 func (t *Tree) recount() {
 	entries, nodes := 0, 0
 	var walk func(nd *node)
@@ -460,18 +536,17 @@ func (t *Tree) recount() {
 func (t *Tree) NearestCluster(p []float64) (*cf.ACF, float64) {
 	nd := t.root
 	for !nd.leaf {
-		i := nd.closestChild(p)
+		i, _ := nd.closestChild(p)
 		if i < 0 {
 			return nil, 0
 		}
 		nd = nd.children[i]
 	}
-	i := nd.closestEntry(p)
+	i, d2 := nd.closestEntry(p)
 	if i < 0 {
 		return nil, 0
 	}
-	e := nd.entries[i]
-	return e, math.Sqrt(sqDistToCentroid(p, e.LS[e.Own], e.N))
+	return nd.entries[i], math.Sqrt(d2)
 }
 
 func addSummary(c *cf.CF, s distance.Summary) {

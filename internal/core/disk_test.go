@@ -96,11 +96,13 @@ func TestMineScanCountMatchesPaper(t *testing.T) {
 	}
 }
 
-// Group-parallel mining over a disk-backed source: every worker opens
-// its own handle and the pass counter is atomic, so concurrent scans
-// are safe (this test races without the atomic Scans counter) and the
-// result still matches the serial disk run. Scan count becomes one per
-// attribute group plus the two descriptive rescans.
+// Parallel mining over a disk-backed source: the batched ingest pipeline
+// keeps Phase I at ONE scan regardless of worker count (the reader stage
+// projects once and broadcasts batches to the tree lanes), so the total
+// is the single Phase I pass plus the two descriptive rescans — the same
+// IO as serial mining, unlike the old group-parallel mode that re-read
+// the relation once per attribute group. The result still matches the
+// serial disk run bit-for-bit.
 func TestMineDiskParallelWorkers(t *testing.T) {
 	rng := rand.New(rand.NewSource(63))
 	rel := plantedXY(rng, 150, 15)
@@ -129,8 +131,7 @@ func TestMineDiskParallelWorkers(t *testing.T) {
 	if !reflect.DeepEqual(serial.Rules, par.Rules) {
 		t.Fatalf("parallel disk rules diverged from serial:\n%+v\n%+v", serial.Rules, par.Rules)
 	}
-	groups := part.NumGroups()
-	if want := groups + 2; d.Scans() != want {
-		t.Errorf("parallel pipeline performed %d scans, want %d (one per group + 2 rescans)", d.Scans(), want)
+	if want := 3; d.Scans() != want {
+		t.Errorf("parallel pipeline performed %d scans, want %d (one ingest pass + 2 rescans)", d.Scans(), want)
 	}
 }

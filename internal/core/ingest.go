@@ -38,7 +38,8 @@ type ingester struct {
 	nominal []bool
 	trees   []*cftree.Tree
 	seen    int
-	proj    [][]float64 // reusable projection buffers for Add
+	offs    []int     // offset of each group inside a flat projection row
+	row     []float64 // reusable flat projection row (all groups, group order)
 }
 
 // newIngester builds the per-group trees. nominal groups are clustered
@@ -65,13 +66,16 @@ func newIngester(part *relation.Partitioning, opt Options, track bool, expectTup
 		shape:   make(cf.Shape, groups),
 		nominal: nominalGroupsOf(part),
 		trees:   make([]*cftree.Tree, groups),
-		proj:    make([][]float64, groups),
+		offs:    make([]int, groups),
 	}
+	stride := 0
 	for g := 0; g < groups; g++ {
 		ing.shape[g] = part.Group(g).Dims()
+		ing.offs[g] = stride
+		stride += ing.shape[g]
 	}
+	ing.row = make([]float64, stride)
 	for g := 0; g < groups; g++ {
-		ing.proj[g] = make([]float64, ing.shape[g])
 		threshold := opt.diameterFor(g)
 		limit := perTreeLimit(opt.MemoryLimit, groups)
 		if ing.nominal[g] {
@@ -111,37 +115,44 @@ func nominalGroupsOf(part *relation.Partitioning) []bool {
 	return out
 }
 
+// projectRow writes every group projection of tuple into the flat row
+// (group g occupies row[offs[g] : offs[g]+shape[g]]). The row layout is
+// exactly what cftree.InsertFlat consumes, so one projection pass feeds
+// all trees.
+func (ing *ingester) projectRow(tuple, row []float64) {
+	for g, off := range ing.offs {
+		ing.part.Project(g, tuple, row[off:off+ing.shape[g]])
+	}
+}
+
 // add ingests one full-width tuple.
 func (ing *ingester) add(tuple []float64) error {
 	if len(tuple) != ing.part.Schema().Width() {
 		return fmt.Errorf("core: tuple width %d, schema width %d", len(tuple), ing.part.Schema().Width())
 	}
-	for g := range ing.proj {
-		ing.part.Project(g, tuple, ing.proj[g])
-	}
+	ing.projectRow(tuple, ing.row)
 	for g := range ing.trees {
-		ing.trees[g].Insert(ing.proj)
+		ing.trees[g].InsertFlat(ing.row)
 	}
 	ing.seen++
 	return nil
 }
 
-// addSource scans an entire relation into the trees. With Workers <= 1
-// this is the paper's single sequential scan: project once per tuple,
-// feed all trees. With more workers the attribute groups are processed
-// concurrently, each with its own in-memory pass over the relation —
-// trees never share state, so the result is bit-identical to the serial
-// scan; what is traded away is the single-scan IO property, which only
-// matters when the relation does not fit in memory.
+// addSource scans an entire relation into the trees — one scan in every
+// mode, preserving the paper's single-scan IO property. With Workers <= 1
+// the caller projects each tuple once into a flat row and feeds all trees
+// inline. With more workers the scan becomes a batched pipeline
+// (ingestPipeline): the reader stage projects tuples into recycled
+// batches once, and per-lane tree workers consume the batches over
+// channels, each lane owning a deterministic stripe of the group trees —
+// every tree still sees every tuple in scan order, so the result is
+// bit-identical to the serial scan at any worker count.
 func (ing *ingester) addSource(rel relation.Source) error {
-	groups := ing.part.NumGroups()
 	if ing.opt.Workers <= 1 {
 		err := rel.Scan(func(_ int, tuple []float64) error {
-			for g := range ing.proj {
-				ing.part.Project(g, tuple, ing.proj[g])
-			}
+			ing.projectRow(tuple, ing.row)
 			for g := range ing.trees {
-				ing.trees[g].Insert(ing.proj)
+				ing.trees[g].InsertFlat(ing.row)
 			}
 			return nil
 		})
@@ -152,27 +163,8 @@ func (ing *ingester) addSource(rel relation.Source) error {
 		return nil
 	}
 
-	// Fan the groups out over the sanctioned worker pool; every group
-	// writes only its own tree and error slot.
-	errs := make([]error, groups)
-	parallelFor(ing.opt.effectiveWorkers(groups), groups, func(g int) {
-		proj := make([][]float64, groups)
-		for i := range proj {
-			proj[i] = make([]float64, ing.shape[i])
-		}
-		tr := ing.trees[g]
-		errs[g] = rel.Scan(func(_ int, tuple []float64) error {
-			for i := range proj {
-				ing.part.Project(i, tuple, proj[i])
-			}
-			tr.Insert(proj)
-			return nil
-		})
-	})
-	for g, err := range errs {
-		if err != nil {
-			return fmt.Errorf("core: phase I scan (group %d): %w", g, err)
-		}
+	if err := ingestPipeline(rel, ing.opt.Workers, len(ing.row), ing.trees, ing.projectRow); err != nil {
+		return fmt.Errorf("core: phase I scan: %w", err)
 	}
 	ing.seen += rel.Len()
 	return nil

@@ -86,15 +86,18 @@ type Options struct {
 	PageOutliers bool
 
 	// Workers sets mining parallelism for both phases. 0 or 1 keeps the
-	// paper's fully serial execution. Higher values process Phase I
-	// attribute groups concurrently (each group with its own in-memory
-	// pass over the relation) and fan Phase II out over the same pool:
-	// clustering-graph rows, maximal-clique roots, and per-clique
-	// assoc()/rule formation all run as independent tasks whose results
-	// are merged in task order. The mined output — clusters, rules,
-	// degrees, supports, ordering — is bit-identical to the serial path
-	// at every worker count; the only serial property given up is
-	// Phase I's single-scan IO behaviour (each group re-scans).
+	// paper's fully serial execution. Higher values turn Phase I into a
+	// batched pipeline — the reader stage scans the relation ONCE,
+	// projects every tuple into a flat row, and broadcasts tuple batches
+	// over channels to tree-lane workers, each owning a deterministic
+	// stripe of the attribute-group trees — and fan Phase II out over
+	// the sanctioned pool: clustering-graph rows, maximal-clique roots,
+	// and per-clique assoc()/rule formation all run as independent tasks
+	// whose results are merged in task order. The mined output —
+	// clusters, rules, degrees, supports, ordering — is bit-identical to
+	// the serial path at every worker count, and Phase I keeps the
+	// paper's single-scan IO behaviour in every mode (the old
+	// group-parallel mode re-read the relation once per group).
 	Workers int
 
 	// PostScan enables the optional post-processing pass of Section 6.2:

@@ -1,6 +1,12 @@
 package core
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cftree"
+	"repro/internal/relation"
+)
 
 // effectiveWorkers clamps the configured worker count to the number of
 // independent tasks: there is never a point in more goroutines than
@@ -48,4 +54,99 @@ func parallelFor(workers, n int, fn func(i int)) {
 	}
 	close(idx)
 	wg.Wait()
+}
+
+// batchTuples is the number of projected tuples per pipeline batch: large
+// enough to amortize channel handoffs, small enough that a handful of
+// in-flight batches stay cache- and memory-cheap.
+const batchTuples = 256
+
+// pipelineBatches is the number of batches circulating through the
+// pipeline. Two would be classic double buffering (reader fills one while
+// lanes drain the other); a couple more absorb lane-to-lane skew between
+// cheap (nominal, threshold-0) and expensive (numeric, rebuilding) trees.
+const pipelineBatches = 4
+
+// tupleBatch is one unit of pipeline work: up to batchTuples flat
+// projection rows, written by the reader stage and read by every lane.
+// pending counts the lanes still consuming the batch; the last one to
+// finish recycles it to the free pool (the atomic decrement plus the
+// channel send order the lanes' reads before the reader's next writes).
+type tupleBatch struct {
+	rows    []float64 // n rows of stride floats each
+	n       int
+	pending atomic.Int32
+}
+
+// ingestPipeline is the parallel Phase I scan: ONE pass over rel, batched
+// and fanned out. The caller acts as the reader stage — it scans the
+// relation, projects every tuple once into a flat row of a recycled
+// batch, and broadcasts full batches to lane workers over per-lane
+// channels. Lane l owns the deterministic tree stripe {g : g ≡ l (mod
+// lanes)}; it applies every batch's rows to its trees in scan order, so
+// each tree performs exactly the serial insert sequence and the result is
+// bit-identical to the serial scan at any worker count. Unlike the old
+// group-parallel mode there is no per-group re-scan, and the useful
+// worker count is no longer capped at the group count: the reader
+// overlaps IO and projection with all lanes' tree inserts.
+//
+// This function hosts the pipeline's goroutines; darlint's rawgoroutine
+// rule confines goroutine creation to this file.
+func ingestPipeline(rel relation.Source, workers, stride int, trees []*cftree.Tree, project func(tuple, row []float64)) error {
+	lanes := clampWorkers(workers-1, len(trees))
+	chans := make([]chan *tupleBatch, lanes)
+	for l := range chans {
+		chans[l] = make(chan *tupleBatch, 1)
+	}
+	free := make(chan *tupleBatch, pipelineBatches)
+	for i := 0; i < pipelineBatches; i++ {
+		free <- &tupleBatch{rows: make([]float64, batchTuples*stride)}
+	}
+
+	var wg sync.WaitGroup
+	for l := 0; l < lanes; l++ {
+		wg.Add(1)
+		go func(l int) {
+			defer wg.Done()
+			for b := range chans[l] {
+				for i := 0; i < b.n; i++ {
+					row := b.rows[i*stride : (i+1)*stride]
+					for g := l; g < len(trees); g += lanes {
+						trees[g].InsertFlat(row)
+					}
+				}
+				if b.pending.Add(-1) == 0 {
+					free <- b
+				}
+			}
+		}(l)
+	}
+
+	flush := func(b *tupleBatch) {
+		b.pending.Store(int32(lanes))
+		for _, ch := range chans {
+			ch <- b
+		}
+	}
+	cur := <-free
+	cur.n = 0
+	err := rel.Scan(func(_ int, tuple []float64) error {
+		row := cur.rows[cur.n*stride : (cur.n+1)*stride]
+		project(tuple, row)
+		cur.n++
+		if cur.n == batchTuples {
+			flush(cur)
+			cur = <-free
+			cur.n = 0
+		}
+		return nil
+	})
+	if err == nil && cur.n > 0 {
+		flush(cur)
+	}
+	for _, ch := range chans {
+		close(ch)
+	}
+	wg.Wait()
+	return err
 }

@@ -80,16 +80,25 @@ func (s Summary) Merge(o Summary) Summary {
 // is added to the closest cluster, if the diameter of the augmented cluster
 // does not exceed a threshold").
 func MergedDiameter(a, b Summary) float64 {
-	n := float64(a.N + b.N)
+	return MergedDiameterRaw(a.N, a.LS, a.SS, b.N, b.LS, b.SS)
+}
+
+// MergedDiameterRaw is MergedDiameter on the unpacked summary components.
+// The insert hot path of the ACF-tree calls it with fields read straight
+// out of an ACF, skipping the construction and by-value copies of two
+// Summary structs; keeping the single computation here keeps the two
+// entry points bit-identical by construction.
+func MergedDiameterRaw(n1 int64, ls1 []float64, ss1 float64, n2 int64, ls2 []float64, ss2 float64) float64 {
+	n := float64(n1 + n2)
 	if n < 2 {
 		return 0
 	}
-	var ls2 float64
-	for i := range a.LS {
-		v := a.LS[i] + b.LS[i]
-		ls2 += v * v
+	var lsq float64
+	for i := range ls1 {
+		v := ls1[i] + ls2[i]
+		lsq += v * v
 	}
-	d2 := (2*n*(a.SS+b.SS) - 2*ls2) / (n * (n - 1))
+	d2 := (2*n*(ss1+ss2) - 2*lsq) / (n * (n - 1))
 	if d2 < 0 {
 		return 0
 	}

@@ -11,6 +11,7 @@ func TestMapOrder(t *testing.T) {
 	linttest.Run(t, "testdata", lint.MapOrderAnalyzer,
 		"maporder",               // general idioms
 		"internal/summary/codec", // serializer-shaped cases (histogram emission)
+		"internal/intern",        // key-interning tables (index-only is clean)
 	)
 }
 
@@ -28,6 +29,7 @@ func TestRawGoroutine(t *testing.T) {
 		"internal/pipeline", // true positives + escape hatch
 		"internal/graph",    // negative: sanctioned package
 		"internal/core",     // negative: sanctioned parallel.go file
+		"internal/ingest",   // batched-pipeline shapes outside the pool file
 	)
 }
 

@@ -1,0 +1,52 @@
+// Fixture for the rawgoroutine analyzer: a batched ingest pipeline
+// written outside internal/core/parallel.go. The shape mirrors the real
+// reader/lane pipeline — one goroutine per lane consuming tuple batches
+// off a channel — which is exactly the code that must live in the
+// sanctioned worker-pool file to be auditable.
+package ingest
+
+import "sync"
+
+type batch struct {
+	rows []float64
+	n    int
+}
+
+// pipeline spawns lane workers ad hoc: every `go` is flagged.
+func pipeline(lanes int, feed func(chan<- *batch)) {
+	chans := make([]chan *batch, lanes)
+	var wg sync.WaitGroup
+	for l := range chans {
+		chans[l] = make(chan *batch, 1)
+		wg.Add(1)
+		go func(ch <-chan *batch) { // want `raw goroutine outside the sanctioned worker pools`
+			defer wg.Done()
+			for b := range ch {
+				_ = b.rows[:b.n]
+			}
+		}(chans[l])
+	}
+	for _, ch := range chans {
+		feed(ch)
+		close(ch)
+	}
+	wg.Wait()
+}
+
+// recycler spawns a named drain goroutine: flagged all the same.
+func recycler(free chan *batch) {
+	go drain(free) // want `raw goroutine outside the sanctioned worker pools`
+}
+
+func drain(free chan *batch) {
+	for range free {
+	}
+}
+
+// serialIngest projects and inserts on the caller's goroutine: nothing
+// to flag.
+func serialIngest(rows [][]float64, insert func([]float64)) {
+	for _, r := range rows {
+		insert(r)
+	}
+}

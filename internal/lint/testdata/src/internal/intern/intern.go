@@ -1,0 +1,51 @@
+// Fixture for the maporder analyzer: key-interning tables of the kind
+// the ingest hot path uses. The table itself is order-safe as long as
+// it is only indexed; draining it into output without sorting leaks
+// Go's randomized map order.
+package intern
+
+import "sort"
+
+// table maps an encoded key to its canonical interned copy.
+type table struct {
+	keys map[string]string
+}
+
+// key is the hot-path lookup: a map index, never a range, so there is
+// no iteration order to leak and nothing to flag.
+func (t *table) key(buf []byte) string {
+	if s, ok := t.keys[string(buf)]; ok {
+		return s
+	}
+	s := string(buf)
+	t.keys[s] = s
+	return s
+}
+
+// dumpNoSort drains the intern table in map order: flagged.
+func (t *table) dumpNoSort() []string {
+	var out []string
+	for k := range t.keys {
+		out = append(out, k) // want `out accumulates map-iteration results but is never deterministically sorted`
+	}
+	return out
+}
+
+// dumpSorted is the sanctioned collect-and-sort drain.
+func (t *table) dumpSorted() []string {
+	var out []string
+	for k := range t.keys {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// size aggregates commutatively; no order leaks.
+func (t *table) size() int {
+	n := 0
+	for k := range t.keys {
+		n += len(k)
+	}
+	return n
+}
