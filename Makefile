@@ -14,7 +14,7 @@
 GO ?= go
 BIN := bin
 
-.PHONY: build test race fuzz fuzzsmoke bench benchjson fmtcheck vet lint darlint verify
+.PHONY: build test race fuzz fuzzsmoke bench benchjson fmtcheck vet lint darlint serversmoke verify
 
 build:
 	$(GO) build ./...
@@ -60,13 +60,20 @@ fuzzsmoke:
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem .
 
-# Perf-regression harness: the Figure 6 series, parallel Phase I and
-# the ingest-substrate microbenchmarks, emitted as one JSON document.
+# Perf-regression harness: the Figure 6 series, parallel Phase I, the
+# ingest-substrate microbenchmarks and the dard server query path,
+# emitted as one JSON document.
 # One iteration per benchmark keeps it cheap enough for a CI smoke job;
 # BENCHTIME=3x steadies the numbers for before/after comparisons.
 BENCHTIME ?= 1x
 benchjson:
-	$(GO) run ./cmd/benchjson -benchtime $(BENCHTIME) -o BENCH_PR4.json
+	$(GO) run ./cmd/benchjson -benchtime $(BENCHTIME) -o BENCH_PR5.json
+
+# End-to-end smoke of the dard daemon: build both binaries, start the
+# server on a loopback port, ingest the golden dataset over HTTP, query
+# it remotely and diff against the local CLI pipeline.
+serversmoke: build
+	./scripts/server_smoke.sh
 
 # race already runs the Ingest→Summary→Query differential tests (they
 # live in the ordinary test suite), so verify gates Query(Ingest(r)) ≡

@@ -4,10 +4,10 @@
 // standard `go test -bench` output — including custom metrics such as
 // tuples/s and ACFs — and writes one machine-readable JSON file.
 //
-//	go run ./cmd/benchjson -o BENCH_PR4.json          # or: make benchjson
+//	go run ./cmd/benchjson -o BENCH_PR5.json          # or: make benchjson
 //	go run ./cmd/benchjson -benchtime 3x -o out.json  # steadier numbers
 //
-// The committed BENCH_PR4.json and the CI perf-smoke artifact both come
+// The committed BENCH_PR5.json and the CI perf-smoke artifact both come
 // from this command, so regressions show up as a diff in one file
 // rather than in scattered log lines.
 package main
@@ -31,11 +31,14 @@ type suite struct {
 }
 
 // suites lists the benchmarks the harness tracks. BenchmarkPhaseI is
-// the Figure 6 series (tuples/s must not regress); the rest are the
-// substrate the Phase I overhaul optimized.
+// the Figure 6 series (tuples/s must not regress); the cf suite is the
+// substrate the Phase I overhaul optimized; the server suite tracks the
+// dard query path, cached (steady-state dashboard) and uncached (cold
+// Phase II plus rendering) alike.
 var suites = []suite{
 	{Package: ".", Bench: "^(BenchmarkPhaseI|BenchmarkParallelPhaseI|BenchmarkCFTreeInsert)$"},
 	{Package: "./internal/cf", Bench: "^(BenchmarkEncodeNomKey|BenchmarkDecodeNomKey|BenchmarkInternerKey|BenchmarkACFAddRow)$"},
+	{Package: "./internal/server", Bench: "^(BenchmarkServerQuery|BenchmarkSingleflight)$"},
 }
 
 // benchResult is one parsed benchmark line. Metrics holds every
@@ -62,7 +65,7 @@ type report struct {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_PR4.json", "output JSON path (\"-\" for stdout)")
+	out := flag.String("o", "BENCH_PR5.json", "output JSON path (\"-\" for stdout)")
 	benchtime := flag.String("benchtime", "1x", "go test -benchtime value (1x = perf smoke; use 3x for steadier numbers)")
 	flag.Parse()
 	if err := run(*out, *benchtime); err != nil {

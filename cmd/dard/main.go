@@ -1,0 +1,95 @@
+// Command dard runs the DAR mining daemon: a long-running HTTP server
+// over a catalog of named .acfsum summaries. See internal/server for
+// the API surface and DESIGN.md §9 for the architecture.
+//
+// Usage:
+//
+//	dard -addr :8344 -data /var/lib/dard
+//
+// The process drains gracefully on SIGINT/SIGTERM: the listener closes
+// immediately, in-flight requests get up to -drain to finish.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("dard", flag.ExitOnError)
+	addr := fs.String("addr", ":8344", "listen address")
+	data := fs.String("data", "./dard-data", "data dir holding .acfsum artifacts")
+	catalogBytes := fs.Int64("catalog-bytes", 0, "in-memory byte budget for loaded summaries (0 = 1GiB, <0 = unlimited)")
+	cacheBytes := fs.Int64("cache-bytes", 0, "result cache byte budget (0 = 64MiB, <0 = disabled)")
+	timeout := fs.Duration("timeout", 0, "per-query execution budget (0 = 30s)")
+	maxIngestBytes := fs.Int64("max-ingest-bytes", 0, "ingest/merge body limit (0 = 256MiB)")
+	maxQueryBytes := fs.Int64("max-query-bytes", 0, "query body limit (0 = 1MiB)")
+	drain := fs.Duration("drain", 15*time.Second, "graceful shutdown budget for in-flight requests")
+	fs.Parse(args)
+
+	logger := log.New(os.Stderr, "dard: ", log.LstdFlags)
+	srv, notes, err := server.New(server.Config{
+		DataDir:        *data,
+		CatalogBytes:   *catalogBytes,
+		CacheBytes:     *cacheBytes,
+		QueryTimeout:   *timeout,
+		MaxIngestBytes: *maxIngestBytes,
+		MaxQueryBytes:  *maxQueryBytes,
+	})
+	if err != nil {
+		logger.Print(err)
+		return 1
+	}
+	for _, n := range notes {
+		logger.Print(n)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Print(err)
+		return 1
+	}
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	// The smoke script greps for this line to learn the bound port.
+	logger.Printf("listening on %s (data dir %s)", ln.Addr(), *data)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		logger.Print(err)
+		return 1
+	case sig := <-stop:
+		logger.Printf("caught %v, draining for up to %v", sig, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			logger.Printf("drain incomplete: %v", err)
+			return 1
+		}
+	}
+	fmt.Fprintln(os.Stderr, "dard: bye")
+	return 0
+}

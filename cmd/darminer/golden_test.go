@@ -20,12 +20,14 @@ func goldenCfg(workers int) runConfig {
 	}
 }
 
-// stripTimings drops the phase-report lines, whose wall-clock durations
-// are the only legitimately nondeterministic part of the CLI output.
+// stripTimings drops the wall-clock lines — text-mode phase reports and
+// JSON "durationMs" fields — the only legitimately nondeterministic
+// part of the CLI output.
 func stripTimings(out string) string {
 	var kept []string
 	for _, line := range strings.Split(out, "\n") {
-		if strings.HasPrefix(line, "phase I:") || strings.HasPrefix(line, "phase II:") {
+		if strings.HasPrefix(line, "phase I:") || strings.HasPrefix(line, "phase II:") ||
+			strings.Contains(line, `"durationMs"`) {
 			continue
 		}
 		kept = append(kept, line)

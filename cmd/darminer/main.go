@@ -23,7 +23,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"strings"
 
 	dar "repro"
 	"repro/internal/classical"
@@ -234,32 +233,11 @@ func run(w io.Writer, path string, cfg runConfig) error {
 
 // parseGroups builds a partitioning from a comma-separated spec of
 // "+"-joined attribute names ("lat+lon,price"); attributes not mentioned
-// get their own singleton group. An empty spec is all-singletons.
+// get their own singleton group. An empty spec is all-singletons. The
+// grammar lives in the library (ParseGroupsSpec) so the dard server
+// speaks exactly the same syntax.
 func parseGroups(schema *dar.Schema, spec string) (*dar.Partitioning, error) {
-	if strings.TrimSpace(spec) == "" {
-		return dar.SingletonPartitioning(schema), nil
-	}
-	used := make(map[int]bool)
-	var groups []dar.Group
-	for _, part := range strings.Split(spec, ",") {
-		var attrs []int
-		for _, name := range strings.Split(part, "+") {
-			name = strings.TrimSpace(name)
-			i := schema.Index(name)
-			if i < 0 {
-				return nil, fmt.Errorf("unknown attribute %q in -groups", name)
-			}
-			attrs = append(attrs, i)
-			used[i] = true
-		}
-		groups = append(groups, dar.Group{Attrs: attrs})
-	}
-	for i := 0; i < schema.Width(); i++ {
-		if !used[i] {
-			groups = append(groups, dar.Group{Attrs: []int{i}})
-		}
-	}
-	return dar.NewPartitioning(schema, groups)
+	return dar.ParseGroupsSpec(schema, spec)
 }
 
 // maxEntriesFromBudget converts a byte budget to a per-attribute entry

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/server"
+)
+
+// startDard mounts a fresh dard server over a temp data dir and ingests
+// the golden interval dataset into it under the given name, using the
+// same parameters as goldenIngestCfg.
+func startDard(t *testing.T, name string) *httptest.Server {
+	t.Helper()
+	srv, _, err := server.New(server.Config{DataDir: t.TempDir()})
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	csv, err := os.ReadFile(filepath.Join("testdata", "interval_input.csv"))
+	if err != nil {
+		t.Fatalf("reading dataset: %v", err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/ingest?name="+name+"&d0=5", "text/csv", bytes.NewReader(csv))
+	if err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status %d", resp.StatusCode)
+	}
+	return ts
+}
+
+// TestRemoteQueryMatchesLocal is the remote differential: `query -addr`
+// against a dard server must emit byte-identical JSON (wall-clock lines
+// aside) to a local `ingest | query -json` over the same dataset and
+// parameters, at serial and parallel worker counts.
+func TestRemoteQueryMatchesLocal(t *testing.T) {
+	ts := startDard(t, "interval")
+	for _, workers := range []int{1, 4} {
+		cfg := goldenQueryCfg(workers)
+		cfg.asJSON = true
+
+		sum := filepath.Join(t.TempDir(), "local.acfsum")
+		if err := runIngest(io.Discard, filepath.Join("testdata", "interval_input.csv"), goldenIngestCfg(sum)); err != nil {
+			t.Fatalf("runIngest: %v", err)
+		}
+		var local bytes.Buffer
+		if err := runQuery(&local, sum, cfg); err != nil {
+			t.Fatalf("runQuery(local): %v", err)
+		}
+
+		var remote bytes.Buffer
+		if err := runRemoteQuery(&remote, ts.URL, "interval", cfg); err != nil {
+			t.Fatalf("runRemoteQuery: %v", err)
+		}
+
+		if got, want := stripTimings(remote.String()), stripTimings(local.String()); got != want {
+			t.Errorf("workers=%d: remote JSON diverges from local\n--- remote ---\n%s\n--- local ---\n%s",
+				workers, got, want)
+		}
+	}
+}
+
+// TestRemoteQueryText checks the human rendering and error paths of the
+// remote client.
+func TestRemoteQueryText(t *testing.T) {
+	ts := startDard(t, "interval")
+	cfg := goldenQueryCfg(1)
+
+	var out bytes.Buffer
+	if err := runRemoteQuery(&out, ts.URL, "interval", cfg); err != nil {
+		t.Fatalf("runRemoteQuery: %v", err)
+	}
+	if !strings.Contains(out.String(), "rules") || !strings.Contains(out.String(), "⇒") {
+		t.Errorf("text output carries no rules:\n%s", out.String())
+	}
+
+	if err := runRemoteQuery(&out, ts.URL, "nosuch", cfg); err == nil {
+		t.Error("querying an unknown summary should fail")
+	} else if !strings.Contains(err.Error(), "unknown summary") {
+		t.Errorf("error %q does not name the missing summary", err)
+	}
+
+	if err := runRemoteQuery(&out, "not a url", "interval", cfg); err == nil {
+		t.Error("a bogus -addr should fail fast")
+	}
+}

@@ -39,6 +39,9 @@ type queryConfig struct {
 	top     int
 	workers int
 	asJSON  bool
+	// addr, when set, queries a running dard server instead of a local
+	// file; the positional argument is then a catalog summary name.
+	addr string
 }
 
 // ingestMain parses `darminer ingest` flags and runs the subcommand.
@@ -84,13 +87,21 @@ func queryMain(args []string) int {
 	fs.IntVar(&cfg.top, "top", 50, "print at most this many rules (0 = all)")
 	fs.IntVar(&cfg.workers, "workers", 1, "worker goroutines for the query (output is identical at any count)")
 	fs.BoolVar(&cfg.asJSON, "json", false, "emit the full result as JSON")
+	fs.StringVar(&cfg.addr, "addr", "", "base URL of a running dard server (e.g. http://localhost:8344); the argument is then a catalog summary name, not a file")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: darminer query [flags] data.acfsum")
+		fmt.Fprintln(os.Stderr, "       darminer query [flags] -addr http://host:8344 summary-name")
 		fs.PrintDefaults()
 		return 2
 	}
-	if err := runQuery(os.Stdout, fs.Arg(0), cfg); err != nil {
+	var err error
+	if cfg.addr != "" {
+		err = runRemoteQuery(os.Stdout, cfg.addr, fs.Arg(0), cfg)
+	} else {
+		err = runQuery(os.Stdout, fs.Arg(0), cfg)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "darminer query:", err)
 		return 1
 	}

@@ -104,6 +104,47 @@ func TestGoldenQuerySummary(t *testing.T) {
 	}
 }
 
+// TestGoldenQueryJSON checks `darminer query -json` against a committed
+// golden transcript — the machine-readable twin of the rule-text golden
+// above, and the document the dard server serves byte-for-byte. The
+// wall-clock lines ("durationMs") are stripped on both sides; worker
+// counts 1 and 4 must render identically. Regenerate with -update.
+func TestGoldenQueryJSON(t *testing.T) {
+	goldenSum := filepath.Join("testdata", "golden_summary.acfsum")
+	goldenPath := filepath.Join("testdata", "golden_query_rules.json")
+
+	if *updateGolden {
+		cfg := goldenQueryCfg(1)
+		cfg.asJSON = true
+		var buf bytes.Buffer
+		if err := runQuery(&buf, goldenSum, cfg); err != nil {
+			t.Fatalf("runQuery(serial): %v", err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(stripTimings(buf.String())), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	golden, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if !strings.Contains(string(golden), `"rules"`) {
+		t.Fatalf("golden JSON holds no rules key; the comparison is vacuous:\n%s", golden)
+	}
+	for _, workers := range []int{1, 4} {
+		cfg := goldenQueryCfg(workers)
+		cfg.asJSON = true
+		var buf bytes.Buffer
+		if err := runQuery(&buf, goldenSum, cfg); err != nil {
+			t.Fatalf("runQuery(workers=%d): %v", workers, err)
+		}
+		if got := stripTimings(buf.String()); got != string(golden) {
+			t.Errorf("workers=%d JSON diverged from golden:\n--- got ---\n%s\n--- want ---\n%s",
+				workers, got, golden)
+		}
+	}
+}
+
 // TestIngestQueryMatchesMine pins the CLI-level differential: the rule
 // lines of `ingest | query` must equal those of a one-shot
 // `darminer -nopostscan` run over the same data and parameters.

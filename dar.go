@@ -144,6 +144,15 @@ func NewPartitioning(s *Schema, groups []Group) (*Partitioning, error) {
 	return relation.NewPartitioning(s, groups)
 }
 
+// ParseGroupsSpec builds a partitioning from a comma-separated spec of
+// "+"-joined attribute names ("lat+lon,price"); attributes not
+// mentioned get their own singleton group. An empty spec is
+// all-singletons. This is the syntax of `darminer -groups` and the dard
+// ingest endpoint.
+func ParseGroupsSpec(s *Schema, spec string) (*Partitioning, error) {
+	return relation.ParseGroupsSpec(s, spec)
+}
+
 // DefaultOptions returns the paper's evaluation defaults. Callers should
 // set DiameterThreshold (d0) to a sensible compactness scale for their
 // data; everything else has reasonable defaults.

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"strconv"
+	"strings"
+)
+
+// CanonicalKey renders the query options as a deterministic,
+// human-readable string covering exactly the fields that determine the
+// mined output. Two QueryOptions values produce the same key if and
+// only if QuerySummary is guaranteed to produce the same result over
+// any given summary, which is what makes the key safe to use for
+// result caching and in-flight query deduplication (the dard server
+// keys its LRU result cache and singleflight groups on it).
+//
+// Workers is deliberately excluded: parallelism is bit-identical to
+// the serial path at every worker count (the PR 1/PR 3 differential
+// suites pin this), so queries that differ only in Workers share one
+// cache entry. Floats are encoded with strconv.FormatFloat 'g'/-1,
+// the shortest form that round-trips exactly — distinct values never
+// collide.
+func (q QueryOptions) CanonicalKey() string {
+	var b strings.Builder
+	b.Grow(128)
+	b.WriteString("metric=")
+	b.WriteString(q.Metric.String())
+	b.WriteString(" freq=")
+	b.WriteString(strconv.FormatFloat(q.FrequencyFraction, 'g', -1, 64))
+	b.WriteString(" minsize=")
+	b.WriteString(strconv.Itoa(q.MinClusterSize))
+	b.WriteString(" degree=")
+	b.WriteString(strconv.FormatFloat(q.DegreeFactor, 'g', -1, 64))
+	b.WriteString(" graph=")
+	b.WriteString(strconv.FormatFloat(q.GraphFactor, 'g', -1, 64))
+	b.WriteString(" maxant=")
+	b.WriteString(strconv.Itoa(q.MaxAntecedent))
+	b.WriteString(" maxcon=")
+	b.WriteString(strconv.Itoa(q.MaxConsequent))
+	b.WriteString(" refine=")
+	b.WriteString(strconv.FormatBool(q.GlobalRefine))
+	b.WriteString(" prune=")
+	b.WriteString(strconv.FormatBool(q.PruneImages))
+	return b.String()
+}
+
+// Validate checks the per-query invariants without running a query —
+// the serving layer rejects bad options at the HTTP boundary before
+// touching a summary.
+func (q QueryOptions) Validate() error { return q.validate() }

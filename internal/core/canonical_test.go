@@ -1,0 +1,71 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCanonicalKeyGolden pins the canonical encoding: the dard result
+// cache keys on it, so a silent change of the format would make every
+// cached entry unreachable (correct but wasteful) — force the change to
+// be deliberate.
+func TestCanonicalKeyGolden(t *testing.T) {
+	got := DefaultQueryOptions().CanonicalKey()
+	want := "metric=D2 freq=0.03 minsize=0 degree=1 graph=2 maxant=3 maxcon=2 refine=true prune=true"
+	if got != want {
+		t.Errorf("CanonicalKey() = %q, want %q", got, want)
+	}
+}
+
+// TestCanonicalKeyDistinguishesResultFields flips every field that can
+// change the mined output and checks the key moves with it.
+func TestCanonicalKeyDistinguishesResultFields(t *testing.T) {
+	base := DefaultQueryOptions()
+	mutations := map[string]func(*QueryOptions){
+		"Metric":            func(q *QueryOptions) { q.Metric = 0 /* D0 */ },
+		"FrequencyFraction": func(q *QueryOptions) { q.FrequencyFraction = 0.25 },
+		"MinClusterSize":    func(q *QueryOptions) { q.MinClusterSize = 7 },
+		"DegreeFactor":      func(q *QueryOptions) { q.DegreeFactor = 0.5 },
+		"GraphFactor":       func(q *QueryOptions) { q.GraphFactor = 3 },
+		"MaxAntecedent":     func(q *QueryOptions) { q.MaxAntecedent = 1 },
+		"MaxConsequent":     func(q *QueryOptions) { q.MaxConsequent = 1 },
+		"GlobalRefine":      func(q *QueryOptions) { q.GlobalRefine = !q.GlobalRefine },
+		"PruneImages":       func(q *QueryOptions) { q.PruneImages = !q.PruneImages },
+	}
+	seen := map[string]string{base.CanonicalKey(): "base"}
+	for field, mutate := range mutations {
+		q := base
+		mutate(&q)
+		key := q.CanonicalKey()
+		if prev, dup := seen[key]; dup {
+			t.Errorf("mutating %s collides with %s: %q", field, prev, key)
+		}
+		seen[key] = field
+	}
+}
+
+// TestCanonicalKeyIgnoresWorkers: parallelism does not change the
+// result, so it must not fragment the cache.
+func TestCanonicalKeyIgnoresWorkers(t *testing.T) {
+	a, b := DefaultQueryOptions(), DefaultQueryOptions()
+	a.Workers, b.Workers = 1, 8
+	if a.CanonicalKey() != b.CanonicalKey() {
+		t.Errorf("keys differ across worker counts: %q vs %q", a.CanonicalKey(), b.CanonicalKey())
+	}
+	if strings.Contains(a.CanonicalKey(), "workers") {
+		t.Errorf("key mentions workers: %q", a.CanonicalKey())
+	}
+}
+
+// TestValidateExported mirrors the internal validate used by
+// QuerySummary; the HTTP layer calls the exported form.
+func TestValidateExported(t *testing.T) {
+	if err := DefaultQueryOptions().Validate(); err != nil {
+		t.Errorf("default options invalid: %v", err)
+	}
+	bad := DefaultQueryOptions()
+	bad.DegreeFactor = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative DegreeFactor accepted")
+	}
+}

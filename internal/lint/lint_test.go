@@ -30,6 +30,7 @@ func TestRawGoroutine(t *testing.T) {
 		"internal/graph",    // negative: sanctioned package
 		"internal/core",     // negative: sanctioned parallel.go file
 		"internal/ingest",   // batched-pipeline shapes outside the pool file
+		"internal/server",   // negative: sanctioned serving layer (flight/deadline/listener shapes)
 	)
 }
 

@@ -19,6 +19,11 @@ import (
 // spawned anywhere else has no such merge discipline and is exactly how
 // ordering and data races sneak in.
 //
+// internal/server is also sanctioned: a serving layer legitimately
+// spawns goroutines that never touch mining results — singleflight
+// executions raced against request deadlines — and its determinism is
+// covered instead by the served-vs-CLI differential tests.
+//
 // Sanctioned locations are configured with -sanction, a comma-separated
 // list of package-path suffixes ("internal/graph") or file suffixes
 // ("internal/core/parallel.go"). One-off intentional goroutines can be
@@ -40,7 +45,7 @@ func init() {
 		`(^|/)internal/`,
 		"regexp of package import paths the analyzer applies to")
 	RawGoroutineAnalyzer.Flags.StringVar(&rawGoroutineSanction, "sanction",
-		"internal/core/parallel.go,internal/graph",
+		"internal/core/parallel.go,internal/graph,internal/server",
 		"comma-separated package or file suffixes where goroutines are sanctioned")
 }
 

@@ -1,0 +1,47 @@
+// Negative fixture for rawgoroutine: internal/server is a sanctioned
+// package. A serving layer spawns goroutines with no result-merge
+// discipline — a singleflight execution raced against a request
+// deadline, a listener loop — and none of them touch mined output, so
+// the analyzer leaves them alone here.
+package server
+
+import "sync"
+
+// Do is the singleflight shape: the first caller executes fn on its own
+// goroutine, later callers block on the shared done channel.
+func Do(done chan struct{}, fn func() []byte) <-chan []byte {
+	ch := make(chan []byte, 1)
+	go func() {
+		defer close(done)
+		ch <- fn()
+	}()
+	return ch
+}
+
+// Race is the deadline shape: run the flight off the request goroutine
+// so the handler can select between the result and a timeout.
+func Race(fn func() []byte, deadline <-chan struct{}) []byte {
+	ch := make(chan []byte, 1)
+	go func() { ch <- fn() }()
+	select {
+	case b := <-ch:
+		return b
+	case <-deadline:
+		return nil
+	}
+}
+
+// Serve is the listener-loop shape.
+func Serve(accept func() func(), wg *sync.WaitGroup) {
+	for {
+		conn := accept()
+		if conn == nil {
+			return
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			conn()
+		}()
+	}
+}

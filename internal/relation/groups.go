@@ -1,0 +1,38 @@
+package relation
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseGroupsSpec builds a partitioning from a comma-separated spec of
+// `+`-joined attribute names, e.g. "lat+lon,age". Attributes absent
+// from the spec become singleton groups; a blank spec is the singleton
+// partitioning. Both `darminer -groups` and the dard ingest endpoint
+// speak this syntax.
+func ParseGroupsSpec(schema *Schema, spec string) (*Partitioning, error) {
+	if strings.TrimSpace(spec) == "" {
+		return SingletonPartitioning(schema), nil
+	}
+	used := make(map[int]bool)
+	var groups []Group
+	for _, part := range strings.Split(spec, ",") {
+		var attrs []int
+		for _, name := range strings.Split(part, "+") {
+			name = strings.TrimSpace(name)
+			i := schema.Index(name)
+			if i < 0 {
+				return nil, fmt.Errorf("unknown attribute %q in groups spec", name)
+			}
+			attrs = append(attrs, i)
+			used[i] = true
+		}
+		groups = append(groups, Group{Attrs: attrs})
+	}
+	for i := 0; i < schema.Width(); i++ {
+		if !used[i] {
+			groups = append(groups, Group{Attrs: []int{i}})
+		}
+	}
+	return NewPartitioning(schema, groups)
+}

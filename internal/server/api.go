@@ -1,0 +1,109 @@
+// Package server implements dard, the long-running DAR mining daemon:
+// a stdlib net/http service over the Ingest → Summary → Query split.
+// It owns a catalog of named, versioned .acfsum artifacts persisted
+// under a data dir (loaded lazily, evicted under an LRU byte budget)
+// and serves
+//
+//	POST /v1/ingest?name=N[&d0=…&memory=…&workers=…&groups=…]   CSV body → stored summary
+//	POST /v1/summaries/{name}/merge                             .acfsum shard body → merged artifact
+//	POST /v1/summaries/{name}/query                             JSON options → rules
+//	GET  /v1/summaries[/{name}]                                 catalog inspection
+//	GET  /metrics                                               expvar-style counters and gauges
+//
+// Query serving is built for repeated load: identical in-flight
+// queries collapse into one execution (singleflight), finished
+// responses live in an LRU byte-budget cache keyed by (summary
+// version, canonical options) and invalidated by merge/re-ingest, and
+// every request runs under a body-size limit and a timeout. A served
+// query is bit-identical to `darminer ingest | query` over the same
+// data — the differential tests in cmd/darminer pin this.
+package server
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/distance"
+)
+
+// queryRequest is the JSON body of POST /v1/summaries/{name}/query.
+// Every field is optional; absent fields take the library defaults
+// (core.DefaultQueryOptions), so `{}` is the default query. Workers
+// only sets execution parallelism — results are bit-identical at any
+// count, which is why it is absent from the canonical cache key.
+type queryRequest struct {
+	Metric            *string  `json:"metric,omitempty"`
+	FrequencyFraction *float64 `json:"frequencyFraction,omitempty"`
+	MinClusterSize    *int     `json:"minClusterSize,omitempty"`
+	DegreeFactor      *float64 `json:"degreeFactor,omitempty"`
+	GraphFactor       *float64 `json:"graphFactor,omitempty"`
+	MaxAntecedent     *int     `json:"maxAntecedent,omitempty"`
+	MaxConsequent     *int     `json:"maxConsequent,omitempty"`
+	GlobalRefine      *bool    `json:"globalRefine,omitempty"`
+	PruneImages       *bool    `json:"pruneImages,omitempty"`
+	Workers           int      `json:"workers,omitempty"`
+}
+
+// options resolves the request against the defaults and validates it.
+func (qr queryRequest) options() (core.QueryOptions, error) {
+	q := core.DefaultQueryOptions()
+	if qr.Metric != nil {
+		m, ok := distance.ParseClusterMetric(*qr.Metric)
+		if !ok {
+			return q, fmt.Errorf("unknown metric %q (want D0, D1 or D2)", *qr.Metric)
+		}
+		q.Metric = m
+	}
+	if qr.FrequencyFraction != nil {
+		q.FrequencyFraction = *qr.FrequencyFraction
+	}
+	if qr.MinClusterSize != nil {
+		q.MinClusterSize = *qr.MinClusterSize
+	}
+	if qr.DegreeFactor != nil {
+		q.DegreeFactor = *qr.DegreeFactor
+	}
+	if qr.GraphFactor != nil {
+		q.GraphFactor = *qr.GraphFactor
+	}
+	if qr.MaxAntecedent != nil {
+		q.MaxAntecedent = *qr.MaxAntecedent
+	}
+	if qr.MaxConsequent != nil {
+		q.MaxConsequent = *qr.MaxConsequent
+	}
+	if qr.GlobalRefine != nil {
+		q.GlobalRefine = *qr.GlobalRefine
+	}
+	if qr.PruneImages != nil {
+		q.PruneImages = *qr.PruneImages
+	}
+	q.Workers = qr.Workers
+	if err := q.Validate(); err != nil {
+		return q, err
+	}
+	return q, nil
+}
+
+// ingestResponse acknowledges POST /v1/ingest.
+type ingestResponse struct {
+	Name     string `json:"name"`
+	Version  uint64 `json:"version"`
+	Tuples   int64  `json:"tuples"`
+	Groups   int    `json:"groups"`
+	Clusters int    `json:"clusters"`
+	Bytes    int    `json:"bytes"`
+}
+
+// mergeResponse acknowledges POST /v1/summaries/{name}/merge.
+type mergeResponse struct {
+	Name    string `json:"name"`
+	Version uint64 `json:"version"`
+	Tuples  int64  `json:"tuples"`
+	Shards  int    `json:"shards"`
+}
+
+// errorResponse is the JSON body of every non-2xx answer.
+type errorResponse struct {
+	Error string `json:"error"`
+}

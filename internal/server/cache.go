@@ -1,0 +1,117 @@
+package server
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// resultCache is a byte-budgeted LRU over fully rendered query
+// responses. Keys are (summary name, summary version, canonical query
+// options): the version component makes entries for a re-ingested or
+// merged summary unreachable the instant the catalog bumps it, and
+// invalidate removes them eagerly so a hot merge cannot strand a
+// budget's worth of dead bytes behind live traffic.
+//
+// Values are the exact response bodies served to clients, so a cache
+// hit is byte-identical to the miss that populated it — the
+// served-vs-CLI differential relies on this.
+type resultCache struct {
+	budget int64 // <= 0 disables caching entirely
+
+	mu    sync.Mutex
+	m     map[string]*cacheEntry
+	bytes int64
+	clock uint64
+}
+
+type cacheEntry struct {
+	key     string
+	body    []byte
+	lastUse uint64
+}
+
+func newResultCache(budget int64) *resultCache {
+	return &resultCache{budget: budget, m: make(map[string]*cacheEntry)}
+}
+
+// cacheKey renders the composite key. The name goes last and the
+// version is length-prefixed by strconv's natural formatting with a
+// separator that cannot appear in canonical option strings or catalog
+// names, so keys can never collide across summaries.
+func cacheKey(name string, version uint64, canonical string) string {
+	return name + "\x00" + strconv.FormatUint(version, 10) + "\x00" + canonical
+}
+
+// get returns the cached body for key, updating recency.
+func (c *resultCache) get(key string) ([]byte, bool) {
+	if c.budget <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.clock++
+	e.lastUse = c.clock
+	return e.body, true
+}
+
+// put stores a body, evicting least-recently-used entries to fit the
+// budget. Bodies larger than the whole budget are not cached.
+func (c *resultCache) put(key string, body []byte) {
+	if c.budget <= 0 || int64(len(body)) > c.budget {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old, ok := c.m[key]; ok {
+		c.bytes -= int64(len(old.body))
+	}
+	c.clock++
+	c.m[key] = &cacheEntry{key: key, body: body, lastUse: c.clock}
+	c.bytes += int64(len(body))
+	for c.bytes > c.budget {
+		var victim *cacheEntry
+		for _, e := range c.m {
+			if e.key == key {
+				continue
+			}
+			if victim == nil || e.lastUse < victim.lastUse ||
+				(e.lastUse == victim.lastUse && e.key < victim.key) {
+				victim = e
+			}
+		}
+		if victim == nil {
+			return
+		}
+		delete(c.m, victim.key)
+		c.bytes -= int64(len(victim.body))
+	}
+}
+
+// invalidate eagerly removes every entry belonging to a summary name
+// (all versions). Called on ingest-over and merge.
+func (c *resultCache) invalidate(name string) {
+	if c.budget <= 0 {
+		return
+	}
+	prefix := name + "\x00"
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for key, e := range c.m {
+		if strings.HasPrefix(key, prefix) {
+			delete(c.m, key)
+			c.bytes -= int64(len(e.body))
+		}
+	}
+}
+
+// stats returns the cache gauges for /metrics.
+func (c *resultCache) stats() (entries int, bytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m), c.bytes
+}

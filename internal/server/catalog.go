@@ -1,0 +1,280 @@
+package server
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/summary"
+)
+
+// catalog is the server's collection of named summary artifacts. Each
+// entry is one `<name>.acfsum` file under the data dir; decoded
+// summaries are materialized lazily on first use and held under an LRU
+// byte budget (weights are encoded sizes — the decoded form tracks the
+// wire form closely enough for an eviction budget). Evicting an entry
+// only drops the in-memory summary; the artifact stays on disk and
+// reloads on next use.
+//
+// Every mutation (ingest, merge) bumps the entry's version. Versions
+// are process-local monotonic counters: they exist to key the result
+// cache and to let clients detect that a summary changed underneath
+// them, not to survive restarts.
+type catalog struct {
+	dir     string
+	budget  int64 // in-memory byte budget for loaded summaries; <= 0 means unlimited
+	metrics *Metrics
+
+	mu          sync.Mutex
+	entries     map[string]*catalogEntry
+	loadedBytes int64
+	clock       uint64 // LRU tick; bumped on every use
+}
+
+// catalogEntry is one named artifact.
+type catalogEntry struct {
+	name    string
+	version uint64
+	size    int64 // encoded size on disk (and the eviction weight)
+	info    summary.Info
+	sum     *summary.Summary // nil when not materialized
+	lastUse uint64
+}
+
+// summaryName restricts catalog names to a filesystem- and URL-safe
+// alphabet. The server rejects anything else at the HTTP boundary.
+var summaryName = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,127}$`)
+
+const (
+	sumExt         = ".acfsum"
+	quarantineExt  = ".quarantined"
+	quarantineNote = "quarantined (moved aside as %s): %v"
+)
+
+// openCatalog scans the data dir, registering every `*.acfsum` artifact
+// whose envelope passes summary.Stat. Artifacts that fail — truncated,
+// checksum-mismatched, wrong version — are quarantined immediately:
+// renamed to `<file>.quarantined` so a corrupt file can never crash-loop
+// the server, with the failure reported in the returned notes (the
+// daemon logs them) and counted on /metrics.
+func openCatalog(dir string, budget int64, m *Metrics) (*catalog, []string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("server: data dir: %w", err)
+	}
+	c := &catalog{dir: dir, budget: budget, metrics: m, entries: make(map[string]*catalogEntry)}
+	globbed, err := filepath.Glob(filepath.Join(dir, "*"+sumExt))
+	if err != nil {
+		return nil, nil, fmt.Errorf("server: scanning data dir: %w", err)
+	}
+	sort.Strings(globbed)
+	var notes []string
+	for _, path := range globbed {
+		name := strings.TrimSuffix(filepath.Base(path), sumExt)
+		if !summaryName.MatchString(name) {
+			notes = append(notes, fmt.Sprintf("ignoring %s: name %q outside the catalog alphabet", filepath.Base(path), name))
+			continue
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, nil, fmt.Errorf("server: reading %s: %w", path, err)
+		}
+		info, err := summary.Stat(data)
+		if err != nil {
+			q, qerr := c.quarantine(path, err)
+			if qerr != nil {
+				return nil, nil, qerr
+			}
+			notes = append(notes, fmt.Sprintf("%s: %s", filepath.Base(path), q))
+			continue
+		}
+		c.entries[name] = &catalogEntry{name: name, version: 1, size: int64(len(data)), info: info}
+	}
+	return c, notes, nil
+}
+
+// quarantine moves a damaged artifact aside and returns the note text.
+func (c *catalog) quarantine(path string, cause error) (string, error) {
+	dst := path + quarantineExt
+	if err := os.Rename(path, dst); err != nil {
+		return "", fmt.Errorf("server: quarantining %s: %w", path, err)
+	}
+	c.metrics.CatalogQuarantines.Add(1)
+	return fmt.Sprintf(quarantineNote, filepath.Base(dst), cause), nil
+}
+
+func (c *catalog) path(name string) string {
+	return filepath.Join(c.dir, name+sumExt)
+}
+
+// version returns the current version of a named entry without loading
+// it — the query path needs only (name, version) to probe the cache.
+func (c *catalog) version(name string) (uint64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[name]
+	if !ok {
+		return 0, false
+	}
+	return e.version, true
+}
+
+// get returns the materialized summary and version for name, loading
+// and strictly decoding the artifact on first use. A load that fails
+// Decode quarantines the artifact and drops the entry: the error
+// reaches the client, not a panic or a crash loop.
+func (c *catalog) get(name string) (*summary.Summary, uint64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[name]
+	if !ok {
+		return nil, 0, errUnknownSummary
+	}
+	c.clock++
+	e.lastUse = c.clock
+	if e.sum != nil {
+		return e.sum, e.version, nil
+	}
+
+	path := c.path(name)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("server: reading %s: %w", path, err)
+	}
+	sum, err := summary.Decode(data)
+	if err != nil {
+		delete(c.entries, name)
+		note, qerr := c.quarantine(path, err)
+		if qerr != nil {
+			return nil, 0, qerr
+		}
+		return nil, 0, fmt.Errorf("server: summary %q failed strict decode, %s", name, note)
+	}
+	e.sum = sum
+	e.size = int64(len(data))
+	c.loadedBytes += e.size
+	c.metrics.CatalogLoads.Add(1)
+	c.evictLocked(e)
+	return e.sum, e.version, nil
+}
+
+// put installs (or replaces) a named artifact: atomic write to the data
+// dir (tmp + rename, so a crash mid-write can never leave a torn
+// .acfsum for the next boot to trip on), then a version bump.
+func (c *catalog) put(name string, sum *summary.Summary, encoded []byte) (uint64, error) {
+	info, err := summary.Stat(encoded)
+	if err != nil {
+		return 0, fmt.Errorf("server: refusing to store undecodable summary: %w", err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	path := c.path(name)
+	tmp, err := os.CreateTemp(c.dir, name+".tmp-*")
+	if err != nil {
+		return 0, fmt.Errorf("server: staging %s: %w", path, err)
+	}
+	if _, err := tmp.Write(encoded); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return 0, fmt.Errorf("server: staging %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return 0, fmt.Errorf("server: staging %s: %w", path, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return 0, fmt.Errorf("server: installing %s: %w", path, err)
+	}
+
+	e, ok := c.entries[name]
+	if !ok {
+		e = &catalogEntry{name: name}
+		c.entries[name] = e
+	}
+	if e.sum != nil {
+		c.loadedBytes -= e.size
+	}
+	e.version++
+	e.info = info
+	e.sum = sum
+	e.size = int64(len(encoded))
+	c.loadedBytes += e.size
+	c.clock++
+	e.lastUse = c.clock
+	c.evictLocked(e)
+	return e.version, nil
+}
+
+// evictLocked drops least-recently-used materialized summaries until
+// the loaded set fits the budget. keep is never evicted: it is the
+// entry the caller is about to hand out. Victim selection is
+// deterministic — smallest lastUse tick, name as tiebreaker — so two
+// runs of the same request sequence shed the same entries.
+func (c *catalog) evictLocked(keep *catalogEntry) {
+	if c.budget <= 0 {
+		return
+	}
+	for c.loadedBytes > c.budget {
+		var victim *catalogEntry
+		for _, e := range c.entries {
+			if e == keep || e.sum == nil {
+				continue
+			}
+			if victim == nil || e.lastUse < victim.lastUse ||
+				(e.lastUse == victim.lastUse && e.name < victim.name) {
+				victim = e
+			}
+		}
+		if victim == nil {
+			return // only keep is loaded; the budget is simply too small
+		}
+		victim.sum = nil
+		c.loadedBytes -= victim.size
+		c.metrics.CatalogEvictions.Add(1)
+	}
+}
+
+// entryInfo is the listing row for one artifact.
+type entryInfo struct {
+	Name     string `json:"name"`
+	Version  uint64 `json:"version"`
+	Bytes    int64  `json:"bytes"`
+	Loaded   bool   `json:"loaded"`
+	Tuples   int64  `json:"tuples"`
+	Shards   int    `json:"shards"`
+	Groups   int    `json:"groups"`
+	Clusters int    `json:"clusters"`
+}
+
+// list returns the catalog sorted by name.
+func (c *catalog) list() []entryInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]entryInfo, 0, len(c.entries))
+	for _, e := range c.entries {
+		out = append(out, entryInfo{
+			Name: e.name, Version: e.version, Bytes: e.size, Loaded: e.sum != nil,
+			Tuples: e.info.Tuples, Shards: e.info.Shards, Groups: e.info.Groups, Clusters: e.info.Clusters,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// stats returns the catalog gauges for /metrics.
+func (c *catalog) stats() (summaries int, loaded int, loadedBytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, e := range c.entries {
+		summaries++
+		if e.sum != nil {
+			loaded++
+		}
+	}
+	return summaries, loaded, c.loadedBytes
+}

@@ -1,0 +1,208 @@
+package server
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeArtifact installs raw bytes as a catalog artifact on disk.
+func writeArtifact(t *testing.T, dir, name string, data []byte) string {
+	t.Helper()
+	path := filepath.Join(dir, name+sumExt)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatalf("writing artifact: %v", err)
+	}
+	return path
+}
+
+// reseal truncates n bytes off the end of an artifact's cluster section
+// and recomputes the CRC footer: the envelope stays valid (magic,
+// version, checksum all pass — Stat is happy) but the body is
+// structurally damaged, which only the strict Decode on first load can
+// notice.
+func reseal(t *testing.T, data []byte, drop int) []byte {
+	t.Helper()
+	if len(data) < drop+8 {
+		t.Fatalf("artifact too small to truncate %d bytes", drop)
+	}
+	payload := append([]byte(nil), data[:len(data)-4-drop]...)
+	return binary.LittleEndian.AppendUint32(payload, crc32.ChecksumIEEE(payload))
+}
+
+// TestStartupQuarantine covers damage visible to the envelope check:
+// truncated and bit-flipped artifacts are moved aside at scan time with
+// a note, never entering the catalog.
+func TestStartupQuarantine(t *testing.T) {
+	good := encodeShard(t, salaryCSV(t), "")
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"truncated", good[:len(good)/2]},
+		{"crcflip", func() []byte {
+			b := append([]byte(nil), good...)
+			b[len(b)/2] ^= 0xff
+			return b
+		}()},
+		{"shortfile", []byte("ACFS")},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			writeArtifact(t, dir, "good", good)
+			path := writeArtifact(t, dir, "bad", tc.data)
+
+			m := &Metrics{}
+			cat, notes, err := openCatalog(dir, 0, m)
+			if err != nil {
+				t.Fatalf("openCatalog must survive corrupt artifacts, got %v", err)
+			}
+			if _, ok := cat.version("bad"); ok {
+				t.Error("corrupt artifact entered the catalog")
+			}
+			if _, ok := cat.version("good"); !ok {
+				t.Error("healthy artifact missing from the catalog")
+			}
+			if len(notes) != 1 || !strings.Contains(notes[0], "quarantined") {
+				t.Errorf("notes = %q, want one quarantine note", notes)
+			}
+			if _, err := os.Stat(path); !os.IsNotExist(err) {
+				t.Error("corrupt artifact still present under its catalog name")
+			}
+			if _, err := os.Stat(path + quarantineExt); err != nil {
+				t.Errorf("quarantined file missing: %v", err)
+			}
+			if got := m.CatalogQuarantines.Load(); got != 1 {
+				t.Errorf("CatalogQuarantines = %d, want 1", got)
+			}
+		})
+	}
+}
+
+// TestLazyLoadQuarantine covers damage the envelope cannot see: a
+// resealed artifact (valid CRC, truncated cluster bytes) passes the
+// startup Stat, then fails the strict Decode on first query. The server
+// must answer that query with a clear error, quarantine the file, and
+// 404 thereafter — no panic, no crash loop.
+func TestLazyLoadQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	bad := reseal(t, encodeShard(t, salaryCSV(t), ""), 5)
+	path := writeArtifact(t, dir, "evil", bad)
+
+	srv, ts := newTestServer(t, Config{DataDir: dir})
+	if _, ok := srv.catalog.version("evil"); !ok {
+		t.Fatal("resealed artifact should pass the startup envelope check")
+	}
+
+	status, body := postQueryQuiet(ts, "evil", "{}")
+	if status != http.StatusInternalServerError {
+		t.Fatalf("query of corrupt artifact: status %d, want 500: %s", status, body)
+	}
+	if !bytes.Contains(body, []byte("failed strict decode")) {
+		t.Errorf("error %s does not explain the strict-decode failure", body)
+	}
+	if _, err := os.Stat(path + quarantineExt); err != nil {
+		t.Errorf("artifact not quarantined after failed load: %v", err)
+	}
+	if status, _ := postQueryQuiet(ts, "evil", "{}"); status != http.StatusNotFound {
+		t.Errorf("second query: status %d, want 404 (entry dropped)", status)
+	}
+	if got := srv.Metrics().CatalogQuarantines.Load(); got != 1 {
+		t.Errorf("CatalogQuarantines = %d, want 1", got)
+	}
+}
+
+// TestCatalogEviction pins the deterministic LRU: with a budget that
+// holds only one decoded summary, touching artifacts in a fixed order
+// evicts them in that same order, and evicted artifacts reload from
+// disk transparently.
+func TestCatalogEviction(t *testing.T) {
+	dir := t.TempDir()
+	art := encodeShard(t, salaryCSV(t), "")
+	writeArtifact(t, dir, "a", art)
+	writeArtifact(t, dir, "b", art)
+
+	m := &Metrics{}
+	cat, _, err := openCatalog(dir, int64(len(art))+1, m)
+	if err != nil {
+		t.Fatalf("openCatalog: %v", err)
+	}
+	if _, _, err := cat.get("a"); err != nil {
+		t.Fatalf("get a: %v", err)
+	}
+	if _, _, err := cat.get("b"); err != nil {
+		t.Fatalf("get b: %v", err)
+	}
+	_, loaded, _ := cat.stats()
+	if loaded != 1 {
+		t.Fatalf("loaded = %d, want 1 (budget fits one summary)", loaded)
+	}
+	if cat.entries["a"].sum != nil || cat.entries["b"].sum == nil {
+		t.Error("LRU evicted the wrong entry: a should be out, b in")
+	}
+	if got := m.CatalogEvictions.Load(); got != 1 {
+		t.Errorf("CatalogEvictions = %d, want 1", got)
+	}
+	// Reload works and evicts b in turn.
+	if _, _, err := cat.get("a"); err != nil {
+		t.Fatalf("reload a: %v", err)
+	}
+	if cat.entries["b"].sum != nil {
+		t.Error("b survived the budget after a's reload")
+	}
+	if got := m.CatalogLoads.Load(); got != 3 {
+		t.Errorf("CatalogLoads = %d, want 3", got)
+	}
+}
+
+// TestResultCacheLRU pins the result cache's byte accounting and
+// deterministic eviction order.
+func TestResultCacheLRU(t *testing.T) {
+	c := newResultCache(10)
+	c.put("a", []byte("1234"))
+	c.put("b", []byte("5678"))
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a missing before budget pressure")
+	}
+	// 4+4 bytes held; adding 4 more must evict the LRU entry, which is
+	// b (a was just touched).
+	c.put("c", []byte("9abc"))
+	if _, ok := c.get("b"); ok {
+		t.Error("b survived eviction though it was least recently used")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Error("a evicted though it was recently used")
+	}
+	if n, bytes := c.stats(); n != 2 || bytes != 8 {
+		t.Errorf("stats = (%d, %d), want (2, 8)", n, bytes)
+	}
+	// Oversized bodies are refused outright.
+	c.put("huge", make([]byte, 11))
+	if _, ok := c.get("huge"); ok {
+		t.Error("body larger than the whole budget was cached")
+	}
+	// invalidate removes all versions of a name.
+	c2 := newResultCache(1 << 20)
+	c2.put(cacheKey("s", 1, "q1"), []byte("x"))
+	c2.put(cacheKey("s", 2, "q1"), []byte("y"))
+	c2.put(cacheKey("other", 1, "q1"), []byte("z"))
+	c2.invalidate("s")
+	if n, _ := c2.stats(); n != 1 {
+		t.Errorf("entries after invalidate = %d, want 1", n)
+	}
+	if _, ok := c2.get(cacheKey("other", 1, "q1")); !ok {
+		t.Error("invalidate of s removed another summary's entry")
+	}
+	// A disabled cache never stores.
+	off := newResultCache(0)
+	off.put("k", []byte("v"))
+	if _, ok := off.get("k"); ok {
+		t.Error("disabled cache returned a hit")
+	}
+}

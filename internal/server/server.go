@@ -1,0 +1,518 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/relation"
+	"repro/internal/summary"
+)
+
+// Config sizes the server. The zero value of every field selects a
+// production default; negative budgets mean "unlimited" for the
+// catalog and "disabled" for the result cache.
+type Config struct {
+	// DataDir holds the catalog's .acfsum artifacts. Created if absent.
+	DataDir string
+	// CatalogBytes caps the decoded summaries held in memory (LRU;
+	// artifacts stay on disk and reload on demand). 0 = 1 GiB, < 0 =
+	// unlimited.
+	CatalogBytes int64
+	// CacheBytes caps the rendered-response result cache. 0 = 64 MiB,
+	// < 0 = disabled.
+	CacheBytes int64
+	// QueryTimeout bounds one query execution; a request that exceeds
+	// it is answered 504 while the execution runs on so its result can
+	// still land in the cache. 0 = 30s.
+	QueryTimeout time.Duration
+	// MaxIngestBytes limits ingest and merge request bodies. 0 = 256 MiB.
+	MaxIngestBytes int64
+	// MaxQueryBytes limits query request bodies. 0 = 1 MiB.
+	MaxQueryBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.CatalogBytes == 0 {
+		c.CatalogBytes = 1 << 30
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 64 << 20
+	}
+	if c.QueryTimeout == 0 {
+		c.QueryTimeout = 30 * time.Second
+	}
+	if c.MaxIngestBytes == 0 {
+		c.MaxIngestBytes = 256 << 20
+	}
+	if c.MaxQueryBytes == 0 {
+		c.MaxQueryBytes = 1 << 20
+	}
+	return c
+}
+
+// Server is the dard daemon: catalog + cache + flight dedup + metrics
+// behind a net/http handler. Construct with New, mount Handler on an
+// http.Server, and drain with that server's Shutdown.
+type Server struct {
+	cfg     Config
+	catalog *catalog
+	cache   *resultCache
+	flights flightGroup
+	metrics *Metrics
+
+	// testHookExec, when set, runs at the start of every query
+	// execution (inside the singleflight). Tests use it to hold a
+	// flight open; production leaves it unset. Atomic because tests
+	// swap it while an abandoned (timed-out) flight may still be
+	// running.
+	testHookExec atomic.Pointer[func()]
+}
+
+var errUnknownSummary = errors.New("server: unknown summary")
+
+// New opens the catalog under cfg.DataDir and returns the server plus
+// human-readable startup notes (quarantined artifacts, ignored files)
+// for the daemon to log.
+func New(cfg Config) (*Server, []string, error) {
+	cfg = cfg.withDefaults()
+	m := &Metrics{}
+	catBudget := cfg.CatalogBytes
+	if catBudget < 0 {
+		catBudget = 0 // catalog treats <= 0 as unlimited
+	}
+	cat, notes, err := openCatalog(cfg.DataDir, catBudget, m)
+	if err != nil {
+		return nil, nil, err
+	}
+	cacheBudget := cfg.CacheBytes
+	if cacheBudget < 0 {
+		cacheBudget = 0 // cache treats <= 0 as disabled
+	}
+	return &Server{cfg: cfg, catalog: cat, cache: newResultCache(cacheBudget), metrics: m}, notes, nil
+}
+
+// Metrics exposes the counter bag (tests assert on it directly).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Handler returns the route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/ingest", s.handleIngest)
+	mux.HandleFunc("GET /v1/summaries", s.handleList)
+	mux.HandleFunc("GET /v1/summaries/{name}", s.handleDetail)
+	mux.HandleFunc("POST /v1/summaries/{name}/merge", s.handleMerge)
+	mux.HandleFunc("POST /v1/summaries/{name}/query", s.handleQuery)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, "{\"status\":\"ok\"}\n")
+	})
+	return mux
+}
+
+// gauges computes the point-in-time values merged into /metrics.
+func (s *Server) gauges() map[string]int64 {
+	summaries, loaded, loadedBytes := s.catalog.stats()
+	entries, cacheBytes := s.cache.stats()
+	return map[string]int64{
+		"catalog_summaries":    int64(summaries),
+		"catalog_loaded":       int64(loaded),
+		"catalog_loaded_bytes": loadedBytes,
+		"cache_entries":        int64(entries),
+		"cache_bytes":          cacheBytes,
+	}
+}
+
+// writeError renders the uniform JSON error body and counts it.
+func (s *Server) writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	s.metrics.Errors.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorResponse{Error: fmt.Sprintf(format, args...)}) //nolint:errcheck
+}
+
+// readBody reads a size-limited request body, mapping overruns to 413.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request, limit int64) ([]byte, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, limit))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
+		} else {
+			s.writeError(w, http.StatusBadRequest, "reading request body: %v", err)
+		}
+		return nil, false
+	}
+	return body, true
+}
+
+// pathName validates the {name} path segment.
+func (s *Server) pathName(w http.ResponseWriter, r *http.Request) (string, bool) {
+	name := r.PathValue("name")
+	if !summaryName.MatchString(name) {
+		s.writeError(w, http.StatusBadRequest, "summary name %q must match %s", name, summaryName)
+		return "", false
+	}
+	return name, true
+}
+
+// handleIngest streams a CSV relation through the shared Phase I
+// ingester and installs the resulting summary in the catalog under
+// ?name=. Ingest-time options ride in the query string (d0, memory,
+// workers, groups), mirroring `darminer ingest`; d0=0 derives per-group
+// thresholds from the data, exactly like the CLI.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	s.metrics.IngestRequests.Add(1)
+	name := r.URL.Query().Get("name")
+	if !summaryName.MatchString(name) {
+		s.writeError(w, http.StatusBadRequest, "ingest needs ?name= matching %s", summaryName)
+		return
+	}
+	var d0 float64
+	var memory, workers int
+	var err error
+	if v := r.URL.Query().Get("d0"); v != "" {
+		if d0, err = strconv.ParseFloat(v, 64); err != nil {
+			s.writeError(w, http.StatusBadRequest, "bad d0 %q: %v", v, err)
+			return
+		}
+	}
+	if v := r.URL.Query().Get("memory"); v != "" {
+		if memory, err = strconv.Atoi(v); err != nil {
+			s.writeError(w, http.StatusBadRequest, "bad memory %q: %v", v, err)
+			return
+		}
+	}
+	if v := r.URL.Query().Get("workers"); v != "" {
+		if workers, err = strconv.Atoi(v); err != nil {
+			s.writeError(w, http.StatusBadRequest, "bad workers %q: %v", v, err)
+			return
+		}
+	}
+
+	body, ok := s.readBody(w, r, s.cfg.MaxIngestBytes)
+	if !ok {
+		return
+	}
+	rel, err := relation.ReadCSV(bytes.NewReader(body))
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "parsing CSV relation: %v", err)
+		return
+	}
+	part, err := relation.ParseGroupsSpec(rel.Schema(), r.URL.Query().Get("groups"))
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	opt := core.DefaultOptions()
+	opt.DiameterThreshold = d0
+	opt.MemoryLimit = memory
+	opt.Workers = workers
+	if d0 == 0 {
+		suggested, err := core.SuggestThresholds(rel, part, core.AdvisorOptions{})
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, "deriving thresholds: %v", err)
+			return
+		}
+		opt.DiameterThresholds = suggested
+	}
+	sum, err := core.Ingest(rel, part, opt)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "ingest: %v", err)
+		return
+	}
+	encoded, err := summary.Encode(sum)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, "encoding summary: %v", err)
+		return
+	}
+	version, err := s.catalog.put(name, sum, encoded)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	s.cache.invalidate(name)
+	s.metrics.IngestedTuples.Add(sum.Tuples)
+
+	clusters := 0
+	for _, g := range sum.Groups {
+		clusters += len(g.Clusters)
+	}
+	s.writeJSON(w, http.StatusOK, ingestResponse{
+		Name: name, Version: version, Tuples: sum.Tuples,
+		Groups: len(sum.Groups), Clusters: clusters, Bytes: len(encoded),
+	})
+}
+
+// handleMerge folds an uploaded .acfsum shard into the named artifact
+// via ACF additivity, persists the result, bumps the version and
+// invalidates cached queries.
+func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
+	s.metrics.MergeRequests.Add(1)
+	name, ok := s.pathName(w, r)
+	if !ok {
+		return
+	}
+	body, ok := s.readBody(w, r, s.cfg.MaxIngestBytes)
+	if !ok {
+		return
+	}
+	shard, err := summary.Decode(body)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, summary.ErrVersion) {
+			status = http.StatusUnsupportedMediaType
+		}
+		s.writeError(w, status, "decoding shard: %v", err)
+		return
+	}
+	base, _, err := s.catalog.get(name)
+	if err != nil {
+		s.writeCatalogError(w, name, err)
+		return
+	}
+	merged, err := summary.Merge(base, shard)
+	if err != nil {
+		s.writeError(w, http.StatusConflict, "merge: %v", err)
+		return
+	}
+	encoded, err := summary.Encode(merged)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, "encoding merged summary: %v", err)
+		return
+	}
+	version, err := s.catalog.put(name, merged, encoded)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	s.cache.invalidate(name)
+	s.writeJSON(w, http.StatusOK, mergeResponse{
+		Name: name, Version: version, Tuples: merged.Tuples, Shards: merged.Shards,
+	})
+}
+
+// handleQuery answers a rule query from the named summary. Identical
+// in-flight queries collapse into one execution; finished responses are
+// served from the result cache byte-for-byte. The response body is
+// exactly the document `darminer query -json` prints for the same
+// summary and options.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	s.metrics.QueryRequests.Add(1)
+	start := time.Now()
+	name, ok := s.pathName(w, r)
+	if !ok {
+		return
+	}
+	body, ok := s.readBody(w, r, s.cfg.MaxQueryBytes)
+	if !ok {
+		return
+	}
+	var qr queryRequest
+	if len(bytes.TrimSpace(body)) > 0 {
+		dec := json.NewDecoder(bytes.NewReader(body))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&qr); err != nil {
+			s.writeError(w, http.StatusBadRequest, "parsing query options: %v", err)
+			return
+		}
+	}
+	q, err := qr.options()
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	version, exists := s.catalog.version(name)
+	if !exists {
+		s.writeError(w, http.StatusNotFound, "unknown summary %q", name)
+		return
+	}
+	key := cacheKey(name, version, q.CanonicalKey())
+	if cached, hit := s.cache.get(key); hit {
+		s.metrics.QueryCacheHits.Add(1)
+		s.metrics.QueryLatencyUsSum.Add(time.Since(start).Microseconds())
+		s.serveResult(w, version, "hit", cached)
+		return
+	}
+	s.metrics.QueryCacheMisses.Add(1)
+
+	// Run the (flight-deduplicated) execution off this goroutine so the
+	// request honors its deadline even though the engine itself is not
+	// preemptible: on timeout the client gets a 504 while the execution
+	// runs on and parks its result in the cache for the next request.
+	type flightResult struct {
+		body    []byte
+		version uint64
+		shared  bool
+		err     error
+	}
+	ch := make(chan flightResult, 1)
+	go func() {
+		b, v, shared, err := s.runQueryFlight(key, name, q)
+		ch <- flightResult{body: b, version: v, shared: shared, err: err}
+	}()
+
+	timer := time.NewTimer(s.cfg.QueryTimeout)
+	defer timer.Stop()
+	select {
+	case res := <-ch:
+		s.metrics.QueryLatencyUsSum.Add(time.Since(start).Microseconds())
+		if res.err != nil {
+			s.writeCatalogError(w, name, res.err)
+			return
+		}
+		mode := "miss"
+		if res.shared {
+			s.metrics.QueryShared.Add(1)
+			mode = "shared"
+		}
+		s.serveResult(w, res.version, mode, res.body)
+	case <-timer.C:
+		s.metrics.QueryTimeouts.Add(1)
+		s.writeError(w, http.StatusGatewayTimeout, "query exceeded the %v execution budget; retry to pick up the cached result", s.cfg.QueryTimeout)
+	case <-r.Context().Done():
+		s.metrics.QueryTimeouts.Add(1)
+		s.writeError(w, http.StatusServiceUnavailable, "client went away: %v", r.Context().Err())
+	}
+}
+
+// runQueryFlight executes one deduplicated query. The cache entry is
+// written under the version actually loaded from the catalog (a merge
+// may land between the handler's probe and the load), so a cached body
+// is always the product of the version in its key.
+func (s *Server) runQueryFlight(key, name string, q core.QueryOptions) ([]byte, uint64, bool, error) {
+	var version uint64
+	body, shared, err := s.flights.Do(key, func() ([]byte, error) {
+		if h := s.testHookExec.Load(); h != nil {
+			(*h)()
+		}
+		sum, v, err := s.catalog.get(name)
+		if err != nil {
+			return nil, err
+		}
+		version = v
+		s.metrics.QueryExecutions.Add(1)
+		rendered, err := renderQuery(sum, q)
+		if err != nil {
+			return nil, err
+		}
+		s.cache.put(cacheKey(name, v, q.CanonicalKey()), rendered)
+		return rendered, nil
+	})
+	return body, version, shared, err
+}
+
+// renderQuery runs the pure Phase II engine over the summary and
+// renders the result exactly as `darminer query -json` does: the
+// core.Export document, two-space indented, trailing newline. Cluster
+// descriptions come from the summary's recorded schema — an empty
+// relation over it serves as the value formatter, as on the CLI path.
+func renderQuery(sum *summary.Summary, q core.QueryOptions) ([]byte, error) {
+	res, err := core.QuerySummary(sum, q)
+	if err != nil {
+		return nil, err
+	}
+	schema, err := sum.Schema()
+	if err != nil {
+		return nil, err
+	}
+	part, err := sum.Partitioning(schema)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := core.WriteJSON(&buf, res, relation.NewRelation(schema), part); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// serveResult writes a successful query response.
+func (s *Server) serveResult(w http.ResponseWriter, version uint64, cacheMode string, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Dard-Summary-Version", strconv.FormatUint(version, 10))
+	w.Header().Set("X-Dard-Cache", cacheMode)
+	w.Write(body) //nolint:errcheck // client went away; nothing to do
+}
+
+// writeCatalogError maps catalog failures onto HTTP statuses.
+func (s *Server) writeCatalogError(w http.ResponseWriter, name string, err error) {
+	switch {
+	case errors.Is(err, errUnknownSummary):
+		s.writeError(w, http.StatusNotFound, "unknown summary %q", name)
+	case errors.Is(err, summary.ErrCorrupt), errors.Is(err, summary.ErrVersion):
+		s.writeError(w, http.StatusInternalServerError, "%v", err)
+	default:
+		s.writeError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+// handleList serves GET /v1/summaries.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.metrics.ListRequests.Add(1)
+	s.writeJSON(w, http.StatusOK, s.catalog.list())
+}
+
+// summaryDetail is the GET /v1/summaries/{name} document.
+type summaryDetail struct {
+	entryInfo
+	GroupDetails []groupDetail `json:"groupDetails"`
+}
+
+type groupDetail struct {
+	Name      string  `json:"name"`
+	Nominal   bool    `json:"nominal"`
+	D0        float64 `json:"d0"`
+	Threshold float64 `json:"threshold"`
+	Rebuilds  int     `json:"rebuilds"`
+	Clusters  int     `json:"clusters"`
+}
+
+// handleDetail loads the named summary (counting as a use for LRU
+// purposes) and returns its full provenance.
+func (s *Server) handleDetail(w http.ResponseWriter, r *http.Request) {
+	s.metrics.ListRequests.Add(1)
+	name, ok := s.pathName(w, r)
+	if !ok {
+		return
+	}
+	sum, version, err := s.catalog.get(name)
+	if err != nil {
+		s.writeCatalogError(w, name, err)
+		return
+	}
+	detail := summaryDetail{GroupDetails: make([]groupDetail, 0, len(sum.Groups))}
+	for _, row := range s.catalog.list() {
+		if row.Name == name {
+			detail.entryInfo = row
+			break
+		}
+	}
+	detail.Version = version
+	for _, g := range sum.Groups {
+		detail.GroupDetails = append(detail.GroupDetails, groupDetail{
+			Name: g.Name, Nominal: g.Nominal, D0: g.D0, Threshold: g.Threshold,
+			Rebuilds: g.Rebuilds, Clusters: len(g.Clusters),
+		})
+	}
+	s.writeJSON(w, http.StatusOK, detail)
+}
+
+// writeJSON renders a 2xx JSON body.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client went away; nothing to do
+}

@@ -1,0 +1,84 @@
+package summary
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Info is the cheap provenance of an encoded summary: everything the
+// serving layer's catalog wants to show for an artifact it has not
+// loaded yet. Stat produces one without materializing a single ACF.
+type Info struct {
+	// Tuples is the total tuple count |r| recorded in the artifact.
+	Tuples int64
+	// Shards counts the independent ingests merged into the artifact.
+	Shards int
+	// Attrs is the schema width.
+	Attrs int
+	// Groups is the number of attribute groups.
+	Groups int
+	// Clusters is the total leaf-cluster count across all groups.
+	Clusters int
+}
+
+// Stat validates an .acfsum payload's envelope — magic, version,
+// checksum — and parses only the header and group headers, skipping the
+// cluster blocks entirely. It is the catalog's lazy-loading hook: a
+// data-dir scan can verify every artifact and surface its provenance
+// for a fraction of the cost of Decode, deferring ACF construction to
+// first use. Corruption confined to the cluster blocks passes Stat
+// (the CRC guards bit rot, not structural damage) and is caught by the
+// strict Decode when the summary is actually loaded.
+//
+// Errors wrap ErrCorrupt and ErrVersion exactly as Decode does.
+func Stat(data []byte) (Info, error) {
+	var info Info
+	if len(data) < len(codecMagic)+4+8+4 {
+		return info, fmt.Errorf("%w: %d bytes is shorter than the fixed header", ErrCorrupt, len(data))
+	}
+	if string(data[:4]) != codecMagic {
+		return info, fmt.Errorf("%w: bad magic %q", ErrCorrupt, data[:4])
+	}
+	if v := data[4]; v != codecVersion {
+		return info, fmt.Errorf("%w: got version %d, this build reads version %d", ErrVersion, v, codecVersion)
+	}
+	payload, tail := data[:len(data)-4], data[len(data)-4:]
+	if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(tail); got != want {
+		return info, fmt.Errorf("%w: checksum mismatch (got %08x, stored %08x)", ErrCorrupt, got, want)
+	}
+
+	r := &reader{data: payload, off: 16}
+	info.Tuples = r.i64("tuples")
+	info.Shards = r.count("shards")
+
+	info.Attrs = r.count("attribute count")
+	for i := 0; i < info.Attrs && r.err == nil; i++ {
+		r.str("attribute name")
+		r.count("attribute kind")
+		nvals := r.count("dictionary size")
+		for j := 0; j < nvals && r.err == nil; j++ {
+			r.str("dictionary value")
+		}
+	}
+
+	info.Groups = r.count("group count")
+	for gi := 0; gi < info.Groups && r.err == nil; gi++ {
+		r.str("group name")
+		na := r.count("group attribute count")
+		for j := 0; j < na && r.err == nil; j++ {
+			r.count("group attribute")
+		}
+		r.byte("nominal flag")
+		r.float("d0")
+		r.float("threshold")
+		r.count("rebuilds")
+		r.count("outliers paged")
+		r.count("tree bytes")
+		info.Clusters += r.count("cluster count")
+	}
+	if r.err != nil {
+		return Info{}, fmt.Errorf("%w: %v", ErrCorrupt, r.err)
+	}
+	return info, nil
+}

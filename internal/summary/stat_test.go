@@ -1,0 +1,91 @@
+package summary
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"testing"
+)
+
+// TestStatMatchesDecode pins Stat's provenance against the fully
+// decoded summary.
+func TestStatMatchesDecode(t *testing.T) {
+	s := shardA(t)
+	data, err := Encode(s)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	info, err := Stat(data)
+	if err != nil {
+		t.Fatalf("Stat: %v", err)
+	}
+	if info.Tuples != s.Tuples || info.Shards != s.Shards {
+		t.Errorf("Stat tuples/shards = %d/%d, want %d/%d", info.Tuples, info.Shards, s.Tuples, s.Shards)
+	}
+	if info.Attrs != len(s.Attrs) || info.Groups != len(s.Groups) {
+		t.Errorf("Stat attrs/groups = %d/%d, want %d/%d", info.Attrs, info.Groups, len(s.Attrs), len(s.Groups))
+	}
+	clusters := 0
+	for _, g := range s.Groups {
+		clusters += len(g.Clusters)
+	}
+	if info.Clusters != clusters {
+		t.Errorf("Stat clusters = %d, want %d", info.Clusters, clusters)
+	}
+}
+
+// TestStatEnvelopeErrors checks Stat rejects envelope damage with the
+// same error classes as Decode.
+func TestStatEnvelopeErrors(t *testing.T) {
+	data, err := Encode(shardA(t))
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"short", data[:10], ErrCorrupt},
+		{"magic", append([]byte("BOGUS"), data[5:]...), ErrCorrupt},
+		{"version", func() []byte {
+			b := append([]byte(nil), data...)
+			b[4] = 99
+			return b
+		}(), ErrVersion},
+		{"crc", func() []byte {
+			b := append([]byte(nil), data...)
+			b[len(b)/2] ^= 1
+			return b
+		}(), ErrCorrupt},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Stat(tc.data); !errors.Is(err, tc.want) {
+				t.Errorf("Stat error = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestStatSkipsClusterDamage pins the division of labour between Stat
+// and Decode: an artifact whose cluster bytes are truncated but whose
+// CRC has been recomputed passes Stat (it never reads cluster blocks)
+// while the strict Decode still rejects it. This is exactly the shape
+// the serving catalog relies on — cheap scan at startup, full
+// validation on first load.
+func TestStatSkipsClusterDamage(t *testing.T) {
+	data, err := Encode(shardA(t))
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	payload := append([]byte(nil), data[:len(data)-4-5]...)
+	resealed := binary.LittleEndian.AppendUint32(payload, crc32.ChecksumIEEE(payload))
+
+	if _, err := Stat(resealed); err != nil {
+		t.Fatalf("Stat should not notice cluster-block damage, got %v", err)
+	}
+	if _, err := Decode(resealed); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("Decode error = %v, want ErrCorrupt", err)
+	}
+}

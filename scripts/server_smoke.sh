@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the dard daemon: start it on a loopback
+# port, ingest the golden interval dataset over HTTP, query it through
+# `darminer query -addr`, and diff the served JSON against the local
+# `darminer ingest | query -json` pipeline (wall-clock lines aside, the
+# two must be byte-identical). Also scrapes /metrics and checks the
+# daemon drains cleanly on SIGTERM. Run via `make serversmoke`.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TMP=$(mktemp -d)
+DARD_PID=""
+cleanup() {
+    if [ -n "$DARD_PID" ] && kill -0 "$DARD_PID" 2>/dev/null; then
+        kill -9 "$DARD_PID" 2>/dev/null || true
+    fi
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+echo "== building binaries"
+go build -o "$TMP/dard" ./cmd/dard
+go build -o "$TMP/darminer" ./cmd/darminer
+
+echo "== starting dard"
+"$TMP/dard" -addr 127.0.0.1:0 -data "$TMP/data" 2>"$TMP/dard.log" &
+DARD_PID=$!
+
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's/.*listening on \([0-9.:]*\).*/\1/p' "$TMP/dard.log" | head -n1)
+    [ -n "$ADDR" ] && break
+    kill -0 "$DARD_PID" || { echo "dard died at startup:"; cat "$TMP/dard.log"; exit 1; }
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "dard never reported its address:"; cat "$TMP/dard.log"; exit 1; }
+echo "   dard is listening on $ADDR"
+
+DATASET=cmd/darminer/testdata/interval_input.csv
+
+echo "== ingesting $DATASET over HTTP"
+curl -sfS -X POST --data-binary @"$DATASET" \
+    "http://$ADDR/v1/ingest?name=smoke&d0=5" >"$TMP/ingest.json"
+grep -q '"tuples"' "$TMP/ingest.json" || { echo "unexpected ingest ack:"; cat "$TMP/ingest.json"; exit 1; }
+
+echo "== querying remotely via darminer -addr"
+"$TMP/darminer" query -addr "http://$ADDR" -minsup 0.2 -degree 1 -json smoke >"$TMP/served.json"
+
+echo "== running the local CLI pipeline"
+"$TMP/darminer" ingest -d0 5 -o "$TMP/local.acfsum" "$DATASET" >/dev/null
+"$TMP/darminer" query -minsup 0.2 -degree 1 -json "$TMP/local.acfsum" >"$TMP/local.json"
+
+echo "== diffing served vs local (durationMs stripped)"
+grep -v '"durationMs"' "$TMP/served.json" >"$TMP/served.stripped"
+grep -v '"durationMs"' "$TMP/local.json" >"$TMP/local.stripped"
+if ! diff -u "$TMP/local.stripped" "$TMP/served.stripped"; then
+    echo "FAIL: served query diverges from the local CLI pipeline"
+    exit 1
+fi
+
+echo "== scraping /metrics"
+curl -sfS "http://$ADDR/metrics" >"$TMP/metrics.json"
+grep -q '"query_requests_total": 1' "$TMP/metrics.json" || {
+    echo "unexpected metrics:"; cat "$TMP/metrics.json"; exit 1
+}
+grep -q '"ingest_requests_total": 1' "$TMP/metrics.json" || {
+    echo "unexpected metrics:"; cat "$TMP/metrics.json"; exit 1
+}
+
+echo "== draining on SIGTERM"
+kill -TERM "$DARD_PID"
+DRAIN_OK=1
+wait "$DARD_PID" || DRAIN_OK=0
+DARD_PID=""
+[ "$DRAIN_OK" = 1 ] || { echo "dard exited non-zero on SIGTERM:"; cat "$TMP/dard.log"; exit 1; }
+grep -q "bye" "$TMP/dard.log" || { echo "dard never said goodbye:"; cat "$TMP/dard.log"; exit 1; }
+
+echo "PASS: server smoke (served == local, metrics sane, clean drain)"
