@@ -14,7 +14,7 @@
 GO ?= go
 BIN := bin
 
-.PHONY: build test race fuzz fuzzsmoke bench benchjson fmtcheck vet lint darlint serversmoke verify
+.PHONY: build test race fuzz fuzzsmoke querydiff bench benchjson fmtcheck vet lint darlint serversmoke verify
 
 build:
 	$(GO) build ./...
@@ -56,6 +56,17 @@ fuzz:
 # whatever it accepts must re-encode canonically.
 fuzzsmoke:
 	$(GO) test -race -run='^$$' -fuzz=FuzzDecode -fuzztime=10s ./internal/summary
+	$(GO) test -race -run='^$$' -fuzz=FuzzQueryOptions -fuzztime=10s ./internal/core
+
+# The query-mode differential suite under the race detector: fused
+# engine output (measures, filters, sweeps, top-k, diffs) must equal
+# the explicit helper composition over the base rule set, bit for bit,
+# across worker counts, merged shards, incremental snapshots, the HTTP
+# endpoints and both CLI paths.
+querydiff:
+	$(GO) test -race -run 'TestQueryModes|TestMeasure|TestConviction|TestDiffRules' ./internal/core
+	$(GO) test -race -run 'TestQueryMode|TestServedDiff|TestModeCache|TestDiffCache|TestDiffMetrics' ./internal/server
+	$(GO) test -race -run 'TestGoldenQuery|TestOldSummary|TestDiffCLI|TestRemoteDiff' ./cmd/darminer
 
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem .
@@ -78,4 +89,4 @@ serversmoke: build
 # race already runs the Ingest→Summary→Query differential tests (they
 # live in the ordinary test suite), so verify gates Query(Ingest(r)) ≡
 # Mine(r) under the race detector on every run.
-verify: build fmtcheck vet test race fuzzsmoke
+verify: build fmtcheck vet test race fuzzsmoke querydiff

@@ -1,0 +1,208 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	dar "repro"
+)
+
+// driftedIntervalCSV returns the golden interval dataset with every
+// salary shifted up by delta — deterministic rule drift for the diff
+// tests to detect.
+func driftedIntervalCSV(t *testing.T, delta float64) []byte {
+	t.Helper()
+	raw, err := os.ReadFile(filepath.Join("testdata", "interval_input.csv"))
+	if err != nil {
+		t.Fatalf("reading dataset: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	var b bytes.Buffer
+	b.WriteString(lines[0] + "\n")
+	for _, line := range lines[1:] {
+		fields := strings.Split(line, ",")
+		salary, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			t.Fatalf("parsing %q: %v", line, err)
+		}
+		fmt.Fprintf(&b, "%s,%g\n", fields[0], salary+delta)
+	}
+	return b.Bytes()
+}
+
+// ingestTemp ingests a CSV byte blob into a temp .acfsum and returns
+// its path.
+func ingestTemp(t *testing.T, csv []byte) string {
+	t.Helper()
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.csv")
+	if err := os.WriteFile(in, csv, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "out.acfsum")
+	if err := runIngest(io.Discard, in, goldenIngestCfg(out)); err != nil {
+		t.Fatalf("runIngest: %v", err)
+	}
+	return out
+}
+
+// TestOldSummaryQueriesWithMeasures is the back-compat check: the
+// committed .acfsum golden predates every query mode (the codec is
+// unchanged — TestGoldenSummaryFile pins its bytes), yet it must answer
+// mode queries: measures on every rule, filters resolved against its
+// recorded groups, top-k and sweeps applied.
+func TestOldSummaryQueriesWithMeasures(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "golden_summary.acfsum"))
+	if err != nil {
+		t.Fatalf("reading committed summary: %v", err)
+	}
+	s, err := dar.DecodeSummary(data)
+	if err != nil {
+		t.Fatalf("DecodeSummary: %v", err)
+	}
+	q := dar.DefaultQueryOptions()
+	q.FrequencyFraction = 0.2
+	q.Measures = true
+	q.ConsequentGroups = []string{"Salary"}
+	q.SweepFactors = []float64{0.5, 1}
+	q.TopK = 2
+	res, err := dar.Query(s, q)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if len(res.Rules) == 0 || len(res.Rules) > 2 {
+		t.Fatalf("top-2 query returned %d rules", len(res.Rules))
+	}
+	for i, r := range res.Rules {
+		if r.Measures == nil {
+			t.Errorf("rule %d not annotated", i)
+		}
+	}
+	if len(res.Sweep) != 2 {
+		t.Errorf("sweep has %d points, want 2", len(res.Sweep))
+	}
+}
+
+// TestDiffCLISelf: diffing a summary against itself reports only
+// unchanged rules, in both renderings.
+func TestDiffCLISelf(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("testdata", "interval_input.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := ingestTemp(t, raw)
+	cfg := goldenQueryCfg(1)
+
+	var out bytes.Buffer
+	if err := runDiff(&out, sum, sum, cfg); err != nil {
+		t.Fatalf("runDiff: %v", err)
+	}
+	if !strings.Contains(out.String(), "0 added, 0 removed, 0 changed") {
+		t.Errorf("self-diff not clean:\n%s", out.String())
+	}
+
+	out.Reset()
+	cfg.asJSON = true
+	if err := runDiff(&out, sum, sum, cfg); err != nil {
+		t.Fatalf("runDiff -json: %v", err)
+	}
+	var d dar.RuleDiff
+	if err := json.Unmarshal(out.Bytes(), &d); err != nil {
+		t.Fatalf("parsing diff JSON: %v", err)
+	}
+	if len(d.Added)+len(d.Removed)+len(d.Changed) != 0 || d.Unchanged == 0 {
+		t.Errorf("self-diff JSON not clean: %+v", d)
+	}
+}
+
+// TestDiffCLIDrift: shifting every salary must surface as added and
+// removed rules whose lines the text rendering marks + and -.
+func TestDiffCLIDrift(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("testdata", "interval_input.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldSum := ingestTemp(t, raw)
+	newSum := ingestTemp(t, driftedIntervalCSV(t, 200))
+
+	var out bytes.Buffer
+	if err := runDiff(&out, oldSum, newSum, goldenQueryCfg(1)); err != nil {
+		t.Fatalf("runDiff: %v", err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "\n+ ") || !strings.Contains(text, "\n- ") {
+		t.Errorf("drift diff shows no added/removed lines:\n%s", text)
+	}
+	if !strings.HasPrefix(text, "diff "+oldSum+" → "+newSum+":") {
+		t.Errorf("summary line does not name the inputs:\n%s", text)
+	}
+}
+
+// TestRemoteDiffMatchesLocal: `diff -addr` against a dard server is
+// byte-identical to the local two-file diff over the same data and
+// options — the diff twin of TestRemoteQueryMatchesLocal.
+func TestRemoteDiffMatchesLocal(t *testing.T) {
+	ts := startDard(t, "old")
+	drifted := driftedIntervalCSV(t, 200)
+	resp, err := http.Post(ts.URL+"/v1/ingest?name=new&d0=5", "text/csv", bytes.NewReader(drifted))
+	if err != nil {
+		t.Fatalf("ingest drifted: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest drifted: status %d", resp.StatusCode)
+	}
+
+	raw, err := os.ReadFile(filepath.Join("testdata", "interval_input.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldSum, newSum := ingestTemp(t, raw), ingestTemp(t, drifted)
+
+	cfg := goldenQueryCfg(1)
+	cfg.asJSON = true
+	var local, remote bytes.Buffer
+	if err := runDiff(&local, oldSum, newSum, cfg); err != nil {
+		t.Fatalf("runDiff(local): %v", err)
+	}
+	if err := runRemoteDiff(&remote, ts.URL, "old", "new", cfg); err != nil {
+		t.Fatalf("runRemoteDiff: %v", err)
+	}
+	if local.String() != remote.String() {
+		t.Errorf("remote diff diverges from local:\n--- remote ---\n%s\n--- local ---\n%s",
+			remote.String(), local.String())
+	}
+
+	// The text rendering goes through the same printDiff on both paths.
+	cfg.asJSON = false
+	var text bytes.Buffer
+	if err := runRemoteDiff(&text, ts.URL, "old", "new", cfg); err != nil {
+		t.Fatalf("runRemoteDiff(text): %v", err)
+	}
+	if !strings.HasPrefix(text.String(), "diff old → new:") {
+		t.Errorf("remote text diff summary line:\n%s", text.String())
+	}
+}
+
+// TestDiffCLIRejectsBadModes: option errors surface before any file or
+// network access.
+func TestDiffCLIRejectsBadModes(t *testing.T) {
+	cfg := goldenQueryCfg(1)
+	cfg.sweep = "0.5,0.2,banana"
+	if err := runDiff(io.Discard, "nope.acfsum", "nope.acfsum", cfg); err == nil {
+		t.Error("bad -sweep accepted")
+	}
+	cfg = goldenQueryCfg(1)
+	cfg.topk = -1
+	if err := runDiff(io.Discard, "nope.acfsum", "nope.acfsum", cfg); err == nil {
+		t.Error("negative -topk accepted")
+	}
+}

@@ -1,0 +1,115 @@
+// The diff subcommand reports rule drift between two summaries — two
+// ingests of a shifting relation, or one shard against the merged
+// fleet: which rules appeared, which vanished, and which changed
+// degree, matched by rendered signature so nominal dictionary order
+// differences between the summaries do not matter.
+//
+//	darminer diff -minsup 0.2 old.acfsum new.acfsum
+//	darminer diff -addr http://host:8344 old-name new-name
+//
+// Both sides are queried under the same options; all query-mode flags
+// of `darminer query` apply. With -json the output is byte-identical
+// between the local and remote paths (the differential tests pin it).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	dar "repro"
+)
+
+// diffMain parses `darminer diff` flags and runs the subcommand.
+func diffMain(args []string) int {
+	fs := flag.NewFlagSet("darminer diff", flag.ExitOnError)
+	var cfg queryConfig
+	cfg.modeFlags(fs)
+	fs.StringVar(&cfg.addr, "addr", "", "base URL of a running dard server; the arguments are then two catalog summary names, not files")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: darminer diff [flags] old.acfsum new.acfsum")
+		fmt.Fprintln(os.Stderr, "       darminer diff [flags] -addr http://host:8344 old-name new-name")
+		fs.PrintDefaults()
+		return 2
+	}
+	var err error
+	if cfg.addr != "" {
+		err = runRemoteDiff(os.Stdout, cfg.addr, fs.Arg(0), fs.Arg(1), cfg)
+	} else {
+		err = runDiff(os.Stdout, fs.Arg(0), fs.Arg(1), cfg)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "darminer diff:", err)
+		return 1
+	}
+	return 0
+}
+
+// runDiff queries both summary files under the same options and prints
+// the signature diff.
+func runDiff(w io.Writer, oldPath, newPath string, cfg queryConfig) error {
+	q, err := cfg.options()
+	if err != nil {
+		return err
+	}
+	oldRes, oldRel, oldPart, err := queryFile(oldPath, q)
+	if err != nil {
+		return fmt.Errorf("%s: %w", oldPath, err)
+	}
+	newRes, newRel, newPart, err := queryFile(newPath, q)
+	if err != nil {
+		return fmt.Errorf("%s: %w", newPath, err)
+	}
+	d := dar.DiffRules(oldRes, newRes, oldRel, newRel, oldPart, newPart)
+	if cfg.asJSON {
+		return dar.WriteDiffJSON(w, d)
+	}
+	printDiff(w, oldPath, newPath, d)
+	return nil
+}
+
+// queryFile decodes one .acfsum file and answers the query from it,
+// returning the pieces a diff needs: the result plus the summary's own
+// schema-backed formatter and partitioning.
+func queryFile(path string, q dar.QueryOptions) (*dar.Result, *dar.Relation, *dar.Partitioning, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	s, err := dar.DecodeSummary(data)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	res, err := dar.Query(s, q)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	schema, err := s.Schema()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	part, err := s.Partitioning(schema)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return res, dar.NewRelation(schema), part, nil
+}
+
+// printDiff renders the human-readable diff: a summary line, then one
+// line per added (+), removed (−) and degree-changed (~) rule, in the
+// deterministic signature order DiffRules established.
+func printDiff(w io.Writer, oldLabel, newLabel string, d dar.RuleDiff) {
+	fmt.Fprintf(w, "diff %s → %s: %d added, %d removed, %d changed, %d unchanged (tuples %d → %d)\n",
+		oldLabel, newLabel, len(d.Added), len(d.Removed), len(d.Changed), d.Unchanged, d.OldTuples, d.NewTuples)
+	for _, e := range d.Added {
+		fmt.Fprintf(w, "+ %s (degree %.3f)\n", e.Signature, e.Degree)
+	}
+	for _, e := range d.Removed {
+		fmt.Fprintf(w, "- %s (degree %.3f)\n", e.Signature, e.Degree)
+	}
+	for _, c := range d.Changed {
+		fmt.Fprintf(w, "~ %s (degree %.3f → %.3f)\n", c.Signature, c.OldDegree, c.NewDegree)
+	}
+}

@@ -63,6 +63,8 @@ func main() {
 			os.Exit(queryMain(os.Args[2:]))
 		case "merge":
 			os.Exit(mergeMain(os.Args[2:]))
+		case "diff":
+			os.Exit(diffMain(os.Args[2:]))
 		}
 	}
 	var cfg runConfig

@@ -19,47 +19,88 @@ import (
 
 // remoteQueryBody mirrors the server's query request document.
 type remoteQueryBody struct {
-	Metric            string  `json:"metric"`
-	FrequencyFraction float64 `json:"frequencyFraction"`
-	DegreeFactor      float64 `json:"degreeFactor"`
-	Workers           int     `json:"workers,omitempty"`
+	Metric            string    `json:"metric"`
+	FrequencyFraction float64   `json:"frequencyFraction"`
+	DegreeFactor      float64   `json:"degreeFactor"`
+	Measures          bool      `json:"measures,omitempty"`
+	AntecedentGroups  []string  `json:"antecedentGroups,omitempty"`
+	ConsequentGroups  []string  `json:"consequentGroups,omitempty"`
+	SweepFactors      []float64 `json:"sweepFactors,omitempty"`
+	TopK              int       `json:"topK,omitempty"`
+	Workers           int       `json:"workers,omitempty"`
 }
 
-// runRemoteQuery POSTs the query to addr's catalog and prints the
-// result: verbatim JSON with -json (byte-identical to the local path,
-// wall-clock lines aside), a rule listing otherwise.
-func runRemoteQuery(w io.Writer, addr, name string, cfg queryConfig) error {
-	base, err := url.Parse(addr)
-	if err != nil || base.Scheme == "" || base.Host == "" {
-		return fmt.Errorf("-addr %q is not a base URL like http://host:8344", addr)
+// remoteBody resolves the flag values into the request document. The
+// same local options builder does the parsing, so the remote path
+// rejects exactly what the local one does and ships the same
+// normalized filters.
+func remoteBody(cfg queryConfig) ([]byte, error) {
+	q, err := cfg.options()
+	if err != nil {
+		return nil, err
 	}
-	body, err := json.Marshal(remoteQueryBody{
+	return json.Marshal(remoteQueryBody{
 		Metric:            cfg.metric,
 		FrequencyFraction: cfg.minsup,
 		DegreeFactor:      cfg.degree,
-		Workers:           cfg.workers,
+		Measures:          q.Measures,
+		AntecedentGroups:  q.AntecedentGroups,
+		ConsequentGroups:  q.ConsequentGroups,
+		SweepFactors:      q.SweepFactors,
+		TopK:              q.TopK,
+		Workers:           q.Workers,
 	})
-	if err != nil {
-		return err
-	}
-	u := base.JoinPath("/v1/summaries/" + url.PathEscape(name) + "/query")
+}
+
+// postJSON POSTs a query-options body and returns the response payload,
+// turning non-200 answers into errors carrying the server's message.
+func postJSON(u *url.URL, body []byte) ([]byte, *http.Response, error) {
 	resp, err := http.Post(u.String(), "application/json", bytes.NewReader(body))
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
 	defer resp.Body.Close()
 	payload, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
 	if resp.StatusCode != http.StatusOK {
 		var e struct {
 			Error string `json:"error"`
 		}
 		if json.Unmarshal(payload, &e) == nil && e.Error != "" {
-			return fmt.Errorf("server: %s (status %d)", e.Error, resp.StatusCode)
+			return nil, nil, fmt.Errorf("server: %s (status %d)", e.Error, resp.StatusCode)
 		}
-		return fmt.Errorf("server: status %d: %s", resp.StatusCode, strings.TrimSpace(string(payload)))
+		return nil, nil, fmt.Errorf("server: status %d: %s", resp.StatusCode, strings.TrimSpace(string(payload)))
+	}
+	return payload, resp, nil
+}
+
+// parseBase validates the -addr flag.
+func parseBase(addr string) (*url.URL, error) {
+	base, err := url.Parse(addr)
+	if err != nil || base.Scheme == "" || base.Host == "" {
+		return nil, fmt.Errorf("-addr %q is not a base URL like http://host:8344", addr)
+	}
+	return base, nil
+}
+
+// runRemoteQuery POSTs the query to addr's catalog and prints the
+// result: verbatim JSON with -json (byte-identical to the local path,
+// wall-clock lines aside), a rule listing otherwise.
+func runRemoteQuery(w io.Writer, addr, name string, cfg queryConfig) error {
+	base, err := parseBase(addr)
+	if err != nil {
+		return err
+	}
+	body, err := remoteBody(cfg)
+	if err != nil {
+		return err
+	}
+	u := base.JoinPath("/v1/summaries/" + url.PathEscape(name) + "/query")
+	payload, resp, err := postJSON(u, body)
+	if err != nil {
+		return err
 	}
 
 	if cfg.asJSON {
@@ -74,12 +115,44 @@ func runRemoteQuery(w io.Writer, addr, name string, cfg queryConfig) error {
 		name, base.Host, doc.Tuples,
 		resp.Header.Get("X-Dard-Summary-Version"), resp.Header.Get("X-Dard-Cache"))
 	fmt.Fprintf(w, "phase II: %d cliques, %d rules\n", doc.PhaseII.Cliques, len(doc.Rules))
+	for _, p := range doc.Sweep {
+		fmt.Fprintf(w, "sweep degree<=%g: %d rules\n", p.Factor, p.Rules)
+	}
 	for i, r := range doc.Rules {
 		if cfg.top > 0 && i == cfg.top {
 			fmt.Fprintf(w, "... %d more rules\n", len(doc.Rules)-cfg.top)
 			break
 		}
-		fmt.Fprintln(w, r.Description)
+		fmt.Fprintln(w, r.Description+formatMeasures(r.Measures))
 	}
+	return nil
+}
+
+// runRemoteDiff POSTs a diff of two catalog summaries and prints it:
+// verbatim JSON with -json (byte-identical to the local two-file path
+// over the same data), the printDiff listing otherwise.
+func runRemoteDiff(w io.Writer, addr, oldName, newName string, cfg queryConfig) error {
+	base, err := parseBase(addr)
+	if err != nil {
+		return err
+	}
+	body, err := remoteBody(cfg)
+	if err != nil {
+		return err
+	}
+	u := base.JoinPath("/v1/summaries/" + url.PathEscape(oldName) + "/diff/" + url.PathEscape(newName))
+	payload, _, err := postJSON(u, body)
+	if err != nil {
+		return err
+	}
+	if cfg.asJSON {
+		_, err := w.Write(payload)
+		return err
+	}
+	var d core.RuleDiff
+	if err := json.Unmarshal(payload, &d); err != nil {
+		return fmt.Errorf("parsing server response: %w", err)
+	}
+	printDiff(w, oldName, newName, d)
 	return nil
 }

@@ -1,13 +1,17 @@
-// The ingest, query and merge subcommands expose the Ingest → Summary →
-// Query pipeline on the command line. `ingest` runs Phase I once and
-// writes a .acfsum summary file; `query` answers rule queries from a
-// summary without touching the data; `merge` combines summaries of
-// disjoint shards. Together they replace one monolithic `darminer
-// data.csv` run with a persistable intermediate:
+// The ingest, query, merge and diff subcommands expose the Ingest →
+// Summary → Query pipeline on the command line. `ingest` runs Phase I
+// once and writes a .acfsum summary file; `query` answers rule queries
+// from a summary without touching the data — with measure annotation
+// (-measures), group filters (-ante, -into), degree sweeps (-sweep)
+// and server-side top-k (-topk); `merge` combines summaries of
+// disjoint shards; `diff` (diffcmd.go) reports rule drift between two
+// summaries. Together they replace one monolithic `darminer data.csv`
+// run with a persistable intermediate:
 //
 //	darminer ingest -d0 5 -o data.acfsum data.csv
-//	darminer query -minsup 0.2 data.acfsum
+//	darminer query -minsup 0.2 -measures -topk 10 data.acfsum
 //	darminer merge -o all.acfsum shard1.acfsum shard2.acfsum
+//	darminer diff -minsup 0.2 old.acfsum new.acfsum
 package main
 
 import (
@@ -15,6 +19,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
+	"strconv"
+	"strings"
 
 	dar "repro"
 	"repro/internal/distance"
@@ -31,7 +38,7 @@ type ingestConfig struct {
 	memprofile string
 }
 
-// queryConfig carries the `query` flag values.
+// queryConfig carries the `query` (and `diff`) flag values.
 type queryConfig struct {
 	minsup  float64
 	degree  float64
@@ -39,9 +46,75 @@ type queryConfig struct {
 	top     int
 	workers int
 	asJSON  bool
+	// Query modes: measure annotation, server-side top-k (distinct from
+	// -top, which only limits printing), group filters and a
+	// degree-factor sweep — all applied inside the engine, identically
+	// on the local and remote paths.
+	measures bool
+	topk     int
+	ante     string
+	into     string
+	sweep    string
 	// addr, when set, queries a running dard server instead of a local
 	// file; the positional argument is then a catalog summary name.
 	addr string
+}
+
+// modeFlags registers the query-mode flags shared by `query` and `diff`.
+func (cfg *queryConfig) modeFlags(fs *flag.FlagSet) {
+	fs.Float64Var(&cfg.minsup, "minsup", 0.03, "frequency threshold s0 as a fraction of the ingested relation")
+	fs.Float64Var(&cfg.degree, "degree", 1, "degree-of-association factor (rules must satisfy degree <= factor)")
+	fs.StringVar(&cfg.metric, "metric", "D2", "cluster metric: D0, D1 or D2")
+	fs.IntVar(&cfg.workers, "workers", 1, "worker goroutines (output is identical at any count)")
+	fs.BoolVar(&cfg.measures, "measures", false, "annotate every rule with interestingness measures (support bound, confidence, lift, conviction)")
+	fs.IntVar(&cfg.topk, "topk", 0, "keep only the K strongest rules, after filters (0 = all); ties cannot arise — the rule order is total")
+	fs.StringVar(&cfg.ante, "ante", "", "comma-separated attribute groups the antecedent must cover, e.g. \"Age,Salary\"")
+	fs.StringVar(&cfg.into, "into", "", "comma-separated attribute groups the consequent must lie on (target filter)")
+	fs.StringVar(&cfg.sweep, "sweep", "", "comma-separated degree factors to sweep, each in (0, degree], e.g. \"0.25,0.5,1\"")
+	fs.BoolVar(&cfg.asJSON, "json", false, "emit the full result as JSON")
+}
+
+// options resolves the flag values into validated query options —
+// one builder for the local and remote paths of both subcommands.
+func (cfg queryConfig) options() (dar.QueryOptions, error) {
+	m, ok := distance.ParseClusterMetric(cfg.metric)
+	if !ok {
+		return dar.QueryOptions{}, fmt.Errorf("unknown metric %q", cfg.metric)
+	}
+	q := dar.DefaultQueryOptions()
+	q.Metric = m
+	q.FrequencyFraction = cfg.minsup
+	q.DegreeFactor = cfg.degree
+	q.Workers = cfg.workers
+	q.Measures = cfg.measures
+	q.TopK = cfg.topk
+	q.AntecedentGroups = splitList(cfg.ante)
+	q.ConsequentGroups = splitList(cfg.into)
+	dar.NormalizeGroupFilters(&q)
+	for _, tok := range splitList(cfg.sweep) {
+		f, err := strconv.ParseFloat(tok, 64)
+		if err != nil {
+			return dar.QueryOptions{}, fmt.Errorf("bad -sweep entry %q: %v", tok, err)
+		}
+		q.SweepFactors = append(q.SweepFactors, f)
+	}
+	sort.Float64s(q.SweepFactors)
+	if err := q.Validate(); err != nil {
+		return dar.QueryOptions{}, err
+	}
+	return q, nil
+}
+
+// splitList splits a comma-separated flag value, trimming blanks away
+// so "a, b," means two entries.
+func splitList(s string) []string {
+	var out []string
+	for _, tok := range strings.Split(s, ",") {
+		if tok = strings.TrimSpace(tok); tok != "" {
+			out = append(out, tok)
+		}
+	}
+	return out
 }
 
 // ingestMain parses `darminer ingest` flags and runs the subcommand.
@@ -81,12 +154,8 @@ func ingestMain(args []string) int {
 func queryMain(args []string) int {
 	fs := flag.NewFlagSet("darminer query", flag.ExitOnError)
 	var cfg queryConfig
-	fs.Float64Var(&cfg.minsup, "minsup", 0.03, "frequency threshold s0 as a fraction of the ingested relation")
-	fs.Float64Var(&cfg.degree, "degree", 1, "degree-of-association factor (rules must satisfy degree <= factor)")
-	fs.StringVar(&cfg.metric, "metric", "D2", "cluster metric: D0, D1 or D2")
+	cfg.modeFlags(fs)
 	fs.IntVar(&cfg.top, "top", 50, "print at most this many rules (0 = all)")
-	fs.IntVar(&cfg.workers, "workers", 1, "worker goroutines for the query (output is identical at any count)")
-	fs.BoolVar(&cfg.asJSON, "json", false, "emit the full result as JSON")
 	fs.StringVar(&cfg.addr, "addr", "", "base URL of a running dard server (e.g. http://localhost:8344); the argument is then a catalog summary name, not a file")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
@@ -193,15 +262,10 @@ func runQuery(w io.Writer, path string, cfg queryConfig) error {
 	if err != nil {
 		return err
 	}
-	m, ok := distance.ParseClusterMetric(cfg.metric)
-	if !ok {
-		return fmt.Errorf("unknown metric %q", cfg.metric)
+	q, err := cfg.options()
+	if err != nil {
+		return err
 	}
-	q := dar.DefaultQueryOptions()
-	q.Metric = m
-	q.FrequencyFraction = cfg.minsup
-	q.DegreeFactor = cfg.degree
-	q.Workers = cfg.workers
 	res, err := dar.Query(s, q)
 	if err != nil {
 		return err
@@ -222,14 +286,30 @@ func runQuery(w io.Writer, path string, cfg queryConfig) error {
 	}
 	fmt.Fprintf(w, "summary: %d tuples, %d groups, %d shard(s)\n", s.Tuples, len(s.Groups), s.Shards)
 	fmt.Fprintf(w, "phase II: %v, %d cliques, %d rules\n", res.PhaseII.Duration, res.PhaseII.Cliques, len(res.Rules))
+	for _, p := range res.Sweep {
+		fmt.Fprintf(w, "sweep degree<=%g: %d rules\n", p.Factor, p.Rules)
+	}
 	for i, r := range res.Rules {
 		if cfg.top > 0 && i == cfg.top {
 			fmt.Fprintf(w, "... %d more rules\n", len(res.Rules)-cfg.top)
 			break
 		}
-		fmt.Fprintln(w, res.DescribeRule(r, rel, part))
+		fmt.Fprintln(w, res.DescribeRule(r, rel, part)+formatMeasures(r.Measures))
 	}
 	return nil
+}
+
+// formatMeasures renders the optional measure annotation of one rule
+// for text output; the ∞ stands for the ConvictionInfinite sentinel.
+func formatMeasures(m *dar.RuleMeasures) string {
+	if m == nil {
+		return ""
+	}
+	conv := fmt.Sprintf("%.2f", m.Conviction)
+	if m.Conviction == dar.ConvictionInfinite {
+		conv = "∞"
+	}
+	return fmt.Sprintf(" [sup %.2f conf %.2f lift %.2f conv %s]", m.Support, m.Confidence, m.Lift, conv)
 }
 
 // runMerge folds the shard summaries left to right and writes the

@@ -21,8 +21,13 @@ func goldenIngestCfg(out string) ingestConfig {
 }
 
 // goldenQueryCfg mirrors goldenCfg's Phase II knobs for the query path.
+// Measures are on: the goldens pin the annotated serving contract
+// (support bound, confidence, lift, conviction on every rule), and —
+// because the .acfsum codec predates the measures and is unchanged —
+// double as the back-compat proof that old summary files answer
+// measure-annotated queries.
 func goldenQueryCfg(workers int) queryConfig {
-	return queryConfig{minsup: 0.2, degree: 1, metric: "D2", workers: workers}
+	return queryConfig{minsup: 0.2, degree: 1, metric: "D2", workers: workers, measures: true}
 }
 
 // ruleLines extracts just the rule lines ("A ⇒ B (degree ...)") from CLI
@@ -168,7 +173,9 @@ func TestIngestQueryMatchesMine(t *testing.T) {
 		t.Fatalf("runIngest: %v", err)
 	}
 	buf.Reset()
-	if err := runQuery(&buf, sum, goldenQueryCfg(1)); err != nil {
+	qcfg := goldenQueryCfg(1)
+	qcfg.measures = false // mine's text output carries no measure suffixes
+	if err := runQuery(&buf, sum, qcfg); err != nil {
 		t.Fatalf("runQuery: %v", err)
 	}
 	queried := ruleLines(buf.String())

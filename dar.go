@@ -232,9 +232,59 @@ func Ingest(rel Source, part *Partitioning, opt Options) (*Summary, error) {
 // rules to Mine with PostScan disabled; the PostScan extras (exact
 // bounding boxes, rule support counts) need the relation and are not
 // available on this path.
+//
+// Beyond the base rule set, QueryOptions selects server-side
+// post-processing: interestingness measures (Measures), antecedent and
+// consequent group filters, a degree-factor sweep, and top-k
+// truncation. Each mode is also available as a standalone helper
+// (AnnotateMeasures, FilterRules via group indices, SweepRules,
+// Result.TopRules) producing bit-identical output.
 func Query(s *Summary, q QueryOptions) (*Result, error) {
 	return core.QuerySummary(s, q)
 }
+
+// Query-mode types (see core for method documentation).
+type (
+	// RuleMeasures are per-rule interestingness measures derived from
+	// the summary alone — support upper bound, confidence analogue,
+	// lift, conviction.
+	RuleMeasures = core.RuleMeasures
+	// SweepPoint is one entry of a degree-factor sweep.
+	SweepPoint = core.SweepPoint
+	// RuleDiff is the outcome of DiffRules.
+	RuleDiff = core.RuleDiff
+	// DiffEntry is a rule present on only one side of a diff.
+	DiffEntry = core.DiffEntry
+	// DiffChange is a rule whose degree changed between two summaries.
+	DiffChange = core.DiffChange
+)
+
+// ConvictionInfinite is the sentinel RuleMeasures.Conviction takes when
+// the measure diverges (confidence 1).
+const ConvictionInfinite = core.ConvictionInfinite
+
+// ErrBadQuery marks query options that can never produce a result;
+// every QueryOptions validation failure wraps it.
+var ErrBadQuery = core.ErrBadQuery
+
+// NormalizeGroupFilters sorts and deduplicates the group filters of the
+// options in place, establishing the canonical form Validate requires.
+func NormalizeGroupFilters(q *QueryOptions) { core.NormalizeGroupFilters(q) }
+
+// AnnotateMeasures attaches RuleMeasures to every rule of the result.
+func AnnotateMeasures(res *Result) { core.AnnotateMeasures(res) }
+
+// DiffRules compares two mined results by rendered rule signature,
+// reporting added, removed, changed-degree and unchanged rules. Each
+// side renders through its own source and partitioning, so summaries
+// whose nominal dictionaries disagree still compare by value.
+func DiffRules(oldRes, newRes *Result, oldRel, newRel Source, oldPart, newPart *Partitioning) RuleDiff {
+	return core.DiffRules(oldRes, newRes, oldRel, newRel, oldPart, newPart)
+}
+
+// WriteDiffJSON renders a diff as indented JSON — the exact bytes
+// `darminer diff -json` prints and the dard diff endpoint serves.
+func WriteDiffJSON(w io.Writer, d RuleDiff) error { return core.WriteDiffJSON(w, d) }
 
 // MergeSummaries combines summaries of two disjoint shards of a
 // relation into a summary of their union, by ACF additivity (Theorem

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"errors"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -11,7 +13,21 @@ import (
 // be deliberate.
 func TestCanonicalKeyGolden(t *testing.T) {
 	got := DefaultQueryOptions().CanonicalKey()
-	want := "metric=D2 freq=0.03 minsize=0 degree=1 graph=2 maxant=3 maxcon=2 refine=true prune=true"
+	want := "metric=D2 freq=0.03 minsize=0 degree=1 graph=2 maxant=3 maxcon=2 refine=true prune=true" +
+		" measures=false topk=0 ante=[] cons=[] sweep=[]"
+	if got != want {
+		t.Errorf("CanonicalKey() = %q, want %q", got, want)
+	}
+
+	loaded := DefaultQueryOptions()
+	loaded.Measures = true
+	loaded.TopK = 5
+	loaded.AntecedentGroups = []string{"Age"}
+	loaded.ConsequentGroups = []string{"Salary", `we"ird`}
+	loaded.SweepFactors = []float64{0.25, 0.5, 1}
+	got = loaded.CanonicalKey()
+	want = "metric=D2 freq=0.03 minsize=0 degree=1 graph=2 maxant=3 maxcon=2 refine=true prune=true" +
+		` measures=true topk=5 ante=["Age"] cons=["Salary","we\"ird"] sweep=[0.25,0.5,1]`
 	if got != want {
 		t.Errorf("CanonicalKey() = %q, want %q", got, want)
 	}
@@ -31,6 +47,16 @@ func TestCanonicalKeyDistinguishesResultFields(t *testing.T) {
 		"MaxConsequent":     func(q *QueryOptions) { q.MaxConsequent = 1 },
 		"GlobalRefine":      func(q *QueryOptions) { q.GlobalRefine = !q.GlobalRefine },
 		"PruneImages":       func(q *QueryOptions) { q.PruneImages = !q.PruneImages },
+		"Measures":          func(q *QueryOptions) { q.Measures = true },
+		"TopK":              func(q *QueryOptions) { q.TopK = 3 },
+		"AntecedentGroups":  func(q *QueryOptions) { q.AntecedentGroups = []string{"X"} },
+		"ConsequentGroups":  func(q *QueryOptions) { q.ConsequentGroups = []string{"X"} },
+		"SweepFactors":      func(q *QueryOptions) { q.SweepFactors = []float64{0.5} },
+		// The quoted-name encoding must keep one two-element filter apart
+		// from a single name containing the separator.
+		"AnteCommaName":  func(q *QueryOptions) { q.AntecedentGroups = []string{`X","Y`} },
+		"AnteTwoNames":   func(q *QueryOptions) { q.AntecedentGroups = []string{"X", "Y"} },
+		"AnteJoinedName": func(q *QueryOptions) { q.AntecedentGroups = []string{"X,Y"} },
 	}
 	seen := map[string]string{base.CanonicalKey(): "base"}
 	for field, mutate := range mutations {
@@ -67,5 +93,80 @@ func TestValidateExported(t *testing.T) {
 	bad.DegreeFactor = -1
 	if err := bad.Validate(); err == nil {
 		t.Error("negative DegreeFactor accepted")
+	} else if !errors.Is(err, ErrBadQuery) {
+		t.Errorf("validation error does not wrap ErrBadQuery: %v", err)
+	}
+}
+
+// TestParseCanonicalKeyRoundTrip: parsing a rendered key recovers the
+// options exactly (Workers excepted — it is not part of the key).
+func TestParseCanonicalKeyRoundTrip(t *testing.T) {
+	cases := []func(*QueryOptions){
+		func(q *QueryOptions) {},
+		func(q *QueryOptions) { q.Measures = true; q.TopK = 7 },
+		func(q *QueryOptions) { q.AntecedentGroups = []string{"Age", `odd "name", with commas`} },
+		func(q *QueryOptions) {
+			q.ConsequentGroups = []string{"Salary"}
+			q.SweepFactors = []float64{0.1, 0.7, 1}
+		},
+		func(q *QueryOptions) { q.Metric = 0; q.FrequencyFraction = 0.125; q.MinClusterSize = 9 },
+	}
+	for i, mutate := range cases {
+		q := DefaultQueryOptions()
+		q.Workers = 0
+		mutate(&q)
+		key := q.CanonicalKey()
+		got, err := ParseCanonicalKey(key)
+		if err != nil {
+			t.Errorf("case %d: ParseCanonicalKey(%q): %v", i, key, err)
+			continue
+		}
+		// Rendering loses nothing but nil-vs-empty slice identity.
+		if !reflect.DeepEqual(normalizeSlices(got), normalizeSlices(q)) {
+			t.Errorf("case %d: round trip changed options:\n got  %+v\n want %+v", i, got, q)
+		}
+		if got.CanonicalKey() != key {
+			t.Errorf("case %d: re-rendered key differs: %q vs %q", i, got.CanonicalKey(), key)
+		}
+	}
+}
+
+func normalizeSlices(q QueryOptions) QueryOptions {
+	if len(q.AntecedentGroups) == 0 {
+		q.AntecedentGroups = nil
+	}
+	if len(q.ConsequentGroups) == 0 {
+		q.ConsequentGroups = nil
+	}
+	if len(q.SweepFactors) == 0 {
+		q.SweepFactors = nil
+	}
+	return q
+}
+
+// TestParseCanonicalKeyRejects: strict parsing — malformed keys, keys of
+// invalid options, and trailing content all fail with ErrBadQuery.
+func TestParseCanonicalKeyRejects(t *testing.T) {
+	valid := DefaultQueryOptions().CanonicalKey()
+	bad := []string{
+		"",
+		"metric=D9" + valid[len("metric=D2"):], // unknown metric
+		valid + " ",                            // trailing space
+		valid + " extra=1",                     // trailing field
+		strings.Replace(valid, "freq=", "freq=x", 1),        // unparseable float
+		strings.Replace(valid, "topk=0", "topk=-1", 1),      // parses, fails Validate
+		strings.Replace(valid, "ante=[]", `ante=[Age]`, 1),  // unquoted name
+		strings.Replace(valid, "ante=[]", `ante=["A" ]`, 1), // junk in list
+		strings.Replace(valid, "sweep=[]", "sweep=[2]", 1),  // sweep > degree, fails Validate
+	}
+	for _, key := range bad {
+		if _, err := ParseCanonicalKey(key); err == nil {
+			t.Errorf("ParseCanonicalKey(%q) accepted", key)
+		} else if !errors.Is(err, ErrBadQuery) {
+			t.Errorf("ParseCanonicalKey(%q) error does not wrap ErrBadQuery: %v", key, err)
+		}
+	}
+	if _, err := ParseCanonicalKey(valid); err != nil {
+		t.Fatalf("ParseCanonicalKey(%q): %v", valid, err)
 	}
 }

@@ -1,12 +1,20 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"math"
 
 	"repro/internal/cf"
 	"repro/internal/distance"
 	"repro/internal/summary"
 )
+
+// ErrBadQuery marks query options (or option/summary combinations, like
+// a filter naming a group the summary does not have) that can never
+// produce a result. Every validation failure wraps it, so serving
+// layers can map the whole class onto one client-error status.
+var ErrBadQuery = errors.New("invalid query")
 
 // QueryOptions are the per-query knobs of Phase II: everything that can
 // change between two queries over the same Summary without rescanning
@@ -35,6 +43,33 @@ type QueryOptions struct {
 	// PruneImages enables the Section 6.2 graph reduction (exact under
 	// D2).
 	PruneImages bool
+	// Measures annotates every emitted rule with the summary-derived
+	// interestingness measures of RuleMeasures (support estimate,
+	// confidence analogue, lift, conviction). Pure post-processing over
+	// the base rule set: the annotated rules are otherwise identical.
+	Measures bool
+	// AntecedentGroups, when non-empty, keeps only rules whose
+	// antecedents cover every named attribute group (possibly among
+	// others). Names must be sorted ascending without duplicates
+	// (NormalizeGroupFilters arranges that) and are resolved against the
+	// summary's partitioning at query time.
+	AntecedentGroups []string
+	// ConsequentGroups, when non-empty, keeps only rules whose
+	// consequents all lie on the named groups — the paper's
+	// target-attribute use case ("rules predicting salary only").
+	// Same ordering contract as AntecedentGroups.
+	ConsequentGroups []string
+	// SweepFactors asks for a degree-factor sweep: for each factor f —
+	// strictly ascending, each within (0, DegreeFactor] so the counts
+	// are exact — Result.Sweep reports how many of the (filtered) rules
+	// hold at degree factor f. One mining pass serves the whole sweep:
+	// a rule of degree d holds for every factor >= d.
+	SweepFactors []float64
+	// TopK, when > 0, keeps only the K strongest rules under the total
+	// order (Degree asc, then Antecedent, then Consequent lexicographic
+	// — unique because (antecedent, consequent) pairs are deduplicated).
+	// Applied after filters; Sweep counts are taken before truncation.
+	TopK int
 	// Workers parallelizes the query; output is bit-identical at any
 	// worker count.
 	Workers int
@@ -62,23 +97,63 @@ func (o Options) Query() QueryOptions {
 }
 
 func (q QueryOptions) validate() error {
-	if q.FrequencyFraction < 0 || q.FrequencyFraction > 1 {
-		return fmt.Errorf("core: FrequencyFraction must be in [0,1], got %v", q.FrequencyFraction)
+	if q.Metric < distance.D0 || q.Metric > distance.D4 {
+		return fmt.Errorf("core: unknown cluster metric %d: %w", int(q.Metric), ErrBadQuery)
+	}
+	if math.IsNaN(q.FrequencyFraction) || q.FrequencyFraction < 0 || q.FrequencyFraction > 1 {
+		return fmt.Errorf("core: FrequencyFraction must be in [0,1], got %v: %w", q.FrequencyFraction, ErrBadQuery)
 	}
 	if q.MinClusterSize < 0 {
-		return fmt.Errorf("core: MinClusterSize must be >= 0, got %d", q.MinClusterSize)
+		return fmt.Errorf("core: MinClusterSize must be >= 0, got %d: %w", q.MinClusterSize, ErrBadQuery)
 	}
-	if q.DegreeFactor <= 0 {
-		return fmt.Errorf("core: DegreeFactor must be > 0, got %v", q.DegreeFactor)
+	if math.IsNaN(q.DegreeFactor) || math.IsInf(q.DegreeFactor, 0) || q.DegreeFactor <= 0 {
+		return fmt.Errorf("core: DegreeFactor must be a finite value > 0, got %v: %w", q.DegreeFactor, ErrBadQuery)
 	}
-	if q.GraphFactor <= 0 {
-		return fmt.Errorf("core: GraphFactor must be > 0, got %v", q.GraphFactor)
+	if math.IsNaN(q.GraphFactor) || math.IsInf(q.GraphFactor, 0) || q.GraphFactor <= 0 {
+		return fmt.Errorf("core: GraphFactor must be a finite value > 0, got %v: %w", q.GraphFactor, ErrBadQuery)
 	}
 	if q.MaxAntecedent < 1 || q.MaxConsequent < 1 {
-		return fmt.Errorf("core: MaxAntecedent and MaxConsequent must be >= 1, got %d and %d", q.MaxAntecedent, q.MaxConsequent)
+		return fmt.Errorf("core: MaxAntecedent and MaxConsequent must be >= 1, got %d and %d: %w", q.MaxAntecedent, q.MaxConsequent, ErrBadQuery)
+	}
+	if q.TopK < 0 {
+		return fmt.Errorf("core: TopK must be >= 0, got %d: %w", q.TopK, ErrBadQuery)
+	}
+	if err := validateGroupFilter("AntecedentGroups", q.AntecedentGroups); err != nil {
+		return err
+	}
+	if err := validateGroupFilter("ConsequentGroups", q.ConsequentGroups); err != nil {
+		return err
+	}
+	for i, f := range q.SweepFactors {
+		if math.IsNaN(f) || f <= 0 {
+			return fmt.Errorf("core: SweepFactors[%d] must be a finite value > 0, got %v: %w", i, f, ErrBadQuery)
+		}
+		if f > q.DegreeFactor {
+			return fmt.Errorf("core: SweepFactors[%d] = %v exceeds DegreeFactor %v; rules above it are never formed, so the sweep count would be wrong: %w", i, f, q.DegreeFactor, ErrBadQuery)
+		}
+		if i > 0 && f <= q.SweepFactors[i-1] {
+			return fmt.Errorf("core: SweepFactors must be strictly ascending, got %v then %v: %w", q.SweepFactors[i-1], f, ErrBadQuery)
+		}
 	}
 	if q.Workers < 0 {
-		return fmt.Errorf("core: Workers must be >= 0, got %d", q.Workers)
+		return fmt.Errorf("core: Workers must be >= 0, got %d: %w", q.Workers, ErrBadQuery)
+	}
+	return nil
+}
+
+// validateGroupFilter checks the ordering contract of a group-name
+// filter: names are non-empty, sorted ascending, duplicate-free — the
+// canonical form NormalizeGroupFilters produces, and the only form the
+// canonical cache key admits (two spellings of one filter must not
+// occupy two cache entries).
+func validateGroupFilter(field string, names []string) error {
+	for i, n := range names {
+		if n == "" {
+			return fmt.Errorf("core: %s[%d] is empty: %w", field, i, ErrBadQuery)
+		}
+		if i > 0 && names[i-1] >= n {
+			return fmt.Errorf("core: %s must be sorted ascending without duplicates (got %q before %q); use NormalizeGroupFilters: %w", field, names[i-1], n, ErrBadQuery)
+		}
 	}
 	return nil
 }
@@ -162,7 +237,64 @@ func QuerySummary(s *summary.Summary, q QueryOptions) (*Result, error) {
 
 	e := &ruleEngine{opt: q, numGroups: groups, d0: d0}
 	rules, p2 := e.run(clusters, nominal, summaryCooccurrence(clusters, nominal))
-	return &Result{Clusters: clusters, Rules: rules, PhaseI: stats, PhaseII: p2}, nil
+	res := &Result{Clusters: clusters, Rules: rules, PhaseI: stats, PhaseII: p2}
+	if err := res.applyQueryModes(q, s.GroupIndex); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// applyQueryModes runs the deterministic post-processing pipeline over
+// the base rule set, in this fixed order:
+//
+//  1. measure annotation (QueryOptions.Measures),
+//  2. antecedent/consequent group filters,
+//  3. the degree-factor sweep (counted over the filtered rules),
+//  4. top-k truncation.
+//
+// Each stage is exactly the exported helper of the same name
+// (AnnotateMeasures, FilterRules, SweepRules, Result.TopRules), so a
+// fused engine answer equals the helpers applied to the unfiltered
+// answer bit for bit — the differential suite pins this composition.
+func (res *Result) applyQueryModes(q QueryOptions, groupIndex func(string) (int, bool)) error {
+	if q.Measures {
+		AnnotateMeasures(res)
+	}
+	if len(q.AntecedentGroups) > 0 || len(q.ConsequentGroups) > 0 {
+		ante, err := resolveGroupFilter("AntecedentGroups", q.AntecedentGroups, groupIndex)
+		if err != nil {
+			return err
+		}
+		cons, err := resolveGroupFilter("ConsequentGroups", q.ConsequentGroups, groupIndex)
+		if err != nil {
+			return err
+		}
+		res.Rules = FilterRules(res.Rules, res.Clusters, ante, cons)
+	}
+	if len(q.SweepFactors) > 0 {
+		res.Sweep = SweepRules(res.Rules, q.SweepFactors)
+	}
+	if q.TopK > 0 {
+		res.Rules = res.TopRules(q.TopK)
+	}
+	return nil
+}
+
+// resolveGroupFilter maps filter names onto group indices, rejecting
+// names the summary's partitioning does not have.
+func resolveGroupFilter(field string, names []string, groupIndex func(string) (int, bool)) ([]int, error) {
+	if len(names) == 0 {
+		return nil, nil
+	}
+	out := make([]int, len(names))
+	for i, n := range names {
+		g, ok := groupIndex(n)
+		if !ok {
+			return nil, fmt.Errorf("core: %s names unknown attribute group %q: %w", field, n, ErrBadQuery)
+		}
+		out[i] = g
+	}
+	return out, nil
 }
 
 // summaryCooccurrence derives the nominal co-occurrence counts Phase II

@@ -25,20 +25,25 @@ type ExportedCluster struct {
 	BoxExact    bool      `json:"boxExact"`
 }
 
-// ExportedRule is the JSON form of a DAR.
+// ExportedRule is the JSON form of a DAR. Measures appears only when
+// the query computed them (RuleMeasures.Conviction uses the
+// ConvictionInfinite sentinel, -1, where the measure diverges).
 type ExportedRule struct {
-	Antecedent  []int   `json:"antecedent"`
-	Consequent  []int   `json:"consequent"`
-	Description string  `json:"description"`
-	Degree      float64 `json:"degree"`
-	Support     int64   `json:"support"` // -1 when not counted
+	Antecedent  []int         `json:"antecedent"`
+	Consequent  []int         `json:"consequent"`
+	Description string        `json:"description"`
+	Degree      float64       `json:"degree"`
+	Support     int64         `json:"support"` // -1 when not counted
+	Measures    *RuleMeasures `json:"measures,omitempty"`
 }
 
-// ExportedResult is the JSON document.
+// ExportedResult is the JSON document. Sweep appears only when the
+// query asked for a degree-factor sweep.
 type ExportedResult struct {
 	Tuples   int               `json:"tuples"`
 	Clusters []ExportedCluster `json:"clusters"`
 	Rules    []ExportedRule    `json:"rules"`
+	Sweep    []SweepPoint      `json:"sweep,omitempty"`
 	PhaseI   ExportedPhaseI    `json:"phaseI"`
 	PhaseII  ExportedPhaseII   `json:"phaseII"`
 }
@@ -98,8 +103,10 @@ func Export(res *Result, rel relation.Source, part *relation.Partitioning) Expor
 			Description: res.DescribeRule(r, rel, part),
 			Degree:      r.Degree,
 			Support:     r.Support,
+			Measures:    r.Measures,
 		})
 	}
+	out.Sweep = res.Sweep
 	return out
 }
 

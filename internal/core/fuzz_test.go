@@ -1,0 +1,98 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/distance"
+)
+
+// FuzzQueryOptions fuzzes the canonical-key codec through arbitrary
+// QueryOptions, pinning the property the serving cache depends on:
+//
+//   - CanonicalKey never panics, whatever the options hold;
+//   - ParseCanonicalKey(q.CanonicalKey()) succeeds exactly when q
+//     validates (Workers aside — the key deliberately excludes it), so
+//     Validate rejects precisely what the parser refuses;
+//   - on success the round trip is lossless and re-renders the same
+//     key — the encoding is injective, one query one cache entry.
+func FuzzQueryOptions(f *testing.F) {
+	f.Add(int(0), 0.03, 1.0, 2.0, 0, 3, 2, 0, true, true, false, "", "", 0.0, 0.0, uint8(0))
+	f.Add(int(2), 0.05, 1.0, 2.0, 0, 3, 2, 3, true, false, true, "Job", "Salary\nAge", 0.25, 0.5, uint8(2))
+	f.Add(int(-1), 0.03, 1.0, 2.0, 0, 3, 2, 0, false, false, false, "", "", 0.0, 0.0, uint8(0))
+	f.Add(int(99), -0.5, 0.0, -1.0, -2, 0, 0, -4, false, true, true, "b\na", "dup\ndup", 2.0, 1.0, uint8(2))
+	f.Add(int(1), 0.1, 0.5, 1.0, 1, 2, 2, 1, true, true, true, "weird \"name\"\n∧ ⇒ [,]", "", 0.125, 0.25, uint8(1))
+
+	f.Fuzz(func(t *testing.T, metric int, freq, degree, graph float64,
+		minsize, maxant, maxcon, topk int, refine, prune, measures bool,
+		anteRaw, consRaw string, s1, s2 float64, nsweep uint8) {
+
+		names := func(raw string) []string {
+			if raw == "" {
+				return nil
+			}
+			return strings.Split(raw, "\n")
+		}
+		var sweep []float64
+		if nsweep%3 >= 1 {
+			sweep = append(sweep, s1)
+		}
+		if nsweep%3 >= 2 {
+			sweep = append(sweep, s2)
+		}
+		q := QueryOptions{
+			// Arbitrary ints cover both valid metrics and out-of-range
+			// values, which Validate and the parser must both refuse.
+			Metric:            distance.ClusterMetric(metric),
+			FrequencyFraction: freq,
+			MinClusterSize:    minsize,
+			DegreeFactor:      degree,
+			GraphFactor:       graph,
+			MaxAntecedent:     maxant,
+			MaxConsequent:     maxcon,
+			GlobalRefine:      refine,
+			PruneImages:       prune,
+			Measures:          measures,
+			AntecedentGroups:  names(anteRaw),
+			ConsequentGroups:  names(consRaw),
+			SweepFactors:      sweep,
+			TopK:              topk,
+			// Workers stays 0: the canonical key excludes it by design
+			// (any worker count yields identical output), so the
+			// round-trip property only holds with it zeroed.
+		}
+
+		key := q.CanonicalKey() // must be total: no panic on any input
+		parsed, perr := ParseCanonicalKey(key)
+		verr := q.Validate()
+
+		if (perr == nil) != (verr == nil) {
+			t.Fatalf("parse/validate disagree on %q:\n  parse:    %v\n  validate: %v", key, perr, verr)
+		}
+		if verr != nil {
+			return
+		}
+		if !reflect.DeepEqual(normalizeQuery(parsed), normalizeQuery(q)) {
+			t.Fatalf("round trip lost information:\n  in  %+v\n  out %+v\n  key %q", q, parsed, key)
+		}
+		if again := parsed.CanonicalKey(); again != key {
+			t.Fatalf("re-render differs:\n  first  %q\n  second %q", key, again)
+		}
+	})
+}
+
+// normalizeQuery maps nil and empty slices onto one representation:
+// the canonical key cannot (and should not) distinguish them.
+func normalizeQuery(q QueryOptions) QueryOptions {
+	if len(q.AntecedentGroups) == 0 {
+		q.AntecedentGroups = nil
+	}
+	if len(q.ConsequentGroups) == 0 {
+		q.ConsequentGroups = nil
+	}
+	if len(q.SweepFactors) == 0 {
+		q.SweepFactors = nil
+	}
+	return q
+}

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"sort"
+)
+
+// Interestingness measures, filters, degree sweeps and top-k selection
+// over a mined rule set. Every function here is a pure, deterministic
+// post-processing step over (Rules, Clusters, tuple count): QuerySummary
+// fuses them behind QueryOptions flags, and the differential test suite
+// asserts the fused answers equal these helpers applied to the base
+// answer bit for bit, at every worker count and over merged-shard
+// summaries.
+
+// ConvictionInfinite is the sentinel RuleMeasures.Conviction takes when
+// the measure diverges (Confidence == 1 makes its denominator zero).
+// JSON cannot carry +Inf, and the serving contract is "CLI and server
+// emit the same bytes", so the divergence is encoded in-band: conviction
+// is otherwise always >= 0, making -1 unambiguous.
+const ConvictionInfinite = -1
+
+// RuleMeasures are the summary-derived interestingness measures of one
+// rule. Everything is computed from quantities the ACF summaries carry
+// exactly — per-cluster tuple counts (ACF.N, additive across shards),
+// the relation size, and the rule's degree — so measures are identical
+// across worker counts and between merged-shard and single-pass
+// summaries.
+//
+// The probabilistic reading: with n the relation size and each cluster C
+// covering N(C) tuples, a cluster set's joint support cannot exceed the
+// support of its rarest member (the Fréchet bound), which is the best
+// estimate available without a data rescan.
+type RuleMeasures struct {
+	// Support is the Fréchet upper bound on the rule's joint support
+	// fraction: min over every cluster of the rule of N(C)/n.
+	Support float64 `json:"support"`
+	// Confidence is the degree-derived confidence analogue,
+	// 1 − min(Degree, 1). Under the 0/1 metric the degree of a nominal
+	// consequent is exactly 1 − classical confidence (Theorem 5.2), so
+	// for nominal consequents this IS classical confidence; for interval
+	// consequents it reads "how closely the antecedent's image tracks
+	// the consequent cluster", normalized to [0, 1].
+	Confidence float64 `json:"confidence"`
+	// Lift is Confidence / Support(consequent): how much more confident
+	// the rule is than blind guessing of the consequent. Always >= 0;
+	// > 1 indicates positive association.
+	Lift float64 `json:"lift"`
+	// Conviction is (1 − Support(consequent)) / (1 − Confidence), the
+	// Brin et al. implication strength; ConvictionInfinite (-1) when
+	// Confidence == 1. Otherwise always >= 0.
+	Conviction float64 `json:"conviction"`
+}
+
+// ComputeMeasures derives the measures of one rule from the cluster
+// tuple counts and the relation size. tuples <= 0 yields zero measures
+// (an empty relation forms no rules; the guard keeps the function
+// total).
+func ComputeMeasures(r Rule, clusters []*Cluster, tuples int) RuleMeasures {
+	if tuples <= 0 {
+		return RuleMeasures{}
+	}
+	n := float64(tuples)
+	minSupp := func(ids []int) float64 {
+		supp := 1.0
+		for _, id := range ids {
+			if s := float64(clusters[id].N()) / n; s < supp {
+				supp = s
+			}
+		}
+		return supp
+	}
+	suppAnte := minSupp(r.Antecedent)
+	suppCons := minSupp(r.Consequent)
+	m := RuleMeasures{Support: suppAnte}
+	if suppCons < m.Support {
+		m.Support = suppCons
+	}
+	m.Confidence = 1 - r.Degree
+	if m.Confidence < 0 {
+		m.Confidence = 0
+	}
+	if suppCons > 0 {
+		m.Lift = m.Confidence / suppCons
+	}
+	if m.Confidence == 1 {
+		m.Conviction = ConvictionInfinite
+	} else {
+		m.Conviction = (1 - suppCons) / (1 - m.Confidence)
+	}
+	return m
+}
+
+// AnnotateMeasures attaches RuleMeasures to every rule of the result,
+// using the result's recorded tuple count. Idempotent: re-annotating
+// overwrites with identical values.
+func AnnotateMeasures(res *Result) {
+	for i := range res.Rules {
+		m := ComputeMeasures(res.Rules[i], res.Clusters, res.PhaseI.TuplesScanned)
+		res.Rules[i].Measures = &m
+	}
+}
+
+// FilterRules returns the rules passing both group filters, in their
+// original order:
+//
+//   - anteGroups (indices): the antecedent must cover every listed
+//     group, possibly among others;
+//   - consGroups (indices): every consequent cluster must lie on one of
+//     the listed groups (the target filter).
+//
+// Empty filters pass everything. The returned slice shares no backing
+// array with the input.
+func FilterRules(rules []Rule, clusters []*Cluster, anteGroups, consGroups []int) []Rule {
+	var consSet map[int]bool
+	if len(consGroups) > 0 {
+		consSet = make(map[int]bool, len(consGroups))
+		for _, g := range consGroups {
+			consSet[g] = true
+		}
+	}
+	var out []Rule
+	for _, r := range rules {
+		if !coversGroups(r.Antecedent, clusters, anteGroups) {
+			continue
+		}
+		if consSet != nil && !withinGroups(r.Consequent, clusters, consSet) {
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// coversGroups reports whether the clusters' groups include every
+// required group index.
+func coversGroups(ids []int, clusters []*Cluster, required []int) bool {
+	for _, g := range required {
+		found := false
+		for _, id := range ids {
+			if clusters[id].Group == g {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// withinGroups reports whether every cluster lies on an allowed group.
+func withinGroups(ids []int, clusters []*Cluster, allowed map[int]bool) bool {
+	for _, id := range ids {
+		if !allowed[clusters[id].Group] {
+			return false
+		}
+	}
+	return true
+}
+
+// SweepPoint is one entry of a degree-factor sweep.
+type SweepPoint struct {
+	// Factor is the degree factor swept.
+	Factor float64 `json:"factor"`
+	// Rules counts the rules holding at that factor (Degree <= Factor).
+	Rules int `json:"rules"`
+}
+
+// SweepRules counts, for each factor, the rules holding at that degree
+// factor. Rules are sorted by ascending degree, so each count is a
+// binary search; a rule of degree d holds for every factor >= d
+// (Dfn 5.3), which is what makes a one-pass sweep exact as long as every
+// factor stays within the mining DegreeFactor (validated).
+func SweepRules(rules []Rule, factors []float64) []SweepPoint {
+	out := make([]SweepPoint, len(factors))
+	for i, f := range factors {
+		out[i] = SweepPoint{
+			Factor: f,
+			Rules:  sort.Search(len(rules), func(j int) bool { return rules[j].Degree > f }),
+		}
+	}
+	return out
+}
+
+// NormalizeGroupFilters sorts and deduplicates both group filters in
+// place, establishing the canonical form validate requires. Callers
+// assembling QueryOptions from user input (CLI flags, HTTP bodies)
+// should normalize before validating; two spellings of one filter then
+// share a canonical key, and so a cache entry.
+func NormalizeGroupFilters(q *QueryOptions) {
+	q.AntecedentGroups = normalizeNames(q.AntecedentGroups)
+	q.ConsequentGroups = normalizeNames(q.ConsequentGroups)
+}
+
+func normalizeNames(names []string) []string {
+	if len(names) == 0 {
+		return names
+	}
+	sorted := append([]string(nil), names...)
+	sort.Strings(sorted)
+	out := sorted[:0]
+	for _, n := range sorted {
+		if len(out) > 0 && out[len(out)-1] == n {
+			continue
+		}
+		out = append(out, n)
+	}
+	return out
+}

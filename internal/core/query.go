@@ -4,7 +4,12 @@ package core
 // (lowest degree) first, so slicing-style helpers stay cheap.
 
 // TopRules returns the k strongest rules (all of them if k exceeds the
-// count or is non-positive).
+// count or is non-positive). "Strongest" is the rule total order —
+// ascending Degree, then Antecedent, then Consequent lexicographic —
+// which is total because (antecedent, consequent) pairs are unique, so
+// the selection is deterministic with no residual ties to break; it is
+// also the tie-break contract of QueryOptions.TopK, whose truncation is
+// exactly this helper.
 func (res *Result) TopRules(k int) []Rule {
 	if k <= 0 || k > len(res.Rules) {
 		k = len(res.Rules)

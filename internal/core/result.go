@@ -28,6 +28,9 @@ type Rule struct {
 	Support int64
 	// SupportFraction is Support / |r| (0 when not counted).
 	SupportFraction float64
+	// Measures holds the summary-derived interestingness measures when
+	// the query asked for them (QueryOptions.Measures); nil otherwise.
+	Measures *RuleMeasures
 }
 
 // Arity returns (antecedent size, consequent size).
@@ -38,8 +41,13 @@ type Result struct {
 	// Clusters are the frequent clusters of Phase I; rules index into
 	// this slice.
 	Clusters []*Cluster
-	// Rules are the DARs, sorted by ascending degree (strongest first).
+	// Rules are the DARs, sorted by the total order (ascending Degree,
+	// then Antecedent, then Consequent lexicographic — strongest first);
+	// query-time filters and top-k truncation preserve it.
 	Rules []Rule
+	// Sweep holds the degree-factor sweep when the query asked for one
+	// (QueryOptions.SweepFactors); nil otherwise.
+	Sweep []SweepPoint
 
 	PhaseI   PhaseIStats
 	PhaseII  PhaseIIStats

@@ -128,7 +128,7 @@ const (
 // String returns the conventional name ("D0".."D4").
 func (m ClusterMetric) String() string {
 	names := [...]string{"D0", "D1", "D2", "D3", "D4"}
-	if int(m) < len(names) {
+	if m >= 0 && int(m) < len(names) {
 		return names[m]
 	}
 	return "D?"

@@ -12,6 +12,7 @@ func TestMapOrder(t *testing.T) {
 		"maporder",               // general idioms
 		"internal/summary/codec", // serializer-shaped cases (histogram emission)
 		"internal/intern",        // key-interning tables (index-only is clean)
+		"internal/query",         // top-k truncation over signature maps
 	)
 }
 

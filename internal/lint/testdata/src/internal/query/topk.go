@@ -1,0 +1,68 @@
+// Fixture for the maporder analyzer: top-k selection over a
+// signature → degree map, the shape of the query engine's rule-diff and
+// top-k paths. Picking the K strongest entries is only deterministic if
+// the drained candidates are totally ordered before truncation; a
+// degree-only sort leaves ties in map order, and skipping the sort
+// leaks it outright.
+package query
+
+import "sort"
+
+type scored struct {
+	sig    string
+	degree float64
+}
+
+// topKNoSort drains the candidate map and truncates without sorting:
+// the "top" K are whatever map order produced. Flagged.
+func topKNoSort(degrees map[string]float64, k int) []scored {
+	var out []scored
+	for sig, d := range degrees {
+		out = append(out, scored{sig, d}) // want `out accumulates map-iteration results but is never deterministically sorted`
+	}
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// topKSorted is the sanctioned shape: collect, impose the total order
+// (degree, then signature — degrees tie), then truncate.
+func topKSorted(degrees map[string]float64, k int) []scored {
+	var out []scored
+	for sig, d := range degrees {
+		out = append(out, scored{sig, d})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].degree != out[j].degree {
+			return out[i].degree < out[j].degree
+		}
+		return out[i].sig < out[j].sig
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// strongest reduces commutatively — a running minimum needs no order —
+// so nothing is flagged.
+func strongest(degrees map[string]float64) (best string, min float64) {
+	min = 2
+	for sig, d := range degrees {
+		if d < min || (d == min && sig < best) {
+			best, min = sig, d
+		}
+	}
+	return best, min
+}
+
+// sweepCounts indexes the map per factor instead of ranging over it:
+// no iteration order exists to leak.
+func sweepCounts(degrees map[string]float64, factors []string) []float64 {
+	out := make([]float64, 0, len(factors))
+	for _, f := range factors {
+		out = append(out, degrees[f])
+	}
+	return out
+}

@@ -7,6 +7,7 @@
 //	POST /v1/ingest?name=N[&d0=…&memory=…&workers=…&groups=…]   CSV body → stored summary
 //	POST /v1/summaries/{name}/merge                             .acfsum shard body → merged artifact
 //	POST /v1/summaries/{name}/query                             JSON options → rules
+//	POST /v1/summaries/{name}/diff/{other}                      JSON options → rule diff name → other
 //	GET  /v1/summaries[/{name}]                                 catalog inspection
 //	GET  /metrics                                               expvar-style counters and gauges
 //
@@ -41,7 +42,16 @@ type queryRequest struct {
 	MaxConsequent     *int     `json:"maxConsequent,omitempty"`
 	GlobalRefine      *bool    `json:"globalRefine,omitempty"`
 	PruneImages       *bool    `json:"pruneImages,omitempty"`
-	Workers           int      `json:"workers,omitempty"`
+	// Query modes (see core.QueryOptions). Group filters are
+	// normalized server-side (sorted, deduplicated), so two spellings
+	// of one filter share a cache entry; sweep factors are not — their
+	// order is part of the request contract.
+	Measures         *bool     `json:"measures,omitempty"`
+	AntecedentGroups []string  `json:"antecedentGroups,omitempty"`
+	ConsequentGroups []string  `json:"consequentGroups,omitempty"`
+	SweepFactors     []float64 `json:"sweepFactors,omitempty"`
+	TopK             *int      `json:"topK,omitempty"`
+	Workers          int       `json:"workers,omitempty"`
 }
 
 // options resolves the request against the defaults and validates it.
@@ -78,7 +88,17 @@ func (qr queryRequest) options() (core.QueryOptions, error) {
 	if qr.PruneImages != nil {
 		q.PruneImages = *qr.PruneImages
 	}
+	if qr.Measures != nil {
+		q.Measures = *qr.Measures
+	}
+	q.AntecedentGroups = qr.AntecedentGroups
+	q.ConsequentGroups = qr.ConsequentGroups
+	q.SweepFactors = qr.SweepFactors
+	if qr.TopK != nil {
+		q.TopK = *qr.TopK
+	}
 	q.Workers = qr.Workers
+	core.NormalizeGroupFilters(&q)
 	if err := q.Validate(); err != nil {
 		return q, err
 	}

@@ -35,10 +35,10 @@ func newResultCache(budget int64) *resultCache {
 	return &resultCache{budget: budget, m: make(map[string]*cacheEntry)}
 }
 
-// cacheKey renders the composite key. The name goes last and the
-// version is length-prefixed by strconv's natural formatting with a
-// separator that cannot appear in canonical option strings or catalog
-// names, so keys can never collide across summaries.
+// cacheKey renders the composite key: name, version, canonical option
+// string, separated by a byte that cannot appear in catalog names or
+// canonical strings, so keys can never collide across summaries (and
+// diff keys — see diffCacheKey — stay in their own namespace).
 func cacheKey(name string, version uint64, canonical string) string {
 	return name + "\x00" + strconv.FormatUint(version, 10) + "\x00" + canonical
 }
@@ -93,16 +93,21 @@ func (c *resultCache) put(key string, body []byte) {
 }
 
 // invalidate eagerly removes every entry belonging to a summary name
-// (all versions). Called on ingest-over and merge.
+// (all versions). Called on ingest-over and merge. Diff entries name
+// two summaries — the old side as the key prefix, the new side after
+// the "diff" marker — and go when either is invalidated. (Version
+// embedding already makes stale entries unreachable; this sweep just
+// frees their bytes promptly.)
 func (c *resultCache) invalidate(name string) {
 	if c.budget <= 0 {
 		return
 	}
 	prefix := name + "\x00"
+	diffMark := "\x00diff\x00" + name + "\x00"
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for key, e := range c.m {
-		if strings.HasPrefix(key, prefix) {
+		if strings.HasPrefix(key, prefix) || strings.Contains(key, diffMark) {
 			delete(c.m, key)
 			c.bytes -= int64(len(e.body))
 		}

@@ -21,6 +21,7 @@ type Metrics struct {
 	IngestRequests atomic.Int64
 	MergeRequests  atomic.Int64
 	QueryRequests  atomic.Int64
+	DiffRequests   atomic.Int64
 	ListRequests   atomic.Int64
 
 	// Errors counts requests answered with a 4xx/5xx status.
@@ -51,6 +52,7 @@ func (m *Metrics) snapshot(gauges map[string]int64) map[string]int64 {
 		"ingest_requests_total":     m.IngestRequests.Load(),
 		"merge_requests_total":      m.MergeRequests.Load(),
 		"query_requests_total":      m.QueryRequests.Load(),
+		"diff_requests_total":       m.DiffRequests.Load(),
 		"list_requests_total":       m.ListRequests.Load(),
 		"errors_total":              m.Errors.Load(),
 		"query_cache_hits_total":    m.QueryCacheHits.Load(),

@@ -1,0 +1,382 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/relation"
+	"repro/internal/summary"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden HTTP transcripts in testdata/")
+
+// jobsCSV renders the deterministic Job/Salary dataset of the query-mode
+// transcripts. With raise set, every manager moves from 90000 to 95000 —
+// the drift the diff transcript pins.
+func jobsCSV(raise bool) []byte {
+	var b bytes.Buffer
+	b.WriteString("Job:nominal,Age:interval,Salary:interval\n")
+	mgr := 90000
+	if raise {
+		mgr = 95000
+	}
+	for i := 0; i < 40; i++ {
+		fmt.Fprintf(&b, "DBA,%d,40000\n", 28+i%5)
+	}
+	for i := 0; i < 10; i++ {
+		fmt.Fprintf(&b, "DBA,%d,46000\n", 30+i%4)
+	}
+	for i := 0; i < 15; i++ {
+		fmt.Fprintf(&b, "Mgr,%d,%d\n", 44+i%4, mgr)
+	}
+	return b.Bytes()
+}
+
+// postDiff POSTs a diff request between two catalog summaries.
+func postDiff(t *testing.T, ts *httptest.Server, oldName, newName, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/summaries/"+oldName+"/diff/"+newName,
+		"application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST diff: %v", err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading diff response: %v", err)
+	}
+	return resp, b
+}
+
+// checkGolden compares a served body against a testdata transcript,
+// rewriting the file under -update.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatalf("mkdir testdata: %v", err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatalf("writing %s: %v", path, err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading %s (run `go test ./internal/server -run TestQueryModeGoldenTranscripts -update` to create it): %v", path, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted:\n got:\n%s\nwant:\n%s", name, got, want)
+	}
+}
+
+// TestQueryModeGoldenTranscripts pins the served bytes of the three new
+// query modes — top-k, filtered+swept, and rule-diff — against golden
+// transcripts. Everything in these documents is deterministic
+// (wall-clock lines are stripped from query bodies; diff bodies carry
+// none), so any drift is a real serving-contract change.
+func TestQueryModeGoldenTranscripts(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	postIngest(t, ts, "jobs", "", jobsCSV(false))
+	postIngest(t, ts, "jobsraise", "", jobsCSV(true))
+
+	resp, body := postQuery(t, ts, "jobs", `{"measures":true,"topK":3}`)
+	if resp.StatusCode != 200 {
+		t.Fatalf("topk query: %d: %s", resp.StatusCode, body)
+	}
+	checkGolden(t, "golden_query_topk.json", stripDurations(body))
+
+	resp, body = postQuery(t, ts, "jobs",
+		`{"measures":true,"consequentGroups":["Salary"],"sweepFactors":[0.5,1]}`)
+	if resp.StatusCode != 200 {
+		t.Fatalf("filter query: %d: %s", resp.StatusCode, body)
+	}
+	checkGolden(t, "golden_query_filter.json", stripDurations(body))
+
+	resp, body = postDiff(t, ts, "jobs", "jobsraise", `{}`)
+	if resp.StatusCode != 200 {
+		t.Fatalf("diff: %d: %s", resp.StatusCode, body)
+	}
+	checkGolden(t, "golden_diff.json", body)
+
+	// Sanity beyond byte-pinning: the diff must report the raise.
+	var d core.RuleDiff
+	if err := json.Unmarshal(body, &d); err != nil {
+		t.Fatalf("parsing diff: %v", err)
+	}
+	if len(d.Added) == 0 || len(d.Removed) == 0 {
+		t.Errorf("diff misses the manager raise: %+v", d)
+	}
+}
+
+// TestServedDiffMatchesLocal is the CLI ≡ server differential for the
+// diff endpoint: the served body is byte-identical to DiffRules +
+// WriteDiffJSON over summaries built by the same ingest pipeline
+// in-process.
+func TestServedDiffMatchesLocal(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	oldCSV, newCSV := jobsCSV(false), jobsCSV(true)
+	postIngest(t, ts, "old", "", oldCSV)
+	postIngest(t, ts, "new", "", newCSV)
+
+	side := func(csv []byte) (*core.Result, *relation.Relation, *relation.Partitioning) {
+		rel, err := relation.ReadCSV(bytes.NewReader(csv))
+		if err != nil {
+			t.Fatalf("ReadCSV: %v", err)
+		}
+		part, err := relation.ParseGroupsSpec(rel.Schema(), "")
+		if err != nil {
+			t.Fatalf("ParseGroupsSpec: %v", err)
+		}
+		opt := core.DefaultOptions()
+		opt.DiameterThreshold = 0
+		suggested, err := core.SuggestThresholds(rel, part, core.AdvisorOptions{})
+		if err != nil {
+			t.Fatalf("SuggestThresholds: %v", err)
+		}
+		opt.DiameterThresholds = suggested
+		sum, err := core.Ingest(rel, part, opt)
+		if err != nil {
+			t.Fatalf("Ingest: %v", err)
+		}
+		encoded, err := summary.Encode(sum)
+		if err != nil {
+			t.Fatalf("Encode: %v", err)
+		}
+		decoded, err := summary.Decode(encoded)
+		if err != nil {
+			t.Fatalf("Decode: %v", err)
+		}
+		q := core.DefaultQueryOptions()
+		res, err := core.QuerySummary(decoded, q)
+		if err != nil {
+			t.Fatalf("QuerySummary: %v", err)
+		}
+		schema, err := decoded.Schema()
+		if err != nil {
+			t.Fatalf("Schema: %v", err)
+		}
+		qpart, err := decoded.Partitioning(schema)
+		if err != nil {
+			t.Fatalf("Partitioning: %v", err)
+		}
+		return res, relation.NewRelation(schema), qpart
+	}
+	oldRes, oldRel, oldPart := side(oldCSV)
+	newRes, newRel, newPart := side(newCSV)
+	var local bytes.Buffer
+	if err := core.WriteDiffJSON(&local, core.DiffRules(oldRes, newRes, oldRel, newRel, oldPart, newPart)); err != nil {
+		t.Fatalf("WriteDiffJSON: %v", err)
+	}
+
+	resp, served := postDiff(t, ts, "old", "new", "")
+	if resp.StatusCode != 200 {
+		t.Fatalf("diff: %d: %s", resp.StatusCode, served)
+	}
+	if !bytes.Equal(served, local.Bytes()) {
+		t.Errorf("served diff differs from the local pipeline:\n served:\n%s\n local:\n%s", served, local.Bytes())
+	}
+}
+
+// TestModeCacheKeysDistinct: every distinct mode configuration owns its
+// own cache entry (no collisions), while two spellings of one filter
+// share theirs (normalization); diff results never collide with query
+// results over the same summary and options.
+func TestModeCacheKeysDistinct(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	postIngest(t, ts, "jobs", "", jobsCSV(false))
+
+	mode := func(body string) (string, []byte) {
+		resp, b := postQuery(t, ts, "jobs", body)
+		if resp.StatusCode != 200 {
+			t.Fatalf("query %s: %d: %s", body, resp.StatusCode, b)
+		}
+		return resp.Header.Get("X-Dard-Cache"), b
+	}
+
+	// Distinct configurations must all miss: any collision would serve
+	// one mode's body for another.
+	bodies := []string{
+		`{}`,
+		`{"topK":1}`,
+		`{"topK":2}`,
+		`{"measures":true}`,
+		`{"antecedentGroups":["Job"]}`,
+		`{"consequentGroups":["Job"]}`,
+		`{"sweepFactors":[0.5]}`,
+		`{"sweepFactors":[0.5,1]}`,
+	}
+	payloads := make(map[string]string)
+	for _, body := range bodies {
+		cache, b := mode(body)
+		if cache != "miss" {
+			t.Errorf("first %s: X-Dard-Cache = %q, want miss", body, cache)
+		}
+		payloads[body] = string(b)
+	}
+	for _, body := range bodies {
+		cache, b := mode(body)
+		if cache != "hit" {
+			t.Errorf("second %s: X-Dard-Cache = %q, want hit", body, cache)
+		}
+		if string(b) != payloads[body] {
+			t.Errorf("%s: hit served different bytes than the miss", body)
+		}
+	}
+
+	// Normalization: two spellings of one filter share one entry.
+	cache, _ := mode(`{"consequentGroups":["Salary","Job"]}`)
+	if cache != "miss" {
+		t.Fatalf("unsorted filter: X-Dard-Cache = %q, want miss", cache)
+	}
+	cache, _ = mode(`{"consequentGroups":["Job","Salary","Job"]}`)
+	if cache != "hit" {
+		t.Errorf("normalized respelling missed the cache: %q", cache)
+	}
+
+	// A self-diff under default options shares its canonical options
+	// string with the plain query — but must not share its cache entry.
+	resp, diffBody := postDiff(t, ts, "jobs", "jobs", `{}`)
+	if resp.StatusCode != 200 {
+		t.Fatalf("self-diff: %d: %s", resp.StatusCode, diffBody)
+	}
+	if c := resp.Header.Get("X-Dard-Cache"); c != "miss" {
+		t.Errorf("first self-diff: X-Dard-Cache = %q, want miss (query entry must not leak into diffs)", c)
+	}
+	if string(diffBody) == payloads[`{}`] {
+		t.Error("diff served a query body")
+	}
+	resp, again := postDiff(t, ts, "jobs", "jobs", `{}`)
+	if c := resp.Header.Get("X-Dard-Cache"); c != "hit" {
+		t.Errorf("second self-diff: X-Dard-Cache = %q, want hit", c)
+	}
+	if !bytes.Equal(diffBody, again) {
+		t.Error("diff hit served different bytes than the miss")
+	}
+}
+
+// TestDiffCacheKeyNamespace unit-tests the shared-cache key scheme:
+// query and diff keys over the same (name, version, options) are
+// distinct, and invalidate removes diff entries when either side's
+// summary changes.
+func TestDiffCacheKeyNamespace(t *testing.T) {
+	canonical := core.DefaultQueryOptions().CanonicalKey()
+	qk := cacheKey("a", 1, canonical)
+	dk := diffCacheKey("a", 1, "b", 1, canonical)
+	if qk == dk {
+		t.Fatalf("query and diff keys collide: %q", qk)
+	}
+
+	c := newResultCache(1 << 20)
+	c.put(qk, []byte("query"))
+	c.put(dk, []byte("diff"))
+
+	c.invalidate("b") // new side of the diff: diff entry goes, query stays
+	if _, ok := c.get(dk); ok {
+		t.Error("diff entry survived invalidation of its new side")
+	}
+	if _, ok := c.get(qk); !ok {
+		t.Error("query entry lost to an unrelated invalidation")
+	}
+
+	c.put(dk, []byte("diff"))
+	c.invalidate("a") // old side: both go
+	if _, ok := c.get(dk); ok {
+		t.Error("diff entry survived invalidation of its old side")
+	}
+	if _, ok := c.get(qk); ok {
+		t.Error("query entry survived invalidation of its summary")
+	}
+}
+
+// TestQueryModeValidationSurface sweeps the new 4xx surface: every
+// malformed mode configuration must map to a clean client error with
+// the uniform error document, never a 500.
+func TestQueryModeValidationSurface(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	postIngest(t, ts, "jobs", "", jobsCSV(false))
+
+	cases := []struct {
+		name, url, body string
+		want            int
+	}{
+		{"negative topk", "/v1/summaries/jobs/query", `{"topK":-1}`, 400},
+		{"unsorted sweep", "/v1/summaries/jobs/query", `{"sweepFactors":[0.5,0.2]}`, 400},
+		{"duplicate sweep", "/v1/summaries/jobs/query", `{"sweepFactors":[0.5,0.5]}`, 400},
+		{"sweep beyond degree", "/v1/summaries/jobs/query", `{"sweepFactors":[2]}`, 400},
+		{"nonpositive sweep", "/v1/summaries/jobs/query", `{"sweepFactors":[0]}`, 400},
+		{"empty group name", "/v1/summaries/jobs/query", `{"antecedentGroups":[""]}`, 400},
+		{"unknown ante group", "/v1/summaries/jobs/query", `{"antecedentGroups":["NoSuch"]}`, 400},
+		{"unknown cons group", "/v1/summaries/jobs/query", `{"consequentGroups":["NoSuch"]}`, 400},
+		{"mistyped mode field", "/v1/summaries/jobs/query", `{"topK":"three"}`, 400},
+		{"unknown mode field", "/v1/summaries/jobs/query", `{"topKay":3}`, 400},
+		{"diff unknown old", "/v1/summaries/nosuch/diff/jobs", `{}`, 404},
+		{"diff unknown new", "/v1/summaries/jobs/diff/nosuch", `{}`, 404},
+		{"diff bad other name", "/v1/summaries/jobs/diff/..%2fetc", `{}`, 400},
+		{"diff bad options", "/v1/summaries/jobs/diff/jobs", `{"topK":-1}`, 400},
+		{"diff malformed body", "/v1/summaries/jobs/diff/jobs", `{"topK":`, 400},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+tc.url, "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatalf("POST: %v", err)
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != tc.want {
+				t.Errorf("status = %d, want %d (body %s)", resp.StatusCode, tc.want, body)
+			}
+			var e errorResponse
+			if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+				t.Errorf("error body %q is not the uniform error document", body)
+			}
+		})
+	}
+
+	// The unknown-group errors surface on the execution path (the group
+	// set lives in the summary, not the request) — make sure repeated
+	// failures stay 400s and never poison the cache.
+	for i := 0; i < 2; i++ {
+		resp, err := http.Post(ts.URL+"/v1/summaries/jobs/query", "application/json",
+			strings.NewReader(`{"antecedentGroups":["NoSuch"]}`))
+		if err != nil {
+			t.Fatalf("POST: %v", err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 400 {
+			t.Errorf("attempt %d: unknown group returned %d, want 400", i, resp.StatusCode)
+		}
+	}
+}
+
+// TestDiffMetrics: the diff endpoint maintains its own request counter
+// alongside the shared query ledger.
+func TestDiffMetrics(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	postIngest(t, ts, "jobs", "", jobsCSV(false))
+	for i := 0; i < 3; i++ {
+		resp, body := postDiff(t, ts, "jobs", "jobs", `{}`)
+		if resp.StatusCode != 200 {
+			t.Fatalf("diff %d: %d: %s", i, resp.StatusCode, body)
+		}
+	}
+	snap := srv.metrics.snapshot(srv.gauges())
+	if snap["diff_requests_total"] != 3 {
+		t.Errorf("diff_requests_total = %d, want 3", snap["diff_requests_total"])
+	}
+	if snap["query_executions_total"] != 1 {
+		t.Errorf("query_executions_total = %d, want 1 (two diffs should have hit the cache)", snap["query_executions_total"])
+	}
+}

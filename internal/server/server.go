@@ -110,6 +110,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/summaries/{name}", s.handleDetail)
 	mux.HandleFunc("POST /v1/summaries/{name}/merge", s.handleMerge)
 	mux.HandleFunc("POST /v1/summaries/{name}/query", s.handleQuery)
+	mux.HandleFunc("POST /v1/summaries/{name}/diff/{other}", s.handleDiff)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -445,11 +446,16 @@ func (s *Server) serveResult(w http.ResponseWriter, version uint64, cacheMode st
 	w.Write(body) //nolint:errcheck // client went away; nothing to do
 }
 
-// writeCatalogError maps catalog failures onto HTTP statuses.
+// writeCatalogError maps catalog and execution failures onto HTTP
+// statuses. core.ErrBadQuery covers option/summary mismatches only
+// detectable at execution time (a group filter naming a group this
+// summary does not have) — the client's fault, a 400.
 func (s *Server) writeCatalogError(w http.ResponseWriter, name string, err error) {
 	switch {
 	case errors.Is(err, errUnknownSummary):
 		s.writeError(w, http.StatusNotFound, "unknown summary %q", name)
+	case errors.Is(err, core.ErrBadQuery):
+		s.writeError(w, http.StatusBadRequest, "%v", err)
 	case errors.Is(err, summary.ErrCorrupt), errors.Is(err, summary.ErrVersion):
 		s.writeError(w, http.StatusInternalServerError, "%v", err)
 	default:

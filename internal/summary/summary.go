@@ -106,6 +106,17 @@ func (s *Summary) Fingerprint() uint64 {
 	return h.Sum64()
 }
 
+// GroupIndex returns the index of the named attribute group; group
+// names are unique within a partitioning, so the answer is unambiguous.
+func (s *Summary) GroupIndex(name string) (int, bool) {
+	for g := range s.Groups {
+		if s.Groups[g].Name == name {
+			return g, true
+		}
+	}
+	return 0, false
+}
+
 // Shape returns the cf.Shape of the partitioning.
 func (s *Summary) Shape() cf.Shape {
 	shape := make(cf.Shape, len(s.Groups))
