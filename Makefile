@@ -4,7 +4,11 @@
 # race-free). `make lint` runs darlint, the custom go/analysis suite in
 # internal/lint that enforces the determinism & concurrency invariants
 # (map-order leaks, wall-clock/rand/env in result paths, unsanctioned
-# goroutines, atomic/plain access mixes).
+# goroutines, atomic/plain access mixes) and the serving-era invariants
+# (canonical-key field coverage, error-chain preservation, context
+# flow, I/O under mutexes, WaitGroup discipline). `make lintbudget`
+# audits the repo's `//lint:allow` suppressions against the committed
+# lint_budget.json — both gate verify.
 #
 # darlint is built against golang.org/x/tools pinned at
 # v0.28.1-0.20250131145412-98746475647e, vendored under vendor/ (the
@@ -14,7 +18,7 @@
 GO ?= go
 BIN := bin
 
-.PHONY: build test race fuzz fuzzsmoke querydiff bench benchjson fmtcheck vet lint darlint serversmoke verify
+.PHONY: build test race fuzz fuzzsmoke querydiff bench benchjson fmtcheck vet lint lintjson lintbudget darlint serversmoke verify
 
 build:
 	$(GO) build ./...
@@ -43,6 +47,18 @@ darlint:
 # same binary also works standalone: ./bin/darlint ./...
 lint: darlint
 	$(GO) vet -vettool=$(CURDIR)/$(BIN)/darlint ./...
+
+# Machine-readable findings: a sorted JSON document (CI uploads it as
+# an artifact). Exit 1 when any finding survives.
+lintjson: darlint
+	./$(BIN)/darlint -json -o darlint_findings.json ./...
+
+# Audit `//lint:allow` suppressions against the committed budget.
+# -exact fails on any drift, up or down: a new suppression needs a
+# deliberate lint_budget.json edit in the same change, and a removed
+# one must lower the budget with it.
+lintbudget: darlint
+	./$(BIN)/darlint -budget lint_budget.json -exact
 
 # Short fuzz sessions for the ingestion paths; extend -fuzztime for a
 # real campaign.
@@ -89,4 +105,4 @@ serversmoke: build
 # race already runs the Ingest→Summary→Query differential tests (they
 # live in the ordinary test suite), so verify gates Query(Ingest(r)) ≡
 # Mine(r) under the race detector on every run.
-verify: build fmtcheck vet test race fuzzsmoke querydiff
+verify: build fmtcheck vet lint lintbudget test race fuzzsmoke querydiff

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/lint"
+)
+
+// runBudget audits the repo's `//lint:allow` suppressions against the
+// committed budget file (analyzer name → allowed count). Growth over
+// budget always fails: a new suppression must be paid for with a
+// deliberate budget edit in the same change. Shrinking below budget is
+// a warning by default — and a failure under -exact, which the
+// repo-clean test uses so the committed numbers never go stale.
+//
+// Exit codes: 0 within budget, 1 over (or, with -exact, any mismatch),
+// 2 bad budget file / unscannable tree / unknown analyzer names.
+func runBudget(budgetFile, root string, exact bool) int {
+	raw, err := os.ReadFile(budgetFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "darlint: %v\n", err)
+		return 2
+	}
+	var budget map[string]int
+	if err := json.Unmarshal(raw, &budget); err != nil {
+		fmt.Fprintf(os.Stderr, "darlint: %s: %v\n", budgetFile, err)
+		return 2
+	}
+
+	known := make(map[string]bool)
+	for _, name := range lint.AnalyzerNames() {
+		known[name] = true
+	}
+	bad := false
+	for _, name := range sortedKeys(budget) {
+		if !known[name] {
+			fmt.Fprintf(os.Stderr, "darlint: %s: unknown analyzer %q\n", budgetFile, name)
+			bad = true
+		}
+	}
+	for _, name := range lint.AnalyzerNames() {
+		if _, ok := budget[name]; !ok {
+			fmt.Fprintf(os.Stderr, "darlint: %s: missing analyzer %q (every analyzer must be pinned, 0 if clean)\n", budgetFile, name)
+			bad = true
+		}
+	}
+	if bad {
+		return 2
+	}
+
+	counts, sites, err := lint.CountAllows(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "darlint: %v\n", err)
+		return 2
+	}
+	siteList := func(analyzer string) []string {
+		var out []string
+		for _, s := range sites {
+			if s.Analyzer == analyzer {
+				out = append(out, s.Pos)
+			}
+		}
+		return out
+	}
+
+	// Directives naming analyzers outside the suite are dead
+	// suppressions — almost always typos — and fail the audit.
+	for _, name := range sortedKeys(counts) {
+		if !known[name] {
+			fmt.Fprintf(os.Stderr, "darlint: //lint:allow names unknown analyzer %q at %v\n",
+				name, siteList(name))
+			bad = true
+		}
+	}
+	if bad {
+		return 2
+	}
+
+	names := lint.AnalyzerNames()
+	sort.Strings(names)
+	exit := 0
+	for _, name := range names {
+		used, allowed := counts[name], budget[name]
+		switch {
+		case used > allowed:
+			fmt.Fprintf(os.Stderr,
+				"darlint: %s: %d suppressions, budget %d — new //lint:allow needs a deliberate budget edit; sites: %v\n",
+				name, used, allowed, siteList(name))
+			exit = 1
+		case used < allowed:
+			if exact {
+				fmt.Fprintf(os.Stderr,
+					"darlint: %s: %d suppressions, budget %d — budget is stale, lower it\n",
+					name, used, allowed)
+				exit = 1
+			} else {
+				fmt.Fprintf(os.Stderr,
+					"darlint: note: %s under budget (%d < %d); consider lowering\n",
+					name, used, allowed)
+			}
+		}
+	}
+	if exit == 0 {
+		fmt.Printf("darlint: suppression budget ok (%d analyzers, %d total allows)\n",
+			len(names), total(counts))
+	}
+	return exit
+}
+
+func total(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

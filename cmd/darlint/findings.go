@@ -1,0 +1,190 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// A finding is one diagnostic, flattened out of go vet's nested
+// per-package JSON and pinned to a stable shape for golden tests and
+// CI artifacts.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// findingsDoc is the -json output document. Field order here is the
+// field order in the output.
+type findingsDoc struct {
+	Count    int       `json:"count"`
+	Findings []finding `json:"findings"`
+}
+
+// vetDiagnostic mirrors one entry of go vet -json's per-analyzer
+// diagnostic lists: {"posn": "/abs/file.go:12:3", "message": "..."}.
+type vetDiagnostic struct {
+	Posn    string `json:"posn"`
+	Message string `json:"message"`
+}
+
+// runJSON executes go vet -json over the selected analyzers, parses
+// its output into a sorted findings document, writes it to stdout (and
+// outFile if set), and returns the exit code: 0 clean, 1 findings,
+// 2 vet or build failure.
+func runJSON(exe string, selected, patterns []string, outFile string) int {
+	// go vet -json writes everything — `# pkg` comment lines and the
+	// JSON objects — to stderr, and exits 0 even when there are
+	// diagnostics. A non-zero exit therefore means vet itself failed
+	// (build error, bad pattern), which we surface raw.
+	cmd := exec.Command("go", vetArgs(exe, selected, patterns, true)...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		os.Stderr.Write(stdout.Bytes())
+		os.Stderr.Write(stderr.Bytes())
+		fmt.Fprintf(os.Stderr, "darlint: go vet: %v\n", err)
+		return 2
+	}
+
+	findings, err := parseVetJSON(stderr.Bytes())
+	if err != nil {
+		os.Stderr.Write(stderr.Bytes())
+		fmt.Fprintf(os.Stderr, "darlint: %v\n", err)
+		return 2
+	}
+
+	cwd, err := os.Getwd()
+	if err == nil {
+		for i := range findings {
+			findings[i].File = relativize(cwd, findings[i].File)
+		}
+	}
+	sortFindings(findings)
+
+	doc := findingsDoc{Count: len(findings), Findings: findings}
+	if doc.Findings == nil {
+		doc.Findings = []finding{} // pin `"findings": []`, never null
+	}
+	out, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "darlint: %v\n", err)
+		return 2
+	}
+	out = append(out, '\n')
+	os.Stdout.Write(out)
+	if outFile != "" {
+		if err := os.WriteFile(outFile, out, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "darlint: %v\n", err)
+			return 2
+		}
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// parseVetJSON decodes the stream go vet -json emits: `# package`
+// comment lines interleaved with pretty-printed JSON objects of shape
+// {"pkg": {"analyzer": [diag, ...]}}.
+func parseVetJSON(raw []byte) ([]finding, error) {
+	var jsonLines []string
+	for _, line := range strings.Split(string(raw), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		jsonLines = append(jsonLines, line)
+	}
+	dec := json.NewDecoder(strings.NewReader(strings.Join(jsonLines, "\n")))
+	var findings []finding
+	for dec.More() {
+		var unit map[string]map[string][]vetDiagnostic
+		if err := dec.Decode(&unit); err != nil {
+			return nil, fmt.Errorf("decoding go vet -json output: %w", err)
+		}
+		for _, byAnalyzer := range unit {
+			for analyzer, diags := range byAnalyzer {
+				for _, d := range diags {
+					f, err := splitPosn(d.Posn)
+					if err != nil {
+						return nil, err
+					}
+					f.Analyzer = analyzer
+					f.Message = d.Message
+					findings = append(findings, f)
+				}
+			}
+		}
+	}
+	// The per-analyzer maps iterate in randomized order; pin the
+	// result here so parseVetJSON is deterministic on its own.
+	sortFindings(findings)
+	return findings, nil
+}
+
+// splitPosn parses vet's "file:line:col" position (file may itself
+// contain colons on some platforms, so split from the right).
+func splitPosn(posn string) (finding, error) {
+	var f finding
+	ci := strings.LastIndexByte(posn, ':')
+	if ci <= 0 {
+		return f, fmt.Errorf("malformed position %q", posn)
+	}
+	li := strings.LastIndexByte(posn[:ci], ':')
+	if li <= 0 {
+		return f, fmt.Errorf("malformed position %q", posn)
+	}
+	line, err1 := strconv.Atoi(posn[li+1 : ci])
+	col, err2 := strconv.Atoi(posn[ci+1:])
+	if err1 != nil || err2 != nil {
+		return f, fmt.Errorf("malformed position %q", posn)
+	}
+	f.File = posn[:li]
+	f.Line = line
+	f.Col = col
+	return f, nil
+}
+
+// relativize rewrites an absolute diagnostic path relative to the
+// working directory when it lives under it, in forward-slash form, so
+// output is stable across checkouts. Paths outside cwd stay absolute.
+func relativize(cwd, path string) string {
+	rel, err := filepath.Rel(cwd, path)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(path)
+	}
+	return filepath.ToSlash(rel)
+}
+
+// sortFindings pins the document order: file, then line, col,
+// analyzer, message. Deterministic output is the whole point — the
+// golden test byte-compares it.
+func sortFindings(fs []finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}

@@ -1,5 +1,5 @@
-// Command darlint runs the determinism & concurrency analyzers of
-// internal/lint over this repository.
+// Command darlint runs the determinism, concurrency and serving-era
+// analyzers of internal/lint over this repository.
 //
 // It speaks the go vet vettool protocol, so the canonical invocation is
 //
@@ -10,11 +10,28 @@
 //	darlint ./...
 //
 // — it re-execs itself through `go vet -vettool`, which handles package
-// loading, export data and caching. Suppress individual findings with
-// `//lint:allow <analyzer>` comments; see internal/lint for the suite.
+// loading, export data and caching. Beyond the plain pass-through mode
+// it is a findings pipeline:
+//
+//	darlint -json ./...                     machine-readable findings on
+//	                                        stdout, sorted and
+//	                                        cwd-relative; exit 1 when
+//	                                        any finding survives
+//	darlint -json -o findings.json ./...    also write the document to a
+//	                                        file (CI artifact)
+//	darlint -only errwrap,lockhold ./...    run a subset of the suite
+//	darlint -skip keycoverage ./...         run all but the named ones
+//	darlint -budget lint_budget.json        audit `//lint:allow` counts
+//	                                        against the committed budget
+//	                                        (-exact demands equality)
+//
+// Suppress individual findings with `//lint:allow <analyzer> <reason>`
+// comments; every suppression must be covered by lint_budget.json or
+// the budget gate fails. See internal/lint for the suite.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"os/exec"
@@ -31,37 +48,153 @@ func main() {
 		unitchecker.Main(lint.Analyzers...) // exits
 	}
 
+	fs := flag.NewFlagSet("darlint", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "emit findings as a sorted JSON document on stdout; exit 1 if any")
+	outFile := fs.String("o", "", "with -json, also write the document to this `file`")
+	only := fs.String("only", "", "comma-separated `analyzers` to run (default: all)")
+	skip := fs.String("skip", "", "comma-separated `analyzers` to exclude")
+	budgetFile := fs.String("budget", "", "audit //lint:allow counts against this budget `file` and exit")
+	exact := fs.Bool("exact", false, "with -budget, fail on any mismatch, not just growth")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: darlint [flags] [packages]\n\nanalyzers: %s\n\n",
+			strings.Join(lint.AnalyzerNames(), ", "))
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+
+	if *budgetFile != "" {
+		root := "."
+		if rest := fs.Args(); len(rest) > 0 {
+			root = rest[0]
+		}
+		os.Exit(runBudget(*budgetFile, root, *exact))
+	}
+
+	selected, err := selectAnalyzers(*only, *skip)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "darlint: %v\n", err)
+		os.Exit(2)
+	}
+
 	exe, err := os.Executable()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "darlint: cannot locate own binary: %v\n", err)
-		os.Exit(1)
+		os.Exit(2)
 	}
-	patterns := args
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + exe}, patterns...)...)
+
+	if *jsonOut {
+		os.Exit(runJSON(exe, selected, patterns, *outFile))
+	}
+	os.Exit(runPassthrough(exe, selected, patterns))
+}
+
+// isVetProtocol reports whether the arguments are the go vet vettool
+// handshake (-V=full, -flags, or an analysis unit *.cfg file) rather
+// than a standalone darlint invocation. The go command always leads
+// with one of these; darlint's own flags (-json, -only, ...) must not
+// be mistaken for it.
+func isVetProtocol(args []string) bool {
+	if len(args) == 0 {
+		return false
+	}
+	if args[0] == "-V=full" || args[0] == "-flags" {
+		return true
+	}
+	return strings.HasSuffix(args[len(args)-1], ".cfg")
+}
+
+// selectAnalyzers validates -only/-skip against the suite and returns
+// the per-analyzer enable flags to hand to go vet (nil means the full
+// suite, i.e. no explicit enables).
+func selectAnalyzers(only, skip string) ([]string, error) {
+	if only != "" && skip != "" {
+		return nil, fmt.Errorf("-only and -skip are mutually exclusive")
+	}
+	known := make(map[string]bool)
+	for _, name := range lint.AnalyzerNames() {
+		known[name] = true
+	}
+	parse := func(list, flagName string) ([]string, error) {
+		var names []string
+		for _, name := range strings.Split(list, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if !known[name] {
+				return nil, fmt.Errorf("%s: unknown analyzer %q (suite: %s)",
+					flagName, name, strings.Join(lint.AnalyzerNames(), ", "))
+			}
+			names = append(names, name)
+		}
+		return names, nil
+	}
+	if only != "" {
+		names, err := parse(only, "-only")
+		if err != nil {
+			return nil, err
+		}
+		if len(names) == 0 {
+			return nil, fmt.Errorf("-only: no analyzers named")
+		}
+		return names, nil
+	}
+	if skip != "" {
+		skipped, err := parse(skip, "-skip")
+		if err != nil {
+			return nil, err
+		}
+		drop := make(map[string]bool)
+		for _, name := range skipped {
+			drop[name] = true
+		}
+		var names []string
+		for _, name := range lint.AnalyzerNames() {
+			if !drop[name] {
+				names = append(names, name)
+			}
+		}
+		if len(names) == 0 {
+			return nil, fmt.Errorf("-skip excludes the whole suite")
+		}
+		return names, nil
+	}
+	return nil, nil
+}
+
+// vetArgs assembles the go vet argument list: explicit -<analyzer>
+// enables narrow the run to exactly that subset (vet semantics: if any
+// analyzer flag is set, only those run).
+func vetArgs(exe string, selected, patterns []string, jsonMode bool) []string {
+	args := []string{"vet", "-vettool=" + exe}
+	if jsonMode {
+		args = append(args, "-json")
+	}
+	for _, name := range selected {
+		args = append(args, "-"+name)
+	}
+	return append(args, patterns...)
+}
+
+// runPassthrough is the human-facing mode: vet's plain-text diagnostics
+// stream straight through, and vet's exit code is ours.
+func runPassthrough(exe string, selected, patterns []string) int {
+	cmd := exec.Command("go", vetArgs(exe, selected, patterns, false)...)
 	cmd.Stdout = os.Stdout
 	cmd.Stderr = os.Stderr
 	cmd.Stdin = os.Stdin
 	if err := cmd.Run(); err != nil {
 		if ee, ok := err.(*exec.ExitError); ok {
-			os.Exit(ee.ExitCode())
+			return ee.ExitCode()
 		}
 		fmt.Fprintf(os.Stderr, "darlint: %v\n", err)
-		os.Exit(1)
+		return 2
 	}
-}
-
-// isVetProtocol reports whether the arguments look like the go vet
-// vettool handshake (-V=full, -flags, analyzer flags, or a *.cfg unit
-// file) rather than standalone package patterns.
-func isVetProtocol(args []string) bool {
-	if len(args) == 0 {
-		return false
-	}
-	if strings.HasPrefix(args[0], "-") {
-		return true
-	}
-	return strings.HasSuffix(args[len(args)-1], ".cfg")
+	return 0
 }

@@ -1,0 +1,284 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata/findings.golden.json from the fixture module")
+
+// buildDarlint compiles this package into a scratch binary once per
+// test process.
+func buildDarlint(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "darlint")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building darlint: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestJSONGolden pins darlint's -json document byte-for-byte over the
+// committed fixture module, which carries one deliberate violation per
+// analyzer. Regenerate with `go test ./cmd/darlint -run JSONGolden -update`
+// after changing an analyzer message, the output shape, or the fixture.
+func TestJSONGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the darlint binary; skipped in -short mode")
+	}
+	bin := buildDarlint(t)
+	fixture, err := filepath.Abs(filepath.Join("testdata", "fixturemod"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	outFile := filepath.Join(t.TempDir(), "findings.json")
+	cmd := exec.Command(bin, "-json", "-o", outFile, "./...")
+	cmd.Dir = fixture
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err = cmd.Run()
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) || ee.ExitCode() != 1 {
+		t.Fatalf("darlint -json over fixture: want exit 1 (findings), got %v\nstderr: %s", err, stderr.String())
+	}
+
+	got := stdout.Bytes()
+	if fileCopy, err := os.ReadFile(outFile); err != nil {
+		t.Errorf("-o did not write the document: %v", err)
+	} else if !bytes.Equal(fileCopy, got) {
+		t.Errorf("-o file differs from stdout")
+	}
+
+	// The document must be well-formed and name every analyzer in the
+	// suite — the fixture exists to prove each one fires end-to-end
+	// through the vet protocol.
+	var doc struct {
+		Count    int `json:"count"`
+		Findings []struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Analyzer string `json:"analyzer"`
+		} `json:"findings"`
+	}
+	if err := json.Unmarshal(got, &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, got)
+	}
+	if doc.Count != len(doc.Findings) {
+		t.Errorf("count = %d but %d findings listed", doc.Count, len(doc.Findings))
+	}
+	fired := make(map[string]bool)
+	for _, f := range doc.Findings {
+		fired[f.Analyzer] = true
+		if filepath.IsAbs(f.File) {
+			t.Errorf("finding path %q not relativized", f.File)
+		}
+	}
+	for _, name := range []string{
+		"maporder", "nondeterm", "rawgoroutine", "atomicmix",
+		"keycoverage", "errwrap", "ctxflow", "lockhold", "wgbalance",
+	} {
+		if !fired[name] {
+			t.Errorf("analyzer %s produced no finding over the fixture module", name)
+		}
+	}
+
+	golden := filepath.Join("testdata", "findings.golden.json")
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d findings)", golden, doc.Count)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("-json output differs from %s (regenerate with -update if the change is intended)\ngot:\n%s\nwant:\n%s", golden, got, want)
+	}
+}
+
+// TestJSONCleanTree checks the zero-findings document: empty array
+// (never null), count 0, exit 0.
+func TestJSONCleanTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the darlint binary; skipped in -short mode")
+	}
+	bin := buildDarlint(t)
+	dir := t.TempDir()
+	writeFiles(t, dir, map[string]string{
+		"go.mod":  "module cleanmod\n\ngo 1.22\n",
+		"main.go": "package main\n\nfunc main() {}\n",
+	})
+	cmd := exec.Command(bin, "-json", "./...")
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("darlint -json over clean module: %v", err)
+	}
+	want := "{\n  \"count\": 0,\n  \"findings\": []\n}\n"
+	if string(out) != want {
+		t.Errorf("clean document = %q, want %q", out, want)
+	}
+}
+
+// TestBudgetModes exercises the audit against a scratch tree: within
+// budget, over budget (always fails), under budget (fails only with
+// -exact), and a typo'd analyzer name in an allow (always fails).
+func TestBudgetModes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the darlint binary; skipped in -short mode")
+	}
+	bin := buildDarlint(t)
+	dir := t.TempDir()
+	writeFiles(t, dir, map[string]string{
+		"go.mod": "module budgetmod\n\ngo 1.22\n",
+		"a.go":   "package a\n\nvar x = 1 //lint:allow maporder demo reason\n",
+	})
+	budget := func(maporder int) string {
+		path := filepath.Join(dir, "budget.json")
+		doc := map[string]int{}
+		for _, name := range []string{
+			"maporder", "nondeterm", "rawgoroutine", "atomicmix",
+			"keycoverage", "errwrap", "ctxflow", "lockhold", "wgbalance",
+		} {
+			doc[name] = 0
+		}
+		doc["maporder"] = maporder
+		raw, err := json.Marshal(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	run := func(args ...string) int {
+		cmd := exec.Command(bin, args...)
+		cmd.Dir = dir
+		err := cmd.Run()
+		if err == nil {
+			return 0
+		}
+		var ee *exec.ExitError
+		if errors.As(err, &ee) {
+			return ee.ExitCode()
+		}
+		t.Fatalf("running darlint %v: %v", args, err)
+		return -1
+	}
+
+	if got := run("-budget", budget(1), "-exact", "."); got != 0 {
+		t.Errorf("exact match: exit %d, want 0", got)
+	}
+	if got := run("-budget", budget(0), "."); got != 1 {
+		t.Errorf("over budget: exit %d, want 1", got)
+	}
+	if got := run("-budget", budget(2), "."); got != 0 {
+		t.Errorf("under budget without -exact: exit %d, want 0 (warning only)", got)
+	}
+	if got := run("-budget", budget(2), "-exact", "."); got != 1 {
+		t.Errorf("under budget with -exact: exit %d, want 1", got)
+	}
+
+	typo := filepath.Join(dir, "typo.go")
+	if err := os.WriteFile(typo, []byte("package a\n\nvar y = 2 //lint:allow maporde typo\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := run("-budget", budget(1), "-exact", "."); got != 2 {
+		t.Errorf("typo'd allow: exit %d, want 2", got)
+	}
+	if err := os.Remove(typo); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func writeFiles(t *testing.T, dir string, files map[string]string) {
+	t.Helper()
+	for name, content := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// Unit tests for the pure helpers — no subprocess needed.
+
+func TestSplitPosn(t *testing.T) {
+	f, err := splitPosn("/repo/internal/core/engine.go:75:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := finding{File: "/repo/internal/core/engine.go", Line: 75, Col: 2}
+	if f != want {
+		t.Errorf("splitPosn = %+v, want %+v", f, want)
+	}
+	for _, bad := range []string{"", "file.go", "file.go:12", "file.go:x:y"} {
+		if _, err := splitPosn(bad); err == nil {
+			t.Errorf("splitPosn(%q): expected error", bad)
+		}
+	}
+}
+
+func TestSelectAnalyzers(t *testing.T) {
+	if got, err := selectAnalyzers("", ""); err != nil || got != nil {
+		t.Errorf("no selection: got %v, %v; want nil, nil", got, err)
+	}
+	got, err := selectAnalyzers("errwrap,lockhold", "")
+	if err != nil || !reflect.DeepEqual(got, []string{"errwrap", "lockhold"}) {
+		t.Errorf("-only: got %v, %v", got, err)
+	}
+	got, err = selectAnalyzers("", "keycoverage")
+	if err != nil {
+		t.Fatalf("-skip: %v", err)
+	}
+	if len(got) != 8 {
+		t.Errorf("-skip keycoverage: %d analyzers, want 8 (%v)", len(got), got)
+	}
+	for _, name := range got {
+		if name == "keycoverage" {
+			t.Errorf("-skip keycoverage still selected: %v", got)
+		}
+	}
+	if _, err := selectAnalyzers("nosuch", ""); err == nil {
+		t.Error("-only nosuch: expected error")
+	}
+	if _, err := selectAnalyzers("errwrap", "lockhold"); err == nil {
+		t.Error("-only with -skip: expected error")
+	}
+}
+
+func TestSortFindingsStable(t *testing.T) {
+	fs := []finding{
+		{File: "b.go", Line: 1, Col: 1, Analyzer: "z"},
+		{File: "a.go", Line: 2, Col: 1, Analyzer: "z"},
+		{File: "a.go", Line: 1, Col: 5, Analyzer: "z"},
+		{File: "a.go", Line: 1, Col: 5, Analyzer: "a"},
+	}
+	sortFindings(fs)
+	want := []finding{
+		{File: "a.go", Line: 1, Col: 5, Analyzer: "a"},
+		{File: "a.go", Line: 1, Col: 5, Analyzer: "z"},
+		{File: "a.go", Line: 2, Col: 1, Analyzer: "z"},
+		{File: "b.go", Line: 1, Col: 1, Analyzer: "z"},
+	}
+	if !reflect.DeepEqual(fs, want) {
+		t.Errorf("sortFindings = %+v, want %+v", fs, want)
+	}
+}

@@ -1,0 +1,97 @@
+// Package demo is the darlint golden-test fixture: one deliberate
+// violation per analyzer (ctxflow lives in ../server). The golden
+// findings document pins darlint's -json output byte-for-byte, so any
+// edit here must regenerate it (go test ./cmd/darlint -update).
+package demo
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrDemo is a sentinel for the errwrap case.
+var ErrDemo = errors.New("demo")
+
+// QueryOptions is the keycoverage case: Skew is rendered but never
+// parsed back, so the canonical key is not invertible over it.
+type QueryOptions struct {
+	Depth int
+	Skew  float64
+}
+
+func (q QueryOptions) CanonicalKey() string {
+	return fmt.Sprintf("d=%d;s=%g", q.Depth, q.Skew)
+}
+
+func ParseCanonicalKey(key string) (QueryOptions, error) {
+	var q QueryOptions
+	var d int
+	if _, err := fmt.Sscanf(key, "d=%d", &d); err != nil {
+		return QueryOptions{}, err
+	}
+	q.Depth = d
+	return q, nil
+}
+
+// Stamp is the nondeterm case: wall-clock time in a result path.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// PrintAll is the maporder case: output ordered by map iteration.
+func PrintAll(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}
+
+// IsDemo is the errwrap case: a sentinel compared with ==.
+func IsDemo(err error) bool {
+	return err == ErrDemo
+}
+
+// store mixes atomic and plain access to hits (atomicmix) and holds
+// its mutex across disk I/O (lockhold).
+type store struct {
+	mu   sync.Mutex
+	hits int64
+	data map[string][]byte
+}
+
+func (s *store) Hit() {
+	atomic.AddInt64(&s.hits, 1)
+}
+
+func (s *store) Hits() int64 {
+	return s.hits
+}
+
+func (s *store) Load(name string) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if b, ok := s.data[name]; ok {
+		return b, nil
+	}
+	b, err := os.ReadFile(name)
+	if err != nil {
+		return nil, err
+	}
+	s.data[name] = b
+	return b, nil
+}
+
+// Run is the rawgoroutine and wgbalance case: a bare goroutine whose
+// Done is not deferred.
+func Run(task func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		task()
+		wg.Done()
+	}()
+	wg.Wait()
+}

@@ -1,0 +1,10 @@
+// Package server is the ctxflow slice of the darlint golden-test
+// fixture: its import path sits inside the analyzer's default scope.
+package server
+
+import "context"
+
+// Handle detaches from the caller's context — the ctxflow case.
+func Handle(run func(context.Context)) {
+	run(context.Background())
+}

@@ -119,7 +119,7 @@ func ParseCanonicalKey(key string) (QueryOptions, error) {
 		p.err = fmt.Errorf("trailing content %q", p.rest)
 	}
 	if p.err != nil {
-		return QueryOptions{}, fmt.Errorf("core: canonical key: %v: %w", p.err, ErrBadQuery)
+		return QueryOptions{}, fmt.Errorf("core: canonical key: %w: %w", p.err, ErrBadQuery)
 	}
 	if err := q.validate(); err != nil {
 		return QueryOptions{}, err
@@ -171,7 +171,7 @@ func (p *keyParser) floatField(name string) float64 {
 	}
 	f, err := strconv.ParseFloat(tok, 64)
 	if err != nil {
-		p.err = fmt.Errorf("field %s: %v", name, err)
+		p.err = fmt.Errorf("field %s: %w", name, err)
 	}
 	return f
 }
@@ -183,7 +183,7 @@ func (p *keyParser) intField(name string) int {
 	}
 	v, err := strconv.Atoi(tok)
 	if err != nil {
-		p.err = fmt.Errorf("field %s: %v", name, err)
+		p.err = fmt.Errorf("field %s: %w", name, err)
 	}
 	return v
 }
@@ -195,7 +195,7 @@ func (p *keyParser) boolField(name string) bool {
 	}
 	v, err := strconv.ParseBool(tok)
 	if err != nil {
-		p.err = fmt.Errorf("field %s: %v", name, err)
+		p.err = fmt.Errorf("field %s: %w", name, err)
 	}
 	return v
 }
@@ -224,7 +224,7 @@ func (p *keyParser) nameList(name string) []string {
 		p.rest = p.rest[len(quoted):]
 		n, err := strconv.Unquote(quoted)
 		if err != nil {
-			p.err = fmt.Errorf("field %s: %v", name, err)
+			p.err = fmt.Errorf("field %s: %w", name, err)
 			return nil
 		}
 		out = append(out, n)
@@ -253,7 +253,7 @@ func (p *keyParser) floatList(name string) []float64 {
 		}
 		f, err := strconv.ParseFloat(tok, 64)
 		if err != nil {
-			p.err = fmt.Errorf("field %s: %v", name, err)
+			p.err = fmt.Errorf("field %s: %w", name, err)
 			return nil
 		}
 		p.rest = p.rest[len(tok):]

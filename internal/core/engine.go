@@ -71,8 +71,9 @@ type QueryOptions struct {
 	// Applied after filters; Sweep counts are taken before truncation.
 	TopK int
 	// Workers parallelizes the query; output is bit-identical at any
-	// worker count.
-	Workers int
+	// worker count, so it is deliberately excluded from the canonical
+	// key — two queries differing only in Workers share a cache entry.
+	Workers int //lint:allow keycoverage execution-only knob; results are bit-identical at any worker count
 }
 
 // DefaultQueryOptions mirrors DefaultOptions' Phase II settings.

@@ -1,0 +1,85 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/distance"
+	"repro/internal/relation"
+)
+
+// TestStringersTotal audits every exported enum-ish type that flows
+// through core's API surface: String() must be total — non-empty and
+// panic-free for any value, including negatives and values past the
+// last constant — because these names end up in canonical cache keys,
+// error messages and HTTP responses, where a panic on a corrupt or
+// future value would take down a request (or the server). Valid values
+// must also round-trip through their parser, since the canonical-key
+// codec relies on String/Parse being inverses.
+//
+// New enum-ish types (int-backed constant sets with a String method)
+// must get a row here.
+func TestStringersTotal(t *testing.T) {
+	cases := []struct {
+		name string
+		// str stringifies an arbitrary probe value; it must not panic.
+		str func(v int) string
+		// roundTrip parses the String form back, reporting ok; probed
+		// only over [validLo, validHi].
+		roundTrip        func(v int) bool
+		validLo, validHi int
+	}{
+		{
+			name: "distance.ClusterMetric",
+			str:  func(v int) string { return distance.ClusterMetric(v).String() },
+			roundTrip: func(v int) bool {
+				m := distance.ClusterMetric(v)
+				got, ok := distance.ParseClusterMetric(m.String())
+				return ok && got == m
+			},
+			validLo: int(distance.D0), validHi: int(distance.D4),
+		},
+		{
+			name: "relation.Kind",
+			str:  func(v int) string { return relation.Kind(v).String() },
+			roundTrip: func(v int) bool {
+				k := relation.Kind(v)
+				got, err := relation.ParseKind(k.String())
+				return err == nil && got == k
+			},
+			validLo: int(relation.Interval), validHi: int(relation.Nominal),
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for v := -5; v <= 10; v++ {
+				s := func() (s string) {
+					defer func() {
+						if r := recover(); r != nil {
+							t.Errorf("%s(%d).String() panicked: %v", tc.name, v, r)
+						}
+					}()
+					return tc.str(v)
+				}()
+				if s == "" {
+					t.Errorf("%s(%d).String() = %q, want non-empty", tc.name, v, s)
+				}
+			}
+			for v := tc.validLo; v <= tc.validHi; v++ {
+				if !tc.roundTrip(v) {
+					t.Errorf("%s(%d) does not round-trip through its parser (String() = %q)",
+						tc.name, v, tc.str(v))
+				}
+			}
+			// Out-of-range values must stringify to something, but the
+			// parser must not accept it as a valid value of some other
+			// constant (a D? or Kind(7) name leaking back in would
+			// corrupt a canonical key silently).
+			for _, v := range []int{-1, tc.validHi + 1} {
+				if tc.roundTrip(v) {
+					t.Errorf("%s(%d) round-trips (String() = %q); out-of-range values must not parse",
+						tc.name, v, tc.str(v))
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,105 @@
+package lint
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// AnalyzerNames returns the suite's analyzer names in reporting order.
+func AnalyzerNames() []string {
+	names := make([]string, len(Analyzers))
+	for i, a := range Analyzers {
+		names[i] = a.Name
+	}
+	return names
+}
+
+// AllowSite is one `//lint:allow` directive found by CountAllows.
+type AllowSite struct {
+	Analyzer string
+	Pos      string // "file:line", file relative to the scanned root
+}
+
+// CountAllows walks a source tree and counts `//lint:allow <analyzer>`
+// directives per analyzer, using exactly the parsing rules the
+// analyzers themselves apply (the comment must begin with the
+// directive; mentions inside prose or string literals don't count).
+// vendor/, testdata/ and dot-directories are skipped: vendored code is
+// not ours and fixtures are deliberately full of suppressions.
+//
+// The returned sites carry every directive position so budget
+// violations can name their suppressions; directives naming an
+// analyzer outside the suite are returned too (the budget gate treats
+// them as errors — a typo in an allow is a suppression that does
+// nothing).
+func CountAllows(root string) (counts map[string]int, sites []AllowSite, err error) {
+	counts = make(map[string]int)
+	for _, name := range AnalyzerNames() {
+		counts[name] = 0
+	}
+	fset := token.NewFileSet()
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "vendor" || name == "testdata" || name == "bin" ||
+				(len(name) > 1 && strings.HasPrefix(name, ".")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return fmt.Errorf("lint: parsing %s: %w", path, err)
+		}
+		rel, rerr := filepath.Rel(root, path)
+		if rerr != nil {
+			rel = path
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if !strings.HasPrefix(text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(text, allowPrefix)
+				if rest == "" || (rest[0] != ' ' && rest[0] != '\t') {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, name := range strings.Split(fields[0], ",") {
+					counts[name]++
+					sites = append(sites, AllowSite{
+						Analyzer: name,
+						Pos:      fmt.Sprintf("%s:%d", filepath.ToSlash(rel), pos.Line),
+					})
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	sort.Slice(sites, func(i, j int) bool {
+		if sites[i].Pos != sites[j].Pos {
+			return sites[i].Pos < sites[j].Pos
+		}
+		return sites[i].Analyzer < sites[j].Analyzer
+	})
+	return counts, sites, nil
+}

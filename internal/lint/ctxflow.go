@@ -1,0 +1,95 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// CtxFlowAnalyzer keeps request contexts flowing through the serving
+// layer. dard's latency bounds are contractual — per-request timeouts
+// answer 504, client disconnects answer 503 — and both depend on every
+// request path deriving its context from r.Context(). A
+// context.Background() (or context.TODO()) spliced in anywhere below
+// the handler detaches the work from the caller: timeouts stop
+// propagating, disconnected clients keep burning CPU, and graceful
+// drain can no longer see the request.
+//
+// Flagged inside the scoped packages (internal/server by default):
+//
+//   - calls to context.Background() or context.TODO() in non-test code;
+//   - a call returning context.Context evaluated as a bare statement
+//     (an r.Context() whose result is dropped — the call does nothing);
+//   - http.NewRequest, which builds a context-less outbound request;
+//     use http.NewRequestWithContext.
+//
+// Detached executions that are deliberate (the singleflight keeps a
+// timed-out query running so its result can land in the cache) don't
+// need contexts at all and are not flagged; a genuinely intentional
+// Background takes `//lint:allow ctxflow <why>`.
+var CtxFlowAnalyzer = &analysis.Analyzer{
+	Name:     "ctxflow",
+	Doc:      "flags detached contexts (context.Background/TODO, dropped r.Context) in serving request paths",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runCtxFlow,
+}
+
+var ctxFlowScope string
+
+func init() {
+	CtxFlowAnalyzer.Flags.StringVar(&ctxFlowScope, "scope",
+		`(^|/)internal/server(/|$)`,
+		"regexp of package import paths the analyzer applies to")
+}
+
+func runCtxFlow(pass *analysis.Pass) (interface{}, error) {
+	if !compileScope(ctxFlowScope)(pkgPath(pass)) {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	dirs := newDirectives(pass)
+
+	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil), (*ast.ExprStmt)(nil)}, func(n ast.Node) {
+		if isTestFile(pass, n.Pos()) {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			path, name, ok := pkgFunc(pass, n)
+			if !ok {
+				return
+			}
+			switch {
+			case path == "context" && (name == "Background" || name == "TODO"):
+				report(pass, dirs, "ctxflow", n.Pos(),
+					"context.%s detaches this path from the request: timeouts and client-disconnect aborts stop propagating; derive from r.Context() (or the incoming ctx)", name)
+			case path == "net/http" && name == "NewRequest":
+				report(pass, dirs, "ctxflow", n.Pos(),
+					"http.NewRequest builds a context-less request; use http.NewRequestWithContext so the call is cancelable")
+			}
+		case *ast.ExprStmt:
+			call, ok := n.X.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			if tv, ok := pass.TypesInfo.Types[call]; ok && isContextType(tv.Type) {
+				report(pass, dirs, "ctxflow", n.Pos(),
+					"context-returning call evaluated as a statement: the context is dropped, so nothing downstream observes cancellation")
+			}
+		}
+	})
+	return nil, nil
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

@@ -1,0 +1,205 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// ErrWrapAnalyzer guards the error surface the serving layer promises:
+// sentinel errors (core.ErrBadQuery, summary.ErrCorrupt, io.EOF, ...)
+// classified with errors.Is so wrapping never breaks the HTTP status
+// mapping, and wrap chains that actually carry the sentinel.
+//
+// Two shapes are flagged:
+//
+//   - `err == Sentinel` / `err != Sentinel` (and `switch err { case
+//     Sentinel }`) where Sentinel is a package-level error variable.
+//     The moment any layer wraps the error with fmt.Errorf("...: %w"),
+//     the comparison silently turns false and a 400-class failure is
+//     served as a 500 — use errors.Is.
+//   - fmt.Errorf formatting an error value with %v/%s/%q instead of
+//     %w. The message text is identical, but the unwrap chain is cut:
+//     errors.Is/As above this call stop seeing everything below it.
+//
+// Deliberately chain-cutting wraps (error text recorded in a note that
+// must not carry the cause's identity) take `//lint:allow errwrap`.
+var ErrWrapAnalyzer = &analysis.Analyzer{
+	Name:     "errwrap",
+	Doc:      "flags sentinel errors compared with == and fmt.Errorf verbs that cut the unwrap chain",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runErrWrap,
+}
+
+var errWrapScope string
+
+func init() {
+	ErrWrapAnalyzer.Flags.StringVar(&errWrapScope, "scope",
+		`(^|/)internal/`,
+		"regexp of package import paths the analyzer applies to")
+}
+
+func runErrWrap(pass *analysis.Pass) (interface{}, error) {
+	if !compileScope(errWrapScope)(pkgPath(pass)) {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	dirs := newDirectives(pass)
+
+	ins.Preorder([]ast.Node{(*ast.BinaryExpr)(nil), (*ast.SwitchStmt)(nil), (*ast.CallExpr)(nil)}, func(n ast.Node) {
+		if isTestFile(pass, n.Pos()) {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if n.Op != token.EQL && n.Op != token.NEQ {
+				return
+			}
+			for _, side := range []ast.Expr{n.X, n.Y} {
+				if name, ok := sentinelError(pass, side); ok {
+					report(pass, dirs, "errwrap", n.Pos(),
+						"%s compared with %s: a wrapped error never matches; use errors.Is", name, n.Op)
+					return
+				}
+			}
+		case *ast.SwitchStmt:
+			if n.Tag == nil {
+				return
+			}
+			tv, ok := pass.TypesInfo.Types[n.Tag]
+			if !ok || tv.Type == nil || !types.Implements(tv.Type, errorInterface) {
+				return
+			}
+			for _, stmt := range n.Body.List {
+				cc, ok := stmt.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				for _, e := range cc.List {
+					if name, ok := sentinelError(pass, e); ok {
+						report(pass, dirs, "errwrap", e.Pos(),
+							"%s matched with switch-case equality: a wrapped error never matches; use errors.Is", name)
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if path, name, ok := pkgFunc(pass, n); ok && path == "fmt" && name == "Errorf" {
+				checkErrorfChain(pass, dirs, n)
+			}
+		}
+	})
+	return nil, nil
+}
+
+// sentinelError reports whether e names a package-level error variable
+// (the sentinel shape: var ErrX = errors.New(...), io.EOF, ...). Local
+// error variables and nil are not sentinels.
+func sentinelError(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	var obj types.Object
+	var label string
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[e]
+		label = e.Name
+	case *ast.SelectorExpr:
+		obj = pass.TypesInfo.Uses[e.Sel]
+		if id, ok := e.X.(*ast.Ident); ok {
+			label = id.Name + "." + e.Sel.Name
+		} else {
+			label = e.Sel.Name
+		}
+	default:
+		return "", false
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return "", false
+	}
+	if !types.Implements(v.Type(), errorInterface) {
+		return "", false
+	}
+	return label, true
+}
+
+// checkErrorfChain flags error-typed arguments of fmt.Errorf bound to a
+// verb other than %w.
+func checkErrorfChain(pass *analysis.Pass, dirs *directives, call *ast.CallExpr) {
+	if len(call.Args) < 2 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	for _, v := range formatVerbs(constant.StringVal(tv.Value)) {
+		if v.verb == 'w' {
+			continue
+		}
+		argIdx := 1 + v.arg
+		if argIdx >= len(call.Args) {
+			break
+		}
+		arg := call.Args[argIdx]
+		at, ok := pass.TypesInfo.Types[arg]
+		if !ok || at.Type == nil || !types.Implements(at.Type, errorInterface) {
+			continue
+		}
+		report(pass, dirs, "errwrap", arg.Pos(),
+			"error formatted with %%%c cuts the unwrap chain (message is identical with %%w, but errors.Is/As stop seeing this error)", v.verb)
+	}
+}
+
+// fmtVerb is one %-verb of a format string and the 0-based argument
+// index it consumes.
+type fmtVerb struct {
+	arg  int
+	verb byte
+}
+
+// formatVerbs scans a Printf-style format string, tracking '*'
+// width/precision arguments and explicit [n] indexes.
+func formatVerbs(format string) []fmtVerb {
+	var out []fmtVerb
+	arg := 0
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+	scan:
+		for ; i < len(format); i++ {
+			switch c := format[i]; {
+			case c == '+' || c == '-' || c == '#' || c == ' ' || c == '0' || c == '.' || (c >= '1' && c <= '9'):
+				// flags, width, precision digits
+			case c == '*':
+				arg++ // dynamic width/precision consumes an argument
+			case c == '[':
+				// explicit argument index: %[2]v
+				j := i + 1
+				n := 0
+				for j < len(format) && format[j] >= '0' && format[j] <= '9' {
+					n = n*10 + int(format[j]-'0')
+					j++
+				}
+				if j < len(format) && format[j] == ']' && n > 0 {
+					arg = n - 1
+					i = j
+				} else {
+					break scan // malformed; bail on this verb
+				}
+			case c == '%':
+				break scan // literal %%, no argument
+			default:
+				out = append(out, fmtVerb{arg: arg, verb: c})
+				arg++
+				break scan
+			}
+		}
+	}
+	return out
+}

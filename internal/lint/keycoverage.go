@@ -1,0 +1,164 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// KeyCoverageAnalyzer is the cache-key totality check: in any package
+// that declares the query-options struct (core.QueryOptions by
+// default) together with its canonical rendering method (CanonicalKey)
+// and its inverse (ParseCanonicalKey), every exported field of the
+// struct must be read by the renderer and assigned by the parser.
+//
+// The invariant is load-bearing for serving correctness: the dard
+// result cache and singleflight group key on CanonicalKey, so a query
+// mode that ships without an arm in the key renderer makes two
+// *different* queries share one cache entry — stale or plain wrong
+// results served with full confidence. The parser side keeps the key
+// an injective, invertible encoding (the FuzzQueryOptions round-trip
+// relies on it). Both halves used to be guarded only by hand-written
+// tests; this analyzer makes "add a field, forget the key" a compile
+// failure.
+//
+// A field that is deliberately outside the key (execution-only knobs
+// like Workers, proven result-invariant by the differential suites)
+// carries a `//lint:allow keycoverage <why>` on its declaration line.
+// The check is intraprocedural: the renderer and parser must touch the
+// fields directly, which is also the only shape that keeps the key
+// readable.
+var KeyCoverageAnalyzer = &analysis.Analyzer{
+	Name: "keycoverage",
+	Doc:  "checks every exported query-options field is covered by both the canonical key renderer and its parser",
+	Run:  runKeyCoverage,
+}
+
+var (
+	keyCoverageType   string
+	keyCoverageRender string
+	keyCoverageParse  string
+)
+
+func init() {
+	KeyCoverageAnalyzer.Flags.StringVar(&keyCoverageType, "type",
+		"QueryOptions", "name of the options struct whose fields the key must cover")
+	KeyCoverageAnalyzer.Flags.StringVar(&keyCoverageRender, "render",
+		"CanonicalKey", "name of the method rendering the canonical key")
+	KeyCoverageAnalyzer.Flags.StringVar(&keyCoverageParse, "parse",
+		"ParseCanonicalKey", "name of the function inverting the canonical key")
+}
+
+func runKeyCoverage(pass *analysis.Pass) (interface{}, error) {
+	obj, ok := pass.Pkg.Scope().Lookup(keyCoverageType).(*types.TypeName)
+	if !ok {
+		return nil, nil
+	}
+	st, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		return nil, nil
+	}
+
+	var render, parse *ast.FuncDecl
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, isFunc := decl.(*ast.FuncDecl)
+			if !isFunc || fd.Body == nil {
+				continue
+			}
+			if fd.Recv != nil && fd.Name.Name == keyCoverageRender && recvIsType(pass, fd, obj) {
+				render = fd
+			}
+			if fd.Recv == nil && fd.Name.Name == keyCoverageParse {
+				parse = fd
+			}
+		}
+	}
+	if render == nil && parse == nil {
+		return nil, nil // no canonical-key surface in this package
+	}
+	dirs := newDirectives(pass)
+	if render == nil {
+		report(pass, dirs, "keycoverage", parse.Pos(),
+			"%s exists but %s has no %s method: the canonical key cannot be checked for field coverage", keyCoverageParse, keyCoverageType, keyCoverageRender)
+		return nil, nil
+	}
+	if parse == nil {
+		report(pass, dirs, "keycoverage", render.Pos(),
+			"%s.%s exists but there is no %s: the canonical key is not invertible", keyCoverageType, keyCoverageRender, keyCoverageParse)
+		return nil, nil
+	}
+
+	reads := fieldUses(pass, render.Body, st, false)
+	writes := fieldUses(pass, parse.Body, st, true)
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if !f.Exported() {
+			continue
+		}
+		if !reads[f] {
+			report(pass, dirs, "keycoverage", f.Pos(),
+				"exported %s field %s is not read by %s: two queries differing only in it would collide on one cache key", keyCoverageType, f.Name(), keyCoverageRender)
+		}
+		if !writes[f] {
+			report(pass, dirs, "keycoverage", f.Pos(),
+				"exported %s field %s is never assigned by %s: the canonical key is not invertible over it", keyCoverageType, f.Name(), keyCoverageParse)
+		}
+	}
+	return nil, nil
+}
+
+// recvIsType reports whether fd's receiver base type is the given named
+// type (pointer receivers included).
+func recvIsType(pass *analysis.Pass, fd *ast.FuncDecl, tn *types.TypeName) bool {
+	fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj() == tn
+}
+
+// fieldUses walks body and marks which fields of st are touched: with
+// write=false any selector read of the field counts; with write=true
+// only a selector on the left-hand side of an assignment does.
+func fieldUses(pass *analysis.Pass, body *ast.BlockStmt, st *types.Struct, write bool) map[*types.Var]bool {
+	fields := make(map[*types.Var]bool, st.NumFields())
+	for i := 0; i < st.NumFields(); i++ {
+		fields[st.Field(i)] = true
+	}
+	used := make(map[*types.Var]bool)
+	mark := func(e ast.Expr) {
+		sel, ok := e.(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		if v, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var); ok && v.IsField() && fields[v] {
+			used[v] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if write {
+			if as, ok := n.(*ast.AssignStmt); ok {
+				for _, lhs := range as.Lhs {
+					mark(lhs)
+				}
+			}
+			return true
+		}
+		if e, ok := n.(ast.Expr); ok {
+			mark(e)
+		}
+		return true
+	})
+	return used
+}

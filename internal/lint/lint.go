@@ -1,15 +1,28 @@
 // Package lint hosts the darlint analyzers: custom go/analysis passes
-// that mechanically enforce the miner's determinism and concurrency
-// invariants (bit-identical DAR output at any worker count). The four
-// analyzers are
+// that mechanically enforce the miner's determinism, concurrency and
+// serving invariants (bit-identical DAR output at any worker count; a
+// serving layer that cannot silently corrupt its cache keys, error
+// surface or latency profile). The nine analyzers are
 //
 //   - maporder:     map iteration feeding ordered output without a sort
 //   - nondeterm:    time.Now / global math/rand / os.Getenv in result paths
 //   - rawgoroutine: goroutines spawned outside the sanctioned worker pools
 //   - atomicmix:    sync/atomic and plain access mixed on the same variable
+//   - keycoverage:  QueryOptions fields missing from CanonicalKey or
+//     ParseCanonicalKey (a partial cache key collides distinct queries)
+//   - errwrap:      sentinel errors compared with == instead of errors.Is,
+//     and fmt.Errorf %v/%s on error values that breaks the unwrap chain
+//   - ctxflow:      context.Background/TODO or a discarded r.Context()
+//     in serving request paths (timeouts and aborts stop propagating)
+//   - lockhold:     channel ops, file or network I/O while a sync.Mutex
+//     or RWMutex is held (the catalog/cache deadlock-latency shape)
+//   - wgbalance:    sync.WaitGroup Add inside the spawned goroutine, or
+//     Done not deferred (Wait races or deadlocks)
 //
 // A finding can be suppressed with a `//lint:allow <analyzer> [reason]`
-// comment on the offending line or the line directly above it. Functions
+// comment on the offending line or the line directly above it; the
+// repo-wide count of such suppressions is pinned per analyzer by
+// lint_budget.json at the module root (`darlint -budget`). Functions
 // whose doc comment contains a `//lint:telemetry` line are exempt from
 // nondeterm (for timing / telemetry code whose values never reach the
 // mined rule set).
@@ -31,6 +44,11 @@ var Analyzers = []*analysis.Analyzer{
 	NonDetermAnalyzer,
 	RawGoroutineAnalyzer,
 	AtomicMixAnalyzer,
+	KeyCoverageAnalyzer,
+	ErrWrapAnalyzer,
+	CtxFlowAnalyzer,
+	LockHoldAnalyzer,
+	WGBalanceAnalyzer,
 }
 
 const (
@@ -164,6 +182,39 @@ func pkgPath(pass *analysis.Pass) string {
 	}
 	return path
 }
+
+// methodOn resolves a call expression to (package path, receiver type
+// name, method name) when it is a method call whose method is declared
+// on a named type (embedding included: t.Lock() on a struct embedding
+// sync.Mutex resolves to ("sync", "Mutex", "Lock")). ok=false for
+// plain function calls and methods of unnamed receivers.
+func methodOn(pass *analysis.Pass, call *ast.CallExpr) (path, recv, name string, ok bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", "", "", false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return "", "", "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", "", "", false
+	}
+	t := sig.Recv().Type()
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return "", "", "", false
+	}
+	return named.Obj().Pkg().Path(), named.Obj().Name(), fn.Name(), true
+}
+
+// errorInterface is the built-in error interface, for "does this type
+// implement error" checks.
+var errorInterface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
 
 // pkgFunc resolves a call expression to (package path, function name)
 // when it is a direct call of a package-level function, e.g.

@@ -38,3 +38,26 @@ func TestRawGoroutine(t *testing.T) {
 func TestAtomicMix(t *testing.T) {
 	linttest.Run(t, "testdata", lint.AtomicMixAnalyzer, "atomicmix")
 }
+
+func TestKeyCoverage(t *testing.T) {
+	linttest.Run(t, "testdata", lint.KeyCoverageAnalyzer, "keycoverage")
+}
+
+func TestErrWrap(t *testing.T) {
+	linttest.Run(t, "testdata", lint.ErrWrapAnalyzer, "internal/errwrap")
+}
+
+func TestCtxFlow(t *testing.T) {
+	linttest.Run(t, "testdata", lint.CtxFlowAnalyzer,
+		"internal/server/ctxflow", // positives + deliberate-detach suppression
+		"internal/server",         // negative: the serving fixtures carry no detached contexts
+	)
+}
+
+func TestLockHold(t *testing.T) {
+	linttest.Run(t, "testdata", lint.LockHoldAnalyzer, "internal/lockhold")
+}
+
+func TestWGBalance(t *testing.T) {
+	linttest.Run(t, "testdata", lint.WGBalanceAnalyzer, "internal/wgbalance")
+}

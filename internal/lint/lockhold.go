@@ -1,0 +1,231 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// LockHoldAnalyzer flags blocking operations performed while a
+// sync.Mutex or sync.RWMutex is held: channel sends/receives, selects
+// without a default, WaitGroup.Wait, time.Sleep, and file or network
+// I/O. The serving layer's hot structures — the summary catalog, the
+// result cache, the singleflight table — all sit behind one mutex
+// each; a disk read held under that mutex turns every concurrent
+// version probe and cache lookup into a convoy, and a channel op held
+// under it is one step from deadlock. Stage I/O outside the critical
+// section and re-validate under the lock instead.
+//
+// Deliberately exempt:
+//   - os.Rename / os.Remove: constant-time metadata operations — the
+//     catalog's atomic publish (stage outside, rename under the lock)
+//     depends on exactly this pattern;
+//   - sync.Cond.Wait, which releases the mutex while blocked;
+//   - selects with a default clause and close(ch), which don't block.
+//
+// The analysis is intraprocedural and statement-ordered: a lock is
+// considered held from the Lock() call to the matching Unlock() in the
+// same function (to the function's end if the Unlock is deferred).
+// Blocking calls reached through helper functions are not seen; keep
+// critical sections flat. A provably-bounded op can carry
+// `//lint:allow lockhold <why>`.
+var LockHoldAnalyzer = &analysis.Analyzer{
+	Name:     "lockhold",
+	Doc:      "flags channel ops and file/network I/O performed while a sync.Mutex or RWMutex is held",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runLockHold,
+}
+
+var lockHoldScope string
+
+func init() {
+	LockHoldAnalyzer.Flags.StringVar(&lockHoldScope, "scope",
+		`(^|/)internal/`,
+		"regexp of package import paths the analyzer applies to")
+}
+
+// blockingFuncs are package-level functions considered blocking: data-
+// plane file reads/writes, network dials and requests, sleeps.
+var blockingFuncs = map[string]map[string]bool{
+	"os": {
+		"ReadFile": true, "WriteFile": true, "Open": true, "OpenFile": true,
+		"Create": true, "CreateTemp": true, "MkdirTemp": true, "ReadDir": true,
+	},
+	"io":            {"ReadAll": true, "Copy": true, "CopyN": true, "CopyBuffer": true},
+	"time":          {"Sleep": true},
+	"net":           {"Dial": true, "DialTimeout": true, "Listen": true},
+	"net/http":      {"Get": true, "Head": true, "Post": true, "PostForm": true},
+	"path/filepath": {"Glob": true, "Walk": true, "WalkDir": true},
+}
+
+// blockingMethods are methods considered blocking, keyed by the
+// declaring package and receiver type name.
+var blockingMethods = map[[2]string]map[string]bool{
+	{"sync", "WaitGroup"}: {"Wait": true},
+	{"os", "File"}: {
+		"Read": true, "ReadAt": true, "ReadFrom": true,
+		"Write": true, "WriteAt": true, "WriteString": true, "WriteTo": true,
+		"Sync": true, "Truncate": true,
+	},
+	{"net/http", "Client"}: {"Do": true, "Get": true, "Head": true, "Post": true, "PostForm": true},
+	{"net", "Conn"}:        {"Read": true, "Write": true},
+	{"os/exec", "Cmd"}:     {"Run": true, "Output": true, "CombinedOutput": true, "Wait": true},
+}
+
+func runLockHold(pass *analysis.Pass) (interface{}, error) {
+	if !compileScope(lockHoldScope)(pkgPath(pass)) {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	dirs := newDirectives(pass)
+
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil), (*ast.FuncLit)(nil)}, func(n ast.Node) {
+		var body *ast.BlockStmt
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			body = n.Body
+		case *ast.FuncLit:
+			body = n.Body
+		}
+		if body == nil || isTestFile(pass, body.Pos()) {
+			return
+		}
+		scanLockRegions(pass, dirs, body)
+	})
+	return nil, nil
+}
+
+// lockState tracks which mutexes are held at the current point of the
+// source-ordered walk. Keys are the printed receiver expressions
+// ("c.mu"), values the Lock() position for the report.
+type lockState struct {
+	pass *analysis.Pass
+	dirs *directives
+	held map[string]token.Pos
+}
+
+// scanLockRegions walks one function body in source order (nested
+// function literals excluded — they run under their own discipline)
+// and reports blocking operations between a Lock and its Unlock.
+func scanLockRegions(pass *analysis.Pass, dirs *directives, body *ast.BlockStmt) {
+	s := &lockState{pass: pass, dirs: dirs, held: make(map[string]token.Pos)}
+	s.walk(body)
+}
+
+func (s *lockState) walk(root ast.Node) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // separate function, separate discipline
+		case *ast.DeferStmt:
+			// `defer mu.Unlock()` keeps the mutex held to the end of
+			// the function; nothing inside a defer executes here.
+			return false
+		case *ast.SendStmt:
+			s.flag(n.Pos(), "channel send")
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				s.flag(n.Pos(), "channel receive")
+			}
+		case *ast.RangeStmt:
+			if tv, ok := s.pass.TypesInfo.Types[n.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					s.flag(n.Pos(), "range over a channel")
+				}
+			}
+		case *ast.SelectStmt:
+			blocking := true
+			for _, c := range n.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+					blocking = false // default clause: nonblocking
+				}
+			}
+			if blocking {
+				s.flag(n.Pos(), "blocking select")
+			}
+			// Case bodies run after the select commits; scan them but
+			// not the comm statements (already covered by the select).
+			for _, c := range n.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					for _, stmt := range cc.Body {
+						s.walk(stmt)
+					}
+				}
+			}
+			return false
+		case *ast.CallExpr:
+			if recv, name, ok := s.mutexOp(n); ok {
+				switch name {
+				case "Lock", "RLock", "TryLock", "TryRLock":
+					s.held[recv] = n.Pos()
+				case "Unlock", "RUnlock":
+					delete(s.held, recv)
+				}
+				return true
+			}
+			if what, blocking := s.blockingCall(n); blocking {
+				s.flag(n.Pos(), what)
+			}
+		}
+		return true
+	})
+}
+
+// mutexOp resolves a call to (receiver expression, method name) when it
+// is a lock/unlock on a sync.Mutex or sync.RWMutex (embedded included).
+func (s *lockState) mutexOp(call *ast.CallExpr) (recv, name string, ok bool) {
+	path, recvType, method, ok := methodOn(s.pass, call)
+	if !ok || path != "sync" || (recvType != "Mutex" && recvType != "RWMutex") {
+		return "", "", false
+	}
+	sel := call.Fun.(*ast.SelectorExpr) // methodOn established the shape
+	return types.ExprString(sel.X), method, true
+}
+
+// blockingCall reports whether call is in the blocking tables.
+func (s *lockState) blockingCall(call *ast.CallExpr) (string, bool) {
+	if path, name, ok := pkgFunc(s.pass, call); ok {
+		if blockingFuncs[path][name] {
+			return shortPkg(path) + "." + name, true
+		}
+		return "", false
+	}
+	if path, recvType, method, ok := methodOn(s.pass, call); ok {
+		if blockingMethods[[2]string{path, recvType}][method] {
+			return "(" + shortPkg(path) + "." + recvType + ")." + method, true
+		}
+	}
+	return "", false
+}
+
+// flag reports op if any mutex is held, naming the (deterministically
+// chosen) earliest-locked one.
+func (s *lockState) flag(pos token.Pos, op string) {
+	if len(s.held) == 0 {
+		return
+	}
+	var recv string
+	var lockPos token.Pos
+	for r, p := range s.held {
+		if recv == "" || p < lockPos || (p == lockPos && r < recv) {
+			recv, lockPos = r, p
+		}
+	}
+	lp := s.pass.Fset.Position(lockPos)
+	report(s.pass, s.dirs, "lockhold", pos,
+		"%s while %s is held (Lock at line %d): blocking under a mutex convoys every other holder; stage the operation outside the critical section", op, recv, lp.Line)
+}
+
+// shortPkg renders an import path's last element ("net/http" → "http").
+func shortPkg(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[i+1:]
+		}
+	}
+	return path
+}

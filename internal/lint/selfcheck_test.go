@@ -5,8 +5,24 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"reflect"
 	"testing"
+
+	"repro/internal/lint"
 )
+
+// TestSuiteComposition pins the analyzer roster. Adding an analyzer is
+// deliberate: it must be registered here, carry fixtures, and get a
+// row in lint_budget.json before the suite test accepts it.
+func TestSuiteComposition(t *testing.T) {
+	want := []string{
+		"maporder", "nondeterm", "rawgoroutine", "atomicmix",
+		"keycoverage", "errwrap", "ctxflow", "lockhold", "wgbalance",
+	}
+	if got := lint.AnalyzerNames(); !reflect.DeepEqual(got, want) {
+		t.Errorf("lint.Analyzers = %v, want %v", got, want)
+	}
+}
 
 // TestDarlintRepoClean is the repo-wide self-check: it builds the
 // darlint vettool and runs it over every package, failing on any
@@ -40,5 +56,14 @@ func TestDarlintRepoClean(t *testing.T) {
 	vet.Stderr = &out
 	if err := vet.Run(); err != nil {
 		t.Errorf("darlint reported findings (or failed): %v\n%s", err, out.String())
+	}
+
+	// The suppression budget must match the tree exactly: a new
+	// //lint:allow needs a deliberate lint_budget.json edit in the
+	// same change, and removing one must lower the budget with it.
+	budget := exec.Command(tool, "-budget", "lint_budget.json", "-exact")
+	budget.Dir = root
+	if out, err := budget.CombinedOutput(); err != nil {
+		t.Errorf("suppression budget check failed: %v\n%s", err, out)
 	}
 }

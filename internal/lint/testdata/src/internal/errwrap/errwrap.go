@@ -1,0 +1,77 @@
+// Fixture for the errwrap analyzer: sentinel errors compared with ==
+// and fmt.Errorf verbs that cut the unwrap chain.
+package errwrap
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrBadInput is the repo's sentinel shape: a package-level error
+// variable that serving layers classify with errors.Is.
+var ErrBadInput = errors.New("bad input")
+
+var errInternal = errors.New("internal")
+
+// Classify mixes the flagged shapes.
+func Classify(err error) int {
+	if err == ErrBadInput { // want `ErrBadInput compared with ==`
+		return 400
+	}
+	if err != errInternal { // want `errInternal compared with !=`
+		return 0
+	}
+	switch err {
+	case io.EOF: // want `io.EOF matched with switch-case equality`
+		return 204
+	}
+	return 500
+}
+
+// ClassifyWrapped is the sanctioned shape: errors.Is sees through
+// wrapping, and nil comparisons are not sentinel comparisons.
+func ClassifyWrapped(err error) int {
+	if err == nil {
+		return 200
+	}
+	if errors.Is(err, ErrBadInput) {
+		return 400
+	}
+	return 500
+}
+
+// Wrap loses the chain with %v; WrapWell keeps it with %w (the message
+// text is identical).
+func Wrap(err error) error {
+	return fmt.Errorf("reading shard: %v", err) // want `error formatted with %v cuts the unwrap chain`
+}
+
+func WrapWell(err error) error {
+	return fmt.Errorf("reading shard: %w", err)
+}
+
+// WrapBoth wraps one error and flattens another: only the %v arm is
+// flagged — even alongside a %w, that particular chain is cut.
+func WrapBoth(cause error) error {
+	return fmt.Errorf("canonical key: %v: %w", cause, ErrBadInput) // want `error formatted with %v cuts the unwrap chain`
+}
+
+// NonErrorVerbs format non-error values; nothing to flag.
+func NonErrorVerbs(n int, name string) error {
+	return fmt.Errorf("group %q has %d clusters", name, n)
+}
+
+// DeliberateFlatten records the cause's text in a note whose identity
+// must not leak: the chain cut is intentional and suppressed.
+func DeliberateFlatten(err error) string {
+	quarantined := fmt.Errorf("quarantined: %v", err) //lint:allow errwrap note text only; identity must not leak
+	return quarantined.Error()
+}
+
+// EqualitySuppressed keeps an == comparison where the error is known
+// unwrapped by contract.
+func EqualitySuppressed(err error) bool {
+	//lint:allow errwrap csv.Read documents it returns io.EOF unwrapped
+	return err == io.EOF
+}

@@ -1,0 +1,98 @@
+// Fixture for the lockhold analyzer: blocking operations while a
+// sync.Mutex / RWMutex is held.
+package lockhold
+
+import (
+	"os"
+	"sync"
+)
+
+// catalog is the serving-layer shape: one mutex in front of a map,
+// artifacts on disk.
+type catalog struct {
+	mu      sync.Mutex
+	rw      sync.RWMutex
+	entries map[string][]byte
+}
+
+// loadHeld reads a file with the mutex held for the whole call — every
+// concurrent probe convoys behind the disk. Flagged.
+func (c *catalog) loadHeld(name string) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if b, ok := c.entries[name]; ok {
+		return b, nil
+	}
+	data, err := os.ReadFile(name) // want `os.ReadFile while c.mu is held`
+	if err != nil {
+		return nil, err
+	}
+	c.entries[name] = data
+	return data, nil
+}
+
+// sendHeld performs a channel send under an RLock. Flagged.
+func (c *catalog) sendHeld(ch chan string, name string) {
+	c.rw.RLock()
+	ch <- name // want `channel send while c.rw is held`
+	c.rw.RUnlock()
+}
+
+// waitHeld blocks on a WaitGroup under the lock. Flagged.
+func (c *catalog) waitHeld(wg *sync.WaitGroup) {
+	c.mu.Lock()
+	wg.Wait() // want `\(sync.WaitGroup\).Wait while c.mu is held`
+	c.mu.Unlock()
+}
+
+// loadStaged is the sanctioned shape: stage the I/O outside the
+// critical section, re-validate under the lock.
+func (c *catalog) loadStaged(name string) ([]byte, error) {
+	c.mu.Lock()
+	b, ok := c.entries[name]
+	c.mu.Unlock()
+	if ok {
+		return b, nil
+	}
+	data, err := os.ReadFile(name)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.entries[name] = data
+	c.mu.Unlock()
+	return data, nil
+}
+
+// publish holds the lock across os.Rename only: a constant-time
+// metadata operation, deliberately exempt (the catalog's atomic
+// publish depends on rename-under-lock ordering).
+func (c *catalog) publish(tmp, dst string, data []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := os.Rename(tmp, dst); err != nil {
+		return err
+	}
+	c.entries[dst] = data
+	return nil
+}
+
+// drainNonblocking holds the lock across a select with a default:
+// nonblocking, not flagged.
+func (c *catalog) drainNonblocking(ch chan string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	select {
+	case name := <-ch:
+		delete(c.entries, name)
+	default:
+	}
+}
+
+// boundedSend is provably bounded (buffered channel owned by this
+// type, capacity checked by construction) and suppressed.
+func (c *catalog) boundedSend(buf chan string, name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	buf <- name //lint:allow lockhold buffered and sized to the holder count by construction
+}

@@ -1,0 +1,48 @@
+// Fixture for the ctxflow analyzer: detached or dropped contexts in a
+// serving request path (the fixture path sits under internal/server,
+// the analyzer's default scope).
+package ctxflow
+
+import (
+	"context"
+	"time"
+)
+
+// request stands in for *http.Request: a Context() accessor returning
+// the caller's context.
+type request struct{ ctx context.Context }
+
+func (r *request) Context() context.Context { return r.ctx }
+
+// handleDetached splices in a fresh root context: the request's
+// timeout and disconnect-abort no longer reach the work. Flagged.
+func handleDetached(r *request, run func(context.Context)) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second) // want `context.Background detaches this path from the request`
+	defer cancel()
+	run(ctx)
+}
+
+// handleTODO is the same bug with TODO. Flagged.
+func handleTODO(r *request, run func(context.Context)) {
+	run(context.TODO()) // want `context.TODO detaches this path from the request`
+}
+
+// handleDropped calls Context() as a bare statement: the returned
+// context is discarded, so nothing observes cancellation. Flagged.
+func handleDropped(r *request, run func()) {
+	r.Context() // want `context-returning call evaluated as a statement`
+	run()
+}
+
+// handleFlowing derives from the request context: the sanctioned shape.
+func handleFlowing(r *request, run func(context.Context)) {
+	ctx, cancel := context.WithTimeout(r.Context(), time.Second)
+	defer cancel()
+	run(ctx)
+}
+
+// startupDetach is a deliberate detach — a background reload loop that
+// must outlive any one request — and is suppressed.
+func startupDetach(run func(context.Context)) {
+	run(context.Background()) //lint:allow ctxflow catalog reload loop outlives requests by design
+}

@@ -1,0 +1,70 @@
+// Fixture for the wgbalance analyzer: WaitGroup Add/Done mismatch
+// shapes inside spawned goroutines.
+package wgbalance
+
+import "sync"
+
+// fanOutBroken shows both bug shapes: Add racing Wait from inside the
+// goroutine, and a Done that a panic would skip.
+func fanOutBroken(tasks []func()) {
+	var wg sync.WaitGroup
+	for _, t := range tasks {
+		t := t
+		go func() {
+			wg.Add(1) // want `WaitGroup.Add inside the goroutine it accounts for`
+			t()
+			wg.Done() // want `WaitGroup.Done not deferred`
+		}()
+	}
+	wg.Wait()
+}
+
+// fanOutSanctioned is the worker-pool discipline: Add before the go
+// statement, Done deferred first.
+func fanOutSanctioned(tasks []func()) {
+	var wg sync.WaitGroup
+	for _, t := range tasks {
+		t := t
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t()
+		}()
+	}
+	wg.Wait()
+}
+
+// deferredClosure routes Done through a deferred closure: still
+// executes on panic, not flagged.
+func deferredClosure(tasks []func()) {
+	var wg sync.WaitGroup
+	for _, t := range tasks {
+		t := t
+		wg.Add(1)
+		go func() {
+			defer func() {
+				wg.Done()
+			}()
+			t()
+		}()
+	}
+	wg.Wait()
+}
+
+// reAddSuppressed re-arms the group from inside a goroutine that is
+// itself accounted for before spawning — a deliberate self-requeueing
+// worker, suppressed with a reason.
+func reAddSuppressed(requeue func() bool) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for requeue() {
+			wg.Add(1) //lint:allow wgbalance requeue happens before the matching Done; Wait cannot pass early
+			go func() {
+				defer wg.Done()
+			}()
+		}
+	}()
+	wg.Wait()
+}

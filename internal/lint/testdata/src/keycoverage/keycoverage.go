@@ -1,0 +1,53 @@
+// Fixture for the keycoverage analyzer: a query-options struct whose
+// canonical key renderer and parser must together cover every exported
+// field. The analyzer keys on the QueryOptions/CanonicalKey/
+// ParseCanonicalKey names (configurable), so this fixture mirrors the
+// real internal/core surface in miniature.
+package keycoverage
+
+import (
+	"strconv"
+	"strings"
+)
+
+type QueryOptions struct {
+	// Metric is fully covered: read by CanonicalKey, assigned by
+	// ParseCanonicalKey. Clean.
+	Metric string
+	// TopK is rendered but never parsed back.
+	TopK int // want `exported QueryOptions field TopK is never assigned by ParseCanonicalKey`
+	// Sweep is parsed but never rendered — the PR-6 bug shape: a new
+	// query mode ships and two different queries share one cache entry.
+	Sweep []float64 // want `exported QueryOptions field Sweep is not read by CanonicalKey`
+	// Workers is execution-only parallelism, deliberately outside the
+	// key (results are bit-identical at any worker count), so both
+	// findings are suppressed.
+	Workers int //lint:allow keycoverage execution-only; result-invariant by the differential suite
+	// scratch is unexported: not part of the key contract.
+	scratch int
+}
+
+func (q QueryOptions) CanonicalKey() string {
+	var b strings.Builder
+	b.WriteString("metric=")
+	b.WriteString(q.Metric)
+	b.WriteString(" topk=")
+	b.WriteString(strconv.Itoa(q.TopK))
+	return b.String()
+}
+
+func ParseCanonicalKey(key string) (QueryOptions, error) {
+	var q QueryOptions
+	fields := strings.Fields(key)
+	if len(fields) > 0 {
+		q.Metric = strings.TrimPrefix(fields[0], "metric=")
+	}
+	for _, f := range fields[1:] {
+		v, err := strconv.ParseFloat(strings.TrimPrefix(f, "sweep="), 64)
+		if err != nil {
+			return QueryOptions{}, err
+		}
+		q.Sweep = append(q.Sweep, v)
+	}
+	return q, nil
+}

@@ -2,6 +2,7 @@ package relation
 
 import (
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -45,7 +46,7 @@ func ReadCSV(rd io.Reader) (*Relation, error) {
 	tuple := make([]float64, schema.Width())
 	for line := 2; ; line++ {
 		rec, err := cr.Read()
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			break
 		}
 		if err != nil {

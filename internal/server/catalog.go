@@ -126,51 +126,89 @@ func (c *catalog) version(name string) (uint64, bool) {
 // and strictly decoding the artifact on first use. A load that fails
 // Decode quarantines the artifact and drops the entry: the error
 // reaches the client, not a panic or a crash loop.
+//
+// The cold path is double-checked: the multi-megabyte read and strict
+// decode run with the mutex released (holding it would convoy every
+// concurrent catalog user behind one disk load), then the entry is
+// re-validated under the lock before the result is installed. If an
+// ingest or merge bumped the version in between, the staged load is
+// discarded and the probe retries against the new artifact. Two
+// concurrent cold gets may both stage the load; the loser adopts the
+// winner's summary. (Result-level dedup is the flight group's job —
+// this keeps the catalog itself convoy-free.)
 func (c *catalog) get(name string) (*summary.Summary, uint64, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	e, ok := c.entries[name]
-	if !ok {
-		return nil, 0, errUnknownSummary
-	}
-	c.clock++
-	e.lastUse = c.clock
-	if e.sum != nil {
-		return e.sum, e.version, nil
-	}
-
-	path := c.path(name)
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, 0, fmt.Errorf("server: reading %s: %w", path, err)
-	}
-	sum, err := summary.Decode(data)
-	if err != nil {
-		delete(c.entries, name)
-		note, qerr := c.quarantine(path, err)
-		if qerr != nil {
-			return nil, 0, qerr
+	for {
+		c.mu.Lock()
+		e, ok := c.entries[name]
+		if !ok {
+			c.mu.Unlock()
+			return nil, 0, errUnknownSummary
 		}
-		return nil, 0, fmt.Errorf("server: summary %q failed strict decode, %s", name, note)
+		c.clock++
+		e.lastUse = c.clock
+		version := e.version
+		if e.sum != nil {
+			sum := e.sum
+			c.mu.Unlock()
+			return sum, version, nil
+		}
+		c.mu.Unlock()
+
+		path := c.path(name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, 0, fmt.Errorf("server: reading %s: %w", path, err)
+		}
+		sum, err := summary.Decode(data)
+
+		c.mu.Lock()
+		cur, ok := c.entries[name]
+		if !ok || cur != e || cur.version != version {
+			// A put (or another get's quarantine) replaced the state
+			// we staged against; throw the load away and re-probe.
+			c.mu.Unlock()
+			continue
+		}
+		if err != nil {
+			// Quarantine under the lock: the rename is a constant-time
+			// metadata operation (lockhold-exempt), and doing it here
+			// keeps the on-disk state and the entry map in step.
+			delete(c.entries, name)
+			note, qerr := c.quarantine(path, err)
+			c.mu.Unlock()
+			if qerr != nil {
+				return nil, 0, qerr
+			}
+			return nil, 0, fmt.Errorf("server: summary %q failed strict decode, %s", name, note)
+		}
+		if cur.sum == nil {
+			cur.sum = sum
+			cur.size = int64(len(data))
+			c.loadedBytes += cur.size
+			c.metrics.CatalogLoads.Add(1)
+			c.evictLocked(cur)
+		}
+		sum = cur.sum
+		c.mu.Unlock()
+		return sum, version, nil
 	}
-	e.sum = sum
-	e.size = int64(len(data))
-	c.loadedBytes += e.size
-	c.metrics.CatalogLoads.Add(1)
-	c.evictLocked(e)
-	return e.sum, e.version, nil
 }
 
 // put installs (or replaces) a named artifact: atomic write to the data
 // dir (tmp + rename, so a crash mid-write can never leave a torn
 // .acfsum for the next boot to trip on), then a version bump.
+//
+// The temp file is staged — created, written, synced shut — before the
+// mutex is taken: only the rename (constant-time metadata, and the
+// thing that must stay ordered with the version bump) happens under
+// the lock. Concurrent puts of the same name stage distinct temp files
+// and serialize at the rename; last rename wins both the file and the
+// version, which is the same outcome as serializing the whole write.
 func (c *catalog) put(name string, sum *summary.Summary, encoded []byte) (uint64, error) {
 	info, err := summary.Stat(encoded)
 	if err != nil {
 		return 0, fmt.Errorf("server: refusing to store undecodable summary: %w", err)
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
 
 	path := c.path(name)
 	tmp, err := os.CreateTemp(c.dir, name+".tmp-*")
@@ -186,6 +224,9 @@ func (c *catalog) put(name string, sum *summary.Summary, encoded []byte) (uint64
 		os.Remove(tmp.Name())
 		return 0, fmt.Errorf("server: staging %s: %w", path, err)
 	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		os.Remove(tmp.Name())
 		return 0, fmt.Errorf("server: installing %s: %w", path, err)

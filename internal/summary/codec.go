@@ -205,7 +205,7 @@ func Decode(data []byte) (*Summary, error) {
 		s.Groups = append(s.Groups, g)
 	}
 	if r.err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrCorrupt, r.err)
+		return nil, fmt.Errorf("%w: %w", ErrCorrupt, r.err)
 	}
 
 	shape := s.Shape()
@@ -263,10 +263,10 @@ func Decode(data []byte) (*Summary, error) {
 		r.fail(fmt.Errorf("%d trailing bytes after the last cluster", r.remaining()))
 	}
 	if r.err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrCorrupt, r.err)
+		return nil, fmt.Errorf("%w: %w", ErrCorrupt, r.err)
 	}
 	if err := s.validate(); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		return nil, fmt.Errorf("%w: %w", ErrCorrupt, err)
 	}
 	if fp := s.Fingerprint(); fp != storedFP {
 		return nil, fmt.Errorf("%w: fingerprint mismatch (computed %016x, stored %016x)", ErrCorrupt, fp, storedFP)

@@ -78,7 +78,7 @@ func Stat(data []byte) (Info, error) {
 		info.Clusters += r.count("cluster count")
 	}
 	if r.err != nil {
-		return Info{}, fmt.Errorf("%w: %v", ErrCorrupt, r.err)
+		return Info{}, fmt.Errorf("%w: %w", ErrCorrupt, r.err)
 	}
 	return info, nil
 }
