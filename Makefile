@@ -18,7 +18,7 @@
 GO ?= go
 BIN := bin
 
-.PHONY: build test race fuzz fuzzsmoke querydiff bench benchjson fmtcheck vet lint lintjson lintbudget darlint serversmoke verify
+.PHONY: build test race fuzz fuzzsmoke querydiff bench benchjson fmtcheck vet lint lintjson lintbudget darlint serversmoke storagesmoke crashsuite verify
 
 build:
 	$(GO) build ./...
@@ -98,11 +98,28 @@ benchjson:
 
 # End-to-end smoke of the dard daemon: build both binaries, start the
 # server on a loopback port, ingest the golden dataset over HTTP, query
-# it remotely and diff against the local CLI pipeline.
+# it remotely and diff against the local CLI pipeline. Includes the
+# storage act below.
 serversmoke: build
 	./scripts/server_smoke.sh
 
+# The storage act alone, over the real binaries: ingest into a
+# WAL-backed segment store, kill -9 mid-ingest, tear the WAL tail,
+# restart, and diff the served query against the local CLI pipeline;
+# then snapshot over the admin endpoint and restore into fresh segment
+# and flat stores, each diffed again.
+storagesmoke: build
+	SMOKE_STORAGE_ONLY=1 ./scripts/server_smoke.sh
+
+# The in-process crash-injection suite under the race detector: torn
+# WAL tails at tabulated byte offsets, crashes mid-compaction, debris
+# cleanup, repeated die/recover cycles, and the snapshot/restore
+# round-trips.
+crashsuite:
+	$(GO) test -race -run 'TestCrash|TestSnapshot|TestRestore|TestSegment|TestManifest|TestFlat' ./internal/storage ./internal/server
+
 # race already runs the Ingest→Summary→Query differential tests (they
 # live in the ordinary test suite), so verify gates Query(Ingest(r)) ≡
-# Mine(r) under the race detector on every run.
-verify: build fmtcheck vet lint lintbudget test race fuzzsmoke querydiff
+# Mine(r) under the race detector on every run, and storagesmoke gates
+# the durability story over the real binaries.
+verify: build fmtcheck vet lint lintbudget test race fuzzsmoke querydiff storagesmoke

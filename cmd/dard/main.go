@@ -38,22 +38,40 @@ func run(args []string) int {
 	timeout := fs.Duration("timeout", 0, "per-query execution budget (0 = 30s)")
 	maxIngestBytes := fs.Int64("max-ingest-bytes", 0, "ingest/merge body limit (0 = 256MiB)")
 	maxQueryBytes := fs.Int64("max-query-bytes", 0, "query body limit (0 = 1MiB)")
+	storageKind := fs.String("storage", "flat", "storage backend: flat (one .acfsum file per summary) or segment (WAL + segment store)")
+	restore := fs.String("restore", "", "snapshot archive to restore into an empty data dir before serving")
 	drain := fs.Duration("drain", 15*time.Second, "graceful shutdown budget for in-flight requests")
 	fs.Parse(args)
 
 	logger := log.New(os.Stderr, "dard: ", log.LstdFlags)
-	srv, notes, err := server.New(server.Config{
+	cfg := server.Config{
 		DataDir:        *data,
 		CatalogBytes:   *catalogBytes,
 		CacheBytes:     *cacheBytes,
 		QueryTimeout:   *timeout,
 		MaxIngestBytes: *maxIngestBytes,
 		MaxQueryBytes:  *maxQueryBytes,
-	})
+		Storage:        *storageKind,
+	}
+	if *restore != "" {
+		f, err := os.Open(*restore)
+		if err != nil {
+			logger.Print(err)
+			return 1
+		}
+		defer f.Close()
+		cfg.RestoreFrom = f
+	}
+	srv, notes, err := server.New(cfg)
 	if err != nil {
 		logger.Print(err)
 		return 1
 	}
+	defer func() {
+		if err := srv.Close(); err != nil {
+			logger.Printf("closing storage: %v", err)
+		}
+	}()
 	for _, n := range notes {
 		logger.Print(n)
 	}
@@ -70,7 +88,7 @@ func run(args []string) int {
 	}
 
 	// The smoke script greps for this line to learn the bound port.
-	logger.Printf("listening on %s (data dir %s)", ln.Addr(), *data)
+	logger.Printf("listening on %s (data dir %s, storage %s)", ln.Addr(), *data, *storageKind)
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)

@@ -32,6 +32,7 @@ func TestRawGoroutine(t *testing.T) {
 		"internal/core",     // negative: sanctioned parallel.go file
 		"internal/ingest",   // batched-pipeline shapes outside the pool file
 		"internal/server",   // negative: sanctioned serving layer (flight/deadline/listener shapes)
+		"internal/storage",  // negative: sanctioned storage engine (WAL writer/compactor owners)
 	)
 }
 

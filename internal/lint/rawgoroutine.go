@@ -22,7 +22,11 @@ import (
 // internal/server is also sanctioned: a serving layer legitimately
 // spawns goroutines that never touch mining results — singleflight
 // executions raced against request deadlines — and its determinism is
-// covered instead by the served-vs-CLI differential tests.
+// covered instead by the served-vs-CLI differential tests. So is
+// internal/storage: the segment store's single-writer WAL goroutine
+// and background compactor are the concurrency design (all mutation
+// serialises through one owner), and the crash/differential suite
+// covers their correctness.
 //
 // Sanctioned locations are configured with -sanction, a comma-separated
 // list of package-path suffixes ("internal/graph") or file suffixes
@@ -45,7 +49,7 @@ func init() {
 		`(^|/)internal/`,
 		"regexp of package import paths the analyzer applies to")
 	RawGoroutineAnalyzer.Flags.StringVar(&rawGoroutineSanction, "sanction",
-		"internal/core/parallel.go,internal/graph,internal/server",
+		"internal/core/parallel.go,internal/graph,internal/server,internal/storage",
 		"comma-separated package or file suffixes where goroutines are sanctioned")
 }
 

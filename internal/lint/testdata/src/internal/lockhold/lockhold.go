@@ -96,3 +96,55 @@ func (c *catalog) boundedSend(buf chan string, name string) {
 	defer c.mu.Unlock()
 	buf <- name //lint:allow lockhold buffered and sized to the holder count by construction
 }
+
+// wal is the storage-engine shape: an index mutex beside an append-only
+// log file. The discipline is that the log belongs to a single writer
+// goroutine and the mutex guards only the in-memory index — appending
+// to the WAL while the index lock is held convoys every reader behind
+// an fsync.
+type wal struct {
+	mu    sync.Mutex
+	file  *os.File
+	index map[string]int64
+}
+
+// appendHeld writes and syncs the WAL frame with the index mutex held
+// for the whole append — every concurrent lookup stalls behind the
+// disk flush. Flagged, twice.
+func (w *wal) appendHeld(name string, frame []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, err := w.file.Write(frame); err != nil { // want `\(os.File\).Write while w.mu is held`
+		return err
+	}
+	if err := w.file.Sync(); err != nil { // want `\(os.File\).Sync while w.mu is held`
+		return err
+	}
+	w.index[name] = int64(len(frame))
+	return nil
+}
+
+// appendStaged is the sanctioned shape: the frame hits the disk outside
+// the critical section, and the lock is taken only to install the
+// in-memory index entry after durability is established.
+func (w *wal) appendStaged(name string, frame []byte) error {
+	if _, err := w.file.Write(frame); err != nil {
+		return err
+	}
+	if err := w.file.Sync(); err != nil {
+		return err
+	}
+	w.mu.Lock()
+	w.index[name] = int64(len(frame))
+	w.mu.Unlock()
+	return nil
+}
+
+// appendBootstrap holds the lock across the first header write during
+// construction, before any reader can hold a reference; suppressed.
+func (w *wal) appendBootstrap(header []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	_, err := w.file.Write(header) //lint:allow lockhold one-time constructor write before the store is published to any reader
+	return err
+}

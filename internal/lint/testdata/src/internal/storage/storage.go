@@ -1,0 +1,45 @@
+// Negative fixture for rawgoroutine: internal/storage is a sanctioned
+// package. The segment store's concurrency design is a single writer
+// goroutine that owns the WAL plus a background compactor — all
+// mutation serialises through those owners, so spawning them is the
+// point, not a determinism leak.
+package storage
+
+type walReq struct {
+	reply chan error
+}
+
+type store struct {
+	reqs     chan walReq
+	compactc chan walReq
+	done     chan struct{}
+}
+
+// start spawns the writer and compactor goroutines; sanctioned, not
+// flagged.
+func (s *store) start() {
+	go s.runWriter()
+	go s.runCompactor()
+}
+
+func (s *store) runWriter() {
+	for {
+		select {
+		case req := <-s.reqs:
+			req.reply <- nil
+		case <-s.done:
+			return
+		}
+	}
+}
+
+func (s *store) runCompactor() {
+	for {
+		select {
+		case req := <-s.compactc:
+			req.reply <- nil
+		case <-s.done:
+			return
+		}
+	}
+}

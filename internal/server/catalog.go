@@ -1,31 +1,33 @@
 package server
 
 import (
+	"errors"
 	"fmt"
-	"os"
-	"path/filepath"
 	"regexp"
 	"sort"
-	"strings"
 	"sync"
 
+	"repro/internal/storage"
 	"repro/internal/summary"
 )
 
-// catalog is the server's collection of named summary artifacts. Each
-// entry is one `<name>.acfsum` file under the data dir; decoded
-// summaries are materialized lazily on first use and held under an LRU
-// byte budget (weights are encoded sizes — the decoded form tracks the
+// catalog is the server's collection of named summary artifacts,
+// layered over a storage.Backend: the backend owns durability (where
+// bytes live, what a crash can destroy, how versions persist) while
+// the catalog owns meaning — envelope checks, strict lazy decoding,
+// quarantine-on-damage, and the LRU byte budget for materialized
+// summaries (weights are encoded sizes — the decoded form tracks the
 // wire form closely enough for an eviction budget). Evicting an entry
-// only drops the in-memory summary; the artifact stays on disk and
-// reloads on next use.
+// only drops the in-memory summary; the record stays in the backend
+// and reloads on next use.
 //
-// Every mutation (ingest, merge) bumps the entry's version. Versions
-// are process-local monotonic counters: they exist to key the result
-// cache and to let clients detect that a summary changed underneath
-// them, not to survive restarts.
+// Versions are the backend's: every mutation (ingest, merge) writes a
+// new record version, which keys the result cache and lets clients
+// detect that a summary changed underneath them. On the segment
+// backend versions survive restarts; on the flat backend they restart
+// from 1, exactly like the pre-storage catalog.
 type catalog struct {
-	dir     string
+	store   storage.Backend
 	budget  int64 // in-memory byte budget for loaded summaries; <= 0 means unlimited
 	metrics *Metrics
 
@@ -39,7 +41,7 @@ type catalog struct {
 type catalogEntry struct {
 	name    string
 	version uint64
-	size    int64 // encoded size on disk (and the eviction weight)
+	size    int64 // encoded size (and the eviction weight)
 	info    summary.Info
 	sum     *summary.Summary // nil when not materialized
 	lastUse uint64
@@ -49,65 +51,55 @@ type catalogEntry struct {
 // alphabet. The server rejects anything else at the HTTP boundary.
 var summaryName = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,127}$`)
 
-const (
-	sumExt         = ".acfsum"
-	quarantineExt  = ".quarantined"
-	quarantineNote = "quarantined (moved aside as %s): %v"
-)
+const sumExt = ".acfsum"
 
-// openCatalog scans the data dir, registering every `*.acfsum` artifact
-// whose envelope passes summary.Stat. Artifacts that fail — truncated,
+// openCatalog lists the backend, registering every record whose
+// envelope passes summary.Stat. Records that fail — truncated,
 // checksum-mismatched, wrong version — are quarantined immediately:
-// renamed to `<file>.quarantined` so a corrupt file can never crash-loop
-// the server, with the failure reported in the returned notes (the
-// daemon logs them) and counted on /metrics.
-func openCatalog(dir string, budget int64, m *Metrics) (*catalog, []string, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, nil, fmt.Errorf("server: data dir: %w", err)
-	}
-	c := &catalog{dir: dir, budget: budget, metrics: m, entries: make(map[string]*catalogEntry)}
-	globbed, err := filepath.Glob(filepath.Join(dir, "*"+sumExt))
+// moved aside by the backend so a corrupt record can never crash-loop
+// the server, with the failure reported per file in the returned notes
+// (the daemon logs them) and counted on /metrics.
+func openCatalog(store storage.Backend, budget int64, m *Metrics) (*catalog, []string, error) {
+	c := &catalog{store: store, budget: budget, metrics: m, entries: make(map[string]*catalogEntry)}
+	infos, err := store.List()
 	if err != nil {
-		return nil, nil, fmt.Errorf("server: scanning data dir: %w", err)
+		return nil, nil, fmt.Errorf("server: listing storage: %w", err)
 	}
-	sort.Strings(globbed)
 	var notes []string
-	for _, path := range globbed {
-		name := strings.TrimSuffix(filepath.Base(path), sumExt)
-		if !summaryName.MatchString(name) {
-			notes = append(notes, fmt.Sprintf("ignoring %s: name %q outside the catalog alphabet", filepath.Base(path), name))
+	for _, rec := range infos {
+		if !summaryName.MatchString(rec.Name) {
+			notes = append(notes, fmt.Sprintf("ignoring record %q: name outside the catalog alphabet", rec.Name))
 			continue
 		}
-		data, err := os.ReadFile(path)
+		data, version, err := store.Get(rec.Name)
 		if err != nil {
-			return nil, nil, fmt.Errorf("server: reading %s: %w", path, err)
+			return nil, nil, fmt.Errorf("server: reading record %q: %w", rec.Name, err)
 		}
 		info, err := summary.Stat(data)
 		if err != nil {
-			q, qerr := c.quarantine(path, err)
+			note, qerr := c.quarantine(rec.Name, version, err)
 			if qerr != nil {
 				return nil, nil, qerr
 			}
-			notes = append(notes, fmt.Sprintf("%s: %s", filepath.Base(path), q))
+			notes = append(notes, fmt.Sprintf("%s%s: %s", rec.Name, sumExt, note))
 			continue
 		}
-		c.entries[name] = &catalogEntry{name: name, version: 1, size: int64(len(data)), info: info}
+		c.entries[rec.Name] = &catalogEntry{name: rec.Name, version: version, size: int64(len(data)), info: info}
 	}
 	return c, notes, nil
 }
 
-// quarantine moves a damaged artifact aside and returns the note text.
-func (c *catalog) quarantine(path string, cause error) (string, error) {
-	dst := path + quarantineExt
-	if err := os.Rename(path, dst); err != nil {
-		return "", fmt.Errorf("server: quarantining %s: %w", path, err)
+// quarantine moves a damaged record aside in the backend and returns
+// the note text. The version guard means a quarantine that lost a race
+// with a fresh Put is ErrStale and changes nothing — the healthy new
+// record survives.
+func (c *catalog) quarantine(name string, version uint64, cause error) (string, error) {
+	note, err := c.store.Quarantine(name, version, cause)
+	if err != nil {
+		return "", fmt.Errorf("server: quarantining %q: %w", name, err)
 	}
 	c.metrics.CatalogQuarantines.Add(1)
-	return fmt.Sprintf(quarantineNote, filepath.Base(dst), cause), nil
-}
-
-func (c *catalog) path(name string) string {
-	return filepath.Join(c.dir, name+sumExt)
+	return note, nil
 }
 
 // version returns the current version of a named entry without loading
@@ -123,16 +115,16 @@ func (c *catalog) version(name string) (uint64, bool) {
 }
 
 // get returns the materialized summary and version for name, loading
-// and strictly decoding the artifact on first use. A load that fails
-// Decode quarantines the artifact and drops the entry: the error
-// reaches the client, not a panic or a crash loop.
+// and strictly decoding the record on first use. A load that fails
+// Decode quarantines the record and drops the entry: the error reaches
+// the client, not a panic or a crash loop.
 //
 // The cold path is double-checked: the multi-megabyte read and strict
 // decode run with the mutex released (holding it would convoy every
-// concurrent catalog user behind one disk load), then the entry is
+// concurrent catalog user behind one load), then the entry is
 // re-validated under the lock before the result is installed. If an
 // ingest or merge bumped the version in between, the staged load is
-// discarded and the probe retries against the new artifact. Two
+// discarded and the probe retries against the new record. Two
 // concurrent cold gets may both stage the load; the loser adopts the
 // winner's summary. (Result-level dedup is the flight group's job —
 // this keeps the catalog itself convoy-free.)
@@ -154,29 +146,39 @@ func (c *catalog) get(name string) (*summary.Summary, uint64, error) {
 		}
 		c.mu.Unlock()
 
-		path := c.path(name)
-		data, err := os.ReadFile(path)
+		data, stored, err := c.store.Get(name)
 		if err != nil {
-			return nil, 0, fmt.Errorf("server: reading %s: %w", path, err)
+			if errors.Is(err, storage.ErrNotFound) {
+				// The record vanished underneath the entry (an external
+				// delete, or a quarantine we raced). Drop the entry.
+				c.dropEntry(name, e, version)
+				return nil, 0, errUnknownSummary
+			}
+			return nil, 0, fmt.Errorf("server: reading record %q: %w", name, err)
 		}
-		sum, err := summary.Decode(data)
+		sum, decodeErr := summary.Decode(data)
 
 		c.mu.Lock()
 		cur, ok := c.entries[name]
-		if !ok || cur != e || cur.version != version {
-			// A put (or another get's quarantine) replaced the state
-			// we staged against; throw the load away and re-probe.
+		if !ok || cur != e || cur.version != version || stored != version {
+			// A put (or another get's quarantine) replaced the state we
+			// staged against; throw the load away and re-probe.
 			c.mu.Unlock()
 			continue
 		}
-		if err != nil {
-			// Quarantine under the lock: the rename is a constant-time
-			// metadata operation (lockhold-exempt), and doing it here
-			// keeps the on-disk state and the entry map in step.
+		if decodeErr != nil {
+			// Drop the entry first, then quarantine outside the lock —
+			// the backend may copy bytes aside. The version guard keeps
+			// the quarantine from destroying a record a concurrent put
+			// just replaced; if that race happens the damaged version is
+			// already gone and ErrStale is a success.
 			delete(c.entries, name)
-			note, qerr := c.quarantine(path, err)
 			c.mu.Unlock()
+			note, qerr := c.quarantine(name, version, decodeErr)
 			if qerr != nil {
+				if errors.Is(qerr, storage.ErrStale) || errors.Is(qerr, storage.ErrNotFound) {
+					return nil, 0, fmt.Errorf("server: summary %q failed strict decode (since replaced): %w", name, decodeErr)
+				}
 				return nil, 0, qerr
 			}
 			return nil, 0, fmt.Errorf("server: summary %q failed strict decode, %s", name, note)
@@ -194,61 +196,53 @@ func (c *catalog) get(name string) (*summary.Summary, uint64, error) {
 	}
 }
 
-// put installs (or replaces) a named artifact: atomic write to the data
-// dir (tmp + rename, so a crash mid-write can never leave a torn
-// .acfsum for the next boot to trip on), then a version bump.
-//
-// The temp file is staged — created, written, synced shut — before the
-// mutex is taken: only the rename (constant-time metadata, and the
-// thing that must stay ordered with the version bump) happens under
-// the lock. Concurrent puts of the same name stage distinct temp files
-// and serialize at the rename; last rename wins both the file and the
-// version, which is the same outcome as serializing the whole write.
+// dropEntry removes an entry if it is still exactly the (entry,
+// version) pair the caller staged against.
+func (c *catalog) dropEntry(name string, e *catalogEntry, version uint64) {
+	c.mu.Lock()
+	if cur, ok := c.entries[name]; ok && cur == e && cur.version == version {
+		delete(c.entries, name)
+	}
+	c.mu.Unlock()
+}
+
+// put installs (or replaces) a named artifact: the backend makes the
+// bytes durable and assigns the version, then the entry adopts it.
+// Concurrent puts of the same name serialize inside the backend;
+// whichever committed last holds the highest version, and the entry
+// only ever moves forward — a put whose version is already superseded
+// leaves the map alone and just reports its own version.
 func (c *catalog) put(name string, sum *summary.Summary, encoded []byte) (uint64, error) {
 	info, err := summary.Stat(encoded)
 	if err != nil {
 		return 0, fmt.Errorf("server: refusing to store undecodable summary: %w", err)
 	}
-
-	path := c.path(name)
-	tmp, err := os.CreateTemp(c.dir, name+".tmp-*")
+	version, err := c.store.Put(name, encoded)
 	if err != nil {
-		return 0, fmt.Errorf("server: staging %s: %w", path, err)
-	}
-	if _, err := tmp.Write(encoded); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return 0, fmt.Errorf("server: staging %s: %w", path, err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return 0, fmt.Errorf("server: staging %s: %w", path, err)
+		return 0, fmt.Errorf("server: storing %q: %w", name, err)
 	}
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
-		return 0, fmt.Errorf("server: installing %s: %w", path, err)
-	}
-
 	e, ok := c.entries[name]
 	if !ok {
 		e = &catalogEntry{name: name}
 		c.entries[name] = e
 	}
-	if e.sum != nil {
-		c.loadedBytes -= e.size
+	if version > e.version {
+		if e.sum != nil {
+			c.loadedBytes -= e.size
+		}
+		e.version = version
+		e.info = info
+		e.sum = sum
+		e.size = int64(len(encoded))
+		c.loadedBytes += e.size
+		c.clock++
+		e.lastUse = c.clock
+		c.evictLocked(e)
 	}
-	e.version++
-	e.info = info
-	e.sum = sum
-	e.size = int64(len(encoded))
-	c.loadedBytes += e.size
-	c.clock++
-	e.lastUse = c.clock
-	c.evictLocked(e)
-	return e.version, nil
+	return version, nil
 }
 
 // evictLocked drops least-recently-used materialized summaries until

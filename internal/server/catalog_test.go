@@ -9,6 +9,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/storage"
 )
 
 // writeArtifact installs raw bytes as a catalog artifact on disk.
@@ -19,6 +21,22 @@ func writeArtifact(t *testing.T, dir, name string, data []byte) string {
 		t.Fatalf("writing artifact: %v", err)
 	}
 	return path
+}
+
+// quarantineExt is the flat backend's moved-aside suffix, asserted on
+// by the quarantine tests.
+const quarantineExt = ".quarantined"
+
+// openFlatCatalog opens a catalog over a flat backend on dir — the
+// same composition server.New builds by default.
+func openFlatCatalog(t *testing.T, dir string, budget int64, m *Metrics) (*catalog, []string, error) {
+	t.Helper()
+	store, err := storage.OpenFlat(dir, storage.FlatOptions{Ext: sumExt})
+	if err != nil {
+		t.Fatalf("OpenFlat: %v", err)
+	}
+	t.Cleanup(func() { store.Close() })
+	return openCatalog(store, budget, m)
 }
 
 // reseal truncates n bytes off the end of an artifact's cluster section
@@ -59,7 +77,7 @@ func TestStartupQuarantine(t *testing.T) {
 			path := writeArtifact(t, dir, "bad", tc.data)
 
 			m := &Metrics{}
-			cat, notes, err := openCatalog(dir, 0, m)
+			cat, notes, err := openFlatCatalog(t, dir, 0, m)
 			if err != nil {
 				t.Fatalf("openCatalog must survive corrupt artifacts, got %v", err)
 			}
@@ -129,7 +147,7 @@ func TestCatalogEviction(t *testing.T) {
 	writeArtifact(t, dir, "b", art)
 
 	m := &Metrics{}
-	cat, _, err := openCatalog(dir, int64(len(art))+1, m)
+	cat, _, err := openFlatCatalog(t, dir, int64(len(art))+1, m)
 	if err != nil {
 		t.Fatalf("openCatalog: %v", err)
 	}

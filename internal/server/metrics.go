@@ -18,11 +18,12 @@ import (
 // are the //lint:telemetry-tagged latency accumulators.
 type Metrics struct {
 	// Per-endpoint request counters (counted on arrival).
-	IngestRequests atomic.Int64
-	MergeRequests  atomic.Int64
-	QueryRequests  atomic.Int64
-	DiffRequests   atomic.Int64
-	ListRequests   atomic.Int64
+	IngestRequests   atomic.Int64
+	MergeRequests    atomic.Int64
+	QueryRequests    atomic.Int64
+	DiffRequests     atomic.Int64
+	ListRequests     atomic.Int64
+	SnapshotRequests atomic.Int64
 
 	// Errors counts requests answered with a 4xx/5xx status.
 	Errors atomic.Int64
@@ -54,6 +55,7 @@ func (m *Metrics) snapshot(gauges map[string]int64) map[string]int64 {
 		"query_requests_total":      m.QueryRequests.Load(),
 		"diff_requests_total":       m.DiffRequests.Load(),
 		"list_requests_total":       m.ListRequests.Load(),
+		"snapshot_requests_total":   m.SnapshotRequests.Load(),
 		"errors_total":              m.Errors.Load(),
 		"query_cache_hits_total":    m.QueryCacheHits.Load(),
 		"query_cache_misses_total":  m.QueryCacheMisses.Load(),

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/relation"
+	"repro/internal/storage"
 	"repro/internal/summary"
 )
 
@@ -37,6 +38,16 @@ type Config struct {
 	MaxIngestBytes int64
 	// MaxQueryBytes limits query request bodies. 0 = 1 MiB.
 	MaxQueryBytes int64
+	// Storage selects the backend under the catalog: "flat" (the
+	// default — one .acfsum file per summary, the original layout) or
+	// "segment" (WAL + segment store; see internal/storage).
+	Storage string
+	// Backend, when non-nil, is used instead of opening one from
+	// DataDir/Storage. Tests inject stores through this.
+	Backend storage.Backend
+	// RestoreFrom, when non-nil, streams a snapshot archive into the
+	// (empty) backend before the catalog opens.
+	RestoreFrom io.Reader
 }
 
 func (c Config) withDefaults() Config {
@@ -63,6 +74,7 @@ func (c Config) withDefaults() Config {
 // http.Server, and drain with that server's Shutdown.
 type Server struct {
 	cfg     Config
+	store   storage.Backend
 	catalog *catalog
 	cache   *resultCache
 	flights flightGroup
@@ -84,20 +96,67 @@ var errUnknownSummary = errors.New("server: unknown summary")
 func New(cfg Config) (*Server, []string, error) {
 	cfg = cfg.withDefaults()
 	m := &Metrics{}
+	store, storeNote, err := openBackend(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	var notes []string
+	if storeNote != "" {
+		notes = append(notes, storeNote)
+	}
+	if cfg.RestoreFrom != nil {
+		if err := store.Restore(cfg.RestoreFrom); err != nil {
+			store.Close() //nolint:errcheck
+			return nil, nil, fmt.Errorf("server: restoring snapshot: %w", err)
+		}
+		notes = append(notes, "restored catalog from snapshot archive")
+	}
 	catBudget := cfg.CatalogBytes
 	if catBudget < 0 {
 		catBudget = 0 // catalog treats <= 0 as unlimited
 	}
-	cat, notes, err := openCatalog(cfg.DataDir, catBudget, m)
+	cat, catNotes, err := openCatalog(store, catBudget, m)
 	if err != nil {
+		store.Close() //nolint:errcheck
 		return nil, nil, err
 	}
+	notes = append(notes, catNotes...)
 	cacheBudget := cfg.CacheBytes
 	if cacheBudget < 0 {
 		cacheBudget = 0 // cache treats <= 0 as disabled
 	}
-	return &Server{cfg: cfg, catalog: cat, cache: newResultCache(cacheBudget), metrics: m}, notes, nil
+	return &Server{cfg: cfg, store: store, catalog: cat, cache: newResultCache(cacheBudget), metrics: m}, notes, nil
 }
+
+// openBackend resolves Config into a storage.Backend plus a startup
+// note naming what was opened.
+func openBackend(cfg Config) (storage.Backend, string, error) {
+	if cfg.Backend != nil {
+		return cfg.Backend, "", nil
+	}
+	switch cfg.Storage {
+	case "", "flat":
+		store, err := storage.OpenFlat(cfg.DataDir, storage.FlatOptions{Ext: sumExt})
+		if err != nil {
+			return nil, "", err
+		}
+		return store, fmt.Sprintf("storage: flat backend over %s", cfg.DataDir), nil
+	case "segment":
+		store, err := storage.OpenSegment(cfg.DataDir, storage.SegmentOptions{})
+		if err != nil {
+			return nil, "", err
+		}
+		st := store.Stats()
+		return store, fmt.Sprintf("storage: segment backend over %s (replayed %d WAL files, %d records)",
+			cfg.DataDir, st.WALReplays, st.WALRecordsReplayed), nil
+	default:
+		return nil, "", fmt.Errorf("server: unknown storage backend %q (want flat or segment)", cfg.Storage)
+	}
+}
+
+// Close releases the storage backend. In-flight requests should be
+// drained (http.Server.Shutdown) first.
+func (s *Server) Close() error { return s.store.Close() }
 
 // Metrics exposes the counter bag (tests assert on it directly).
 func (s *Server) Metrics() *Metrics { return s.metrics }
@@ -111,6 +170,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/summaries/{name}/merge", s.handleMerge)
 	mux.HandleFunc("POST /v1/summaries/{name}/query", s.handleQuery)
 	mux.HandleFunc("POST /v1/summaries/{name}/diff/{other}", s.handleDiff)
+	mux.HandleFunc("POST /v1/admin/snapshot", s.handleSnapshot)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -123,12 +183,37 @@ func (s *Server) Handler() http.Handler {
 func (s *Server) gauges() map[string]int64 {
 	summaries, loaded, loadedBytes := s.catalog.stats()
 	entries, cacheBytes := s.cache.stats()
+	st := s.store.Stats()
 	return map[string]int64{
-		"catalog_summaries":    int64(summaries),
-		"catalog_loaded":       int64(loaded),
-		"catalog_loaded_bytes": loadedBytes,
-		"cache_entries":        int64(entries),
-		"cache_bytes":          cacheBytes,
+		"catalog_summaries":            int64(summaries),
+		"catalog_loaded":               int64(loaded),
+		"catalog_loaded_bytes":         loadedBytes,
+		"cache_entries":                int64(entries),
+		"cache_bytes":                  cacheBytes,
+		"storage_records":              st.Records,
+		"storage_live_bytes":           st.LiveBytes,
+		"storage_garbage_bytes":        st.GarbageBytes,
+		"storage_segments":             st.Segments,
+		"storage_wal_replays":          st.WALReplays,
+		"storage_wal_records_replayed": st.WALRecordsReplayed,
+		"storage_compactions_total":    st.Compactions,
+		"storage_last_compaction_us":   st.LastCompactionUs,
+		"storage_quarantined":          st.Quarantined,
+	}
+}
+
+// handleSnapshot streams the whole catalog as a portable snapshot
+// archive (POST /v1/admin/snapshot). The archive is a point-in-time
+// record set and restores into an empty data dir of either backend via
+// `dard -restore`.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	s.metrics.SnapshotRequests.Add(1)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition", `attachment; filename="dard-snapshot.darsnap"`)
+	if err := s.store.Snapshot(w); err != nil {
+		// Headers are gone; all we can do is cut the stream short (the
+		// archive's end frame makes the truncation detectable) and count.
+		s.metrics.Errors.Add(1)
 	}
 }
 

@@ -1,0 +1,302 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+// getBytes fetches a URL and returns the body, failing on non-200.
+func getBytes(t *testing.T, ts *httptest.Server, path string) []byte {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d: %s", path, resp.StatusCode, b)
+	}
+	return b
+}
+
+// postSnapshot pulls a snapshot archive over the admin endpoint.
+func postSnapshot(t *testing.T, ts *httptest.Server) []byte {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/admin/snapshot", "", nil)
+	if err != nil {
+		t.Fatalf("POST snapshot: %v", err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST snapshot: status %d: %s", resp.StatusCode, b)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Fatalf("snapshot Content-Type = %q", ct)
+	}
+	return b
+}
+
+func metricsValue(t *testing.T, ts *httptest.Server, key string) int64 {
+	t.Helper()
+	var snap map[string]int64
+	if err := json.Unmarshal(getBytes(t, ts, "/metrics"), &snap); err != nil {
+		t.Fatalf("parsing /metrics: %v", err)
+	}
+	v, ok := snap[key]
+	if !ok {
+		t.Fatalf("/metrics has no key %q", key)
+	}
+	return v
+}
+
+// TestSegmentBackendDifferential is the storage determinism gauntlet:
+// a summary served from a segment store that has been torn mid-write,
+// WAL-replayed, compacted, snapshotted and restored — into both
+// backends — must keep answering queries bit-identical to the
+// `darminer ingest | query` pipeline over the same CSV, with the
+// catalog listing preserved along the way.
+func TestSegmentBackendDifferential(t *testing.T) {
+	csv := salaryCSV(t)
+	want := string(stripDurations(cliQueryBytes(t, csv, "", 1)))
+	dir := t.TempDir()
+
+	// Life 1: ingest over a fresh segment store.
+	srv1, ts1 := newTestServer(t, Config{DataDir: dir, Storage: "segment"})
+	postIngest(t, ts1, "salaries", "workers=1", csv)
+	resp, served := postQuery(t, ts1, "salaries", `{"workers":1}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status %d: %s", resp.StatusCode, served)
+	}
+	if got := string(stripDurations(served)); got != want {
+		t.Fatalf("fresh segment store diverges from the CLI pipeline:\n%s\nwant:\n%s", got, want)
+	}
+	listing := getBytes(t, ts1, "/v1/summaries")
+	ts1.Close()
+	if err := srv1.Close(); err != nil {
+		t.Fatalf("closing first server: %v", err)
+	}
+
+	// Crash: a torn frame lands on the WAL tail, as if the process died
+	// mid-append of a later ingest.
+	wals, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if err != nil || len(wals) == 0 {
+		t.Fatalf("no WAL files in %s (err %v)", dir, err)
+	}
+	tail := wals[len(wals)-1]
+	f, err := os.OpenFile(tail, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x40, 0x00, 0x00, 0x00, 0xde, 0xad, 0xbe, 0xef, 0x01, 0x02}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// Life 2: replay must truncate the torn tail; then compact, query,
+	// snapshot.
+	store2, err := storage.OpenSegment(dir, storage.SegmentOptions{})
+	if err != nil {
+		t.Fatalf("reopening torn store: %v", err)
+	}
+	srv2, ts2 := newTestServer(t, Config{Backend: store2})
+	if n := metricsValue(t, ts2, "storage_wal_replays"); n < 1 {
+		t.Fatalf("storage_wal_replays = %d, want >= 1", n)
+	}
+	if n := metricsValue(t, ts2, "storage_records"); n != 1 {
+		t.Fatalf("storage_records = %d, want 1", n)
+	}
+	if err := store2.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if n := metricsValue(t, ts2, "storage_segments"); n != 1 {
+		t.Fatalf("storage_segments after compaction = %d, want 1", n)
+	}
+	if n := metricsValue(t, ts2, "storage_compactions_total"); n != 1 {
+		t.Fatalf("storage_compactions_total = %d, want 1", n)
+	}
+	_, served2 := postQuery(t, ts2, "salaries", `{"workers":1}`)
+	if got := string(stripDurations(served2)); got != want {
+		t.Fatalf("replayed+compacted store diverges from the CLI pipeline:\n%s", got)
+	}
+	if got := getBytes(t, ts2, "/v1/summaries"); !bytes.Equal(got, listing) {
+		t.Fatalf("listing changed across replay+compaction:\n%s\nwas:\n%s", got, listing)
+	}
+	archive := postSnapshot(t, ts2)
+	if n := metricsValue(t, ts2, "snapshot_requests_total"); n != 1 {
+		t.Fatalf("snapshot_requests_total = %d, want 1", n)
+	}
+	ts2.Close()
+	if err := srv2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Life 3: restore the archive into empty stores of both kinds. The
+	// query transcript and the catalog listing must be byte-identical.
+	for _, kind := range []string{"segment", "flat"} {
+		t.Run("restore_"+kind, func(t *testing.T) {
+			srv, ts := newTestServer(t, Config{
+				DataDir:     t.TempDir(),
+				Storage:     kind,
+				RestoreFrom: bytes.NewReader(archive),
+			})
+			defer srv.Close()
+			_, servedR := postQuery(t, ts, "salaries", `{"workers":1}`)
+			if got := string(stripDurations(servedR)); got != want {
+				t.Fatalf("restored %s store diverges from the CLI pipeline:\n%s", kind, got)
+			}
+			if got := getBytes(t, ts, "/v1/summaries"); !bytes.Equal(got, listing) {
+				t.Fatalf("restored %s listing differs:\n%s\nwant:\n%s", kind, got, listing)
+			}
+		})
+	}
+}
+
+// TestSegmentLazyLoadQuarantine is TestLazyLoadQuarantine over the
+// segment backend: a record whose envelope passes Stat but fails the
+// strict Decode is quarantined inside the store on first load, the
+// client gets a clear error, and the quarantine shows up on /metrics.
+func TestSegmentLazyLoadQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	bad := reseal(t, encodeShard(t, salaryCSV(t), ""), 5)
+	seed, err := storage.OpenSegment(dir, storage.SegmentOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := seed.Put("evil", bad); err != nil {
+		t.Fatal(err)
+	}
+	if err := seed.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	store, err := storage.OpenSegment(dir, storage.SegmentOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, ts := newTestServer(t, Config{Backend: store})
+	defer srv.Close()
+	if _, ok := srv.catalog.version("evil"); !ok {
+		t.Fatal("resealed record should pass the startup envelope check")
+	}
+	status, body := postQueryQuiet(ts, "evil", "{}")
+	if status != http.StatusInternalServerError {
+		t.Fatalf("query of corrupt record: status %d, want 500: %s", status, body)
+	}
+	if !bytes.Contains(body, []byte("failed strict decode")) {
+		t.Errorf("error %s does not explain the strict-decode failure", body)
+	}
+	if status, _ := postQueryQuiet(ts, "evil", "{}"); status != http.StatusNotFound {
+		t.Errorf("second query: status %d, want 404 (entry dropped)", status)
+	}
+	if n := metricsValue(t, ts, "storage_quarantined"); n != 1 {
+		t.Errorf("storage_quarantined = %d, want 1", n)
+	}
+	if got := srv.Metrics().CatalogQuarantines.Load(); got != 1 {
+		t.Errorf("CatalogQuarantines = %d, want 1", got)
+	}
+	// The quarantined bytes survive for post-mortem inspection.
+	kept, err := os.ReadFile(filepath.Join(dir, "quarantine", "evil.v1.quarantined"))
+	if err != nil || !bytes.Equal(kept, bad) {
+		t.Errorf("quarantine copy = (%d bytes, %v), want the damaged record preserved", len(kept), err)
+	}
+}
+
+// TestSegmentStartupQuarantine covers envelope-visible damage on the
+// segment backend: records failing summary.Stat at startup are moved
+// aside with a per-file note before the server begins serving.
+func TestSegmentStartupQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	good := encodeShard(t, salaryCSV(t), "")
+	seed, err := storage.OpenSegment(dir, storage.SegmentOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := seed.Put("good", good); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := seed.Put("bad", good[:len(good)/2]); err != nil {
+		t.Fatal(err)
+	}
+	if err := seed.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	store, err := storage.OpenSegment(dir, storage.SegmentOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	m := &Metrics{}
+	cat, notes, err := openCatalog(store, 0, m)
+	if err != nil {
+		t.Fatalf("openCatalog over a damaged record: %v", err)
+	}
+	if _, ok := cat.version("bad"); ok {
+		t.Error("corrupt record entered the catalog")
+	}
+	if _, ok := cat.version("good"); !ok {
+		t.Error("healthy record missing from the catalog")
+	}
+	if len(notes) != 1 || !bytes.Contains([]byte(notes[0]), []byte("bad.acfsum:")) {
+		t.Errorf("notes = %q, want one per-file quarantine note", notes)
+	}
+	if got := m.CatalogQuarantines.Load(); got != 1 {
+		t.Errorf("CatalogQuarantines = %d, want 1", got)
+	}
+	if st := store.Stats(); st.Quarantined != 1 {
+		t.Errorf("store Quarantined = %d, want 1", st.Quarantined)
+	}
+}
+
+// TestSnapshotUnderConcurrentQueries exercises the admin snapshot while
+// the server is answering queries: every archive pulled mid-flight must
+// be complete and restorable.
+func TestSnapshotUnderConcurrentQueries(t *testing.T) {
+	csv := salaryCSV(t)
+	store, err := storage.OpenSegment(t.TempDir(), storage.SegmentOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, ts := newTestServer(t, Config{Backend: store})
+	defer srv.Close()
+	postIngest(t, ts, "salaries", "workers=1", csv)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			postQueryQuiet(ts, "salaries", `{"workers":1}`)
+		}
+	}()
+	for round := 0; round < 3; round++ {
+		archive := postSnapshot(t, ts)
+		rsrv, rts := newTestServer(t, Config{
+			DataDir: t.TempDir(), Storage: "segment", RestoreFrom: bytes.NewReader(archive),
+		})
+		if _, servedR := postQuery(t, rts, "salaries", `{"workers":1}`); len(servedR) == 0 {
+			t.Fatalf("round %d: restored store served an empty query", round)
+		}
+		rts.Close()
+		rsrv.Close()
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,152 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// blockFile is the slice of *os.File the store's writers need. It
+// exists so tests can interpose torn-write injection (see failpoint)
+// between the store and the kernel.
+type blockFile interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+}
+
+// openFile opens a store file for reading.
+func openFile(path string) (*os.File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	return f, nil
+}
+
+// dirSync fsyncs a directory so a just-created or just-renamed entry
+// survives a crash of the directory itself.
+func dirSync(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("storage: syncing dir: %w", err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("storage: syncing dir %s: %w", dir, err)
+	}
+	return nil
+}
+
+// errInjectedCrash is what a tripped failpoint returns: the moment the
+// simulated machine died. Everything after it must behave as if the
+// process was kill -9'd — the store refuses further writes and the
+// test re-opens the directory to exercise recovery.
+var errInjectedCrash = errors.New("storage: injected crash")
+
+// failpoint simulates a crash at a byte offset: it passes writes
+// through to the underlying file until budget bytes have been written
+// across every file it wraps (in wrap order), then cuts the deciding
+// write short — the partial bytes reach the file, the rest never
+// happen — and fails that and every later operation, Sync included.
+// This is the torn-write model: a power cut can persist any prefix of
+// an in-flight write, and nothing after it.
+type failpoint struct {
+	mu      sync.Mutex
+	budget  int64
+	tripped bool
+}
+
+func newFailpoint(budget int64) *failpoint { return &failpoint{budget: budget} }
+
+// wrap interposes the failpoint on one file.
+func (fp *failpoint) wrap(f *os.File) blockFile { return &failFile{fp: fp, f: f} }
+
+type failFile struct {
+	fp *failpoint
+	f  *os.File
+}
+
+// consume charges n bytes against the shared budget. It only does the
+// accounting — the caller performs the file I/O outside the lock, so
+// the failpoint never holds its mutex across a disk write. keep is how
+// many bytes may reach the file; full means the whole write survived.
+func (fp *failpoint) consume(n int64) (keep int64, full bool, err error) {
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	if fp.tripped {
+		return 0, false, errInjectedCrash
+	}
+	if n <= fp.budget {
+		fp.budget -= n
+		return n, true, nil
+	}
+	keep = fp.budget
+	fp.tripped = true
+	fp.budget = 0
+	return keep, false, errInjectedCrash
+}
+
+// check reports whether the failpoint has already tripped.
+func (fp *failpoint) check() error {
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	if fp.tripped {
+		return errInjectedCrash
+	}
+	return nil
+}
+
+func (ff *failFile) Write(p []byte) (int, error) {
+	keep, full, err := ff.fp.consume(int64(len(p)))
+	if full {
+		return ff.f.Write(p)
+	}
+	if keep > 0 {
+		ff.f.Write(p[:keep]) //nolint:errcheck // crash debris; outcome irrelevant
+	}
+	return int(keep), err
+}
+
+func (ff *failFile) Sync() error {
+	if err := ff.fp.check(); err != nil {
+		return err
+	}
+	return ff.f.Sync()
+}
+
+func (ff *failFile) Close() error { return ff.f.Close() }
+
+// walName / segName render the store's file names. Generations are
+// zero-padded so lexical order is numeric order.
+func walName(gen uint64) string { return fmt.Sprintf("wal-%08d.log", gen) }
+func segName(id uint64) string  { return fmt.Sprintf("seg-%08d.seg", id) }
+
+// listGenFiles returns the numeric generations of files in dir matching
+// prefix-NNNNNNNN+suffix, ascending.
+func listGenFiles(dir, prefix, suffix string) ([]uint64, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, prefix+"-*"+suffix))
+	if err != nil {
+		return nil, fmt.Errorf("storage: scanning %s: %w", dir, err)
+	}
+	var gens []uint64
+	for _, m := range matches {
+		base := filepath.Base(m)
+		var gen uint64
+		if _, err := fmt.Sscanf(base, prefix+"-%d"+suffix, &gen); err != nil {
+			continue // not ours; leave it alone
+		}
+		gens = append(gens, gen)
+	}
+	for i := 1; i < len(gens); i++ { // glob output is sorted; verify
+		if gens[i-1] >= gens[i] {
+			return nil, fmt.Errorf("%w: duplicate or unsorted %s generation %d", ErrCorrupt, prefix, gens[i])
+		}
+	}
+	return gens, nil
+}

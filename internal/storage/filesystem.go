@@ -1,0 +1,335 @@
+package storage
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// FlatStore is the Backend that mirrors the catalog's original on-disk
+// layout: one `<name><ext>` file per record, published by atomic
+// tmp+rename, quarantined by renaming to `<file>.quarantined`. It
+// exists so data directories written before the storage layer — and
+// operators who want plainly inspectable files — keep working
+// unchanged. Versions are process-local: every record starts at 1 when
+// the store opens and bumps on Put; only the SegmentStore persists
+// version history.
+type FlatStore struct {
+	dir string
+	ext string
+
+	mu      sync.Mutex
+	records map[string]uint64 // live record -> current version
+	lastVer map[string]uint64 // monotonic floor across delete/re-put
+	closed  bool
+
+	quarantined atomic.Int64
+}
+
+// flatQuarantineExt is appended to a record file moved aside by
+// Quarantine — the same convention the pre-storage catalog used.
+const flatQuarantineExt = ".quarantined"
+
+// FlatOptions tunes a FlatStore. The zero value is the catalog's
+// historical layout.
+type FlatOptions struct {
+	// Ext is the record file extension, default ".acfsum".
+	Ext string
+}
+
+// OpenFlat opens (creating if necessary) a flat store in dir. Every
+// `*<ext>` file already present becomes a live record at version 1.
+func OpenFlat(dir string, opts FlatOptions) (*FlatStore, error) {
+	if opts.Ext == "" {
+		opts.Ext = ".acfsum"
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: data dir: %w", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("storage: scanning data dir: %w", err)
+	}
+	s := &FlatStore{
+		dir:     dir,
+		ext:     opts.Ext,
+		records: make(map[string]uint64),
+		lastVer: make(map[string]uint64),
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		base := e.Name()
+		if strings.HasSuffix(base, flatQuarantineExt) {
+			s.quarantined.Add(1)
+			continue
+		}
+		if !strings.HasSuffix(base, opts.Ext) {
+			continue // not ours; leave it alone
+		}
+		name := strings.TrimSuffix(base, opts.Ext)
+		if !validName(name) {
+			continue
+		}
+		s.records[name] = 1
+		s.lastVer[name] = 1
+	}
+	return s, nil
+}
+
+func (s *FlatStore) path(name string) string {
+	return filepath.Join(s.dir, name+s.ext)
+}
+
+// Put durably publishes data under name: staged to a temp file, synced,
+// renamed into place while the index lock pins the version.
+func (s *FlatStore) Put(name string, data []byte) (uint64, error) {
+	if !validName(name) {
+		return 0, fmt.Errorf("%w: %q", ErrBadName, name)
+	}
+	tmp, err := s.stage(data)
+	if err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		os.Remove(tmp) //nolint:errcheck
+		return 0, ErrClosed
+	}
+	version := s.lastVer[name] + 1
+	if err := os.Rename(tmp, s.path(name)); err != nil {
+		s.mu.Unlock()
+		os.Remove(tmp) //nolint:errcheck
+		return 0, fmt.Errorf("storage: publishing %q: %w", name, err)
+	}
+	s.lastVer[name] = version
+	s.records[name] = version
+	s.mu.Unlock()
+	if err := dirSync(s.dir); err != nil {
+		return 0, err
+	}
+	return version, nil
+}
+
+// stage writes data to a synced temp file in the store directory (same
+// filesystem, so the publishing rename is atomic).
+func (s *FlatStore) stage(data []byte) (string, error) {
+	f, err := os.CreateTemp(s.dir, ".staging-*")
+	if err != nil {
+		return "", fmt.Errorf("storage: staging record: %w", err)
+	}
+	tmp := f.Name()
+	_, err = f.Write(data)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp) //nolint:errcheck
+		return "", fmt.Errorf("storage: staging record: %w", err)
+	}
+	return tmp, nil
+}
+
+// Get returns the record's bytes and version. The read happens outside
+// the lock, so it double-checks the version afterwards and retries if a
+// concurrent Put swapped the file mid-read.
+func (s *FlatStore) Get(name string) ([]byte, uint64, error) {
+	for attempt := 0; attempt < 16; attempt++ {
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return nil, 0, ErrClosed
+		}
+		version, ok := s.records[name]
+		s.mu.Unlock()
+		if !ok {
+			return nil, 0, fmt.Errorf("%w: %q", ErrNotFound, name)
+		}
+		data, err := os.ReadFile(s.path(name))
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue // raced a delete or quarantine; re-check the index
+			}
+			return nil, 0, fmt.Errorf("storage: reading %q: %w", name, err)
+		}
+		s.mu.Lock()
+		still := s.records[name] == version
+		s.mu.Unlock()
+		if still {
+			return data, version, nil
+		}
+	}
+	return nil, 0, fmt.Errorf("storage: record %q kept moving during read", name)
+}
+
+// Delete removes the record and its file.
+func (s *FlatStore) Delete(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if _, ok := s.records[name]; !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	if err := os.Remove(s.path(name)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("storage: deleting %q: %w", name, err)
+	}
+	delete(s.records, name)
+	return nil
+}
+
+// Quarantine renames the record file aside with the .quarantined
+// suffix, exactly as the pre-storage catalog did.
+func (s *FlatStore) Quarantine(name string, version uint64, cause error) (string, error) {
+	reason := "unspecified"
+	if cause != nil {
+		reason = cause.Error()
+	}
+	s.mu.Lock()
+	cur, ok := s.records[name]
+	if !ok {
+		s.mu.Unlock()
+		return "", fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	if s.closed {
+		s.mu.Unlock()
+		return "", ErrClosed
+	}
+	if version != 0 && cur != version {
+		s.mu.Unlock()
+		return "", fmt.Errorf("%w: %q is at v%d, not v%d", ErrStale, name, cur, version)
+	}
+	base := name + s.ext
+	if err := os.Rename(s.path(name), filepath.Join(s.dir, base+flatQuarantineExt)); err != nil {
+		s.mu.Unlock()
+		return "", fmt.Errorf("storage: quarantining %q: %w", name, err)
+	}
+	delete(s.records, name)
+	s.mu.Unlock()
+	s.quarantined.Add(1)
+	return fmt.Sprintf("quarantined (moved aside as %s%s): %s", base, flatQuarantineExt, reason), nil
+}
+
+// List returns the live records sorted by name, sized from the files.
+func (s *FlatStore) List() ([]RecordInfo, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	out := make([]RecordInfo, 0, len(s.records))
+	for name, version := range s.records {
+		out = append(out, RecordInfo{Name: name, Version: version})
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	kept := out[:0]
+	for _, info := range out {
+		fi, err := os.Stat(s.path(info.Name))
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue // deleted while we listed
+			}
+			return nil, fmt.Errorf("storage: sizing %q: %w", info.Name, err)
+		}
+		info.Size = fi.Size()
+		kept = append(kept, info)
+	}
+	return kept, nil
+}
+
+// Snapshot streams the store as a portable archive (see snapshot.go).
+func (s *FlatStore) Snapshot(w io.Writer) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	names := make([]string, 0, len(s.records))
+	for name := range s.records {
+		names = append(names, name)
+	}
+	s.mu.Unlock()
+	sort.Strings(names)
+	return writeArchive(w, names, func(name string) ([]byte, uint64, bool, error) {
+		data, version, err := s.Get(name)
+		if errorsIsNotFound(err) {
+			return nil, 0, false, nil // deleted mid-snapshot
+		}
+		if err != nil {
+			return nil, 0, false, err
+		}
+		return data, version, true, nil
+	})
+}
+
+// Restore loads a snapshot archive into an empty store.
+func (s *FlatStore) Restore(r io.Reader) error {
+	s.mu.Lock()
+	n := len(s.records)
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	if n > 0 {
+		return fmt.Errorf("%w: %d records present", ErrNotEmpty, n)
+	}
+	return readArchive(r, func(name string, version uint64, body []byte) error {
+		tmp, err := s.stage(body)
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			os.Remove(tmp) //nolint:errcheck
+			return ErrClosed
+		}
+		if err := os.Rename(tmp, s.path(name)); err != nil {
+			s.mu.Unlock()
+			os.Remove(tmp) //nolint:errcheck
+			return fmt.Errorf("storage: restoring %q: %w", name, err)
+		}
+		s.records[name] = version
+		if version > s.lastVer[name] {
+			s.lastVer[name] = version
+		}
+		s.mu.Unlock()
+		return nil
+	})
+}
+
+// Stats returns the observability counters. A flat store has no log or
+// segments, so the structural gauges sit at zero.
+func (s *FlatStore) Stats() Stats {
+	infos, err := s.List()
+	st := Stats{Quarantined: s.quarantined.Load()}
+	if err != nil {
+		return st
+	}
+	st.Records = int64(len(infos))
+	for _, info := range infos {
+		st.LiveBytes += info.Size
+	}
+	return st
+}
+
+// Close marks the store closed. Files already on disk are untouched.
+func (s *FlatStore) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,158 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openTestFlat(t *testing.T, dir string) *FlatStore {
+	t.Helper()
+	s, err := OpenFlat(dir, FlatOptions{})
+	if err != nil {
+		t.Fatalf("OpenFlat: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestFlatAdoptsExistingLayout(t *testing.T) {
+	// A data directory written before the storage layer existed: plain
+	// <name>.acfsum files plus one already-quarantined artifact.
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "salaries.acfsum"), []byte("old summary"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "ages.acfsum"), []byte("older summary"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "broken.acfsum.quarantined"), []byte("bad"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("not ours"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s := openTestFlat(t, dir)
+	infos, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 2 || infos[0].Name != "ages" || infos[1].Name != "salaries" {
+		t.Fatalf("List = %+v", infos)
+	}
+	data, v, err := s.Get("salaries")
+	if err != nil || string(data) != "old summary" || v != 1 {
+		t.Fatalf("Get(salaries) = (%q, %d, %v)", data, v, err)
+	}
+	if st := s.Stats(); st.Quarantined != 1 {
+		t.Fatalf("Quarantined = %d, want 1 (pre-existing file)", st.Quarantined)
+	}
+}
+
+func TestFlatRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestFlat(t, dir)
+	v1, err := s.Put("a", []byte("one"))
+	if err != nil || v1 != 1 {
+		t.Fatalf("Put = (%d, %v)", v1, err)
+	}
+	v2, err := s.Put("a", []byte("two"))
+	if err != nil || v2 != 2 {
+		t.Fatalf("Put = (%d, %v)", v2, err)
+	}
+	data, v, err := s.Get("a")
+	if err != nil || string(data) != "two" || v != 2 {
+		t.Fatalf("Get = (%q, %d, %v)", data, v, err)
+	}
+	// The record is a plain file where the old catalog would put it.
+	onDisk, err := os.ReadFile(filepath.Join(dir, "a.acfsum"))
+	if err != nil || string(onDisk) != "two" {
+		t.Fatalf("on-disk bytes = (%q, %v)", onDisk, err)
+	}
+	if err := s.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Get("a"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get after delete = %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "a.acfsum")); !os.IsNotExist(err) {
+		t.Fatalf("file survived delete: %v", err)
+	}
+	if v, err := s.Put("a", []byte("three")); err != nil || v != 3 {
+		t.Fatalf("Put after delete = (%d, %v), want monotonic version 3", v, err)
+	}
+	if _, err := s.Put("bad/name", []byte("x")); !errors.Is(err, ErrBadName) {
+		t.Fatalf("Put(bad/name) = %v, want ErrBadName", err)
+	}
+}
+
+func TestFlatQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestFlat(t, dir)
+	v, err := s.Put("sick", []byte("germs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Quarantine("sick", v+7, errors.New("x")); !errors.Is(err, ErrStale) {
+		t.Fatalf("stale Quarantine = %v, want ErrStale", err)
+	}
+	note, err := s.Quarantine("sick", v, errors.New("decode failed"))
+	if err != nil {
+		t.Fatalf("Quarantine: %v", err)
+	}
+	if want := "sick.acfsum.quarantined"; !bytes.Contains([]byte(note), []byte(want)) {
+		t.Fatalf("note %q does not name %s", note, want)
+	}
+	if _, _, err := s.Get("sick"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get after quarantine = %v", err)
+	}
+	kept, err := os.ReadFile(filepath.Join(dir, "sick.acfsum.quarantined"))
+	if err != nil || string(kept) != "germs" {
+		t.Fatalf("quarantined bytes = (%q, %v)", kept, err)
+	}
+	if st := s.Stats(); st.Quarantined != 1 {
+		t.Fatalf("Quarantined = %d", st.Quarantined)
+	}
+	if _, err := s.Quarantine("sick", 0, nil); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double Quarantine = %v, want ErrNotFound", err)
+	}
+}
+
+func TestFlatClosedOps(t *testing.T) {
+	s := openTestFlat(t, t.TempDir())
+	if _, err := s.Put("a", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put("a", []byte("y")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Put after Close = %v", err)
+	}
+	if _, _, err := s.Get("a"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Get after Close = %v", err)
+	}
+	if _, err := s.List(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("List after Close = %v", err)
+	}
+}
+
+func TestFlatStats(t *testing.T) {
+	s := openTestFlat(t, t.TempDir())
+	if _, err := s.Put("a", bytes.Repeat([]byte("x"), 100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put("b", bytes.Repeat([]byte("y"), 50)); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Records != 2 || st.LiveBytes != 150 {
+		t.Fatalf("Stats = %+v", st)
+	}
+	if st.Segments != 0 || st.GarbageBytes != 0 || st.WALReplays != 0 {
+		t.Fatalf("flat store grew log-structured gauges: %+v", st)
+	}
+}

@@ -1,0 +1,179 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// The frame is the one wire unit shared by WAL files, sealed segments
+// and snapshot archives:
+//
+//	length  uint32 LE   payload length
+//	crc32   uint32 LE   IEEE checksum of the payload
+//	payload op(1) | uvarint len(name) | name | uvarint version
+//	        | uvarint len(body) | body
+//
+// For opPut the body is the record data; for opQuarantine it is the
+// quarantine reason; for opDelete it is empty; for opEnd (snapshot
+// archives only) it is empty and version carries the record count, so
+// a truncated archive is detectable. A frame is self-validating: a
+// reader that finds an intact length prefix and matching CRC holds a
+// complete record, and anything less is a torn tail.
+const (
+	frameHeader = 8
+	// maxFramePayload bounds one frame (op + name + version + body).
+	// Far above any real .acfsum artifact; its job is to reject the
+	// absurd lengths that random torn bytes decode to.
+	maxFramePayload = 1 << 31
+
+	opPut        byte = 1
+	opDelete     byte = 2
+	opQuarantine byte = 3
+	opEnd        byte = 4
+)
+
+// record is one decoded frame payload.
+type record struct {
+	op      byte
+	name    string
+	version uint64
+	body    []byte
+}
+
+// errTorn marks an incomplete or checksum-failed frame at the point it
+// was read. During WAL replay a torn tail is expected crash debris and
+// truncated away; anywhere else it wraps into ErrCorrupt.
+var errTorn = errors.New("torn frame")
+
+// appendFrame appends rec as one framed unit to b.
+func appendFrame(b []byte, rec record) []byte {
+	start := len(b)
+	b = append(b, 0, 0, 0, 0, 0, 0, 0, 0) // header patched below
+	b = append(b, rec.op)
+	b = binary.AppendUvarint(b, uint64(len(rec.name)))
+	b = append(b, rec.name...)
+	b = binary.AppendUvarint(b, rec.version)
+	b = binary.AppendUvarint(b, uint64(len(rec.body)))
+	b = append(b, rec.body...)
+	payload := b[start+frameHeader:]
+	binary.LittleEndian.PutUint32(b[start:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(b[start+4:], crc32.ChecksumIEEE(payload))
+	return b
+}
+
+// frameSize returns the encoded size of rec's frame without building it.
+func frameSize(rec record) int64 {
+	n := frameHeader + 1
+	n += uvarintLen(uint64(len(rec.name))) + len(rec.name)
+	n += uvarintLen(rec.version)
+	n += uvarintLen(uint64(len(rec.body))) + len(rec.body)
+	return int64(n)
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// decodePayload parses a checksum-verified payload into a record.
+func decodePayload(payload []byte) (record, error) {
+	var rec record
+	if len(payload) < 1 {
+		return rec, fmt.Errorf("empty frame payload")
+	}
+	rec.op = payload[0]
+	rest := payload[1:]
+	nameLen, n := binary.Uvarint(rest)
+	if n <= 0 || nameLen > uint64(len(rest)-n) {
+		return rec, fmt.Errorf("bad name length")
+	}
+	rest = rest[n:]
+	rec.name = string(rest[:nameLen])
+	rest = rest[nameLen:]
+	version, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return rec, fmt.Errorf("bad version")
+	}
+	rec.version = version
+	rest = rest[n:]
+	bodyLen, n := binary.Uvarint(rest)
+	if n <= 0 || bodyLen != uint64(len(rest)-n) {
+		return rec, fmt.Errorf("bad body length")
+	}
+	rec.body = rest[n:]
+	return rec, nil
+}
+
+// readFrame reads one frame from r, returning the decoded record and
+// the number of bytes the frame occupied. io.EOF at a frame boundary
+// is returned as io.EOF; a partial header, short payload, oversized
+// length, or CRC mismatch is errTorn (wrapped with detail).
+func readFrame(r io.Reader) (record, int64, error) {
+	var hdr [frameHeader]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return record{}, 0, io.EOF
+		}
+		return record{}, 0, fmt.Errorf("%w: short header: %w", errTorn, err)
+	}
+	length := binary.LittleEndian.Uint32(hdr[:4])
+	want := binary.LittleEndian.Uint32(hdr[4:])
+	if length > maxFramePayload {
+		return record{}, 0, fmt.Errorf("%w: implausible payload length %d", errTorn, length)
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return record{}, 0, fmt.Errorf("%w: short payload: %w", errTorn, err)
+	}
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return record{}, 0, fmt.Errorf("%w: checksum mismatch (got %08x, stored %08x)", errTorn, got, want)
+	}
+	rec, err := decodePayload(payload)
+	if err != nil {
+		return record{}, 0, fmt.Errorf("%w: %w", errTorn, err)
+	}
+	return rec, frameHeader + int64(length), nil
+}
+
+// fetchFrameAt reads and validates the complete frame of a known size
+// at offset off of file path, checking it against the expected name
+// and version. It returns the record body plus the raw frame bytes
+// (compaction copies frames verbatim — the CRC stays valid across the
+// move). The body aliases the raw buffer.
+func fetchFrameAt(path string, off, size int64, name string, version uint64) (body, raw []byte, err error) {
+	f, err := openFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	if size < frameHeader {
+		return nil, nil, fmt.Errorf("%w: record %q frame shorter than its header", ErrCorrupt, name)
+	}
+	buf := make([]byte, size)
+	if _, err := f.ReadAt(buf, off); err != nil {
+		return nil, nil, fmt.Errorf("%w: reading record %q at %s+%d: %w", ErrCorrupt, name, path, off, err)
+	}
+	payload := buf[frameHeader:]
+	if int64(binary.LittleEndian.Uint32(buf[:4])) != int64(len(payload)) {
+		return nil, nil, fmt.Errorf("%w: record %q frame length mismatch at %s+%d", ErrCorrupt, name, path, off)
+	}
+	if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(buf[4:]); got != want {
+		return nil, nil, fmt.Errorf("%w: record %q checksum mismatch at %s+%d", ErrCorrupt, name, path, off)
+	}
+	rec, err := decodePayload(payload)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: record %q: %w", ErrCorrupt, name, err)
+	}
+	if rec.name != name || rec.version != version {
+		return nil, nil, fmt.Errorf("%w: frame at %s+%d holds %q v%d, index expected %q v%d",
+			ErrCorrupt, path, off, rec.name, rec.version, name, version)
+	}
+	return rec.body, buf, nil
+}

@@ -1,0 +1,124 @@
+package storage
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// The manifest is the segment store's atomically published root: it
+// names the sealed segment files, records where every record compacted
+// into them lives, and carries the WAL generation from which replay
+// resumes. The publication protocol is
+//
+//	write MANIFEST.tmp (header + length + crc + JSON), fsync it,
+//	rename over MANIFEST, fsync the directory
+//
+// so the store only ever sees a complete old manifest or a complete
+// new one — a crash mid-publication leaves debris (a .tmp file, an
+// unreferenced segment) that open() deletes, never a half-truth.
+// A store that has never compacted has no manifest at all: its whole
+// state is the WAL.
+const (
+	manifestName  = "MANIFEST"
+	manifestMagic = "DARMAN1\x00"
+)
+
+type manifest struct {
+	// WALGen is the first WAL generation replay applies on top of the
+	// manifest's entries. Older WAL files are fully folded into the
+	// segments and deleted.
+	WALGen uint64 `json:"walGen"`
+	// Segments are the sealed segment file names, in creation order.
+	Segments []string `json:"segments"`
+	// Entries locate every compacted record, sorted by name.
+	Entries []manifestEntry `json:"entries"`
+}
+
+type manifestEntry struct {
+	Name    string `json:"name"`
+	Version uint64 `json:"version"`
+	File    string `json:"file"`
+	Offset  int64  `json:"offset"`
+	Size    int64  `json:"size"` // full frame size
+}
+
+// writeManifest publishes m atomically under dir. wrap interposes the
+// crash failpoint in tests; pass nil for the real thing.
+func writeManifest(dir string, m manifest, wrap func(*os.File) blockFile) error {
+	sort.Slice(m.Entries, func(i, j int) bool { return m.Entries[i].Name < m.Entries[j].Name })
+	body, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("storage: encoding manifest: %w", err)
+	}
+	buf := make([]byte, 0, len(manifestMagic)+frameHeader+len(body))
+	buf = append(buf, manifestMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(body)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(body))
+	buf = append(buf, body...)
+
+	tmpPath := filepath.Join(dir, manifestName+".tmp")
+	f, err := os.Create(tmpPath)
+	if err != nil {
+		return fmt.Errorf("storage: staging manifest: %w", err)
+	}
+	var w blockFile = f
+	if wrap != nil {
+		w = wrap(f)
+	}
+	if _, err := w.Write(buf); err != nil {
+		w.Close()
+		return fmt.Errorf("storage: staging manifest: %w", err)
+	}
+	if err := w.Sync(); err != nil {
+		w.Close()
+		return fmt.Errorf("storage: syncing manifest: %w", err)
+	}
+	if err := w.Close(); err != nil {
+		return fmt.Errorf("storage: closing manifest: %w", err)
+	}
+	if err := os.Rename(tmpPath, filepath.Join(dir, manifestName)); err != nil {
+		return fmt.Errorf("storage: publishing manifest: %w", err)
+	}
+	return dirSync(dir)
+}
+
+// loadManifest reads dir's manifest. A missing manifest returns
+// (zero, false, nil): the store has never compacted. Damage is
+// ErrCorrupt — the manifest is published atomically, so a broken one
+// means the data dir was tampered with or the filesystem lied, and
+// silently starting empty would discard every compacted record.
+func loadManifest(dir string) (manifest, bool, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if os.IsNotExist(err) {
+		return manifest{}, false, nil
+	}
+	if err != nil {
+		return manifest{}, false, fmt.Errorf("storage: reading manifest: %w", err)
+	}
+	if len(data) < len(manifestMagic)+frameHeader {
+		return manifest{}, false, fmt.Errorf("%w: manifest shorter than its header", ErrCorrupt)
+	}
+	if string(data[:len(manifestMagic)]) != manifestMagic {
+		return manifest{}, false, fmt.Errorf("%w: bad manifest magic %q", ErrCorrupt, data[:len(manifestMagic)])
+	}
+	rest := data[len(manifestMagic):]
+	length := binary.LittleEndian.Uint32(rest[:4])
+	want := binary.LittleEndian.Uint32(rest[4:8])
+	body := rest[frameHeader:]
+	if uint64(length) != uint64(len(body)) {
+		return manifest{}, false, fmt.Errorf("%w: manifest body is %d bytes, header says %d", ErrCorrupt, len(body), length)
+	}
+	if got := crc32.ChecksumIEEE(body); got != want {
+		return manifest{}, false, fmt.Errorf("%w: manifest checksum mismatch (got %08x, stored %08x)", ErrCorrupt, got, want)
+	}
+	var m manifest
+	if err := json.Unmarshal(body, &m); err != nil {
+		return manifest{}, false, fmt.Errorf("%w: decoding manifest: %w", ErrCorrupt, err)
+	}
+	return m, true, nil
+}

@@ -1,0 +1,197 @@
+package storage
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"sort"
+)
+
+// A snapshot archive is the portable form of a whole store, shared by
+// every backend so a catalog can move between backends or machines:
+//
+//	magic "DARSNAP1" (8 bytes)
+//	one opPut frame per record, sorted by name, carrying the record's
+//	  name, version and bytes (the same frame format as the WAL)
+//	one opEnd frame whose version field is the record count
+//
+// The trailing count makes truncation detectable: an archive cut short
+// either ends mid-frame (torn) or is missing its end frame, and an
+// archive with the wrong number of records fails the count check.
+const snapshotMagic = "DARSNAP1"
+
+// writeArchive streams an archive: names in order, each resolved to
+// (bytes, version) by fetch. fetch reporting ok=false skips the record
+// — it was deleted while the snapshot ran — and the end-frame count
+// reflects what was actually written.
+func writeArchive(w io.Writer, names []string, fetch func(name string) ([]byte, uint64, bool, error)) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(snapshotMagic); err != nil {
+		return fmt.Errorf("storage: writing snapshot: %w", err)
+	}
+	var count uint64
+	for _, name := range names {
+		body, version, ok, err := fetch(name)
+		if err != nil {
+			return fmt.Errorf("storage: snapshotting %q: %w", name, err)
+		}
+		if !ok {
+			continue
+		}
+		frame := appendFrame(nil, record{op: opPut, name: name, version: version, body: body})
+		if _, err := bw.Write(frame); err != nil {
+			return fmt.Errorf("storage: writing snapshot: %w", err)
+		}
+		count++
+	}
+	end := appendFrame(nil, record{op: opEnd, version: count})
+	if _, err := bw.Write(end); err != nil {
+		return fmt.Errorf("storage: writing snapshot: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("storage: writing snapshot: %w", err)
+	}
+	return nil
+}
+
+// readArchive validates an archive frame by frame and hands each record
+// to apply. Any structural damage — bad magic, a torn frame, a missing
+// or mismatched end frame, trailing bytes — is ErrCorrupt before or
+// during application; apply's own error aborts the read as-is.
+func readArchive(r io.Reader, apply func(name string, version uint64, body []byte) error) error {
+	br := bufio.NewReader(r)
+	var magic [len(snapshotMagic)]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return fmt.Errorf("%w: snapshot shorter than its magic: %w", ErrCorrupt, err)
+	}
+	if string(magic[:]) != snapshotMagic {
+		return fmt.Errorf("%w: bad snapshot magic %q", ErrCorrupt, magic[:])
+	}
+	var count uint64
+	for {
+		rec, _, err := readFrame(br)
+		if errors.Is(err, io.EOF) {
+			return fmt.Errorf("%w: snapshot is missing its end frame", ErrCorrupt)
+		}
+		if err != nil {
+			return fmt.Errorf("%w: snapshot frame %d: %w", ErrCorrupt, count, err)
+		}
+		if rec.op == opEnd {
+			if rec.version != count {
+				return fmt.Errorf("%w: snapshot holds %d records, end frame says %d", ErrCorrupt, count, rec.version)
+			}
+			if _, err := br.ReadByte(); !errors.Is(err, io.EOF) {
+				return fmt.Errorf("%w: trailing bytes after snapshot end frame", ErrCorrupt)
+			}
+			return nil
+		}
+		if rec.op != opPut {
+			return fmt.Errorf("%w: snapshot frame %d has unexpected op %d", ErrCorrupt, count, rec.op)
+		}
+		if !validName(rec.name) {
+			return fmt.Errorf("%w: snapshot frame %d: %q", ErrBadName, count, rec.name)
+		}
+		if rec.version == 0 {
+			return fmt.Errorf("%w: snapshot frame %d has version 0", ErrCorrupt, count)
+		}
+		if err := apply(rec.name, rec.version, rec.body); err != nil {
+			return err
+		}
+		count++
+	}
+}
+
+// errorsIsNotFound reports whether err is the store's not-found
+// sentinel (a mid-snapshot delete, not a failure).
+func errorsIsNotFound(err error) bool { return errors.Is(err, ErrNotFound) }
+
+// Snapshot streams the segment store as a portable archive. The record
+// set is the index at the moment the snapshot starts; frames are copied
+// verbatim from the log and segments (their CRCs were checked on the
+// way out), chasing records that compaction moves mid-stream.
+func (s *SegmentStore) Snapshot(w io.Writer) error {
+	s.mu.Lock()
+	entries := make(map[string]segEntry, len(s.index))
+	for name, e := range s.index {
+		entries[name] = *e
+	}
+	s.mu.Unlock()
+	names := make([]string, 0, len(entries))
+	for name := range entries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(snapshotMagic); err != nil {
+		return fmt.Errorf("storage: writing snapshot: %w", err)
+	}
+	var count uint64
+	for _, name := range names {
+		raw, ok, err := s.rawFrame(name, entries[name])
+		if err != nil {
+			return fmt.Errorf("storage: snapshotting %q: %w", name, err)
+		}
+		if !ok {
+			continue // deleted while the snapshot ran
+		}
+		if _, err := bw.Write(raw); err != nil {
+			return fmt.Errorf("storage: writing snapshot: %w", err)
+		}
+		count++
+	}
+	end := appendFrame(nil, record{op: opEnd, version: count})
+	if _, err := bw.Write(end); err != nil {
+		return fmt.Errorf("storage: writing snapshot: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("storage: writing snapshot: %w", err)
+	}
+	return nil
+}
+
+// rawFrame fetches name's complete frame, following the index when a
+// concurrent compaction or Put moves the record. ok=false means the
+// record no longer exists.
+func (s *SegmentStore) rawFrame(name string, e segEntry) ([]byte, bool, error) {
+	loc, version := e.loc, e.version
+	var lastErr error
+	for attempt := 0; attempt < 16; attempt++ {
+		_, raw, err := fetchFrameAt(loc.file, loc.off, loc.size, name, version)
+		if err == nil {
+			return raw, true, nil
+		}
+		lastErr = err
+		s.mu.Lock()
+		cur, ok := s.index[name]
+		if !ok {
+			s.mu.Unlock()
+			return nil, false, nil
+		}
+		if cur.version == version && cur.loc == loc && !errors.Is(err, fs.ErrNotExist) {
+			s.mu.Unlock()
+			return nil, false, err
+		}
+		loc, version = cur.loc, cur.version
+		s.mu.Unlock()
+	}
+	return nil, false, fmt.Errorf("record kept moving: %w", lastErr)
+}
+
+// Restore loads a snapshot archive into an empty segment store. Every
+// record flows through the WAL under its archived version, so a crash
+// mid-restore recovers to a prefix of the archive, never to garbage.
+func (s *SegmentStore) Restore(r io.Reader) error {
+	s.mu.Lock()
+	n := len(s.index)
+	s.mu.Unlock()
+	if n > 0 {
+		return fmt.Errorf("%w: %d records present", ErrNotEmpty, n)
+	}
+	return readArchive(r, func(name string, version uint64, body []byte) error {
+		_, err := s.roundTrip(&walReq{op: opPut, name: name, body: body, forceVersion: version})
+		return err
+	})
+}

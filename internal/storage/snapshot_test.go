@@ -1,0 +1,223 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// seedStore loads a backend with a known record set, including an
+// overwrite and a delete so versions diverge from 1.
+func seedStore(t *testing.T, b Backend) {
+	t.Helper()
+	for i := 0; i < 8; i++ {
+		if _, err := b.Put(fmt.Sprintf("snap-%d", i), []byte(fmt.Sprintf("record %d body", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := b.Put("snap-3", []byte("record 3 rewritten")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Delete("snap-5"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// checkRestored verifies dst holds exactly seedStore's surviving
+// records, byte for byte and version for version.
+func checkRestored(t *testing.T, src, dst Backend) {
+	t.Helper()
+	srcList, err := src.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dstList, err := dst.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(srcList) != len(dstList) {
+		t.Fatalf("listing sizes differ: src %d, dst %d", len(srcList), len(dstList))
+	}
+	for i := range srcList {
+		if srcList[i] != dstList[i] {
+			t.Fatalf("listing row %d differs: src %+v, dst %+v", i, srcList[i], dstList[i])
+		}
+		data, v, err := dst.Get(srcList[i].Name)
+		want, wv, werr := src.Get(srcList[i].Name)
+		if err != nil || werr != nil || v != wv || !bytes.Equal(data, want) {
+			t.Fatalf("Get(%s): src (%q, v%d, %v), dst (%q, v%d, %v)",
+				srcList[i].Name, want, wv, werr, data, v, err)
+		}
+	}
+}
+
+func TestSnapshotRoundTrips(t *testing.T) {
+	openers := map[string]func(t *testing.T) Backend{
+		"segment": func(t *testing.T) Backend { return openTestSegment(t, t.TempDir(), noAuto) },
+		"flat": func(t *testing.T) Backend {
+			s, err := OpenFlat(t.TempDir(), FlatOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { s.Close() })
+			return s
+		},
+	}
+	for srcKind, openSrc := range openers {
+		for dstKind, openDst := range openers {
+			t.Run(srcKind+"_to_"+dstKind, func(t *testing.T) {
+				src := openSrc(t)
+				seedStore(t, src)
+				var buf bytes.Buffer
+				if err := src.Snapshot(&buf); err != nil {
+					t.Fatalf("Snapshot: %v", err)
+				}
+				dst := openDst(t)
+				if err := dst.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+					t.Fatalf("Restore: %v", err)
+				}
+				checkRestored(t, src, dst)
+			})
+		}
+	}
+}
+
+func TestSnapshotRestoreSurvivesReopen(t *testing.T) {
+	src := openTestSegment(t, t.TempDir(), noAuto)
+	seedStore(t, src)
+	var buf bytes.Buffer
+	if err := src.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	dst := openTestSegment(t, dir, noAuto)
+	if err := dst.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re := openTestSegment(t, dir, noAuto)
+	checkRestored(t, src, re)
+}
+
+func TestSnapshotAfterCompaction(t *testing.T) {
+	src := openTestSegment(t, t.TempDir(), noAuto)
+	seedStore(t, src)
+	if err := src.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := src.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := openTestSegment(t, t.TempDir(), noAuto)
+	if err := dst.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	checkRestored(t, src, dst)
+}
+
+func TestRestoreRefusesNonEmpty(t *testing.T) {
+	src := openTestSegment(t, t.TempDir(), noAuto)
+	seedStore(t, src)
+	var buf bytes.Buffer
+	if err := src.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []string{"segment", "flat"} {
+		t.Run(kind, func(t *testing.T) {
+			var dst Backend
+			if kind == "segment" {
+				dst = openTestSegment(t, t.TempDir(), noAuto)
+			} else {
+				s, err := OpenFlat(t.TempDir(), FlatOptions{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Cleanup(func() { s.Close() })
+				dst = s
+			}
+			if _, err := dst.Put("occupied", []byte("x")); err != nil {
+				t.Fatal(err)
+			}
+			if err := dst.Restore(bytes.NewReader(buf.Bytes())); !errors.Is(err, ErrNotEmpty) {
+				t.Fatalf("Restore into non-empty store = %v, want ErrNotEmpty", err)
+			}
+		})
+	}
+}
+
+func TestRestoreRejectsDamage(t *testing.T) {
+	src := openTestSegment(t, t.TempDir(), noAuto)
+	seedStore(t, src)
+	var buf bytes.Buffer
+	if err := src.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	archive := buf.Bytes()
+	cases := map[string][]byte{
+		"empty":          {},
+		"bad_magic":      append([]byte("NOTSNAP1"), archive[8:]...),
+		"truncated_tail": archive[:len(archive)-5],
+		"missing_end":    archive[:len(archive)-int(frameSize(record{op: opEnd, version: 7}))],
+		"trailing_junk":  append(append([]byte{}, archive...), 'j', 'u', 'n', 'k'),
+	}
+	flipped := append([]byte{}, archive...)
+	flipped[40] ^= 0xff
+	cases["bitflip"] = flipped
+
+	for name, data := range cases {
+		t.Run(name, func(t *testing.T) {
+			dst := openTestSegment(t, t.TempDir(), noAuto)
+			if err := dst.Restore(bytes.NewReader(data)); !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("Restore(%s) = %v, want ErrCorrupt", name, err)
+			}
+		})
+	}
+}
+
+func TestSnapshotUnderConcurrentWrites(t *testing.T) {
+	s := openTestSegment(t, t.TempDir(), SegmentOptions{GarbageRatio: 0.3, MinGarbageBytes: 1})
+	seedStore(t, s)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s.Put(fmt.Sprintf("churn-%d", i%5), bytes.Repeat([]byte("c"), 512)) //nolint:errcheck
+		}
+	}()
+	for round := 0; round < 5; round++ {
+		var buf bytes.Buffer
+		if err := s.Snapshot(&buf); err != nil {
+			t.Fatalf("Snapshot under load: %v", err)
+		}
+		dst := openTestSegment(t, t.TempDir(), noAuto)
+		if err := dst.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatalf("Restore of loaded snapshot: %v", err)
+		}
+		// The seed records are stable while churn runs; they must all
+		// be present and intact in every snapshot.
+		for i := 0; i < 8; i++ {
+			if i == 5 {
+				continue
+			}
+			name := fmt.Sprintf("snap-%d", i)
+			if _, _, err := dst.Get(name); err != nil {
+				t.Fatalf("round %d: restored Get(%s): %v", round, name, err)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,132 @@
+// Package storage is the durable layer under the server's summary
+// catalog: named, versioned byte records (encoded .acfsum artifacts)
+// behind a pluggable Backend interface. The catalog decides *what* a
+// record means — strict decoding, quarantine-on-damage, LRU budgets —
+// while a Backend decides *how* records survive: where the bytes live,
+// what a crash can and cannot destroy, and how a store moves between
+// machines.
+//
+// Two backends ship:
+//
+//   - FlatStore mirrors the original catalog layout — one `<name>.acfsum`
+//     file per record, atomic tmp+rename publication — so existing data
+//     dirs keep working unchanged.
+//   - SegmentStore is an append-only log-structured store: every
+//     mutation is a CRC-framed record appended to a write-ahead log and
+//     fsync'd before its version becomes visible; opening the store
+//     replays the log (truncating any torn tail back to the last fully
+//     published record), and a background compaction folds superseded
+//     versions and merge lineages into sealed segment files published
+//     by an atomic, checksummed manifest.
+//
+// Both speak the same portable snapshot archive (see snapshot.go), so a
+// catalog can be moved between backends — or machines — byte-for-byte.
+package storage
+
+import (
+	"errors"
+	"io"
+	"strings"
+)
+
+// RecordInfo is one listing row: a named record's current version and
+// payload size in bytes.
+type RecordInfo struct {
+	Name    string
+	Version uint64
+	Size    int64
+}
+
+// Stats is the storage observability surface, flattened into /metrics
+// by the server. Counter semantics are per-open-store-instance.
+type Stats struct {
+	// Records is the number of live named records.
+	Records int64
+	// LiveBytes approximates the bytes reachable from live records.
+	LiveBytes int64
+	// GarbageBytes approximates bytes held by superseded versions and
+	// tombstones, reclaimable by compaction. Always 0 for FlatStore.
+	GarbageBytes int64
+	// Segments is the number of sealed segment files (0 for FlatStore).
+	Segments int64
+	// WALReplays counts WAL files replayed when this store opened.
+	WALReplays int64
+	// WALRecordsReplayed counts records recovered from those replays.
+	WALRecordsReplayed int64
+	// Compactions counts completed compaction passes.
+	Compactions int64
+	// LastCompactionUs is the wall-clock duration of the most recent
+	// compaction, in microseconds (telemetry only).
+	LastCompactionUs int64
+	// Quarantined counts records moved aside by Quarantine, including
+	// quarantined files already present when the store opened.
+	Quarantined int64
+}
+
+// Backend stores named, versioned byte records durably. All methods
+// are safe for concurrent use. Versions are per-name and strictly
+// increasing across the life of the store instance; SegmentStore
+// versions additionally survive restarts.
+type Backend interface {
+	// Put durably publishes data under name and returns the new
+	// version. The record is visible to Get/List only once it would
+	// survive a crash.
+	Put(name string, data []byte) (uint64, error)
+	// Get returns the record's bytes and current version, or
+	// ErrNotFound.
+	Get(name string) ([]byte, uint64, error)
+	// Delete removes the record. Deleting an absent name is ErrNotFound.
+	Delete(name string) error
+	// Quarantine removes name from the live namespace while preserving
+	// its bytes for post-mortem inspection, returning a human-readable
+	// note saying where they went. If version is nonzero and no longer
+	// current, nothing happens and ErrStale is returned — the caller
+	// raced a fresh Put and the healthy new record must survive.
+	Quarantine(name string, version uint64, cause error) (string, error)
+	// List returns every live record sorted by name.
+	List() ([]RecordInfo, error)
+	// Snapshot streams the whole store as a portable archive (see
+	// WriteSnapshot for the format). Records are written at their
+	// current version, sorted by name.
+	Snapshot(w io.Writer) error
+	// Restore loads a snapshot archive into an empty store, preserving
+	// names and versions. Restoring into a non-empty store is
+	// ErrNotEmpty.
+	Restore(r io.Reader) error
+	// Stats returns the observability counters and gauges.
+	Stats() Stats
+	// Close releases the store. Operations after Close return ErrClosed.
+	Close() error
+}
+
+// Sentinel errors. Backends wrap these so callers can errors.Is them.
+var (
+	// ErrNotFound reports a Get/Delete of an absent name.
+	ErrNotFound = errors.New("storage: record not found")
+	// ErrStale reports a version-guarded operation that lost a race
+	// with a newer Put; the store is unchanged.
+	ErrStale = errors.New("storage: version is no longer current")
+	// ErrClosed reports an operation on a closed store.
+	ErrClosed = errors.New("storage: store is closed")
+	// ErrCorrupt reports structural damage the store cannot repair by
+	// replay alone (a bad segment frame, an unreadable manifest).
+	ErrCorrupt = errors.New("storage: corrupt store")
+	// ErrNotEmpty reports a Restore into a store that already holds
+	// records.
+	ErrNotEmpty = errors.New("storage: store is not empty")
+	// ErrBadName reports a record name the store refuses to hold.
+	ErrBadName = errors.New("storage: bad record name")
+)
+
+// validName gates record names at the storage boundary. The serving
+// layer applies its own stricter catalog alphabet; this check only
+// keeps names usable as filenames and archive keys on every backend.
+func validName(name string) bool {
+	if name == "" || len(name) > 255 {
+		return false
+	}
+	if strings.ContainsAny(name, "/\\\x00") {
+		return false
+	}
+	return name != "." && name != ".."
+}

@@ -1,0 +1,924 @@
+package storage
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SegmentStore is the append-only, log-structured Backend. Layout of a
+// store directory:
+//
+//	wal-<gen>.log   CRC-framed write-ahead log, one per generation;
+//	                the highest generation is the active append target
+//	seg-<id>.seg    sealed segments written by compaction (immutable)
+//	MANIFEST        atomically published root (see manifest.go)
+//	quarantine/     bytes preserved by Quarantine, one file per record
+//
+// Every mutation becomes one WAL frame, written and fsync'd before the
+// new version is visible to readers — the publication barrier. Opening
+// a store loads the manifest (if any), replays WAL generations at and
+// above the manifest's watermark, truncates a torn tail back to the
+// last complete frame, and deletes crash debris (orphaned segments,
+// stale WAL generations, a half-written MANIFEST.tmp).
+//
+// Writes are serialized by a single writer goroutine that owns the
+// active WAL file, so no mutex is ever held across file I/O; the index
+// mutex guards only in-memory state. Compaction runs on its own
+// goroutine: it rotates the WAL, folds every live record from the
+// sealed files into one fresh segment, publishes the new manifest
+// atomically, swaps the in-memory locations, and deletes the folded
+// files. Readers that race the deletion simply retry through the
+// index and find the segment copy.
+type SegmentStore struct {
+	dir  string
+	opts SegmentOptions
+
+	mu       sync.Mutex
+	index    map[string]*segEntry
+	versions map[string]uint64 // last version assigned per name, tombstones included
+	live     int64             // total frame bytes reachable from the index
+	segBytes int64             // bytes across sealed segment files
+	segCount int64
+	walBytes int64  // bytes across all WAL files still on disk
+	gen      uint64 // active WAL generation
+	sealed   []uint64
+	broken   error // first write failure; the store is dead debris after
+
+	// Writer-goroutine-owned; fields above double as its shared view.
+	wfile   blockFile
+	walSize int64 // size of the active WAL (writer-owned, updated under mu)
+
+	reqs      chan *walReq
+	compactc  chan *compactReq
+	done      chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+	closeErr  error
+
+	manifestSegs []string // compactor-owned: segment files of the current manifest
+
+	walReplays    atomic.Int64
+	walRecords    atomic.Int64
+	compactions   atomic.Int64
+	lastCompactUs atomic.Int64
+	quarantined   atomic.Int64
+}
+
+// SegmentOptions tunes a SegmentStore. The zero value is production
+// defaults.
+type SegmentOptions struct {
+	// GarbageRatio is the garbage fraction (garbage / (live+garbage))
+	// above which a background compaction is scheduled after a
+	// mutation. 0 selects 0.5; negative disables auto-compaction
+	// (Compact still works).
+	GarbageRatio float64
+	// MinGarbageBytes floors the auto-compaction trigger so small
+	// stores don't compact on every overwrite. 0 selects 1 MiB.
+	MinGarbageBytes int64
+
+	// fail, when set, injects a torn write at a byte offset and kills
+	// the store, simulating a crash (tests only; see failpoint).
+	fail *failpoint
+}
+
+func (o SegmentOptions) withDefaults() SegmentOptions {
+	if o.GarbageRatio == 0 {
+		o.GarbageRatio = 0.5
+	}
+	if o.MinGarbageBytes == 0 {
+		o.MinGarbageBytes = 1 << 20
+	}
+	return o
+}
+
+type recordLoc struct {
+	file string // absolute path
+	off  int64
+	size int64 // full frame size
+}
+
+type segEntry struct {
+	version uint64
+	loc     recordLoc
+}
+
+type walReq struct {
+	op           byte // opPut, opDelete, opQuarantine, opStop, opRotate
+	name         string
+	body         []byte
+	guardVersion uint64 // quarantine: only act if this version is current
+	forceVersion uint64 // restore: publish under this exact version
+	reply        chan walRes
+}
+
+type walRes struct {
+	version uint64
+	note    string
+	err     error
+	rot     *rotation
+}
+
+const (
+	opStop   byte = 200
+	opRotate byte = 201
+)
+
+// rotation is the writer's answer to a rotate request: the sealed
+// world the compactor may fold, captured atomically with the switch to
+// a fresh WAL generation.
+type rotation struct {
+	newGen  uint64
+	entries map[string]segEntry // copy of the index at rotation
+	walGens []uint64            // sealed WAL generations
+}
+
+type compactReq struct {
+	reply chan error // nil for auto-triggered passes
+}
+
+const (
+	walMagic     = "DARWAL1\x00"
+	segMagic     = "DARSEG1\x00"
+	fileMagicLen = 8
+)
+
+// OpenSegment opens (creating if necessary) a segment store in dir,
+// recovering whatever a previous process published.
+func OpenSegment(dir string, opts SegmentOptions) (*SegmentStore, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: data dir: %w", err)
+	}
+	s := &SegmentStore{
+		dir:      dir,
+		opts:     opts,
+		index:    make(map[string]*segEntry),
+		versions: make(map[string]uint64),
+		reqs:     make(chan *walReq),
+		compactc: make(chan *compactReq, 1),
+		done:     make(chan struct{}),
+	}
+	os.Remove(filepath.Join(dir, manifestName+".tmp")) //nolint:errcheck // crash debris
+
+	man, haveMan, err := loadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	refSegs := make(map[string]bool, len(man.Segments))
+	for _, seg := range man.Segments {
+		path := filepath.Join(dir, seg)
+		fi, err := os.Stat(path)
+		if err != nil {
+			return nil, fmt.Errorf("%w: manifest references missing segment %s: %w", ErrCorrupt, seg, err)
+		}
+		refSegs[seg] = true
+		s.segBytes += fi.Size()
+		s.segCount++
+		s.manifestSegs = append(s.manifestSegs, seg)
+	}
+	for i := range man.Entries {
+		e := &man.Entries[i]
+		if !refSegs[e.File] {
+			return nil, fmt.Errorf("%w: manifest entry %q points outside the segment set", ErrCorrupt, e.Name)
+		}
+		s.index[e.Name] = &segEntry{version: e.Version, loc: recordLoc{
+			file: filepath.Join(dir, e.File), off: e.Offset, size: e.Size,
+		}}
+		if e.Version > s.versions[e.Name] {
+			s.versions[e.Name] = e.Version
+		}
+		s.live += e.Size
+	}
+
+	// Crash debris: segments a died compaction wrote but never published.
+	segIDs, err := listGenFiles(dir, "seg", ".seg")
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range segIDs {
+		if !refSegs[segName(id)] {
+			os.Remove(filepath.Join(dir, segName(id))) //nolint:errcheck
+		}
+	}
+
+	minGen := man.WALGen
+	if !haveMan || minGen == 0 {
+		minGen = 1
+	}
+	walGens, err := listGenFiles(dir, "wal", ".log")
+	if err != nil {
+		return nil, err
+	}
+	var replay []uint64
+	for _, gen := range walGens {
+		if gen < minGen {
+			// Fully folded into the manifest by a completed compaction
+			// whose cleanup the crash interrupted.
+			os.Remove(filepath.Join(dir, walName(gen))) //nolint:errcheck
+			continue
+		}
+		replay = append(replay, gen)
+	}
+	var activeLen int64 = -1
+	for i, gen := range replay {
+		last := i == len(replay)-1
+		validLen, nrec, err := s.replayWAL(gen, last)
+		if err != nil {
+			return nil, err
+		}
+		s.walReplays.Add(1)
+		s.walRecords.Add(int64(nrec))
+		s.walBytes += validLen
+		if last {
+			activeLen = validLen
+		}
+	}
+
+	s.gen = minGen
+	if len(replay) > 0 {
+		s.gen = replay[len(replay)-1]
+		s.sealed = append(s.sealed, replay[:len(replay)-1]...)
+	}
+	if err := s.openActiveWAL(activeLen); err != nil {
+		return nil, err
+	}
+	if qents, err := os.ReadDir(filepath.Join(dir, "quarantine")); err == nil {
+		s.quarantined.Store(int64(len(qents)))
+	}
+
+	s.wg.Add(1)
+	go s.runWriter() // serialized mutation order is the determinism contract
+	s.wg.Add(1)
+	go s.runCompactor()
+	return s, nil
+}
+
+// replayWAL applies one WAL generation to the in-memory index. For the
+// last (active) generation a torn tail is expected crash debris and is
+// truncated away; for sealed generations it is corruption. Returns the
+// valid byte length and the number of records applied.
+func (s *SegmentStore) replayWAL(gen uint64, allowTorn bool) (int64, int, error) {
+	path := filepath.Join(s.dir, walName(gen))
+	f, err := openFile(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.Close()
+
+	truncate := func(valid int64) (int64, int, error) {
+		if !allowTorn {
+			return 0, 0, fmt.Errorf("%w: sealed WAL %s has a torn tail", ErrCorrupt, walName(gen))
+		}
+		if err := os.Truncate(path, valid); err != nil {
+			return 0, 0, fmt.Errorf("storage: truncating torn WAL tail: %w", err)
+		}
+		return valid, 0, nil
+	}
+
+	br := bufio.NewReader(f)
+	var magic [fileMagicLen]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		// Shorter than its own header: creation crashed. Empty file.
+		return truncate(0)
+	}
+	if string(magic[:]) != walMagic {
+		return 0, 0, fmt.Errorf("%w: %s has bad magic %q", ErrCorrupt, walName(gen), magic[:])
+	}
+
+	valid := int64(fileMagicLen)
+	nrec := 0
+	for {
+		rec, n, err := readFrame(br)
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if errors.Is(err, errTorn) {
+			v, _, terr := truncate(valid)
+			if terr != nil {
+				return 0, 0, terr
+			}
+			return v, nrec, nil
+		}
+		if err != nil {
+			return 0, 0, fmt.Errorf("%w: replaying %s: %w", ErrCorrupt, walName(gen), err)
+		}
+		s.applyReplayed(rec, recordLoc{file: path, off: valid, size: n})
+		valid += n
+		nrec++
+	}
+	return valid, nrec, nil
+}
+
+// applyReplayed folds one recovered WAL record into the index.
+func (s *SegmentStore) applyReplayed(rec record, loc recordLoc) {
+	if old := s.index[rec.name]; old != nil {
+		s.live -= old.loc.size
+	}
+	switch rec.op {
+	case opPut:
+		s.index[rec.name] = &segEntry{version: rec.version, loc: loc}
+		s.live += loc.size
+	case opDelete, opQuarantine:
+		delete(s.index, rec.name)
+	}
+	if rec.version > s.versions[rec.name] {
+		s.versions[rec.name] = rec.version
+	}
+}
+
+// openActiveWAL opens generation s.gen for appending. activeLen < 0
+// means the file does not exist yet (or was fully consumed by a
+// manifest) and is created fresh; activeLen == 0 means a torn header
+// was truncated away and the header must be rewritten.
+func (s *SegmentStore) openActiveWAL(activeLen int64) error {
+	path := filepath.Join(s.dir, walName(s.gen))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND|os.O_CREATE, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: opening WAL: %w", err)
+	}
+	var w blockFile = f
+	if s.opts.fail != nil {
+		w = s.opts.fail.wrap(f)
+	}
+	if activeLen <= 0 {
+		if _, err := w.Write([]byte(walMagic)); err != nil {
+			w.Close()
+			return fmt.Errorf("storage: writing WAL header: %w", err)
+		}
+		if err := w.Sync(); err != nil {
+			w.Close()
+			return fmt.Errorf("storage: syncing WAL header: %w", err)
+		}
+		if err := dirSync(s.dir); err != nil {
+			w.Close()
+			return err
+		}
+		s.walBytes += fileMagicLen
+		activeLen = fileMagicLen
+	}
+	s.wfile = w
+	s.walSize = activeLen
+	return nil
+}
+
+// --- public API -------------------------------------------------------
+
+// Put durably publishes data under name.
+func (s *SegmentStore) Put(name string, data []byte) (uint64, error) {
+	if !validName(name) {
+		return 0, fmt.Errorf("%w: %q", ErrBadName, name)
+	}
+	res, err := s.roundTrip(&walReq{op: opPut, name: name, body: data})
+	return res.version, err
+}
+
+// Delete removes name, publishing a tombstone through the WAL.
+func (s *SegmentStore) Delete(name string) error {
+	_, err := s.roundTrip(&walReq{op: opDelete, name: name})
+	return err
+}
+
+// Quarantine moves name's bytes into the quarantine/ subdirectory and
+// removes it from the live namespace (tombstoned through the WAL, like
+// a delete). See Backend.Quarantine for the version guard.
+func (s *SegmentStore) Quarantine(name string, version uint64, cause error) (string, error) {
+	reason := "unspecified"
+	if cause != nil {
+		reason = cause.Error()
+	}
+	res, err := s.roundTrip(&walReq{op: opQuarantine, name: name, guardVersion: version, body: []byte(reason)})
+	return res.note, err
+}
+
+// Get returns the current bytes and version of name. A read that races
+// compaction's file deletion retries through the index and lands on
+// the fresh segment.
+func (s *SegmentStore) Get(name string) ([]byte, uint64, error) {
+	var lastErr error
+	for attempt := 0; attempt < 16; attempt++ {
+		s.mu.Lock()
+		e, ok := s.index[name]
+		if !ok {
+			s.mu.Unlock()
+			return nil, 0, fmt.Errorf("%w: %q", ErrNotFound, name)
+		}
+		loc, version := e.loc, e.version
+		s.mu.Unlock()
+
+		body, _, err := fetchFrameAt(loc.file, loc.off, loc.size, name, version)
+		if err == nil {
+			return body, version, nil
+		}
+		lastErr = err
+		if !errors.Is(err, fs.ErrNotExist) {
+			// Not a compaction race; re-check whether the entry moved
+			// underneath us (a concurrent Put superseded the frame we
+			// read) before declaring corruption.
+			s.mu.Lock()
+			cur, ok := s.index[name]
+			moved := !ok || cur.version != version || cur.loc != loc
+			s.mu.Unlock()
+			if !moved {
+				return nil, 0, err
+			}
+		}
+	}
+	return nil, 0, fmt.Errorf("storage: record %q kept moving during read: %w", name, lastErr)
+}
+
+// List returns the live records sorted by name.
+func (s *SegmentStore) List() ([]RecordInfo, error) {
+	s.mu.Lock()
+	out := make([]RecordInfo, 0, len(s.index))
+	for name, e := range s.index {
+		out = append(out, RecordInfo{Name: name, Version: e.version, Size: dataSize(name, e)})
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// dataSize recovers the record's payload size from its frame size (the
+// frame adds a fixed header plus the varint-encoded name/version/length
+// prefixes).
+func dataSize(name string, e *segEntry) int64 {
+	overhead := frameSize(record{op: opPut, name: name, version: e.version})
+	// frameSize of a bodiless record counts a 1-byte body length; the
+	// real frame's body length varint may be longer. Recompute exactly.
+	size := e.loc.size - overhead + 1 // + the 1-byte length counted above
+	for l := int64(1); ; l++ {
+		// body length `size-l` encoded in l varint bytes?
+		if int64(uvarintLen(uint64(size-l))) == l {
+			return size - l
+		}
+	}
+}
+
+// Stats returns the observability counters.
+func (s *SegmentStore) Stats() Stats {
+	s.mu.Lock()
+	st := Stats{
+		Records:      int64(len(s.index)),
+		LiveBytes:    s.live,
+		GarbageBytes: s.garbageLocked(),
+		Segments:     s.segCount,
+	}
+	s.mu.Unlock()
+	st.WALReplays = s.walReplays.Load()
+	st.WALRecordsReplayed = s.walRecords.Load()
+	st.Compactions = s.compactions.Load()
+	st.LastCompactionUs = s.lastCompactUs.Load()
+	st.Quarantined = s.quarantined.Load()
+	return st
+}
+
+// garbageLocked approximates reclaimable bytes: everything on disk
+// (segments + WAL files) that no live record references. File headers
+// ride along in the estimate; they are noise next to any real summary.
+func (s *SegmentStore) garbageLocked() int64 {
+	g := s.segBytes + s.walBytes - s.live
+	if g < 0 {
+		g = 0
+	}
+	return g
+}
+
+func (s *SegmentStore) needCompactLocked() bool {
+	if s.opts.GarbageRatio < 0 {
+		return false
+	}
+	garbage := s.garbageLocked()
+	total := s.live + garbage
+	return garbage >= s.opts.MinGarbageBytes && total > 0 &&
+		float64(garbage) >= s.opts.GarbageRatio*float64(total)
+}
+
+// Compact synchronously runs one compaction pass on the compactor
+// goroutine: rotate the WAL, fold every live record into one fresh
+// segment, publish the manifest, delete the folded files.
+func (s *SegmentStore) Compact() error {
+	req := &compactReq{reply: make(chan error, 1)}
+	select {
+	case s.compactc <- req:
+		// The buffered send can succeed even after the compactor has
+		// exited, so the reply wait must watch for shutdown too.
+		select {
+		case err := <-req.reply:
+			return err
+		case <-s.done:
+			return ErrClosed
+		}
+	case <-s.done:
+		return ErrClosed
+	}
+}
+
+// Close stops the writer and compactor and closes the WAL. In-flight
+// operations finish first; operations after Close return ErrClosed.
+func (s *SegmentStore) Close() error {
+	s.closeOnce.Do(func() {
+		req := &walReq{op: opStop, reply: make(chan walRes, 1)}
+		select {
+		case s.reqs <- req:
+			res := <-req.reply
+			s.closeErr = res.err
+		case <-s.done:
+		}
+		s.wg.Wait()
+	})
+	return s.closeErr
+}
+
+// roundTrip hands one request to the writer goroutine and waits for
+// its reply. The writer always replies to a request it received.
+func (s *SegmentStore) roundTrip(req *walReq) (walRes, error) {
+	req.reply = make(chan walRes, 1)
+	select {
+	case s.reqs <- req:
+		res := <-req.reply
+		return res, res.err
+	case <-s.done:
+		return walRes{}, ErrClosed
+	}
+}
+
+// --- writer goroutine -------------------------------------------------
+
+// runWriter serializes every mutation: version assignment, WAL append,
+// fsync, index publication — in that order, one request at a time. It
+// is the only goroutine that writes the WAL, which is what lets the
+// store hold no mutex across file I/O.
+func (s *SegmentStore) runWriter() {
+	defer s.wg.Done()
+	for {
+		req := <-s.reqs
+		switch req.op {
+		case opStop:
+			var err error
+			if s.wfile != nil {
+				err = s.wfile.Close()
+			}
+			close(s.done)
+			req.reply <- walRes{err: err}
+			return
+		case opRotate:
+			req.reply <- s.rotate()
+		default:
+			res, compact := s.apply(req)
+			req.reply <- res
+			if compact {
+				select {
+				case s.compactc <- &compactReq{}:
+				default: // a pass is already queued or running
+				}
+			}
+		}
+	}
+}
+
+// apply performs one mutation. Lock sections hold in-memory work only;
+// the append+fsync happens between them.
+func (s *SegmentStore) apply(req *walReq) (walRes, bool) {
+	s.mu.Lock()
+	broken := s.broken
+	cur := s.index[req.name]
+	version := s.versions[req.name] + 1
+	if req.forceVersion != 0 {
+		version = req.forceVersion
+	}
+	s.mu.Unlock()
+	if broken != nil {
+		return walRes{err: fmt.Errorf("storage: store is write-broken: %w", broken)}, false
+	}
+
+	rec := record{op: req.op, name: req.name, version: version}
+	var note string
+	switch req.op {
+	case opPut:
+		rec.body = req.body
+	case opDelete:
+		if cur == nil {
+			return walRes{err: fmt.Errorf("%w: %q", ErrNotFound, req.name)}, false
+		}
+	case opQuarantine:
+		if cur == nil {
+			return walRes{err: fmt.Errorf("%w: %q", ErrNotFound, req.name)}, false
+		}
+		if req.guardVersion != 0 && cur.version != req.guardVersion {
+			return walRes{err: fmt.Errorf("%w: %q is at v%d, not v%d", ErrStale, req.name, cur.version, req.guardVersion)}, false
+		}
+		var err error
+		note, err = s.quarantineBytes(req.name, cur, req.body)
+		if err != nil {
+			return walRes{err: err}, false
+		}
+		rec.body = req.body // the reason, for the audit trail
+	}
+
+	frame := appendFrame(nil, rec)
+	off := s.walSize // writer-owned; safe to read without the lock
+	if err := s.walAppend(frame); err != nil {
+		s.mu.Lock()
+		if s.broken == nil {
+			s.broken = err
+		}
+		s.mu.Unlock()
+		return walRes{err: fmt.Errorf("storage: WAL append: %w", err)}, false
+	}
+
+	s.mu.Lock()
+	s.versions[req.name] = version
+	if old := s.index[req.name]; old != nil {
+		s.live -= old.loc.size
+	}
+	if req.op == opPut {
+		s.index[req.name] = &segEntry{version: version, loc: recordLoc{
+			file: filepath.Join(s.dir, walName(s.gen)), off: off, size: int64(len(frame)),
+		}}
+		s.live += int64(len(frame))
+	} else {
+		delete(s.index, req.name)
+	}
+	s.walSize += int64(len(frame))
+	s.walBytes += int64(len(frame))
+	compact := s.needCompactLocked()
+	s.mu.Unlock()
+
+	if req.op == opQuarantine {
+		s.quarantined.Add(1)
+	}
+	return walRes{version: version, note: note}, compact
+}
+
+// walAppend writes one frame to the active WAL and syncs it — the
+// publication barrier every mutation passes before becoming visible.
+func (s *SegmentStore) walAppend(frame []byte) error {
+	if _, err := s.wfile.Write(frame); err != nil {
+		return err
+	}
+	return s.wfile.Sync()
+}
+
+// quarantineBytes copies the record's current bytes into quarantine/
+// before its tombstone is logged, so post-mortem inspection survives
+// compaction. Returns the note the catalog logs.
+func (s *SegmentStore) quarantineBytes(name string, cur *segEntry, reason []byte) (string, error) {
+	body, _, err := fetchFrameAt(cur.loc.file, cur.loc.off, cur.loc.size, name, cur.version)
+	if err != nil {
+		// The stored frame itself is unreadable; quarantine what we
+		// know rather than failing the quarantine.
+		body = nil
+	}
+	qdir := filepath.Join(s.dir, "quarantine")
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		return "", fmt.Errorf("storage: quarantine dir: %w", err)
+	}
+	base := fmt.Sprintf("%s.v%d.quarantined", name, cur.version)
+	if err := os.WriteFile(filepath.Join(qdir, base), body, 0o644); err != nil {
+		return "", fmt.Errorf("storage: writing quarantine copy: %w", err)
+	}
+	return fmt.Sprintf("quarantined (moved aside as quarantine/%s): %s", base, reason), nil
+}
+
+// --- compaction -------------------------------------------------------
+
+func (s *SegmentStore) runCompactor() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.done:
+			return
+		case req := <-s.compactc:
+			err := s.compactOnce()
+			if req.reply != nil {
+				req.reply <- err
+			}
+		}
+	}
+}
+
+// rotate (writer goroutine) switches appends to a fresh WAL generation
+// and captures the sealed world — the index and file set at the switch
+// — for the compactor to fold.
+func (s *SegmentStore) rotate() walRes {
+	s.mu.Lock()
+	broken := s.broken
+	s.mu.Unlock()
+	if broken != nil {
+		return walRes{err: fmt.Errorf("storage: store is write-broken: %w", broken)}
+	}
+
+	oldGen := s.gen
+	if err := s.wfile.Close(); err != nil {
+		return walRes{err: fmt.Errorf("storage: sealing WAL: %w", err)}
+	}
+	path := filepath.Join(s.dir, walName(oldGen+1))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		s.mu.Lock()
+		s.broken = err
+		s.mu.Unlock()
+		return walRes{err: fmt.Errorf("storage: creating WAL generation %d: %w", oldGen+1, err)}
+	}
+	var w blockFile = f
+	if s.opts.fail != nil {
+		w = s.opts.fail.wrap(f)
+	}
+	if _, err := w.Write([]byte(walMagic)); err == nil {
+		err = w.Sync()
+	}
+	if err == nil {
+		err = dirSync(s.dir)
+	}
+	if err != nil {
+		w.Close()
+		s.mu.Lock()
+		s.broken = err
+		s.mu.Unlock()
+		return walRes{err: fmt.Errorf("storage: starting WAL generation %d: %w", oldGen+1, err)}
+	}
+	s.wfile = w
+
+	rot := &rotation{newGen: oldGen + 1, entries: make(map[string]segEntry)}
+	s.mu.Lock()
+	s.gen = oldGen + 1
+	s.walSize = fileMagicLen
+	s.walBytes += fileMagicLen
+	s.sealed = append(s.sealed, oldGen)
+	rot.walGens = append(rot.walGens, s.sealed...)
+	for name, e := range s.index {
+		rot.entries[name] = *e
+	}
+	s.mu.Unlock()
+	return walRes{rot: rot}
+}
+
+// compactOnce folds every live record from the sealed files into one
+// fresh segment, publishes it via the manifest, and deletes the folded
+// files. Runs on the compactor goroutine only.
+//
+// The timing pair below is telemetry for the last_compaction gauge; it
+// never reaches a mined result.
+func (s *SegmentStore) compactOnce() error {
+	start := time.Now()
+	res, err := s.roundTrip(&walReq{op: opRotate})
+	if err != nil {
+		return err
+	}
+	rot := res.rot
+
+	names := make([]string, 0, len(rot.entries))
+	for name := range rot.entries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	segFile := segName(rot.newGen)
+	segPath := filepath.Join(s.dir, segFile)
+	var newLocs map[string]recordLoc
+	var segSize int64
+	if newLocs, segSize, err = s.writeSegment(segPath, names, rot.entries); err != nil {
+		os.Remove(segPath) //nolint:errcheck // unpublished; open() would delete it too
+		s.markBroken(err)
+		return err
+	}
+
+	man := manifest{WALGen: rot.newGen, Segments: []string{segFile}}
+	for _, name := range names {
+		e := rot.entries[name]
+		loc := newLocs[name]
+		man.Entries = append(man.Entries, manifestEntry{
+			Name: name, Version: e.version, File: segFile, Offset: loc.off, Size: loc.size,
+		})
+	}
+	if err := writeManifest(s.dir, man, s.wrapFn()); err != nil {
+		os.Remove(segPath) //nolint:errcheck
+		s.markBroken(err)
+		return err
+	}
+
+	oldSegs := s.manifestSegs
+	s.manifestSegs = []string{segFile}
+
+	// Adopt: repoint entries that still carry the compacted version.
+	// Anything newer lives in the post-rotation WAL and wins by replay
+	// order; its segment copy is garbage until the next pass.
+	s.mu.Lock()
+	for _, name := range names {
+		snap := rot.entries[name]
+		cur := s.index[name]
+		if cur != nil && cur.version == snap.version {
+			wasLive := cur.loc.size
+			cur.loc = newLocs[name]
+			s.live += cur.loc.size - wasLive
+		}
+	}
+	s.segBytes = segSize
+	s.segCount = 1
+	deadGens := rot.walGens
+	kept := s.sealed[:0]
+	for _, g := range s.sealed {
+		dead := false
+		for _, d := range deadGens {
+			if g == d {
+				dead = true
+				break
+			}
+		}
+		if !dead {
+			kept = append(kept, g)
+		}
+	}
+	s.sealed = kept
+	s.mu.Unlock()
+
+	var freed int64
+	for _, gen := range deadGens {
+		path := filepath.Join(s.dir, walName(gen))
+		if fi, err := os.Stat(path); err == nil {
+			freed += fi.Size()
+		}
+		os.Remove(path) //nolint:errcheck
+	}
+	for _, seg := range oldSegs {
+		os.Remove(filepath.Join(s.dir, seg)) //nolint:errcheck
+	}
+	s.mu.Lock()
+	s.walBytes -= freed
+	if s.walBytes < 0 {
+		s.walBytes = 0
+	}
+	s.mu.Unlock()
+
+	s.compactions.Add(1)
+	s.lastCompactUs.Store(time.Since(start).Microseconds())
+	return nil
+}
+
+// writeSegment streams the named records' frames, verbatim, into one
+// sealed segment file.
+func (s *SegmentStore) writeSegment(path string, names []string, entries map[string]segEntry) (map[string]recordLoc, int64, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("storage: creating segment: %w", err)
+	}
+	var w blockFile = f
+	if s.opts.fail != nil {
+		w = s.opts.fail.wrap(f)
+	}
+	if _, err := w.Write([]byte(segMagic)); err != nil {
+		w.Close()
+		return nil, 0, fmt.Errorf("storage: writing segment header: %w", err)
+	}
+	locs := make(map[string]recordLoc, len(names))
+	off := int64(fileMagicLen)
+	for _, name := range names {
+		e := entries[name]
+		_, raw, err := fetchFrameAt(e.loc.file, e.loc.off, e.loc.size, name, e.version)
+		if err != nil {
+			w.Close()
+			return nil, 0, fmt.Errorf("compacting %q: %w", name, err)
+		}
+		if _, err := w.Write(raw); err != nil {
+			w.Close()
+			return nil, 0, fmt.Errorf("storage: writing segment: %w", err)
+		}
+		locs[name] = recordLoc{file: path, off: off, size: int64(len(raw))}
+		off += int64(len(raw))
+	}
+	if err := w.Sync(); err != nil {
+		w.Close()
+		return nil, 0, fmt.Errorf("storage: syncing segment: %w", err)
+	}
+	if err := w.Close(); err != nil {
+		return nil, 0, fmt.Errorf("storage: closing segment: %w", err)
+	}
+	if err := dirSync(s.dir); err != nil {
+		return nil, 0, err
+	}
+	return locs, off, nil
+}
+
+func (s *SegmentStore) markBroken(err error) {
+	s.mu.Lock()
+	if s.broken == nil {
+		s.broken = err
+	}
+	s.mu.Unlock()
+}
+
+func (s *SegmentStore) wrapFn() func(*os.File) blockFile {
+	if s.opts.fail == nil {
+		return nil
+	}
+	return s.opts.fail.wrap
+}

@@ -1,0 +1,395 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func openTestSegment(t *testing.T, dir string, opts SegmentOptions) *SegmentStore {
+	t.Helper()
+	s, err := OpenSegment(dir, opts)
+	if err != nil {
+		t.Fatalf("OpenSegment: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// noAuto disables background compaction so tests control it explicitly.
+var noAuto = SegmentOptions{GarbageRatio: -1}
+
+func TestSegmentRoundTrip(t *testing.T) {
+	s := openTestSegment(t, t.TempDir(), noAuto)
+
+	if _, _, err := s.Get("absent"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get(absent) = %v, want ErrNotFound", err)
+	}
+	v1, err := s.Put("alpha", []byte("payload one"))
+	if err != nil || v1 != 1 {
+		t.Fatalf("Put = (%d, %v), want (1, nil)", v1, err)
+	}
+	v2, err := s.Put("alpha", []byte("payload two"))
+	if err != nil || v2 != 2 {
+		t.Fatalf("second Put = (%d, %v), want (2, nil)", v2, err)
+	}
+	data, v, err := s.Get("alpha")
+	if err != nil || string(data) != "payload two" || v != 2 {
+		t.Fatalf("Get = (%q, %d, %v)", data, v, err)
+	}
+	if err := s.Delete("alpha"); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if _, _, err := s.Get("alpha"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get after delete = %v, want ErrNotFound", err)
+	}
+	if err := s.Delete("alpha"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double Delete = %v, want ErrNotFound", err)
+	}
+	// Versions keep climbing across a delete.
+	v4, err := s.Put("alpha", []byte("reborn"))
+	if err != nil || v4 != 4 {
+		t.Fatalf("Put after delete = (%d, %v), want (4, nil)", v4, err)
+	}
+}
+
+func TestSegmentBadNames(t *testing.T) {
+	s := openTestSegment(t, t.TempDir(), noAuto)
+	for _, name := range []string{"", ".", "..", "a/b", "a\\b", "a\x00b", strings.Repeat("x", 256)} {
+		if _, err := s.Put(name, []byte("x")); !errors.Is(err, ErrBadName) {
+			t.Errorf("Put(%q) = %v, want ErrBadName", name, err)
+		}
+	}
+}
+
+func TestSegmentReopenPersistence(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestSegment(t, dir, noAuto)
+	if _, err := s.Put("a", []byte("aaa")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put("b", []byte("bbb")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put("a", []byte("aaa2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	r := openTestSegment(t, dir, noAuto)
+	data, v, err := r.Get("a")
+	if err != nil || string(data) != "aaa2" || v != 2 {
+		t.Fatalf("after reopen Get(a) = (%q, %d, %v)", data, v, err)
+	}
+	if _, _, err := r.Get("b"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("after reopen Get(b) = %v, want ErrNotFound (tombstone must replay)", err)
+	}
+	// Version continuity across restart: b was at v2 when tombstoned.
+	if v, err := r.Put("b", []byte("back")); err != nil || v != 3 {
+		t.Fatalf("Put(b) after reopen = (%d, %v), want (3, nil)", v, err)
+	}
+	st := r.Stats()
+	if st.WALReplays == 0 || st.WALRecordsReplayed != 4 {
+		t.Fatalf("replay stats = %+v, want 4 records replayed", st)
+	}
+}
+
+func TestSegmentCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestSegment(t, dir, noAuto)
+	var want []string
+	for i := 0; i < 20; i++ {
+		name := fmt.Sprintf("rec-%02d", i)
+		want = append(want, name)
+		for rev := 0; rev < 3; rev++ {
+			if _, err := s.Put(name, []byte(fmt.Sprintf("%s rev %d", name, rev))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := s.Delete("rec-07"); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Stats()
+	if before.GarbageBytes == 0 {
+		t.Fatal("expected garbage before compaction")
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	after := s.Stats()
+	if after.Compactions != 1 || after.Segments != 1 {
+		t.Fatalf("post-compaction stats = %+v", after)
+	}
+	if after.GarbageBytes >= before.GarbageBytes {
+		t.Fatalf("garbage did not shrink: %d -> %d", before.GarbageBytes, after.GarbageBytes)
+	}
+	checkAll := func(s *SegmentStore, label string) {
+		t.Helper()
+		for _, name := range want {
+			data, _, err := s.Get(name)
+			if name == "rec-07" {
+				if !errors.Is(err, ErrNotFound) {
+					t.Fatalf("%s: Get(%s) = %v, want ErrNotFound", label, name, err)
+				}
+				continue
+			}
+			if err != nil || string(data) != name+" rev 2" {
+				t.Fatalf("%s: Get(%s) = (%q, %v)", label, name, data, err)
+			}
+		}
+	}
+	checkAll(s, "compacted")
+
+	// Writes after compaction land in the fresh WAL generation.
+	if _, err := s.Put("rec-00", []byte("rec-00 rev 3")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: manifest + post-compaction WAL reconstruct everything.
+	r := openTestSegment(t, dir, noAuto)
+	data, v, err := r.Get("rec-00")
+	if err != nil || string(data) != "rec-00 rev 3" || v != 4 {
+		t.Fatalf("after reopen Get(rec-00) = (%q, %d, %v)", data, v, err)
+	}
+	for _, name := range want[1:] {
+		if name == "rec-07" {
+			continue
+		}
+		data, _, err := r.Get(name)
+		if err != nil || string(data) != name+" rev 2" {
+			t.Fatalf("after reopen Get(%s) = (%q, %v)", name, data, err)
+		}
+	}
+	// Sealed WAL generations were folded and deleted.
+	gens, err := listGenFiles(dir, "wal", ".log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) != 1 {
+		t.Fatalf("WAL generations on disk after compaction = %v, want one", gens)
+	}
+}
+
+func TestSegmentCompactTwice(t *testing.T) {
+	s := openTestSegment(t, t.TempDir(), noAuto)
+	if _, err := s.Put("a", bytes.Repeat([]byte("x"), 1000)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.Compact(); err != nil {
+			t.Fatalf("Compact #%d: %v", i+1, err)
+		}
+	}
+	data, _, err := s.Get("a")
+	if err != nil || len(data) != 1000 {
+		t.Fatalf("Get after repeated compaction = (%d bytes, %v)", len(data), err)
+	}
+	if st := s.Stats(); st.Segments != 1 {
+		t.Fatalf("Segments = %d, want 1 (old segments folded)", st.Segments)
+	}
+}
+
+func TestSegmentListAndSizes(t *testing.T) {
+	s := openTestSegment(t, t.TempDir(), noAuto)
+	// Sizes chosen to straddle uvarint length boundaries, where the
+	// frame-size arithmetic in dataSize has to be exact.
+	sizes := []int{0, 1, 127, 128, 129, 16383, 16384, 70000}
+	for i, n := range sizes {
+		name := fmt.Sprintf("size-%d", i)
+		if _, err := s.Put(name, bytes.Repeat([]byte("z"), n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	infos, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != len(sizes) {
+		t.Fatalf("List returned %d rows, want %d", len(infos), len(sizes))
+	}
+	for i := 1; i < len(infos); i++ {
+		if infos[i-1].Name >= infos[i].Name {
+			t.Fatalf("List is not sorted: %q before %q", infos[i-1].Name, infos[i].Name)
+		}
+	}
+	bySize := make(map[string]int64)
+	for i, n := range sizes {
+		bySize[fmt.Sprintf("size-%d", i)] = int64(n)
+	}
+	for _, info := range infos {
+		if info.Size != bySize[info.Name] {
+			t.Errorf("List size for %s = %d, want %d", info.Name, info.Size, bySize[info.Name])
+		}
+	}
+}
+
+func TestSegmentQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestSegment(t, dir, noAuto)
+	v, err := s.Put("damaged", []byte("bad bytes"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Quarantine("damaged", v+1, errors.New("checksum")); !errors.Is(err, ErrStale) {
+		t.Fatalf("Quarantine with stale version = %v, want ErrStale", err)
+	}
+	note, err := s.Quarantine("damaged", v, errors.New("checksum mismatch"))
+	if err != nil {
+		t.Fatalf("Quarantine: %v", err)
+	}
+	if !strings.Contains(note, "quarantine/damaged.v1.quarantined") || !strings.Contains(note, "checksum mismatch") {
+		t.Fatalf("quarantine note = %q", note)
+	}
+	if _, _, err := s.Get("damaged"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get after quarantine = %v, want ErrNotFound", err)
+	}
+	kept, err := os.ReadFile(filepath.Join(dir, "quarantine", "damaged.v1.quarantined"))
+	if err != nil || string(kept) != "bad bytes" {
+		t.Fatalf("quarantined bytes = (%q, %v)", kept, err)
+	}
+	if st := s.Stats(); st.Quarantined != 1 {
+		t.Fatalf("Quarantined stat = %d, want 1", st.Quarantined)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The tombstone replays and the preserved file is counted on reopen.
+	r := openTestSegment(t, dir, noAuto)
+	if _, _, err := r.Get("damaged"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get after reopen = %v, want ErrNotFound", err)
+	}
+	if st := r.Stats(); st.Quarantined != 1 {
+		t.Fatalf("Quarantined stat after reopen = %d, want 1", st.Quarantined)
+	}
+}
+
+func TestSegmentAutoCompaction(t *testing.T) {
+	s := openTestSegment(t, t.TempDir(), SegmentOptions{GarbageRatio: 0.5, MinGarbageBytes: 1})
+	payload := bytes.Repeat([]byte("p"), 4096)
+	for i := 0; i < 50; i++ {
+		if _, err := s.Put("hot", payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The auto pass is asynchronous; force one more to have a floor.
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Compactions < 1 {
+		t.Fatalf("Compactions = %d, want >= 1", st.Compactions)
+	}
+	data, v, err := s.Get("hot")
+	if err != nil || !bytes.Equal(data, payload) || v != 50 {
+		t.Fatalf("Get(hot) = (%d bytes, v%d, %v)", len(data), v, err)
+	}
+}
+
+func TestSegmentConcurrentPutsAndReads(t *testing.T) {
+	s := openTestSegment(t, t.TempDir(), SegmentOptions{GarbageRatio: 0.3, MinGarbageBytes: 1})
+	const writers = 4
+	const rounds = 40
+	var wg sync.WaitGroup
+	errc := make(chan error, writers*2)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := fmt.Sprintf("w-%d", w)
+			for i := 0; i < rounds; i++ {
+				if _, err := s.Put(name, []byte(fmt.Sprintf("%s#%d", name, i))); err != nil {
+					errc <- err
+					return
+				}
+				if data, _, err := s.Get(name); err != nil {
+					errc <- err
+					return
+				} else if !strings.HasPrefix(string(data), name+"#") {
+					errc <- fmt.Errorf("read tore: %q", data)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			if err := s.Compact(); err != nil {
+				errc <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	for w := 0; w < writers; w++ {
+		name := fmt.Sprintf("w-%d", w)
+		data, v, err := s.Get(name)
+		if err != nil || v != rounds || string(data) != fmt.Sprintf("%s#%d", name, rounds-1) {
+			t.Fatalf("final Get(%s) = (%q, v%d, %v)", name, data, v, err)
+		}
+	}
+}
+
+func TestSegmentClosedOps(t *testing.T) {
+	s := openTestSegment(t, t.TempDir(), noAuto)
+	if _, err := s.Put("a", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put("a", []byte("y")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Put after Close = %v, want ErrClosed", err)
+	}
+	if err := s.Compact(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Compact after Close = %v, want ErrClosed", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("double Close = %v", err)
+	}
+}
+
+func TestManifestCorruptionRefused(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestSegment(t, dir, noAuto)
+	if _, err := s.Put("a", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, manifestName)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenSegment(dir, noAuto); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("OpenSegment with corrupt manifest = %v, want ErrCorrupt", err)
+	}
+}

@@ -1,78 +1,181 @@
 #!/usr/bin/env bash
-# End-to-end smoke test of the dard daemon: start it on a loopback
-# port, ingest the golden interval dataset over HTTP, query it through
-# `darminer query -addr`, and diff the served JSON against the local
-# `darminer ingest | query -json` pipeline (wall-clock lines aside, the
-# two must be byte-identical). Also scrapes /metrics and checks the
-# daemon drains cleanly on SIGTERM. Run via `make serversmoke`.
+# End-to-end smoke test of the dard daemon, in two acts.
+#
+# Act 1 (flat storage): start dard on a loopback port, ingest the
+# golden interval dataset over HTTP, query it through `darminer query
+# -addr`, and diff the served JSON against the local `darminer ingest |
+# query -json` pipeline (wall-clock lines aside, the two must be
+# byte-identical). Also scrapes /metrics and checks the daemon drains
+# cleanly on SIGTERM. Run via `make serversmoke`.
+#
+# Act 2 (segment storage): the crash gauntlet over the real binaries.
+# Ingest into a WAL-backed segment store, kill -9 the daemon while a
+# background ingest loop is mid-flight, tear the WAL tail with garbage
+# bytes, restart, and demand the acked summary still answers queries
+# byte-identical to the local pipeline. Then pull a snapshot archive
+# over the admin endpoint and restore it into fresh segment AND flat
+# data dirs — each must serve the same bytes again. Run alone via
+# `make storagesmoke` (SMOKE_STORAGE_ONLY=1).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 TMP=$(mktemp -d)
 DARD_PID=""
+CHURN_PID=""
 cleanup() {
-    if [ -n "$DARD_PID" ] && kill -0 "$DARD_PID" 2>/dev/null; then
-        kill -9 "$DARD_PID" 2>/dev/null || true
-    fi
+    for pid in "$CHURN_PID" "$DARD_PID"; do
+        if [ -n "$pid" ] && kill -0 "$pid" 2>/dev/null; then
+            kill -9 "$pid" 2>/dev/null || true
+        fi
+    done
     rm -rf "$TMP"
 }
 trap cleanup EXIT
+
+# start_dard <logfile> <args...>: launch the daemon, wait for its
+# listen line, and set DARD_PID / ADDR.
+start_dard() {
+    local log=$1; shift
+    "$TMP/dard" -addr 127.0.0.1:0 "$@" 2>"$log" &
+    DARD_PID=$!
+    ADDR=""
+    for _ in $(seq 1 100); do
+        ADDR=$(sed -n 's/.*listening on \([0-9.:]*\).*/\1/p' "$log" | head -n1)
+        [ -n "$ADDR" ] && break
+        kill -0 "$DARD_PID" || { echo "dard died at startup:"; cat "$log"; exit 1; }
+        sleep 0.1
+    done
+    [ -n "$ADDR" ] || { echo "dard never reported its address:"; cat "$log"; exit 1; }
+}
+
+# stop_dard <logfile>: SIGTERM and require a clean drain.
+stop_dard() {
+    local log=$1
+    kill -TERM "$DARD_PID"
+    local ok=1
+    wait "$DARD_PID" || ok=0
+    DARD_PID=""
+    [ "$ok" = 1 ] || { echo "dard exited non-zero on SIGTERM:"; cat "$log"; exit 1; }
+}
+
+# served_query <out>: query the smoke summary remotely, durations
+# stripped.
+served_query() {
+    "$TMP/darminer" query -addr "http://$ADDR" -minsup 0.2 -degree 1 -json smoke \
+        | grep -v '"durationMs"' >"$1"
+}
 
 echo "== building binaries"
 go build -o "$TMP/dard" ./cmd/dard
 go build -o "$TMP/darminer" ./cmd/darminer
 
-echo "== starting dard"
-"$TMP/dard" -addr 127.0.0.1:0 -data "$TMP/data" 2>"$TMP/dard.log" &
-DARD_PID=$!
-
-ADDR=""
-for _ in $(seq 1 100); do
-    ADDR=$(sed -n 's/.*listening on \([0-9.:]*\).*/\1/p' "$TMP/dard.log" | head -n1)
-    [ -n "$ADDR" ] && break
-    kill -0 "$DARD_PID" || { echo "dard died at startup:"; cat "$TMP/dard.log"; exit 1; }
-    sleep 0.1
-done
-[ -n "$ADDR" ] || { echo "dard never reported its address:"; cat "$TMP/dard.log"; exit 1; }
-echo "   dard is listening on $ADDR"
-
 DATASET=cmd/darminer/testdata/interval_input.csv
-
-echo "== ingesting $DATASET over HTTP"
-curl -sfS -X POST --data-binary @"$DATASET" \
-    "http://$ADDR/v1/ingest?name=smoke&d0=5" >"$TMP/ingest.json"
-grep -q '"tuples"' "$TMP/ingest.json" || { echo "unexpected ingest ack:"; cat "$TMP/ingest.json"; exit 1; }
-
-echo "== querying remotely via darminer -addr"
-"$TMP/darminer" query -addr "http://$ADDR" -minsup 0.2 -degree 1 -json smoke >"$TMP/served.json"
 
 echo "== running the local CLI pipeline"
 "$TMP/darminer" ingest -d0 5 -o "$TMP/local.acfsum" "$DATASET" >/dev/null
-"$TMP/darminer" query -minsup 0.2 -degree 1 -json "$TMP/local.acfsum" >"$TMP/local.json"
+"$TMP/darminer" query -minsup 0.2 -degree 1 -json "$TMP/local.acfsum" \
+    | grep -v '"durationMs"' >"$TMP/local.stripped"
 
-echo "== diffing served vs local (durationMs stripped)"
-grep -v '"durationMs"' "$TMP/served.json" >"$TMP/served.stripped"
-grep -v '"durationMs"' "$TMP/local.json" >"$TMP/local.stripped"
-if ! diff -u "$TMP/local.stripped" "$TMP/served.stripped"; then
-    echo "FAIL: served query diverges from the local CLI pipeline"
+if [ "${SMOKE_STORAGE_ONLY:-}" != 1 ]; then
+    echo "== [flat] starting dard"
+    start_dard "$TMP/dard.log" -data "$TMP/data"
+    echo "   dard is listening on $ADDR"
+
+    echo "== [flat] ingesting $DATASET over HTTP"
+    curl -sfS -X POST --data-binary @"$DATASET" \
+        "http://$ADDR/v1/ingest?name=smoke&d0=5" >"$TMP/ingest.json"
+    grep -q '"tuples"' "$TMP/ingest.json" || { echo "unexpected ingest ack:"; cat "$TMP/ingest.json"; exit 1; }
+
+    echo "== [flat] diffing served vs local (durationMs stripped)"
+    served_query "$TMP/served.stripped"
+    if ! diff -u "$TMP/local.stripped" "$TMP/served.stripped"; then
+        echo "FAIL: served query diverges from the local CLI pipeline"
+        exit 1
+    fi
+
+    echo "== [flat] scraping /metrics"
+    curl -sfS "http://$ADDR/metrics" >"$TMP/metrics.json"
+    grep -q '"query_requests_total": 1' "$TMP/metrics.json" || {
+        echo "unexpected metrics:"; cat "$TMP/metrics.json"; exit 1
+    }
+    grep -q '"ingest_requests_total": 1' "$TMP/metrics.json" || {
+        echo "unexpected metrics:"; cat "$TMP/metrics.json"; exit 1
+    }
+
+    echo "== [flat] draining on SIGTERM"
+    stop_dard "$TMP/dard.log"
+    grep -q "bye" "$TMP/dard.log" || { echo "dard never said goodbye:"; cat "$TMP/dard.log"; exit 1; }
+fi
+
+echo "== [segment] starting dard over a WAL-backed store"
+SEGDATA="$TMP/segdata"
+start_dard "$TMP/seg1.log" -data "$SEGDATA" -storage segment
+echo "   dard is listening on $ADDR"
+
+echo "== [segment] ingesting $DATASET over HTTP"
+curl -sfS -X POST --data-binary @"$DATASET" \
+    "http://$ADDR/v1/ingest?name=smoke&d0=5" >"$TMP/seg_ingest.json"
+grep -q '"tuples"' "$TMP/seg_ingest.json" || { echo "unexpected ingest ack:"; cat "$TMP/seg_ingest.json"; exit 1; }
+served_query "$TMP/seg_served1.stripped"
+diff -u "$TMP/local.stripped" "$TMP/seg_served1.stripped" >/dev/null || {
+    echo "FAIL: fresh segment store diverges from the local CLI pipeline"; exit 1
+}
+
+echo "== [segment] kill -9 mid-ingest"
+(
+    while :; do
+        curl -sS -X POST --data-binary @"$DATASET" \
+            "http://$ADDR/v1/ingest?name=churn&d0=5" >/dev/null 2>&1 || exit 0
+    done
+) &
+CHURN_PID=$!
+sleep 0.3
+kill -9 "$DARD_PID"
+wait "$DARD_PID" 2>/dev/null || true
+DARD_PID=""
+wait "$CHURN_PID" 2>/dev/null || true
+CHURN_PID=""
+
+echo "== [segment] tearing the WAL tail"
+TAIL_WAL=$(ls "$SEGDATA"/wal-*.log | sort | tail -n1)
+[ -n "$TAIL_WAL" ] || { echo "no WAL files in $SEGDATA"; exit 1; }
+printf '\x40\x00\x00\x00\xde\xad\xbe\xef\x01\x02' >>"$TAIL_WAL"
+
+echo "== [segment] restarting over the crashed store"
+start_dard "$TMP/seg2.log" -data "$SEGDATA" -storage segment
+echo "   dard is listening on $ADDR"
+curl -sfS "http://$ADDR/metrics" >"$TMP/seg_metrics.json"
+REPLAYS=$(grep -o '"storage_wal_replays": [0-9]*' "$TMP/seg_metrics.json" | grep -o '[0-9]*$')
+[ "${REPLAYS:-0}" -ge 1 ] || {
+    echo "FAIL: storage_wal_replays = ${REPLAYS:-missing}, want >= 1"; cat "$TMP/seg_metrics.json"; exit 1
+}
+
+echo "== [segment] diffing the replayed store vs local"
+served_query "$TMP/seg_served2.stripped"
+if ! diff -u "$TMP/local.stripped" "$TMP/seg_served2.stripped"; then
+    echo "FAIL: replayed segment store diverges from the local CLI pipeline"
     exit 1
 fi
 
-echo "== scraping /metrics"
-curl -sfS "http://$ADDR/metrics" >"$TMP/metrics.json"
-grep -q '"query_requests_total": 1' "$TMP/metrics.json" || {
-    echo "unexpected metrics:"; cat "$TMP/metrics.json"; exit 1
-}
-grep -q '"ingest_requests_total": 1' "$TMP/metrics.json" || {
-    echo "unexpected metrics:"; cat "$TMP/metrics.json"; exit 1
-}
+echo "== [segment] pulling a snapshot archive"
+curl -sfS -X POST -o "$TMP/snap.darsnap" "http://$ADDR/v1/admin/snapshot"
+[ -s "$TMP/snap.darsnap" ] || { echo "empty snapshot archive"; exit 1; }
+stop_dard "$TMP/seg2.log"
 
-echo "== draining on SIGTERM"
-kill -TERM "$DARD_PID"
-DRAIN_OK=1
-wait "$DARD_PID" || DRAIN_OK=0
-DARD_PID=""
-[ "$DRAIN_OK" = 1 ] || { echo "dard exited non-zero on SIGTERM:"; cat "$TMP/dard.log"; exit 1; }
-grep -q "bye" "$TMP/dard.log" || { echo "dard never said goodbye:"; cat "$TMP/dard.log"; exit 1; }
+for kind in segment flat; do
+    echo "== [restore] serving the snapshot from a fresh $kind store"
+    start_dard "$TMP/restore_$kind.log" -data "$TMP/restore_$kind" \
+        -storage "$kind" -restore "$TMP/snap.darsnap"
+    served_query "$TMP/restored_$kind.stripped"
+    if ! diff -u "$TMP/local.stripped" "$TMP/restored_$kind.stripped"; then
+        echo "FAIL: snapshot restored into a $kind store diverges from the local CLI pipeline"
+        exit 1
+    fi
+    stop_dard "$TMP/restore_$kind.log"
+done
 
-echo "PASS: server smoke (served == local, metrics sane, clean drain)"
+if [ "${SMOKE_STORAGE_ONLY:-}" = 1 ]; then
+    echo "PASS: storage smoke (crash + torn WAL replay == local, snapshot restores into both backends)"
+else
+    echo "PASS: server smoke (served == local, metrics sane, clean drain, crash-safe segment store)"
+fi
