@@ -93,6 +93,9 @@ func (s *FlatStore) Put(name string, data []byte) (uint64, error) {
 	if !validName(name) {
 		return 0, fmt.Errorf("%w: %q", ErrBadName, name)
 	}
+	if err := checkRecordSize(name, len(data)); err != nil {
+		return 0, err
+	}
 	tmp, err := s.stage(data)
 	if err != nil {
 		return 0, err
@@ -112,9 +115,14 @@ func (s *FlatStore) Put(name string, data []byte) (uint64, error) {
 	s.lastVer[name] = version
 	s.records[name] = version
 	s.mu.Unlock()
-	if err := dirSync(s.dir); err != nil {
-		return 0, err
-	}
+	// The rename is the commit point: the bytes were fsync'd in stage()
+	// and the index above already serves the new version, so a failed
+	// directory sync must not report the put as failed — the caller
+	// would treat the record as absent while Get and the on-disk file
+	// both hold it. The worst a lost dirSync costs after a power cut is
+	// the rename itself, which leaves the previous version's complete
+	// file: a consistent prior state the startup scan handles.
+	dirSync(s.dir) //nolint:errcheck
 	return version, nil
 }
 

@@ -28,6 +28,13 @@ const (
 	// Far above any real .acfsum artifact; its job is to reject the
 	// absurd lengths that random torn bytes decode to.
 	maxFramePayload = 1 << 31
+	// maxRecordBody bounds the body accepted on the write path, with
+	// headroom for the op byte and the name/version/length prefixes so
+	// a frame built from it never exceeds maxFramePayload. Without this
+	// gate an oversized Put would be acked and fsync'd, then rejected
+	// as a torn frame on replay — truncating the WAL there and silently
+	// discarding the record and everything logged after it.
+	maxRecordBody = maxFramePayload - 512
 
 	opPut        byte = 1
 	opDelete     byte = 2
@@ -47,6 +54,15 @@ type record struct {
 // was read. During WAL replay a torn tail is expected crash debris and
 // truncated away; anywhere else it wraps into ErrCorrupt.
 var errTorn = errors.New("torn frame")
+
+// checkRecordSize gates record bodies at the write boundary so every
+// frame written is one readFrame will accept back.
+func checkRecordSize(name string, size int) error {
+	if int64(size) > int64(maxRecordBody) {
+		return fmt.Errorf("%w: %q body is %d bytes (limit %d)", ErrTooLarge, name, size, int64(maxRecordBody))
+	}
+	return nil
+}
 
 // appendFrame appends rec as one framed unit to b.
 func appendFrame(b []byte, rec record) []byte {

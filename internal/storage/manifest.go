@@ -37,6 +37,12 @@ type manifest struct {
 	Segments []string `json:"segments"`
 	// Entries locate every compacted record, sorted by name.
 	Entries []manifestEntry `json:"entries"`
+	// Floors carries every name's version high-water mark at the
+	// rotation this manifest folded, deleted names included. Without
+	// it a delete -> compact -> restart sequence would forget the name
+	// ever existed and hand its next Put version 1 again, breaking the
+	// strictly-increasing contract (name, version) cache keys rely on.
+	Floors map[string]uint64 `json:"floors,omitempty"`
 }
 
 type manifestEntry struct {

@@ -40,6 +40,12 @@ func writeArchive(w io.Writer, names []string, fetch func(name string) ([]byte, 
 		if !ok {
 			continue
 		}
+		// Guards records that predate the write-path bound (a giant
+		// flat file from an old data dir): framing one would wrap the
+		// uint32 length and poison the archive.
+		if err := checkRecordSize(name, len(body)); err != nil {
+			return fmt.Errorf("storage: snapshotting %q: %w", name, err)
+		}
 		frame := appendFrame(nil, record{op: opPut, name: name, version: version, body: body})
 		if _, err := bw.Write(frame); err != nil {
 			return fmt.Errorf("storage: writing snapshot: %w", err)

@@ -70,7 +70,9 @@ type Stats struct {
 type Backend interface {
 	// Put durably publishes data under name and returns the new
 	// version. The record is visible to Get/List only once it would
-	// survive a crash.
+	// survive a crash. Bodies beyond the frame limit (just under
+	// 2 GiB) are rejected with ErrTooLarge — every backend shares the
+	// bound so any stored record can round-trip a snapshot archive.
 	Put(name string, data []byte) (uint64, error)
 	// Get returns the record's bytes and current version, or
 	// ErrNotFound.
@@ -116,6 +118,10 @@ var (
 	ErrNotEmpty = errors.New("storage: store is not empty")
 	// ErrBadName reports a record name the store refuses to hold.
 	ErrBadName = errors.New("storage: bad record name")
+	// ErrTooLarge reports a record body exceeding the frame limit; an
+	// acked write that size could not survive WAL replay or a snapshot
+	// round trip, so it is refused up front.
+	ErrTooLarge = errors.New("storage: record too large")
 )
 
 // validName gates record names at the storage boundary. The serving

@@ -106,6 +106,11 @@ type recordLoc struct {
 	size int64 // full frame size
 }
 
+// segEntry locates a record's current frame. Entries published in the
+// index are immutable: updates (a new Put, compaction's adopt step)
+// install a fresh *segEntry rather than writing through the shared
+// pointer, so a value copied under s.mu stays coherent after the lock
+// is released.
 type segEntry struct {
 	version uint64
 	loc     recordLoc
@@ -136,9 +141,10 @@ const (
 // world the compactor may fold, captured atomically with the switch to
 // a fresh WAL generation.
 type rotation struct {
-	newGen  uint64
-	entries map[string]segEntry // copy of the index at rotation
-	walGens []uint64            // sealed WAL generations
+	newGen   uint64
+	entries  map[string]segEntry // copy of the index at rotation
+	versions map[string]uint64   // copy of the version floors at rotation
+	walGens  []uint64            // sealed WAL generations
 }
 
 type compactReq struct {
@@ -197,6 +203,14 @@ func OpenSegment(dir string, opts SegmentOptions) (*SegmentStore, error) {
 			s.versions[e.Name] = e.Version
 		}
 		s.live += e.Size
+	}
+	// Version floors for names whose only trace — a tombstone or a
+	// superseded frame — was folded away by compaction. Replay below
+	// raises them further where the WAL holds newer history.
+	for name, v := range man.Floors {
+		if v > s.versions[name] {
+			s.versions[name] = v
+		}
 	}
 
 	// Crash debris: segments a died compaction wrote but never published.
@@ -376,6 +390,9 @@ func (s *SegmentStore) openActiveWAL(activeLen int64) error {
 func (s *SegmentStore) Put(name string, data []byte) (uint64, error) {
 	if !validName(name) {
 		return 0, fmt.Errorf("%w: %q", ErrBadName, name)
+	}
+	if err := checkRecordSize(name, len(data)); err != nil {
+		return 0, err
 	}
 	res, err := s.roundTrip(&walReq{op: opPut, name: name, body: data})
 	return res.version, err
@@ -590,7 +607,14 @@ func (s *SegmentStore) runWriter() {
 func (s *SegmentStore) apply(req *walReq) (walRes, bool) {
 	s.mu.Lock()
 	broken := s.broken
-	cur := s.index[req.name]
+	// Value copy, not the shared pointer: the guard check and the
+	// quarantine read below run after the lock is released, racing
+	// compaction's adopt step.
+	var cur segEntry
+	curOK := false
+	if e := s.index[req.name]; e != nil {
+		cur, curOK = *e, true
+	}
 	version := s.versions[req.name] + 1
 	if req.forceVersion != 0 {
 		version = req.forceVersion
@@ -606,11 +630,11 @@ func (s *SegmentStore) apply(req *walReq) (walRes, bool) {
 	case opPut:
 		rec.body = req.body
 	case opDelete:
-		if cur == nil {
+		if !curOK {
 			return walRes{err: fmt.Errorf("%w: %q", ErrNotFound, req.name)}, false
 		}
 	case opQuarantine:
-		if cur == nil {
+		if !curOK {
 			return walRes{err: fmt.Errorf("%w: %q", ErrNotFound, req.name)}, false
 		}
 		if req.guardVersion != 0 && cur.version != req.guardVersion {
@@ -670,9 +694,25 @@ func (s *SegmentStore) walAppend(frame []byte) error {
 
 // quarantineBytes copies the record's current bytes into quarantine/
 // before its tombstone is logged, so post-mortem inspection survives
-// compaction. Returns the note the catalog logs.
-func (s *SegmentStore) quarantineBytes(name string, cur *segEntry, reason []byte) (string, error) {
+// compaction. cur is a value copy made under s.mu. Returns the note
+// the catalog logs.
+func (s *SegmentStore) quarantineBytes(name string, cur segEntry, reason []byte) (string, error) {
 	body, _, err := fetchFrameAt(cur.loc.file, cur.loc.off, cur.loc.size, name, cur.version)
+	for attempt := 0; err != nil && errors.Is(err, fs.ErrNotExist) && attempt < 16; attempt++ {
+		// Compaction moved the record and deleted its old file between
+		// the index snapshot and this read; chase the fresh location.
+		// The version cannot change underneath us — this runs on the
+		// writer goroutine, the only version assigner.
+		s.mu.Lock()
+		e := s.index[name]
+		if e == nil || e.loc == cur.loc {
+			s.mu.Unlock()
+			break
+		}
+		cur = *e
+		s.mu.Unlock()
+		body, _, err = fetchFrameAt(cur.loc.file, cur.loc.off, cur.loc.size, name, cur.version)
+	}
 	if err != nil {
 		// The stored frame itself is unreadable; quarantine what we
 		// know rather than failing the quarantine.
@@ -748,7 +788,11 @@ func (s *SegmentStore) rotate() walRes {
 	}
 	s.wfile = w
 
-	rot := &rotation{newGen: oldGen + 1, entries: make(map[string]segEntry)}
+	rot := &rotation{
+		newGen:   oldGen + 1,
+		entries:  make(map[string]segEntry),
+		versions: make(map[string]uint64),
+	}
 	s.mu.Lock()
 	s.gen = oldGen + 1
 	s.walSize = fileMagicLen
@@ -757,6 +801,9 @@ func (s *SegmentStore) rotate() walRes {
 	rot.walGens = append(rot.walGens, s.sealed...)
 	for name, e := range s.index {
 		rot.entries[name] = *e
+	}
+	for name, v := range s.versions {
+		rot.versions[name] = v
 	}
 	s.mu.Unlock()
 	return walRes{rot: rot}
@@ -792,7 +839,7 @@ func (s *SegmentStore) compactOnce() error {
 		return err
 	}
 
-	man := manifest{WALGen: rot.newGen, Segments: []string{segFile}}
+	man := manifest{WALGen: rot.newGen, Segments: []string{segFile}, Floors: rot.versions}
 	for _, name := range names {
 		e := rot.entries[name]
 		loc := newLocs[name]
@@ -811,15 +858,16 @@ func (s *SegmentStore) compactOnce() error {
 
 	// Adopt: repoint entries that still carry the compacted version.
 	// Anything newer lives in the post-rotation WAL and wins by replay
-	// order; its segment copy is garbage until the next pass.
+	// order; its segment copy is garbage until the next pass. A fresh
+	// *segEntry is installed — never a write through the shared pointer,
+	// which apply() and readers may hold a copy of outside the lock.
 	s.mu.Lock()
 	for _, name := range names {
 		snap := rot.entries[name]
 		cur := s.index[name]
 		if cur != nil && cur.version == snap.version {
-			wasLive := cur.loc.size
-			cur.loc = newLocs[name]
-			s.live += cur.loc.size - wasLive
+			s.live += newLocs[name].size - cur.loc.size
+			s.index[name] = &segEntry{version: snap.version, loc: newLocs[name]}
 		}
 	}
 	s.segBytes = segSize

@@ -349,6 +349,108 @@ func TestSegmentConcurrentPutsAndReads(t *testing.T) {
 	}
 }
 
+// Quarantine races compaction's adopt step: the writer snapshots an
+// index entry, releases the lock, then reads the frame — while the
+// compactor repoints the entry and deletes the folded WAL file.
+// Run under -race; also asserts the quarantined bytes are preserved.
+func TestSegmentConcurrentQuarantineAndCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestSegment(t, dir, noAuto)
+	const names = 8
+	for i := 0; i < names; i++ {
+		if _, err := s.Put(fmt.Sprintf("q-%d", i), bytes.Repeat([]byte{byte('a' + i)}, 256)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	errc := make(chan error, names+1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 8; i++ {
+			if err := s.Compact(); err != nil {
+				errc <- err
+				return
+			}
+		}
+	}()
+	for i := 0; i < names; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := s.Quarantine(fmt.Sprintf("q-%d", i), 0, errors.New("synthetic damage")); err != nil {
+				errc <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	for i := 0; i < names; i++ {
+		if _, _, err := s.Get(fmt.Sprintf("q-%d", i)); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("Get(q-%d) after quarantine = %v, want ErrNotFound", i, err)
+		}
+		kept, err := os.ReadFile(filepath.Join(dir, "quarantine", fmt.Sprintf("q-%d.v1.quarantined", i)))
+		if err != nil || !bytes.Equal(kept, bytes.Repeat([]byte{byte('a' + i)}, 256)) {
+			t.Fatalf("quarantined bytes for q-%d = (%d bytes, %v)", i, len(kept), err)
+		}
+	}
+}
+
+// A name whose every frame — tombstone included — was folded away by
+// compaction must still resume its version sequence after a restart:
+// only the manifest's floors remember it existed.
+func TestSegmentVersionFloorSurvivesCompactedDelete(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestSegment(t, dir, noAuto)
+	for i := 0; i < 3; i++ {
+		if _, err := s.Put("gone", []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Delete("gone"); err != nil { // tombstone takes v4
+		t.Fatal(err)
+	}
+	if _, err := s.Put("kept", []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := openTestSegment(t, dir, noAuto)
+	if v, err := r.Put("gone", []byte("back")); err != nil || v != 5 {
+		t.Fatalf("Put(gone) after compacted delete + reopen = (%d, %v), want (5, nil)", v, err)
+	}
+	if v, err := r.Put("kept", []byte("y2")); err != nil || v != 2 {
+		t.Fatalf("Put(kept) after reopen = (%d, %v), want (2, nil)", v, err)
+	}
+}
+
+// The write-path bound must leave room for the worst-case frame prefix
+// and refuse anything that readFrame would reject as torn on replay.
+func TestRecordSizeBound(t *testing.T) {
+	if err := checkRecordSize("x", maxRecordBody); err != nil {
+		t.Fatalf("checkRecordSize(limit) = %v", err)
+	}
+	if err := checkRecordSize("x", maxRecordBody+1); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("checkRecordSize(limit+1) = %v, want ErrTooLarge", err)
+	}
+	// Worst-case payload: op byte, longest name, largest varints.
+	worst := int64(1) +
+		int64(uvarintLen(255)) + 255 +
+		int64(uvarintLen(^uint64(0))) +
+		int64(uvarintLen(uint64(maxRecordBody))) + int64(maxRecordBody)
+	if worst > int64(maxFramePayload) {
+		t.Fatalf("worst-case payload %d exceeds maxFramePayload %d", worst, int64(maxFramePayload))
+	}
+}
+
 func TestSegmentClosedOps(t *testing.T) {
 	s := openTestSegment(t, t.TempDir(), noAuto)
 	if _, err := s.Put("a", []byte("x")); err != nil {
