@@ -1,14 +1,23 @@
 // Command benchjson is the perf-regression harness: it runs the
-// headline Phase I benchmarks (the Figure 6 series and its parallel
-// variant) plus the ingest-substrate microbenchmarks, parses the
-// standard `go test -bench` output — including custom metrics such as
-// tuples/s and ACFs — and writes one machine-readable JSON file.
+// headline Phase I benchmarks (the Figure 6 series, its parallel
+// variant and the multi-core scaling series) plus the ingest-substrate
+// microbenchmarks, parses the standard `go test -bench` output —
+// including custom metrics such as tuples/s and ACFs — and writes one
+// machine-readable JSON file with a derived multi-core scaling section.
 //
-//	go run ./cmd/benchjson -o BENCH_PR5.json          # or: make benchjson
+//	go run ./cmd/benchjson -o BENCH_PR9.json          # or: make benchjson
 //	go run ./cmd/benchjson -benchtime 3x -o out.json  # steadier numbers
 //
-// The committed BENCH_PR5.json and the CI perf-smoke artifact both come
-// from this command, so regressions show up as a diff in one file
+// It is also the regression gate: compare mode diffs two report files
+// and fails on a >10% throughput regression or a collapse in multi-core
+// efficiency — but only when the two reports come from matching
+// hardware (same GOOS/GOARCH/CPU count); across different machines the
+// numbers aren't commensurable, so violations downgrade to warnings.
+//
+//	go run ./cmd/benchjson -compare BENCH_PR5.json BENCH_PR9.json   # or: make benchgate
+//
+// The committed BENCH_PR*.json files and the CI perf-smoke artifact all
+// come from this command, so regressions show up as a diff in one file
 // rather than in scattered log lines.
 package main
 
@@ -19,25 +28,31 @@ import (
 	"os"
 	"os/exec"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 )
 
-// suite is one `go test -bench` invocation: a package and the anchored
-// benchmark regexp to run in it.
+// suite is one `go test -bench` invocation: a package, the anchored
+// benchmark regexp to run in it, and an optional -cpu list for
+// GOMAXPROCS series.
 type suite struct {
 	Package string `json:"package"`
 	Bench   string `json:"bench"`
+	CPU     string `json:"cpu,omitempty"`
 }
 
 // suites lists the benchmarks the harness tracks. BenchmarkPhaseI is
-// the Figure 6 series (tuples/s must not regress); the cf suite is the
-// substrate the Phase I overhaul optimized; the server suite tracks the
-// dard query path, cached (steady-state dashboard) and uncached (cold
-// Phase II plus rendering) alike.
+// the Figure 6 series (tuples/s must not regress); ScalingPhaseI is the
+// same pipeline swept across GOMAXPROCS 1/2/4/8 and feeds the report's
+// scaling section; the cf suite is the substrate the Phase I overhaul
+// optimized; the server suite tracks the dard query path, cached
+// (steady-state dashboard) and uncached (cold Phase II plus rendering)
+// alike.
 var suites = []suite{
 	{Package: ".", Bench: "^(BenchmarkPhaseI|BenchmarkParallelPhaseI|BenchmarkCFTreeInsert)$"},
-	{Package: "./internal/cf", Bench: "^(BenchmarkEncodeNomKey|BenchmarkDecodeNomKey|BenchmarkInternerKey|BenchmarkACFAddRow)$"},
+	{Package: ".", Bench: "^BenchmarkScalingPhaseI$", CPU: "1,2,4,8"},
+	{Package: "./internal/cf", Bench: "^(BenchmarkEncodeNomKey|BenchmarkDecodeNomKey|BenchmarkInternerKey|BenchmarkACFAddRow|BenchmarkACFAddRows)$"},
 	{Package: "./internal/server", Bench: "^(BenchmarkServerQuery|BenchmarkSingleflight)$"},
 }
 
@@ -52,22 +67,50 @@ type benchResult struct {
 	Metrics    map[string]float64 `json:"metrics"`
 }
 
-// report is the full JSON document.
+// scalingPoint is one GOMAXPROCS step of the ScalingPhaseI series.
+// Speedup is tuples/s relative to the 1-proc run; Efficiency divides
+// the speedup by the cores the run could actually use —
+// min(procs, machine CPUs) — so a 1-core box sweeping GOMAXPROCS 1..8
+// reports efficiency ≈ 1 throughout (pipeline overhead only) instead of
+// a meaningless 1/8.
+type scalingPoint struct {
+	Procs      int     `json:"procs"`
+	TuplesPerS float64 `json:"tuples_per_s"`
+	Speedup    float64 `json:"speedup"`
+	Efficiency float64 `json:"efficiency"`
+}
+
+// report is the full JSON document. Schema 2 added the scaling section
+// and per-suite -cpu lists; compare mode accepts schema 1 files (they
+// simply have no scaling series to gate).
 type report struct {
-	Schema    int           `json:"schema"`
-	GoVersion string        `json:"go"`
-	GOOS      string        `json:"goos"`
-	GOARCH    string        `json:"goarch"`
-	CPUs      int           `json:"cpus"`
-	Benchtime string        `json:"benchtime"`
-	Suites    []suite       `json:"suites"`
-	Results   []benchResult `json:"results"`
+	Schema    int            `json:"schema"`
+	GoVersion string         `json:"go"`
+	GOOS      string         `json:"goos"`
+	GOARCH    string         `json:"goarch"`
+	CPUs      int            `json:"cpus"`
+	Benchtime string         `json:"benchtime"`
+	Suites    []suite        `json:"suites"`
+	Results   []benchResult  `json:"results"`
+	Scaling   []scalingPoint `json:"scaling,omitempty"`
 }
 
 func main() {
-	out := flag.String("o", "BENCH_PR5.json", "output JSON path (\"-\" for stdout)")
+	out := flag.String("o", "BENCH_PR9.json", "output JSON path (\"-\" for stdout)")
 	benchtime := flag.String("benchtime", "1x", "go test -benchtime value (1x = perf smoke; use 3x for steadier numbers)")
+	doCompare := flag.Bool("compare", false, "compare two report files (old new) instead of running benchmarks")
 	flag.Parse()
+	if *doCompare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two arguments: old.json new.json")
+			os.Exit(2)
+		}
+		if err := compareFiles(flag.Arg(0), flag.Arg(1)); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*out, *benchtime); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
@@ -76,7 +119,7 @@ func main() {
 
 func run(out, benchtime string) error {
 	rep := report{
-		Schema:    1,
+		Schema:    2,
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
@@ -99,6 +142,7 @@ func run(out, benchtime string) error {
 		}
 		rep.Results = append(rep.Results, results...)
 	}
+	rep.Scaling = scalingSeries(rep.Results, rep.CPUs)
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -115,8 +159,13 @@ func run(out, benchtime string) error {
 // Benchmarks run with -benchmem so allocation regressions on the
 // insert path are visible next to the throughput numbers.
 func runSuite(s suite, benchtime string) (string, error) {
-	cmd := exec.Command("go", "test", "-run", "^$",
-		"-bench", s.Bench, "-benchtime", benchtime, "-benchmem", s.Package)
+	args := []string{"test", "-run", "^$",
+		"-bench", s.Bench, "-benchtime", benchtime, "-benchmem"}
+	if s.CPU != "" {
+		args = append(args, "-cpu", s.CPU)
+	}
+	args = append(args, s.Package)
+	cmd := exec.Command("go", args...)
 	b, err := cmd.CombinedOutput()
 	if err != nil {
 		return "", fmt.Errorf("go test: %w\n%s", err, b)
@@ -171,4 +220,168 @@ func splitProcs(name string) (string, int) {
 		return name, 1
 	}
 	return name[:i], p
+}
+
+// scalingSeries derives the scaling section from the ScalingPhaseI
+// results: one point per GOMAXPROCS value, sorted, with speedup against
+// the 1-proc run and hardware-aware efficiency (speedup per core the
+// machine could actually grant the run). Returns nil if the series is
+// missing or has no 1-proc baseline.
+func scalingSeries(results []benchResult, cpus int) []scalingPoint {
+	var pts []scalingPoint
+	for _, r := range results {
+		if r.Name != "ScalingPhaseI" {
+			continue
+		}
+		tps, ok := r.Metrics["tuples/s"]
+		if !ok || tps <= 0 {
+			continue
+		}
+		pts = append(pts, scalingPoint{Procs: r.Procs, TuplesPerS: tps})
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].Procs < pts[j].Procs })
+	var base float64
+	for _, p := range pts {
+		if p.Procs == 1 {
+			base = p.TuplesPerS
+			break
+		}
+	}
+	if base <= 0 {
+		return nil
+	}
+	for i := range pts {
+		p := &pts[i]
+		p.Speedup = p.TuplesPerS / base
+		eff := p.Procs
+		if cpus >= 1 && eff > cpus {
+			eff = cpus
+		}
+		p.Efficiency = p.Speedup / float64(eff)
+	}
+	return pts
+}
+
+// Gate thresholds: a headline metric may drift 10% run to run before
+// the gate trips, and per-core efficiency must retain 80% of the old
+// report's value at every comparable GOMAXPROCS step. Benchmarks whose
+// total sampled time falls under minSampleNS on either side are
+// recorded but not gated: at the perf-smoke's 1x benchtime a
+// nanosecond-scale microbenchmark is one cold sample — mostly timer
+// overhead and cache state — and gating on it would flap. The headline
+// Phase I series runs hundreds of milliseconds per iteration and is
+// always gated.
+const (
+	regressTolerance = 0.10
+	efficiencyKeep   = 0.80
+	minSampleNS      = 100e6
+)
+
+// compareFiles is the CI gate: load two reports and fail on regression
+// when the hardware matches, warn when it doesn't.
+func compareFiles(oldPath, newPath string) error {
+	oldRep, err := loadReport(oldPath)
+	if err != nil {
+		return err
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		return err
+	}
+	violations, compared := compareReports(oldRep, newRep)
+	sameHW := oldRep.GOOS == newRep.GOOS && oldRep.GOARCH == newRep.GOARCH && oldRep.CPUs == newRep.CPUs
+	for _, v := range violations {
+		tag := "REGRESSION"
+		if !sameHW {
+			tag = "warning (hardware differs)"
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: %s: %s\n", tag, v)
+	}
+	if !sameHW {
+		fmt.Fprintf(os.Stderr,
+			"benchjson: hardware fingerprint differs (%s/%s %d CPUs vs %s/%s %d CPUs); numbers are not commensurable, gate is advisory\n",
+			oldRep.GOOS, oldRep.GOARCH, oldRep.CPUs, newRep.GOOS, newRep.GOARCH, newRep.CPUs)
+	}
+	if len(violations) > 0 && sameHW {
+		return fmt.Errorf("%d regression(s) against %s", len(violations), oldPath)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: compare OK: %d benchmark(s) within %d%% of %s\n",
+		compared, int(regressTolerance*100), oldPath)
+	return nil
+}
+
+func loadReport(path string) (*report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if rep.Schema < 1 || len(rep.Results) == 0 {
+		return nil, fmt.Errorf("%s: not a benchjson report", path)
+	}
+	return &rep, nil
+}
+
+// compareReports diffs new against old benchmark by benchmark, keyed by
+// (package, name, procs), and the scaling sections point by point.
+// Throughput benchmarks gate on tuples/s (higher is better); the rest
+// gate on ns/op (lower is better). Benchmarks present in only one
+// report are skipped — suites grow across PRs and old reports stay
+// committed. Returns the violation messages and how many benchmarks
+// were actually compared.
+// sampledNS is the total wall time a result's measurement rests on.
+func sampledNS(r benchResult) float64 {
+	return float64(r.Iterations) * r.Metrics["ns/op"]
+}
+
+func compareReports(oldRep, newRep *report) (violations []string, compared int) {
+	oldBy := make(map[string]benchResult, len(oldRep.Results))
+	for _, r := range oldRep.Results {
+		oldBy[r.Package+"|"+r.Name+"|"+strconv.Itoa(r.Procs)] = r
+	}
+	for _, nr := range newRep.Results {
+		or, ok := oldBy[nr.Package+"|"+nr.Name+"|"+strconv.Itoa(nr.Procs)]
+		if !ok {
+			continue
+		}
+		if sampledNS(or) < minSampleNS || sampledNS(nr) < minSampleNS {
+			continue
+		}
+		id := fmt.Sprintf("%s %s (procs=%d)", nr.Package, nr.Name, nr.Procs)
+		if ov, nv := or.Metrics["tuples/s"], nr.Metrics["tuples/s"]; ov > 0 && nv > 0 {
+			compared++
+			if nv < ov*(1-regressTolerance) {
+				violations = append(violations,
+					fmt.Sprintf("%s: tuples/s fell %.1f%% (%.0f → %.0f)", id, (1-nv/ov)*100, ov, nv))
+			}
+			continue
+		}
+		if ov, nv := or.Metrics["ns/op"], nr.Metrics["ns/op"]; ov > 0 && nv > 0 {
+			compared++
+			if nv > ov*(1+regressTolerance) {
+				violations = append(violations,
+					fmt.Sprintf("%s: ns/op rose %.1f%% (%.0f → %.0f)", id, (nv/ov-1)*100, ov, nv))
+			}
+		}
+	}
+	oldScale := make(map[int]scalingPoint, len(oldRep.Scaling))
+	for _, p := range oldRep.Scaling {
+		oldScale[p.Procs] = p
+	}
+	for _, np := range newRep.Scaling {
+		op, ok := oldScale[np.Procs]
+		if !ok || op.Efficiency <= 0 {
+			continue
+		}
+		compared++
+		if np.Efficiency < op.Efficiency*efficiencyKeep {
+			violations = append(violations,
+				fmt.Sprintf("scaling procs=%d: efficiency collapsed %.0f%% → %.0f%%",
+					np.Procs, op.Efficiency*100, np.Efficiency*100))
+		}
+	}
+	return violations, compared
 }

@@ -57,3 +57,97 @@ func TestSplitProcs(t *testing.T) {
 		}
 	}
 }
+
+func TestScalingSeries(t *testing.T) {
+	results := []benchResult{
+		{Name: "ScalingPhaseI", Procs: 1, Metrics: map[string]float64{"tuples/s": 100_000}},
+		{Name: "ScalingPhaseI", Procs: 4, Metrics: map[string]float64{"tuples/s": 300_000}},
+		{Name: "ScalingPhaseI", Procs: 8, Metrics: map[string]float64{"tuples/s": 320_000}},
+		{Name: "PhaseI/tuples=100000", Procs: 8, Metrics: map[string]float64{"tuples/s": 999}},
+	}
+	pts := scalingSeries(results, 4)
+	if len(pts) != 3 {
+		t.Fatalf("got %d points, want 3", len(pts))
+	}
+	if pts[0].Procs != 1 || pts[0].Speedup != 1 || pts[0].Efficiency != 1 {
+		t.Errorf("baseline point = %+v", pts[0])
+	}
+	if pts[1].Procs != 4 || pts[1].Speedup != 3 || pts[1].Efficiency != 0.75 {
+		t.Errorf("4-proc point = %+v", pts[1])
+	}
+	// 8 procs on a 4-CPU box: efficiency divides by the 4 cores the run
+	// could actually use, not the 8 it asked for.
+	if pts[2].Procs != 8 || pts[2].Efficiency != 3.2/4 {
+		t.Errorf("8-proc point = %+v", pts[2])
+	}
+	if got := scalingSeries(results[1:], 4); got != nil {
+		t.Errorf("series without a 1-proc baseline should be nil, got %v", got)
+	}
+}
+
+func mkReport(tps, nsop, eff4 float64) *report {
+	rep := &report{
+		Schema: 2, GOOS: "linux", GOARCH: "amd64", CPUs: 4,
+		Results: []benchResult{
+			{Name: "PhaseI/tuples=100000", Package: ".", Procs: 1, Iterations: 1,
+				Metrics: map[string]float64{"tuples/s": tps, "ns/op": 1e9}},
+			{Name: "EncodeNomKey", Package: "./internal/cf", Procs: 1, Iterations: 10_000_000,
+				Metrics: map[string]float64{"ns/op": nsop}},
+		},
+		Scaling: []scalingPoint{
+			{Procs: 1, TuplesPerS: tps, Speedup: 1, Efficiency: 1},
+			{Procs: 4, TuplesPerS: tps * 4 * eff4, Speedup: 4 * eff4, Efficiency: eff4},
+		},
+	}
+	return rep
+}
+
+func TestCompareReports(t *testing.T) {
+	old := mkReport(100_000, 35, 0.9)
+
+	if v, n := compareReports(old, mkReport(100_000, 35, 0.9)); len(v) != 0 || n == 0 {
+		t.Errorf("identical reports: violations %v, compared %d", v, n)
+	}
+	// Inside the 10% band: no violation either way.
+	if v, _ := compareReports(old, mkReport(95_000, 37, 0.88)); len(v) != 0 {
+		t.Errorf("within-tolerance drift flagged: %v", v)
+	}
+	// tuples/s regression beyond 10%.
+	if v, _ := compareReports(old, mkReport(80_000, 35, 0.9)); len(v) != 1 {
+		t.Errorf("want 1 throughput violation, got %v", v)
+	}
+	// ns/op regression on a benchmark without tuples/s.
+	if v, _ := compareReports(old, mkReport(100_000, 50, 0.9)); len(v) != 1 {
+		t.Errorf("want 1 ns/op violation, got %v", v)
+	}
+	// Efficiency collapse at 4 procs.
+	if v, _ := compareReports(old, mkReport(100_000, 35, 0.4)); len(v) != 1 {
+		t.Errorf("want 1 efficiency violation, got %v", v)
+	}
+	// Old report without scaling (schema 1): no scaling gate, no panic.
+	legacy := mkReport(100_000, 35, 0.9)
+	legacy.Schema, legacy.Scaling = 1, nil
+	if v, _ := compareReports(legacy, mkReport(100_000, 35, 0.1)); len(v) != 0 {
+		t.Errorf("legacy old report produced scaling violations: %v", v)
+	}
+	// Benchmarks only in one report are skipped, not failed.
+	extra := mkReport(100_000, 35, 0.9)
+	extra.Results = append(extra.Results, benchResult{
+		Name: "ACFAddRows", Package: "./internal/cf", Procs: 1,
+		Metrics: map[string]float64{"ns/op": 1}})
+	if v, _ := compareReports(old, extra); len(v) != 0 {
+		t.Errorf("new-only benchmark flagged: %v", v)
+	}
+	// A result resting on too little sampled time is not gated even if
+	// the ratio is terrible: one cold 1x sample of a microsecond-scale
+	// benchmark is noise, not a regression.
+	micro := mkReport(100_000, 35, 0.9)
+	micro.Results[1].Iterations = 1
+	micro.Results[1].Metrics["ns/op"] = 35
+	microBad := mkReport(100_000, 35, 0.9)
+	microBad.Results[1].Iterations = 1
+	microBad.Results[1].Metrics["ns/op"] = 9000
+	if v, _ := compareReports(micro, microBad); len(v) != 0 {
+		t.Errorf("under-sampled micro result gated: %v", v)
+	}
+}

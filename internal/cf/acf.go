@@ -54,6 +54,11 @@ type ACF struct {
 	// uniform records that every group is one-dimensional (so the row
 	// index IS the group index), unlocking the tightest AddRow loop.
 	uniform bool
+	// ownOff caches the offset of the owning group's segment inside a
+	// flat projection row (Σ len(LS[g]) for g < Own), so the split
+	// AddRowOwn/AddRows kernels do not rescan the shape per call. Only
+	// valid on constructor-built ACFs; the loose paths re-derive it.
+	ownOff int
 }
 
 // Shape describes the dimensionality of each attribute group of a
@@ -92,6 +97,9 @@ func NewACFTracked(shape Shape, own int, track []bool) *ACF {
 	}
 	off := 0
 	for g, dims := range shape {
+		if g == own {
+			a.ownOff = off
+		}
 		a.LS[g] = flat[off : off+dims : off+dims]
 		off += dims
 	}
@@ -267,6 +275,107 @@ func (a *ACF) addRowHists(row []float64, it *Interner) {
 	}
 }
 
+// rowOwnOff returns the offset of the owning group's segment inside a
+// flat projection row, using the cached value on constructor-built ACFs
+// and re-deriving it from the shape otherwise.
+func (a *ACF) rowOwnOff() int {
+	if a.flat != nil {
+		return a.ownOff
+	}
+	off := 0
+	for g := 0; g < a.Own; g++ {
+		off += len(a.LS[g])
+	}
+	return off
+}
+
+// AddRowOwn is the eager half of the split-row insert: it folds the
+// owning group's segment of the flat projection row — plus N and the
+// exact-value histograms — and nothing else. Everything the ACF-tree's
+// descent, admission test and split logic reads (N, LS[Own], SS[Own],
+// the centroid caches derived from them) is therefore up to date after
+// this call, while the cross-group Eq. 7 sums are deferred until AddRows
+// applies them batched. AddRowOwn(row) followed by AddRows over the same
+// row is bit-identical to AddRow(row): every float cell still receives
+// the same additions in the same tuple order — the split only reorders
+// updates *across* cells, which IEEE addition per cell cannot observe,
+// and the histogram counts are integers.
+func (a *ACF) AddRowOwn(row []float64, it *Interner) {
+	a.N++
+	off := a.rowOwnOff()
+	ls := a.LS[a.Own]
+	seg := row[off : off+len(ls)]
+	ss := a.SS
+	for i, v := range seg {
+		ls[i] += v
+		ss[a.Own] += v * v
+	}
+	a.addRowHists(row, it)
+}
+
+// AddRows is the batched half of the split-row insert: it applies the
+// deferred cross-group LS/SS updates of n consecutive flat rows (rows
+// holds n×stride floats) in one contiguous pass per row, skipping the
+// owning group that AddRowOwn already folded. The Phase I batch insert
+// uses it to fuse the inner row-update loop over a whole run of tuples
+// admitted into the same cluster: one call, one walk of the ACF's flat
+// backing per row, no per-tuple layout checks. Pairs with AddRowOwn —
+// see there for the bit-identity argument.
+func (a *ACF) AddRows(rows []float64, stride, n int) {
+	o0 := a.rowOwnOff()
+	o1 := o0 + len(a.LS[a.Own])
+	if a.flat != nil {
+		ls, ss := a.flat, a.SS
+		if a.uniform && stride == len(ss) {
+			// Uniform shape: the row index is the group index, so the
+			// own-group skip is a single hole in one fused LS/SS loop.
+			for r := 0; r < n; r++ {
+				row := rows[r*stride : (r+1)*stride]
+				for i, v := range row[:o0] {
+					ls[i] += v
+					ss[i] += v * v
+				}
+				for i := o1; i < stride; i++ {
+					v := row[i]
+					ls[i] += v
+					ss[i] += v * v
+				}
+			}
+			return
+		}
+		for r := 0; r < n; r++ {
+			row := rows[r*stride : (r+1)*stride]
+			g, end := 0, len(a.LS[0])
+			for i, v := range row {
+				for i >= end {
+					g++
+					end += len(a.LS[g])
+				}
+				if i >= o0 && i < o1 {
+					continue
+				}
+				ls[i] += v
+				ss[g] += v * v
+			}
+		}
+		return
+	}
+	for r := 0; r < n; r++ {
+		row := rows[r*stride : (r+1)*stride]
+		off := 0
+		for g, ls := range a.LS {
+			if g != a.Own {
+				seg := row[off : off+len(ls)]
+				for i, v := range seg {
+					ls[i] += v
+					a.SS[g] += v * v
+				}
+			}
+			off += len(ls)
+		}
+	}
+}
+
 // minDim returns the smallest group dimensionality of the shape (0 for an
 // empty shape).
 func minDim(s Shape) int {
@@ -345,6 +454,9 @@ func (a *ACF) Clone() *ACF {
 	}
 	off := 0
 	for g, ls := range a.LS {
+		if g == a.Own {
+			c.ownOff = off
+		}
 		c.LS[g] = flat[off : off+len(ls) : off+len(ls)]
 		copy(c.LS[g], ls)
 		off += len(ls)

@@ -505,6 +505,87 @@ func BenchmarkInternerKey(b *testing.B) {
 	}
 }
 
+// The split-row kernels must compose to exactly AddRow: AddRowOwn folds
+// the own group (plus N and histograms) eagerly, AddRows applies the
+// deferred cross-group sums of a whole run, and every float cell ends up
+// bit-identical to the fused per-row path — across flat uniform, flat
+// non-uniform and loose layouts, tracked groups included, and for run
+// lengths above one.
+func TestACFSplitRowMatchesAddRow(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		shape Shape
+		own   int
+	}{
+		{"non-uniform", Shape{2, 1, 3}, 1},
+		{"uniform", Shape{1, 1, 1, 1}, 2},
+		{"own-first", Shape{2, 2}, 0},
+		{"own-last", Shape{1, 2}, 1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(23))
+			track := make([]bool, len(tc.shape))
+			track[tc.own] = true
+			fused := NewACFTracked(tc.shape, tc.own, track)
+			split := NewACFTracked(tc.shape, tc.own, track)
+			loose := nonFlatACF(tc.shape, tc.own)
+			stride := tc.shape.Dims()
+			itF, itS := NewInterner(), NewInterner()
+			// Three runs of different lengths, each applied per-row to the
+			// fused ACF and own-then-batched to the split ones.
+			for _, run := range []int{1, 3, 5} {
+				rows := make([]float64, 0, run*stride)
+				for r := 0; r < run; r++ {
+					for _, p := range randProj(rng, tc.shape) {
+						rows = append(rows, p...)
+					}
+				}
+				for r := 0; r < run; r++ {
+					row := rows[r*stride : (r+1)*stride]
+					fused.AddRow(row, itF)
+					split.AddRowOwn(row, itS)
+					loose.AddRowOwn(row, nil)
+				}
+				split.AddRows(rows, stride, run)
+				loose.AddRows(rows, stride, run)
+			}
+			for _, got := range []*ACF{split, loose} {
+				if got.N != fused.N {
+					t.Fatalf("N = %d, want %d", got.N, fused.N)
+				}
+				for g := range tc.shape {
+					if got.SS[g] != fused.SS[g] {
+						t.Errorf("SS[%d] = %v, want %v", g, got.SS[g], fused.SS[g])
+					}
+					if !reflect.DeepEqual(got.LS[g], fused.LS[g]) {
+						t.Errorf("LS[%d] = %v, want %v", g, got.LS[g], fused.LS[g])
+					}
+				}
+			}
+			if !reflect.DeepEqual(split.NomCounts[tc.own], fused.NomCounts[tc.own]) {
+				t.Errorf("NomCounts = %v, want %v", split.NomCounts[tc.own], fused.NomCounts[tc.own])
+			}
+		})
+	}
+}
+
+// The batch kernel itself must not allocate: it walks the flat backing
+// in place.
+func TestACFAddRowsZeroAllocs(t *testing.T) {
+	shape := Shape{1, 1, 1, 1}
+	a := NewACF(shape, 1)
+	rows := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}
+	for i := 0; i < 3; i++ {
+		a.AddRowOwn(rows[i*4:(i+1)*4], nil)
+	}
+	if allocs := testing.AllocsPerRun(100, func() { a.AddRows(rows, 4, 3) }); allocs != 0 {
+		t.Errorf("AddRows allocates %v per run, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() { a.AddRowOwn(rows[:4], nil) }); allocs != 0 {
+		t.Errorf("AddRowOwn allocates %v per run, want 0", allocs)
+	}
+}
+
 func BenchmarkACFAddRow(b *testing.B) {
 	shape := sampleShape()
 	a := NewACF(shape, 0)
@@ -512,5 +593,22 @@ func BenchmarkACFAddRow(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		a.AddRow(row, nil)
+	}
+}
+
+// BenchmarkACFAddRows measures the batched cross-group kernel against
+// the per-row loop it replaces: one op is a 64-row run.
+func BenchmarkACFAddRows(b *testing.B) {
+	shape := Shape{1, 1, 1, 1, 1, 1, 1, 1, 1}
+	stride := shape.Dims()
+	const run = 64
+	rows := make([]float64, run*stride)
+	for i := range rows {
+		rows[i] = float64(i%97) * 0.5
+	}
+	a := NewACF(shape, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a.AddRows(rows, stride, run)
 	}
 }

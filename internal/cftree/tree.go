@@ -103,6 +103,7 @@ type Tree struct {
 	rebuilds   int
 	paged      int
 	seen       int64
+	work       int64
 	rebuilding bool
 
 	totalDims int   // Σ shape[g]
@@ -114,6 +115,7 @@ type Tree struct {
 	scratch    []float64  // reusable own-group centroid buffer
 	rowScratch []float64  // reusable flat projection row for Insert
 	path       []pathStep // reusable descent stack for insertTop
+	lastEntry  *cf.ACF    // leaf entry the latest payload landed in
 }
 
 // pathStep records one internal node of the descent and the child index
@@ -188,6 +190,13 @@ type payload struct {
 	acf *cf.ACF
 	p   []float64        // own-group vector guiding the descent
 	own distance.Summary // own-group summary for the admission test
+	// ownOnly defers the row's cross-group LS/SS sums: the target entry
+	// folds only its own group (cf.ACF.AddRowOwn) and InsertFlatBatch
+	// applies the rest per run through cf.ACF.AddRows. Descent, admission,
+	// splits and rebuild accounting read only own-group state and N, all
+	// maintained eagerly, so every decision is bit-identical to the fused
+	// per-row path.
+	ownOnly bool
 }
 
 // Insert adds one tuple to the tree. proj[g] must be the tuple's
@@ -232,6 +241,70 @@ func (t *Tree) InsertFlat(row []float64) {
 	t.enforceMemory()
 }
 
+// InsertFlatBatch adds n tuples given as consecutive flat projection rows
+// (rows holds n×stride floats, stride = the shape's total dims). It is
+// the pipeline's per-lane hot path: processing a whole batch against one
+// tree keeps that tree's nodes hot in cache, and the cross-group row
+// sums — which no placement decision ever reads — are deferred and
+// applied per *run* of consecutive tuples admitted into the same cluster
+// through the batched cf.ACF.AddRows kernel.
+//
+// Clustering is bit-identical to n InsertFlat calls: descent, admission,
+// splits and the rebuild schedule depend only on own-group sums, N and
+// the byte estimate, all maintained eagerly per row (AddRowOwn), and
+// each deferred float cell still receives the same additions in tuple
+// order. Pending run sums are flushed before any memory-pressure rebuild
+// so re-inserted and paged-out ACFs are always complete.
+func (t *Tree) InsertFlatBatch(rows []float64, n, stride int) {
+	if stride != t.totalDims {
+		panic(fmt.Sprintf("cftree: flat rows have stride %d, shape needs %d", stride, t.totalDims))
+	}
+	var run *cf.ACF
+	runStart := 0
+	for i := 0; i < n; i++ {
+		row := rows[i*stride : (i+1)*stride]
+		p := row[t.ownOff : t.ownOff+t.dims]
+		var ss float64
+		for _, v := range p {
+			ss += v * v
+		}
+		pl := payload{
+			row:     row,
+			p:       p,
+			own:     distance.Summary{N: 1, LS: p, SS: ss},
+			ownOnly: true,
+		}
+		t.insertTop(&pl)
+		t.seen++
+		if e := t.lastEntry; e != run {
+			if run != nil {
+				run.AddRows(rows[runStart*stride:i*stride], stride, i-runStart)
+			}
+			run, runStart = e, i
+		}
+		// Same per-insert budget check as InsertFlat/enforceMemory; the
+		// flush completes the pending cross-group sums before the rebuild
+		// re-inserts (or pages out) whole ACFs.
+		if t.cfg.MemoryLimit > 0 && t.bytes > t.cfg.MemoryLimit {
+			run.AddRows(rows[runStart*stride:(i+1)*stride], stride, i+1-runStart)
+			run, runStart = nil, i+1
+			t.enforceMemory()
+		}
+	}
+	if run != nil {
+		run.AddRows(rows[runStart*stride:n*stride], stride, n-runStart)
+	}
+	t.lastEntry = nil
+}
+
+// Work returns a deterministic estimate of the insertion work the tree
+// has performed: centroid comparisons × own-group dims accumulated over
+// every descent (rebuild re-inserts included) plus the row width per
+// tuple. It is a pure function of the data and configuration — no
+// clocks — so the pipeline can use it to balance trees across lanes
+// without perturbing determinism.
+func (t *Tree) Work() int64 { return t.work }
+
 // insertACF re-inserts a cluster summary (rebuilds and outlier
 // re-absorption).
 func (t *Tree) insertACF(a *cf.ACF) {
@@ -252,11 +325,13 @@ func (t *Tree) insertTop(pl *payload) {
 	t.path = t.path[:0]
 	for !nd.leaf {
 		addSummary(nd.summary, pl.own)
+		t.work += int64(len(nd.children)) * int64(t.dims)
 		i, _ := nd.closestChild(pl.p)
 		t.path = append(t.path, pathStep{nd, i})
 		nd = nd.children[i]
 	}
 	addSummary(nd.summary, pl.own)
+	t.work += int64(len(nd.entries))*int64(t.dims) + int64(t.totalDims)
 	left, right := t.insertLeaf(nd, pl)
 
 	for k := len(t.path) - 1; k >= 0; k-- {
@@ -307,6 +382,7 @@ func (t *Tree) insertLeaf(nd *node, pl *payload) (*node, *node) {
 			distance.MergedDiameterRaw(e.N, e.LS[e.Own], e.SS[e.Own],
 				pl.own.N, pl.own.LS, pl.own.SS) <= t.threshold {
 			t.mergeInto(e, pl)
+			t.lastEntry = e
 			nd.refreshEntryCent(i)
 			return nd, nil
 		}
@@ -318,8 +394,13 @@ func (t *Tree) insertLeaf(nd *node, pl *payload) (*node, *node) {
 		e = pl.acf
 	} else {
 		e = cf.NewACFTracked(t.shape, t.own, t.cfg.Track)
-		e.AddRow(pl.row, t.intern)
+		if pl.ownOnly {
+			e.AddRowOwn(pl.row, t.intern)
+		} else {
+			e.AddRow(pl.row, t.intern)
+		}
 	}
+	t.lastEntry = e
 	nd.entries = append(nd.entries, e)
 	nd.appendEntryCent()
 	t.numEntries++
@@ -333,6 +414,10 @@ func (t *Tree) insertLeaf(nd *node, pl *payload) (*node, *node) {
 func (t *Tree) mergeInto(e *cf.ACF, pl *payload) {
 	if pl.acf != nil {
 		e.Merge(pl.acf)
+		return
+	}
+	if pl.ownOnly {
+		e.AddRowOwn(pl.row, t.intern)
 		return
 	}
 	e.AddRow(pl.row, t.intern)

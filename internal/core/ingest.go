@@ -139,25 +139,41 @@ func (ing *ingester) add(tuple []float64) error {
 }
 
 // addSource scans an entire relation into the trees — one scan in every
-// mode, preserving the paper's single-scan IO property. With Workers <= 1
-// the caller projects each tuple once into a flat row and feeds all trees
-// inline. With more workers the scan becomes a batched pipeline
-// (ingestPipeline): the reader stage projects tuples into recycled
-// batches once, and per-lane tree workers consume the batches over
-// channels, each lane owning a deterministic stripe of the group trees —
-// every tree still sees every tuple in scan order, so the result is
-// bit-identical to the serial scan at any worker count.
+// mode, preserving the paper's single-scan IO property. Both paths run
+// tuples through the batched insert kernel (cftree.InsertFlatBatch),
+// which defers each tuple's cross-group sum updates into one contiguous
+// pass per same-cluster run. With Workers <= 1 the caller projects each
+// tuple once into a reused batch buffer and feeds all trees inline. With
+// more workers the scan becomes the load-balanced pipeline
+// (ingestPipeline): recycled batches fan out to per-lane tree workers,
+// lanes own deterministically assigned tree subsets, and spare workers
+// parallelize projection — every tree still sees every tuple in scan
+// order, so the result is bit-identical to the serial scan at any
+// worker count.
 func (ing *ingester) addSource(rel relation.Source) error {
 	if ing.opt.Workers <= 1 {
-		err := rel.Scan(func(_ int, tuple []float64) error {
-			ing.projectRow(tuple, ing.row)
+		stride := len(ing.row)
+		rows := make([]float64, batchTuples*stride)
+		n := 0
+		flush := func() {
 			for g := range ing.trees {
-				ing.trees[g].InsertFlat(ing.row)
+				ing.trees[g].InsertFlatBatch(rows, n, stride)
+			}
+			n = 0
+		}
+		err := rel.Scan(func(_ int, tuple []float64) error {
+			ing.projectRow(tuple, rows[n*stride:(n+1)*stride])
+			n++
+			if n == batchTuples {
+				flush()
 			}
 			return nil
 		})
 		if err != nil {
 			return fmt.Errorf("core: phase I scan: %w", err)
+		}
+		if n > 0 {
+			flush()
 		}
 		ing.seen += rel.Len()
 		return nil

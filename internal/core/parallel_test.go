@@ -1,12 +1,14 @@
 package core
 
 import (
+	"bytes"
 	"fmt"
 	"math/rand"
 	"reflect"
 	"testing"
 
 	"repro/internal/relation"
+	"repro/internal/summary"
 )
 
 // Parallel Phase I must be bit-identical to the serial single scan:
@@ -152,5 +154,166 @@ func TestWorkersValidation(t *testing.T) {
 	o.Workers = -1
 	if _, err := NewMiner(rel, relation.SingletonPartitioning(rel.Schema()), o); err == nil {
 		t.Error("negative Workers accepted")
+	}
+}
+
+// TestBalancedLanesMatchStripe pins the load-balanced lane assignment
+// against the fixed stripe it replaced: identical relations ingested at
+// Workers ∈ {1, 2, 4, 8} across several seeds, with balancing on and
+// forced off, must encode to byte-identical summaries. Lane assignment
+// only chooses WHERE a tree's inserts run, never what they are.
+func TestBalancedLanesMatchStripe(t *testing.T) {
+	for _, seed := range []int64{5, 23, 61} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			schema := relation.MustSchema(
+				relation.Attribute{Name: "Job", Kind: relation.Nominal},
+				relation.Attribute{Name: "a", Kind: relation.Interval},
+				relation.Attribute{Name: "b", Kind: relation.Interval},
+				relation.Attribute{Name: "c", Kind: relation.Interval},
+				relation.Attribute{Name: "d", Kind: relation.Interval},
+			)
+			rel := relation.NewRelation(schema)
+			dict := schema.Attr(0).Dict
+			jobs := []string{"DBA", "Mgr", "Dev", "Ops"}
+			for i := 0; i < 4000; i++ {
+				band := float64(rng.Intn(7))
+				rel.MustAppend([]float64{
+					dict.Code(jobs[rng.Intn(len(jobs))]),
+					band*40 + rng.NormFloat64(),
+					band*80 + 7 + rng.NormFloat64(),
+					float64(rng.Intn(4))*50 + rng.NormFloat64(),
+					rng.Float64() * 1000,
+				})
+			}
+			part := relation.SingletonPartitioning(schema)
+
+			encode := func(workers int, stripe bool) []byte {
+				disableLaneBalance = stripe
+				defer func() { disableLaneBalance = false }()
+				o := DefaultOptions()
+				o.DiameterThreshold = 5
+				o.FrequencyFraction = 0.02
+				o.Workers = workers
+				s, err := Ingest(rel, part, o)
+				if err != nil {
+					t.Fatalf("Ingest(workers=%d, stripe=%v): %v", workers, stripe, err)
+				}
+				data, err := summary.Encode(s)
+				if err != nil {
+					t.Fatalf("Encode: %v", err)
+				}
+				return data
+			}
+
+			want := encode(1, false)
+			for _, workers := range []int{2, 4, 8} {
+				if got := encode(workers, true); !bytes.Equal(want, got) {
+					t.Fatalf("workers=%d stripe: summary bytes diverged from serial", workers)
+				}
+				if got := encode(workers, false); !bytes.Equal(want, got) {
+					t.Fatalf("workers=%d balanced: summary bytes diverged from serial", workers)
+				}
+			}
+		})
+	}
+}
+
+// TestBalanceAssignment pins the LPT packing: deterministic, complete
+// (every tree on exactly one lane), ascending within lanes, and actually
+// balanced on a skewed cost vector where the stripe is pathological.
+func TestBalanceAssignment(t *testing.T) {
+	// LPT: 100 alone on one lane, 90+1+1+1+1=94 packed opposite.
+	costs := []int64{100, 1, 1, 90, 1, 1}
+	got := balanceAssignment(costs, 2)
+	want := [][]int{{0}, {1, 2, 3, 4, 5}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("balanceAssignment = %v, want %v", got, want)
+	}
+	// The worst stripe case: all heavy trees congruent mod lanes — the
+	// stripe would put all four 100s on lane 0 (400 vs 4); LPT splits
+	// them two and two.
+	costs = []int64{100, 1, 100, 1, 100, 1, 100, 1}
+	got = balanceAssignment(costs, 2)
+	seen := map[int]bool{}
+	var loads [2]int64
+	for l, lane := range got {
+		for i, g := range lane {
+			if seen[g] {
+				t.Fatalf("tree %d assigned twice: %v", g, got)
+			}
+			seen[g] = true
+			if i > 0 && lane[i-1] > g {
+				t.Fatalf("lane %d not ascending: %v", l, lane)
+			}
+			loads[l] += costs[g]
+		}
+	}
+	if len(seen) != len(costs) {
+		t.Fatalf("not all trees assigned: %v", got)
+	}
+	if loads[0] != loads[1] {
+		t.Errorf("LPT left skew on balanceable input: loads %v for %v", loads, got)
+	}
+	// Determinism: same input, same output.
+	if again := balanceAssignment(costs, 2); !reflect.DeepEqual(got, again) {
+		t.Errorf("balanceAssignment not deterministic: %v vs %v", got, again)
+	}
+}
+
+func TestStripeAssignment(t *testing.T) {
+	got := stripeAssignment(5, 2)
+	want := [][]int{{0, 2, 4}, {1, 3}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("stripeAssignment(5, 2) = %v, want %v", got, want)
+	}
+}
+
+// TestPipelineSteadyStateAllocs pins the recycled-batch design: once the
+// pool and lane goroutines exist, flushing more batches through the
+// pipeline allocates nothing. Each addSource call pays a fixed setup
+// cost (goroutines, channels, the batch pool), so the test measures the
+// MARGINAL allocations between a 16-batch and a 64-batch ingest of the
+// same repeated tuples — 48 extra batches must cost 0 allocations.
+func TestPipelineSteadyStateAllocs(t *testing.T) {
+	schema := relation.MustSchema(
+		relation.Attribute{Name: "a", Kind: relation.Interval},
+		relation.Attribute{Name: "b", Kind: relation.Interval},
+		relation.Attribute{Name: "c", Kind: relation.Interval},
+		relation.Attribute{Name: "d", Kind: relation.Interval},
+		relation.Attribute{Name: "e", Kind: relation.Interval},
+		relation.Attribute{Name: "f", Kind: relation.Interval},
+	)
+	mkRel := func(batches int) *relation.Relation {
+		rel := relation.NewRelation(schema)
+		for i := 0; i < batches*batchTuples; i++ {
+			v := float64(i%8) * 100
+			rel.MustAppend([]float64{v, v + 1, v + 2, v + 3, v + 4, v + 5})
+		}
+		return rel
+	}
+	rel16, rel64 := mkRel(16), mkRel(64)
+	part := relation.SingletonPartitioning(schema)
+	o := DefaultOptions()
+	o.DiameterThreshold = 5
+	o.Workers = 4
+
+	ing := newIngester(part, o, true, rel64.Len())
+	// Warm-up creates every cluster entry the repeated tuples ever need.
+	if err := ing.addSource(rel16); err != nil {
+		t.Fatal(err)
+	}
+	measure := func(rel *relation.Relation) float64 {
+		return testing.AllocsPerRun(5, func() {
+			if err := ing.addSource(rel); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	a16 := measure(rel16)
+	a64 := measure(rel64)
+	if delta := a64 - a16; delta > 0 {
+		t.Errorf("48 extra batches cost %.1f allocations (16-batch ingest: %.1f, 64-batch: %.1f); steady state must be 0-alloc",
+			delta, a16, a64)
 	}
 }

@@ -50,3 +50,33 @@ func serialIngest(rows [][]float64, insert func([]float64)) {
 		insert(r)
 	}
 }
+
+// pooledKernel is the load-balanced pipeline shape: recycled batch
+// arenas from a free pool, fanned out to lane workers that run a
+// batched insert kernel and recycle the arena when done. Exactly the
+// code that must live in the sanctioned worker-pool file — here every
+// spawn is flagged.
+func pooledKernel(lanes, pool int, insert func([]float64, int)) {
+	free := make(chan *batch, pool)
+	for i := 0; i < pool; i++ {
+		free <- &batch{rows: make([]float64, 256)}
+	}
+	chans := make([]chan *batch, lanes)
+	var wg sync.WaitGroup
+	for l := range chans {
+		chans[l] = make(chan *batch, 1)
+		wg.Add(1)
+		go func(ch <-chan *batch) { // want `raw goroutine outside the sanctioned worker pools`
+			defer wg.Done()
+			for b := range ch {
+				insert(b.rows, b.n)
+				free <- b
+			}
+		}(chans[l])
+	}
+	for b := range free {
+		for _, ch := range chans {
+			ch <- b
+		}
+	}
+}

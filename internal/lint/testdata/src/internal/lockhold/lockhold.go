@@ -148,3 +148,31 @@ func (w *wal) appendBootstrap(header []byte) error {
 	_, err := w.file.Write(header) //lint:allow lockhold one-time constructor write before the store is published to any reader
 	return err
 }
+
+// arenaPool wraps a free-list channel in a mutex — a belt-and-braces
+// instinct that convoys every producer and consumer on the lock while
+// the channel op blocks. The channel is already the synchronization.
+type arenaPool struct {
+	mu   sync.Mutex
+	free chan []float64
+}
+
+// get blocks on the pool receive with the mutex held: when the pool is
+// empty, every other get AND every put deadlocks behind mu. Flagged.
+func (p *arenaPool) get() []float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return <-p.free // want `channel receive while p.mu is held`
+}
+
+// put mirrors it on the send side. Flagged.
+func (p *arenaPool) put(b []float64) {
+	p.mu.Lock()
+	p.free <- b // want `channel send while p.mu is held`
+	p.mu.Unlock()
+}
+
+// getDirect is the sanctioned shape: the channel is the lock.
+func (p *arenaPool) getDirect() []float64 {
+	return <-p.free
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
 	"strconv"
 	"sync/atomic"
 	"time"
@@ -277,6 +278,10 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	// Absent workers means "use the machine": the parallel pipeline is
+	// bit-identical to serial at any worker count, so defaulting to all
+	// cores changes latency only. ?workers=1 still forces the serial path.
+	workers = runtime.GOMAXPROCS(0)
 	if v := r.URL.Query().Get("workers"); v != "" {
 		if workers, err = strconv.Atoi(v); err != nil {
 			s.writeError(w, http.StatusBadRequest, "bad workers %q: %v", v, err)

@@ -646,3 +646,25 @@ func TestCatalogPersistence(t *testing.T) {
 		t.Errorf("restarted server served different rules from the same artifact")
 	}
 }
+
+// TestIngestDefaultWorkers pins the ?workers= default: omitting the
+// parameter must use every core (GOMAXPROCS) rather than the serial
+// path, and — because the pipeline is bit-identical at any worker
+// count — produce exactly the bytes an explicit workers=1 ingest does.
+func TestIngestDefaultWorkers(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	csv := kitchenCSV()
+	postIngest(t, ts, "defaulted", "groups="+url.QueryEscape("Lat+Lon"), csv)
+	postIngest(t, ts, "serial", "workers=1&groups="+url.QueryEscape("Lat+Lon"), csv)
+	resp, def := postQuery(t, ts, "defaulted", `{}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status %d: %s", resp.StatusCode, def)
+	}
+	resp, ser := postQuery(t, ts, "serial", `{}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status %d: %s", resp.StatusCode, ser)
+	}
+	if got, want := string(stripDurations(def)), string(stripDurations(ser)); got != want {
+		t.Errorf("defaulted-workers ingest diverges from workers=1\ndefault:\n%s\nserial:\n%s", got, want)
+	}
+}
