@@ -18,7 +18,7 @@
 GO ?= go
 BIN := bin
 
-.PHONY: build test race fuzz fuzzsmoke querydiff bench benchjson benchgate fmtcheck vet lint lintjson lintbudget darlint serversmoke storagesmoke crashsuite verify
+.PHONY: build test race fuzz fuzzsmoke querydiff bench benchjson benchgate fmtcheck vet lint lintjson lintbudget darlint serversmoke storagesmoke clustersmoke crashsuite verify
 
 build:
 	$(GO) build ./...
@@ -125,6 +125,14 @@ serversmoke: build
 # and flat stores, each diffed again.
 storagesmoke: build
 	SMOKE_STORAGE_ONLY=1 ./scripts/server_smoke.sh
+
+# Cluster smoke over the real binaries: a darc coordinator sharding an
+# ingest across two dard workers, one of which is kill -9'd so the
+# dispatcher must mark it down and requeue mid-ingest; a second run
+# against a healthy pool must yield a byte-identical merged artifact
+# and query JSON (the cluster determinism contract, DESIGN.md §14).
+clustersmoke: build
+	./scripts/cluster_smoke.sh
 
 # The in-process crash-injection suite under the race detector: torn
 # WAL tails at tabulated byte offsets, crashes mid-compaction, debris

@@ -18,13 +18,13 @@ import (
 	"repro/internal/cf"
 	"repro/internal/cftree"
 	"repro/internal/classical"
-	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/counttree"
 	"repro/internal/datagen"
 	"repro/internal/experiments"
 	"repro/internal/graph"
 	"repro/internal/qar"
+	"repro/internal/refcluster"
 	"repro/internal/relation"
 )
 
@@ -396,7 +396,7 @@ func BenchmarkKMeans(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := cluster.KMeans(pts, 35, 50, 1); err != nil {
+		if _, err := refcluster.KMeans(pts, 35, 50, 1); err != nil {
 			b.Fatal(err)
 		}
 	}

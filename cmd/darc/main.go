@@ -1,0 +1,155 @@
+// Command darc runs the DAR cluster coordinator: a dard daemon with a
+// dispatch layer that shards big ingests across a pool of worker
+// dards, folds the shard summaries deterministically and serves the
+// merged result (see internal/cluster and DESIGN.md §14).
+//
+// Usage:
+//
+//	darc -addr :8345 -data /var/lib/darc \
+//	     -workers http://w1:8344,http://w2:8344 -replicate
+//
+// Every non-cluster route (catalog, query, merge, snapshot) is served
+// by the embedded dard; the process drains gracefully on
+// SIGINT/SIGTERM exactly like dard does.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/server"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("darc", flag.ExitOnError)
+	addr := fs.String("addr", ":8345", "listen address")
+	data := fs.String("data", "./darc-data", "data dir holding merged .acfsum artifacts")
+	workers := fs.String("workers", "", "comma-separated worker base URLs (required), e.g. http://w1:8344,http://w2:8344")
+	shards := fs.Int("shards", 0, "default shards per ingest (0 = one per worker; pin it for byte-identical ingests across pool sizes)")
+	maxAttempts := fs.Int("max-attempts", 0, "tries per shard before the ingest fails (0 = 3)")
+	shardTimeout := fs.Duration("shard-timeout", 0, "per-attempt shard budget (0 = 2m)")
+	backoff := fs.Duration("backoff", 0, "base requeue backoff (0 = 50ms)")
+	backoffCap := fs.Duration("backoff-cap", 0, "backoff ceiling (0 = 2s)")
+	healthInterval := fs.Duration("health-interval", 0, "health probe period for downed workers (0 = 1s)")
+	seed := fs.Int64("seed", 0, "backoff jitter seed (0 = fixed default)")
+	replicate := fs.Bool("replicate", false, "push every merged artifact to all healthy workers")
+	catalogBytes := fs.Int64("catalog-bytes", 0, "in-memory byte budget for loaded summaries (0 = 1GiB, <0 = unlimited)")
+	cacheBytes := fs.Int64("cache-bytes", 0, "result cache byte budget (0 = 64MiB, <0 = disabled)")
+	timeout := fs.Duration("timeout", 0, "per-query execution budget (0 = 30s)")
+	maxIngestBytes := fs.Int64("max-ingest-bytes", 0, "ingest/merge body limit (0 = 256MiB)")
+	storageKind := fs.String("storage", "flat", "storage backend: flat or segment")
+	drain := fs.Duration("drain", 15*time.Second, "graceful shutdown budget for in-flight requests")
+	fs.Parse(args)
+
+	logger := log.New(os.Stderr, "darc: ", log.LstdFlags)
+	pool := splitWorkers(*workers)
+	if len(pool) == 0 {
+		logger.Print("at least one -workers URL is required")
+		return 2
+	}
+
+	srv, notes, err := server.New(server.Config{
+		DataDir:        *data,
+		CatalogBytes:   *catalogBytes,
+		CacheBytes:     *cacheBytes,
+		QueryTimeout:   *timeout,
+		MaxIngestBytes: *maxIngestBytes,
+		Storage:        *storageKind,
+	})
+	if err != nil {
+		logger.Print(err)
+		return 1
+	}
+	defer func() {
+		if err := srv.Close(); err != nil {
+			logger.Printf("closing storage: %v", err)
+		}
+	}()
+	for _, n := range notes {
+		logger.Print(n)
+	}
+
+	coord, err := cluster.New(cluster.Config{
+		Workers:        pool,
+		Shards:         *shards,
+		MaxAttempts:    *maxAttempts,
+		ShardTimeout:   *shardTimeout,
+		BackoffBase:    *backoff,
+		BackoffCap:     *backoffCap,
+		HealthInterval: *healthInterval,
+		Seed:           *seed,
+		Replicate:      *replicate,
+		MaxIngestBytes: *maxIngestBytes,
+	}, srv)
+	if err != nil {
+		logger.Print(err)
+		return 1
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Print(err)
+		return 1
+	}
+	httpSrv := &http.Server{
+		Handler:           coord.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	// The smoke script greps for this line to learn the bound port.
+	logger.Printf("listening on %s (data dir %s, %d workers)", ln.Addr(), *data, len(pool))
+
+	// Background prober marks recovered workers back up between
+	// ingests; it stops when the drain begins.
+	probeCtx, stopProbes := context.WithCancel(context.Background())
+	defer stopProbes()
+	go coord.Run(probeCtx)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		logger.Print(err)
+		return 1
+	case sig := <-stop:
+		logger.Printf("caught %v, draining for up to %v", sig, *drain)
+		stopProbes()
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			logger.Printf("drain incomplete: %v", err)
+			return 1
+		}
+	}
+	fmt.Fprintln(os.Stderr, "darc: bye")
+	return 0
+}
+
+// splitWorkers parses the -workers list, dropping empty entries.
+func splitWorkers(spec string) []string {
+	var out []string
+	for _, w := range strings.Split(spec, ",") {
+		if w = strings.TrimSpace(w); w != "" {
+			out = append(out, w)
+		}
+	}
+	return out
+}

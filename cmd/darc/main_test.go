@@ -1,0 +1,28 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSplitWorkers(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want []string
+	}{
+		{"", nil},
+		{" , ,", nil},
+		{"http://a:1", []string{"http://a:1"}},
+		{"http://a:1, http://b:2 ,", []string{"http://a:1", "http://b:2"}},
+	} {
+		if got := splitWorkers(tc.in); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("splitWorkers(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestRunRequiresWorkers(t *testing.T) {
+	if got := run([]string{"-addr", "127.0.0.1:0", "-data", t.TempDir()}); got != 2 {
+		t.Errorf("run without -workers = %d, want exit 2", got)
+	}
+}

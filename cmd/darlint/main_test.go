@@ -86,6 +86,7 @@ func TestJSONGolden(t *testing.T) {
 	for _, name := range []string{
 		"maporder", "nondeterm", "rawgoroutine", "atomicmix",
 		"keycoverage", "errwrap", "ctxflow", "lockhold", "wgbalance",
+		"retrybound",
 	} {
 		if !fired[name] {
 			t.Errorf("analyzer %s produced no finding over the fixture module", name)
@@ -152,6 +153,7 @@ func TestBudgetModes(t *testing.T) {
 		for _, name := range []string{
 			"maporder", "nondeterm", "rawgoroutine", "atomicmix",
 			"keycoverage", "errwrap", "ctxflow", "lockhold", "wgbalance",
+			"retrybound",
 		} {
 			doc[name] = 0
 		}
@@ -248,8 +250,8 @@ func TestSelectAnalyzers(t *testing.T) {
 	if err != nil {
 		t.Fatalf("-skip: %v", err)
 	}
-	if len(got) != 8 {
-		t.Errorf("-skip keycoverage: %d analyzers, want 8 (%v)", len(got), got)
+	if len(got) != 9 {
+		t.Errorf("-skip keycoverage: %d analyzers, want 9 (%v)", len(got), got)
 	}
 	for _, name := range got {
 		if name == "keycoverage" {

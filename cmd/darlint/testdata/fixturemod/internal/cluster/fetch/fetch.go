@@ -1,0 +1,15 @@
+// Package fetch carries the retrybound fixture case: a worker poll
+// loop whose only pacing is an uncancellable sleep.
+package fetch
+
+import "time"
+
+// Poll retries forever with no attempt cap and no ctx.Done escape.
+func Poll(ping func() error) {
+	for {
+		if ping() == nil {
+			return
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}

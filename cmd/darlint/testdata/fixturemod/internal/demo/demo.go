@@ -1,5 +1,6 @@
 // Package demo is the darlint golden-test fixture: one deliberate
-// violation per analyzer (ctxflow lives in ../server). The golden
+// violation per analyzer (ctxflow lives in ../server, retrybound in
+// ../cluster/fetch). The golden
 // findings document pins darlint's -json output byte-for-byte, so any
 // edit here must regenerate it (go test ./cmd/darlint -update).
 package demo

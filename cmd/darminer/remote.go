@@ -2,19 +2,21 @@
 // a running dard server (cmd/dard) for the rules of a catalog summary
 // instead of decoding a local .acfsum file. The server renders exactly
 // the bytes the local path would, so -json output is interchangeable
-// between the two modes.
+// between the two modes. The HTTP plumbing lives in pkg/client — the
+// same typed client the darc cluster coordinator dispatches shards
+// through.
 package main
 
 import (
-	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
-	"net/http"
 	"net/url"
-	"strings"
+	"os"
 
 	"repro/internal/core"
+	"repro/pkg/client"
 )
 
 // remoteQueryBody mirrors the server's query request document.
@@ -52,44 +54,20 @@ func remoteBody(cfg queryConfig) ([]byte, error) {
 	})
 }
 
-// postJSON POSTs a query-options body and returns the response payload,
-// turning non-200 answers into errors carrying the server's message.
-func postJSON(u *url.URL, body []byte) ([]byte, *http.Response, error) {
-	resp, err := http.Post(u.String(), "application/json", bytes.NewReader(body))
+// newRemoteClient validates the -addr flag into a typed client.
+func newRemoteClient(addr string) (*client.Client, error) {
+	c, err := client.New(addr)
 	if err != nil {
-		return nil, nil, err
-	}
-	defer resp.Body.Close()
-	payload, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return nil, nil, err
-	}
-	if resp.StatusCode != http.StatusOK {
-		var e struct {
-			Error string `json:"error"`
-		}
-		if json.Unmarshal(payload, &e) == nil && e.Error != "" {
-			return nil, nil, fmt.Errorf("server: %s (status %d)", e.Error, resp.StatusCode)
-		}
-		return nil, nil, fmt.Errorf("server: status %d: %s", resp.StatusCode, strings.TrimSpace(string(payload)))
-	}
-	return payload, resp, nil
-}
-
-// parseBase validates the -addr flag.
-func parseBase(addr string) (*url.URL, error) {
-	base, err := url.Parse(addr)
-	if err != nil || base.Scheme == "" || base.Host == "" {
 		return nil, fmt.Errorf("-addr %q is not a base URL like http://host:8344", addr)
 	}
-	return base, nil
+	return c, nil
 }
 
 // runRemoteQuery POSTs the query to addr's catalog and prints the
 // result: verbatim JSON with -json (byte-identical to the local path,
 // wall-clock lines aside), a rule listing otherwise.
 func runRemoteQuery(w io.Writer, addr, name string, cfg queryConfig) error {
-	base, err := parseBase(addr)
+	c, err := newRemoteClient(addr)
 	if err != nil {
 		return err
 	}
@@ -97,8 +75,7 @@ func runRemoteQuery(w io.Writer, addr, name string, cfg queryConfig) error {
 	if err != nil {
 		return err
 	}
-	u := base.JoinPath("/v1/summaries/" + url.PathEscape(name) + "/query")
-	payload, resp, err := postJSON(u, body)
+	payload, meta, err := c.QueryJSON(context.Background(), name, body)
 	if err != nil {
 		return err
 	}
@@ -111,9 +88,9 @@ func runRemoteQuery(w io.Writer, addr, name string, cfg queryConfig) error {
 	if err := json.Unmarshal(payload, &doc); err != nil {
 		return fmt.Errorf("parsing server response: %w", err)
 	}
+	base, _ := url.Parse(c.Base())
 	fmt.Fprintf(w, "summary %q on %s: %d tuples (version %s, cache %s)\n",
-		name, base.Host, doc.Tuples,
-		resp.Header.Get("X-Dard-Summary-Version"), resp.Header.Get("X-Dard-Cache"))
+		name, base.Host, doc.Tuples, meta.Version, meta.Cache)
 	fmt.Fprintf(w, "phase II: %d cliques, %d rules\n", doc.PhaseII.Cliques, len(doc.Rules))
 	for _, p := range doc.Sweep {
 		fmt.Fprintf(w, "sweep degree<=%g: %d rules\n", p.Factor, p.Rules)
@@ -132,7 +109,7 @@ func runRemoteQuery(w io.Writer, addr, name string, cfg queryConfig) error {
 // verbatim JSON with -json (byte-identical to the local two-file path
 // over the same data), the printDiff listing otherwise.
 func runRemoteDiff(w io.Writer, addr, oldName, newName string, cfg queryConfig) error {
-	base, err := parseBase(addr)
+	c, err := newRemoteClient(addr)
 	if err != nil {
 		return err
 	}
@@ -140,8 +117,7 @@ func runRemoteDiff(w io.Writer, addr, oldName, newName string, cfg queryConfig) 
 	if err != nil {
 		return err
 	}
-	u := base.JoinPath("/v1/summaries/" + url.PathEscape(oldName) + "/diff/" + url.PathEscape(newName))
-	payload, _, err := postJSON(u, body)
+	payload, err := c.DiffJSON(context.Background(), oldName, newName, body)
 	if err != nil {
 		return err
 	}
@@ -154,5 +130,27 @@ func runRemoteDiff(w io.Writer, addr, oldName, newName string, cfg queryConfig) 
 		return fmt.Errorf("parsing server response: %w", err)
 	}
 	printDiff(w, oldName, newName, d)
+	return nil
+}
+
+// runClusterIngest ships a CSV to a darc coordinator, which shards it
+// across the worker pool and installs the merged summary under name.
+func runClusterIngest(w io.Writer, addr, name, path string, cfg ingestConfig) error {
+	c, err := newRemoteClient(addr)
+	if err != nil {
+		return err
+	}
+	csv, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	res, err := c.ClusterIngest(context.Background(), name, csv, client.IngestOptions{
+		D0: cfg.d0, Memory: cfg.memory, Workers: cfg.workers, Groups: cfg.groups,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "cluster-ingested %d tuples into %d groups (%d clusters) as %q version %d (%d bytes)\n",
+		res.Tuples, res.Groups, res.Clusters, res.Name, res.Version, res.Bytes)
 	return nil
 }

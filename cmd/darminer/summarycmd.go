@@ -36,6 +36,10 @@ type ingestConfig struct {
 	out        string
 	cpuprofile string
 	memprofile string
+	// cluster, when set, ships the CSV to a darc coordinator instead of
+	// ingesting locally; name is then the catalog name to install under.
+	cluster string
+	name    string
 }
 
 // queryConfig carries the `query` (and `diff`) flag values.
@@ -128,11 +132,25 @@ func ingestMain(args []string) int {
 	fs.StringVar(&cfg.out, "o", "", "output summary path (default: input with .acfsum extension)")
 	fs.StringVar(&cfg.cpuprofile, "cpuprofile", "", "write a CPU profile of the ingest to this file")
 	fs.StringVar(&cfg.memprofile, "memprofile", "", "write a heap profile taken after the ingest to this file")
+	fs.StringVar(&cfg.cluster, "cluster", "", "base URL of a darc coordinator (e.g. http://localhost:8345); the ingest is sharded across its workers and installed under -name")
+	fs.StringVar(&cfg.name, "name", "", "catalog name to install under on the coordinator (required with -cluster)")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: darminer ingest [flags] data.csv")
+		fmt.Fprintln(os.Stderr, "       darminer ingest [flags] -cluster http://host:8345 -name summary-name data.csv")
 		fs.PrintDefaults()
 		return 2
+	}
+	if cfg.cluster != "" {
+		if cfg.name == "" {
+			fmt.Fprintln(os.Stderr, "darminer ingest: -cluster needs -name")
+			return 2
+		}
+		if err := runClusterIngest(os.Stdout, cfg.cluster, cfg.name, fs.Arg(0), cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "darminer ingest:", err)
+			return 1
+		}
+		return 0
 	}
 	stop, err := startProfiles(cfg.cpuprofile, cfg.memprofile)
 	if err != nil {

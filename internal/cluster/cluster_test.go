@@ -1,242 +1,634 @@
 package cluster
 
 import (
-	"math"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
 	"testing"
-	"testing/quick"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/relation"
+	"repro/internal/server"
+	"repro/internal/summary"
+	"repro/pkg/client"
 )
 
-func threeBlobs(rng *rand.Rand, perBlob int) ([][]float64, [][]float64) {
-	centers := [][]float64{{0, 0}, {50, 0}, {0, 50}}
-	var pts [][]float64
-	for _, c := range centers {
-		for i := 0; i < perBlob; i++ {
-			pts = append(pts, []float64{c[0] + rng.NormFloat64(), c[1] + rng.NormFloat64()})
-		}
+// testCSV generates a seeded mixed nominal/interval dataset — the
+// cluster differential fixtures.
+func testCSV(seed int64, rows int) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	segs := []string{"urban", "suburb", "rural"}
+	var b bytes.Buffer
+	b.WriteString("Segment:nominal,Lat:interval,Lon:interval,Spend:interval\n")
+	for i := 0; i < rows; i++ {
+		fmt.Fprintf(&b, "%s,%.4f,%.4f,%.2f\n",
+			segs[rng.Intn(len(segs))],
+			40+rng.Float64()*2, -75+rng.Float64()*2, 20+rng.Float64()*80)
 	}
-	return pts, centers
+	return b.Bytes()
 }
 
-func TestKMeansRecoversBlobs(t *testing.T) {
-	rng := rand.New(rand.NewSource(1))
-	pts, centers := threeBlobs(rng, 60)
-	res, err := KMeans(pts, 3, 100, 1)
+// newDard spins up one in-process dard worker.
+func newDard(t *testing.T) (*server.Server, *httptest.Server) {
+	t.Helper()
+	srv, _, err := server.New(server.Config{DataDir: t.TempDir()})
 	if err != nil {
-		t.Fatalf("KMeans: %v", err)
+		t.Fatalf("server.New: %v", err)
 	}
-	if len(res.Centroids) != 3 {
-		t.Fatalf("centroids = %d", len(res.Centroids))
-	}
-	// Every true center must be approximated by some centroid.
-	for _, c := range centers {
-		best := math.MaxFloat64
-		for _, got := range res.Centroids {
-			if d := math.Sqrt(sqDist(c, got)); d < best {
-				best = d
-			}
-		}
-		if best > 1 {
-			t.Errorf("no centroid near %v (closest at distance %v)", c, best)
-		}
-	}
-	total := 0
-	for _, s := range res.Sizes {
-		total += s
-		if s != 60 {
-			t.Errorf("cluster size = %d, want 60", s)
-		}
-	}
-	if total != len(pts) {
-		t.Errorf("sizes sum to %d", total)
-	}
-	if res.SSE <= 0 || res.Iterations < 1 {
-		t.Errorf("result = %+v", res)
-	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return srv, ts
 }
 
-func TestKMeansValidation(t *testing.T) {
-	if _, err := KMeans(nil, 1, 10, 1); err == nil {
-		t.Error("empty points accepted")
-	}
-	pts := [][]float64{{1}, {2}}
-	if _, err := KMeans(pts, 0, 10, 1); err == nil {
-		t.Error("k=0 accepted")
-	}
-	if _, err := KMeans(pts, 3, 10, 1); err == nil {
-		t.Error("k>n accepted")
-	}
-	if _, err := KMeans([][]float64{{1}, {2, 3}}, 1, 10, 1); err == nil {
-		t.Error("ragged points accepted")
-	}
-}
-
-func TestKMeansKEqualsN(t *testing.T) {
-	pts := [][]float64{{0}, {10}, {20}}
-	res, err := KMeans(pts, 3, 50, 1)
+// newCoordinator builds a coordinator over fresh local state and the
+// given worker URLs, with test-friendly (fast) failure timings.
+func newCoordinator(t *testing.T, addrs []string, mutate func(*Config)) (*Coordinator, string) {
+	t.Helper()
+	dataDir := t.TempDir()
+	local, _, err := server.New(server.Config{DataDir: dataDir})
 	if err != nil {
-		t.Fatalf("KMeans: %v", err)
+		t.Fatalf("server.New(local): %v", err)
 	}
-	if res.SSE > 1e-9 {
-		t.Errorf("k=n SSE = %v, want 0", res.SSE)
+	t.Cleanup(func() { local.Close() })
+	cfg := Config{
+		Workers:        addrs,
+		MaxAttempts:    3,
+		ShardTimeout:   30 * time.Second,
+		BackoffBase:    time.Millisecond,
+		BackoffCap:     5 * time.Millisecond,
+		HealthInterval: 5 * time.Millisecond,
+		ProbeTimeout:   time.Second,
+		ProbeBudget:    2,
+		Seed:           42,
 	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	coord, err := New(cfg, local)
+	if err != nil {
+		t.Fatalf("cluster.New: %v", err)
+	}
+	return coord, dataDir
 }
 
-func TestKMeansDeterministic(t *testing.T) {
-	rng := rand.New(rand.NewSource(2))
-	pts, _ := threeBlobs(rng, 30)
-	a, err := KMeans(pts, 3, 100, 7)
+// readArtifact loads the merged .acfsum the flat backend persisted.
+func readArtifact(t *testing.T, dataDir, name string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join(dataDir, name+".acfsum"))
 	if err != nil {
-		t.Fatal(err)
+		t.Fatalf("reading merged artifact: %v", err)
 	}
-	b, _ := KMeans(pts, 3, 100, 7)
-	if a.SSE != b.SSE || a.Iterations != b.Iterations {
-		t.Errorf("same-seed runs differ: %v vs %v", a.SSE, b.SSE)
-	}
+	return b
 }
 
-// k-means SSE never increases with k (on the same seed family, the
-// optimum is monotone; verify weakly via k=1 vs best-of-seeds k=2).
-func TestKMeansSSEMonotonicityWeak(t *testing.T) {
-	rng := rand.New(rand.NewSource(3))
-	pts, _ := threeBlobs(rng, 20)
-	one, err := KMeans(pts, 1, 100, 1)
+// localReference computes the coordinator's contract result without
+// any HTTP: plan the same shards, run Phase I per shard under the same
+// pinned thresholds, fold with MergeAll in shard order.
+func localReference(t *testing.T, csv []byte, groups string, shards int, name string) []byte {
+	t.Helper()
+	rel, err := relation.ReadCSV(bytes.NewReader(csv))
 	if err != nil {
-		t.Fatal(err)
+		t.Fatalf("ReadCSV: %v", err)
 	}
-	best := math.MaxFloat64
-	for seed := int64(1); seed <= 5; seed++ {
-		r, err := KMeans(pts, 2, 100, seed)
+	part, err := relation.ParseGroupsSpec(rel.Schema(), groups)
+	if err != nil {
+		t.Fatalf("ParseGroupsSpec: %v", err)
+	}
+	d0s, err := core.SuggestThresholds(rel, part, core.AdvisorOptions{})
+	if err != nil {
+		t.Fatalf("SuggestThresholds: %v", err)
+	}
+	plan, err := planShards(rel, shards)
+	if err != nil {
+		t.Fatalf("planShards: %v", err)
+	}
+	sums := make([]*summary.Summary, len(plan))
+	ids := make([]string, len(plan))
+	for i, shardCSV := range plan {
+		srel, err := relation.ReadCSV(bytes.NewReader(shardCSV))
 		if err != nil {
-			t.Fatal(err)
+			t.Fatalf("shard ReadCSV: %v", err)
 		}
-		if r.SSE < best {
-			best = r.SSE
-		}
-	}
-	if best >= one.SSE {
-		t.Errorf("k=2 SSE %v not below k=1 SSE %v", best, one.SSE)
-	}
-}
-
-// Assignment is consistent: each point's centroid is its nearest.
-func TestKMeansAssignmentConsistencyProperty(t *testing.T) {
-	f := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
-		n := rng.Intn(50) + 5
-		k := rng.Intn(4) + 1
-		pts := make([][]float64, n)
-		for i := range pts {
-			pts[i] = []float64{rng.Float64() * 100, rng.Float64() * 100}
-		}
-		res, err := KMeans(pts, k, 100, seed)
+		spart, err := relation.ParseGroupsSpec(srel.Schema(), groups)
 		if err != nil {
-			return false
+			t.Fatalf("shard ParseGroupsSpec: %v", err)
 		}
-		for i, p := range pts {
-			d := sqDist(p, res.Centroids[res.Assign[i]])
-			for _, c := range res.Centroids {
-				if sqDist(p, c) < d-1e-9 {
-					return false
-				}
-			}
-		}
-		return true
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
-		t.Error(err)
-	}
-}
-
-func TestAgglomerativeBlobs(t *testing.T) {
-	rng := rand.New(rand.NewSource(4))
-	pts, _ := threeBlobs(rng, 15)
-	res, err := Agglomerative(pts, 10)
-	if err != nil {
-		t.Fatalf("Agglomerative: %v", err)
-	}
-	if len(res.Clusters) != 3 {
-		t.Fatalf("clusters = %d, want 3", len(res.Clusters))
-	}
-	for _, c := range res.Clusters {
-		if len(c) != 15 {
-			t.Errorf("cluster size = %d, want 15", len(c))
-		}
-	}
-	if res.Merges != len(pts)-3 {
-		t.Errorf("merges = %d", res.Merges)
-	}
-}
-
-func TestAgglomerativeThresholdZero(t *testing.T) {
-	pts := [][]float64{{0}, {1}, {2}}
-	res, err := Agglomerative(pts, 0)
-	if err != nil {
-		t.Fatalf("Agglomerative: %v", err)
-	}
-	if len(res.Clusters) != 3 {
-		t.Errorf("threshold 0 merged distinct points: %v", res.Clusters)
-	}
-	// Duplicates do merge at threshold 0.
-	res, _ = Agglomerative([][]float64{{5}, {5}, {9}}, 0)
-	if len(res.Clusters) != 2 {
-		t.Errorf("duplicates not merged: %v", res.Clusters)
-	}
-}
-
-func TestAgglomerativeValidation(t *testing.T) {
-	if _, err := Agglomerative(nil, 1); err == nil {
-		t.Error("empty points accepted")
-	}
-	if _, err := Agglomerative([][]float64{{1}}, -1); err == nil {
-		t.Error("negative threshold accepted")
-	}
-	if _, err := Agglomerative([][]float64{{1}, {2, 3}}, 1); err == nil {
-		t.Error("ragged points accepted")
-	}
-}
-
-// Every point lands in exactly one cluster.
-func TestAgglomerativePartitionProperty(t *testing.T) {
-	f := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
-		n := rng.Intn(30) + 1
-		pts := make([][]float64, n)
-		for i := range pts {
-			pts[i] = []float64{float64(rng.Intn(5)) * 10}
-		}
-		res, err := Agglomerative(pts, rng.Float64()*20)
+		opt := core.DefaultOptions()
+		// Zero the scalar: a recorded nominal-group D0 falls back to
+		// it, and the cluster protocol runs shards with d0 unset.
+		opt.DiameterThreshold = 0
+		opt.DiameterThresholds = d0s
+		sum, err := core.Ingest(srel, spart, opt)
 		if err != nil {
-			return false
+			t.Fatalf("shard Ingest: %v", err)
 		}
-		seen := make([]bool, n)
-		for _, c := range res.Clusters {
-			for _, i := range c {
-				if seen[i] {
-					return false
-				}
-				seen[i] = true
-			}
-		}
-		for _, ok := range seen {
-			if !ok {
-				return false
-			}
-		}
-		return true
+		sums[i] = sum
+		ids[i] = shardID(name, i)
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
-		t.Error(err)
+	merged, err := summary.MergeAll(sums, ids)
+	if err != nil {
+		t.Fatalf("MergeAll: %v", err)
+	}
+	encoded, err := summary.Encode(merged)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	return encoded
+}
+
+// stripVolatile drops the wall-clock and artifact-size lines from a
+// query JSON document: durations differ run to run, and a merged
+// summary's recorded byte size legitimately differs from a single-pass
+// one (shard counts and rebuild totals sum under Merge). Everything
+// else — every rule, measure, cluster and bound — must match exactly.
+func stripVolatile(b []byte) []byte {
+	lines := strings.Split(string(b), "\n")
+	out := lines[:0]
+	for _, l := range lines {
+		if strings.Contains(l, `"durationMs"`) || strings.Contains(l, `"bytes"`) {
+			continue
+		}
+		out = append(out, l)
+	}
+	return []byte(strings.Join(out, "\n"))
+}
+
+// postQuery runs a query through an http.Handler without a listener.
+func postQuery(t *testing.T, h http.Handler, name, body string) (*http.Response, []byte) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/v1/summaries/"+name+"/query", strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	resp := rec.Result()
+	payload, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp, payload
+}
+
+// TestDifferentialWorkerCounts is the cluster determinism contract:
+// for three seeds, a coordinator-sharded ingest over 1, 2 and 4
+// workers produces byte-identical merged artifacts — equal to the
+// no-HTTP shard+MergeAll reference — and byte-identical query JSON
+// (modulo wall-clock lines), no matter the pool size or scheduling.
+//
+// The merged summary is a pure function of (data, thresholds, shard
+// plan). It is NOT the single-pass summary once the plan has more than
+// one shard: ACF additivity (Thm 5.2) makes the merged statistics
+// exact, but cluster boundaries reflect where Phase I saw the rows, so
+// a 4-shard fold carries finer clusters than one pass over everything.
+// TestSingleShardMatchesSingleNode pins the plan-granularity boundary:
+// with one shard the cluster output IS the single-node output.
+func TestDifferentialWorkerCounts(t *testing.T) {
+	const shards, rows = 4, 240
+	const groups = "Lat+Lon"
+	for _, seed := range []int64{1, 7, 99} {
+		csv := testCSV(seed, rows)
+		want := localReference(t, csv, groups, shards, "diff")
+
+		var firstQuery []byte
+		for _, workers := range []int{1, 2, 4} {
+			addrs := make([]string, workers)
+			for i := range addrs {
+				_, ts := newDard(t)
+				addrs[i] = ts.URL
+			}
+			coord, dataDir := newCoordinator(t, addrs, nil)
+			rep, err := coord.IngestCSV(context.Background(), "diff", csv,
+				client.IngestOptions{Groups: groups, Shards: shards})
+			if err != nil {
+				t.Fatalf("seed %d workers %d: IngestCSV: %v", seed, workers, err)
+			}
+			if rep.Shards != shards || rep.Tuples != rows {
+				t.Errorf("seed %d workers %d: report %+v, want %d shards %d tuples", seed, workers, rep, shards, rows)
+			}
+			got := readArtifact(t, dataDir, "diff")
+			if !bytes.Equal(got, want) {
+				t.Errorf("seed %d workers %d: merged artifact differs from the shard+MergeAll reference (%d vs %d bytes)",
+					seed, workers, len(got), len(want))
+			}
+			qresp, clusterQuery := postQuery(t, coord.Handler(), "diff", "{}")
+			if qresp.StatusCode != http.StatusOK {
+				t.Fatalf("seed %d workers %d: query status %d: %s", seed, workers, qresp.StatusCode, clusterQuery)
+			}
+			if firstQuery == nil {
+				firstQuery = clusterQuery
+			} else if !bytes.Equal(stripVolatile(clusterQuery), stripVolatile(firstQuery)) {
+				t.Errorf("seed %d workers %d: query JSON differs from the 1-worker run", seed, workers)
+			}
+		}
 	}
 }
 
-func TestCentroid(t *testing.T) {
-	pts := [][]float64{{0, 0}, {2, 4}, {100, 100}}
-	got := Centroid(pts, []int{0, 1})
-	if got[0] != 1 || got[1] != 2 {
-		t.Errorf("Centroid = %v", got)
+// TestSingleShardMatchesSingleNode pins the boundary of the contract
+// above: a cluster ingest planned as ONE shard is byte-identical to a
+// plain single-node dard ingest — same artifact, same query JSON
+// (modulo wall-clock lines). Granularity differences only ever come
+// from the shard plan, never from the cluster machinery itself.
+func TestSingleShardMatchesSingleNode(t *testing.T) {
+	const groups = "Lat+Lon"
+	csv := testCSV(7, 240)
+
+	// Single-node reference through the full HTTP stack.
+	_, single := newDard(t)
+	resp, err := http.Post(single.URL+"/v1/ingest?name=one&groups="+url.QueryEscape(groups), "text/csv", bytes.NewReader(csv))
+	if err != nil {
+		t.Fatalf("single-node ingest: %v", err)
 	}
-	if Centroid(pts, nil) != nil {
-		t.Error("empty members should return nil")
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("single-node ingest status %d", resp.StatusCode)
+	}
+	sresp, err := http.Post(single.URL+"/v1/summaries/one/query", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatalf("single-node query: %v", err)
+	}
+	singleQuery, _ := io.ReadAll(sresp.Body)
+	sresp.Body.Close()
+
+	_, ts := newDard(t)
+	coord, dataDir := newCoordinator(t, []string{ts.URL}, nil)
+	if _, err := coord.IngestCSV(context.Background(), "one", csv,
+		client.IngestOptions{Groups: groups, Shards: 1}); err != nil {
+		t.Fatalf("IngestCSV: %v", err)
+	}
+	if got, want := readArtifact(t, dataDir, "one"), localReference(t, csv, groups, 1, "one"); !bytes.Equal(got, want) {
+		t.Errorf("single-shard artifact differs from the direct full-relation ingest (%d vs %d bytes)", len(got), len(want))
+	}
+	qresp, clusterQuery := postQuery(t, coord.Handler(), "one", "{}")
+	if qresp.StatusCode != http.StatusOK {
+		t.Fatalf("cluster query status %d: %s", qresp.StatusCode, clusterQuery)
+	}
+	if !bytes.Equal(stripVolatile(clusterQuery), stripVolatile(singleQuery)) {
+		t.Error("single-shard cluster query JSON differs from single-node dard")
+	}
+}
+
+// flakyWorker wraps a dard handler and dies on the first shard
+// request: the connection is aborted mid-flight and every subsequent
+// request (health probes included) is aborted too — a worker crash.
+type flakyWorker struct {
+	inner http.Handler
+	dead  atomic.Bool
+}
+
+func (f *flakyWorker) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/v1/ingest/shard" {
+		f.dead.Store(true)
+	}
+	if f.dead.Load() {
+		panic(http.ErrAbortHandler)
+	}
+	f.inner.ServeHTTP(w, r)
+}
+
+// TestRequeueAfterWorkerDeath kills a worker on its first shard and
+// requires the ingest to finish anyway — shards requeued onto the
+// surviving worker, merged artifact still byte-identical to the
+// reference — with the markdown and requeue visible in the metrics.
+func TestRequeueAfterWorkerDeath(t *testing.T) {
+	const shards = 4
+	csv := testCSV(7, 240)
+	want := localReference(t, csv, "Lat+Lon", shards, "kill")
+
+	srv, _, err := server.New(server.Config{DataDir: t.TempDir()})
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
+	defer srv.Close()
+	killed := httptest.NewServer(&flakyWorker{inner: srv.Handler()})
+	defer killed.Close()
+	_, healthy := newDard(t)
+
+	coord, dataDir := newCoordinator(t, []string{killed.URL, healthy.URL}, nil)
+	rep, err := coord.IngestCSV(context.Background(), "kill", csv,
+		client.IngestOptions{Groups: "Lat+Lon", Shards: shards})
+	if err != nil {
+		t.Fatalf("IngestCSV with a dying worker: %v", err)
+	}
+	if rep.Retries == 0 {
+		t.Error("report shows no retries despite a worker death")
+	}
+	got := readArtifact(t, dataDir, "kill")
+	if !bytes.Equal(got, want) {
+		t.Errorf("artifact after requeue differs from the reference (%d vs %d bytes)", len(got), len(want))
+	}
+	m := coord.Metrics()
+	if m.ShardsRequeued.Load() < 1 {
+		t.Errorf("ShardsRequeued = %d, want >= 1", m.ShardsRequeued.Load())
+	}
+	if m.WorkerMarkdowns.Load() < 1 {
+		t.Errorf("WorkerMarkdowns = %d, want >= 1", m.WorkerMarkdowns.Load())
+	}
+}
+
+// TestPartialFailurePolicy: with every worker dead the ingest must
+// fail outright and install nothing — never a silently short merge.
+func TestPartialFailurePolicy(t *testing.T) {
+	dead1 := httptest.NewServer(http.NewServeMux())
+	dead2 := httptest.NewServer(http.NewServeMux())
+	dead1.Close()
+	dead2.Close()
+
+	coord, _ := newCoordinator(t, []string{dead1.URL, dead2.URL}, nil)
+	_, err := coord.IngestCSV(context.Background(), "doomed", testCSV(1, 40),
+		client.IngestOptions{Groups: "Lat+Lon", Shards: 2})
+	if err == nil {
+		t.Fatal("ingest with no live workers succeeded")
+	}
+	if coord.Local().HasSummary("doomed") {
+		t.Error("a failed ingest left a summary in the local catalog")
+	}
+	if got := coord.Metrics().IngestFailures.Load(); got != 1 {
+		t.Errorf("IngestFailures = %d, want 1", got)
+	}
+}
+
+// TestShardRejectionAborts: a worker answering 4xx means the shard
+// itself is bad — the ingest aborts without retrying it anywhere.
+func TestShardRejectionAborts(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, `{"status":"ok"}`)
+	})
+	mux.HandleFunc("POST /v1/ingest/shard", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadRequest)
+		io.WriteString(w, `{"error":"synthetic rejection"}`)
+	})
+	rejecter := httptest.NewServer(mux)
+	defer rejecter.Close()
+
+	coord, _ := newCoordinator(t, []string{rejecter.URL}, nil)
+	_, err := coord.IngestCSV(context.Background(), "rejected", testCSV(1, 40),
+		client.IngestOptions{Groups: "Lat+Lon", Shards: 2})
+	if err == nil {
+		t.Fatal("ingest with a rejecting worker succeeded")
+	}
+	if !strings.Contains(err.Error(), "synthetic rejection") {
+		t.Errorf("error %q does not carry the worker's message", err)
+	}
+	if got := coord.Metrics().ShardsRetried.Load(); got != 0 {
+		t.Errorf("ShardsRetried = %d, want 0 (4xx must not retry)", got)
+	}
+}
+
+// TestPlanDeterminism pins the shard plan as a pure function of
+// (rows, want): stable bytes, contiguous coverage, row order intact.
+func TestPlanDeterminism(t *testing.T) {
+	csv := testCSV(3, 100)
+	rel, err := relation.ReadCSV(bytes.NewReader(csv))
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	a, err := planShards(rel, 4)
+	if err != nil {
+		t.Fatalf("planShards: %v", err)
+	}
+	b, err := planShards(rel, 4)
+	if err != nil {
+		t.Fatalf("planShards: %v", err)
+	}
+	if len(a) != 4 {
+		t.Fatalf("plan has %d shards, want 4", len(a))
+	}
+	for i := range a {
+		if !bytes.Equal(a[i], b[i]) {
+			t.Errorf("shard %d differs between two plans of the same relation", i)
+		}
+	}
+	// Concatenating the shards' rows reproduces the relation.
+	var rows []string
+	for _, shard := range a {
+		lines := strings.Split(strings.TrimSpace(string(shard)), "\n")
+		rows = append(rows, lines[1:]...)
+	}
+	if len(rows) != rel.Len() {
+		t.Errorf("plan covers %d rows, want %d", len(rows), rel.Len())
+	}
+	// More shards than rows clamps to one row per shard.
+	tiny, err := planShards(rel, 1000)
+	if err != nil {
+		t.Fatalf("planShards(1000): %v", err)
+	}
+	if len(tiny) != rel.Len() {
+		t.Errorf("oversharded plan has %d shards, want %d", len(tiny), rel.Len())
+	}
+	empty := relation.NewRelation(rel.Schema())
+	if _, err := planShards(empty, 2); err == nil {
+		t.Error("planning an empty relation succeeded")
+	}
+}
+
+// TestBackoffBoundsAndSeed pins the backoff envelope (positive, capped)
+// and its reproducibility: same seed, same jitter schedule.
+func TestBackoffBoundsAndSeed(t *testing.T) {
+	_, ts := newDard(t)
+	mk := func() *Coordinator {
+		c, _ := newCoordinator(t, []string{ts.URL}, func(cfg *Config) {
+			cfg.BackoffBase = 10 * time.Millisecond
+			cfg.BackoffCap = 80 * time.Millisecond
+			cfg.Seed = 7
+		})
+		return c
+	}
+	c1, c2 := mk(), mk()
+	for attempt := 1; attempt <= 10; attempt++ {
+		d1 := c1.backoffFor(attempt)
+		if d1 <= 0 || d1 > 80*time.Millisecond {
+			t.Errorf("attempt %d: backoff %v outside (0, cap]", attempt, d1)
+		}
+		if ceil := 10 * time.Millisecond << (attempt - 1); time.Duration(ceil) < 80*time.Millisecond && d1 > ceil {
+			t.Errorf("attempt %d: backoff %v exceeds exponential ceiling %v", attempt, d1, ceil)
+		}
+		if d2 := c2.backoffFor(attempt); d1 != d2 {
+			t.Errorf("attempt %d: same seed drew %v vs %v", attempt, d1, d2)
+		}
+	}
+}
+
+// TestReplicationAndFanout: with Replicate on, the merged artifact
+// lands on every worker, the coordinator serves local queries, and a
+// summary present only on workers is served by fan-out.
+func TestReplicationAndFanout(t *testing.T) {
+	w1srv, w1 := newDard(t)
+	w2srv, w2 := newDard(t)
+	coord, _ := newCoordinator(t, []string{w1.URL, w2.URL}, func(cfg *Config) {
+		cfg.Replicate = true
+	})
+	csv := testCSV(5, 120)
+	rep, err := coord.IngestCSV(context.Background(), "repl", csv,
+		client.IngestOptions{Groups: "Lat+Lon", Shards: 2})
+	if err != nil {
+		t.Fatalf("IngestCSV: %v", err)
+	}
+	if rep.Replicas != 2 {
+		t.Errorf("Replicas = %d, want 2", rep.Replicas)
+	}
+	if !w1srv.HasSummary("repl") || !w2srv.HasSummary("repl") {
+		t.Fatal("replication did not install the artifact on both workers")
+	}
+
+	// A summary only the workers hold is served by fan-out with the
+	// worker attribution header.
+	cl, err := client.New(w2.URL)
+	if err != nil {
+		t.Fatalf("client.New: %v", err)
+	}
+	if _, err := cl.Ingest(context.Background(), "remote", testCSV(9, 60), client.IngestOptions{Groups: "Lat+Lon"}); err != nil {
+		t.Fatalf("worker-direct ingest: %v", err)
+	}
+	h := coord.Handler()
+	resp, payload := postQuery(t, h, "remote", "{}")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fan-out query status %d: %s", resp.StatusCode, payload)
+	}
+	if resp.Header.Get("X-Darc-Worker") == "" {
+		t.Error("fan-out response missing X-Darc-Worker attribution")
+	}
+	direct, _, err := cl.QueryJSON(context.Background(), "remote", []byte("{}"))
+	if err != nil {
+		t.Fatalf("direct worker query: %v", err)
+	}
+	if !bytes.Equal(stripVolatile(payload), stripVolatile(direct)) {
+		t.Error("fan-out response differs from the worker's own answer")
+	}
+	if coord.Metrics().FanoutQueries.Load() == 0 {
+		t.Error("FanoutQueries not counted")
+	}
+
+	// Unknown everywhere → 404 after visiting the replicas.
+	resp, payload = postQuery(t, h, "nosuch", "{}")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("query for unknown summary: status %d: %s", resp.StatusCode, payload)
+	}
+	if coord.Metrics().FanoutMisses.Load() == 0 {
+		t.Error("FanoutMisses not counted")
+	}
+	_ = w1srv
+}
+
+// TestWorkersEndpoint pins the pool-membership document.
+func TestWorkersEndpoint(t *testing.T) {
+	_, w1 := newDard(t)
+	_, w2 := newDard(t)
+	coord, _ := newCoordinator(t, []string{w1.URL, w2.URL}, nil)
+
+	req := httptest.NewRequest(http.MethodGet, "/v1/cluster/workers", nil)
+	rec := httptest.NewRecorder()
+	coord.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.Bytes())
+	}
+	var rows []workerInfo
+	if err := json.Unmarshal(rec.Body.Bytes(), &rows); err != nil {
+		t.Fatalf("decoding workers: %v", err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d workers listed, want 2", len(rows))
+	}
+	for i, row := range rows {
+		if row.ID != i || !row.Healthy {
+			t.Errorf("row %d = %+v, want ID %d healthy", i, row, i)
+		}
+	}
+}
+
+// TestMetricsEnvelope: darc's /metrics is one flat JSON object of
+// integers carrying both the embedded server's keys and every
+// cluster_* key.
+func TestMetricsEnvelope(t *testing.T) {
+	_, w1 := newDard(t)
+	coord, _ := newCoordinator(t, []string{w1.URL}, nil)
+	if _, err := coord.IngestCSV(context.Background(), "m", testCSV(2, 60),
+		client.IngestOptions{Groups: "Lat+Lon", Shards: 2}); err != nil {
+		t.Fatalf("IngestCSV: %v", err)
+	}
+
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	rec := httptest.NewRecorder()
+	coord.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var snap map[string]int64
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("metrics document is not flat string→int64 JSON: %v", err)
+	}
+	for _, key := range []string{
+		"cluster_ingests_total", "cluster_ingest_failures_total",
+		"cluster_shards_dispatched_total", "cluster_shards_retried_total",
+		"cluster_shards_requeued_total", "cluster_worker_markdowns_total",
+		"cluster_worker_markups_total", "cluster_probe_failures_total",
+		"cluster_fanout_queries_total", "cluster_fanout_misses_total",
+		"cluster_fanout_errors_total", "cluster_replica_pushes_total",
+		"cluster_replica_push_failures_total", "cluster_shard_us_sum",
+		"cluster_merge_us_sum", "cluster_workers_total", "cluster_workers_healthy",
+		// And the embedded server's keys ride along.
+		"ingest_requests_total", "shard_ingest_requests_total", "catalog_summaries",
+	} {
+		if _, ok := snap[key]; !ok {
+			t.Errorf("metrics document missing %q", key)
+		}
+	}
+	if snap["cluster_ingests_total"] != 1 {
+		t.Errorf("cluster_ingests_total = %d, want 1", snap["cluster_ingests_total"])
+	}
+	if snap["cluster_shards_dispatched_total"] != 2 {
+		t.Errorf("cluster_shards_dispatched_total = %d, want 2", snap["cluster_shards_dispatched_total"])
+	}
+	if snap["cluster_workers_total"] != 1 || snap["cluster_workers_healthy"] != 1 {
+		t.Errorf("worker gauges = %d/%d, want 1/1",
+			snap["cluster_workers_healthy"], snap["cluster_workers_total"])
+	}
+}
+
+// TestProbeRecovery: a worker that fails once and comes back is marked
+// down, probed, marked up and reused within one ingest.
+func TestProbeRecovery(t *testing.T) {
+	srv, _, err := server.New(server.Config{DataDir: t.TempDir()})
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
+	defer srv.Close()
+	inner := srv.Handler()
+	var failOnce atomic.Bool
+	failOnce.Store(true)
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/ingest/shard" && failOnce.CompareAndSwap(true, false) {
+			panic(http.ErrAbortHandler)
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer flaky.Close()
+
+	coord, dataDir := newCoordinator(t, []string{flaky.URL}, nil)
+	csv := testCSV(11, 120)
+	if _, err := coord.IngestCSV(context.Background(), "flaky", csv,
+		client.IngestOptions{Groups: "Lat+Lon", Shards: 3}); err != nil {
+		t.Fatalf("IngestCSV over a once-flaky worker: %v", err)
+	}
+	want := localReference(t, csv, "Lat+Lon", 3, "flaky")
+	if got := readArtifact(t, dataDir, "flaky"); !bytes.Equal(got, want) {
+		t.Error("artifact after probe recovery differs from the reference")
+	}
+	m := coord.Metrics()
+	if m.WorkerMarkdowns.Load() != 1 || m.WorkerMarkups.Load() != 1 {
+		t.Errorf("markdowns/markups = %d/%d, want 1/1",
+			m.WorkerMarkdowns.Load(), m.WorkerMarkups.Load())
 	}
 }

@@ -1,0 +1,63 @@
+package cluster
+
+import "sync/atomic"
+
+// Metrics is the coordinator's observability surface, merged into the
+// embedded server's /metrics document under cluster_* keys. Everything
+// here is telemetry: the duration sums are fed by the sanctioned
+// start/Since idiom and none of these values influence mined rules.
+type Metrics struct {
+	// Ingest outcomes.
+	Ingests        atomic.Int64
+	IngestFailures atomic.Int64
+
+	// Shard scheduling. Dispatched counts every attempt handed to a
+	// worker; Retried the attempts beyond a shard's first; Requeued the
+	// retries that landed on a different worker than the failed attempt.
+	ShardsDispatched atomic.Int64
+	ShardsRetried    atomic.Int64
+	ShardsRequeued   atomic.Int64
+
+	// Worker health transitions and probe outcomes.
+	WorkerMarkdowns atomic.Int64
+	WorkerMarkups   atomic.Int64
+	ProbeFailures   atomic.Int64
+
+	// Query fan-out: requests routed to replicas, workers answering
+	// 404, and transport-level failures along the way.
+	FanoutQueries atomic.Int64
+	FanoutMisses  atomic.Int64
+	FanoutErrors  atomic.Int64
+
+	// Replication pushes of merged artifacts.
+	ReplicaPushes       atomic.Int64
+	ReplicaPushFailures atomic.Int64
+
+	// Wall-clock telemetry (µs): shard round-trips and MergeAll folds.
+	ShardUsSum atomic.Int64
+	MergeUsSum atomic.Int64
+}
+
+// snapshot flattens the counters plus the point-in-time worker gauges
+// into the cluster_* key space.
+func (m *Metrics) snapshot(workersTotal, workersHealthy int) map[string]int64 {
+	return map[string]int64{
+		"cluster_ingests_total":               m.Ingests.Load(),
+		"cluster_ingest_failures_total":       m.IngestFailures.Load(),
+		"cluster_shards_dispatched_total":     m.ShardsDispatched.Load(),
+		"cluster_shards_retried_total":        m.ShardsRetried.Load(),
+		"cluster_shards_requeued_total":       m.ShardsRequeued.Load(),
+		"cluster_worker_markdowns_total":      m.WorkerMarkdowns.Load(),
+		"cluster_worker_markups_total":        m.WorkerMarkups.Load(),
+		"cluster_probe_failures_total":        m.ProbeFailures.Load(),
+		"cluster_fanout_queries_total":        m.FanoutQueries.Load(),
+		"cluster_fanout_misses_total":         m.FanoutMisses.Load(),
+		"cluster_fanout_errors_total":         m.FanoutErrors.Load(),
+		"cluster_replica_pushes_total":        m.ReplicaPushes.Load(),
+		"cluster_replica_push_failures_total": m.ReplicaPushFailures.Load(),
+		"cluster_shard_us_sum":                m.ShardUsSum.Load(),
+		"cluster_merge_us_sum":                m.MergeUsSum.Load(),
+		"cluster_workers_total":               int64(workersTotal),
+		"cluster_workers_healthy":             int64(workersHealthy),
+	}
+}

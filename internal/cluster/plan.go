@@ -1,0 +1,57 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/relation"
+)
+
+// planShards splits a relation into at most want contiguous row-range
+// shards and renders each back to annotated-header CSV for the wire.
+// Contiguous ranges (not striping) keep the plan a pure function of
+// (rows, want): the shard a row lands in never depends on worker count
+// or scheduling, which the plan-determinism test pins.
+//
+// Rows per shard is the ceiling of rows/want, so the actual shard
+// count can come out below want for small relations (9 rows into 4
+// shards is 3+3+3); every shard is non-empty by construction.
+func planShards(rel *relation.Relation, want int) ([][]byte, error) {
+	rows := rel.Len()
+	if rows == 0 {
+		return nil, fmt.Errorf("cluster: relation has no rows to shard")
+	}
+	if want < 1 {
+		want = 1
+	}
+	if want > rows {
+		want = rows
+	}
+	per := (rows + want - 1) / want
+	var shards [][]byte
+	for start := 0; start < rows; start += per {
+		end := start + per
+		if end > rows {
+			end = rows
+		}
+		sub := relation.NewRelation(rel.Schema())
+		for i := start; i < end; i++ {
+			if err := sub.Append(rel.Tuple(i)); err != nil {
+				return nil, fmt.Errorf("cluster: planning shard rows %d..%d: %w", start, end-1, err)
+			}
+		}
+		var buf bytes.Buffer
+		if err := relation.WriteCSV(&buf, sub); err != nil {
+			return nil, fmt.Errorf("cluster: rendering shard rows %d..%d: %w", start, end-1, err)
+		}
+		shards = append(shards, buf.Bytes())
+	}
+	return shards, nil
+}
+
+// shardID names shard i of summary name for merge provenance — the ID
+// summary.MergeAll reports when a fold conflicts, and the duplicate
+// key that proves a requeued shard cannot be folded twice.
+func shardID(name string, i int) string {
+	return fmt.Sprintf("%s/shard-%04d", name, i)
+}

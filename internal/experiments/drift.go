@@ -5,9 +5,9 @@ import (
 	"io"
 	"math"
 
-	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/datagen"
+	"repro/internal/refcluster"
 	"repro/internal/relation"
 )
 
@@ -78,7 +78,7 @@ func RunDrift(scales []int, seed int64) (*DriftResult, error) {
 			// and irrelevant mass alike), so k is the attribute's full
 			// center count, and each frequent Phase I centroid is scored
 			// against its nearest reference centroid.
-			km, err := cluster.KMeans(pts, cfg.CentersPerAttr, 50, seed)
+			km, err := refcluster.KMeans(pts, cfg.CentersPerAttr, 50, seed)
 			if err != nil {
 				return nil, fmt.Errorf("experiments: drift kmeans (attr %d): %w", attr, err)
 			}

@@ -2,7 +2,7 @@
 // that mechanically enforce the miner's determinism, concurrency and
 // serving invariants (bit-identical DAR output at any worker count; a
 // serving layer that cannot silently corrupt its cache keys, error
-// surface or latency profile). The nine analyzers are
+// surface or latency profile). The ten analyzers are
 //
 //   - maporder:     map iteration feeding ordered output without a sort
 //   - nondeterm:    time.Now / global math/rand / os.Getenv in result paths
@@ -18,6 +18,9 @@
 //     or RWMutex is held (the catalog/cache deadlock-latency shape)
 //   - wgbalance:    sync.WaitGroup Add inside the spawned goroutine, or
 //     Done not deferred (Wait races or deadlocks)
+//   - retrybound:   time.Sleep inside an unbounded loop in the cluster
+//     coordinator (retries must be capped timers selected against
+//     ctx.Done, never an uncancellable busy-wait)
 //
 // A finding can be suppressed with a `//lint:allow <analyzer> [reason]`
 // comment on the offending line or the line directly above it; the
@@ -49,6 +52,7 @@ var Analyzers = []*analysis.Analyzer{
 	CtxFlowAnalyzer,
 	LockHoldAnalyzer,
 	WGBalanceAnalyzer,
+	RetryBoundAnalyzer,
 }
 
 const (

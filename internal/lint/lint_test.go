@@ -62,3 +62,10 @@ func TestLockHold(t *testing.T) {
 func TestWGBalance(t *testing.T) {
 	linttest.Run(t, "testdata", lint.WGBalanceAnalyzer, "internal/wgbalance")
 }
+
+func TestRetryBound(t *testing.T) {
+	linttest.Run(t, "testdata", lint.RetryBoundAnalyzer,
+		"internal/cluster/retry", // positives, counted/range/timer negatives, escape hatch
+		"internal/clusterjobs",   // negative: path boundary keeps it out of scope
+	)
+}

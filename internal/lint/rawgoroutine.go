@@ -49,7 +49,7 @@ func init() {
 		`(^|/)internal/`,
 		"regexp of package import paths the analyzer applies to")
 	RawGoroutineAnalyzer.Flags.StringVar(&rawGoroutineSanction, "sanction",
-		"internal/core/parallel.go,internal/graph,internal/server,internal/storage",
+		"internal/core/parallel.go,internal/graph,internal/server,internal/storage,internal/cluster",
 		"comma-separated package or file suffixes where goroutines are sanctioned")
 }
 

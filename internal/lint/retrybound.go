@@ -1,0 +1,106 @@
+package lint
+
+import (
+	"go/ast"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// RetryBoundAnalyzer flags time.Sleep inside an unbounded loop — the
+// classic runaway-retry shape. The cluster coordinator's dispatch and
+// probe loops must stay cancellable and leak-free: a bare
+// `for { ...; time.Sleep(d) }` ignores context cancellation, holds its
+// goroutine through shutdown, and turns a dead worker into an eternal
+// busy-wait. The sanctioned delay shape is a time.NewTimer (or
+// time.After) selected against ctx.Done, with attempts capped by the
+// scheduler (see internal/cluster's `later` helper and backoffFor).
+//
+// A loop counts as bounded when it is a range loop or a full
+// three-clause `for init; cond; post` counted loop. `for {}` and
+// `for cond {}` are treated as unbounded: the condition alone proves
+// nothing about progress, and every real retry loop in this repo that
+// looked like that was missing its attempt cap. The walk stops at
+// function-literal boundaries — a sleep inside a goroutine body is
+// judged against that body's own loops, not the spawner's.
+//
+// A deliberate, provably-terminating sleep can carry
+// `//lint:allow retrybound <why>`.
+var RetryBoundAnalyzer = &analysis.Analyzer{
+	Name:     "retrybound",
+	Doc:      "flags time.Sleep inside unbounded loops (retries must be capped timers selected against ctx.Done)",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runRetryBound,
+}
+
+var retryBoundScope string
+
+func init() {
+	RetryBoundAnalyzer.Flags.StringVar(&retryBoundScope, "scope",
+		`(^|/)internal/cluster(/|$)`,
+		"regexp of package import paths the analyzer applies to")
+}
+
+func runRetryBound(pass *analysis.Pass) (interface{}, error) {
+	if !compileScope(retryBoundScope)(pkgPath(pass)) {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	dirs := newDirectives(pass)
+
+	ins.WithStack([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push || isTestFile(pass, n.Pos()) {
+			return true
+		}
+		call := n.(*ast.CallExpr)
+		if path, name, ok := pkgFunc(pass, call); !ok || path != "time" || name != "Sleep" {
+			return true
+		}
+		loop, ok := innermostLoop(stack)
+		if !ok || boundedLoop(loop) {
+			return true
+		}
+		report(pass, dirs, "retrybound", call.Pos(),
+			"time.Sleep inside an unbounded %s loop: uncancellable busy-wait; cap the attempts and delay with a timer selected against ctx.Done", loopKind(loop))
+		return true
+	})
+	return nil, nil
+}
+
+// innermostLoop returns the nearest enclosing for/range statement of
+// the node at the top of stack, not crossing a function-literal
+// boundary (a sleep inside a closure belongs to the closure's loops).
+func innermostLoop(stack []ast.Node) (ast.Stmt, bool) {
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch n := stack[i].(type) {
+		case *ast.FuncLit, *ast.FuncDecl:
+			return nil, false
+		case *ast.ForStmt:
+			return n, true
+		case *ast.RangeStmt:
+			return n, true
+		}
+	}
+	return nil, false
+}
+
+// boundedLoop reports whether the loop's iteration count is evidently
+// finite: a range loop, or a counted loop with all three clauses.
+func boundedLoop(loop ast.Stmt) bool {
+	switch l := loop.(type) {
+	case *ast.RangeStmt:
+		return true
+	case *ast.ForStmt:
+		return l.Init != nil && l.Cond != nil && l.Post != nil
+	}
+	return false
+}
+
+// loopKind names the loop shape for the report.
+func loopKind(loop ast.Stmt) string {
+	if f, ok := loop.(*ast.ForStmt); ok && f.Cond == nil {
+		return "for {}"
+	}
+	return "for cond {}"
+}

@@ -18,6 +18,7 @@ func TestSuiteComposition(t *testing.T) {
 	want := []string{
 		"maporder", "nondeterm", "rawgoroutine", "atomicmix",
 		"keycoverage", "errwrap", "ctxflow", "lockhold", "wgbalance",
+		"retrybound",
 	}
 	if got := lint.AnalyzerNames(); !reflect.DeepEqual(got, want) {
 		t.Errorf("lint.Analyzers = %v, want %v", got, want)

@@ -1,0 +1,100 @@
+// Package retry is the retrybound fixture: sleeps inside unbounded
+// loops are flagged; counted loops, range loops, timer-select delays
+// and allow-suppressed lines are not.
+package retry
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+var errDown = errors.New("down")
+
+// SpinForever is the canonical violation: an infinite loop whose only
+// pacing is a sleep.
+func SpinForever(ping func() error) {
+	for {
+		if ping() == nil {
+			return
+		}
+		time.Sleep(50 * time.Millisecond) // want `time.Sleep inside an unbounded for \{\} loop`
+	}
+}
+
+// RetryUntilNil has a condition, but the condition proves nothing
+// about progress — still unbounded.
+func RetryUntilNil(ping func() error) {
+	err := errDown
+	for err != nil {
+		err = ping()
+		time.Sleep(time.Millisecond) // want `time.Sleep inside an unbounded for cond \{\} loop`
+	}
+}
+
+// CappedRetry is the sanctioned counted shape: three clauses bound the
+// attempts, so the sleep is finite.
+func CappedRetry(ping func() error) error {
+	var err error
+	for attempt := 0; attempt < 3; attempt++ {
+		if err = ping(); err == nil {
+			return nil
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return err
+}
+
+// DrainAll ranges over a finite slice; the per-item pause is bounded
+// by the collection.
+func DrainAll(delays []time.Duration) {
+	for _, d := range delays {
+		time.Sleep(d)
+	}
+}
+
+// WaitCancellable is the shape the analyzer pushes toward: the delay
+// is a timer selected against ctx.Done, so shutdown interrupts it.
+func WaitCancellable(ctx context.Context, ping func() error) error {
+	for {
+		if ping() == nil {
+			return nil
+		}
+		t := time.NewTimer(50 * time.Millisecond)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// BlessedSpin demonstrates the escape hatch for a loop whose bound
+// lives outside the syntax.
+func BlessedSpin(done func() bool) {
+	for !done() {
+		time.Sleep(time.Millisecond) //lint:allow retrybound done() flips within two ticks by construction
+	}
+}
+
+// SpawnPerItem shows the function-literal boundary: the sleep sits in
+// a closure with no loop of its own, so the outer range loop does not
+// condemn it.
+func SpawnPerItem(items []int, run func(func())) {
+	for range items {
+		run(func() {
+			time.Sleep(time.Millisecond)
+		})
+	}
+}
+
+// ClosureSpin is the inverse: the closure carries its own unbounded
+// loop, judged on its own.
+func ClosureSpin(run func(func())) {
+	run(func() {
+		for {
+			time.Sleep(time.Millisecond) // want `time.Sleep inside an unbounded for \{\} loop`
+		}
+	})
+}

@@ -1,0 +1,16 @@
+// Package clusterjobs sits OUTSIDE the retrybound scope — the path
+// does not match `(^|/)internal/cluster(/|$)` (no path boundary after
+// "cluster") — so its unbounded sleep loop draws no finding.
+package clusterjobs
+
+import "time"
+
+// Spin would be a retrybound violation inside internal/cluster.
+func Spin(done func() bool) {
+	for {
+		if done() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,4 +1,4 @@
-package cluster
+package refcluster
 
 import (
 	"fmt"

@@ -1,4 +1,4 @@
-// Package cluster provides reference (offline, non-adaptive) clustering
+// Package refcluster provides reference (offline, non-adaptive) clustering
 // algorithms: Lloyd's k-means with k-means++ seeding and average-linkage
 // agglomerative clustering. The paper formalizes "good clusters" as "a
 // set of K clusters that minimize a given distance metric" [KR90, EKX95,
@@ -7,7 +7,7 @@
 // centroid of the clusters due to the use of a non-optimal clustering
 // strategy" (Section 7.2). These implementations are the yardstick for
 // that comparison (experiment E13) and a general substrate for tests.
-package cluster
+package refcluster
 
 import (
 	"fmt"

@@ -7,6 +7,8 @@
 //	POST /v1/ingest?name=N[&d0=…&memory=…&workers=…&groups=…]   CSV body → stored summary
 //	                (workers defaults to all cores; results are
 //	                bit-identical at any worker count)
+//	POST /v1/ingest/shard?d0s=…[&memory=…&workers=…&groups=…]   CSV shard → .acfsum bytes (stateless; see shard.go)
+//	PUT  /v1/summaries/{name}                                   .acfsum body → installed artifact
 //	POST /v1/summaries/{name}/merge                             .acfsum shard body → merged artifact
 //	POST /v1/summaries/{name}/query                             JSON options → rules
 //	POST /v1/summaries/{name}/diff/{other}                      JSON options → rule diff name → other

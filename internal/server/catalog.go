@@ -35,6 +35,13 @@ type catalog struct {
 	entries     map[string]*catalogEntry
 	loadedBytes int64
 	clock       uint64 // LRU tick; bumped on every use
+
+	// rmw serializes read-modify-write cycles (modify) per name, so two
+	// concurrent merges into one summary cannot both fold against the
+	// same base and lose a shard. Entries are never removed: the map is
+	// bounded by the set of names ever modified.
+	rmwMu sync.Mutex
+	rmw   map[string]*sync.Mutex
 }
 
 // catalogEntry is one named artifact.
@@ -194,6 +201,48 @@ func (c *catalog) get(name string) (*summary.Summary, uint64, error) {
 		c.mu.Unlock()
 		return sum, version, nil
 	}
+}
+
+// nameLock returns the read-modify-write mutex for one name.
+func (c *catalog) nameLock(name string) *sync.Mutex {
+	c.rmwMu.Lock()
+	defer c.rmwMu.Unlock()
+	if c.rmw == nil {
+		c.rmw = make(map[string]*sync.Mutex)
+	}
+	l, ok := c.rmw[name]
+	if !ok {
+		l = &sync.Mutex{}
+		c.rmw[name] = l
+	}
+	return l
+}
+
+// modify runs one read-modify-write cycle against the named entry,
+// serialized per name: fn sees the current summary and returns its
+// replacement plus the encoding to persist. Without this lock two
+// concurrent merges would both load version v, each fold its own shard,
+// and the second put would silently drop the first shard's tuples —
+// the classic lost update. Cross-name cycles still run concurrently,
+// and plain get/put/version callers are never blocked by an in-flight
+// modify of another name.
+func (c *catalog) modify(name string, fn func(base *summary.Summary) (*summary.Summary, []byte, error)) (*summary.Summary, uint64, error) {
+	lock := c.nameLock(name)
+	lock.Lock()
+	defer lock.Unlock()
+	base, _, err := c.get(name)
+	if err != nil {
+		return nil, 0, err
+	}
+	next, encoded, err := fn(base)
+	if err != nil {
+		return nil, 0, err
+	}
+	version, err := c.put(name, next, encoded)
+	if err != nil {
+		return nil, 0, err
+	}
+	return next, version, nil
 }
 
 // dropEntry removes an entry if it is still exactly the (entry,

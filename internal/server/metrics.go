@@ -18,12 +18,14 @@ import (
 // are the //lint:telemetry-tagged latency accumulators.
 type Metrics struct {
 	// Per-endpoint request counters (counted on arrival).
-	IngestRequests   atomic.Int64
-	MergeRequests    atomic.Int64
-	QueryRequests    atomic.Int64
-	DiffRequests     atomic.Int64
-	ListRequests     atomic.Int64
-	SnapshotRequests atomic.Int64
+	IngestRequests      atomic.Int64
+	ShardIngestRequests atomic.Int64
+	InstallRequests     atomic.Int64
+	MergeRequests       atomic.Int64
+	QueryRequests       atomic.Int64
+	DiffRequests        atomic.Int64
+	ListRequests        atomic.Int64
+	SnapshotRequests    atomic.Int64
 
 	// Errors counts requests answered with a 4xx/5xx status.
 	Errors atomic.Int64
@@ -50,23 +52,25 @@ type Metrics struct {
 // bag that tests can poke directly.
 func (m *Metrics) snapshot(gauges map[string]int64) map[string]int64 {
 	out := map[string]int64{
-		"ingest_requests_total":     m.IngestRequests.Load(),
-		"merge_requests_total":      m.MergeRequests.Load(),
-		"query_requests_total":      m.QueryRequests.Load(),
-		"diff_requests_total":       m.DiffRequests.Load(),
-		"list_requests_total":       m.ListRequests.Load(),
-		"snapshot_requests_total":   m.SnapshotRequests.Load(),
-		"errors_total":              m.Errors.Load(),
-		"query_cache_hits_total":    m.QueryCacheHits.Load(),
-		"query_cache_misses_total":  m.QueryCacheMisses.Load(),
-		"query_shared_total":        m.QueryShared.Load(),
-		"query_executions_total":    m.QueryExecutions.Load(),
-		"query_timeouts_total":      m.QueryTimeouts.Load(),
-		"query_latency_us_sum":      m.QueryLatencyUsSum.Load(),
-		"catalog_loads_total":       m.CatalogLoads.Load(),
-		"catalog_evictions_total":   m.CatalogEvictions.Load(),
-		"catalog_quarantines_total": m.CatalogQuarantines.Load(),
-		"ingested_tuples_total":     m.IngestedTuples.Load(),
+		"ingest_requests_total":       m.IngestRequests.Load(),
+		"shard_ingest_requests_total": m.ShardIngestRequests.Load(),
+		"install_requests_total":      m.InstallRequests.Load(),
+		"merge_requests_total":        m.MergeRequests.Load(),
+		"query_requests_total":        m.QueryRequests.Load(),
+		"diff_requests_total":         m.DiffRequests.Load(),
+		"list_requests_total":         m.ListRequests.Load(),
+		"snapshot_requests_total":     m.SnapshotRequests.Load(),
+		"errors_total":                m.Errors.Load(),
+		"query_cache_hits_total":      m.QueryCacheHits.Load(),
+		"query_cache_misses_total":    m.QueryCacheMisses.Load(),
+		"query_shared_total":          m.QueryShared.Load(),
+		"query_executions_total":      m.QueryExecutions.Load(),
+		"query_timeouts_total":        m.QueryTimeouts.Load(),
+		"query_latency_us_sum":        m.QueryLatencyUsSum.Load(),
+		"catalog_loads_total":         m.CatalogLoads.Load(),
+		"catalog_evictions_total":     m.CatalogEvictions.Load(),
+		"catalog_quarantines_total":   m.CatalogQuarantines.Load(),
+		"ingested_tuples_total":       m.IngestedTuples.Load(),
 	}
 	for k, v := range gauges {
 		out[k] = v

@@ -162,12 +162,27 @@ func (s *Server) Close() error { return s.store.Close() }
 // Metrics exposes the counter bag (tests assert on it directly).
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
+// MetricsSnapshot returns the flat counter+gauge map that GET /metrics
+// renders. The darc coordinator merges its cluster_* keys into this
+// before serving a combined scrape document.
+func (s *Server) MetricsSnapshot() map[string]int64 { return s.metrics.snapshot(s.gauges()) }
+
+// HasSummary reports whether the catalog holds an artifact under name.
+// The darc coordinator uses it to route queries: local catalog first,
+// fan-out to worker replicas otherwise.
+func (s *Server) HasSummary(name string) bool {
+	_, ok := s.catalog.version(name)
+	return ok
+}
+
 // Handler returns the route table.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/ingest", s.handleIngest)
+	mux.HandleFunc("POST /v1/ingest/shard", s.handleShardIngest)
 	mux.HandleFunc("GET /v1/summaries", s.handleList)
 	mux.HandleFunc("GET /v1/summaries/{name}", s.handleDetail)
+	mux.HandleFunc("PUT /v1/summaries/{name}", s.handleInstall)
 	mux.HandleFunc("POST /v1/summaries/{name}/merge", s.handleMerge)
 	mux.HandleFunc("POST /v1/summaries/{name}/query", s.handleQuery)
 	mux.HandleFunc("POST /v1/summaries/{name}/diff/{other}", s.handleDiff)
@@ -366,24 +381,28 @@ func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, status, "decoding shard: %v", err)
 		return
 	}
-	base, _, err := s.catalog.get(name)
+	// The whole load→fold→store cycle runs under the catalog's per-name
+	// write lock: two coordinators folding shards into one summary
+	// serialize here, so neither merge is lost (the race test pins this).
+	var conflict error
+	merged, version, err := s.catalog.modify(name, func(base *summary.Summary) (*summary.Summary, []byte, error) {
+		m, err := summary.Merge(base, shard)
+		if err != nil {
+			conflict = err
+			return nil, nil, err
+		}
+		encoded, err := summary.Encode(m)
+		if err != nil {
+			return nil, nil, fmt.Errorf("encoding merged summary: %w", err)
+		}
+		return m, encoded, nil
+	})
 	if err != nil {
+		if conflict != nil {
+			s.writeError(w, http.StatusConflict, "merge: %v", conflict)
+			return
+		}
 		s.writeCatalogError(w, name, err)
-		return
-	}
-	merged, err := summary.Merge(base, shard)
-	if err != nil {
-		s.writeError(w, http.StatusConflict, "merge: %v", err)
-		return
-	}
-	encoded, err := summary.Encode(merged)
-	if err != nil {
-		s.writeError(w, http.StatusInternalServerError, "encoding merged summary: %v", err)
-		return
-	}
-	version, err := s.catalog.put(name, merged, encoded)
-	if err != nil {
-		s.writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
 	s.cache.invalidate(name)

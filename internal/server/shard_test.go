@@ -1,0 +1,316 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/relation"
+	"repro/internal/summary"
+)
+
+// splitCSV slices an annotated-header CSV into the header line and n
+// contiguous row blocks (the shard plan a coordinator would produce).
+func splitCSV(t *testing.T, csv []byte, n int) (string, []string) {
+	t.Helper()
+	lines := strings.Split(strings.TrimSpace(string(csv)), "\n")
+	if len(lines) < n+1 {
+		t.Fatalf("dataset of %d rows cannot make %d shards", len(lines)-1, n)
+	}
+	header, rows := lines[0], lines[1:]
+	per := (len(rows) + n - 1) / n
+	var blocks []string
+	for start := 0; start < len(rows); start += per {
+		end := start + per
+		if end > len(rows) {
+			end = len(rows)
+		}
+		blocks = append(blocks, strings.Join(rows[start:end], "\n")+"\n")
+	}
+	return header + "\n", blocks
+}
+
+// deriveD0s runs the coordinator-side threshold derivation: once, over
+// the whole relation.
+func deriveD0s(t *testing.T, csv []byte, groups string) []float64 {
+	t.Helper()
+	rel, err := relation.ReadCSV(bytes.NewReader(csv))
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	part, err := relation.ParseGroupsSpec(rel.Schema(), groups)
+	if err != nil {
+		t.Fatalf("ParseGroupsSpec: %v", err)
+	}
+	d0s, err := core.SuggestThresholds(rel, part, core.AdvisorOptions{})
+	if err != nil {
+		t.Fatalf("SuggestThresholds: %v", err)
+	}
+	return d0s
+}
+
+// d0sParam renders a threshold vector as the ?d0s= value.
+func d0sParam(d0s []float64) string {
+	parts := make([]string, len(d0s))
+	for i, d := range d0s {
+		parts[i] = strconv.FormatFloat(d, 'g', -1, 64)
+	}
+	return strings.Join(parts, ",")
+}
+
+// TestShardIngestMatchesLocal pins the stateless worker endpoint to the
+// library: the artifact a worker streams back for a shard under pinned
+// thresholds is byte-identical to core.Ingest + summary.Encode over the
+// same rows, and nothing lands in the worker's catalog.
+func TestShardIngestMatchesLocal(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	full := kitchenCSV()
+	d0s := deriveD0s(t, full, "Lat+Lon")
+	header, blocks := splitCSV(t, full, 4)
+
+	for i, block := range blocks {
+		shardCSV := []byte(header + block)
+		u := ts.URL + "/v1/ingest/shard?groups=Lat%2BLon&d0s=" + d0sParam(d0s)
+		resp, err := http.Post(u, "text/csv", bytes.NewReader(shardCSV))
+		if err != nil {
+			t.Fatalf("POST shard %d: %v", i, err)
+		}
+		got, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("shard %d: status %d: %s", i, resp.StatusCode, got)
+		}
+
+		rel, err := relation.ReadCSV(bytes.NewReader(shardCSV))
+		if err != nil {
+			t.Fatalf("ReadCSV: %v", err)
+		}
+		part, err := relation.ParseGroupsSpec(rel.Schema(), "Lat+Lon")
+		if err != nil {
+			t.Fatalf("ParseGroupsSpec: %v", err)
+		}
+		opt := core.DefaultOptions()
+		// Zero the scalar: recorded nominal-group D0 falls back to it
+		// when the per-group entry is 0, and the endpoint runs with d0=0.
+		opt.DiameterThreshold = 0
+		opt.DiameterThresholds = d0s
+		sum, err := core.Ingest(rel, part, opt)
+		if err != nil {
+			t.Fatalf("Ingest: %v", err)
+		}
+		want, err := summary.Encode(sum)
+		if err != nil {
+			t.Fatalf("Encode: %v", err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("shard %d artifact differs from the local pipeline (%d vs %d bytes)", i, len(got), len(want))
+		}
+		if h := resp.Header.Get("X-Dard-Tuples"); h != strconv.FormatInt(sum.Tuples, 10) {
+			t.Errorf("shard %d X-Dard-Tuples = %q, want %d", i, h, sum.Tuples)
+		}
+	}
+	if rows := srv.catalog.list(); len(rows) != 0 {
+		t.Errorf("shard ingest left %d entries in the worker catalog, want 0", len(rows))
+	}
+	if got := srv.Metrics().ShardIngestRequests.Load(); got != int64(len(blocks)) {
+		t.Errorf("ShardIngestRequests = %d, want %d", got, len(blocks))
+	}
+}
+
+func TestShardIngestRejectsBadInput(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, tc := range []struct {
+		name, url, body string
+		wantStatus      int
+	}{
+		{"bad d0s", "/v1/ingest/shard?d0s=1,x", "A\n1\n", http.StatusBadRequest},
+		{"bad csv", "/v1/ingest/shard", "A:nosuchkind\n1\n", http.StatusBadRequest},
+		{"wrong d0s count", "/v1/ingest/shard?d0s=1,2,3,4,5,6,7", "A\n1\n2\n", http.StatusBadRequest},
+	} {
+		resp, err := http.Post(ts.URL+tc.url, "text/csv", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != tc.wantStatus {
+			t.Errorf("%s: status %d, want %d: %s", tc.name, resp.StatusCode, tc.wantStatus, body)
+		}
+	}
+}
+
+// TestInstallEndpoint round-trips an artifact through PUT: the
+// installed summary serves queries byte-identically to the local
+// pipeline over the same artifact, and a re-PUT bumps the version.
+func TestInstallEndpoint(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	artifact := encodeShard(t, salaryCSV(t), "")
+
+	put := func(name string, body []byte) (*http.Response, []byte) {
+		req, err := http.NewRequest(http.MethodPut, ts.URL+"/v1/summaries/"+name, bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("NewRequest: %v", err)
+		}
+		req.Header.Set("Content-Type", "application/octet-stream")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("PUT: %v", err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp, b
+	}
+
+	resp, body := put("replica", artifact)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("PUT status %d: %s", resp.StatusCode, body)
+	}
+	var ack ingestResponse
+	if err := json.Unmarshal(body, &ack); err != nil {
+		t.Fatalf("PUT ack: %v", err)
+	}
+	if ack.Version != 1 || ack.Bytes != len(artifact) {
+		t.Errorf("ack = %+v, want version 1, %d bytes", ack, len(artifact))
+	}
+
+	// The replica serves the exact bytes the local pipeline renders.
+	qresp, served := postQuery(t, ts, "replica", "{}")
+	if qresp.StatusCode != http.StatusOK {
+		t.Fatalf("query status %d: %s", qresp.StatusCode, served)
+	}
+	decoded, err := summary.Decode(artifact)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	want, err := renderQuery(decoded, core.DefaultQueryOptions())
+	if err != nil {
+		t.Fatalf("renderQuery: %v", err)
+	}
+	if !bytes.Equal(stripDurations(served), stripDurations(want)) {
+		t.Error("query over the installed replica differs from the local render")
+	}
+
+	if resp, body = put("replica", artifact); resp.StatusCode != http.StatusOK {
+		t.Fatalf("re-PUT status %d: %s", resp.StatusCode, body)
+	}
+	var ack2 ingestResponse
+	if err := json.Unmarshal(body, &ack2); err != nil {
+		t.Fatalf("re-PUT ack: %v", err)
+	}
+	if ack2.Version <= ack.Version {
+		t.Errorf("re-PUT version = %d, want > %d", ack2.Version, ack.Version)
+	}
+
+	if resp, body = put("bad", []byte("not an artifact")); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("corrupt PUT status %d, want 400: %s", resp.StatusCode, body)
+	}
+	if got := srv.Metrics().InstallRequests.Load(); got != 3 {
+		t.Errorf("InstallRequests = %d, want 3", got)
+	}
+}
+
+// intervalCSV builds a single-attribute interval dataset with offset
+// rows — shards of a common schema ingested under one explicit d0.
+func intervalCSV(offset, rows int) []byte {
+	var b bytes.Buffer
+	b.WriteString("X:interval\n")
+	for i := 0; i < rows; i++ {
+		fmt.Fprintf(&b, "%d\n", offset+i)
+	}
+	return b.Bytes()
+}
+
+// TestConcurrentMergeSerializes is the lost-update race test: many
+// coordinators folding distinct shards into one named summary at once
+// must all land — the catalog's per-name read-modify-write lock
+// serializes the load→fold→store cycles. Before that lock existed, two
+// concurrent merges could both fold against the same base and the
+// second put silently dropped the first shard's tuples. Run under
+// -race in CI.
+func TestConcurrentMergeSerializes(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	const shards = 8
+	const rowsEach = 10
+
+	postIngest(t, ts, "s", "d0=5", intervalCSV(0, rowsEach))
+
+	var wg sync.WaitGroup
+	errs := make(chan string, shards)
+	for i := 0; i < shards; i++ {
+		artifact := encodeShardD0(t, intervalCSV(1000*(i+1), rowsEach), 5)
+		wg.Add(1)
+		go func(shard []byte, i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/summaries/s/merge", "application/octet-stream", bytes.NewReader(shard))
+			if err != nil {
+				errs <- err.Error()
+				return
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Sprintf("shard %d: status %d: %s", i, resp.StatusCode, body)
+			}
+		}(artifact, i)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/summaries/s")
+	if err != nil {
+		t.Fatalf("GET detail: %v", err)
+	}
+	defer resp.Body.Close()
+	var detail struct {
+		Version uint64 `json:"version"`
+		Tuples  int64  `json:"tuples"`
+		Shards  int    `json:"shards"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&detail); err != nil {
+		t.Fatalf("detail: %v", err)
+	}
+	if want := int64((shards + 1) * rowsEach); detail.Tuples != want {
+		t.Errorf("after %d concurrent merges Tuples = %d, want %d (a merge was lost)", shards, detail.Tuples, want)
+	}
+	if detail.Shards != shards+1 {
+		t.Errorf("Shards = %d, want %d", detail.Shards, shards+1)
+	}
+	if detail.Version != shards+1 {
+		t.Errorf("Version = %d, want %d (one bump per ingest/merge)", detail.Version, shards+1)
+	}
+}
+
+// encodeShardD0 ingests a CSV under one explicit scalar d0 and returns
+// the encoded artifact.
+func encodeShardD0(t *testing.T, csv []byte, d0 float64) []byte {
+	t.Helper()
+	rel, err := relation.ReadCSV(bytes.NewReader(csv))
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	part, err := relation.ParseGroupsSpec(rel.Schema(), "")
+	if err != nil {
+		t.Fatalf("ParseGroupsSpec: %v", err)
+	}
+	opt := core.DefaultOptions()
+	opt.DiameterThreshold = d0
+	sum, err := core.Ingest(rel, part, opt)
+	if err != nil {
+		t.Fatalf("Ingest: %v", err)
+	}
+	b, err := summary.Encode(sum)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	return b
+}

@@ -1,0 +1,52 @@
+package summary
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrDuplicateShard reports a shard submitted to MergeAll more than
+// once. The cluster coordinator requeues failed shards onto other
+// workers, so the same shard ID can legitimately be produced twice; the
+// fold must refuse the second copy rather than double-count its tuples.
+var ErrDuplicateShard = errors.New("summary: duplicate shard")
+
+// MergeAll folds the shard summaries left to right with Merge, under a
+// provenance check: ids[i] names shards[i] (a coordinator uses stable
+// per-shard identifiers like "sales/shard-0003"), every ID must be
+// non-empty, and a repeated ID fails the whole fold with
+// ErrDuplicateShard. The fold order is the slice order, so a
+// coordinator that collects shards out of order must sort them by shard
+// index first to stay inside the determinism contract (Merge commutes
+// on counts, but dictionary code assignment is first-seen).
+//
+// The wire format knows nothing of shard IDs — provenance is an
+// obligation of the call site, which keeps the .acfsum codec and its
+// goldens untouched.
+func MergeAll(shards []*Summary, ids []string) (*Summary, error) {
+	if len(shards) == 0 {
+		return nil, errors.New("summary: MergeAll of zero shards")
+	}
+	if len(ids) != len(shards) {
+		return nil, fmt.Errorf("summary: %d shard IDs for %d shards", len(ids), len(shards))
+	}
+	seen := make(map[string]int, len(ids))
+	for i, id := range ids {
+		if id == "" {
+			return nil, fmt.Errorf("summary: shard %d has an empty ID", i)
+		}
+		if j, dup := seen[id]; dup {
+			return nil, fmt.Errorf("%w: %q submitted as shard %d and %d", ErrDuplicateShard, id, j, i)
+		}
+		seen[id] = i
+	}
+	merged := shards[0].Clone()
+	for i := 1; i < len(shards); i++ {
+		next, err := Merge(merged, shards[i])
+		if err != nil {
+			return nil, fmt.Errorf("summary: folding shard %q: %w", ids[i], err)
+		}
+		merged = next
+	}
+	return merged, nil
+}

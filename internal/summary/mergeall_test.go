@@ -1,0 +1,120 @@
+package summary
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func shardC(t *testing.T) *Summary {
+	return testSummary(t, []string{"green", "red"}, []struct {
+		X float64
+		C string
+	}{{4, "green"}, {5, "red"}},
+		func(i int) int { return 0 }, 1)
+}
+
+func shardD(t *testing.T) *Summary {
+	return testSummary(t, []string{"red"}, []struct {
+		X float64
+		C string
+	}{{6, "red"}},
+		func(i int) int { return 0 }, 1)
+}
+
+// fourShards builds the canonical 4-shard fold input with stable IDs.
+func fourShards(t *testing.T) ([]*Summary, []string) {
+	return []*Summary{shardA(t), shardB(t), shardC(t), shardD(t)},
+		[]string{"s/shard-0000", "s/shard-0001", "s/shard-0002", "s/shard-0003"}
+}
+
+func TestMergeAllFoldsInOrder(t *testing.T) {
+	shards, ids := fourShards(t)
+	got, err := MergeAll(shards, ids)
+	if err != nil {
+		t.Fatalf("MergeAll: %v", err)
+	}
+	// The fold must equal the explicit left-to-right Merge chain.
+	want := shards[0].Clone()
+	for _, s := range shards[1:] {
+		want, err = Merge(want, s)
+		if err != nil {
+			t.Fatalf("reference fold: %v", err)
+		}
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("MergeAll differs from the explicit Merge fold")
+	}
+	if got.Tuples != 8 || got.Shards != 4 {
+		t.Errorf("Tuples, Shards = %d, %d; want 8, 4", got.Tuples, got.Shards)
+	}
+	// Inputs stay untouched (the coordinator may retry a failed fold).
+	if shards[0].Tuples != 3 || shards[0].Shards != 1 {
+		t.Error("MergeAll mutated shards[0]")
+	}
+}
+
+func TestMergeAllRejectsDuplicateShardID(t *testing.T) {
+	// A requeued shard that completes twice arrives as two summaries
+	// under one ID. MergeAll must fail rather than double-count.
+	shards, ids := fourShards(t)
+	shards[3] = shardB(t)
+	ids[3] = ids[1]
+	_, err := MergeAll(shards, ids)
+	if !errors.Is(err, ErrDuplicateShard) {
+		t.Fatalf("MergeAll with duplicate ID: err = %v, want ErrDuplicateShard", err)
+	}
+	if !strings.Contains(err.Error(), ids[1]) {
+		t.Errorf("error %q does not name the duplicated shard %q", err, ids[1])
+	}
+}
+
+func TestMergeAllFourShardConflicts(t *testing.T) {
+	// Provenance conflicts must surface from any position of a 4-shard
+	// fold, naming the offending shard — 2-shard coverage alone would
+	// miss a fold that validates only the first pair.
+	for pos := 1; pos < 4; pos++ {
+		shards, ids := fourShards(t)
+		bad := shardC(t)
+		bad.Groups[0].D0 = 99 // ingested under a different threshold
+		shards[pos] = bad
+		_, err := MergeAll(shards, ids)
+		if err == nil {
+			t.Fatalf("MergeAll with mismatched d0 at shard %d succeeded", pos)
+		}
+		if !strings.Contains(err.Error(), ids[pos]) {
+			t.Errorf("error %q does not name shard %q", err, ids[pos])
+		}
+	}
+	// Same for a schema conflict.
+	shards, ids := fourShards(t)
+	bad := shardD(t)
+	bad.Attrs[0].Name = "Y"
+	bad.Groups[0].Name = "Y"
+	shards[3] = bad
+	if _, err := MergeAll(shards, ids); err == nil || !strings.Contains(err.Error(), ids[3]) {
+		t.Errorf("schema conflict at shard 3: err = %v, want error naming %q", err, ids[3])
+	}
+}
+
+func TestMergeAllArgumentChecks(t *testing.T) {
+	if _, err := MergeAll(nil, nil); err == nil {
+		t.Error("MergeAll of zero shards succeeded")
+	}
+	shards, ids := fourShards(t)
+	if _, err := MergeAll(shards, ids[:3]); err == nil {
+		t.Error("MergeAll with mismatched ID count succeeded")
+	}
+	ids[2] = ""
+	if _, err := MergeAll(shards, ids); err == nil {
+		t.Error("MergeAll with an empty ID succeeded")
+	}
+	one, err := MergeAll([]*Summary{shardA(t)}, []string{"only"})
+	if err != nil {
+		t.Fatalf("single-shard MergeAll: %v", err)
+	}
+	if !reflect.DeepEqual(one, shardA(t)) {
+		t.Error("single-shard MergeAll is not the identity")
+	}
+}

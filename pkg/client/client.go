@@ -1,0 +1,292 @@
+// Package client is the typed Go client for the dard daemon and the
+// darc cluster coordinator, grown out of the `darminer query -addr`
+// remote-mode code. It speaks the versioned HTTP API (see
+// internal/server and internal/cluster) and turns every non-2xx answer
+// into an *APIError carrying the server's JSON error message, so
+// callers branch on status codes instead of scraping text.
+//
+// The client adds no semantics of its own: bodies go over the wire
+// verbatim, and a query response is exactly the byte stream the server
+// rendered (which is itself bit-identical to `darminer query -json`).
+// That property is what lets the cluster coordinator fold worker
+// responses under the determinism contract.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+)
+
+// Client talks to one dard (or darc) base URL. The zero value is not
+// usable; construct with New.
+type Client struct {
+	base *url.URL
+	http *http.Client
+}
+
+// New validates the base URL ("http://host:8344") and returns a client
+// over http.DefaultClient. Per-request deadlines come from the caller's
+// context, not a client-wide timeout, because shard ingests and quick
+// health probes share one client.
+func New(addr string) (*Client, error) {
+	base, err := url.Parse(addr)
+	if err != nil || base.Scheme == "" || base.Host == "" {
+		return nil, fmt.Errorf("client: %q is not a base URL like http://host:8344", addr)
+	}
+	return &Client{base: base, http: http.DefaultClient}, nil
+}
+
+// NewWithHTTP is New over a caller-supplied http.Client (custom
+// transports, test doubles).
+func NewWithHTTP(addr string, hc *http.Client) (*Client, error) {
+	c, err := New(addr)
+	if err != nil {
+		return nil, err
+	}
+	if hc != nil {
+		c.http = hc
+	}
+	return c, nil
+}
+
+// Base returns the server's base URL.
+func (c *Client) Base() string { return c.base.String() }
+
+// APIError is a non-2xx answer: the HTTP status plus the server's
+// message (the "error" field of its JSON body when present, the raw
+// body otherwise).
+type APIError struct {
+	Status  int
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("server: %s (status %d)", e.Message, e.Status)
+}
+
+// IngestOptions carries the ingest-time parameters of POST /v1/ingest
+// and /v1/ingest/shard, mirroring the `darminer ingest` flags. Zero
+// values are server defaults. D0s, when non-nil, pins explicit
+// per-group thresholds — the cluster coordinator derives them once
+// over the whole relation and ships the same vector to every shard so
+// the shard summaries stay mergeable.
+type IngestOptions struct {
+	D0      float64
+	D0s     []float64
+	Memory  int
+	Workers int
+	Groups  string
+	// Shards overrides the coordinator's shard count on
+	// POST /v1/cluster/ingest. Plain dard endpoints ignore it. Pinning
+	// it is what makes cluster ingests byte-identical across differently
+	// sized worker pools (the merged artifact records the shard count).
+	Shards int
+}
+
+// query renders the options into URL query parameters.
+func (o IngestOptions) query() url.Values {
+	v := url.Values{}
+	if o.D0 != 0 {
+		v.Set("d0", strconv.FormatFloat(o.D0, 'g', -1, 64))
+	}
+	if o.D0s != nil {
+		parts := make([]string, len(o.D0s))
+		for i, d := range o.D0s {
+			parts[i] = strconv.FormatFloat(d, 'g', -1, 64)
+		}
+		v.Set("d0s", strings.Join(parts, ","))
+	}
+	if o.Memory != 0 {
+		v.Set("memory", strconv.Itoa(o.Memory))
+	}
+	if o.Workers != 0 {
+		v.Set("workers", strconv.Itoa(o.Workers))
+	}
+	if o.Groups != "" {
+		v.Set("groups", o.Groups)
+	}
+	if o.Shards != 0 {
+		v.Set("shards", strconv.Itoa(o.Shards))
+	}
+	return v
+}
+
+// IngestResult acknowledges an ingest or artifact install.
+type IngestResult struct {
+	Name     string `json:"name"`
+	Version  uint64 `json:"version"`
+	Tuples   int64  `json:"tuples"`
+	Groups   int    `json:"groups"`
+	Clusters int    `json:"clusters"`
+	Bytes    int    `json:"bytes"`
+}
+
+// MergeResult acknowledges a shard merge.
+type MergeResult struct {
+	Name    string `json:"name"`
+	Version uint64 `json:"version"`
+	Tuples  int64  `json:"tuples"`
+	Shards  int    `json:"shards"`
+}
+
+// SummaryInfo is one row of the catalog listing.
+type SummaryInfo struct {
+	Name     string `json:"name"`
+	Version  uint64 `json:"version"`
+	Bytes    int64  `json:"bytes"`
+	Loaded   bool   `json:"loaded"`
+	Tuples   int64  `json:"tuples"`
+	Shards   int    `json:"shards"`
+	Groups   int    `json:"groups"`
+	Clusters int    `json:"clusters"`
+}
+
+// QueryMeta carries the response headers of a served query.
+type QueryMeta struct {
+	Version string // X-Dard-Summary-Version
+	Cache   string // X-Dard-Cache: hit, miss or shared
+}
+
+// do runs one request and maps non-2xx answers to *APIError.
+func (c *Client) do(ctx context.Context, method, path string, query url.Values, contentType string, body []byte) ([]byte, http.Header, error) {
+	u := c.base.JoinPath(path)
+	if query != nil {
+		u.RawQuery = query.Encode()
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, u.String(), rd)
+	if err != nil {
+		return nil, nil, err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, nil, err
+	}
+	if resp.StatusCode/100 != 2 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		msg := strings.TrimSpace(string(payload))
+		if json.Unmarshal(payload, &e) == nil && e.Error != "" {
+			msg = e.Error
+		}
+		return nil, nil, &APIError{Status: resp.StatusCode, Message: msg}
+	}
+	return payload, resp.Header, nil
+}
+
+// doJSON runs a request and decodes a JSON response into out.
+func (c *Client) doJSON(ctx context.Context, method, path string, query url.Values, contentType string, body []byte, out any) error {
+	payload, _, err := c.do(ctx, method, path, query, contentType, body)
+	if err != nil {
+		return err
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(payload, out); err != nil {
+		return fmt.Errorf("client: parsing %s %s response: %w", method, path, err)
+	}
+	return nil
+}
+
+// Health probes GET /healthz. A nil error means the server answered 2xx.
+func (c *Client) Health(ctx context.Context) error {
+	_, _, err := c.do(ctx, http.MethodGet, "/healthz", nil, "", nil)
+	return err
+}
+
+// Ingest POSTs a CSV relation into the catalog under name.
+func (c *Client) Ingest(ctx context.Context, name string, csv []byte, opt IngestOptions) (IngestResult, error) {
+	q := opt.query()
+	q.Set("name", name)
+	var res IngestResult
+	err := c.doJSON(ctx, http.MethodPost, "/v1/ingest", q, "text/csv", csv, &res)
+	return res, err
+}
+
+// ShardIngest POSTs a CSV shard through the stateless worker endpoint
+// and returns the encoded .acfsum artifact — nothing is installed on
+// the worker, which is what makes a requeued shard idempotent.
+func (c *Client) ShardIngest(ctx context.Context, csv []byte, opt IngestOptions) ([]byte, error) {
+	payload, _, err := c.do(ctx, http.MethodPost, "/v1/ingest/shard", opt.query(), "text/csv", csv)
+	return payload, err
+}
+
+// PutSummary installs an encoded .acfsum artifact under name,
+// replacing any current version (replication push).
+func (c *Client) PutSummary(ctx context.Context, name string, artifact []byte) (IngestResult, error) {
+	var res IngestResult
+	err := c.doJSON(ctx, http.MethodPut, "/v1/summaries/"+url.PathEscape(name), nil, "application/octet-stream", artifact, &res)
+	return res, err
+}
+
+// MergeShard folds an encoded shard artifact into the named summary.
+func (c *Client) MergeShard(ctx context.Context, name string, artifact []byte) (MergeResult, error) {
+	var res MergeResult
+	err := c.doJSON(ctx, http.MethodPost, "/v1/summaries/"+url.PathEscape(name)+"/merge", nil, "application/octet-stream", artifact, &res)
+	return res, err
+}
+
+// QueryJSON POSTs a query-options document (raw JSON; nil means the
+// default query) and returns the rendered response verbatim — the
+// exact bytes `darminer query -json` would print.
+func (c *Client) QueryJSON(ctx context.Context, name string, options []byte) ([]byte, QueryMeta, error) {
+	payload, hdr, err := c.do(ctx, http.MethodPost, "/v1/summaries/"+url.PathEscape(name)+"/query", nil, "application/json", options)
+	if err != nil {
+		return nil, QueryMeta{}, err
+	}
+	return payload, QueryMeta{Version: hdr.Get("X-Dard-Summary-Version"), Cache: hdr.Get("X-Dard-Cache")}, nil
+}
+
+// DiffJSON POSTs a rule diff oldName → newName and returns the
+// rendered document verbatim.
+func (c *Client) DiffJSON(ctx context.Context, oldName, newName string, options []byte) ([]byte, error) {
+	payload, _, err := c.do(ctx, http.MethodPost,
+		"/v1/summaries/"+url.PathEscape(oldName)+"/diff/"+url.PathEscape(newName), nil, "application/json", options)
+	return payload, err
+}
+
+// List fetches the catalog listing.
+func (c *Client) List(ctx context.Context) ([]SummaryInfo, error) {
+	var out []SummaryInfo
+	err := c.doJSON(ctx, http.MethodGet, "/v1/summaries", nil, "", nil, &out)
+	return out, err
+}
+
+// Metrics scrapes the flat JSON counter document.
+func (c *Client) Metrics(ctx context.Context) (map[string]int64, error) {
+	var out map[string]int64
+	err := c.doJSON(ctx, http.MethodGet, "/metrics", nil, "", nil, &out)
+	return out, err
+}
+
+// ClusterIngest POSTs a CSV relation to a darc coordinator, which
+// shards it across the worker pool and installs the merged summary
+// under name. Only coordinators serve this route; against a plain dard
+// it answers 404.
+func (c *Client) ClusterIngest(ctx context.Context, name string, csv []byte, opt IngestOptions) (IngestResult, error) {
+	q := opt.query()
+	q.Set("name", name)
+	var res IngestResult
+	err := c.doJSON(ctx, http.MethodPost, "/v1/cluster/ingest", q, "text/csv", csv, &res)
+	return res, err
+}

@@ -1,0 +1,182 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// fakeServer records the last request and plays back a canned answer.
+type fakeServer struct {
+	method, path, query, contentType string
+	body                             []byte
+	status                           int
+	respType                         string
+	resp                             string
+	header                           map[string]string
+}
+
+func (f *fakeServer) handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		f.method, f.path, f.query = r.Method, r.URL.Path, r.URL.RawQuery
+		f.contentType = r.Header.Get("Content-Type")
+		buf := make([]byte, 1<<20)
+		n, _ := r.Body.Read(buf)
+		f.body = buf[:n]
+		for k, v := range f.header {
+			w.Header().Set(k, v)
+		}
+		if f.respType != "" {
+			w.Header().Set("Content-Type", f.respType)
+		}
+		w.WriteHeader(f.status)
+		w.Write([]byte(f.resp)) //nolint:errcheck
+	})
+}
+
+func newFake(t *testing.T, f *fakeServer) *Client {
+	t.Helper()
+	ts := httptest.NewServer(f.handler())
+	t.Cleanup(ts.Close)
+	c, err := New(ts.URL)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return c
+}
+
+func TestNewRejectsBadURLs(t *testing.T) {
+	for _, addr := range []string{"", "not a url", "host:8344", "/just/a/path"} {
+		if _, err := New(addr); err == nil {
+			t.Errorf("New(%q) succeeded", addr)
+		}
+	}
+}
+
+func TestIngestBuildsRequest(t *testing.T) {
+	f := &fakeServer{status: 200, resp: `{"name":"s","version":3,"tuples":10,"groups":2,"clusters":4,"bytes":99}`}
+	c := newFake(t, f)
+	res, err := c.Ingest(context.Background(), "s", []byte("A\n1\n"), IngestOptions{D0: 2.5, Memory: 1024, Workers: 3, Groups: "a+b"})
+	if err != nil {
+		t.Fatalf("Ingest: %v", err)
+	}
+	if f.method != "POST" || f.path != "/v1/ingest" {
+		t.Errorf("request = %s %s", f.method, f.path)
+	}
+	if f.query != "d0=2.5&groups=a%2Bb&memory=1024&name=s&workers=3" {
+		t.Errorf("query = %q", f.query)
+	}
+	if string(f.body) != "A\n1\n" || f.contentType != "text/csv" {
+		t.Errorf("body %q content-type %q", f.body, f.contentType)
+	}
+	if res.Version != 3 || res.Tuples != 10 || res.Bytes != 99 {
+		t.Errorf("result = %+v", res)
+	}
+}
+
+func TestShardIngestReturnsRawArtifact(t *testing.T) {
+	f := &fakeServer{status: 200, respType: "application/octet-stream", resp: "ACFS\x01raw-bytes"}
+	c := newFake(t, f)
+	got, err := c.ShardIngest(context.Background(), []byte("A\n1\n"), IngestOptions{D0s: []float64{2, 0.5}})
+	if err != nil {
+		t.Fatalf("ShardIngest: %v", err)
+	}
+	if f.path != "/v1/ingest/shard" || f.query != "d0s=2%2C0.5" {
+		t.Errorf("request = %s?%s", f.path, f.query)
+	}
+	if string(got) != "ACFS\x01raw-bytes" {
+		t.Errorf("artifact = %q", got)
+	}
+}
+
+func TestQueryJSONMeta(t *testing.T) {
+	f := &fakeServer{status: 200, resp: `{"tuples":5}`,
+		header: map[string]string{"X-Dard-Summary-Version": "7", "X-Dard-Cache": "hit"}}
+	c := newFake(t, f)
+	payload, meta, err := c.QueryJSON(context.Background(), "s", []byte(`{}`))
+	if err != nil {
+		t.Fatalf("QueryJSON: %v", err)
+	}
+	if f.path != "/v1/summaries/s/query" || f.contentType != "application/json" {
+		t.Errorf("request = %s content-type %q", f.path, f.contentType)
+	}
+	if string(payload) != `{"tuples":5}` || meta.Version != "7" || meta.Cache != "hit" {
+		t.Errorf("payload %q meta %+v", payload, meta)
+	}
+}
+
+func TestAPIErrorFromJSONBody(t *testing.T) {
+	f := &fakeServer{status: 404, resp: `{"error":"unknown summary \"s\""}`}
+	c := newFake(t, f)
+	_, _, err := c.QueryJSON(context.Background(), "s", nil)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("err = %v, want *APIError", err)
+	}
+	if apiErr.Status != 404 || apiErr.Message != `unknown summary "s"` {
+		t.Errorf("APIError = %+v", apiErr)
+	}
+}
+
+func TestAPIErrorFromRawBody(t *testing.T) {
+	f := &fakeServer{status: 500, resp: "boom\n"}
+	c := newFake(t, f)
+	err := c.Health(context.Background())
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Message != "boom" {
+		t.Fatalf("err = %v, want *APIError with raw message", err)
+	}
+}
+
+func TestPutMergeListMetrics(t *testing.T) {
+	f := &fakeServer{status: 200, resp: `{"name":"s","version":2,"tuples":4,"shards":2}`}
+	c := newFake(t, f)
+	if _, err := c.PutSummary(context.Background(), "s", []byte("art")); err != nil {
+		t.Fatalf("PutSummary: %v", err)
+	}
+	if f.method != "PUT" || f.path != "/v1/summaries/s" || f.contentType != "application/octet-stream" {
+		t.Errorf("put request = %s %s %s", f.method, f.path, f.contentType)
+	}
+	mr, err := c.MergeShard(context.Background(), "s", []byte("art"))
+	if err != nil || mr.Shards != 2 {
+		t.Fatalf("MergeShard: %v %+v", err, mr)
+	}
+	if f.path != "/v1/summaries/s/merge" {
+		t.Errorf("merge path = %s", f.path)
+	}
+
+	f.resp = `[{"name":"a","version":1},{"name":"b","version":4}]`
+	rows, err := c.List(context.Background())
+	if err != nil || len(rows) != 2 || rows[1].Version != 4 {
+		t.Fatalf("List: %v %+v", err, rows)
+	}
+
+	f.resp = `{"errors_total":1,"query_requests_total":9}`
+	m, err := c.Metrics(context.Background())
+	if err != nil || m["query_requests_total"] != 9 {
+		t.Fatalf("Metrics: %v %+v", err, m)
+	}
+}
+
+func TestClusterIngestRoute(t *testing.T) {
+	f := &fakeServer{status: 200, resp: `{"name":"s","version":1,"tuples":8}`}
+	c := newFake(t, f)
+	res, err := c.ClusterIngest(context.Background(), "s", []byte("A\n1\n"), IngestOptions{})
+	if err != nil {
+		t.Fatalf("ClusterIngest: %v", err)
+	}
+	if f.path != "/v1/cluster/ingest" || f.query != "name=s" || res.Tuples != 8 {
+		t.Errorf("request = %s?%s result %+v", f.path, f.query, res)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c := newFake(t, &fakeServer{status: 200, resp: "{}"})
+	if err := c.Health(ctx); err == nil {
+		t.Error("Health with a cancelled context succeeded")
+	}
+}

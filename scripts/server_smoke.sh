@@ -18,6 +18,7 @@
 # `make storagesmoke` (SMOKE_STORAGE_ONLY=1).
 set -euo pipefail
 cd "$(dirname "$0")/.."
+. scripts/smoke_lib.sh
 
 TMP=$(mktemp -d)
 DARD_PID=""
@@ -32,30 +33,18 @@ cleanup() {
 }
 trap cleanup EXIT
 
-# start_dard <logfile> <args...>: launch the daemon, wait for its
-# listen line, and set DARD_PID / ADDR.
+# start_dard <logfile> <args...>: launch the daemon via the shared
+# helper, keeping DARD_PID for the kill -9 acts.
 start_dard() {
     local log=$1; shift
-    "$TMP/dard" -addr 127.0.0.1:0 "$@" 2>"$log" &
-    DARD_PID=$!
-    ADDR=""
-    for _ in $(seq 1 100); do
-        ADDR=$(sed -n 's/.*listening on \([0-9.:]*\).*/\1/p' "$log" | head -n1)
-        [ -n "$ADDR" ] && break
-        kill -0 "$DARD_PID" || { echo "dard died at startup:"; cat "$log"; exit 1; }
-        sleep 0.1
-    done
-    [ -n "$ADDR" ] || { echo "dard never reported its address:"; cat "$log"; exit 1; }
+    start_daemon "$TMP/dard" "$log" "$@"
+    DARD_PID=$DAEMON_PID
 }
 
 # stop_dard <logfile>: SIGTERM and require a clean drain.
 stop_dard() {
-    local log=$1
-    kill -TERM "$DARD_PID"
-    local ok=1
-    wait "$DARD_PID" || ok=0
+    stop_daemon "$DARD_PID" "$1"
     DARD_PID=""
-    [ "$ok" = 1 ] || { echo "dard exited non-zero on SIGTERM:"; cat "$log"; exit 1; }
 }
 
 # served_query <out>: query the smoke summary remotely, durations
@@ -145,10 +134,7 @@ echo "== [segment] restarting over the crashed store"
 start_dard "$TMP/seg2.log" -data "$SEGDATA" -storage segment
 echo "   dard is listening on $ADDR"
 curl -sfS "http://$ADDR/metrics" >"$TMP/seg_metrics.json"
-REPLAYS=$(grep -o '"storage_wal_replays": [0-9]*' "$TMP/seg_metrics.json" | grep -o '[0-9]*$')
-[ "${REPLAYS:-0}" -ge 1 ] || {
-    echo "FAIL: storage_wal_replays = ${REPLAYS:-missing}, want >= 1"; cat "$TMP/seg_metrics.json"; exit 1
-}
+metric_at_least "$TMP/seg_metrics.json" storage_wal_replays 1
 
 echo "== [segment] diffing the replayed store vs local"
 served_query "$TMP/seg_served2.stripped"

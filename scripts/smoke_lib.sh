@@ -1,0 +1,55 @@
+# shellcheck shell=bash
+# Shared helpers for the smoke scripts (server_smoke.sh,
+# cluster_smoke.sh). Source from the repo root after `set -euo
+# pipefail`; callers own TMP and their EXIT traps.
+#
+# Every daemon here binds 127.0.0.1:0 and reports the kernel-assigned
+# port on its "listening on" log line, so parallel smoke runs never
+# fight over a port.
+
+# start_daemon <bin> <logfile> <args...>: launch the daemon on a
+# loopback port, wait for its listen line, and set DAEMON_PID / ADDR.
+start_daemon() {
+    local bin=$1 log=$2; shift 2
+    "$bin" -addr 127.0.0.1:0 "$@" 2>"$log" &
+    DAEMON_PID=$!
+    ADDR=""
+    for _ in $(seq 1 100); do
+        ADDR=$(sed -n 's/.*listening on \([0-9.:]*\).*/\1/p' "$log" | head -n1)
+        [ -n "$ADDR" ] && break
+        kill -0 "$DAEMON_PID" 2>/dev/null || {
+            echo "$(basename "$bin") died at startup:"; cat "$log"; exit 1
+        }
+        sleep 0.1
+    done
+    [ -n "$ADDR" ] || { echo "$(basename "$bin") never reported its address:"; cat "$log"; exit 1; }
+}
+
+# stop_daemon <pid> <logfile>: SIGTERM and require a clean drain.
+stop_daemon() {
+    local pid=$1 log=$2
+    kill -TERM "$pid"
+    local ok=1
+    wait "$pid" || ok=0
+    [ "$ok" = 1 ] || { echo "daemon exited non-zero on SIGTERM:"; cat "$log"; exit 1; }
+}
+
+# kill_hard <pid>: kill -9 if still alive and reap quietly; a no-op on
+# an empty pid.
+kill_hard() {
+    local pid=$1
+    [ -n "$pid" ] || return 0
+    kill -9 "$pid" 2>/dev/null || true
+    wait "$pid" 2>/dev/null || true
+}
+
+# metric_at_least <metrics.json> <key> <min>: assert a flat-JSON
+# counter, printing the whole scrape on failure.
+metric_at_least() {
+    local file=$1 key=$2 min=$3
+    local got
+    got=$(grep -o "\"$key\": [0-9]*" "$file" | grep -o '[0-9]*$' || true)
+    [ "${got:-0}" -ge "$min" ] || {
+        echo "FAIL: $key = ${got:-missing}, want >= $min"; cat "$file"; exit 1
+    }
+}
